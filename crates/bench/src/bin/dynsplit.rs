@@ -1,0 +1,93 @@
+//! Workload-distribution strategies — the paper's §VI future work:
+//! *"we plan to analyze other workload distribution strategies."*
+//!
+//! Three strategies over the same workload, per query length:
+//!
+//! 1. **static-swept** — Fig. 8's approach: try every split fraction,
+//!    keep the best (an oracle; needs a full sweep per configuration).
+//! 2. **static-calibrated** — one-shot: set the fraction from the device
+//!    models' predicted rates `α = r_accel / (r_cpu + r_accel)`.
+//! 3. **dynamic** — no fraction at all: every hardware thread of both
+//!    devices pulls sequence groups from one shared queue.
+//!
+//! The punchline the table shows: dynamic *dominates* every static
+//! strategy at every query length with zero tuning — a static split,
+//! even optimally swept, still suffers boundary imbalance inside each
+//! device's share, while global pulling absorbs it.
+
+use sw_bench::{table, Table, Workload};
+use sw_core::{simulate_hetero, simulate_hetero_dynamic, SimConfig};
+use sw_device::CostModel;
+use sw_kernels::KernelVariant;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let workload =
+        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let xeon = CostModel::xeon();
+    let phi = CostModel::phi();
+    let cpu_cfg = SimConfig::streamed(32, 8);
+    let phi_cfg = SimConfig::streamed(240, 8);
+
+    // One-shot calibrated fraction from model rates.
+    let v = KernelVariant::best();
+    let r_cpu = xeon.peak_gcups(v, 32, 2000);
+    let r_phi = phi.peak_gcups(v, 240, 2000);
+    let calibrated = r_phi / (r_cpu + r_phi);
+    println!(
+        "calibrated one-shot fraction: {:.1}% Phi (model rates {:.1} + {:.1})\n",
+        calibrated * 100.0,
+        r_cpu,
+        r_phi
+    );
+
+    let mut t = Table::new(
+        "Workload-distribution strategies (paper §VI) — GCUPS per query length",
+        &["query_len", "static_swept", "swept_frac_%", "static_calibrated", "dynamic"],
+    );
+    for &q in &[144usize, 464, 1000, 2000, 5478] {
+        // Oracle: sweep 21 fractions.
+        let mut best = (0.0f64, 0.0f64);
+        for step in 0..=20 {
+            let f = step as f64 / 20.0;
+            let r = simulate_hetero(
+                (&xeon, &cpu_cfg),
+                (&phi, &phi_cfg),
+                &workload.db_lens,
+                q,
+                f,
+            );
+            if r.gcups > best.1 {
+                best = (f, r.gcups);
+            }
+        }
+        let cal = simulate_hetero(
+            (&xeon, &cpu_cfg),
+            (&phi, &phi_cfg),
+            &workload.db_lens,
+            q,
+            calibrated,
+        );
+        let dyn_ = simulate_hetero_dynamic(
+            (&xeon, &cpu_cfg),
+            (&phi, &phi_cfg),
+            &workload.db_lens,
+            q,
+        );
+        t.row(vec![
+            q.to_string(),
+            table::gcups(best.1),
+            format!("{:.0}", best.0 * 100.0),
+            table::gcups(cal.gcups),
+            table::gcups(dyn_.gcups),
+        ]);
+    }
+    t.emit("dynsplit");
+    println!(
+        "Dynamic pulling beats every static strategy at every query length\n\
+         with zero tuning: a static split, even optimally swept, keeps the\n\
+         boundary imbalance inside each device's share, while the shared\n\
+         queue absorbs it. The calibrated one-shot static fraction is a\n\
+         close, cheap second."
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 3: performance on the Intel Xeon with different thread counts.
+//!
+//! Paper: six variants (no-vec / simd / intrinsic × QP / SP), threads
+//! 1–32, Swiss-Prot, 20-query workload; best result 30.4 GCUPS at
+//! intrinsic-SP × 32 threads; efficiency 99 % / 88 % / 70 % at 4/16/32
+//! threads.
+
+use sw_bench::{paper, table, Table, Workload};
+use sw_device::CostModel;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let workload =
+        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let model = CostModel::xeon();
+    let threads = [1u32, 2, 4, 8, 16, 32];
+    let variants = sw_bench::workload::fig_variants();
+
+    let mut headers: Vec<&str> = vec!["threads"];
+    let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new(
+        "Fig. 3 — Xeon GCUPS vs threads (paper peak: 30.4 intrinsic-SP @ 32T)",
+        &headers,
+    );
+    for &n in &threads {
+        let mut row = vec![n.to_string()];
+        for (_, v) in &variants {
+            let r = workload.simulate_pooled(&model, *v, n);
+            row.push(table::gcups(r.gcups));
+        }
+        t.row(row);
+    }
+    t.emit("fig3");
+
+    // Efficiency check quoted in §V-C1.
+    let best = variants.last().expect("six variants").1;
+    let g1 = workload.simulate_pooled(&model, best, 1).gcups;
+    println!("intrinsic-SP efficiency vs 1 thread:");
+    for (n, paper_e) in paper::XEON_EFFICIENCY {
+        let g = workload.simulate_pooled(&model, best, n).gcups;
+        println!(
+            "  {n:>2} threads: {:.2} (paper: {paper_e:.2})",
+            g / (n as f64 * g1)
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 4: performance on the Intel Xeon with variable query length.
+//!
+//! Paper: 32 threads, the 20-query set (lengths 144–5478); query length
+//! has little impact except a rising trend for the SP variants
+//! (profile-build amortisation), reaching 25.1 GCUPS (simd-SP) and
+//! 32 GCUPS (intrinsic-SP) at the longest queries; QP ≪ SP because AVX
+//! has no vector gather.
+
+use sw_bench::{table, Table, Workload};
+use sw_device::CostModel;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let workload =
+        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let model = CostModel::xeon();
+    let variants = sw_bench::workload::fig_variants();
+
+    let mut headers: Vec<&str> = vec!["query_len"];
+    let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new(
+        "Fig. 4 — Xeon GCUPS vs query length @ 32 threads (paper: simd-SP→25.1, intrinsic-SP→32)",
+        &headers,
+    );
+    for &q in &workload.query_lens.clone() {
+        let mut row = vec![q.to_string()];
+        for (_, v) in &variants {
+            let r = workload.simulate_query(&model, *v, 32, q as usize);
+            row.push(table::gcups(r.gcups));
+        }
+        t.row(row);
+    }
+    t.emit("fig4");
+}

@@ -1,0 +1,34 @@
+//! Figure 6: performance of the Xeon Phi variants with variable query
+//! lengths.
+//!
+//! Paper: 240 threads; throughput *rises* with query length (more
+//! parallelism to exploit, per-batch overheads amortise); SP beats QP
+//! thanks to its consecutive memory accesses; intrinsic ≫ guided.
+
+use sw_bench::{table, Table, Workload};
+use sw_device::CostModel;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let workload =
+        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let model = CostModel::phi();
+    let variants = sw_bench::workload::fig_variants();
+
+    let mut headers: Vec<&str> = vec!["query_len"];
+    let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new(
+        "Fig. 6 — Xeon Phi GCUPS vs query length @ 240 threads (paper peak: 34.9 intrinsic-SP)",
+        &headers,
+    );
+    for &q in &workload.query_lens.clone() {
+        let mut row = vec![q.to_string()];
+        for (_, v) in &variants {
+            let r = workload.simulate_query(&model, *v, 240, q as usize);
+            row.push(table::gcups(r.gcups));
+        }
+        t.row(row);
+    }
+    t.emit("fig6");
+}

@@ -1,0 +1,38 @@
+//! Figure 7: blocking vs non-blocking on both devices, variable query
+//! lengths.
+//!
+//! Paper: intrinsic-SP on Xeon (32T) and Phi (240T); *"exploiting data
+//! locality can seriously improve the performance on both devices …
+//! this optimization has a larger improvement in the Intel Xeon Phi
+//! because its cache size is lower"* (512 KB L2, no L3 vs the Xeon's
+//! L3-backed hierarchy).
+
+use sw_bench::{table, Table, Workload};
+use sw_device::CostModel;
+use sw_kernels::KernelVariant;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let workload =
+        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let xeon = CostModel::xeon();
+    let phi = CostModel::phi();
+    let blocked = KernelVariant::best();
+    let unblocked = KernelVariant { blocking: false, ..blocked };
+
+    let mut t = Table::new(
+        "Fig. 7 — blocking vs non-blocking, intrinsic-SP (Xeon @32T, Phi @240T)",
+        &["query_len", "xeon-block", "xeon-noblock", "phi-block", "phi-noblock"],
+    );
+    for &q in &workload.query_lens.clone() {
+        let q = q as usize;
+        t.row(vec![
+            q.to_string(),
+            table::gcups(workload.simulate_query(&xeon, blocked, 32, q).gcups),
+            table::gcups(workload.simulate_query(&xeon, unblocked, 32, q).gcups),
+            table::gcups(workload.simulate_query(&phi, blocked, 240, q).gcups),
+            table::gcups(workload.simulate_query(&phi, unblocked, 240, q).gcups),
+        ]);
+    }
+    t.emit("fig7");
+}

@@ -1,0 +1,58 @@
+//! Figure 8: performance of the heterogeneous algorithm for different
+//! workload distributions.
+//!
+//! Paper: intrinsic-SP on both devices; abscissa = percentage of the
+//! workload sent to the Phi; best configuration ≈ 45 % Xeon / 55 % Phi at
+//! 62.6 GCUPS — "almost the combination of their individual throughputs"
+//! (30.4 + 34.9). This binary also reports the energy figures the paper
+//! leaves as future work.
+
+use sw_bench::{paper, table, Table, Workload};
+use sw_core::{simulate_hetero, SimConfig};
+use sw_device::CostModel;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let workload =
+        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let xeon = CostModel::xeon();
+    let phi = CostModel::phi();
+    let cpu_cfg = SimConfig::streamed(32, 8);
+    let phi_cfg = SimConfig::streamed(240, 8);
+    // Representative query: the paper's mid/long range dominates runtime.
+    let query_len = 2000usize;
+
+    let mut t = Table::new(
+        "Fig. 8 — heterogeneous GCUPS vs % workload on the Phi (paper optimum: 62.6 @ 55 %)",
+        &["phi_share_%", "GCUPS", "cpu_GCUPS", "phi_GCUPS", "GCUPS_per_W"],
+    );
+    let mut best = (0.0f64, 0.0f64);
+    for step in 0..=20 {
+        let frac = step as f64 / 20.0;
+        let r = simulate_hetero(
+            (&xeon, &cpu_cfg),
+            (&phi, &phi_cfg),
+            &workload.db_lens,
+            query_len,
+            frac,
+        );
+        if r.gcups > best.1 {
+            best = (frac, r.gcups);
+        }
+        t.row(vec![
+            format!("{:.0}", frac * 100.0),
+            table::gcups(r.gcups),
+            table::gcups(r.cpu_gcups),
+            table::gcups(r.accel_gcups),
+            format!("{:.3}", r.gcups_per_watt()),
+        ]);
+    }
+    t.emit("fig8");
+    println!(
+        "optimum: {:.1} GCUPS at {:.0} % Phi share (paper: {:.1} at {:.0} %)",
+        best.1,
+        best.0 * 100.0,
+        paper::HETERO_BEST_GCUPS,
+        paper::HETERO_BEST_PHI_FRACTION * 100.0
+    );
+}

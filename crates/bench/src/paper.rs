@@ -1,0 +1,66 @@
+//! The paper's published numbers, for side-by-side comparison columns.
+//!
+//! Every value here is quoted directly from Rucci et al., CLUSTER 2014,
+//! §V; `EXPERIMENTS.md` records how our simulated results compare.
+
+/// Fig. 3 / §V-C1: Xeon intrinsic-SP peak at 32 threads.
+pub const XEON_INTRINSIC_SP_32T: f64 = 30.4;
+
+/// Fig. 4: Xeon simd-SP at 32 threads, long queries.
+pub const XEON_SIMD_SP_32T: f64 = 25.1;
+
+/// Fig. 4: Xeon intrinsic-SP reaches 32 GCUPS at the longest query.
+pub const XEON_INTRINSIC_SP_LONGEST: f64 = 32.0;
+
+/// §V-C1: Xeon parallel efficiency at 4 / 16 / 32 threads (intrinsic-SP).
+pub const XEON_EFFICIENCY: [(u32, f64); 3] = [(4, 0.99), (16, 0.88), (32, 0.70)];
+
+/// Fig. 5 / §V-C2: Phi rates at 240 threads.
+pub const PHI_SIMD_QP_240T: f64 = 13.6;
+/// Phi simd-SP at 240 threads.
+pub const PHI_SIMD_SP_240T: f64 = 14.5;
+/// Phi intrinsic-QP at 240 threads.
+pub const PHI_INTRINSIC_QP_240T: f64 = 27.1;
+/// Phi intrinsic-SP at 240 threads.
+pub const PHI_INTRINSIC_SP_240T: f64 = 34.9;
+
+/// Fig. 8 / §V-C3: best heterogeneous configuration.
+pub const HETERO_BEST_GCUPS: f64 = 62.6;
+/// Fig. 8: Phi share of the workload at the optimum.
+pub const HETERO_BEST_PHI_FRACTION: f64 = 0.55;
+
+/// §V-C3: TDP values quoted by the paper (Xeon chip, Phi).
+pub const TDP_XEON_CHIP_W: f64 = 120.0;
+/// Phi TDP as quoted.
+pub const TDP_PHI_W: f64 = 240.0;
+
+/// §V-B: Swiss-Prot release 2013_11 statistics.
+pub const DB_SEQUENCES: u64 = 541_561;
+/// Total residues of the release.
+pub const DB_RESIDUES: u64 = 192_480_382;
+/// Longest database sequence.
+pub const DB_MAX_LEN: u64 = 35_213;
+
+/// Relative deviation of `ours` from `paper`.
+pub fn deviation(ours: f64, paper: f64) -> f64 {
+    (ours - paper) / paper
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_math() {
+        assert!((deviation(31.0, 30.4) - 0.0197).abs() < 1e-3);
+        assert_eq!(deviation(30.4, 30.4), 0.0);
+    }
+
+    #[test]
+    fn hetero_is_nearly_additive() {
+        // The paper notes the combined rate is "almost the combination of
+        // their individual throughputs".
+        let sum = XEON_INTRINSIC_SP_32T + PHI_INTRINSIC_SP_240T;
+        assert!((sum - HETERO_BEST_GCUPS).abs() < 3.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Markdown + CSV table rendering for the figure binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-oriented results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("## {}\n\n", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = *w))
+                .collect();
+            format!("| {} |\n", body.join(" | "))
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", dashes.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print markdown to stdout and write CSV to `results/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.to_markdown());
+        let dir = Path::new("results");
+        if fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if let Ok(mut f) = fs::File::create(&path) {
+                let _ = f.write_all(self.to_csv().as_bytes());
+                println!("(csv written to {})", path.display());
+            }
+        }
+    }
+}
+
+/// Format a GCUPS value for a table cell.
+pub fn gcups(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Demo", &["x", "value"]);
+        t.row(vec!["1".into(), "30.4".into()]);
+        t.row(vec!["32".into(), "62.6".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("## Demo"));
+        assert!(md.contains("|  x | value |"));
+        assert!(md.contains("| 32 |  62.6 |"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn gcups_formatting() {
+        assert_eq!(gcups(30.42), "30.4");
+        assert_eq!(gcups(62.551), "62.6");
+    }
+}

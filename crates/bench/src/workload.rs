@@ -1,0 +1,118 @@
+//! Workload construction shared by the figure binaries.
+//!
+//! The evaluation workload is the synthetic Swiss-Prot 2013_11 stand-in
+//! (DESIGN.md §2) plus the paper's 20-query set. Figures that aggregate
+//! over the query set pool all (query × batch) tasks into one parallel
+//! region, exactly as the paper's Algorithm 1 loop over `|Q| × |vD|`
+//! does; per-query-length figures use a streamed (steady-state)
+//! measurement.
+
+use sw_core::prepare::shapes_from_lengths;
+use sw_core::{simulate_search, SimConfig, SimReport};
+use sw_device::{CostModel, TaskShape};
+use sw_kernels::KernelVariant;
+use sw_seq::gen::{generate_lengths, DbSpec};
+use sw_seq::swissprot::QUERY_SET;
+
+/// The simulation workload: database lengths + query lengths.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Database sequence lengths (unsorted).
+    pub db_lens: Vec<u32>,
+    /// The 20 paper query lengths, ascending.
+    pub query_lens: Vec<u32>,
+}
+
+impl Workload {
+    /// Full Swiss-Prot scale (541 561 sequences) with the paper's queries.
+    pub fn paper_scale(seed: u64) -> Self {
+        Workload {
+            db_lens: generate_lengths(&DbSpec::swissprot_full(seed)),
+            query_lens: QUERY_SET.iter().map(|q| q.len).collect(),
+        }
+    }
+
+    /// Reduced scale for quick runs/tests (`fraction` of the sequences).
+    pub fn scaled(fraction: f64, seed: u64) -> Self {
+        Workload {
+            db_lens: generate_lengths(&DbSpec::swissprot_scaled(fraction, seed)),
+            query_lens: QUERY_SET.iter().map(|q| q.len).collect(),
+        }
+    }
+
+    /// Task shapes for a single query length at the given lane width.
+    pub fn shapes(&self, lanes: usize, query_len: usize) -> Vec<TaskShape> {
+        shapes_from_lengths(&self.db_lens, lanes, query_len)
+    }
+
+    /// Task shapes pooled over the whole query set — the Algorithm 1
+    /// parallel region (`for t ≤ |Q| · |vD|`).
+    pub fn pooled_shapes(&self, lanes: usize) -> Vec<TaskShape> {
+        let mut out = Vec::new();
+        for &q in &self.query_lens {
+            out.extend(self.shapes(lanes, q as usize));
+        }
+        out
+    }
+
+    /// Simulate the pooled 20-query run on `model` (Fig. 3 / Fig. 5
+    /// measurement).
+    pub fn simulate_pooled(
+        &self,
+        model: &CostModel,
+        variant: KernelVariant,
+        threads: u32,
+    ) -> SimReport {
+        let shapes = self.pooled_shapes(model.device.lanes_i16());
+        let cfg = SimConfig { variant, ..SimConfig::best(threads) };
+        simulate_search(model, &shapes, &cfg)
+    }
+
+    /// Simulate a steady-state single-query measurement (Fig. 4 / Fig. 6 /
+    /// Fig. 7 points).
+    pub fn simulate_query(
+        &self,
+        model: &CostModel,
+        variant: KernelVariant,
+        threads: u32,
+        query_len: usize,
+    ) -> SimReport {
+        let shapes = self.shapes(model.device.lanes_i16(), query_len);
+        let cfg = SimConfig { variant, ..SimConfig::streamed(threads, 8) };
+        simulate_search(model, &shapes, &cfg)
+    }
+}
+
+/// The six Fig. 3/5 variant labels in plotting order.
+pub fn fig_variants() -> Vec<(String, KernelVariant)> {
+    KernelVariant::fig3_set().into_iter().map(|v| (v.label(), v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shapes_pool_correctly() {
+        let w = Workload::scaled(0.002, 3);
+        let single: usize = w.shapes(16, 144).len();
+        let pooled = w.pooled_shapes(16);
+        assert_eq!(pooled.len(), single * 20);
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        let w = Workload::paper_scale(1);
+        assert_eq!(w.db_lens.len(), 541_561);
+        assert_eq!(w.query_lens.len(), 20);
+        assert_eq!(w.query_lens[0], 144);
+        assert_eq!(w.query_lens[19], 5478);
+    }
+
+    #[test]
+    fn pooled_simulation_runs() {
+        let w = Workload::scaled(0.01, 3);
+        let r = w.simulate_pooled(&CostModel::xeon(), KernelVariant::best(), 32);
+        assert!(r.gcups > 10.0, "pooled xeon {}", r.gcups);
+    }
+}

@@ -1,0 +1,509 @@
+//! Hand-rolled argument parsing for `swsearch` (no external CLI crates —
+//! the dependency budget is documented in DESIGN.md).
+
+use std::fmt;
+use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+swsearch — Smith-Waterman protein database search (Rucci et al., CLUSTER 2014 reproduction)
+
+USAGE:
+  swsearch search   --query <fasta> --db <fasta|swdb> [options]
+  swsearch makedb   --in <fasta> --out <swdb>
+  swsearch gendb    --seqs <n> --out <fasta|swdb> [--seed <u64>] [--mean-len <f>]
+  swsearch stats    --db <fasta|swdb>
+  swsearch selftest [--lanes <4|8|16|32>] [--scale <n>]
+  swsearch simulate --device <xeon|phi|hetero> [--threads <n>] [--query-len <m>]
+                    [--frac <0..1>] [--variant <v>] [--db-scale <0..1>]
+  swsearch align    --query <fasta> --subject <fasta> [--matrix <name>] [--open <q>] [--extend <r>]
+  swsearch bench    [--seqs <n>] [--query-len <m>] [--threads <t>] [--lanes <l>]
+  swsearch hetero   --query <fasta> --db <fasta|swdb> [--frac <0..1>] [options]
+
+SEARCH OPTIONS:
+  --matrix <name>     BLOSUM45/50/62/80 or PAM250 (default BLOSUM62)
+  --open <q>          gap open penalty (default 10)
+  --extend <r>        gap extension penalty (default 2)
+  --threads <n>       worker threads (default 1)
+  --lanes <n>         vector lanes: 4, 8, 16 or 32 (default 16)
+  --variant <v>       no-vec-qp | no-vec-sp | simd-qp | simd-sp |
+                      intrinsic-qp | intrinsic-sp  (default intrinsic-sp)
+  --no-blocking       disable cache blocking
+  --top <k>           hits to print (default 10)
+  --align             render the alignment of each reported hit
+  --adaptive          dual-precision scoring (i8 first, widen saturated lanes)
+  --tabular           BLAST outfmt-6 style tabular output (12 columns)
+  --dna               nucleotide mode (ACGTN; default scoring +5/-4, N=-2)
+  --match <s>         DNA match score (with --dna; default 5)
+  --mismatch <s>      DNA mismatch score (with --dna; default -4)
+  --both-strands      with --dna: also search the reverse complement
+";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Database search (Algorithm 1).
+    Search {
+        /// Query FASTA path.
+        query: String,
+        /// Database path (FASTA or `.swdb` snapshot).
+        db: String,
+        /// Scoring/search knobs.
+        opts: SearchOpts,
+    },
+    /// Preprocess a FASTA database into a binary snapshot.
+    MakeDb {
+        /// Input FASTA.
+        input: String,
+        /// Output snapshot path.
+        output: String,
+    },
+    /// Generate a synthetic Swiss-Prot-like database.
+    GenDb {
+        /// Sequence count.
+        seqs: u32,
+        /// Output path (`.swdb` → snapshot, else FASTA).
+        output: String,
+        /// RNG seed.
+        seed: u64,
+        /// Mean sequence length.
+        mean_len: f64,
+    },
+    /// Print database statistics.
+    Stats {
+        /// Database path.
+        db: String,
+    },
+    /// Cross-variant correctness self-test.
+    SelfTest {
+        /// Lane width.
+        lanes: usize,
+        /// Workload scale factor.
+        scale: u32,
+    },
+    /// Simulated performance of the paper's devices.
+    Simulate {
+        /// `xeon`, `phi` or `hetero`.
+        device: String,
+        /// Threads (0 = device maximum).
+        threads: u32,
+        /// Query length.
+        query_len: usize,
+        /// Fraction of work offloaded (hetero only).
+        frac: f64,
+        /// Kernel variant.
+        variant: KernelVariant,
+        /// Database scale relative to Swiss-Prot (1.0 = 541 561 seqs).
+        db_scale: f64,
+    },
+    /// Pairwise alignment with traceback.
+    Align {
+        /// Query FASTA path.
+        query: String,
+        /// Subject FASTA path.
+        subject: String,
+        /// Scoring knobs.
+        opts: SearchOpts,
+    },
+    /// Heterogeneous search (Algorithm 2) with a static split.
+    Hetero {
+        /// Query FASTA path.
+        query: String,
+        /// Database path.
+        db: String,
+        /// Fraction of DP cells sent to the accelerator share.
+        frac: f64,
+        /// Scoring/search knobs.
+        opts: SearchOpts,
+    },
+    /// Host throughput micro-benchmark.
+    Bench {
+        /// Database sequences to generate.
+        seqs: u32,
+        /// Query length.
+        query_len: u32,
+        /// Worker threads.
+        threads: usize,
+        /// Vector lanes.
+        lanes: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Search options shared by `search` and `align`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOpts {
+    /// Substitution matrix name.
+    pub matrix: String,
+    /// Gap open penalty.
+    pub open: i32,
+    /// Gap extension penalty.
+    pub extend: i32,
+    /// Worker threads.
+    pub threads: usize,
+    /// Vector lanes.
+    pub lanes: usize,
+    /// Kernel variant.
+    pub variant: KernelVariant,
+    /// Hits to print.
+    pub top: usize,
+    /// Render alignments of reported hits.
+    pub align: bool,
+    /// SWIPE-style dual-precision scoring (i8 first, widen on demand).
+    pub adaptive: bool,
+    /// Output format: plain report or BLAST-style 12-column tabular.
+    pub tabular: bool,
+    /// Nucleotide mode: DNA alphabet + match/mismatch scoring.
+    pub dna: bool,
+    /// DNA match score (nucleotide mode only).
+    pub match_score: i32,
+    /// DNA mismatch score (nucleotide mode only).
+    pub mismatch: i32,
+    /// Also search the reverse-complement strand (nucleotide mode only).
+    pub both_strands: bool,
+}
+
+impl Default for SearchOpts {
+    fn default() -> Self {
+        SearchOpts {
+            matrix: "BLOSUM62".to_string(),
+            open: 10,
+            extend: 2,
+            threads: 1,
+            lanes: 16,
+            variant: KernelVariant::best(),
+            top: 10,
+            align: false,
+            adaptive: false,
+            tabular: false,
+            dna: false,
+            match_score: 5,
+            mismatch: -4,
+            both_strands: false,
+        }
+    }
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parse a `--variant` value.
+pub fn parse_variant(s: &str, blocking: bool) -> Result<KernelVariant, ParseError> {
+    let (vec, profile) = match s.to_ascii_lowercase().as_str() {
+        "no-vec-qp" | "novec-qp" => (Vectorization::NoVec, ProfileMode::Query),
+        "no-vec-sp" | "novec-sp" => (Vectorization::NoVec, ProfileMode::Sequence),
+        "simd-qp" => (Vectorization::Guided, ProfileMode::Query),
+        "simd-sp" => (Vectorization::Guided, ProfileMode::Sequence),
+        "intrinsic-qp" => (Vectorization::Intrinsic, ProfileMode::Query),
+        "intrinsic-sp" => (Vectorization::Intrinsic, ProfileMode::Sequence),
+        other => return Err(err(format!("unknown variant '{other}'"))),
+    };
+    Ok(KernelVariant { vec, profile, blocking })
+}
+
+/// Cursor over argv tokens with typed take-helpers.
+struct Args<'a> {
+    tokens: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Args<'a> {
+    fn value_of(&mut self, flag: &str) -> Result<String, ParseError> {
+        // Scan for `flag <value>` anywhere after the subcommand.
+        let mut i = self.pos;
+        while i < self.tokens.len() {
+            if self.tokens[i] == flag {
+                return self
+                    .tokens
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| err(format!("{flag} needs a value")));
+            }
+            i += 1;
+        }
+        Err(err(format!("missing required {flag}")))
+    }
+
+    fn opt_value(&mut self, flag: &str) -> Option<String> {
+        self.value_of(flag).ok()
+    }
+
+    fn has_flag(&self, flag: &str) -> bool {
+        self.tokens[self.pos..].iter().any(|t| t == flag)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&mut self, flag: &str, default: T) -> Result<T, ParseError> {
+        match self.opt_value(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("bad value for {flag}: '{v}'"))),
+        }
+    }
+}
+
+fn parse_search_opts(a: &mut Args<'_>) -> Result<SearchOpts, ParseError> {
+    let d = SearchOpts::default();
+    let blocking = !a.has_flag("--no-blocking");
+    let variant = match a.opt_value("--variant") {
+        Some(v) => parse_variant(&v, blocking)?,
+        None => KernelVariant { blocking, ..d.variant },
+    };
+    let lanes: usize = a.parse_num("--lanes", d.lanes)?;
+    if !matches!(lanes, 4 | 8 | 16 | 32) {
+        return Err(err(format!("--lanes must be 4, 8, 16 or 32 (got {lanes})")));
+    }
+    Ok(SearchOpts {
+        matrix: a.opt_value("--matrix").unwrap_or(d.matrix),
+        open: a.parse_num("--open", d.open)?,
+        extend: a.parse_num("--extend", d.extend)?,
+        threads: a.parse_num("--threads", d.threads)?,
+        lanes,
+        variant,
+        top: a.parse_num("--top", d.top)?,
+        align: a.has_flag("--align"),
+        adaptive: a.has_flag("--adaptive"),
+        tabular: a.has_flag("--tabular"),
+        dna: a.has_flag("--dna"),
+        match_score: a.parse_num("--match", d.match_score)?,
+        mismatch: a.parse_num("--mismatch", d.mismatch)?,
+        both_strands: a.has_flag("--both-strands"),
+    })
+}
+
+/// Parse argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    let mut a = Args { tokens: argv, pos: 1 };
+    match sub.as_str() {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "search" => Ok(Command::Search {
+            query: a.value_of("--query")?,
+            db: a.value_of("--db")?,
+            opts: parse_search_opts(&mut a)?,
+        }),
+        "makedb" => Ok(Command::MakeDb {
+            input: a.value_of("--in")?,
+            output: a.value_of("--out")?,
+        }),
+        "gendb" => Ok(Command::GenDb {
+            seqs: a.parse_num("--seqs", 0u32).and_then(|n| {
+                if n == 0 {
+                    Err(err("--seqs is required and must be positive"))
+                } else {
+                    Ok(n)
+                }
+            })?,
+            output: a.value_of("--out")?,
+            seed: a.parse_num("--seed", 42u64)?,
+            mean_len: a.parse_num("--mean-len", 355.4f64)?,
+        }),
+        "stats" => Ok(Command::Stats { db: a.value_of("--db")? }),
+        "selftest" => {
+            let lanes: usize = a.parse_num("--lanes", 8usize)?;
+            if !matches!(lanes, 4 | 8 | 16 | 32) {
+                return Err(err("--lanes must be 4, 8, 16 or 32"));
+            }
+            Ok(Command::SelfTest { lanes, scale: a.parse_num("--scale", 1u32)? })
+        }
+        "simulate" => {
+            let device = a.value_of("--device")?;
+            if !matches!(device.as_str(), "xeon" | "phi" | "hetero") {
+                return Err(err(format!("--device must be xeon, phi or hetero (got '{device}')")));
+            }
+            let variant = match a.opt_value("--variant") {
+                Some(v) => parse_variant(&v, !a.has_flag("--no-blocking"))?,
+                None => KernelVariant::best(),
+            };
+            let frac: f64 = a.parse_num("--frac", 0.55f64)?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(err("--frac must be in [0, 1]"));
+            }
+            let db_scale: f64 = a.parse_num("--db-scale", 1.0f64)?;
+            if !(db_scale > 0.0 && db_scale <= 1.0) {
+                return Err(err("--db-scale must be in (0, 1]"));
+            }
+            Ok(Command::Simulate {
+                device,
+                threads: a.parse_num("--threads", 0u32)?,
+                query_len: a.parse_num("--query-len", 2000usize)?,
+                frac,
+                variant,
+                db_scale,
+            })
+        }
+        "hetero" => {
+            let frac: f64 = a.parse_num("--frac", 0.55f64)?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(err("--frac must be in [0, 1]"));
+            }
+            Ok(Command::Hetero {
+                query: a.value_of("--query")?,
+                db: a.value_of("--db")?,
+                frac,
+                opts: parse_search_opts(&mut a)?,
+            })
+        }
+        "bench" => {
+            let lanes: usize = a.parse_num("--lanes", 16usize)?;
+            if !matches!(lanes, 4 | 8 | 16 | 32) {
+                return Err(err("--lanes must be 4, 8, 16 or 32"));
+            }
+            Ok(Command::Bench {
+                seqs: a.parse_num("--seqs", 2000u32)?,
+                query_len: a.parse_num("--query-len", 400u32)?,
+                threads: a.parse_num("--threads", 1usize)?,
+                lanes,
+            })
+        }
+        "align" => Ok(Command::Align {
+            query: a.value_of("--query")?,
+            subject: a.value_of("--subject")?,
+            opts: parse_search_opts(&mut a)?,
+        }),
+        other => Err(err(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn search_defaults() {
+        let c = parse(&argv("search --query q.fa --db d.fa")).unwrap();
+        match c {
+            Command::Search { query, db, opts } => {
+                assert_eq!(query, "q.fa");
+                assert_eq!(db, "d.fa");
+                assert_eq!(opts, SearchOpts::default());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_full_options() {
+        let c = parse(&argv(
+            "search --query q.fa --db d.fa --matrix BLOSUM50 --open 12 --extend 1 \
+             --threads 4 --lanes 32 --variant simd-qp --no-blocking --top 5 --align",
+        ))
+        .unwrap();
+        match c {
+            Command::Search { opts, .. } => {
+                assert_eq!(opts.matrix, "BLOSUM50");
+                assert_eq!(opts.open, 12);
+                assert_eq!(opts.extend, 1);
+                assert_eq!(opts.threads, 4);
+                assert_eq!(opts.lanes, 32);
+                assert_eq!(opts.variant.vec, Vectorization::Guided);
+                assert_eq!(opts.variant.profile, ProfileMode::Query);
+                assert!(!opts.variant.blocking);
+                assert_eq!(opts.top, 5);
+                assert!(opts.align);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let e = parse(&argv("search --query q.fa")).unwrap_err();
+        assert!(e.0.contains("--db"));
+    }
+
+    #[test]
+    fn bad_variant_rejected() {
+        assert!(parse(&argv("search --query q --db d --variant turbo")).is_err());
+    }
+
+    #[test]
+    fn bad_lanes_rejected() {
+        assert!(parse(&argv("search --query q --db d --lanes 7")).is_err());
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let c = parse(&argv("simulate --device phi")).unwrap();
+        match c {
+            Command::Simulate { device, threads, query_len, frac, db_scale, .. } => {
+                assert_eq!(device, "phi");
+                assert_eq!(threads, 0);
+                assert_eq!(query_len, 2000);
+                assert!((frac - 0.55).abs() < 1e-12);
+                assert!((db_scale - 1.0).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_validates_device_and_frac() {
+        assert!(parse(&argv("simulate --device gpu")).is_err());
+        assert!(parse(&argv("simulate --device hetero --frac 1.5")).is_err());
+        assert!(parse(&argv("simulate --device xeon --db-scale 0")).is_err());
+    }
+
+    #[test]
+    fn gendb_requires_seqs() {
+        assert!(parse(&argv("gendb --out x.fa")).is_err());
+        let c = parse(&argv("gendb --seqs 100 --out x.fa --seed 7")).unwrap();
+        assert_eq!(
+            c,
+            Command::GenDb { seqs: 100, output: "x.fa".into(), seed: 7, mean_len: 355.4 }
+        );
+    }
+
+    #[test]
+    fn all_variant_names_parse() {
+        for (name, vec, prof) in [
+            ("no-vec-qp", Vectorization::NoVec, ProfileMode::Query),
+            ("no-vec-sp", Vectorization::NoVec, ProfileMode::Sequence),
+            ("simd-qp", Vectorization::Guided, ProfileMode::Query),
+            ("simd-sp", Vectorization::Guided, ProfileMode::Sequence),
+            ("intrinsic-qp", Vectorization::Intrinsic, ProfileMode::Query),
+            ("intrinsic-sp", Vectorization::Intrinsic, ProfileMode::Sequence),
+        ] {
+            let v = parse_variant(name, true).unwrap();
+            assert_eq!(v.vec, vec, "{name}");
+            assert_eq!(v.profile, prof, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_command() {
+        let e = parse(&argv("frobnicate")).unwrap_err();
+        assert!(e.0.contains("frobnicate"));
+    }
+
+    #[test]
+    fn selftest_lanes_validated() {
+        assert!(parse(&argv("selftest --lanes 5")).is_err());
+        let c = parse(&argv("selftest --lanes 32 --scale 2")).unwrap();
+        assert_eq!(c, Command::SelfTest { lanes: 32, scale: 2 });
+    }
+}

@@ -1,0 +1,680 @@
+//! Command execution for `swsearch`.
+
+use crate::args::{Command, SearchOpts, USAGE};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use sw_core::{
+    simulate_hetero, simulate_search, PreparedDb, SearchConfig, SearchEngine,
+    SimConfig,
+};
+use sw_device::CostModel;
+use sw_kernels::scalar::SwParams;
+use sw_kernels::traceback::sw_align;
+use sw_seq::gen::{generate_database, generate_lengths, DbSpec};
+use sw_seq::{Alphabet, EncodedSeq, FastaWriter, GapPenalty, SubstMatrix};
+
+/// Boxed error for command execution.
+pub type CmdError = Box<dyn std::error::Error>;
+
+fn load_sequences(path: &str, alphabet: &Alphabet) -> Result<Vec<EncodedSeq>, CmdError> {
+    if path.ends_with(".swdb") {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let db = sw_swdb::snapshot::read(&bytes)?;
+        Ok(db
+            .iter()
+            .map(|(id, v)| EncodedSeq {
+                header: db.header(id).into(),
+                residues: v.residues.to_vec(),
+            })
+            .collect())
+    } else {
+        Ok(sw_seq::fasta::read_encoded(BufReader::new(File::open(path)?), alphabet)?)
+    }
+}
+
+fn params_from(opts: &SearchOpts) -> Result<SwParams, CmdError> {
+    let matrix = if opts.dna {
+        sw_seq::dna::dna_matrix(opts.match_score, opts.mismatch, -2)
+    } else {
+        SubstMatrix::by_name(&opts.matrix)
+            .ok_or_else(|| format!("unknown matrix '{}'", opts.matrix))?
+    };
+    Ok(SwParams::new(matrix, GapPenalty::new(opts.open, opts.extend)))
+}
+
+fn alphabet_from(opts: &SearchOpts) -> Alphabet {
+    if opts.dna {
+        Alphabet::dna()
+    } else {
+        Alphabet::protein()
+    }
+}
+
+/// Execute one parsed command, writing output to `out`.
+pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Search { query, db, opts } => cmd_search(&query, &db, &opts, out),
+        Command::MakeDb { input, output } => cmd_makedb(&input, &output, out),
+        Command::GenDb { seqs, output, seed, mean_len } => {
+            cmd_gendb(seqs, &output, seed, mean_len, out)
+        }
+        Command::Stats { db } => cmd_stats(&db, out),
+        Command::SelfTest { lanes, scale } => cmd_selftest(lanes, scale, out),
+        Command::Simulate { device, threads, query_len, frac, variant, db_scale } => {
+            cmd_simulate(&device, threads, query_len, frac, variant, db_scale, out)
+        }
+        Command::Align { query, subject, opts } => cmd_align(&query, &subject, &opts, out),
+        Command::Bench { seqs, query_len, threads, lanes } => {
+            cmd_bench(seqs, query_len, threads, lanes, out)
+        }
+        Command::Hetero { query, db, frac, opts } => cmd_hetero(&query, &db, frac, &opts, out),
+    }
+}
+
+fn cmd_search<W: Write>(
+    query_path: &str,
+    db_path: &str,
+    opts: &SearchOpts,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    let alphabet = alphabet_from(opts);
+    let mut queries = load_sequences(query_path, &alphabet)?;
+    if opts.both_strands {
+        if !opts.dna {
+            return Err("--both-strands requires --dna".into());
+        }
+        let minus: Vec<EncodedSeq> = queries
+            .iter()
+            .map(|q| EncodedSeq {
+                header: format!("{} (minus strand)", q.header).into(),
+                residues: sw_seq::dna::reverse_complement(&q.residues),
+            })
+            .collect();
+        queries.extend(minus);
+    }
+    let db_seqs = load_sequences(db_path, &alphabet)?;
+    if db_seqs.is_empty() {
+        return Err("database holds no sequences".into());
+    }
+    let params = params_from(opts)?;
+    let prepared = PreparedDb::prepare(db_seqs, opts.lanes, &alphabet);
+    let engine = SearchEngine::new(params.clone());
+    let config = SearchConfig {
+        variant: opts.variant,
+        threads: opts.threads.max(1),
+        policy: sw_sched::Policy::dynamic(),
+        block_rows: None,
+        adaptive_precision: opts.adaptive,
+    };
+    writeln!(
+        out,
+        "# swsearch: {} quer{} vs {} sequences ({} residues), {} [{}]",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        prepared.stats.n_seqs,
+        prepared.stats.total_residues,
+        params.matrix.name,
+        opts.variant,
+    )?;
+    let karlin = if opts.dna {
+        // Uniform base composition for nucleotide statistics.
+        let lambda = sw_core::stats::ungapped_lambda(
+            &params.matrix,
+            &[0.25, 0.25, 0.25, 0.25, 0.0],
+        )
+        .ok_or("DNA scoring has no valid Karlin lambda")?;
+        sw_core::stats::KarlinParams { lambda: lambda * 0.85, k: 0.041 }
+    } else {
+        sw_core::stats::KarlinParams::gapped_approx(&params.matrix)
+    };
+    for q in &queries {
+        let res = engine.search(&q.residues, &prepared, &config);
+        writeln!(
+            out,
+            "\nquery {} (len {}): {} in {:.3}s",
+            q.header,
+            q.len(),
+            res.gcups(),
+            res.elapsed.as_secs_f64()
+        )?;
+        let reports = sw_core::report::report_top_hits(
+            &q.residues,
+            &prepared,
+            &res,
+            &params,
+            &karlin,
+            opts.top,
+        );
+        if opts.tabular {
+            for r in &reports {
+                writeln!(out, "{}", r.tabular(&q.header))?;
+            }
+        } else {
+            writeln!(
+                out,
+                "{:>6}  {:>8}  {:>7}  {:>9}  {:>6}  subject",
+                "rank", "score", "bits", "E-value", "ident%"
+            )?;
+            for (rank, r) in reports.iter().enumerate() {
+                writeln!(
+                    out,
+                    "{:>6}  {:>8}  {:>7.1}  {:>9.2e}  {:>6}  {}",
+                    rank + 1,
+                    r.score,
+                    r.bits,
+                    r.evalue,
+                    r.stats
+                        .as_ref()
+                        .map(|s| format!("{:.1}", s.pct_identity()))
+                        .unwrap_or_else(|| "-".into()),
+                    r.header
+                )?;
+                if opts.align {
+                    if let Some(alignment) = &r.alignment {
+                        let subject = prepared.sorted.db().seq(r.id);
+                        for line in
+                            alignment.render(&q.residues, subject.residues, &alphabet).lines()
+                        {
+                            writeln!(out, "          {line}")?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_makedb<W: Write>(input: &str, output: &str, out: &mut W) -> Result<(), CmdError> {
+    let alphabet = Alphabet::protein();
+    let seqs = load_sequences(input, &alphabet)?;
+    let db = sw_swdb::SequenceDatabase::from_sequences(seqs);
+    let bytes = sw_swdb::snapshot::write(&db);
+    File::create(output)?.write_all(&bytes)?;
+    writeln!(
+        out,
+        "wrote {} sequences ({} residues) to {output} ({} bytes)",
+        db.len(),
+        db.total_residues(),
+        bytes.len()
+    )?;
+    Ok(())
+}
+
+fn cmd_gendb<W: Write>(
+    seqs: u32,
+    output: &str,
+    seed: u64,
+    mean_len: f64,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    let spec = DbSpec { n_seqs: seqs, mean_len, max_len: 35_213, seed };
+    let generated = generate_database(&spec);
+    if output.ends_with(".swdb") {
+        let db = sw_swdb::SequenceDatabase::from_sequences(generated);
+        File::create(output)?.write_all(&sw_swdb::snapshot::write(&db))?;
+    } else {
+        let alphabet = Alphabet::protein();
+        let mut w = FastaWriter::new(BufWriter::new(File::create(output)?));
+        for s in &generated {
+            w.write(s, &alphabet)?;
+        }
+        w.into_inner()?.flush()?;
+    }
+    writeln!(out, "generated {seqs} synthetic sequences (seed {seed}) into {output}")?;
+    Ok(())
+}
+
+fn cmd_stats<W: Write>(db_path: &str, out: &mut W) -> Result<(), CmdError> {
+    let alphabet = Alphabet::protein();
+    let seqs = load_sequences(db_path, &alphabet)?;
+    let db = sw_swdb::SequenceDatabase::from_sequences(seqs);
+    let stats = sw_swdb::DbStats::compute(&db);
+    writeln!(out, "{stats}")?;
+    Ok(())
+}
+
+fn cmd_selftest<W: Write>(lanes: usize, scale: u32, out: &mut W) -> Result<(), CmdError> {
+    writeln!(out, "running cross-variant self-test at {lanes} lanes (scale {scale})...")?;
+    let report = sw_core::verify::self_test(lanes, scale);
+    writeln!(
+        out,
+        "{} variants, {} score comparisons",
+        report.variants_checked, report.comparisons
+    )?;
+    match report.first_mismatch {
+        None => {
+            writeln!(out, "PASS: all variants agree with the scalar reference")?;
+            Ok(())
+        }
+        Some(m) => Err(format!("FAIL: {m}").into()),
+    }
+}
+
+fn cmd_simulate<W: Write>(
+    device: &str,
+    threads: u32,
+    query_len: usize,
+    frac: f64,
+    variant: sw_kernels::KernelVariant,
+    db_scale: f64,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    let spec = if (db_scale - 1.0).abs() < 1e-12 {
+        DbSpec::swissprot_full(1)
+    } else {
+        DbSpec::swissprot_scaled(db_scale, 1)
+    };
+    let lens = generate_lengths(&spec);
+    writeln!(
+        out,
+        "# simulated Swiss-Prot-like workload: {} sequences, query length {query_len}",
+        lens.len()
+    )?;
+    let report_one = |model: &CostModel, t: u32, out: &mut W| -> Result<(), CmdError> {
+        let t = if t == 0 { model.device.max_threads() } else { t };
+        let shapes =
+            sw_core::prepare::shapes_from_lengths(&lens, model.device.lanes_i16(), query_len);
+        let cfg = SimConfig { variant, threads: t, replicas: 8, ..SimConfig::best(t) };
+        let r = simulate_search(model, &shapes, &cfg);
+        writeln!(
+            out,
+            "{:<18} {:>4} threads  {variant:<14} {:>7.1} GCUPS  (efficiency {:.2})",
+            model.device.name.as_ref(),
+            t,
+            r.gcups,
+            r.efficiency
+        )?;
+        Ok(())
+    };
+    match device {
+        "xeon" => report_one(&CostModel::xeon(), if threads == 0 { 32 } else { threads }, out),
+        "phi" => report_one(&CostModel::phi(), if threads == 0 { 240 } else { threads }, out),
+        "hetero" => {
+            let xeon = CostModel::xeon();
+            let phi = CostModel::phi();
+            let cpu_cfg =
+                SimConfig { variant, replicas: 8, ..SimConfig::best(32) };
+            let phi_cfg =
+                SimConfig { variant, replicas: 8, ..SimConfig::best(240) };
+            let r = simulate_hetero((&xeon, &cpu_cfg), (&phi, &phi_cfg), &lens, query_len, frac);
+            writeln!(
+                out,
+                "hetero (Phi share {:.0}%): {:.1} GCUPS  (CPU {:.1} + Phi {:.1}; {:.3} GCUPS/W)",
+                100.0 * frac,
+                r.gcups,
+                r.cpu_gcups,
+                r.accel_gcups,
+                r.gcups_per_watt()
+            )?;
+            Ok(())
+        }
+        other => Err(format!("unknown device '{other}'").into()),
+    }
+}
+
+fn cmd_hetero<W: Write>(
+    query_path: &str,
+    db_path: &str,
+    frac: f64,
+    opts: &SearchOpts,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    use sw_core::HeteroEngine;
+    let alphabet = alphabet_from(opts);
+    let queries = load_sequences(query_path, &alphabet)?;
+    let q = queries.first().ok_or("query file holds no sequences")?;
+    let db_seqs = load_sequences(db_path, &alphabet)?;
+    if db_seqs.is_empty() {
+        return Err("database holds no sequences".into());
+    }
+    let params = params_from(opts)?;
+    let prepared = PreparedDb::prepare(db_seqs, opts.lanes, &alphabet);
+    let engine = SearchEngine::new(params);
+    let hetero = HeteroEngine::new(engine);
+    let plan = hetero.plan_split(&prepared, q.len(), frac);
+    writeln!(
+        out,
+        "# Algorithm 2: {} batches to host, {} to accelerator ({:.1}% of cells)",
+        plan.cpu.len(),
+        plan.accel.len(),
+        plan.accel_cell_fraction * 100.0
+    )?;
+    let cfg = SearchConfig {
+        variant: opts.variant,
+        threads: opts.threads.max(1),
+        policy: sw_sched::Policy::dynamic(),
+        block_rows: None,
+        adaptive_precision: opts.adaptive,
+    };
+    let res = hetero.search(&q.residues, &prepared, &plan, &cfg, &cfg);
+    writeln!(out, "merged {} hits; top {}:", res.hits.len(), opts.top.min(res.hits.len()))?;
+    for (rank, hit) in res.top(opts.top).iter().enumerate() {
+        writeln!(
+            out,
+            "{:>6}  {:>8}  {}",
+            rank + 1,
+            hit.score,
+            prepared.sorted.db().header(hit.id)
+        )?;
+    }
+    // Simulated wall-clock of the same split on the paper's testbed.
+    let lens: Vec<u32> =
+        (0..prepared.n_seqs()).map(|r| prepared.sorted.len_at(r) as u32).collect();
+    let xeon = sw_core::SimConfig::streamed(32, 8);
+    let phi = sw_core::SimConfig::streamed(240, 8);
+    let sim = sw_core::simulate_hetero(
+        (&CostModel::xeon(), &xeon),
+        (&CostModel::phi(), &phi),
+        &lens,
+        q.len(),
+        frac,
+    );
+    writeln!(
+        out,
+        "simulated on the paper's testbed: {:.1} GCUPS at this split",
+        sim.gcups
+    )?;
+    Ok(())
+}
+
+fn cmd_bench<W: Write>(
+    seqs: u32,
+    query_len: u32,
+    threads: usize,
+    lanes: usize,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
+    let alphabet = Alphabet::protein();
+    let spec = DbSpec { n_seqs: seqs, mean_len: 355.4, max_len: 5_000, seed: 42 };
+    let prepared = PreparedDb::prepare(generate_database(&spec), lanes, &alphabet);
+    let query = sw_seq::gen::generate_query(query_len, 7);
+    let engine = SearchEngine::paper_default();
+    writeln!(
+        out,
+        "# host benchmark: {} seqs ({} residues), query {}, {} threads, {} lanes",
+        prepared.stats.n_seqs, prepared.stats.total_residues, query_len, threads, lanes
+    )?;
+    for (label, vec, profile) in [
+        ("no-vec-SP", Vectorization::NoVec, ProfileMode::Sequence),
+        ("simd-SP", Vectorization::Guided, ProfileMode::Sequence),
+        ("intrinsic-QP", Vectorization::Intrinsic, ProfileMode::Query),
+        ("intrinsic-SP", Vectorization::Intrinsic, ProfileMode::Sequence),
+    ] {
+        let cfg = SearchConfig {
+            variant: sw_kernels::KernelVariant { vec, profile, blocking: true },
+            threads: threads.max(1),
+            policy: sw_sched::Policy::dynamic(),
+            block_rows: None,
+            adaptive_precision: false,
+        };
+        let res = engine.search(&query.residues, &prepared, &cfg);
+        writeln!(out, "{label:<14} {}", res.gcups())?;
+        let _ = KernelVariant::best();
+    }
+    Ok(())
+}
+
+fn cmd_align<W: Write>(
+    query_path: &str,
+    subject_path: &str,
+    opts: &SearchOpts,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    let alphabet = Alphabet::protein();
+    let params = params_from(opts)?;
+    let queries = load_sequences(query_path, &alphabet)?;
+    let subjects = load_sequences(subject_path, &alphabet)?;
+    let q = queries.first().ok_or("query file holds no sequences")?;
+    let s = subjects.first().ok_or("subject file holds no sequences")?;
+    match sw_align(&q.residues, &s.residues, &params) {
+        Some(a) => {
+            writeln!(
+                out,
+                "score {}  query {}..{}  subject {}..{}",
+                a.score, a.query_range.0, a.query_range.1, a.subject_range.0, a.subject_range.1
+            )?;
+            writeln!(out, "{}", a.render(&q.residues, &s.residues, &alphabet))?;
+        }
+        None => writeln!(out, "no local alignment (score 0)")?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_str(cmdline: &str) -> (i32, String) {
+        let argv: Vec<String> = cmdline.split_whitespace().map(String::from).collect();
+        let mut out = Vec::new();
+        let code = crate::run(&argv, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("swsearch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, text) = run_str("help");
+        assert_eq!(code, 0);
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_exits_2() {
+        let (code, text) = run_str("bogus");
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown command"));
+    }
+
+    #[test]
+    fn gendb_stats_roundtrip_fasta() {
+        let path = tmp("gen1.fasta");
+        let (code, _) = run_str(&format!("gendb --seqs 50 --out {path} --seed 3 --mean-len 80"));
+        assert_eq!(code, 0);
+        let (code, text) = run_str(&format!("stats --db {path}"));
+        assert_eq!(code, 0);
+        assert!(text.contains("sequences:      50"), "{text}");
+    }
+
+    #[test]
+    fn makedb_snapshot_roundtrip() {
+        let fasta = tmp("gen2.fasta");
+        let snap = tmp("gen2.swdb");
+        run_str(&format!("gendb --seqs 30 --out {fasta} --seed 5 --mean-len 60"));
+        let (code, text) = run_str(&format!("makedb --in {fasta} --out {snap}"));
+        assert_eq!(code, 0, "{text}");
+        let (code, text) = run_str(&format!("stats --db {snap}"));
+        assert_eq!(code, 0);
+        assert!(text.contains("sequences:      30"), "{text}");
+    }
+
+    #[test]
+    fn end_to_end_search_finds_planted_hit() {
+        // Build a small db and use one of its own sequences as the query:
+        // the top hit must be that sequence with its self-score.
+        let db_path = tmp("gen3.fasta");
+        run_str(&format!("gendb --seqs 40 --out {db_path} --seed 9 --mean-len 100"));
+        // Extract sequence 0 as the query.
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("query3.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[7], &alphabet).unwrap();
+        w.into_inner().unwrap();
+
+        let (code, text) =
+            run_str(&format!("search --query {q_path} --db {db_path} --lanes 8 --top 3"));
+        assert_eq!(code, 0, "{text}");
+        let first_hit_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .unwrap_or_else(|| panic!("no hit line in output:\n{text}"));
+        assert!(
+            first_hit_line.contains(seqs[7].header.as_ref()),
+            "top hit must be the query itself:\n{text}"
+        );
+    }
+
+    #[test]
+    fn search_variants_give_same_top_hit() {
+        let db_path = tmp("gen4.fasta");
+        run_str(&format!("gendb --seqs 25 --out {db_path} --seed 11 --mean-len 90"));
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("query4.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[3], &alphabet).unwrap();
+        w.into_inner().unwrap();
+        let mut first: Option<String> = None;
+        for v in ["no-vec-qp", "simd-sp", "intrinsic-qp", "intrinsic-sp"] {
+            let (code, text) = run_str(&format!(
+                "search --query {q_path} --db {db_path} --lanes 4 --variant {v} --top 1"
+            ));
+            assert_eq!(code, 0, "{v}: {text}");
+            let hit = text.lines().find(|l| l.trim_start().starts_with("1 ")).unwrap().to_string();
+            match &first {
+                None => first = Some(hit),
+                Some(f) => assert_eq!(&hit, f, "variant {v} disagrees"),
+            }
+        }
+    }
+
+    #[test]
+    fn align_command_renders() {
+        let alphabet = Alphabet::protein();
+        let qp = tmp("q5.fasta");
+        let sp = tmp("s5.fasta");
+        std::fs::write(&qp, ">q\nMKVLITRAW\n").unwrap();
+        std::fs::write(&sp, ">s\nPPPMKVLITRAWPPP\n").unwrap();
+        let _ = alphabet;
+        let (code, text) = run_str(&format!("align --query {qp} --subject {sp}"));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("MKVLITRAW"));
+        assert!(text.contains("|||||||||"));
+    }
+
+    #[test]
+    fn tabular_output_format() {
+        let db_path = tmp("gen6.fasta");
+        run_str(&format!("gendb --seqs 20 --out {db_path} --seed 2 --mean-len 80"));
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("query6.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[0], &alphabet).unwrap();
+        w.into_inner().unwrap();
+        let (code, text) =
+            run_str(&format!("search --query {q_path} --db {db_path} --lanes 4 --top 3 --tabular"));
+        assert_eq!(code, 0, "{text}");
+        let tab_lines: Vec<&str> =
+            text.lines().filter(|l| l.matches('\t').count() == 11).collect();
+        assert_eq!(tab_lines.len(), 3, "three 12-column rows:\n{text}");
+        assert!(tab_lines[0].contains("100.0"), "self hit is 100% identical");
+    }
+
+    #[test]
+    fn dna_search_both_strands() {
+        let db_path = tmp("dna1.fasta");
+        std::fs::write(
+            &db_path,
+            ">plus exact plus-strand target\nTTTTACGTACGTACCGGTTTTT\n>minus reverse-complement target\nTTTTACCGGTACGTACGTTTTT\n>junk\nGGGGGGGGCCCCCCCC\n",
+        )
+        .unwrap();
+        let q_path = tmp("dnaq1.fasta");
+        std::fs::write(&q_path, ">q\nACGTACGTACCGGT\n").unwrap();
+        let (code, text) = run_str(&format!(
+            "search --query {q_path} --db {db_path} --dna --both-strands --lanes 4 --top 2"
+        ));
+        assert_eq!(code, 0, "{text}");
+        // Plus-strand block finds 'plus'; minus-strand block finds 'minus'.
+        assert!(text.contains("plus exact"), "{text}");
+        assert!(text.contains("(minus strand)"), "{text}");
+        assert!(text.contains("minus reverse-complement"), "{text}");
+    }
+
+    #[test]
+    fn both_strands_requires_dna() {
+        let db_path = tmp("dna2.fasta");
+        std::fs::write(&db_path, ">a\nMKV\n").unwrap();
+        let q_path = tmp("dnaq2.fasta");
+        std::fs::write(&q_path, ">q\nMKV\n").unwrap();
+        let (code, text) =
+            run_str(&format!("search --query {q_path} --db {db_path} --both-strands"));
+        assert_eq!(code, 1);
+        assert!(text.contains("--both-strands requires --dna"), "{text}");
+    }
+
+    #[test]
+    fn selftest_command_passes() {
+        let (code, text) = run_str("selftest --lanes 4");
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("PASS"));
+    }
+
+    #[test]
+    fn hetero_command_matches_search() {
+        let db_path = tmp("het1.fasta");
+        run_str(&format!("gendb --seqs 30 --out {db_path} --seed 4 --mean-len 90"));
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("hetq1.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[5], &alphabet).unwrap();
+        w.into_inner().unwrap();
+        let (code, text) = run_str(&format!(
+            "hetero --query {q_path} --db {db_path} --frac 0.5 --lanes 4 --top 1"
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("Algorithm 2"), "{text}");
+        assert!(text.contains("GCUPS at this split"), "{text}");
+        // Top hit is the planted query itself.
+        let hit_line = text.lines().find(|l| l.trim_start().starts_with("1 ")).unwrap();
+        assert!(hit_line.contains(seqs[5].header.as_ref()), "{text}");
+    }
+
+    #[test]
+    fn bench_command_runs() {
+        let (code, text) = run_str("bench --seqs 100 --query-len 80 --lanes 8");
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("intrinsic-SP"), "{text}");
+        assert!(text.contains("GCUPS"), "{text}");
+    }
+
+    #[test]
+    fn simulate_xeon_reports_paper_rate() {
+        let (code, text) = run_str("simulate --device xeon --db-scale 0.05 --query-len 2000");
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("GCUPS"), "{text}");
+    }
+
+    #[test]
+    fn missing_file_is_clean_error() {
+        let (code, text) = run_str("stats --db /nonexistent/x.fasta");
+        assert_eq!(code, 1);
+        assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn parse_then_execute_consistency() {
+        // `parse` output feeds `execute` directly; spot-check the koppeling.
+        let argv: Vec<String> =
+            "gendb --seqs 10 --out /tmp/swsearch-tests/k.fasta".split_whitespace().map(String::from).collect();
+        let cmd = parse(&argv).unwrap();
+        let mut out = Vec::new();
+        execute(cmd, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("generated 10"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Library half of `swsearch` — argument parsing and command execution,
+//! separated from `main.rs` so everything is unit-testable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Command, ParseError};
+
+/// Parse argv (without the program name) and run the command, writing
+/// human-readable output to `out`. Returns the process exit code.
+pub fn run<W: std::io::Write>(argv: &[String], out: &mut W) -> i32 {
+    match args::parse(argv) {
+        Ok(cmd) => match commands::execute(cmd, out) {
+            Ok(()) => 0,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n");
+            let _ = writeln!(out, "{}", args::USAGE);
+            2
+        }
+    }
+}

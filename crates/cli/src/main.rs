@@ -1,0 +1,8 @@
+//! `swsearch` binary entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    std::process::exit(sw_cli::run(&argv, &mut out));
+}

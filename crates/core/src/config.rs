@@ -1,0 +1,80 @@
+//! Search configuration.
+
+use serde::{Deserialize, Serialize};
+use sw_kernels::KernelVariant;
+use sw_sched::Policy;
+
+/// Configuration of one database search (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Kernel variant (vectorization × profile × blocking).
+    pub variant: KernelVariant,
+    /// Worker threads for the parallel alignment loop.
+    pub threads: usize,
+    /// Loop scheduling policy (the paper's best is dynamic).
+    pub policy: Policy,
+    /// Rows per cache block for blocked kernels (`None` = derive from a
+    /// 256 KB L2 budget, the conservative host default).
+    pub block_rows: Option<usize>,
+    /// SWIPE-style dual precision: score in saturating `i8` first and
+    /// widen only saturated lanes (intrinsic variants only). Results are
+    /// identical either way; this is a throughput knob. Off by default —
+    /// the paper's kernels are 16-bit.
+    pub adaptive_precision: bool,
+}
+
+impl SearchConfig {
+    /// The paper's best host configuration: intrinsic-SP, blocking,
+    /// dynamic scheduling, `threads` workers.
+    pub fn best(threads: usize) -> Self {
+        SearchConfig {
+            variant: KernelVariant::best(),
+            threads,
+            policy: Policy::dynamic(),
+            block_rows: None,
+            adaptive_precision: false,
+        }
+    }
+
+    /// Same configuration with a different kernel variant.
+    pub fn with_variant(mut self, variant: KernelVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Effective block rows for a given lane count.
+    pub fn effective_block_rows(&self, lanes: usize) -> usize {
+        self.block_rows
+            .unwrap_or_else(|| sw_kernels::blocked::block_rows_for_cache(256 * 1024, lanes))
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig::best(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_kernels::{ProfileMode, Vectorization};
+
+    #[test]
+    fn best_config_matches_paper() {
+        let c = SearchConfig::best(32);
+        assert_eq!(c.variant.vec, Vectorization::Intrinsic);
+        assert_eq!(c.variant.profile, ProfileMode::Sequence);
+        assert!(c.variant.blocking);
+        assert_eq!(c.threads, 32);
+        assert_eq!(c.policy, Policy::dynamic());
+    }
+
+    #[test]
+    fn block_rows_default_derivation() {
+        let c = SearchConfig::best(1);
+        assert_eq!(c.effective_block_rows(16), 2048);
+        let explicit = SearchConfig { block_rows: Some(128), ..c };
+        assert_eq!(explicit.effective_block_rows(16), 128);
+    }
+}

@@ -1,0 +1,523 @@
+//! The search engine — Algorithm 1, real execution.
+//!
+//! ```text
+//! 1: Q  = read_file(queries)          (caller, via sw-seq)
+//! 4: vD = sort_by_length(D)           (PreparedDb)
+//! 9: G  = SW_core(Q, vD, SUBMAT)      (this module: parallel kernel loop)
+//! 11: scores = sort(G)                (SearchResults)
+//! ```
+//!
+//! The parallel loop runs under `sw-sched`'s executor with the configured
+//! policy (dynamic by default, per the paper's observation), one task per
+//! lane batch. Saturated lanes are recomputed exactly before reporting.
+
+use crate::config::SearchConfig;
+use crate::prepare::PreparedDb;
+use crate::results::{Hit, SearchResults};
+use std::time::Instant;
+use sw_kernels::blocked::{sw_blocked_qp, sw_blocked_sp, BlockedWorkspace};
+use sw_kernels::guided::{sw_guided_qp, sw_guided_sp, GuidedWorkspace};
+use sw_kernels::intertask::{sw_lanes_qp, sw_lanes_sp, KernelOutput, Workspace};
+use sw_kernels::overflow::rescue_overflows;
+use sw_kernels::scalar::{sw_score_scalar, sw_score_scalar_qp};
+use sw_kernels::{CellCount, ProfileMode, SwParams, Vectorization};
+use sw_sched::{run_parallel, ExecutorConfig};
+use sw_swdb::{LaneBatch, QueryProfile, SequenceProfile};
+
+/// The Smith-Waterman database search engine.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    /// Scoring parameters (matrix + gaps).
+    pub params: SwParams,
+}
+
+impl SearchEngine {
+    /// Engine with explicit parameters.
+    pub fn new(params: SwParams) -> Self {
+        SearchEngine { params }
+    }
+
+    /// Engine with the paper's parameters (BLOSUM62, 10/2).
+    pub fn paper_default() -> Self {
+        SearchEngine { params: SwParams::paper_default() }
+    }
+
+    /// Search `query` against a prepared database (Algorithm 1).
+    ///
+    /// Scores are exact for every database sequence; hits come back
+    /// sorted descending.
+    pub fn search(
+        &self,
+        query: &[u8],
+        db: &PreparedDb,
+        config: &SearchConfig,
+    ) -> SearchResults {
+        assert!(!query.is_empty(), "query must not be empty");
+        let qp = QueryProfile::build(query, &self.params.matrix, &db.alphabet);
+        let block_rows = config.effective_block_rows(db.lanes);
+        let start = Instant::now();
+
+        let per_batch = run_parallel(
+            db.batches.len(),
+            ExecutorConfig { workers: config.threads, policy: config.policy },
+            |bi| {
+                let batch = &db.batches[bi];
+                self.run_batch(query, &qp, db, batch, config, block_rows)
+            },
+        );
+
+        let elapsed = start.elapsed();
+        let mut hits = Vec::with_capacity(db.n_seqs());
+        let mut cells = CellCount::default();
+        let mut rescued = 0u64;
+        for (batch_hits, batch_cells, batch_rescued) in per_batch {
+            hits.extend(batch_hits);
+            cells.add(batch_cells);
+            rescued += batch_rescued;
+        }
+        SearchResults::new(hits, elapsed, cells, rescued)
+    }
+
+    /// Search several queries in **one** parallel region — the literal
+    /// loop of the paper's Algorithm 1, line 19: `for t ≤ |Q| · |vD|`.
+    ///
+    /// Pooling the product space is what gives the paper's measured
+    /// steady-state GCUPS: long-query tail batches of one query overlap
+    /// other queries' work instead of serialising the run.
+    ///
+    /// Results come back per query, each sorted descending, identical to
+    /// running [`Self::search`] once per query.
+    pub fn search_many(
+        &self,
+        queries: &[&[u8]],
+        db: &PreparedDb,
+        config: &SearchConfig,
+    ) -> Vec<SearchResults> {
+        assert!(queries.iter().all(|q| !q.is_empty()), "queries must not be empty");
+        let n_batches = db.batches.len();
+        if n_batches == 0 {
+            return queries
+                .iter()
+                .map(|_| {
+                    SearchResults::new(
+                        Vec::new(),
+                        std::time::Duration::from_nanos(1),
+                        CellCount::default(),
+                        0,
+                    )
+                })
+                .collect();
+        }
+        let qps: Vec<QueryProfile> = queries
+            .iter()
+            .map(|q| QueryProfile::build(q, &self.params.matrix, &db.alphabet))
+            .collect();
+        let block_rows = config.effective_block_rows(db.lanes);
+        let start = Instant::now();
+
+        let per_task = run_parallel(
+            queries.len() * n_batches,
+            ExecutorConfig { workers: config.threads, policy: config.policy },
+            |t| {
+                let (qi, bi) = (t / n_batches, t % n_batches);
+                let batch = &db.batches[bi];
+                self.run_batch(queries[qi], &qps[qi], db, batch, config, block_rows)
+            },
+        );
+        let elapsed = start.elapsed();
+
+        let mut out: Vec<SearchResults> = Vec::with_capacity(queries.len());
+        for (qi, chunk) in per_task.chunks(n_batches.max(1)).enumerate() {
+            if qi >= queries.len() {
+                break;
+            }
+            let mut hits = Vec::with_capacity(db.n_seqs());
+            let mut cells = CellCount::default();
+            let mut rescued = 0u64;
+            for (batch_hits, batch_cells, batch_rescued) in chunk {
+                hits.extend(batch_hits.iter().copied());
+                cells.add(*batch_cells);
+                rescued += batch_rescued;
+            }
+            out.push(SearchResults::new(hits, elapsed, cells, rescued));
+        }
+        out
+    }
+
+    /// Search a database volume by volume under a residue budget
+    /// (bounded-memory mode; see `sw_swdb::volumes`). Results are
+    /// identical to a whole-database search — ids are re-based to the
+    /// original database.
+    pub fn search_volumes(
+        &self,
+        query: &[u8],
+        db: &sw_swdb::SequenceDatabase,
+        plan: &sw_swdb::VolumePlan,
+        lanes: usize,
+        alphabet: &sw_seq::Alphabet,
+        config: &SearchConfig,
+    ) -> SearchResults {
+        let mut merged: Option<SearchResults> = None;
+        for v in 0..plan.len() {
+            let seqs = plan.extract(db, v);
+            if seqs.is_empty() {
+                continue;
+            }
+            let prepared = PreparedDb::prepare(seqs, lanes, alphabet);
+            let mut res = self.search(query, &prepared, config);
+            // Re-base volume-local ids to the original database.
+            for hit in &mut res.hits {
+                *hit = Hit { id: plan.rebase(v, hit.id.0), score: hit.score };
+            }
+            merged = Some(match merged.take() {
+                None => res,
+                Some(acc) => acc.merge(res),
+            });
+        }
+        merged.unwrap_or_else(|| {
+            SearchResults::new(
+                Vec::new(),
+                std::time::Duration::from_nanos(1),
+                CellCount::default(),
+                0,
+            )
+        })
+    }
+
+    /// Execute one lane batch under the configured variant.
+    fn run_batch(
+        &self,
+        query: &[u8],
+        qp: &QueryProfile,
+        db: &PreparedDb,
+        batch: &LaneBatch,
+        config: &SearchConfig,
+        block_rows: usize,
+    ) -> (Vec<Hit>, CellCount, u64) {
+        let gap = &self.params.gap;
+        let m = query.len();
+        let cells = CellCount { real: batch.real_cells(m), padded: batch.padded_cells(m) };
+
+        let mut out = match config.variant.vec {
+            Vectorization::NoVec => self.run_batch_scalar(query, qp, db, batch, config),
+            Vectorization::Guided => {
+                let mut ws = GuidedWorkspace::new();
+                match config.variant.profile {
+                    ProfileMode::Query => sw_guided_qp(qp, batch, gap, &mut ws),
+                    ProfileMode::Sequence => {
+                        let sp = SequenceProfile::build(batch, &self.params.matrix, &db.alphabet);
+                        sw_guided_sp(query, &sp, batch, gap, &mut ws)
+                    }
+                }
+            }
+            Vectorization::Intrinsic => {
+                self.run_batch_intrinsic(query, qp, db, batch, config, block_rows)
+            }
+        };
+
+        // Exact rescue of saturated lanes.
+        let mut rescued = 0u64;
+        if out.any_overflow() {
+            let lane_seqs: Vec<&[u8]> =
+                batch.ids().iter().map(|&id| db.sorted.db().seq(id).residues).collect();
+            let stats = rescue_overflows(&mut out, query, batch, &lane_seqs, &self.params);
+            rescued = stats.lanes_rescued;
+        }
+
+        let hits = batch
+            .ids()
+            .iter()
+            .zip(out.scores.iter())
+            .map(|(&id, &score)| Hit { id, score })
+            .collect();
+        (hits, cells, rescued)
+    }
+
+    /// The `no-vec` path: one pair at a time.
+    fn run_batch_scalar(
+        &self,
+        query: &[u8],
+        qp: &QueryProfile,
+        db: &PreparedDb,
+        batch: &LaneBatch,
+        config: &SearchConfig,
+    ) -> KernelOutput {
+        let scores: Vec<i64> = batch
+            .ids()
+            .iter()
+            .map(|&id| {
+                let subject = db.sorted.db().seq(id).residues;
+                match config.variant.profile {
+                    ProfileMode::Query => sw_score_scalar_qp(qp, subject, &self.params.gap),
+                    ProfileMode::Sequence => sw_score_scalar(query, subject, &self.params),
+                }
+            })
+            .collect();
+        let overflowed = vec![false; scores.len()];
+        KernelOutput { scores, overflowed }
+    }
+
+    /// The `intrinsic` path: explicit-lane kernels, monomorphised per
+    /// supported lane width.
+    fn run_batch_intrinsic(
+        &self,
+        query: &[u8],
+        qp: &QueryProfile,
+        db: &PreparedDb,
+        batch: &LaneBatch,
+        config: &SearchConfig,
+        block_rows: usize,
+    ) -> KernelOutput {
+        macro_rules! dispatch {
+            ($lanes:literal) => {{
+                let gap = &self.params.gap;
+                if config.adaptive_precision {
+                    // Dual-precision cascade (unblocked kernels; exactness
+                    // is identical, see sw_kernels::narrow).
+                    use sw_kernels::narrow::{
+                        sw_adaptive_qp, sw_adaptive_sp, NarrowWorkspace,
+                    };
+                    use sw_swdb::{QueryProfileI8, SequenceProfileI8};
+                    let mut ws8 = NarrowWorkspace::<$lanes>::new();
+                    let mut ws16 = Workspace::<$lanes>::new();
+                    let (out, _stats) = match config.variant.profile {
+                        ProfileMode::Query => {
+                            let qp8 = QueryProfileI8::from_wide(qp);
+                            sw_adaptive_qp::<$lanes>(qp, &qp8, batch, gap, &mut ws8, &mut ws16)
+                        }
+                        ProfileMode::Sequence => {
+                            let sp =
+                                SequenceProfile::build(batch, &self.params.matrix, &db.alphabet);
+                            let sp8 = SequenceProfileI8::from_wide(&sp);
+                            sw_adaptive_sp::<$lanes>(
+                                query, &sp, &sp8, batch, gap, &mut ws8, &mut ws16,
+                            )
+                        }
+                    };
+                    return out;
+                }
+                match (config.variant.profile, config.variant.blocking) {
+                    (ProfileMode::Query, false) => {
+                        let mut ws = Workspace::<$lanes>::new();
+                        sw_lanes_qp::<$lanes>(qp, batch, gap, &mut ws)
+                    }
+                    (ProfileMode::Query, true) => {
+                        let mut ws = BlockedWorkspace::<$lanes>::new();
+                        sw_blocked_qp::<$lanes>(qp, batch, gap, block_rows, &mut ws)
+                    }
+                    (ProfileMode::Sequence, blocking) => {
+                        let sp = SequenceProfile::build(batch, &self.params.matrix, &db.alphabet);
+                        if blocking {
+                            let mut ws = BlockedWorkspace::<$lanes>::new();
+                            sw_blocked_sp::<$lanes>(query, &sp, batch, gap, block_rows, &mut ws)
+                        } else {
+                            let mut ws = Workspace::<$lanes>::new();
+                            sw_lanes_sp::<$lanes>(query, &sp, batch, gap, &mut ws)
+                        }
+                    }
+                }
+            }};
+        }
+        match batch.lanes() {
+            4 => dispatch!(4),
+            8 => dispatch!(8),
+            16 => dispatch!(16),
+            32 => dispatch!(32),
+            other => panic!(
+                "intrinsic kernels are monomorphised for 4/8/16/32 lanes, got {other}; \
+                 use the guided variant for arbitrary widths"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_kernels::KernelVariant;
+    use sw_seq::gen::{generate_database, generate_query, DbSpec};
+    use sw_seq::Alphabet;
+
+    fn small_db(lanes: usize) -> PreparedDb {
+        let a = Alphabet::protein();
+        let seqs = generate_database(&DbSpec::tiny(42));
+        PreparedDb::prepare(seqs, lanes, &a)
+    }
+
+    fn reference_scores(query: &[u8], db: &PreparedDb) -> Vec<(u32, i64)> {
+        let p = SwParams::paper_default();
+        let mut v: Vec<(u32, i64)> = db
+            .sorted
+            .db()
+            .iter()
+            .map(|(id, s)| (id.0, sw_score_scalar(query, s.residues, &p)))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    #[test]
+    fn all_variants_agree_with_reference() {
+        let db = small_db(8);
+        let query = generate_query(120, 7);
+        let engine = SearchEngine::paper_default();
+        let expect = reference_scores(&query.residues, &db);
+        for variant in KernelVariant::fig3_set() {
+            let cfg = SearchConfig::best(2).with_variant(variant);
+            let res = engine.search(&query.residues, &db, &cfg);
+            let got: Vec<(u32, i64)> = res.hits.iter().map(|h| (h.id.0, h.score)).collect();
+            assert_eq!(got, expect, "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn unblocked_variants_agree_too() {
+        let db = small_db(4);
+        let query = generate_query(80, 9);
+        let engine = SearchEngine::paper_default();
+        let expect = reference_scores(&query.residues, &db);
+        for mut variant in KernelVariant::fig3_set() {
+            variant.blocking = false;
+            let cfg = SearchConfig::best(1).with_variant(variant);
+            let res = engine.search(&query.residues, &db, &cfg);
+            let got: Vec<(u32, i64)> = res.hits.iter().map(|h| (h.id.0, h.score)).collect();
+            assert_eq!(got, expect, "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn every_database_sequence_is_scored_once() {
+        let db = small_db(16);
+        let query = generate_query(60, 3);
+        let engine = SearchEngine::paper_default();
+        let res = engine.search(&query.residues, &db, &SearchConfig::best(3));
+        assert_eq!(res.hits.len(), db.n_seqs());
+        let mut ids: Vec<u32> = res.hits.iter().map(|h| h.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), db.n_seqs());
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let db = small_db(8);
+        let query = generate_query(90, 5);
+        let engine = SearchEngine::paper_default();
+        let res = engine.search(&query.residues, &db, &SearchConfig::best(2));
+        assert!(res.hits.windows(2).all(|w| w[0].score >= w[1].score));
+        assert_eq!(res.cells.real, db.total_cells(90));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let db = small_db(8);
+        let query = generate_query(70, 11);
+        let engine = SearchEngine::paper_default();
+        let r1 = engine.search(&query.residues, &db, &SearchConfig::best(1));
+        let r4 = engine.search(&query.residues, &db, &SearchConfig::best(4));
+        assert_eq!(r1.hits, r4.hits);
+    }
+
+    #[test]
+    fn overflow_rescue_in_engine() {
+        // A database containing a huge self-similar sequence saturates i16
+        // and must come back exact.
+        let a = Alphabet::protein();
+        let w = a.encode_byte(b'W').unwrap();
+        let giant = sw_seq::EncodedSeq { header: "giant".into(), residues: vec![w; 3200] };
+        let small = sw_seq::EncodedSeq { header: "small".into(), residues: vec![w; 10] };
+        let db = PreparedDb::prepare(vec![giant.clone(), small], 4, &a);
+        let engine = SearchEngine::paper_default();
+        let res = engine.search(&giant.residues, &db, &SearchConfig::best(1));
+        assert_eq!(res.lanes_rescued, 1);
+        assert_eq!(res.hits[0].score, 3200 * 11);
+        assert_eq!(res.hits[1].score, 10 * 11);
+    }
+
+    #[test]
+    fn search_many_equals_individual_searches() {
+        let db = small_db(8);
+        let engine = SearchEngine::paper_default();
+        let queries: Vec<Vec<u8>> =
+            [60u32, 144, 222].iter().map(|&l| generate_query(l, l as u64).residues).collect();
+        let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+        let cfg = SearchConfig::best(3);
+        let pooled = engine.search_many(&refs, &db, &cfg);
+        assert_eq!(pooled.len(), 3);
+        for (q, pooled_res) in queries.iter().zip(&pooled) {
+            let single = engine.search(q, &db, &cfg);
+            assert_eq!(pooled_res.hits, single.hits);
+            assert_eq!(pooled_res.cells, single.cells);
+        }
+    }
+
+    #[test]
+    fn volume_search_equals_whole_database() {
+        let a = Alphabet::protein();
+        let seqs = generate_database(&sw_seq::gen::DbSpec::tiny(23));
+        let flat = sw_swdb::SequenceDatabase::from_sequences(seqs.clone());
+        let whole = PreparedDb::prepare(seqs, 8, &a);
+        let engine = SearchEngine::paper_default();
+        let query = generate_query(80, 6).residues;
+        let reference = engine.search(&query, &whole, &SearchConfig::best(2));
+        // Tight cap → many volumes.
+        for cap in [500u64, 2_000, 1_000_000] {
+            let plan = sw_swdb::VolumePlan::new(&flat, cap);
+            let res =
+                engine.search_volumes(&query, &flat, &plan, 8, &a, &SearchConfig::best(2));
+            assert_eq!(res.hits, reference.hits, "cap {cap} ({} volumes)", plan.len());
+            assert_eq!(res.cells.real, reference.cells.real);
+        }
+    }
+
+    #[test]
+    fn search_many_empty_database() {
+        let a = Alphabet::protein();
+        let db = PreparedDb::prepare(Vec::new(), 8, &a);
+        let engine = SearchEngine::paper_default();
+        let q = generate_query(50, 1).residues;
+        let out = engine.search_many(&[&q, &q], &db, &SearchConfig::best(1));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.hits.is_empty()));
+    }
+
+    #[test]
+    fn adaptive_precision_identical_results() {
+        let db = small_db(8);
+        let query = generate_query(150, 13);
+        let engine = SearchEngine::paper_default();
+        for profile in [ProfileMode::Query, ProfileMode::Sequence] {
+            let variant = KernelVariant {
+                vec: Vectorization::Intrinsic,
+                profile,
+                blocking: false,
+            };
+            let plain = SearchConfig::best(2).with_variant(variant);
+            let adaptive = SearchConfig { adaptive_precision: true, ..plain };
+            let r1 = engine.search(&query.residues, &db, &plain);
+            let r2 = engine.search(&query.residues, &db, &adaptive);
+            assert_eq!(r1.hits, r2.hits, "profile {profile:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_precision_with_giant_scores() {
+        // The cascade must chain all the way to the i64 rescue.
+        let a = Alphabet::protein();
+        let w = a.encode_byte(b'W').unwrap();
+        let giant = sw_seq::EncodedSeq { header: "giant".into(), residues: vec![w; 3200] };
+        let db = PreparedDb::prepare(vec![giant.clone()], 4, &a);
+        let engine = SearchEngine::paper_default();
+        let cfg = SearchConfig { adaptive_precision: true, ..SearchConfig::best(1) };
+        let res = engine.search(&giant.residues, &db, &cfg);
+        assert_eq!(res.hits[0].score, 3200 * 11);
+        assert_eq!(res.lanes_rescued, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "query must not be empty")]
+    fn empty_query_rejected() {
+        let db = small_db(4);
+        SearchEngine::paper_default().search(&[], &db, &SearchConfig::best(1));
+    }
+}

@@ -1,0 +1,198 @@
+//! The heterogeneous engine — Algorithm 2, real execution.
+//!
+//! ```text
+//! 4:  [vD_CPU, vD_MIC] = sort_and_split(D)
+//! 6:  #pragma offload target(mic) … signal(sem)
+//! 9:      G_MIC = SW_core(Q, vD_MIC, SUBMAT)
+//! 12: G_CPU = SW_core(Q, vD_CPU, SUBMAT)
+//! 14: #pragma offload wait(sem)
+//! 15: scores = sort(G_MIC, G_CPU)
+//! ```
+//!
+//! This host has no coprocessor, so *functionally* both shares execute on
+//! host threads (giving exact scores and letting the split logic be
+//! tested end-to-end); the *timing* of the heterogeneous run is produced
+//! by [`crate::simulate::simulate_hetero`], which replays the same split
+//! through the device models and the offload-runtime simulator.
+
+use crate::config::SearchConfig;
+use crate::engine::SearchEngine;
+use crate::prepare::PreparedDb;
+use crate::results::SearchResults;
+use serde::{Deserialize, Serialize};
+use sw_swdb::chunk::{range_cells, split_by_cells};
+use sw_swdb::BatchRange;
+
+/// How the database was split between the two devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitPlan {
+    /// Batches assigned to the host CPU (prefix of the sorted batches —
+    /// the shorter sequences).
+    pub cpu: BatchRange,
+    /// Batches assigned to the accelerator (suffix — the longer
+    /// sequences, which amortise the accelerator's per-task overheads
+    /// best).
+    pub accel: BatchRange,
+    /// Fraction of padded cells that actually landed on the accelerator.
+    pub accel_cell_fraction: f64,
+}
+
+/// The heterogeneous search engine (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct HeteroEngine {
+    /// The shared kernel engine.
+    pub engine: SearchEngine,
+}
+
+impl HeteroEngine {
+    /// Wrap an engine.
+    pub fn new(engine: SearchEngine) -> Self {
+        HeteroEngine { engine }
+    }
+
+    /// Plan the static split: the accelerator receives `accel_fraction`
+    /// of the padded DP cells (Fig. 8's abscissa), taken from the long
+    /// end of the sorted database.
+    pub fn plan_split(
+        &self,
+        db: &PreparedDb,
+        query_len: usize,
+        accel_fraction: f64,
+    ) -> SplitPlan {
+        let (cpu, accel) = split_by_cells(&db.batches, query_len, 1.0 - accel_fraction);
+        let total = range_cells(&db.batches, cpu, query_len)
+            + range_cells(&db.batches, accel, query_len);
+        let accel_cells = range_cells(&db.batches, accel, query_len);
+        SplitPlan {
+            cpu,
+            accel,
+            accel_cell_fraction: if total == 0 { 0.0 } else { accel_cells as f64 / total as f64 },
+        }
+    }
+
+    /// Run Algorithm 2: both shares are searched (the accelerator share
+    /// with `accel_config` — e.g. 32-lane batches would be used on a real
+    /// Phi; here the same host kernels), then merged and re-sorted.
+    pub fn search(
+        &self,
+        query: &[u8],
+        db: &PreparedDb,
+        plan: &SplitPlan,
+        cpu_config: &SearchConfig,
+        accel_config: &SearchConfig,
+    ) -> SearchResults {
+        let cpu_res = self.search_range(query, db, plan.cpu, cpu_config);
+        let accel_res = self.search_range(query, db, plan.accel, accel_config);
+        cpu_res.merge(accel_res)
+    }
+
+    /// Search only the batches of `range` (one device's share).
+    pub fn search_range(
+        &self,
+        query: &[u8],
+        db: &PreparedDb,
+        range: BatchRange,
+        config: &SearchConfig,
+    ) -> SearchResults {
+        // A PreparedDb view restricted to the range: reuse the same sorted
+        // store, slice the batches.
+        let view = PreparedDb {
+            alphabet: db.alphabet.clone(),
+            sorted: db.sorted.clone(),
+            batches: db.batches[range.start..range.end].to_vec(),
+            lanes: db.lanes,
+            stats: db.stats.clone(),
+        };
+        if view.batches.is_empty() {
+            return SearchResults::new(
+                Vec::new(),
+                std::time::Duration::from_nanos(1),
+                sw_kernels::CellCount::default(),
+                0,
+            );
+        }
+        self.engine.search(query, &view, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::gen::{generate_database, generate_query, DbSpec};
+    use sw_seq::Alphabet;
+
+    fn setup() -> (PreparedDb, Vec<u8>) {
+        let a = Alphabet::protein();
+        let db = PreparedDb::prepare(generate_database(&DbSpec::tiny(13)), 8, &a);
+        let q = generate_query(100, 21).residues;
+        (db, q)
+    }
+
+    #[test]
+    fn hetero_equals_single_device_results() {
+        let (db, q) = setup();
+        let engine = SearchEngine::paper_default();
+        let single = engine.search(&q, &db, &SearchConfig::best(2));
+        let hetero = HeteroEngine::new(engine);
+        for frac in [0.0, 0.25, 0.55, 1.0] {
+            let plan = hetero.plan_split(&db, q.len(), frac);
+            let res = hetero.search(&q, &db, &plan, &SearchConfig::best(2), &SearchConfig::best(2));
+            assert_eq!(res.hits, single.hits, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn split_plan_partitions_batches() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let plan = hetero.plan_split(&db, q.len(), 0.55);
+        assert_eq!(plan.cpu.end, plan.accel.start);
+        assert_eq!(plan.cpu.start, 0);
+        assert_eq!(plan.accel.end, db.batches.len());
+        assert!((plan.accel_cell_fraction - 0.55).abs() < 0.2);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let all_cpu = hetero.plan_split(&db, q.len(), 0.0);
+        assert!(all_cpu.accel.is_empty());
+        assert_eq!(all_cpu.accel_cell_fraction, 0.0);
+        let all_accel = hetero.plan_split(&db, q.len(), 1.0);
+        assert!(all_accel.cpu.is_empty());
+        assert!((all_accel.accel_cell_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accelerator_gets_the_long_sequences() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+        if !plan.cpu.is_empty() && !plan.accel.is_empty() {
+            let cpu_max = db.batches[plan.cpu.end - 1].padded_len();
+            let accel_min = db.batches[plan.accel.start].padded_len();
+            assert!(accel_min >= cpu_max, "sorted split: accel takes the suffix");
+        }
+    }
+
+    #[test]
+    fn mixed_variant_configs_still_exact() {
+        // CPU share with guided-QP, accel share with intrinsic-SP: scores
+        // must still match the single-engine reference.
+        use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
+        let (db, q) = setup();
+        let engine = SearchEngine::paper_default();
+        let reference = engine.search(&q, &db, &SearchConfig::best(1));
+        let hetero = HeteroEngine::new(engine);
+        let plan = hetero.plan_split(&db, q.len(), 0.4);
+        let cpu_cfg = SearchConfig::best(2).with_variant(KernelVariant {
+            vec: Vectorization::Guided,
+            profile: ProfileMode::Query,
+            blocking: false,
+        });
+        let accel_cfg = SearchConfig::best(2);
+        let res = hetero.search(&q, &db, &plan, &cpu_cfg, &accel_cfg);
+        assert_eq!(res.hits, reference.hits);
+    }
+}

@@ -1,0 +1,135 @@
+//! Database preparation — pipeline step (2) packaged for the engines.
+
+use sw_device::TaskShape;
+use sw_seq::{Alphabet, EncodedSeq};
+use sw_swdb::{DbStats, LaneBatch, LaneBatcher, SequenceDatabase, SortedDb};
+
+/// A database ready for searching: sorted, batched, with statistics.
+#[derive(Debug, Clone)]
+pub struct PreparedDb {
+    /// The alphabet sequences are encoded under.
+    pub alphabet: Alphabet,
+    /// Length-sorted database (owns the flat store).
+    pub sorted: SortedDb,
+    /// Lane batches in sorted order.
+    pub batches: Vec<LaneBatch>,
+    /// Lane count the batches were packed for.
+    pub lanes: usize,
+    /// Database statistics (the §V-B table).
+    pub stats: DbStats,
+}
+
+impl PreparedDb {
+    /// Prepare owned sequences for `lanes`-wide kernels.
+    pub fn prepare(seqs: Vec<EncodedSeq>, lanes: usize, alphabet: &Alphabet) -> Self {
+        let db = SequenceDatabase::from_sequences(seqs);
+        let stats = DbStats::compute(&db);
+        let sorted = SortedDb::new(db);
+        let batches = LaneBatcher::new(lanes, alphabet).batch(&sorted);
+        PreparedDb { alphabet: alphabet.clone(), sorted, batches, lanes, stats }
+    }
+
+    /// Number of database sequences.
+    pub fn n_seqs(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Per-batch task shapes for a query of `query_len` — the simulator's
+    /// input.
+    pub fn task_shapes(&self, query_len: usize) -> Vec<TaskShape> {
+        self.batches
+            .iter()
+            .map(|b| TaskShape {
+                query_len,
+                padded_len: b.padded_len(),
+                lanes: b.lanes(),
+                real_cells: b.real_cells(query_len),
+            })
+            .collect()
+    }
+
+    /// Total real DP cells for a query of `query_len`.
+    pub fn total_cells(&self, query_len: usize) -> u64 {
+        query_len as u64 * self.stats.total_residues
+    }
+}
+
+/// Build task shapes directly from sequence *lengths* — full-scale
+/// simulation without materialising residues. Lengths are sorted
+/// ascending and chunked `lanes` at a time, mirroring
+/// [`sw_swdb::LaneBatcher`] exactly.
+pub fn shapes_from_lengths(lens: &[u32], lanes: usize, query_len: usize) -> Vec<TaskShape> {
+    assert!(lanes >= 1, "need at least one lane");
+    let mut sorted: Vec<u32> = lens.to_vec();
+    sorted.sort_unstable();
+    sorted
+        .chunks(lanes)
+        .map(|group| {
+            let padded = *group.last().expect("chunks are non-empty") as usize;
+            TaskShape {
+                query_len,
+                padded_len: padded,
+                lanes,
+                real_cells: query_len as u64 * group.iter().map(|&l| l as u64).sum::<u64>(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::gen::{generate_database, DbSpec};
+
+    fn tiny_db() -> Vec<EncodedSeq> {
+        generate_database(&DbSpec::tiny(3))
+    }
+
+    #[test]
+    fn prepare_batches_cover_all_sequences() {
+        let a = Alphabet::protein();
+        let seqs = tiny_db();
+        let n = seqs.len();
+        let db = PreparedDb::prepare(seqs, 8, &a);
+        assert_eq!(db.n_seqs(), n);
+        let total_lanes: usize = db.batches.iter().map(|b| b.real_lanes()).sum();
+        assert_eq!(total_lanes, n);
+        assert_eq!(db.batches.len(), n.div_ceil(8));
+    }
+
+    #[test]
+    fn task_shapes_conserve_cells() {
+        let a = Alphabet::protein();
+        let db = PreparedDb::prepare(tiny_db(), 8, &a);
+        let shapes = db.task_shapes(100);
+        let total: u64 = shapes.iter().map(|s| s.real_cells).sum();
+        assert_eq!(total, db.total_cells(100));
+    }
+
+    #[test]
+    fn shapes_from_lengths_match_prepared_batches() {
+        let a = Alphabet::protein();
+        let seqs = tiny_db();
+        let lens: Vec<u32> = seqs.iter().map(|s| s.len() as u32).collect();
+        let db = PreparedDb::prepare(seqs, 4, &a);
+        let direct = shapes_from_lengths(&lens, 4, 77);
+        let via_db = db.task_shapes(77);
+        assert_eq!(direct, via_db);
+    }
+
+    #[test]
+    fn shapes_at_full_swissprot_scale() {
+        // The cheap path handles the real 541 561-sequence scale instantly.
+        let spec = DbSpec::swissprot_full(1);
+        let lens = sw_seq::gen::generate_lengths(&spec);
+        let shapes = shapes_from_lengths(&lens, 32, 1000);
+        assert_eq!(shapes.len(), 541_561_usize.div_ceil(32));
+        let cells: u64 = shapes.iter().map(|s| s.real_cells).sum();
+        let residues: u64 = lens.iter().map(|&l| l as u64).sum();
+        assert_eq!(cells, 1000 * residues);
+        // Padding waste stays small thanks to length sorting.
+        let padded: u64 = shapes.iter().map(|s| s.padded_cells()).sum();
+        let waste = padded as f64 / cells as f64;
+        assert!(waste < 1.05, "waste {waste}");
+    }
+}

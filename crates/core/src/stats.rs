@@ -1,0 +1,204 @@
+//! Alignment score statistics — Karlin–Altschul E-values and bit scores.
+//!
+//! The paper reports raw Smith-Waterman scores; a production search tool
+//! (SSEARCH, SWIPE, BLAST) additionally reports how *surprising* a score
+//! is. For ungapped local alignment, Karlin & Altschul (PNAS 1990) showed
+//! scores follow an extreme-value distribution with parameters `λ` (the
+//! unique positive root of `Σ pᵢ pⱼ e^{λ·s(i,j)} = 1`) and `K`; the
+//! expected number of alignments scoring ≥ S against a database of `n`
+//! residues is `E = K·m·n·e^{−λS}`.
+//!
+//! This module computes `λ` exactly from the substitution matrix and
+//! residue background frequencies (bisection on a provably bracketing
+//! interval), and uses the standard empirical estimate for `K`. Gapped
+//! parameters cannot be derived analytically; like the classic tools we
+//! apply the ungapped `λ` scaled by a gap-dependent factor, documented as
+//! an approximation.
+
+use serde::{Deserialize, Serialize};
+use sw_seq::swissprot::AA_BACKGROUND_FREQ;
+use sw_seq::SubstMatrix;
+
+/// Karlin–Altschul parameters of a scoring system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KarlinParams {
+    /// Scale parameter λ (nats per score unit).
+    pub lambda: f64,
+    /// Search-space constant K.
+    pub k: f64,
+}
+
+impl KarlinParams {
+    /// Parameters for ungapped alignment under `matrix` with the
+    /// Swiss-Prot background composition.
+    ///
+    /// # Panics
+    /// Panics if the scoring system has no positive λ (i.e. its expected
+    /// score is non-negative — such matrices are unusable for local
+    /// alignment).
+    pub fn ungapped(matrix: &SubstMatrix) -> Self {
+        let lambda = ungapped_lambda(matrix, &AA_BACKGROUND_FREQ)
+            .expect("matrix must have negative expected score and a positive max");
+        // K varies mildly across matrices (0.02–0.25); 0.13 is the
+        // BLOSUM62 ungapped value, reused as the family default.
+        KarlinParams { lambda, k: 0.13 }
+    }
+
+    /// Approximate parameters for gapped alignment: λ shrinks as gaps get
+    /// cheaper. The factor 0.85 reproduces the published BLOSUM62 gapped
+    /// λ ≈ 0.267 (open 11/extend 1) from the ungapped 0.318; we use it
+    /// for the paper's 10/2 as well.
+    pub fn gapped_approx(matrix: &SubstMatrix) -> Self {
+        let u = Self::ungapped(matrix);
+        KarlinParams { lambda: u.lambda * 0.85, k: 0.041 }
+    }
+
+    /// Expected number of chance alignments scoring ≥ `score` for a query
+    /// of `query_len` against `db_residues` total database residues.
+    pub fn evalue(&self, score: i64, query_len: usize, db_residues: u64) -> f64 {
+        self.k * query_len as f64 * db_residues as f64 * (-self.lambda * score as f64).exp()
+    }
+
+    /// Normalised bit score: `(λ·S − ln K) / ln 2`.
+    pub fn bit_score(&self, score: i64) -> f64 {
+        (self.lambda * score as f64 - self.k.ln()) / std::f64::consts::LN_2
+    }
+}
+
+/// Solve `Σᵢⱼ pᵢ pⱼ e^{λ sᵢⱼ} = 1` for the unique λ > 0.
+///
+/// Returns `None` when no positive root exists (expected score ≥ 0 or no
+/// positive score in the table). Only the standard residues covered by
+/// `freqs` participate — ambiguity codes have frequency 0.
+pub fn ungapped_lambda(matrix: &SubstMatrix, freqs: &[f64]) -> Option<f64> {
+    let n = freqs.len().min(matrix.len());
+    // φ(λ) = Σ p_i p_j exp(λ s_ij); φ(0) = 1, φ'(0) = E[s] < 0 required,
+    // φ(λ) → ∞ as λ → ∞ if any s_ij > 0 — so a root > 0 exists and is
+    // unique by convexity.
+    let phi = |lambda: f64| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                acc += freqs[i]
+                    * freqs[j]
+                    * (lambda * matrix.score(i as u8, j as u8) as f64).exp();
+            }
+        }
+        acc
+    };
+    // Expected score must be negative.
+    let mut expected = 0.0;
+    let mut any_positive = false;
+    for i in 0..n {
+        for j in 0..n {
+            let s = matrix.score(i as u8, j as u8);
+            expected += freqs[i] * freqs[j] * s as f64;
+            any_positive |= s > 0;
+        }
+    }
+    if expected >= 0.0 || !any_positive {
+        return None;
+    }
+    // Bracket the root: φ dips below 1 just right of 0 and grows past 1
+    // eventually.
+    let mut hi = 0.1f64;
+    while phi(hi) < 1.0 {
+        hi *= 2.0;
+        if hi > 1e3 {
+            return None; // numerically degenerate table
+        }
+    }
+    let mut lo = 1e-9f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if phi(mid) < 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blosum62_ungapped_lambda_matches_literature() {
+        // Published ungapped λ for BLOSUM62 with Robinson–Robinson
+        // frequencies is ≈ 0.3176; our Swiss-Prot composition lands close.
+        let m = SubstMatrix::blosum62();
+        let lambda = ungapped_lambda(&m, &AA_BACKGROUND_FREQ).unwrap();
+        assert!((0.30..0.34).contains(&lambda), "λ = {lambda}");
+    }
+
+    #[test]
+    fn lambda_solves_the_defining_equation() {
+        let m = SubstMatrix::blosum62();
+        let lambda = ungapped_lambda(&m, &AA_BACKGROUND_FREQ).unwrap();
+        let mut acc = 0.0;
+        for i in 0..20 {
+            for j in 0..20 {
+                acc += AA_BACKGROUND_FREQ[i]
+                    * AA_BACKGROUND_FREQ[j]
+                    * (lambda * m.score(i as u8, j as u8) as f64).exp();
+            }
+        }
+        assert!((acc - 1.0).abs() < 1e-6, "φ(λ) = {acc}");
+    }
+
+    #[test]
+    fn sharper_matrices_have_larger_lambda() {
+        // BLOSUM80 targets closer homologs: its scores are more extreme
+        // per alignment column, so λ (nats per score unit) is smaller for
+        // shallower matrices like BLOSUM45 than for BLOSUM62? — actually
+        // the scale differs: verify simply that each matrix yields a
+        // positive root and PAM250 (very permissive) the smallest.
+        let l62 = ungapped_lambda(&SubstMatrix::blosum62(), &AA_BACKGROUND_FREQ).unwrap();
+        let l45 = ungapped_lambda(&SubstMatrix::blosum45(), &AA_BACKGROUND_FREQ).unwrap();
+        let l250 = ungapped_lambda(&SubstMatrix::pam250(), &AA_BACKGROUND_FREQ).unwrap();
+        assert!(l62 > 0.0 && l45 > 0.0 && l250 > 0.0);
+        assert!(l250 < l62, "PAM250 λ {l250} should be below BLOSUM62 {l62}");
+    }
+
+    #[test]
+    fn no_lambda_for_all_positive_matrix() {
+        let dna = sw_seq::Alphabet::dna();
+        let m = SubstMatrix::match_mismatch(&dna, 5, 1); // expected score > 0
+        assert!(ungapped_lambda(&m, &[0.25, 0.25, 0.25, 0.25, 0.0]).is_none());
+    }
+
+    #[test]
+    fn evalue_monotone_in_score() {
+        let p = KarlinParams::ungapped(&SubstMatrix::blosum62());
+        let e50 = p.evalue(50, 300, 192_480_382);
+        let e100 = p.evalue(100, 300, 192_480_382);
+        let e300 = p.evalue(300, 300, 192_480_382);
+        assert!(e50 > e100 && e100 > e300);
+        assert!(e300 < 1e-20, "a 300-score hit is essentially certain homology");
+    }
+
+    #[test]
+    fn evalue_scales_with_search_space() {
+        let p = KarlinParams::ungapped(&SubstMatrix::blosum62());
+        let small = p.evalue(80, 100, 1_000_000);
+        let big = p.evalue(80, 100, 192_480_382);
+        assert!((big / small - 192.480382).abs() < 0.01);
+    }
+
+    #[test]
+    fn bit_scores_reasonable() {
+        let p = KarlinParams::gapped_approx(&SubstMatrix::blosum62());
+        // A raw score of ~60 is ~25 bits under gapped BLOSUM62 params.
+        let bits = p.bit_score(60);
+        assert!((20.0..30.0).contains(&bits), "bits = {bits}");
+        assert!(p.bit_score(120) > p.bit_score(60));
+    }
+
+    #[test]
+    fn gapped_lambda_close_to_published() {
+        let p = KarlinParams::gapped_approx(&SubstMatrix::blosum62());
+        assert!((p.lambda - 0.267).abs() < 0.02, "λ_gapped = {}", p.lambda);
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-variant verification — the repository's central correctness
+//! property, packaged as a reusable self-test.
+//!
+//! The paper's claim "without losing precision in the results" (§VI) only
+//! holds if every optimised code path returns exactly the scalar-reference
+//! scores. [`self_test`] runs all six Fig. 3 variants (plus unblocked
+//! twins) over a deterministic synthetic workload and compares every
+//! score; the CLI exposes it as `swsearch selftest` and the integration
+//! tests call it across lane widths.
+
+use crate::config::SearchConfig;
+use crate::engine::SearchEngine;
+use crate::prepare::PreparedDb;
+use sw_kernels::scalar::sw_score_scalar;
+use sw_kernels::KernelVariant;
+use sw_seq::gen::{generate_database, generate_query, DbSpec};
+use sw_seq::Alphabet;
+
+/// Outcome of the self-test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTestReport {
+    /// Variants exercised.
+    pub variants_checked: usize,
+    /// Total (variant × sequence) score comparisons performed.
+    pub comparisons: u64,
+    /// Human-readable description of the first mismatch, if any.
+    pub first_mismatch: Option<String>,
+}
+
+impl SelfTestReport {
+    /// True when every comparison matched.
+    pub fn passed(&self) -> bool {
+        self.first_mismatch.is_none()
+    }
+}
+
+/// Run the cross-variant self-test at the given lane width.
+///
+/// `scale` controls workload size (database sequences ≈ `200 × scale`).
+pub fn self_test(lanes: usize, scale: u32) -> SelfTestReport {
+    let alphabet = Alphabet::protein();
+    let engine = SearchEngine::paper_default();
+    let spec = DbSpec { n_seqs: 200 * scale.max(1), mean_len: 120.0, max_len: 600, seed: 0xCAFE };
+    let db = PreparedDb::prepare(generate_database(&spec), lanes, &alphabet);
+    let query = generate_query(150, 0xF00D).residues;
+
+    // Reference scores, by original id.
+    let reference: Vec<i64> = db
+        .sorted
+        .db()
+        .iter()
+        .map(|(_, s)| sw_score_scalar(&query, s.residues, &engine.params))
+        .collect();
+
+    let mut variants = KernelVariant::fig3_set();
+    variants.extend(KernelVariant::fig3_set().into_iter().map(|mut v| {
+        v.blocking = false;
+        v
+    }));
+
+    let mut comparisons = 0u64;
+    let mut first_mismatch = None;
+    let n_variants = variants.len();
+    for variant in variants {
+        let cfg = SearchConfig::best(2).with_variant(variant);
+        let res = engine.search(&query, &db, &cfg);
+        for hit in &res.hits {
+            comparisons += 1;
+            let expect = reference[hit.id.0 as usize];
+            if hit.score != expect && first_mismatch.is_none() {
+                first_mismatch = Some(format!(
+                    "variant {variant}: sequence {} scored {} (reference {})",
+                    hit.id, hit.score, expect
+                ));
+            }
+        }
+    }
+    SelfTestReport { variants_checked: n_variants, comparisons, first_mismatch }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes_at_8_lanes() {
+        let r = self_test(8, 1);
+        assert!(r.passed(), "{:?}", r.first_mismatch);
+        assert_eq!(r.variants_checked, 12);
+        assert_eq!(r.comparisons, 12 * 200);
+    }
+
+    #[test]
+    fn self_test_passes_at_16_lanes() {
+        let r = self_test(16, 1);
+        assert!(r.passed(), "{:?}", r.first_mismatch);
+    }
+
+    #[test]
+    fn self_test_passes_at_32_lanes() {
+        let r = self_test(32, 1);
+        assert!(r.passed(), "{:?}", r.first_mismatch);
+    }
+}

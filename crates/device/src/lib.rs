@@ -1,0 +1,38 @@
+//! # sw-device — the simulated heterogeneous-hardware substrate
+//!
+//! The paper's testbed is a 2×Xeon E5-2670 host with a 60-core Xeon Phi
+//! behind PCIe Gen2 — hardware this reproduction does not have (see
+//! DESIGN.md §2). This crate substitutes an explicit, documented model:
+//!
+//! * [`model`] / [`presets`] — parametric device descriptions (cores, SMT,
+//!   vector width, frequency, caches, gather support, PCIe link, TDP) with
+//!   presets for the paper's two devices.
+//! * [`cache`] — the working-set spill model behind the blocking study
+//!   (Fig. 7).
+//! * [`perfmodel`] — the analytic per-task cost model: calibrated
+//!   cycles-per-vector-iteration per kernel variant, SMT issue-efficiency
+//!   curves, memory-contention scaling, profile-build and dispatch
+//!   overheads. Every constant documents the paper sentence it is
+//!   calibrated against.
+//! * [`offload`] — a `#pragma offload`-style asynchronous runtime
+//!   simulator: transfers over the PCIe link, kernel launches, signals and
+//!   waits, with a causally-consistent timeline.
+//! * [`energy`] — the TDP-based energy model for the paper's stated
+//!   future work (performance per watt across split ratios).
+//!
+//! The real kernels in `sw-kernels` prove functional correctness; this
+//! crate reproduces the *throughput shapes* of the paper's figures, which
+//! a single-core container cannot produce by direct measurement.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod energy;
+pub mod model;
+pub mod offload;
+pub mod perfmodel;
+pub mod presets;
+
+pub use model::{DeviceSpec, PcieLink, ThreadPlacement};
+pub use perfmodel::{CostModel, TaskShape};

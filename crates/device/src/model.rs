@@ -1,0 +1,227 @@
+//! Parametric device descriptions.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A PCIe link between host and coprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcieLink {
+    /// Effective unidirectional bandwidth in bytes/second (PCIe Gen2 x16
+    /// peaks at 8 GB/s; ~6 GB/s is achievable in practice).
+    pub bandwidth_bps: f64,
+    /// Per-transfer latency in seconds (DMA setup + driver).
+    pub latency_s: f64,
+    /// Offload kernel-launch overhead in seconds (the `#pragma offload`
+    /// runtime cost the paper's Algorithm 2 pays per region).
+    pub launch_s: f64,
+}
+
+impl PcieLink {
+    /// PCIe Gen2 x16, the paper's host–Phi link.
+    pub fn gen2_x16() -> Self {
+        PcieLink { bandwidth_bps: 6.0e9, latency_s: 20e-6, launch_s: 150e-6 }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+/// How worker threads map onto cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadPlacement {
+    /// Physical cores in use.
+    pub cores_used: u32,
+    /// Hardware threads per used core (uniform; 1..=4).
+    pub threads_per_core: u32,
+}
+
+impl ThreadPlacement {
+    /// Total worker threads.
+    pub fn total_threads(&self) -> u32 {
+        self.cores_used * self.threads_per_core
+    }
+}
+
+/// A compute device (host CPU or coprocessor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name, e.g. `2x Xeon E5-2670`.
+    pub name: Arc<str>,
+    /// Physical core count (16 for the dual E5-2670 host, 60 for the Phi).
+    pub cores: u32,
+    /// Hardware threads per core (2 with HT, 4 on the Phi).
+    pub smt: u32,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// SIMD width in bits (256 AVX / 512 MIC).
+    pub vector_bits: u32,
+    /// Whether the ISA has a vector gather instruction (the Phi does, AVX
+    /// does not — the paper's explanation for the QP/SP asymmetry, §V-C).
+    pub has_gather: bool,
+    /// Per-core L2 capacity in bytes (256 KB Xeon, 512 KB Phi).
+    pub l2_bytes: u32,
+    /// Shared last-level cache in bytes (20 MB/socket L3 on the Xeon;
+    /// **zero** on the Phi — the architectural fact behind Fig. 7).
+    pub llc_bytes: u64,
+    /// Issue efficiency when running `t` threads per core, indexed by
+    /// `t - 1` (models HT gain on the Xeon and the in-order Phi's need for
+    /// ≥2 threads/core to fill its pipeline).
+    pub smt_issue_eff: [f64; 4],
+    /// Memory-contention scaling per additional active core (the paper's
+    /// 99 %→88 % efficiency falloff from 4 to 16 threads).
+    pub contention_per_core: f64,
+    /// Thermal design power in watts (the paper quotes 120 W per Xeon
+    /// chip and 240 W for the Phi).
+    pub tdp_watts: f64,
+    /// PCIe link (None for the host itself).
+    pub pcie: Option<PcieLink>,
+}
+
+impl DeviceSpec {
+    /// Vector lanes at 16-bit elements (the kernels' score width).
+    pub fn lanes_i16(&self) -> usize {
+        (self.vector_bits / 16) as usize
+    }
+
+    /// Maximum hardware threads.
+    pub fn max_threads(&self) -> u32 {
+        self.cores * self.smt
+    }
+
+    /// Map a requested thread count onto cores (OpenMP `compact`-like:
+    /// use as many cores as possible before doubling up).
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero or exceeds the device's capacity.
+    pub fn place_threads(&self, threads: u32) -> ThreadPlacement {
+        assert!(threads >= 1, "need at least one thread");
+        assert!(
+            threads <= self.max_threads(),
+            "{} threads exceed {} capacity ({})",
+            threads,
+            self.name,
+            self.max_threads()
+        );
+        if threads <= self.cores {
+            ThreadPlacement { cores_used: threads, threads_per_core: 1 }
+        } else {
+            // Spread evenly; round threads/core up and shrink cores to fit.
+            let tpc = threads.div_ceil(self.cores).min(self.smt);
+            let cores = threads.div_ceil(tpc);
+            ThreadPlacement { cores_used: cores, threads_per_core: tpc }
+        }
+    }
+
+    /// Issue efficiency of a placement (per core, relative to one
+    /// perfectly-fed thread).
+    pub fn issue_eff(&self, placement: ThreadPlacement) -> f64 {
+        self.smt_issue_eff[(placement.threads_per_core.min(4) - 1) as usize]
+    }
+
+    /// Memory-contention factor of a placement.
+    pub fn contention(&self, placement: ThreadPlacement) -> f64 {
+        (1.0 - self.contention_per_core * (placement.cores_used.saturating_sub(1)) as f64)
+            .max(0.1)
+    }
+
+    /// Effective aggregate clock available to DP work, in GHz:
+    /// `cores × freq × issue_eff × contention`.
+    pub fn effective_ghz(&self, placement: ThreadPlacement) -> f64 {
+        placement.cores_used as f64
+            * self.freq_ghz
+            * self.issue_eff(placement)
+            * self.contention(placement)
+    }
+
+    /// Effective clock available to **one thread** of the placement, in
+    /// GHz (the per-worker speed the discrete-event scheduler uses).
+    pub fn per_thread_ghz(&self, placement: ThreadPlacement) -> f64 {
+        self.effective_ghz(placement) / placement.total_threads() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn pcie_transfer_time() {
+        let link = PcieLink::gen2_x16();
+        let t = link.transfer_time(6_000_000_000);
+        assert!((t - 1.0).abs() < 0.01, "6 GB at 6 GB/s ≈ 1 s, got {t}");
+        // Latency floor on tiny transfers.
+        assert!(link.transfer_time(1) >= link.latency_s);
+    }
+
+    #[test]
+    fn lanes_at_paper_widths() {
+        assert_eq!(presets::xeon_e5_2670_pair().lanes_i16(), 16);
+        assert_eq!(presets::xeon_phi_60c().lanes_i16(), 32);
+    }
+
+    #[test]
+    fn place_threads_prefers_cores() {
+        let xeon = presets::xeon_e5_2670_pair();
+        let p = xeon.place_threads(8);
+        assert_eq!(p, ThreadPlacement { cores_used: 8, threads_per_core: 1 });
+        let p = xeon.place_threads(32);
+        assert_eq!(p, ThreadPlacement { cores_used: 16, threads_per_core: 2 });
+    }
+
+    #[test]
+    fn place_threads_phi_spread() {
+        let phi = presets::xeon_phi_60c();
+        assert_eq!(
+            phi.place_threads(240),
+            ThreadPlacement { cores_used: 60, threads_per_core: 4 }
+        );
+        assert_eq!(
+            phi.place_threads(120),
+            ThreadPlacement { cores_used: 60, threads_per_core: 2 }
+        );
+        assert_eq!(
+            phi.place_threads(30),
+            ThreadPlacement { cores_used: 30, threads_per_core: 1 }
+        );
+        assert_eq!(
+            phi.place_threads(180),
+            ThreadPlacement { cores_used: 60, threads_per_core: 3 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_threads_panics() {
+        presets::xeon_e5_2670_pair().place_threads(33);
+    }
+
+    #[test]
+    fn effective_ghz_monotone_in_threads() {
+        let xeon = presets::xeon_e5_2670_pair();
+        let mut last = 0.0;
+        for t in [1u32, 2, 4, 8, 16, 32] {
+            let g = xeon.effective_ghz(xeon.place_threads(t));
+            assert!(g > last, "effective GHz must grow with threads ({t}: {g} vs {last})");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn per_thread_ghz_times_threads_is_effective() {
+        let phi = presets::xeon_phi_60c();
+        let p = phi.place_threads(180);
+        let total = phi.per_thread_ghz(p) * p.total_threads() as f64;
+        assert!((total - phi.effective_ghz(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_never_negative() {
+        let mut d = presets::xeon_e5_2670_pair();
+        d.contention_per_core = 0.5;
+        let p = d.place_threads(16);
+        assert!(d.contention(p) >= 0.1);
+    }
+}

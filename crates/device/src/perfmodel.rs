@@ -1,0 +1,352 @@
+//! The analytic per-task cost model — how simulated GCUPS are produced.
+//!
+//! For one task (one query × one lane batch) the model charges:
+//!
+//! ```text
+//! seconds(task) = dispatch_overhead
+//!               + [SP only] |Σ|·N_pad·L · build_cyc   / thread_GHz
+//!               + M·N_pad · (cpv + spill_extra)       / thread_GHz
+//! ```
+//!
+//! where `cpv` is the calibrated cycles-per-vector-iteration of the
+//! kernel variant on the device (see [`crate::presets`] for the
+//! calibration rationale), `spill_extra` is the cache model's surcharge
+//! for unblocked kernels ([`crate::cache`]), and `thread_GHz` is the
+//! effective clock one worker thread of the chosen placement receives
+//! (SMT issue efficiency × memory-contention scaling, [`crate::model`]).
+//!
+//! The scalar `no-vec` variants process sequences one at a time, so they
+//! are charged per *real* cell with no lane padding.
+//!
+//! Feeding these per-task times into the discrete-event scheduler of
+//! `sw-sched` reproduces the thread-scaling, query-length, blocking and
+//! split-ratio shapes of the paper's Figs. 3–8.
+
+use crate::cache;
+use crate::model::{DeviceSpec, ThreadPlacement};
+use serde::{Deserialize, Serialize};
+use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
+
+/// Calibrated kernel cost constants of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCosts {
+    /// Scalar cycles per cell, `no-vec` + query profile.
+    pub cps_novec_qp: f64,
+    /// Scalar cycles per cell, `no-vec` + sequence profile.
+    pub cps_novec_sp: f64,
+    /// Cycles per vector iteration, guided vectorization + QP.
+    pub cpv_simd_qp: f64,
+    /// Cycles per vector iteration, guided vectorization + SP.
+    pub cpv_simd_sp: f64,
+    /// Cycles per vector iteration, intrinsics + QP (gather-bound).
+    pub cpv_intr_qp: f64,
+    /// Cycles per vector iteration, intrinsics + SP.
+    pub cpv_intr_sp: f64,
+    /// Cycles per sequence-profile build operation (|Σ|·N·L of them).
+    pub sp_build_cyc_per_op: f64,
+    /// Cycles per query-profile build operation (|Q|·|Σ| of them, once
+    /// per query — amortised over the whole database search).
+    pub qp_build_cyc_per_op: f64,
+    /// Per-task scheduling/dispatch overhead in seconds (OpenMP dynamic
+    /// chunk acquisition).
+    pub dispatch_overhead_s: f64,
+    /// Extra cycles per vector iteration when the working set fully
+    /// spills L2 (scaled by the spill fraction; see [`crate::cache`]).
+    pub spill_penalty_cpv: f64,
+}
+
+/// Shape of one task: one query against one lane batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskShape {
+    /// Query length `M`.
+    pub query_len: usize,
+    /// Padded batch length `N_pad`.
+    pub padded_len: usize,
+    /// Vector lanes `L`.
+    pub lanes: usize,
+    /// Real cells (GCUPS numerator).
+    pub real_cells: u64,
+}
+
+impl TaskShape {
+    /// Padded cells actually computed.
+    pub fn padded_cells(&self) -> u64 {
+        self.query_len as u64 * self.padded_len as u64 * self.lanes as u64
+    }
+}
+
+/// A device plus its calibrated kernel costs.
+///
+/// ```
+/// use sw_device::CostModel;
+/// use sw_kernels::KernelVariant;
+///
+/// // The paper's devices, with costs calibrated to its published peaks.
+/// let xeon = CostModel::xeon();
+/// let phi = CostModel::phi();
+/// let v = KernelVariant::best(); // intrinsic-SP, blocked
+/// let x = xeon.peak_gcups(v, 32, 2000);
+/// let p = phi.peak_gcups(v, 240, 2000);
+/// assert!((x - 30.4).abs() < 1.5); // paper: 30.4 GCUPS
+/// assert!((p - 34.9).abs() < 1.8); // paper: 34.9 GCUPS
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// The device being modelled.
+    pub device: DeviceSpec,
+    /// Its calibrated constants.
+    pub costs: KernelCosts,
+}
+
+impl CostModel {
+    /// Bundle a device with its costs.
+    pub fn new(device: DeviceSpec, costs: KernelCosts) -> Self {
+        CostModel { device, costs }
+    }
+
+    /// The paper's host CPU with calibrated constants.
+    pub fn xeon() -> Self {
+        CostModel::new(crate::presets::xeon_e5_2670_pair(), crate::presets::xeon_costs())
+    }
+
+    /// The paper's coprocessor with calibrated constants.
+    pub fn phi() -> Self {
+        CostModel::new(crate::presets::xeon_phi_60c(), crate::presets::phi_costs())
+    }
+
+    /// Cycles-per-vector-iteration for a variant (ignoring cache effects),
+    /// and the effective lane count (1 for scalar code).
+    pub fn base_cpv(&self, variant: KernelVariant) -> (f64, usize) {
+        let c = &self.costs;
+        match (variant.vec, variant.profile) {
+            (Vectorization::NoVec, ProfileMode::Query) => (c.cps_novec_qp, 1),
+            (Vectorization::NoVec, ProfileMode::Sequence) => (c.cps_novec_sp, 1),
+            (Vectorization::Guided, ProfileMode::Query) => {
+                (c.cpv_simd_qp, self.device.lanes_i16())
+            }
+            (Vectorization::Guided, ProfileMode::Sequence) => {
+                (c.cpv_simd_sp, self.device.lanes_i16())
+            }
+            (Vectorization::Intrinsic, ProfileMode::Query) => {
+                (c.cpv_intr_qp, self.device.lanes_i16())
+            }
+            (Vectorization::Intrinsic, ProfileMode::Sequence) => {
+                (c.cpv_intr_sp, self.device.lanes_i16())
+            }
+        }
+    }
+
+    /// Effective cycles-per-vector-iteration including the cache surcharge
+    /// for unblocked kernels. `threads_per_core` matters because resident
+    /// hardware threads share the core's L2.
+    pub fn effective_cpv(
+        &self,
+        variant: KernelVariant,
+        query_len: usize,
+        threads_per_core: u32,
+    ) -> (f64, usize) {
+        let (mut cpv, lanes) = self.base_cpv(variant);
+        if !variant.blocking && lanes > 1 {
+            cpv += cache::spill_extra_cpv(
+                &self.device,
+                query_len,
+                lanes,
+                threads_per_core,
+                self.costs.spill_penalty_cpv,
+            );
+        }
+        debug_assert!(cpv.is_finite(), "cpv must be finite");
+        (cpv, lanes)
+    }
+
+    /// Single-thread compute cycles of one task (no dispatch overhead).
+    pub fn task_cycles(
+        &self,
+        variant: KernelVariant,
+        shape: &TaskShape,
+        threads_per_core: u32,
+    ) -> f64 {
+        let (cpv, lanes) = self.effective_cpv(variant, shape.query_len, threads_per_core);
+        let dp = if lanes == 1 {
+            // Scalar path: per real cell, no padding waste.
+            shape.real_cells as f64 * cpv
+        } else {
+            // Vector path: one iteration per (i, j) over the padded batch.
+            (shape.query_len as u64 * shape.padded_len as u64) as f64 * cpv
+        };
+        let build = match variant.profile {
+            ProfileMode::Sequence => {
+                // |Σ|·N_pad·L per batch; the scalar SP variant builds a
+                // 1-lane profile per sequence — same op count per residue.
+                let ops = 24.0
+                    * shape.padded_len as f64
+                    * if lanes == 1 { 1.0 } else { lanes as f64 };
+                ops * self.costs.sp_build_cyc_per_op
+            }
+            ProfileMode::Query => 0.0, // built once per query, amortised away
+        };
+        dp + build
+    }
+
+    /// Wall-clock seconds one worker of `placement` needs for one task.
+    pub fn task_seconds(
+        &self,
+        variant: KernelVariant,
+        shape: &TaskShape,
+        placement: ThreadPlacement,
+    ) -> f64 {
+        let ghz = self.device.per_thread_ghz(placement);
+        self.costs.dispatch_overhead_s
+            + self.task_cycles(variant, shape, placement.threads_per_core) / (ghz * 1e9)
+    }
+
+    /// Throughput upper bound of the whole device in GCUPS — what perfect
+    /// scheduling with zero overhead would reach on long queries.
+    pub fn peak_gcups(&self, variant: KernelVariant, threads: u32, query_len: usize) -> f64 {
+        let placement = self.device.place_threads(threads);
+        let (cpv, lanes) = self.effective_cpv(variant, query_len, placement.threads_per_core);
+        self.device.effective_ghz(placement) * lanes as f64 / cpv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variant(vec: Vectorization, profile: ProfileMode) -> KernelVariant {
+        KernelVariant { vec, profile, blocking: true }
+    }
+
+    /// The calibration contract: simulated peaks must land on the paper's
+    /// published numbers within a few percent.
+    #[test]
+    fn xeon_peaks_match_paper() {
+        let m = CostModel::xeon();
+        let sp = m.peak_gcups(variant(Vectorization::Intrinsic, ProfileMode::Sequence), 32, 2000);
+        assert!((sp - 30.4).abs() / 30.4 < 0.05, "intrinsic-SP {sp} vs paper 30.4");
+        let simd_sp = m.peak_gcups(variant(Vectorization::Guided, ProfileMode::Sequence), 32, 2000);
+        assert!((simd_sp - 25.1).abs() / 25.1 < 0.05, "simd-SP {simd_sp} vs paper 25.1");
+        let novec = m.peak_gcups(variant(Vectorization::NoVec, ProfileMode::Sequence), 32, 2000);
+        assert!(novec < 3.0, "no-vec must 'hardly offer performance': {novec}");
+    }
+
+    #[test]
+    fn phi_peaks_match_paper() {
+        let m = CostModel::phi();
+        let cases = [
+            (Vectorization::Intrinsic, ProfileMode::Sequence, 34.9),
+            (Vectorization::Intrinsic, ProfileMode::Query, 27.1),
+            (Vectorization::Guided, ProfileMode::Sequence, 14.5),
+            (Vectorization::Guided, ProfileMode::Query, 13.6),
+        ];
+        for (vec, prof, paper) in cases {
+            let got = m.peak_gcups(variant(vec, prof), 240, 2000);
+            assert!(
+                (got - paper).abs() / paper < 0.05,
+                "{vec:?}-{prof:?}: {got} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn hetero_sum_matches_62_6() {
+        // Fig. 8: combined ≈ 62.6 GCUPS = 30.4 + 34.9 (minus small overheads).
+        let x = CostModel::xeon()
+            .peak_gcups(variant(Vectorization::Intrinsic, ProfileMode::Sequence), 32, 2000);
+        let p = CostModel::phi()
+            .peak_gcups(variant(Vectorization::Intrinsic, ProfileMode::Sequence), 240, 2000);
+        let total = x + p;
+        assert!((total - 62.6).abs() / 62.6 < 0.05, "combined {total} vs paper 62.6");
+    }
+
+    #[test]
+    fn hyperthreading_gain_matches_efficiency_quote() {
+        // §V-C1: efficiency 88 % at 16 threads, 70 % at 32 (relative to
+        // linear scaling of one thread).
+        let m = CostModel::xeon();
+        let v = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
+        let g1 = m.peak_gcups(v, 1, 2000);
+        let g16 = m.peak_gcups(v, 16, 2000);
+        let g32 = m.peak_gcups(v, 32, 2000);
+        let e16 = g16 / (16.0 * g1);
+        let e32 = g32 / (32.0 * g1);
+        assert!((e16 - 0.88).abs() < 0.03, "e16 = {e16}");
+        assert!((e32 - 0.70).abs() < 0.03, "e32 = {e32}");
+    }
+
+    #[test]
+    fn phi_needs_multiple_threads_per_core() {
+        // 60 threads (1/core) must be well under half of 240 threads'
+        // throughput: the in-order core can't fill its pipeline alone.
+        let m = CostModel::phi();
+        let v = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
+        let g60 = m.peak_gcups(v, 60, 2000);
+        let g240 = m.peak_gcups(v, 240, 2000);
+        assert!(g60 < 0.55 * g240, "g60 {g60} vs g240 {g240}");
+    }
+
+    #[test]
+    fn blocking_only_matters_for_long_queries() {
+        let m = CostModel::phi();
+        let blocked = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
+        let unblocked = KernelVariant { blocking: false, ..blocked };
+        let short_b = m.peak_gcups(blocked, 240, 144);
+        let short_u = m.peak_gcups(unblocked, 240, 144);
+        assert!((short_b - short_u).abs() < 1e-9, "short queries: no difference");
+        let long_b = m.peak_gcups(blocked, 240, 5478);
+        let long_u = m.peak_gcups(unblocked, 240, 5478);
+        assert!(long_u < 0.85 * long_b, "Fig 7: unblocked {long_u} vs blocked {long_b}");
+    }
+
+    #[test]
+    fn blocking_gap_larger_on_phi_than_xeon() {
+        let v = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
+        let u = KernelVariant { blocking: false, ..v };
+        let xeon = CostModel::xeon();
+        let phi = CostModel::phi();
+        let xeon_ratio = xeon.peak_gcups(u, 32, 5478) / xeon.peak_gcups(v, 32, 5478);
+        let phi_ratio = phi.peak_gcups(u, 240, 5478) / phi.peak_gcups(v, 240, 5478);
+        assert!(
+            phi_ratio < xeon_ratio,
+            "phi must lose more from no blocking: phi {phi_ratio} xeon {xeon_ratio}"
+        );
+    }
+
+    #[test]
+    fn task_seconds_includes_dispatch_and_build() {
+        let m = CostModel::xeon();
+        let shape = TaskShape { query_len: 500, padded_len: 400, lanes: 16, real_cells: 500 * 400 * 16 };
+        let p = m.device.place_threads(32);
+        let sp = m.task_seconds(variant(Vectorization::Intrinsic, ProfileMode::Sequence), &shape, p);
+        let qp = m.task_seconds(variant(Vectorization::Intrinsic, ProfileMode::Query), &shape, p);
+        assert!(sp > 0.0 && qp > 0.0);
+        // SP pays the per-batch profile build, but its lower cpv wins for
+        // this query length on the Xeon.
+        assert!(sp < qp);
+    }
+
+    #[test]
+    fn sp_build_overhead_hurts_short_queries() {
+        // Fig. 4/6's rising SP curves: throughput(M) grows with M because
+        // the per-batch build amortises.
+        let m = CostModel::phi();
+        let v = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
+        let p = m.device.place_threads(240);
+        let rate = |ql: usize| {
+            let shape =
+                TaskShape { query_len: ql, padded_len: 355, lanes: 32, real_cells: (ql * 355 * 32) as u64 };
+            shape.real_cells as f64 / m.task_seconds(v, &shape, p)
+        };
+        assert!(rate(144) < rate(1000));
+        assert!(rate(1000) < rate(5478));
+    }
+
+    #[test]
+    fn scalar_variant_charged_per_real_cell() {
+        let m = CostModel::xeon();
+        let shape = TaskShape { query_len: 100, padded_len: 200, lanes: 16, real_cells: 50_000 };
+        let v = variant(Vectorization::NoVec, ProfileMode::Query);
+        let cyc = m.task_cycles(v, &shape, 1);
+        assert!((cyc - 50_000.0 * m.costs.cps_novec_qp).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,151 @@
+//! X-drop ungapped seed extension — BLAST's first extension stage
+//! ("first without gaps", as the paper describes it).
+
+use sw_seq::SubstMatrix;
+
+/// An ungapped high-scoring segment pair (HSP) found by extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hsp {
+    /// Ungapped score of the segment.
+    pub score: i64,
+    /// Query range `[start, end)`.
+    pub query_range: (usize, usize),
+    /// Subject range `[start, end)`.
+    pub subject_range: (usize, usize),
+}
+
+/// Extend a seed at `(qi, sj)` (aligned positions) in both directions,
+/// stopping when the running score drops more than `x_drop` below the
+/// best seen (the classic X-drop rule).
+pub fn xdrop_extend(
+    query: &[u8],
+    subject: &[u8],
+    qi: usize,
+    sj: usize,
+    k: usize,
+    matrix: &SubstMatrix,
+    x_drop: i64,
+) -> Hsp {
+    debug_assert!(qi + k <= query.len() && sj + k <= subject.len());
+    // Score of the seed word itself.
+    let mut score: i64 =
+        (0..k).map(|t| matrix.score(query[qi + t], subject[sj + t]) as i64).sum();
+
+    // Extend right from the end of the word.
+    let mut best = score;
+    let (mut q_end, mut s_end) = (qi + k, sj + k);
+    {
+        let (mut qe, mut se) = (q_end, s_end);
+        let mut run = score;
+        while qe < query.len() && se < subject.len() {
+            run += matrix.score(query[qe], subject[se]) as i64;
+            qe += 1;
+            se += 1;
+            if run > best {
+                best = run;
+                q_end = qe;
+                s_end = se;
+            } else if run < best - x_drop {
+                break;
+            }
+        }
+    }
+    score = best;
+
+    // Extend left from the start of the word.
+    let (mut q_start, mut s_start) = (qi, sj);
+    {
+        let (mut qs, mut ss) = (qi, sj);
+        let mut run = score;
+        while qs > 0 && ss > 0 {
+            qs -= 1;
+            ss -= 1;
+            run += matrix.score(query[qs], subject[ss]) as i64;
+            if run > best {
+                best = run;
+                q_start = qs;
+                s_start = ss;
+            } else if run < best - x_drop {
+                break;
+            }
+        }
+    }
+
+    Hsp {
+        score: best,
+        query_range: (q_start, q_end),
+        subject_range: (s_start, s_end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::Alphabet;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode_strict(s).unwrap()
+    }
+
+    fn m() -> SubstMatrix {
+        SubstMatrix::blosum62()
+    }
+
+    #[test]
+    fn extends_perfect_match_fully() {
+        let q = enc(b"MKVLITRAW");
+        let s = enc(b"MKVLITRAW");
+        // Seed at the middle word.
+        let hsp = xdrop_extend(&q, &s, 3, 3, 3, &m(), 20);
+        assert_eq!(hsp.query_range, (0, 9));
+        assert_eq!(hsp.subject_range, (0, 9));
+        let self_score: i64 = q.iter().map(|&c| m().score(c, c) as i64).sum();
+        assert_eq!(hsp.score, self_score);
+    }
+
+    #[test]
+    fn xdrop_stops_at_junk() {
+        // Motif flanked by hostile residues: extension must stop at the
+        // motif boundary.
+        let q = enc(b"MKVLIT");
+        let s = enc(b"PPPPMKVLITPPPP");
+        let hsp = xdrop_extend(&q, &s, 0, 4, 3, &m(), 10);
+        assert_eq!(hsp.query_range, (0, 6));
+        assert_eq!(hsp.subject_range, (4, 10));
+    }
+
+    #[test]
+    fn offset_seed_extends_correctly() {
+        let q = enc(b"AAMKVLITAA");
+        let s = enc(b"GGMKVLITGG");
+        let hsp = xdrop_extend(&q, &s, 2, 2, 3, &m(), 6);
+        // The MKVLIT core must be inside the HSP.
+        assert!(hsp.query_range.0 <= 2 && hsp.query_range.1 >= 8);
+        let core: i64 = enc(b"MKVLIT").iter().map(|&c| m().score(c, c) as i64).sum();
+        assert!(hsp.score >= core);
+    }
+
+    #[test]
+    fn seed_at_sequence_edges() {
+        let q = enc(b"MKV");
+        let s = enc(b"MKV");
+        let hsp = xdrop_extend(&q, &s, 0, 0, 3, &m(), 10);
+        assert_eq!(hsp.query_range, (0, 3));
+        assert_eq!(hsp.score, m().score(q[0], q[0]) as i64 * 0 + {
+            let mm = m();
+            q.iter().map(|&c| mm.score(c, c) as i64).sum::<i64>()
+        });
+    }
+
+    #[test]
+    fn larger_xdrop_extends_further() {
+        // A gap of mismatches between two match blocks: small X gives the
+        // first block only, large X bridges to both.
+        let q = enc(b"WWWWWPPWWWWW");
+        let s = enc(b"WWWWWGGWWWWW");
+        let small = xdrop_extend(&q, &s, 0, 0, 3, &m(), 3);
+        let large = xdrop_extend(&q, &s, 0, 0, 3, &m(), 40);
+        assert!(large.query_range.1 > small.query_range.1);
+        assert!(large.score > small.score);
+    }
+}

@@ -1,0 +1,113 @@
+//! k-mer indexing of the query — BLAST's hash table of word positions.
+
+/// Hash table mapping each k-mer of the query to its positions.
+///
+/// Keys are dense base-|Σ| encodings of the k residues, so lookup is one
+/// vector index. Protein BLAST uses k = 3 (the paper quotes k = 11 for
+/// DNA); with |Σ| = 24 the table has 24³ = 13 824 buckets.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    alphabet: usize,
+    /// `buckets[key]` = query positions where this k-mer starts.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl KmerIndex {
+    /// Index `query` (encoded residues) with word length `k` over an
+    /// alphabet of `alphabet` codes.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or the table size would overflow.
+    pub fn build(query: &[u8], k: usize, alphabet: usize) -> Self {
+        assert!(k >= 1, "word length must be at least 1");
+        let size = alphabet
+            .checked_pow(k as u32)
+            .expect("k-mer key space must fit usize");
+        assert!(size <= 1 << 28, "k too large for a dense table (use k <= 6 for proteins)");
+        let mut buckets = vec![Vec::new(); size];
+        if query.len() >= k {
+            for i in 0..=(query.len() - k) {
+                let key = Self::key_of(&query[i..i + k], alphabet);
+                buckets[key].push(i as u32);
+            }
+        }
+        KmerIndex { k, alphabet, buckets }
+    }
+
+    /// Dense key of a k-residue window.
+    #[inline]
+    fn key_of(window: &[u8], alphabet: usize) -> usize {
+        window.iter().fold(0usize, |acc, &c| acc * alphabet + c as usize)
+    }
+
+    /// Word length `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Query positions of the k-mer starting at `subject[j..j+k]`, or an
+    /// empty slice.
+    #[inline]
+    pub fn hits(&self, subject_window: &[u8]) -> &[u32] {
+        debug_assert_eq!(subject_window.len(), self.k);
+        &self.buckets[Self::key_of(subject_window, self.alphabet)]
+    }
+
+    /// Total indexed positions (query length − k + 1).
+    pub fn n_positions(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::Alphabet;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode_strict(s).unwrap()
+    }
+
+    #[test]
+    fn indexes_every_position() {
+        let q = enc(b"MKVLITRAW");
+        let ix = KmerIndex::build(&q, 3, 24);
+        assert_eq!(ix.n_positions(), 7);
+    }
+
+    #[test]
+    fn finds_exact_words() {
+        let q = enc(b"MKVLITMKV");
+        let ix = KmerIndex::build(&q, 3, 24);
+        let probe = enc(b"MKV");
+        assert_eq!(ix.hits(&probe), &[0, 6]);
+        let absent = enc(b"WWW");
+        assert!(ix.hits(&absent).is_empty());
+    }
+
+    #[test]
+    fn query_shorter_than_k() {
+        let q = enc(b"MK");
+        let ix = KmerIndex::build(&q, 3, 24);
+        assert_eq!(ix.n_positions(), 0);
+    }
+
+    #[test]
+    fn k1_indexes_residues() {
+        let q = enc(b"AAW");
+        let ix = KmerIndex::build(&q, 1, 24);
+        let a = enc(b"A");
+        let w = enc(b"W");
+        assert_eq!(ix.hits(&a), &[0, 1]);
+        assert_eq!(ix.hits(&w), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k too large")]
+    fn oversized_k_rejected() {
+        let q = enc(b"MKVLITRAW");
+        KmerIndex::build(&q, 9, 24);
+    }
+}

@@ -1,0 +1,329 @@
+//! The seed-and-extend database scan, with exact-SW refinement of
+//! surviving candidates.
+
+use crate::extend::xdrop_extend;
+use crate::kmer::KmerIndex;
+use serde::{Deserialize, Serialize};
+use sw_kernels::scalar::{sw_score_scalar, SwParams};
+use sw_seq::SeqId;
+use sw_swdb::SequenceDatabase;
+
+/// Tuning knobs of the heuristic (BLASTP-flavoured defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicOpts {
+    /// Word length `k` (BLASTP uses 3).
+    pub k: usize,
+    /// X-drop bound for ungapped extension.
+    pub x_drop: i64,
+    /// Minimum ungapped HSP score to trigger exact SW refinement.
+    pub min_hsp_score: i64,
+    /// Refine with banded SW of this radius around the best HSP diagonal
+    /// instead of the full matrix (`None` = full exact SW). Banded scores
+    /// are lower bounds that converge to exact as the radius grows.
+    pub band_radius: Option<usize>,
+}
+
+impl Default for HeuristicOpts {
+    fn default() -> Self {
+        HeuristicOpts { k: 3, x_drop: 16, min_hsp_score: 38, band_radius: None }
+    }
+}
+
+/// One refined hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeuristicHit {
+    /// Database sequence id.
+    pub id: SeqId,
+    /// Exact Smith-Waterman score of the refined pair.
+    pub score: i64,
+    /// Best ungapped HSP score that triggered refinement.
+    pub hsp_score: i64,
+}
+
+/// Outcome of a heuristic search, with the work accounting needed for the
+/// speed/sensitivity comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicResults {
+    /// Refined hits, sorted by descending exact score.
+    pub hits: Vec<HeuristicHit>,
+    /// Sequences whose best HSP missed the threshold (skipped — the
+    /// source of both speedup and lost sensitivity).
+    pub skipped: u64,
+    /// DP cells actually spent in SW refinement.
+    pub refine_cells: u64,
+    /// DP cells a full exact search would have spent.
+    pub exhaustive_cells: u64,
+}
+
+impl HeuristicResults {
+    /// Fraction of exhaustive DP work avoided (the heuristic's speedup
+    /// proxy, ignoring the cheap scan itself).
+    pub fn work_saved(&self) -> f64 {
+        if self.exhaustive_cells == 0 {
+            0.0
+        } else {
+            1.0 - self.refine_cells as f64 / self.exhaustive_cells as f64
+        }
+    }
+}
+
+/// BLAST-like search engine.
+///
+/// ```
+/// use sw_heuristic::HeuristicEngine;
+/// use sw_seq::{Alphabet, EncodedSeq};
+/// use sw_swdb::SequenceDatabase;
+///
+/// let a = Alphabet::protein();
+/// let target = EncodedSeq::from_text("hit", b"MKVLITRAWQESTNHY", &a).unwrap();
+/// let decoy = EncodedSeq::from_text("decoy", b"PPPPGGGGPPPPGGGG", &a).unwrap();
+/// let db = SequenceDatabase::from_sequences(vec![target.clone(), decoy]);
+///
+/// let engine = HeuristicEngine::paper_default();
+/// let res = engine.search(&target.residues, &db);
+/// assert_eq!(res.hits.len(), 1, "only the real homolog is refined");
+/// assert_eq!(res.skipped, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeuristicEngine {
+    /// Scoring parameters shared with the exact engine.
+    pub params: SwParams,
+    /// Heuristic knobs.
+    pub opts: HeuristicOpts,
+}
+
+impl HeuristicEngine {
+    /// Engine with the paper's scoring parameters and default knobs.
+    pub fn paper_default() -> Self {
+        HeuristicEngine { params: SwParams::paper_default(), opts: HeuristicOpts::default() }
+    }
+
+    /// Scan `db` for `query`, refining candidate pairs with exact SW.
+    pub fn search(&self, query: &[u8], db: &SequenceDatabase) -> HeuristicResults {
+        let k = self.opts.k;
+        let index = KmerIndex::build(query, k, self.params.matrix.len());
+        let mut hits = Vec::new();
+        let mut skipped = 0u64;
+        let mut refine_cells = 0u64;
+        let mut exhaustive_cells = 0u64;
+
+        for (id, subject) in db.iter() {
+            let s = subject.residues;
+            exhaustive_cells += (query.len() * s.len()) as u64;
+            if s.len() < k || query.len() < k {
+                skipped += 1;
+                continue;
+            }
+            // Seed scan with per-diagonal suppression: one extension per
+            // (diagonal band) per subject, the standard one-hit policy.
+            let mut best_hsp = 0i64;
+            let mut best_diag = 0i64;
+            // diagonal d = j - i  ∈ [-(m-1), n-1]; remember the subject
+            // column up to which each diagonal is already covered.
+            let m = query.len();
+            let mut covered = vec![0u32; m + s.len()];
+            for j in 0..=(s.len() - k) {
+                let window = &s[j..j + k];
+                for &qi in index.hits(window) {
+                    let qi = qi as usize;
+                    let diag = (j + m - qi) as usize; // shifted to be non-negative
+                    if (covered[diag] as usize) > j {
+                        continue; // this diagonal already extended past here
+                    }
+                    let hsp = xdrop_extend(
+                        query,
+                        s,
+                        qi,
+                        j,
+                        k,
+                        &self.params.matrix,
+                        self.opts.x_drop,
+                    );
+                    covered[diag] = hsp.subject_range.1 as u32;
+                    if hsp.score > best_hsp {
+                        best_hsp = hsp.score;
+                        best_diag = j as i64 - qi as i64;
+                    }
+                }
+            }
+            if best_hsp >= self.opts.min_hsp_score {
+                // Refinement "using again the classic SW algorithm" —
+                // full-matrix by default, banded around the HSP diagonal
+                // when configured.
+                let score = match self.opts.band_radius {
+                    None => {
+                        refine_cells += (query.len() * s.len()) as u64;
+                        sw_score_scalar(query, s, &self.params)
+                    }
+                    Some(r) => {
+                        refine_cells +=
+                            (query.len() * (2 * r + 1).min(s.len())) as u64;
+                        sw_kernels::banded::sw_banded(query, s, &self.params, best_diag, r)
+                    }
+                };
+                hits.push(HeuristicHit { id, score, hsp_score: best_hsp });
+            } else {
+                skipped += 1;
+            }
+        }
+        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+        HeuristicResults { hits, skipped, refine_cells, exhaustive_cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::gen::{generate_database, DbSpec, SwissProtGen};
+    use sw_seq::{Alphabet, EncodedSeq};
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode_strict(s).unwrap()
+    }
+
+    fn db_of(seqs: Vec<EncodedSeq>) -> SequenceDatabase {
+        SequenceDatabase::from_sequences(seqs)
+    }
+
+    #[test]
+    fn finds_exact_copy() {
+        let a = Alphabet::protein();
+        let mut g = SwissProtGen::new(200.0, 1);
+        let target = g.sequence("target", 120);
+        let mut seqs: Vec<EncodedSeq> = (0..30).map(|i| g.sequence(&format!("d{i}"), 150)).collect();
+        seqs.push(target.clone());
+        let db = db_of(seqs);
+        let engine = HeuristicEngine::paper_default();
+        let res = engine.search(&target.residues, &db);
+        assert!(!res.hits.is_empty());
+        assert_eq!(res.hits[0].id.0, 30, "the planted copy must rank first");
+        let _ = a;
+    }
+
+    #[test]
+    fn skips_unrelated_sequences() {
+        // Random 20-residue alphabet sequences rarely share a high-scoring
+        // ungapped 3-mer extension with an unrelated query.
+        let mut g = SwissProtGen::new(200.0, 7);
+        let query = g.sequence("q", 100);
+        let seqs: Vec<EncodedSeq> = (0..50).map(|i| g.sequence(&format!("d{i}"), 200)).collect();
+        let db = db_of(seqs);
+        let res = HeuristicEngine::paper_default().search(&query.residues, &db);
+        assert!(res.skipped > 25, "most random pairs must be skipped, got {}", res.skipped);
+        assert!(res.work_saved() > 0.5);
+    }
+
+    #[test]
+    fn refined_scores_are_exact() {
+        let mut g = SwissProtGen::new(200.0, 3);
+        let target = g.sequence("t", 90);
+        let db = db_of(vec![target.clone()]);
+        let engine = HeuristicEngine::paper_default();
+        let res = engine.search(&target.residues, &db);
+        let exact = sw_score_scalar(&target.residues, &target.residues, &engine.params);
+        assert_eq!(res.hits[0].score, exact);
+        assert!(res.hits[0].hsp_score <= exact);
+    }
+
+    #[test]
+    fn misses_heavily_mutated_homolog() {
+        // The sensitivity gap the paper's introduction warns about: a
+        // distant homolog with no conserved 3-mer word is invisible to
+        // seed-and-extend even though exact SW still scores it well.
+        let a = Alphabet::protein();
+        // Query: MKV repeated; homolog: every 3rd residue mutated so no
+        // exact 3-mer survives.
+        let query = enc(b"MKVMKVMKVMKVMKVMKVMKVMKVMKVMKV");
+        let homolog = enc(b"MKAMKAMKAMKAMKAMKAMKAMKAMKAMKA");
+        let db = db_of(vec![EncodedSeq { header: "hom".into(), residues: homolog.clone() }]);
+        let engine = HeuristicEngine::paper_default();
+        let res = engine.search(&query, &db);
+        let exact = sw_score_scalar(&query, &homolog, &engine.params);
+        assert!(exact >= 100, "SW still finds a strong alignment: {exact}");
+        // The heuristic skipped it (no seed word survives: MKA != MKV,
+        // KAM != KVM, AMK != VMK).
+        assert!(res.hits.is_empty(), "heuristic must miss: {:?}", res.hits);
+        assert_eq!(res.skipped, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        let db = db_of(vec![EncodedSeq { header: "s".into(), residues: enc(b"MK") }]);
+        let engine = HeuristicEngine::paper_default();
+        let res = engine.search(&enc(b"MKVLITRAW"), &db);
+        assert!(res.hits.is_empty());
+        assert_eq!(res.skipped, 1);
+    }
+
+    #[test]
+    fn recall_improves_with_lower_threshold() {
+        // Synthetic homolog family at a fixed mutation rate: lowering the
+        // HSP threshold can only find more of them.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut g = SwissProtGen::new(200.0, 11);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let query = g.sequence("q", 150);
+        let mut seqs = Vec::new();
+        for i in 0..40 {
+            // 30 % point mutations.
+            let mut hom = query.residues.clone();
+            for r in hom.iter_mut() {
+                if rng.gen_bool(0.3) {
+                    *r = rng.gen_range(0..20);
+                }
+            }
+            seqs.push(EncodedSeq { header: format!("hom{i}").into(), residues: hom });
+        }
+        let db = db_of(seqs);
+        let strict = HeuristicEngine {
+            params: SwParams::paper_default(),
+            opts: HeuristicOpts { min_hsp_score: 60, ..Default::default() },
+        };
+        let lenient = HeuristicEngine {
+            params: SwParams::paper_default(),
+            opts: HeuristicOpts { min_hsp_score: 20, ..Default::default() },
+        };
+        let r_strict = strict.search(&query.residues, &db);
+        let r_lenient = lenient.search(&query.residues, &db);
+        assert!(r_lenient.hits.len() >= r_strict.hits.len());
+        assert!(r_lenient.hits.len() > 30, "30% mutants are easy at k=3");
+    }
+
+    #[test]
+    fn banded_refinement_converges_to_exact() {
+        let mut g = SwissProtGen::new(200.0, 21);
+        let target = g.sequence("t", 120);
+        let db = db_of(vec![target.clone()]);
+        let full = HeuristicEngine::paper_default();
+        let exact = full.search(&target.residues, &db).hits[0].score;
+        let banded_wide = HeuristicEngine {
+            params: SwParams::paper_default(),
+            opts: HeuristicOpts { band_radius: Some(200), ..Default::default() },
+        };
+        assert_eq!(banded_wide.search(&target.residues, &db).hits[0].score, exact);
+        // Narrow bands are lower bounds and cost less work.
+        let banded_narrow = HeuristicEngine {
+            params: SwParams::paper_default(),
+            opts: HeuristicOpts { band_radius: Some(4), ..Default::default() },
+        };
+        let narrow = banded_narrow.search(&target.residues, &db);
+        assert!(narrow.hits[0].score <= exact);
+        assert!(narrow.hits[0].score > 0);
+        assert!(narrow.refine_cells < (target.residues.len() * target.residues.len()) as u64);
+    }
+
+    #[test]
+    fn work_accounting_consistent() {
+        let seqs = generate_database(&DbSpec::tiny(9));
+        let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+        let db = db_of(seqs);
+        let mut g = SwissProtGen::new(100.0, 2);
+        let query = g.sequence("q", 80);
+        let res = HeuristicEngine::paper_default().search(&query.residues, &db);
+        assert_eq!(res.exhaustive_cells, 80 * total);
+        assert!(res.refine_cells <= res.exhaustive_cells);
+        assert_eq!(res.hits.len() + res.skipped as usize, db.len());
+    }
+}

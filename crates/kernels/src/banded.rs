@@ -1,0 +1,208 @@
+//! Banded Smith-Waterman — score-only alignment restricted to a diagonal
+//! band.
+//!
+//! When a candidate's alignment diagonal is already known (e.g. from a
+//! seed-and-extend HSP), restricting the DP to `|j − i − c| ≤ r` computes
+//! the same score at `O(M·r)` instead of `O(M·N)` cost — the classic
+//! refinement accelerator BLAST-family tools use. With a band radius
+//! covering the whole matrix the result equals full Smith-Waterman
+//! (property-tested); narrower bands give a lower bound that grows
+//! monotonically with the radius.
+
+use crate::scalar::{SwParams, NEG_INF};
+
+/// Banded local-alignment score.
+///
+/// Cells with `|j − i − center_diag| > band_radius` are unreachable
+/// (paths may not leave the band). `center_diag` is the subject-minus-
+/// query offset of the band centre (0 = main diagonal).
+pub fn sw_banded(
+    query: &[u8],
+    subject: &[u8],
+    params: &SwParams,
+    center_diag: i64,
+    band_radius: usize,
+) -> i64 {
+    let m = query.len();
+    let n = subject.len();
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let first = params.gap.first() as i64;
+    let extend = params.gap.extend as i64;
+    let r = band_radius as i64;
+
+    // Row arrays over the full subject width; out-of-band cells hold
+    // NEG_INF so transitions from them never win. H[0][j] boundary: only
+    // positions inside the band at i=0..1 matter; a local alignment can
+    // start anywhere inside the band, so in-band boundary cells are 0.
+    let in_band = |i: i64, j: i64| -> bool { (j - i - center_diag).abs() <= r };
+    let mut h_row = vec![NEG_INF; n + 1];
+    let mut e_col = vec![NEG_INF; n + 1];
+    for (j, h) in h_row.iter_mut().enumerate() {
+        if in_band(0, j as i64) {
+            *h = 0;
+        }
+    }
+    let mut best = 0i64;
+    for i in 1..=m {
+        let row = params.matrix.row(query[i - 1]);
+        let lo = (i as i64 + center_diag - r).max(1);
+        let hi = (i as i64 + center_diag + r).min(n as i64);
+        if lo > hi {
+            // The band has left the matrix for this row (query much longer
+            // than the subject, or an extreme centre offset).
+            continue;
+        }
+        // H[i][lo-1] boundary: inside the band it is a valid local start.
+        let mut h_diag = if in_band(i as i64 - 1, lo - 1) { h_row[(lo - 1) as usize] } else { NEG_INF };
+        let mut h_left = if in_band(i as i64, lo - 1) { 0 } else { NEG_INF };
+        let mut f = NEG_INF;
+        // Cells before lo are out of band for this row.
+        if lo > 1 {
+            h_row[(lo - 1) as usize] = NEG_INF;
+        }
+        for j in lo..=hi {
+            let ju = j as usize;
+            let up = h_row[ju];
+            let e = (up - first).max(e_col[ju] - extend);
+            f = (h_left - first).max(f - extend);
+            let h = (h_diag.max(0) + row[subject[ju - 1] as usize] as i64)
+                .max(e)
+                .max(f)
+                .max(0);
+            // h_diag.max(0): an in-band boundary-adjacent start is free; a
+            // NEG_INF diag (out of band) must stay unreachable, which the
+            // subsequent max(0) would break — so only lift genuine 0s.
+            let h = if h_diag <= NEG_INF / 2 && e <= NEG_INF / 2 && f <= NEG_INF / 2 {
+                // No in-band predecessor at all: fresh local start.
+                (row[subject[ju - 1] as usize] as i64).max(0)
+            } else {
+                h
+            };
+            h_diag = up;
+            e_col[ju] = e;
+            h_row[ju] = h;
+            h_left = h;
+            if h > best {
+                best = h;
+            }
+        }
+        // Invalidate the cell just past the band so the next row's E
+        // recurrence can't read a stale value.
+        if (hi as usize) < n {
+            h_row[hi as usize + 1] = NEG_INF;
+            e_col[hi as usize + 1] = NEG_INF;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::sw_score_scalar;
+    use sw_seq::Alphabet;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode_strict(s).unwrap()
+    }
+
+    #[test]
+    fn full_band_equals_exact() {
+        let p = SwParams::paper_default();
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"MKVLITRAW", b"MKVLITRAW"),
+            (b"MKVLITRAW", b"MKRLIW"),
+            (b"AAAA", b"AAGGAA"),
+            (b"WWPWW", b"WWW"),
+        ];
+        for (q, s) in cases {
+            let (qe, se) = (enc(q), enc(s));
+            let band = qe.len().max(se.len());
+            assert_eq!(
+                sw_banded(&qe, &se, &p, 0, band),
+                sw_score_scalar(&qe, &se, &p),
+                "q={q:?} s={s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_monotone_in_radius() {
+        let p = SwParams::paper_default();
+        let q = enc(b"MKVLITRAWQESTNHYFPGD");
+        let s = enc(b"MKVITRAWQQESTNHYFPGD");
+        let mut last = 0;
+        for r in [0usize, 1, 2, 4, 8, 16, 32] {
+            let score = sw_banded(&q, &s, &p, 0, r);
+            assert!(score >= last, "radius {r}: {score} < {last}");
+            last = score;
+        }
+        assert_eq!(last, sw_score_scalar(&q, &s, &p));
+    }
+
+    #[test]
+    fn off_center_band_finds_shifted_alignment() {
+        let p = SwParams::paper_default();
+        let q = enc(b"MKVLITRAW");
+        // Alignment sits at diagonal +6 (subject has a 6-residue prefix).
+        let s = enc(b"PPPPPPMKVLITRAW");
+        let exact = sw_score_scalar(&q, &s, &p);
+        // A tight band on the wrong diagonal misses it...
+        assert!(sw_banded(&q, &s, &p, 0, 2) < exact);
+        // ...the right diagonal nails it even with radius 0.
+        assert_eq!(sw_banded(&q, &s, &p, 6, 0), exact);
+    }
+
+    #[test]
+    fn zero_radius_is_single_diagonal() {
+        let p = SwParams::paper_default();
+        let q = enc(b"WWWW");
+        let s = enc(b"WWWW");
+        // Radius 0 on the main diagonal: ungapped self-alignment.
+        assert_eq!(sw_banded(&q, &s, &p, 0, 0), 44);
+    }
+
+    #[test]
+    fn banded_fuzz_against_scalar_with_wide_band() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let p = SwParams::paper_default();
+        let mut rng = SmallRng::seed_from_u64(0xBA4D);
+        for _ in 0..40 {
+            let m = rng.gen_range(1..50);
+            let n = rng.gen_range(1..50);
+            let q: Vec<u8> = (0..m).map(|_| rng.gen_range(0..20u8)).collect();
+            let s: Vec<u8> = (0..n).map(|_| rng.gen_range(0..20u8)).collect();
+            let got = sw_banded(&q, &s, &p, 0, m.max(n));
+            assert_eq!(got, sw_score_scalar(&q, &s, &p));
+        }
+    }
+
+    #[test]
+    fn band_leaving_the_matrix_is_safe() {
+        // Query much longer than the subject: the band exits the matrix on
+        // the right; rows past that point must be skipped, not indexed.
+        let p = SwParams::paper_default();
+        let q = enc(b"MKVLITRAWQESTNHYFPGDMKVLITRAWQESTNHYFPGD"); // 40
+        let d = enc(b"MKVLITRAW"); // 9
+        for r in [0usize, 2, 8] {
+            let got = sw_banded(&q, &d, &p, 0, r);
+            assert!(got >= 0);
+            assert!(got <= sw_score_scalar(&q, &d, &p));
+        }
+        // Wide band still exact.
+        assert_eq!(sw_banded(&q, &d, &p, 0, 64), sw_score_scalar(&q, &d, &p));
+        // Extreme centre offsets in both directions are clean too.
+        assert_eq!(sw_banded(&q, &d, &p, 1000, 3), 0);
+        assert_eq!(sw_banded(&q, &d, &p, -1000, 3), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = SwParams::paper_default();
+        assert_eq!(sw_banded(&[], &enc(b"AA"), &p, 0, 5), 0);
+        assert_eq!(sw_banded(&enc(b"AA"), &[], &p, 0, 5), 0);
+    }
+}

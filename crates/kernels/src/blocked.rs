@@ -1,0 +1,305 @@
+//! Cache-blocked inter-task kernels — the blocking optimisation of Fig. 7.
+//!
+//! The unblocked kernels keep two `M`-long vector columns (`H` and `F`)
+//! live across the whole subject sweep: `4·M·L` bytes of working set. For
+//! the paper's longest query (5478 residues) that is ~350 KB at `L = 16`
+//! and ~700 KB at `L = 32` — past the Xeon's 256 KB L2 and far past the
+//! Phi's 512 KB L2 (which has no L3 behind it). The paper: *"exploiting
+//! data locality can seriously improve the performance on both devices …
+//! this optimization has a larger improvement in the Intel Xeon Phi
+//! because its cache size is lower."*
+//!
+//! The blocked kernel tiles the *query* dimension into blocks of
+//! `block_rows`, carrying an `N`-long boundary row (`H` and `E` at the
+//! block's last row) between blocks. Within a block the working set is
+//! `4·block_rows·L` bytes regardless of query length. Results are
+//! bit-identical to the unblocked kernels (enforced by tests).
+
+use crate::intertask::{KernelOutput, NEG_INF_I16};
+use crate::lanes::I16s;
+use sw_seq::GapPenalty;
+use sw_swdb::{LaneBatch, QueryProfile, SequenceProfile};
+
+/// Source of substitution vectors `V(q_i, d_j)` — lets one blocked loop
+/// nest serve both profile layouts.
+pub trait SubstSource<const L: usize> {
+    /// The `L`-lane substitution vector for query row `i`, subject column `j`.
+    fn v(&self, i: usize, j: usize) -> I16s<L>;
+}
+
+/// Query-profile source: per-column gather.
+pub struct QpSource<'a> {
+    qp: &'a QueryProfile,
+    batch: &'a LaneBatch,
+}
+
+impl<const L: usize> SubstSource<L> for QpSource<'_> {
+    #[inline(always)]
+    fn v(&self, i: usize, j: usize) -> I16s<L> {
+        I16s::gather(self.qp.row(i), self.batch.row(j))
+    }
+}
+
+/// Sequence-profile source: contiguous load.
+pub struct SpSource<'a> {
+    sp: &'a SequenceProfile,
+    query: &'a [u8],
+}
+
+impl<const L: usize> SubstSource<L> for SpSource<'_> {
+    #[inline(always)]
+    fn v(&self, i: usize, j: usize) -> I16s<L> {
+        I16s::load(self.sp.row(self.query[i], j))
+    }
+}
+
+/// Scratch for the blocked kernels.
+#[derive(Debug, Default)]
+pub struct BlockedWorkspace<const L: usize> {
+    h_col: Vec<I16s<L>>,
+    f_col: Vec<I16s<L>>,
+    /// Boundary `H` row between query blocks (length `N`).
+    bh: Vec<I16s<L>>,
+    /// Boundary `E` row between query blocks (length `N`).
+    be: Vec<I16s<L>>,
+}
+
+impl<const L: usize> BlockedWorkspace<L> {
+    /// Fresh empty workspace.
+    pub fn new() -> Self {
+        Self { h_col: Vec::new(), f_col: Vec::new(), bh: Vec::new(), be: Vec::new() }
+    }
+}
+
+/// Row-blocked inter-task Smith-Waterman over an arbitrary
+/// [`SubstSource`].
+///
+/// # Panics
+/// Panics if `block_rows == 0`.
+pub fn sw_blocked<const L: usize, S: SubstSource<L>>(
+    m: usize,
+    source: &S,
+    batch: &LaneBatch,
+    gap: &GapPenalty,
+    block_rows: usize,
+    ws: &mut BlockedWorkspace<L>,
+) -> KernelOutput {
+    assert!(block_rows > 0, "block_rows must be positive");
+    assert_eq!(batch.lanes(), L, "batch lane width must match kernel width");
+    let n = batch.padded_len();
+    let first = I16s::<L>::splat(gap.first() as i16);
+    let extend = I16s::<L>::splat(gap.extend as i16);
+
+    ws.bh.clear();
+    ws.bh.resize(n, I16s::zero()); // H[-1][j] = 0
+    ws.be.clear();
+    ws.be.resize(n, I16s::splat(NEG_INF_I16)); // E[-1][j] = -inf
+    let mut vmax = I16s::<L>::zero();
+
+    let mut i0 = 0usize;
+    while i0 < m {
+        let i1 = (i0 + block_rows).min(m);
+        let rows = i1 - i0;
+        ws.h_col.clear();
+        ws.h_col.resize(rows, I16s::zero()); // H[i][-1] = 0
+        ws.f_col.clear();
+        ws.f_col.resize(rows, I16s::splat(NEG_INF_I16));
+
+        // H[i0-1][j-1], starting at the j = -1 boundary (always 0).
+        let mut diag_carry = I16s::<L>::zero();
+        for j in 0..n {
+            let old_bh = ws.bh[j]; // H[i0-1][j]
+            let old_be = ws.be[j]; // E[i0-1][j]
+            let mut h_diag = diag_carry;
+            let mut h_up = old_bh;
+            let mut e_run = old_be;
+            for k in 0..rows {
+                let v = source.v(i0 + k, j);
+                let h_prev = ws.h_col[k];
+                let f = h_prev.sat_sub(first).max(ws.f_col[k].sat_sub(extend));
+                let e = h_up.sat_sub(first).max(e_run.sat_sub(extend));
+                let h = h_diag.sat_add(v).max(e).max(f).max_zero();
+                h_diag = h_prev;
+                ws.h_col[k] = h;
+                ws.f_col[k] = f;
+                e_run = e;
+                h_up = h;
+                vmax = vmax.max(h);
+            }
+            ws.bh[j] = h_up; // H[i1-1][j] for the next block
+            ws.be[j] = e_run; // E[i1-1][j]
+            diag_carry = old_bh;
+        }
+        i0 = i1;
+    }
+
+    let mut scores = Vec::with_capacity(batch.real_lanes());
+    let mut overflowed = Vec::with_capacity(batch.real_lanes());
+    for lane in 0..batch.real_lanes() {
+        scores.push(vmax[lane] as i64);
+        overflowed.push(vmax[lane] == i16::MAX);
+    }
+    KernelOutput { scores, overflowed }
+}
+
+/// Blocked kernel, query-profile flavour.
+pub fn sw_blocked_qp<const L: usize>(
+    qp: &QueryProfile,
+    batch: &LaneBatch,
+    gap: &GapPenalty,
+    block_rows: usize,
+    ws: &mut BlockedWorkspace<L>,
+) -> KernelOutput {
+    let src = QpSource { qp, batch };
+    sw_blocked::<L, _>(qp.query_len(), &src, batch, gap, block_rows, ws)
+}
+
+/// Blocked kernel, sequence-profile flavour.
+pub fn sw_blocked_sp<const L: usize>(
+    query: &[u8],
+    sp: &SequenceProfile,
+    batch: &LaneBatch,
+    gap: &GapPenalty,
+    block_rows: usize,
+    ws: &mut BlockedWorkspace<L>,
+) -> KernelOutput {
+    assert_eq!(sp.padded_len(), batch.padded_len(), "profile/batch shape mismatch");
+    let src = SpSource { sp, query };
+    sw_blocked::<L, _>(query.len(), &src, batch, gap, block_rows, ws)
+}
+
+/// Pick a block size so the per-block working set (`≈4·rows·L` bytes plus
+/// boundary rows) stays within `cache_bytes` — the tuning rule the engine
+/// uses per device.
+pub fn block_rows_for_cache(cache_bytes: usize, lanes: usize) -> usize {
+    // H + F columns: 2 arrays × 2 bytes × lanes per row; keep half the
+    // cache for profiles and boundary rows.
+    let per_row = 4 * lanes;
+    ((cache_bytes / 2) / per_row).max(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intertask::{sw_lanes_qp, sw_lanes_sp, Workspace};
+    use crate::scalar::{sw_score_scalar, SwParams};
+    use sw_seq::{Alphabet, SeqId};
+    use sw_swdb::batch::pad_code;
+
+    fn setup() -> (Alphabet, SwParams) {
+        (Alphabet::protein(), SwParams::paper_default())
+    }
+
+    fn make_batch<const L: usize>(a: &Alphabet, seqs: &[Vec<u8>]) -> LaneBatch {
+        let refs: Vec<(SeqId, &[u8])> =
+            seqs.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+        LaneBatch::pack(L, &refs, pad_code(a))
+    }
+
+    #[test]
+    fn blocked_equals_unblocked_all_block_sizes() {
+        let (a, p) = setup();
+        let query = a.encode_strict(b"MKVLITRAWQESTNHYFPGDMKVLITRAWQESTNHYFPGD").unwrap();
+        let subjects: Vec<Vec<u8>> = [
+            &b"MKVLITRAWQESTNHYFPGD"[..],
+            &b"DGPFYHNTSEQWARTILVKM"[..],
+            &b"AAAAAAAA"[..],
+        ]
+        .iter()
+        .map(|s| a.encode_strict(s).unwrap())
+        .collect();
+        let batch = make_batch::<4>(&a, &subjects);
+        let qp = QueryProfile::build(&query, &p.matrix, &a);
+        let sp = SequenceProfile::build(&batch, &p.matrix, &a);
+
+        let mut iws = Workspace::<4>::new();
+        let ref_qp = sw_lanes_qp::<4>(&qp, &batch, &p.gap, &mut iws);
+        let ref_sp = sw_lanes_sp::<4>(&query, &sp, &batch, &p.gap, &mut iws);
+
+        let mut bws = BlockedWorkspace::<4>::new();
+        // Block sizes spanning: smaller than, dividing, not dividing, and
+        // exceeding the query length.
+        for block in [1, 3, 7, 8, 16, 39, 40, 41, 1000] {
+            let b_qp = sw_blocked_qp::<4>(&qp, &batch, &p.gap, block, &mut bws);
+            let b_sp = sw_blocked_sp::<4>(&query, &sp, &batch, &p.gap, block, &mut bws);
+            assert_eq!(b_qp, ref_qp, "QP block={block}");
+            assert_eq!(b_sp, ref_sp, "SP block={block}");
+        }
+    }
+
+    #[test]
+    fn blocked_fuzz_against_scalar() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let (a, p) = setup();
+        let mut rng = SmallRng::seed_from_u64(0xB10C);
+        for _ in 0..15 {
+            let m = rng.gen_range(2..80);
+            let query: Vec<u8> = (0..m).map(|_| rng.gen_range(0..20u8)).collect();
+            let subjects: Vec<Vec<u8>> = (0..rng.gen_range(1..=4usize))
+                .map(|_| {
+                    let n = rng.gen_range(1..60);
+                    (0..n).map(|_| rng.gen_range(0..20u8)).collect()
+                })
+                .collect();
+            let batch = make_batch::<4>(&a, &subjects);
+            let qp = QueryProfile::build(&query, &p.matrix, &a);
+            let block = rng.gen_range(1..=m);
+            let mut ws = BlockedWorkspace::<4>::new();
+            let out = sw_blocked_qp::<4>(&qp, &batch, &p.gap, block, &mut ws);
+            for (lane, s) in subjects.iter().enumerate() {
+                assert_eq!(
+                    out.scores[lane],
+                    sw_score_scalar(&query, s, &p),
+                    "m={m} block={block} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gap_spanning_block_boundary() {
+        // Cheap gaps force a long vertical gap crossing block boundaries:
+        // the boundary E row must carry the extension state correctly.
+        let (a, _) = setup();
+        let p = SwParams::new(
+            sw_seq::SubstMatrix::blosum62(),
+            sw_seq::GapPenalty::new(2, 1),
+        );
+        // Query: motif, 20 junk rows, motif again; subject: motif twice.
+        let mut qtext = b"MKVLITRAW".to_vec();
+        qtext.extend_from_slice(&[b'G'; 20]);
+        qtext.extend_from_slice(b"MKVLITRAW");
+        let query = a.encode_strict(&qtext).unwrap();
+        let subject = a.encode_strict(b"MKVLITRAWMKVLITRAW").unwrap();
+        let batch = make_batch::<2>(&a, &[subject.clone()]);
+        let qp = QueryProfile::build(&query, &p.matrix, &a);
+        let expect = sw_score_scalar(&query, &subject, &p);
+        let mut ws = BlockedWorkspace::<2>::new();
+        for block in [1, 2, 5, 9, 10, 11, 38] {
+            let out = sw_blocked_qp::<2>(&qp, &batch, &p.gap, block, &mut ws);
+            assert_eq!(out.scores[0], expect, "block={block}");
+        }
+    }
+
+    #[test]
+    fn block_rows_for_cache_sizing() {
+        // Phi-like 512 KB L2 at 32 lanes: 256 KB / 128 B = 2048 rows.
+        assert_eq!(block_rows_for_cache(512 * 1024, 32), 2048);
+        // Xeon-like 256 KB L2 at 16 lanes: 128 KB / 64 B = 2048 rows.
+        assert_eq!(block_rows_for_cache(256 * 1024, 16), 2048);
+        // Degenerate small cache still yields a workable floor.
+        assert_eq!(block_rows_for_cache(1024, 64), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_rows must be positive")]
+    fn zero_block_rows_panics() {
+        let (a, p) = setup();
+        let q = a.encode_strict(b"MKV").unwrap();
+        let batch = make_batch::<2>(&a, &[q.clone()]);
+        let qp = QueryProfile::build(&q, &p.matrix, &a);
+        let mut ws = BlockedWorkspace::<2>::new();
+        let _ = sw_blocked_qp::<2>(&qp, &batch, &p.gap, 0, &mut ws);
+    }
+}

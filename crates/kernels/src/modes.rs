@@ -1,0 +1,189 @@
+//! Global and semi-global alignment modes.
+//!
+//! The paper is about local (Smith-Waterman) search, but a usable
+//! alignment library also serves the two classic relatives — and having
+//! them lets tests pin down the *relationships* between modes, which is a
+//! strong cross-check on all three implementations:
+//!
+//! * **Global** (Needleman-Wunsch): both sequences aligned end to end.
+//! * **Semi-global** ("glocal", as used in read mapping): the *query* is
+//!   aligned end to end, the subject contributes any substring — leading
+//!   and trailing subject residues are free.
+//!
+//! For any pair and scoring: `local ≥ semi_global ≥ global` (each mode
+//! relaxes constraints of the next), with equality for identical
+//! sequences under positive diagonals. Property-tested below.
+
+use crate::scalar::{SwParams, NEG_INF};
+
+/// Global (Needleman-Wunsch) alignment score with affine gaps.
+///
+/// Terminal gaps are charged like any other gap.
+pub fn nw_score_global(query: &[u8], subject: &[u8], params: &SwParams) -> i64 {
+    let first = params.gap.first() as i64;
+    let extend = params.gap.extend as i64;
+    let m = query.len();
+    let n = subject.len();
+    if m == 0 && n == 0 {
+        return 0;
+    }
+    if m == 0 {
+        return -(params.gap.cost(n as u32));
+    }
+    if n == 0 {
+        return -(params.gap.cost(m as u32));
+    }
+    // Row-wise DP, three-state affine.
+    let gap_to = |len: usize| -> i64 { -(params.gap.cost(len as u32)) };
+    let mut h_row: Vec<i64> = (0..=n).map(|j| if j == 0 { 0 } else { gap_to(j) }).collect();
+    let mut e_col = vec![NEG_INF; n + 1];
+    for i in 1..=m {
+        let row = params.matrix.row(query[i - 1]);
+        let mut h_diag = h_row[0]; // H[i-1][0]
+        h_row[0] = gap_to(i);
+        let mut h_left = h_row[0];
+        let mut f = NEG_INF;
+        for j in 1..=n {
+            let up = h_row[j];
+            let e = (up - first).max(e_col[j] - extend);
+            f = (h_left - first).max(f - extend);
+            let h = (h_diag + row[subject[j - 1] as usize] as i64).max(e).max(f);
+            h_diag = up;
+            e_col[j] = e;
+            h_row[j] = h;
+            h_left = h;
+        }
+    }
+    h_row[n]
+}
+
+/// Semi-global score: the query aligned end to end, free leading and
+/// trailing gaps in the subject (the subject contributes a substring).
+pub fn sw_score_semi_global(query: &[u8], subject: &[u8], params: &SwParams) -> i64 {
+    let first = params.gap.first() as i64;
+    let extend = params.gap.extend as i64;
+    let m = query.len();
+    let n = subject.len();
+    if m == 0 {
+        return 0; // empty query aligns to an empty substring for free
+    }
+    if n == 0 {
+        return -(params.gap.cost(m as u32)); // the whole query is gapped
+    }
+    // H[0][j] = 0 for all j (free leading subject gap); query gaps charged.
+    let gap_to = |len: usize| -> i64 { -(params.gap.cost(len as u32)) };
+    let mut h_row = vec![0i64; n + 1];
+    let mut e_col = vec![NEG_INF; n + 1];
+    let mut best_last_row = NEG_INF;
+    for i in 1..=m {
+        let row = params.matrix.row(query[i - 1]);
+        let mut h_diag = h_row[0];
+        h_row[0] = gap_to(i);
+        let mut h_left = h_row[0];
+        let mut f = NEG_INF;
+        for j in 1..=n {
+            let up = h_row[j];
+            let e = (up - first).max(e_col[j] - extend);
+            f = (h_left - first).max(f - extend);
+            let h = (h_diag + row[subject[j - 1] as usize] as i64).max(e).max(f);
+            h_diag = up;
+            e_col[j] = e;
+            h_row[j] = h;
+            h_left = h;
+        }
+        if i == m {
+            // Free trailing subject gap: best over the last row.
+            best_last_row = h_row[1..].iter().cloned().fold(h_row[0], i64::max);
+        }
+    }
+    best_last_row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::sw_score_scalar;
+    use sw_seq::{Alphabet, GapPenalty, SubstMatrix};
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode_strict(s).unwrap()
+    }
+
+    fn p() -> SwParams {
+        SwParams::paper_default()
+    }
+
+    #[test]
+    fn identical_sequences_all_modes_agree() {
+        let q = enc(b"MKVLITRAW");
+        let self_score: i64 =
+            q.iter().map(|&c| p().matrix.score(c, c) as i64).sum();
+        assert_eq!(nw_score_global(&q, &q, &p()), self_score);
+        assert_eq!(sw_score_semi_global(&q, &q, &p()), self_score);
+        assert_eq!(sw_score_scalar(&q, &q, &p()), self_score);
+    }
+
+    #[test]
+    fn embedded_query_semi_global_equals_local() {
+        // Query embedded in a subject: semi-global aligns the full query
+        // against the matching substring for free flanks.
+        let q = enc(b"MKVLITRAW");
+        let s = enc(b"PPPPMKVLITRAWPPPP");
+        let self_score: i64 = q.iter().map(|&c| p().matrix.score(c, c) as i64).sum();
+        assert_eq!(sw_score_semi_global(&q, &s, &p()), self_score);
+        assert_eq!(sw_score_scalar(&q, &s, &p()), self_score);
+        // Global must pay for the flanking subject residues.
+        assert!(nw_score_global(&q, &s, &p()) < self_score);
+    }
+
+    #[test]
+    fn mode_ordering_holds() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x6C0BA1);
+        for _ in 0..40 {
+            let m = rng.gen_range(1..50);
+            let n = rng.gen_range(1..50);
+            let q: Vec<u8> = (0..m).map(|_| rng.gen_range(0..20u8)).collect();
+            let s: Vec<u8> = (0..n).map(|_| rng.gen_range(0..20u8)).collect();
+            let params = SwParams::new(
+                SubstMatrix::blosum62(),
+                GapPenalty::new(rng.gen_range(0..12), rng.gen_range(1..4)),
+            );
+            let local = sw_score_scalar(&q, &s, &params);
+            let semi = sw_score_semi_global(&q, &s, &params);
+            let global = nw_score_global(&q, &s, &params);
+            assert!(local >= semi, "local {local} >= semi {semi}");
+            assert!(semi >= global, "semi {semi} >= global {global}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_boundary_cases() {
+        let q = enc(b"MKV");
+        let params = p();
+        // Global: all-gap alignment.
+        assert_eq!(nw_score_global(&q, &[], &params), -(params.gap.cost(3)));
+        assert_eq!(nw_score_global(&[], &q, &params), -(params.gap.cost(3)));
+        assert_eq!(nw_score_global(&[], &[], &params), 0);
+        // Semi-global: empty query is free; empty subject gaps the query.
+        assert_eq!(sw_score_semi_global(&[], &q, &params), 0);
+        assert_eq!(sw_score_semi_global(&q, &[], &params), -(params.gap.cost(3)));
+    }
+
+    #[test]
+    fn global_symmetry() {
+        let a = enc(b"MKVLIT");
+        let b = enc(b"MKRLITW");
+        assert_eq!(nw_score_global(&a, &b, &p()), nw_score_global(&b, &a, &p()));
+    }
+
+    #[test]
+    fn semi_global_prefers_best_window() {
+        // Two candidate windows in the subject; the better one wins.
+        let q = enc(b"MKVLIT");
+        let s = enc(b"MKVLIAGGGGMKVLIT"); // imperfect early window, perfect late one
+        let self_score: i64 = q.iter().map(|&c| p().matrix.score(c, c) as i64).sum();
+        assert_eq!(sw_score_semi_global(&q, &s, &p()), self_score);
+    }
+}

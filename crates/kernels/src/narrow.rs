@@ -1,0 +1,359 @@
+//! Narrow-precision (i8) inter-task kernels — the first tier of SWIPE's
+//! dual-precision cascade.
+//!
+//! SWIPE [Rognes 2011] scores every pair in saturating bytes first
+//! (double the lanes of the 16-bit kernel on real SIMD hardware) and
+//! recomputes the rare saturating pairs at higher precision. Most random
+//! database pairs score far below 127, so the narrow pass does almost all
+//! the work. This module provides the i8 kernels and
+//! [`sw_adaptive_sp`] / [`sw_adaptive_qp`], the full i8 → i16 → i64
+//! cascade with exact results.
+//!
+//! The cascade is exact because saturation is *detected*, never silent:
+//! an i8 lane that touches `i8::MAX` is recomputed in i16; an i16 lane
+//! that touches `i16::MAX` is recomputed by the caller in i64 (see
+//! [`crate::overflow`]).
+
+use crate::intertask::{sw_lanes_qp, sw_lanes_sp, KernelOutput, Workspace};
+use crate::lanes::I8s;
+use sw_seq::GapPenalty;
+use sw_swdb::{LaneBatch, QueryProfile, QueryProfileI8, SequenceProfile, SequenceProfileI8};
+
+/// i8 "minus infinity" — low enough that no path recovers, far enough
+/// from `i8::MIN` to keep saturating subtraction semantics clean.
+pub const NEG_INF_I8: i8 = i8::MIN / 2;
+
+/// Scratch for the i8 kernels.
+#[derive(Debug, Default)]
+pub struct NarrowWorkspace<const L: usize> {
+    h_col: Vec<I8s<L>>,
+    f_col: Vec<I8s<L>>,
+}
+
+impl<const L: usize> NarrowWorkspace<L> {
+    /// Fresh empty workspace.
+    pub fn new() -> Self {
+        NarrowWorkspace { h_col: Vec::new(), f_col: Vec::new() }
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.h_col.clear();
+        self.h_col.resize(m, I8s::zero());
+        self.f_col.clear();
+        self.f_col.resize(m, I8s::splat(NEG_INF_I8));
+    }
+}
+
+/// Output of a narrow pass: per-lane scores plus saturation flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NarrowOutput {
+    /// Best score per real lane (exact only where `!saturated`).
+    pub scores: Vec<i64>,
+    /// Lanes that touched `i8::MAX` and need the wide kernel.
+    pub saturated: Vec<bool>,
+}
+
+impl NarrowOutput {
+    fn from_vmax<const L: usize>(vmax: I8s<L>, real_lanes: usize) -> Self {
+        let mut scores = Vec::with_capacity(real_lanes);
+        let mut saturated = Vec::with_capacity(real_lanes);
+        for lane in 0..real_lanes {
+            scores.push(vmax.0[lane] as i64);
+            saturated.push(vmax.0[lane] == i8::MAX);
+        }
+        NarrowOutput { scores, saturated }
+    }
+
+    /// True if any real lane saturated.
+    pub fn any_saturated(&self) -> bool {
+        self.saturated.iter().any(|&s| s)
+    }
+}
+
+/// i8 inter-task kernel, sequence-profile flavour.
+///
+/// # Panics
+/// Panics on lane-width or shape mismatches.
+pub fn sw_narrow_sp<const L: usize>(
+    query: &[u8],
+    sp: &SequenceProfileI8,
+    batch: &LaneBatch,
+    gap: &GapPenalty,
+    ws: &mut NarrowWorkspace<L>,
+) -> NarrowOutput {
+    assert_eq!(batch.lanes(), L, "batch lane width must match kernel width");
+    assert_eq!(sp.lanes(), L, "profile lane width must match kernel width");
+    assert_eq!(sp.padded_len(), batch.padded_len(), "profile/batch shape mismatch");
+    let m = query.len();
+    let n = batch.padded_len();
+    let first = I8s::<L>::splat(gap.first().clamp(0, 127) as i8);
+    let extend = I8s::<L>::splat(gap.extend.clamp(0, 127) as i8);
+    ws.reset(m);
+    let mut vmax = I8s::<L>::zero();
+    for j in 0..n {
+        let mut h_diag = I8s::<L>::zero();
+        let mut h_up = I8s::<L>::zero();
+        let mut e_run = I8s::<L>::splat(NEG_INF_I8);
+        for (i, &q) in query.iter().enumerate() {
+            let v = I8s::<L>::load(sp.row(q, j));
+            let h_prev = ws.h_col[i];
+            let f = h_prev.sat_sub(first).max(ws.f_col[i].sat_sub(extend));
+            let e = h_up.sat_sub(first).max(e_run.sat_sub(extend));
+            let h = h_diag.sat_add(v).max(e).max(f).max_zero();
+            h_diag = h_prev;
+            ws.h_col[i] = h;
+            ws.f_col[i] = f;
+            e_run = e;
+            h_up = h;
+            vmax = vmax.max(h);
+        }
+    }
+    NarrowOutput::from_vmax(vmax, batch.real_lanes())
+}
+
+/// i8 inter-task kernel, query-profile flavour.
+pub fn sw_narrow_qp<const L: usize>(
+    qp: &QueryProfileI8,
+    batch: &LaneBatch,
+    gap: &GapPenalty,
+    ws: &mut NarrowWorkspace<L>,
+) -> NarrowOutput {
+    assert_eq!(batch.lanes(), L, "batch lane width must match kernel width");
+    let m = qp.query_len();
+    let n = batch.padded_len();
+    let first = I8s::<L>::splat(gap.first().clamp(0, 127) as i8);
+    let extend = I8s::<L>::splat(gap.extend.clamp(0, 127) as i8);
+    ws.reset(m);
+    let mut vmax = I8s::<L>::zero();
+    for j in 0..n {
+        let residues = batch.row(j);
+        let mut h_diag = I8s::<L>::zero();
+        let mut h_up = I8s::<L>::zero();
+        let mut e_run = I8s::<L>::splat(NEG_INF_I8);
+        for i in 0..m {
+            let v = I8s::<L>::gather(qp.row(i), residues);
+            let h_prev = ws.h_col[i];
+            let f = h_prev.sat_sub(first).max(ws.f_col[i].sat_sub(extend));
+            let e = h_up.sat_sub(first).max(e_run.sat_sub(extend));
+            let h = h_diag.sat_add(v).max(e).max(f).max_zero();
+            h_diag = h_prev;
+            ws.h_col[i] = h;
+            ws.f_col[i] = f;
+            e_run = e;
+            h_up = h;
+            vmax = vmax.max(h);
+        }
+    }
+    NarrowOutput::from_vmax(vmax, batch.real_lanes())
+}
+
+/// Statistics of one adaptive run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Lanes settled by the i8 pass.
+    pub settled_i8: u64,
+    /// Lanes that needed the i16 pass.
+    pub widened_i16: u64,
+}
+
+/// Dual-precision cascade, SP flavour: i8 pass for the whole batch, i16
+/// re-pass only if any lane saturated. Lanes that also saturate i16 are
+/// flagged in the returned [`KernelOutput`] for the caller's i64 rescue.
+pub fn sw_adaptive_sp<const L: usize>(
+    query: &[u8],
+    sp: &SequenceProfile,
+    sp8: &SequenceProfileI8,
+    batch: &LaneBatch,
+    gap: &GapPenalty,
+    ws8: &mut NarrowWorkspace<L>,
+    ws16: &mut Workspace<L>,
+) -> (KernelOutput, CascadeStats) {
+    let narrow = sw_narrow_sp::<L>(query, sp8, batch, gap, ws8);
+    cascade(narrow, || sw_lanes_sp::<L>(query, sp, batch, gap, ws16))
+}
+
+/// Dual-precision cascade, QP flavour.
+pub fn sw_adaptive_qp<const L: usize>(
+    qp: &QueryProfile,
+    qp8: &QueryProfileI8,
+    batch: &LaneBatch,
+    gap: &GapPenalty,
+    ws8: &mut NarrowWorkspace<L>,
+    ws16: &mut Workspace<L>,
+) -> (KernelOutput, CascadeStats) {
+    let narrow = sw_narrow_qp::<L>(qp8, batch, gap, ws8);
+    cascade(narrow, || sw_lanes_qp::<L>(qp, batch, gap, ws16))
+}
+
+fn cascade(
+    narrow: NarrowOutput,
+    wide: impl FnOnce() -> KernelOutput,
+) -> (KernelOutput, CascadeStats) {
+    let real = narrow.scores.len() as u64;
+    if !narrow.any_saturated() {
+        let out = KernelOutput {
+            overflowed: vec![false; narrow.scores.len()],
+            scores: narrow.scores,
+        };
+        return (out, CascadeStats { settled_i8: real, widened_i16: 0 });
+    }
+    // At least one lane needs i16; rerun the batch wide (lanes are
+    // computed together anyway) and keep the wide scores for saturated
+    // lanes only — the narrow scores are already exact elsewhere and the
+    // two must agree, which debug builds assert.
+    let wide_out = wide();
+    let mut scores = narrow.scores;
+    let mut overflowed = vec![false; scores.len()];
+    let mut widened = 0u64;
+    for lane in 0..scores.len() {
+        if narrow.saturated[lane] {
+            scores[lane] = wide_out.scores[lane];
+            overflowed[lane] = wide_out.overflowed[lane];
+            widened += 1;
+        } else {
+            debug_assert_eq!(
+                scores[lane], wide_out.scores[lane],
+                "unsaturated narrow score must already be exact"
+            );
+        }
+    }
+    (
+        KernelOutput { scores, overflowed },
+        CascadeStats { settled_i8: real - widened, widened_i16: widened },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{sw_score_scalar, SwParams};
+    use sw_seq::{Alphabet, SeqId};
+    use sw_swdb::batch::pad_code;
+
+    fn setup() -> (Alphabet, SwParams) {
+        (Alphabet::protein(), SwParams::paper_default())
+    }
+
+    fn make_batch<const L: usize>(a: &Alphabet, seqs: &[Vec<u8>]) -> LaneBatch {
+        let refs: Vec<(SeqId, &[u8])> =
+            seqs.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+        LaneBatch::pack(L, &refs, pad_code(a))
+    }
+
+    fn profiles(
+        a: &Alphabet,
+        p: &SwParams,
+        query: &[u8],
+        batch: &LaneBatch,
+    ) -> (QueryProfile, QueryProfileI8, SequenceProfile, SequenceProfileI8) {
+        let qp = QueryProfile::build(query, &p.matrix, a);
+        let sp = SequenceProfile::build(batch, &p.matrix, a);
+        let qp8 = QueryProfileI8::from_wide(&qp);
+        let sp8 = SequenceProfileI8::from_wide(&sp);
+        (qp, qp8, sp, sp8)
+    }
+
+    #[test]
+    fn narrow_exact_below_saturation() {
+        let (a, p) = setup();
+        let query = a.encode_strict(b"MKVLITRAW").unwrap();
+        let subjects: Vec<Vec<u8>> = [&b"MKVLITRAW"[..], &b"QQQQ"[..], &b"WARTILVKM"[..]]
+            .iter()
+            .map(|s| a.encode_strict(s).unwrap())
+            .collect();
+        let batch = make_batch::<4>(&a, &subjects);
+        let (_, qp8, _, sp8) = profiles(&a, &p, &query, &batch);
+        let mut ws = NarrowWorkspace::<4>::new();
+        let o_sp = sw_narrow_sp::<4>(&query, &sp8, &batch, &p.gap, &mut ws);
+        let o_qp = sw_narrow_qp::<4>(&qp8, &batch, &p.gap, &mut ws);
+        assert_eq!(o_sp, o_qp);
+        assert!(!o_sp.any_saturated());
+        for (lane, s) in subjects.iter().enumerate() {
+            assert_eq!(o_sp.scores[lane], sw_score_scalar(&query, s, &p), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn narrow_saturates_on_scores_over_127() {
+        // 12 tryptophans self-align to 132 > 127.
+        let (a, p) = setup();
+        let w = a.encode_byte(b'W').unwrap();
+        let long = vec![w; 12];
+        let batch = make_batch::<2>(&a, &[long.clone()]);
+        let (_, _, _, sp8) = profiles(&a, &p, &long, &batch);
+        let mut ws = NarrowWorkspace::<2>::new();
+        let o = sw_narrow_sp::<2>(&long, &sp8, &batch, &p.gap, &mut ws);
+        assert!(o.any_saturated());
+        assert_eq!(o.scores[0], 127);
+    }
+
+    #[test]
+    fn adaptive_cascade_is_exact() {
+        // Mix of lanes: some settle in i8, one needs i16, one would even
+        // need i64 (flagged as overflowed).
+        let (a, p) = setup();
+        let w = a.encode_byte(b'W').unwrap();
+        let small = a.encode_strict(b"MKVLITRAW").unwrap();
+        let medium = vec![w; 50]; //   50·11 = 550 (needs i16)
+        let giant = vec![w; 3200]; // 3200·11 = 35 200 (needs i64)
+        let query = vec![w; 3200];
+        let batch = make_batch::<4>(&a, &[small.clone(), medium.clone(), giant.clone()]);
+        let (_, _, sp, sp8) = profiles(&a, &p, &query, &batch);
+        let mut ws8 = NarrowWorkspace::<4>::new();
+        let mut ws16 = Workspace::<4>::new();
+        let (out, stats) =
+            sw_adaptive_sp::<4>(&query, &sp, &sp8, &batch, &p.gap, &mut ws8, &mut ws16);
+        assert_eq!(stats.widened_i16, 2, "medium and giant lanes widen");
+        assert_eq!(stats.settled_i8, 1);
+        assert_eq!(out.scores[1], 550);
+        assert!(out.overflowed[2], "giant lane still needs the i64 rescue");
+        assert!(!out.overflowed[0] && !out.overflowed[1]);
+        // Lane 0 (small) kept its narrow score, which is exact.
+        assert_eq!(out.scores[0], sw_score_scalar(&query, &small, &p));
+    }
+
+    #[test]
+    fn adaptive_qp_matches_sp() {
+        let (a, p) = setup();
+        let w = a.encode_byte(b'W').unwrap();
+        let query = vec![w; 40];
+        let subjects = vec![a.encode_strict(b"MKVLITRAW").unwrap(), vec![w; 40]];
+        let batch = make_batch::<2>(&a, &subjects);
+        let (qp, qp8, sp, sp8) = profiles(&a, &p, &query, &batch);
+        let mut ws8 = NarrowWorkspace::<2>::new();
+        let mut ws16 = Workspace::<2>::new();
+        let (o1, s1) =
+            sw_adaptive_sp::<2>(&query, &sp, &sp8, &batch, &p.gap, &mut ws8, &mut ws16);
+        let (o2, s2) = sw_adaptive_qp::<2>(&qp, &qp8, &batch, &p.gap, &mut ws8, &mut ws16);
+        assert_eq!(o1, o2);
+        assert_eq!(s1, s2);
+        assert_eq!(o1.scores[1], 40 * 11);
+    }
+
+    #[test]
+    fn narrow_fuzz_cascade_against_scalar() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let (a, p) = setup();
+        let mut rng = SmallRng::seed_from_u64(0x8B17u64);
+        for _ in 0..20 {
+            let m = rng.gen_range(1..60);
+            let query: Vec<u8> = (0..m).map(|_| rng.gen_range(0..20u8)).collect();
+            let subjects: Vec<Vec<u8>> = (0..rng.gen_range(1..=8usize))
+                .map(|_| {
+                    let n = rng.gen_range(1..80);
+                    (0..n).map(|_| rng.gen_range(0..20u8)).collect()
+                })
+                .collect();
+            let batch = make_batch::<8>(&a, &subjects);
+            let (_, _, sp, sp8) = profiles(&a, &p, &query, &batch);
+            let mut ws8 = NarrowWorkspace::<8>::new();
+            let mut ws16 = Workspace::<8>::new();
+            let (out, _) =
+                sw_adaptive_sp::<8>(&query, &sp, &sp8, &batch, &p.gap, &mut ws8, &mut ws16);
+            for (lane, s) in subjects.iter().enumerate() {
+                assert_eq!(out.scores[lane], sw_score_scalar(&query, s, &p));
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Scalar reference kernels — the paper's `no-vec` baseline and this
+//! workspace's ground truth.
+//!
+//! [`sw_score_scalar`] computes the exact Smith-Waterman similarity score
+//! (Eq. 2–6 of the paper) in `i64` with linear memory. Every vector
+//! variant in this crate is property-tested against it.
+
+use sw_seq::{GapPenalty, SubstMatrix};
+use sw_swdb::QueryProfile;
+
+/// Sentinel for "minus infinity" in the gap recurrences, low enough that
+/// no legal score path can recover from it but far from `i64` overflow.
+pub(crate) const NEG_INF: i64 = i64::MIN / 4;
+
+/// Scoring parameters shared by all kernels.
+#[derive(Debug, Clone)]
+pub struct SwParams {
+    /// Substitution matrix `V`.
+    pub matrix: SubstMatrix,
+    /// Affine gap model `g(x) = q + r·x`.
+    pub gap: GapPenalty,
+}
+
+impl SwParams {
+    /// The paper's evaluation setting: BLOSUM62, gap open 10, extend 2.
+    pub fn paper_default() -> Self {
+        SwParams { matrix: SubstMatrix::blosum62(), gap: GapPenalty::paper_default() }
+    }
+
+    /// Custom parameters.
+    pub fn new(matrix: SubstMatrix, gap: GapPenalty) -> Self {
+        SwParams { matrix, gap }
+    }
+}
+
+/// Exact Smith-Waterman local-alignment score of one pair (Eq. 2–6).
+///
+/// `query` and `subject` are encoded residues. Linear memory: two `i64`
+/// rows of `subject.len() + 1`.
+///
+/// ```
+/// use sw_kernels::scalar::{sw_score_scalar, SwParams};
+/// use sw_seq::Alphabet;
+///
+/// let a = Alphabet::protein();
+/// let params = SwParams::paper_default(); // BLOSUM62, gaps 10/2
+/// let q = a.encode_strict(b"MKVLITRAW").unwrap();
+/// let d = a.encode_strict(b"PPPMKVLITRAWPPP").unwrap();
+/// // The embedded motif aligns perfectly: sum of BLOSUM62 diagonals
+/// // (M5 K5 V4 L4 I4 T5 R5 A4 W11 = 47).
+/// assert_eq!(sw_score_scalar(&q, &d, &params), 47);
+/// ```
+pub fn sw_score_scalar(query: &[u8], subject: &[u8], params: &SwParams) -> i64 {
+    let first = params.gap.first() as i64; // q + r: cost of the first gapped residue
+    let extend = params.gap.extend as i64;
+    let n = subject.len();
+    if query.is_empty() || n == 0 {
+        return 0;
+    }
+    // h_row[j] = H[i-1][j]; e_col[j] = E[i-1][j] (gap ending with a deletion
+    // in the subject direction, Eq. 3's C).
+    let mut h_row = vec![0i64; n + 1];
+    let mut e_col = vec![NEG_INF; n + 1];
+    let mut best = 0i64;
+    for &q in query {
+        let row = params.matrix.row(q);
+        let mut h_diag = 0i64; // H[i-1][j-1], starts at H[i-1][0] = 0
+        let mut h_left = 0i64; // H[i][j-1], starts at H[i][0] = 0
+        let mut f = NEG_INF; //  F[i][j-1] recurrence carrier (Eq. 4)
+        for j in 1..=n {
+            let up = h_row[j]; // H[i-1][j]
+            let e = (up - first).max(e_col[j] - extend); // E[i][j]
+            f = (h_left - first).max(f - extend); //        F[i][j]
+            let h = (h_diag + row[subject[j - 1] as usize] as i64)
+                .max(e)
+                .max(f)
+                .max(0);
+            h_diag = up;
+            e_col[j] = e;
+            h_row[j] = h;
+            h_left = h;
+            if h > best {
+                best = h;
+            }
+        }
+    }
+    best
+}
+
+/// Scalar score via a prebuilt [`QueryProfile`] — the `no-vec + QP`
+/// configuration of the paper's Fig. 3. Must agree with
+/// [`sw_score_scalar`] exactly (the profile is just a different layout of
+/// the same matrix).
+pub fn sw_score_scalar_qp(qp: &QueryProfile, subject: &[u8], gap: &GapPenalty) -> i64 {
+    let first = gap.first() as i64;
+    let extend = gap.extend as i64;
+    let m = qp.query_len();
+    let n = subject.len();
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let mut h_row = vec![0i64; n + 1];
+    let mut e_col = vec![NEG_INF; n + 1];
+    let mut best = 0i64;
+    for i in 0..m {
+        let row = qp.row(i);
+        let mut h_diag = 0i64;
+        let mut h_left = 0i64;
+        let mut f = NEG_INF;
+        for j in 1..=n {
+            let up = h_row[j];
+            let e = (up - first).max(e_col[j] - extend);
+            f = (h_left - first).max(f - extend);
+            let h = (h_diag + row[subject[j - 1] as usize] as i64)
+                .max(e)
+                .max(f)
+                .max(0);
+            h_diag = up;
+            e_col[j] = e;
+            h_row[j] = h;
+            h_left = h;
+            if h > best {
+                best = h;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::Alphabet;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        Alphabet::protein().encode_strict(s).unwrap()
+    }
+
+    fn score(q: &[u8], d: &[u8]) -> i64 {
+        sw_score_scalar(&enc(q), &enc(d), &SwParams::paper_default())
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        assert_eq!(score(b"", b"ARND"), 0);
+        assert_eq!(score(b"ARND", b""), 0);
+        assert_eq!(score(b"", b""), 0);
+    }
+
+    #[test]
+    fn single_match() {
+        // One aligned pair: score = V(a, a) = 4 for 'A'.
+        assert_eq!(score(b"A", b"A"), 4);
+        assert_eq!(score(b"W", b"W"), 11);
+    }
+
+    #[test]
+    fn single_mismatch_clamps_to_zero() {
+        // V(A, W) = -3 < 0, local alignment refuses: score 0.
+        assert_eq!(score(b"A", b"W"), 0);
+    }
+
+    #[test]
+    fn self_alignment_is_sum_of_diagonal() {
+        // Perfect self-alignment with no gaps: sum of V(x, x).
+        let m = SubstMatrix::blosum62();
+        let a = Alphabet::protein();
+        let text = b"MKVLITRAWQ";
+        let expect: i64 =
+            text.iter().map(|&c| m.score(a.encode_byte(c).unwrap(), a.encode_byte(c).unwrap()) as i64).sum();
+        assert_eq!(score(text, text), expect);
+    }
+
+    #[test]
+    fn known_gapped_alignment() {
+        // Query AAAA vs subject AA|AA with 2 residues inserted in subject:
+        // AAAA vs AAGGAA. Best local alignment either takes 4 matches with
+        // a 2-gap (4*4 - (10+2*2)=2) or just 2 matches (8). It must choose 8.
+        assert_eq!(score(b"AAAA", b"AAGGAA"), 8);
+        // With cheap gaps (open 1 extend 1), gapped path wins: 16 - (1+2) = 13.
+        let p = SwParams::new(SubstMatrix::blosum62(), GapPenalty::new(1, 1));
+        assert_eq!(sw_score_scalar(&enc(b"AAAA"), &enc(b"AAGGAA"), &p), 13);
+    }
+
+    #[test]
+    fn symmetry_for_symmetric_matrix() {
+        let pairs: [(&[u8], &[u8]); 3] =
+            [(b"MKVLIT", b"MKRLIT"), (b"AAAA", b"WWWW"), (b"ARNDCQE", b"CQEARND")];
+        for (a, b) in pairs {
+            assert_eq!(score(a, b), score(b, a), "SW must be symmetric");
+        }
+    }
+
+    #[test]
+    fn score_never_negative() {
+        assert_eq!(score(b"W", b"P"), 0);
+        assert_eq!(score(b"WWWW", b"PPPP"), 0);
+    }
+
+    #[test]
+    fn local_alignment_finds_embedded_motif() {
+        // The motif scores the same wherever it is embedded.
+        let motif = b"MKVLITRAW";
+        let embedded = b"PPPPPPMKVLITRAWPPPPPP";
+        assert_eq!(score(motif, embedded), score(motif, motif));
+    }
+
+    #[test]
+    fn concatenation_never_decreases_score() {
+        // Adding residues to the subject can only add candidate alignments.
+        let q = b"MKVLIT";
+        let s1 = score(q, b"MKRLIT");
+        let s2 = score(q, b"MKRLITAAAA");
+        assert!(s2 >= s1);
+    }
+
+    #[test]
+    fn qp_variant_agrees_with_direct() {
+        let a = Alphabet::protein();
+        let params = SwParams::paper_default();
+        let q = enc(b"MKVLITRAWQPSTNE");
+        let subjects: [&[u8]; 4] =
+            [b"MKVLITRAW", b"QQQQQ", b"MKVLITRAWMKVLITRAWMKVLITRAW", b"A"];
+        let qp = QueryProfile::build(&q, &params.matrix, &a);
+        for s in subjects {
+            let d = enc(s);
+            assert_eq!(
+                sw_score_scalar_qp(&qp, &d, &params.gap),
+                sw_score_scalar(&q, &d, &params),
+            );
+        }
+    }
+
+    #[test]
+    fn gap_open_vs_extend_tradeoff() {
+        // A single long gap must be preferred over two short gaps when the
+        // open penalty dominates: query matches subject with 2 separated
+        // insertions vs 2 adjacent ones.
+        let p_cheap_ext = SwParams::new(SubstMatrix::blosum62(), GapPenalty::new(10, 1));
+        // WWWWWW vs WWW PP WWW (one gap of 2) vs WW P WW P WW (two gaps of 1).
+        // W-vs-P scores -4, so the ungapped diagonal cannot compete and the
+        // gap structure decides: 66-(10+2)=54 vs 66-2*(10+1)=44.
+        let q = enc(b"WWWWWW");
+        let one_gap = enc(b"WWWPPWWW");
+        let two_gaps = enc(b"WWPWWPWW");
+        let s1 = sw_score_scalar(&q, &one_gap, &p_cheap_ext);
+        let s2 = sw_score_scalar(&q, &two_gaps, &p_cheap_ext);
+        assert!(s1 > s2, "one long gap ({s1}) must beat two gaps ({s2})");
+    }
+}

@@ -1,0 +1,111 @@
+//! Kernel variant taxonomy — the labels of the paper's figures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Vectorization tier (§V-B: `no-vec`, `simd`, `intrinsic`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vectorization {
+    /// Scalar baseline, no SIMD exploitation.
+    NoVec,
+    /// Compiler-guided vectorization (`#pragma omp simd` in the paper).
+    Guided,
+    /// Hand-tuned vector code (intrinsics in the paper).
+    Intrinsic,
+}
+
+/// Substitution-score layout (§IV: query profile vs sequence profile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProfileMode {
+    /// Query profile: per-query `|Q| × |Σ|` table, gathered per column.
+    Query,
+    /// Sequence profile: per-batch `|Σ| × N × L` table, loaded contiguously.
+    Sequence,
+}
+
+/// A complete kernel configuration, as plotted in Figs. 3–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelVariant {
+    /// Vectorization tier.
+    pub vec: Vectorization,
+    /// Profile layout.
+    pub profile: ProfileMode,
+    /// Cache blocking on/off (Fig. 7).
+    pub blocking: bool,
+}
+
+impl KernelVariant {
+    /// The paper's best configuration: intrinsic + SP + blocking.
+    pub fn best() -> Self {
+        KernelVariant { vec: Vectorization::Intrinsic, profile: ProfileMode::Sequence, blocking: true }
+    }
+
+    /// All six vectorization × profile combinations of Fig. 3/5 (with
+    /// blocking enabled, as the paper's main results use).
+    pub fn fig3_set() -> Vec<Self> {
+        let mut v = Vec::with_capacity(6);
+        for vec in [Vectorization::NoVec, Vectorization::Guided, Vectorization::Intrinsic] {
+            for profile in [ProfileMode::Query, ProfileMode::Sequence] {
+                v.push(KernelVariant { vec, profile, blocking: true });
+            }
+        }
+        v
+    }
+
+    /// Paper-style label, e.g. `intrinsic-SP`.
+    pub fn label(&self) -> String {
+        let vec = match self.vec {
+            Vectorization::NoVec => "no-vec",
+            Vectorization::Guided => "simd",
+            Vectorization::Intrinsic => "intrinsic",
+        };
+        let prof = match self.profile {
+            ProfileMode::Query => "QP",
+            ProfileMode::Sequence => "SP",
+        };
+        if self.blocking {
+            format!("{vec}-{prof}")
+        } else {
+            format!("{vec}-{prof}-noblock")
+        }
+    }
+}
+
+impl fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(KernelVariant::best().label(), "intrinsic-SP");
+        let v = KernelVariant {
+            vec: Vectorization::Guided,
+            profile: ProfileMode::Query,
+            blocking: true,
+        };
+        assert_eq!(v.label(), "simd-QP");
+        let nb = KernelVariant { blocking: false, ..v };
+        assert_eq!(nb.label(), "simd-QP-noblock");
+    }
+
+    #[test]
+    fn fig3_set_is_six_unique_variants() {
+        let set = KernelVariant::fig3_set();
+        assert_eq!(set.len(), 6);
+        let mut labels: Vec<String> = set.iter().map(KernelVariant::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn display_is_label() {
+        assert_eq!(KernelVariant::best().to_string(), "intrinsic-SP");
+    }
+}

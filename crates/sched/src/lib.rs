@@ -1,0 +1,29 @@
+//! # sw-sched — loop scheduling, simulated and real
+//!
+//! The paper distributes alignment batches across threads with OpenMP's
+//! `parallel for` and observes (§IV): *"dynamic outperforms static
+//! significantly. The performance difference with guided is slightly
+//! minor."* This crate owns both halves of reproducing that:
+//!
+//! * [`policy`] — the three OpenMP scheduling policies as explicit chunk
+//!   generators.
+//! * [`desim`] — a discrete-event simulator that replays a policy over
+//!   per-task costs (from `sw-device`'s cost model) and returns makespan
+//!   and per-worker utilisation. This is what regenerates the paper's
+//!   thread-scaling figures on hardware we don't have.
+//! * [`executor`] — a real multi-threaded executor (crossbeam scoped
+//!   threads + atomics, per the session's concurrency guides) implementing
+//!   the same policies for actually running kernels on the host.
+//! * [`metrics`] — load-imbalance statistics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod desim;
+pub mod executor;
+pub mod metrics;
+pub mod policy;
+
+pub use desim::{simulate, SimResult};
+pub use executor::{run_parallel, ExecutorConfig};
+pub use policy::Policy;

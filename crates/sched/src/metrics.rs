@@ -1,0 +1,83 @@
+//! Load-imbalance metrics.
+//!
+//! §VI of the paper: *"The key to have good scalability in a heterogeneous
+//! system is to find an optimal distribution workload."* These statistics
+//! quantify how far a schedule (simulated or real) is from that optimum.
+
+use serde::{Deserialize, Serialize};
+
+/// Imbalance statistics over per-worker busy times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Imbalance {
+    /// Longest worker busy time.
+    pub max: f64,
+    /// Shortest worker busy time.
+    pub min: f64,
+    /// Mean busy time.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfect balance; the classic λ metric.
+    pub lambda: f64,
+    /// Coefficient of variation (stddev / mean).
+    pub cv: f64,
+}
+
+/// Compute imbalance statistics.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn imbalance(busy: &[f64]) -> Imbalance {
+    assert!(!busy.is_empty(), "need at least one worker");
+    let n = busy.len() as f64;
+    let max = busy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = busy.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = busy.iter().sum::<f64>() / n;
+    let var = busy.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / n;
+    let lambda = if mean == 0.0 { 1.0 } else { max / mean };
+    let cv = if mean == 0.0 { 0.0 } else { var.sqrt() / mean };
+    Imbalance { max, min, mean, lambda, cv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance() {
+        let s = imbalance(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.lambda, 1.0);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.min, 2.0);
+    }
+
+    #[test]
+    fn skewed_balance() {
+        let s = imbalance(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.lambda, 1.5);
+        assert!((s.cv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_idle_workers() {
+        let s = imbalance(&[0.0, 0.0]);
+        assert_eq!(s.lambda, 1.0);
+        assert_eq!(s.cv, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_rejected() {
+        imbalance(&[]);
+    }
+
+    #[test]
+    fn integrates_with_simulator() {
+        use crate::desim::simulate;
+        use crate::policy::Policy;
+        let costs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let stat = imbalance(&simulate(&costs, 8, Policy::Static).busy);
+        let dynm = imbalance(&simulate(&costs, 8, Policy::dynamic()).busy);
+        assert!(dynm.lambda < stat.lambda, "dynamic must balance better");
+    }
+}

@@ -1,0 +1,193 @@
+//! OpenMP-style scheduling policies as explicit chunk generators.
+//!
+//! A policy answers one question: *when a worker becomes free, which
+//! contiguous range of loop iterations does it take next?* Modelling this
+//! explicitly lets the simulator and the real executor share semantics
+//! exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// The three `schedule(...)` kinds the paper evaluates (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// `schedule(static)`: iterations pre-partitioned into one contiguous
+    /// block per worker.
+    Static,
+    /// `schedule(dynamic, chunk)`: free workers grab `chunk` iterations
+    /// from a shared counter. The paper's winner.
+    Dynamic {
+        /// Iterations per grab (OpenMP default 1).
+        chunk: usize,
+    },
+    /// `schedule(guided, min_chunk)`: grab size decays with remaining
+    /// work: `max(remaining / (2·workers), min_chunk)`.
+    Guided {
+        /// Smallest grab (OpenMP default 1).
+        min_chunk: usize,
+    },
+}
+
+impl Policy {
+    /// Dynamic with the OpenMP default chunk of 1.
+    pub fn dynamic() -> Self {
+        Policy::Dynamic { chunk: 1 }
+    }
+
+    /// Guided with the OpenMP default minimum chunk of 1.
+    pub fn guided() -> Self {
+        Policy::Guided { min_chunk: 1 }
+    }
+
+    /// Paper-style label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Policy::Static => "static".to_string(),
+            Policy::Dynamic { chunk } => format!("dynamic({chunk})"),
+            Policy::Guided { min_chunk } => format!("guided({min_chunk})"),
+        }
+    }
+}
+
+/// The static pre-partition: contiguous ranges, remainder spread over the
+/// first workers (OpenMP-conformant block schedule).
+pub fn static_partition(n_tasks: usize, workers: usize) -> Vec<(usize, usize)> {
+    assert!(workers >= 1, "need at least one worker");
+    let base = n_tasks / workers;
+    let extra = n_tasks % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Shared-counter chunk dispenser used by dynamic/guided scheduling.
+#[derive(Debug)]
+pub struct ChunkDispenser {
+    policy: Policy,
+    workers: usize,
+    n_tasks: usize,
+    next: usize,
+}
+
+impl ChunkDispenser {
+    /// A dispenser over `n_tasks` iterations for `workers` workers.
+    ///
+    /// # Panics
+    /// Panics for [`Policy::Static`] (static scheduling has no shared
+    /// counter — use [`static_partition`]).
+    pub fn new(policy: Policy, n_tasks: usize, workers: usize) -> Self {
+        assert!(
+            !matches!(policy, Policy::Static),
+            "static scheduling is a pre-partition, not a dispenser"
+        );
+        assert!(workers >= 1, "need at least one worker");
+        ChunkDispenser { policy, workers, n_tasks, next: 0 }
+    }
+
+    /// Next chunk `[start, end)`, or `None` when the loop is exhausted.
+    pub fn grab(&mut self) -> Option<(usize, usize)> {
+        if self.next >= self.n_tasks {
+            return None;
+        }
+        let remaining = self.n_tasks - self.next;
+        let size = match self.policy {
+            Policy::Dynamic { chunk } => chunk.max(1),
+            Policy::Guided { min_chunk } => {
+                (remaining / (2 * self.workers)).max(min_chunk.max(1))
+            }
+            Policy::Static => unreachable!("rejected in new()"),
+        }
+        .min(remaining);
+        let start = self.next;
+        self.next += size;
+        Some((start, start + size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_partition_covers_everything() {
+        let parts = static_partition(10, 3);
+        assert_eq!(parts, vec![(0, 4), (4, 7), (7, 10)]);
+        let total: usize = parts.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn static_partition_more_workers_than_tasks() {
+        let parts = static_partition(2, 5);
+        assert_eq!(parts.iter().filter(|(s, e)| e > s).count(), 2);
+        assert_eq!(parts.len(), 5);
+    }
+
+    #[test]
+    fn dynamic_dispenser_unit_chunks() {
+        let mut d = ChunkDispenser::new(Policy::dynamic(), 3, 8);
+        assert_eq!(d.grab(), Some((0, 1)));
+        assert_eq!(d.grab(), Some((1, 2)));
+        assert_eq!(d.grab(), Some((2, 3)));
+        assert_eq!(d.grab(), None);
+    }
+
+    #[test]
+    fn dynamic_dispenser_chunked() {
+        let mut d = ChunkDispenser::new(Policy::Dynamic { chunk: 4 }, 10, 2);
+        assert_eq!(d.grab(), Some((0, 4)));
+        assert_eq!(d.grab(), Some((4, 8)));
+        assert_eq!(d.grab(), Some((8, 10)), "tail chunk is truncated");
+        assert_eq!(d.grab(), None);
+    }
+
+    #[test]
+    fn guided_chunks_decay() {
+        let mut d = ChunkDispenser::new(Policy::guided(), 100, 4);
+        let first = d.grab().unwrap();
+        assert_eq!(first, (0, 12)); // 100 / (2·4) = 12
+        let second = d.grab().unwrap();
+        assert_eq!(second.1 - second.0, 11); // 88 / 8 = 11
+        // Drain; sizes never grow and everything is covered exactly once.
+        let mut covered = second.1;
+        let mut last = second.1 - second.0;
+        while let Some((s, e)) = d.grab() {
+            assert_eq!(s, covered);
+            assert!(e - s <= last);
+            last = (e - s).max(1);
+            covered = e;
+        }
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let mut d = ChunkDispenser::new(Policy::Guided { min_chunk: 7 }, 20, 10);
+        let (s, e) = d.grab().unwrap();
+        assert_eq!((s, e), (0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "pre-partition")]
+    fn static_dispenser_rejected() {
+        ChunkDispenser::new(Policy::Static, 10, 2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::Static.label(), "static");
+        assert_eq!(Policy::dynamic().label(), "dynamic(1)");
+        assert_eq!(Policy::Guided { min_chunk: 2 }.label(), "guided(2)");
+    }
+
+    #[test]
+    fn empty_loop() {
+        let mut d = ChunkDispenser::new(Policy::dynamic(), 0, 4);
+        assert_eq!(d.grab(), None);
+        assert!(static_partition(0, 3).iter().all(|(s, e)| s == e));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by the sequence substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing, encoding or generating sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A residue character does not belong to the target alphabet.
+    InvalidResidue {
+        /// The offending byte.
+        byte: u8,
+        /// Byte offset within the sequence (0-based).
+        position: usize,
+    },
+    /// A FASTA stream violated the format (e.g. data before the first header).
+    Fasta {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A substitution-matrix file could not be parsed.
+    Matrix(String),
+    /// An empty sequence where a non-empty one is required.
+    EmptySequence,
+    /// Underlying I/O failure (stringified to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::InvalidResidue { byte, position } => {
+                if byte.is_ascii_graphic() {
+                    write!(f, "invalid residue '{}' at position {position}", *byte as char)
+                } else {
+                    write!(f, "invalid residue byte 0x{byte:02x} at position {position}")
+                }
+            }
+            SeqError::Fasta { line, msg } => write!(f, "FASTA parse error at line {line}: {msg}"),
+            SeqError::Matrix(msg) => write!(f, "substitution matrix parse error: {msg}"),
+            SeqError::EmptySequence => write!(f, "empty sequence"),
+            SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_residue_printable() {
+        let e = SeqError::InvalidResidue { byte: b'!', position: 7 };
+        assert_eq!(e.to_string(), "invalid residue '!' at position 7");
+    }
+
+    #[test]
+    fn display_invalid_residue_nonprintable() {
+        let e = SeqError::InvalidResidue { byte: 0x01, position: 0 };
+        assert!(e.to_string().contains("0x01"));
+    }
+
+    #[test]
+    fn display_fasta() {
+        let e = SeqError::Fasta { line: 3, msg: "bad header".into() };
+        assert_eq!(e.to_string(), "FASTA parse error at line 3: bad header");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: SeqError = io.into();
+        assert!(matches!(e, SeqError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

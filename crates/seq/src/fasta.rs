@@ -1,0 +1,269 @@
+//! FASTA reading and writing.
+//!
+//! The paper's pipeline step (1) is "load query and database sequences";
+//! this module is that step. The reader is an iterator over records, works
+//! on any `BufRead`, tolerates `\r\n`, blank lines and lowercase residues,
+//! and reports precise line numbers on malformed input.
+
+use crate::alphabet::Alphabet;
+use crate::error::SeqError;
+use crate::sequence::EncodedSeq;
+use std::io::{BufRead, Write};
+
+/// One raw FASTA record: header (without `>`) plus ASCII residue text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header line content after the `>`.
+    pub header: String,
+    /// Concatenated sequence lines (whitespace stripped).
+    pub sequence: Vec<u8>,
+}
+
+impl FastaRecord {
+    /// Encode this record under `alphabet` (leniently).
+    pub fn encode(&self, alphabet: &Alphabet) -> Result<EncodedSeq, SeqError> {
+        EncodedSeq::from_text(&self.header, &self.sequence, alphabet)
+    }
+}
+
+/// Streaming FASTA reader.
+///
+/// ```
+/// use sw_seq::{FastaReader, Alphabet};
+/// let data = b">q1 demo\nMKVL\nITRA\n>q2\nWWW\n";
+/// let records: Vec<_> = FastaReader::new(&data[..])
+///     .collect::<Result<_, _>>()
+///     .unwrap();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].header, "q1 demo");
+/// assert_eq!(records[0].sequence, b"MKVLITRA");
+/// ```
+pub struct FastaReader<R: BufRead> {
+    reader: R,
+    line_no: usize,
+    /// Header of the record currently being accumulated.
+    pending_header: Option<String>,
+    done: bool,
+}
+
+impl<R: BufRead> FastaReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        FastaReader { reader, line_no: 0, pending_header: None, done: false }
+    }
+
+    fn read_line(&mut self, buf: &mut String) -> Result<usize, SeqError> {
+        buf.clear();
+        let n = self.reader.read_line(buf)?;
+        if n > 0 {
+            self.line_no += 1;
+        }
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> Iterator for FastaReader<R> {
+    type Item = Result<FastaRecord, SeqError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut line = String::new();
+        // Find the header if we don't already hold one from the previous record.
+        while self.pending_header.is_none() {
+            match self.read_line(&mut line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {
+                    let t = line.trim_end();
+                    if t.is_empty() {
+                        continue;
+                    }
+                    if let Some(h) = t.strip_prefix('>') {
+                        self.pending_header = Some(h.trim().to_string());
+                    } else {
+                        self.done = true;
+                        return Some(Err(SeqError::Fasta {
+                            line: self.line_no,
+                            msg: "sequence data before first '>' header".into(),
+                        }));
+                    }
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let header = self.pending_header.take().expect("set above");
+        let mut sequence = Vec::new();
+        loop {
+            match self.read_line(&mut line) {
+                Ok(0) => {
+                    self.done = true;
+                    break;
+                }
+                Ok(_) => {
+                    let t = line.trim_end();
+                    if t.is_empty() {
+                        continue;
+                    }
+                    if let Some(h) = t.strip_prefix('>') {
+                        self.pending_header = Some(h.trim().to_string());
+                        break;
+                    }
+                    sequence.extend(t.bytes().filter(|b| !b.is_ascii_whitespace()));
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        if sequence.is_empty() {
+            self.done = true;
+            return Some(Err(SeqError::Fasta {
+                line: self.line_no,
+                msg: format!("record '{header}' has no sequence data"),
+            }));
+        }
+        Some(Ok(FastaRecord { header, sequence }))
+    }
+}
+
+/// Read an entire FASTA stream and encode every record.
+pub fn read_encoded<R: BufRead>(
+    reader: R,
+    alphabet: &Alphabet,
+) -> Result<Vec<EncodedSeq>, SeqError> {
+    FastaReader::new(reader).map(|r| r.and_then(|rec| rec.encode(alphabet))).collect()
+}
+
+/// FASTA writer with configurable line width.
+pub struct FastaWriter<W: Write> {
+    writer: W,
+    width: usize,
+}
+
+impl<W: Write> FastaWriter<W> {
+    /// Wrap a writer; residues are wrapped at 60 columns (the UniProt style).
+    pub fn new(writer: W) -> Self {
+        FastaWriter { writer, width: 60 }
+    }
+
+    /// Override the residue line width (must be ≥ 1).
+    pub fn with_width(mut self, width: usize) -> Self {
+        assert!(width >= 1, "line width must be at least 1");
+        self.width = width;
+        self
+    }
+
+    /// Write one record, decoding residues under `alphabet`.
+    pub fn write(&mut self, seq: &EncodedSeq, alphabet: &Alphabet) -> Result<(), SeqError> {
+        writeln!(self.writer, ">{}", seq.header)?;
+        let text = alphabet.decode(&seq.residues);
+        for chunk in text.chunks(self.width) {
+            self.writer.write_all(chunk)?;
+            self.writer.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Flush and recover the inner writer.
+    pub fn into_inner(mut self) -> Result<W, SeqError> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(data: &[u8]) -> Result<Vec<FastaRecord>, SeqError> {
+        FastaReader::new(data).collect()
+    }
+
+    #[test]
+    fn basic_two_records() {
+        let recs = parse(b">a\nMKV\n>b\nWW\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].header, "a");
+        assert_eq!(recs[1].sequence, b"WW");
+    }
+
+    #[test]
+    fn multiline_sequence_concatenated() {
+        let recs = parse(b">a\nMK\nVL\nIT\n").unwrap();
+        assert_eq!(recs[0].sequence, b"MKVLIT");
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let recs = parse(b">a desc\r\nMKV\r\n\r\n>b\r\nWW\r\n").unwrap();
+        assert_eq!(recs[0].header, "a desc");
+        assert_eq!(recs[0].sequence, b"MKV");
+        assert_eq!(recs[1].sequence, b"WW");
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        let err = parse(b"MKV\n>a\nWW\n").unwrap_err();
+        assert!(matches!(err, SeqError::Fasta { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_record_is_error() {
+        let err = parse(b">a\n>b\nWW\n").unwrap_err();
+        assert!(matches!(err, SeqError::Fasta { .. }));
+        assert!(err.to_string().contains('a'));
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(parse(b"").unwrap().is_empty());
+        assert!(parse(b"\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trailing_record_without_newline() {
+        let recs = parse(b">a\nMKV").unwrap();
+        assert_eq!(recs[0].sequence, b"MKV");
+    }
+
+    #[test]
+    fn internal_whitespace_stripped() {
+        let recs = parse(b">a\nMK V\tL\n").unwrap();
+        assert_eq!(recs[0].sequence, b"MKVL");
+    }
+
+    #[test]
+    fn read_encoded_end_to_end() {
+        let a = Alphabet::protein();
+        let seqs = read_encoded(&b">a\nARND\n>b\nCQE\n"[..], &a).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].residues, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let a = Alphabet::protein();
+        let seqs = read_encoded(&b">q one\nMKVLITRAWMKVLITRAW\n"[..], &a).unwrap();
+        let mut w = FastaWriter::new(Vec::new()).with_width(5);
+        w.write(&seqs[0], &a).unwrap();
+        let out = w.into_inner().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with(">q one\nMKVLI\n"));
+        let reparsed = read_encoded(text.as_bytes(), &a).unwrap();
+        assert_eq!(reparsed, seqs);
+    }
+
+    #[test]
+    fn header_only_whitespace_trimmed() {
+        let recs = parse(b">  spaced header  \nMKV\n").unwrap();
+        assert_eq!(recs[0].header, "spaced header");
+    }
+}

@@ -1,0 +1,104 @@
+//! Affine gap penalties — Equation 5 of the paper: `g(x) = q + r·x`.
+//!
+//! `q` is the gap-*open* penalty and `r` the gap-*extend* penalty, both
+//! non-negative. The paper's evaluation uses `q = 10`, `r = 2`.
+//!
+//! Note the convention: a gap of length `x` costs `q + r·x`, i.e. the first
+//! gapped residue already pays both `q` and one `r`. This matches the
+//! recurrences in Eqs. 3–4 and is the convention of SSEARCH/SWIPE.
+
+use serde::{Deserialize, Serialize};
+
+/// Affine gap penalty parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GapPenalty {
+    /// Gap-open penalty `q` (≥ 0); charged once per gap.
+    pub open: i32,
+    /// Gap-extension penalty `r` (≥ 0); charged once per gapped residue.
+    pub extend: i32,
+}
+
+impl GapPenalty {
+    /// Construct a gap model, validating non-negativity (Eq. 5 requires
+    /// `q ≥ 0; r ≥ 0`).
+    ///
+    /// # Panics
+    /// Panics if either penalty is negative.
+    pub fn new(open: i32, extend: i32) -> Self {
+        assert!(open >= 0, "gap open penalty must be non-negative, got {open}");
+        assert!(extend >= 0, "gap extend penalty must be non-negative, got {extend}");
+        GapPenalty { open, extend }
+    }
+
+    /// The paper's evaluation setting: open 10, extend 2.
+    pub fn paper_default() -> Self {
+        GapPenalty { open: 10, extend: 2 }
+    }
+
+    /// Total cost of a gap of length `x` (Eq. 5): `q + r·x`.
+    #[inline]
+    pub fn cost(&self, len: u32) -> i64 {
+        self.open as i64 + self.extend as i64 * len as i64
+    }
+
+    /// Cost of *opening* a gap, i.e. the first gapped residue: `q + r`.
+    ///
+    /// This is the constant the DP recurrence subtracts when leaving the
+    /// match state.
+    #[inline]
+    pub fn first(&self) -> i32 {
+        self.open + self.extend
+    }
+}
+
+impl Default for GapPenalty {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let g = GapPenalty::paper_default();
+        assert_eq!(g.open, 10);
+        assert_eq!(g.extend, 2);
+    }
+
+    #[test]
+    fn cost_is_affine() {
+        let g = GapPenalty::new(10, 2);
+        assert_eq!(g.cost(1), 12);
+        assert_eq!(g.cost(2), 14);
+        assert_eq!(g.cost(5), 20);
+        // Marginal cost of one more gapped residue is exactly `extend`.
+        assert_eq!(g.cost(6) - g.cost(5), 2);
+    }
+
+    #[test]
+    fn first_equals_cost_of_len_1() {
+        let g = GapPenalty::new(7, 3);
+        assert_eq!(g.first() as i64, g.cost(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_open_rejected() {
+        GapPenalty::new(-1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_extend_rejected() {
+        GapPenalty::new(1, -2);
+    }
+
+    #[test]
+    fn zero_penalties_allowed() {
+        let g = GapPenalty::new(0, 0);
+        assert_eq!(g.cost(100), 0);
+    }
+}

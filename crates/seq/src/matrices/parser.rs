@@ -1,0 +1,199 @@
+//! Parser for NCBI-format substitution matrix files.
+//!
+//! The format (as shipped with BLAST and used by `ftp.ncbi.nlm.nih.gov/blast/matrices/`):
+//!
+//! ```text
+//! # comment lines
+//!    A  R  N  D ...          <- column header: one symbol per column
+//! A  4 -1 -2 -2 ...          <- row: symbol then one score per column
+//! R -1  5  0 -2 ...
+//! ```
+//!
+//! Symbols may appear in any order; the parser re-indexes them into the
+//! target [`Alphabet`]'s encoding. Symbols in the file but not in the
+//! alphabet are ignored; alphabet symbols missing from the file are an
+//! error.
+
+use crate::alphabet::Alphabet;
+use crate::error::SeqError;
+use crate::matrices::SubstMatrix;
+
+/// Parse NCBI-format matrix text into a [`SubstMatrix`] over `alphabet`.
+pub fn parse_ncbi(name: &str, text: &str, alphabet: &Alphabet) -> Result<SubstMatrix, SeqError> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+
+    let header = lines
+        .next()
+        .ok_or_else(|| SeqError::Matrix("matrix file has no header row".into()))?;
+
+    // Column symbol -> file column index.
+    let col_syms: Vec<u8> = header
+        .split_ascii_whitespace()
+        .map(|tok| {
+            if tok.len() == 1 {
+                Ok(tok.as_bytes()[0])
+            } else {
+                Err(SeqError::Matrix(format!("header token '{tok}' is not a single symbol")))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    let n = alphabet.len();
+    let mut scores = vec![i32::MIN; n * n];
+    let mut rows_seen = vec![false; n];
+
+    for line in lines {
+        let mut toks = line.split_ascii_whitespace();
+        let row_tok = toks.next().expect("non-empty line has a first token");
+        if row_tok.len() != 1 {
+            return Err(SeqError::Matrix(format!("row label '{row_tok}' is not a single symbol")));
+        }
+        let row_sym = row_tok.as_bytes()[0];
+        let Some(row_code) = alphabet.encode_byte(row_sym) else {
+            continue; // symbol not in our alphabet (e.g. U/O rows in some files)
+        };
+        rows_seen[row_code as usize] = true;
+
+        let values: Vec<i32> = toks
+            .map(|v| {
+                v.parse::<i32>()
+                    .map_err(|_| SeqError::Matrix(format!("bad score value '{v}'")))
+            })
+            .collect::<Result<_, _>>()?;
+        if values.len() != col_syms.len() {
+            return Err(SeqError::Matrix(format!(
+                "row '{}' has {} values but header has {} columns",
+                row_sym as char,
+                values.len(),
+                col_syms.len()
+            )));
+        }
+        for (col_idx, &col_sym) in col_syms.iter().enumerate() {
+            if let Some(col_code) = alphabet.encode_byte(col_sym) {
+                scores[row_code as usize * n + col_code as usize] = values[col_idx];
+            }
+        }
+    }
+
+    for (code, seen) in rows_seen.iter().enumerate() {
+        if !seen {
+            return Err(SeqError::Matrix(format!(
+                "matrix is missing a row for alphabet symbol '{}'",
+                alphabet.decode_byte(code as u8) as char
+            )));
+        }
+    }
+    debug_assert!(scores.iter().all(|&s| s != i32::MIN), "all cells filled");
+
+    Ok(SubstMatrix::from_flat(name, n, scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny 3-symbol "alphabet" exercised through the DNA alphabet subset.
+    const TINY: &str = "\
+# toy matrix
+   A  C  G  T  N
+A  2 -1 -1 -1  0
+C -1  2 -1 -1  0
+G -1 -1  2 -1  0
+T -1 -1 -1  2  0
+N  0  0  0  0  0
+";
+
+    #[test]
+    fn parses_toy_matrix() {
+        let a = Alphabet::dna();
+        let m = parse_ncbi("toy", TINY, &a).unwrap();
+        assert_eq!(m.score(0, 0), 2);
+        assert_eq!(m.score(0, 1), -1);
+        assert_eq!(m.score(4, 4), 0);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn column_order_independent() {
+        // Shuffled columns/rows must still land in canonical encoding order.
+        let shuffled = "\
+   T  A  N  G  C
+T  2 -1  0 -1 -1
+N  0  0  0  0  0
+A -1  2  0 -1 -1
+G -1 -1  0  2 -1
+C -1 -1  0 -1  2
+";
+        let a = Alphabet::dna();
+        let m = parse_ncbi("shuffled", shuffled, &a).unwrap();
+        let canon = parse_ncbi("toy", TINY, &a).unwrap();
+        assert_eq!(m.flat(), canon.flat());
+    }
+
+    #[test]
+    fn missing_row_is_error() {
+        let broken = "\
+   A  C  G  T  N
+A  2 -1 -1 -1  0
+C -1  2 -1 -1  0
+";
+        let a = Alphabet::dna();
+        let err = parse_ncbi("broken", broken, &a).unwrap_err();
+        assert!(err.to_string().contains("missing a row"));
+    }
+
+    #[test]
+    fn wrong_column_count_is_error() {
+        let broken = "\
+   A  C  G  T  N
+A  2 -1 -1
+C -1  2 -1 -1  0
+G -1 -1  2 -1  0
+T -1 -1 -1  2  0
+N  0  0  0  0  0
+";
+        let a = Alphabet::dna();
+        assert!(parse_ncbi("broken", broken, &a).is_err());
+    }
+
+    #[test]
+    fn bad_value_is_error() {
+        let broken = "\
+   A  C  G  T  N
+A  2 -1 -1 -1  x
+C -1  2 -1 -1  0
+G -1 -1  2 -1  0
+T -1 -1 -1  2  0
+N  0  0  0  0  0
+";
+        let a = Alphabet::dna();
+        assert!(matches!(parse_ncbi("b", broken, &a), Err(SeqError::Matrix(_))));
+    }
+
+    #[test]
+    fn extra_file_symbols_ignored() {
+        // 'U' is not in the DNA alphabet: the row and column are skipped.
+        let extra = "\
+   A  C  G  T  N  U
+A  2 -1 -1 -1  0  9
+C -1  2 -1 -1  0  9
+G -1 -1  2 -1  0  9
+T -1 -1 -1  2  0  9
+N  0  0  0  0  0  9
+U  9  9  9  9  9  9
+";
+        let a = Alphabet::dna();
+        let m = parse_ncbi("extra", extra, &a).unwrap();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.score(0, 0), 2);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        let a = Alphabet::dna();
+        assert!(parse_ncbi("empty", "# only comments\n", &a).is_err());
+    }
+}

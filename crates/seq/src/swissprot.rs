@@ -1,0 +1,127 @@
+//! Constants describing the paper's evaluation data.
+//!
+//! §V-B of the paper: *"the experiments are performed with the Swiss-Prot
+//! database (release 2013_11). This database comprises 192 480 382 amino
+//! acids in 541 561 sequences with the largest sequence length equal to
+//! 35 213. The 20 query protein sequences … were selected from the
+//! aforementioned database … ranging in length from 144 to 5478."*
+//!
+//! The real database is not redistributable inside this repository, so
+//! [`crate::gen`] synthesises one matching these summary statistics; this
+//! module is the single source of truth for them.
+
+/// Number of sequences in Swiss-Prot release 2013_11.
+pub const SWISSPROT_2013_11_SEQS: u64 = 541_561;
+
+/// Total residue count of Swiss-Prot release 2013_11.
+pub const SWISSPROT_2013_11_RESIDUES: u64 = 192_480_382;
+
+/// Longest sequence in the release (Titin, Q8WZ42-like entries).
+pub const SWISSPROT_2013_11_MAX_LEN: u32 = 35_213;
+
+/// Mean sequence length implied by the release statistics (≈ 355.4).
+pub fn swissprot_mean_len() -> f64 {
+    SWISSPROT_2013_11_RESIDUES as f64 / SWISSPROT_2013_11_SEQS as f64
+}
+
+/// One query of the paper's 20-protein evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// UniProt accession quoted in the paper.
+    pub accession: &'static str,
+    /// Sequence length in residues.
+    pub len: u32,
+}
+
+/// The paper's query set (§V-B): 20 accessions, lengths 144–5478.
+///
+/// This is the standard benchmark query set introduced by the CUDASW++
+/// papers and reused by SWIPE, SWAPHI and this paper; the lengths are the
+/// published UniProt sequence lengths of each accession.
+pub const QUERY_SET: [QuerySpec; 20] = [
+    QuerySpec { accession: "P02232", len: 144 },
+    QuerySpec { accession: "P05013", len: 189 },
+    QuerySpec { accession: "P14942", len: 222 },
+    QuerySpec { accession: "P07327", len: 375 },
+    QuerySpec { accession: "P01008", len: 464 },
+    QuerySpec { accession: "P03435", len: 567 },
+    QuerySpec { accession: "P42357", len: 657 },
+    QuerySpec { accession: "P21177", len: 729 },
+    QuerySpec { accession: "Q38941", len: 850 },
+    QuerySpec { accession: "P27895", len: 1000 },
+    QuerySpec { accession: "P07756", len: 1500 },
+    QuerySpec { accession: "P04775", len: 2005 },
+    QuerySpec { accession: "P19096", len: 2504 },
+    QuerySpec { accession: "P28167", len: 3005 },
+    QuerySpec { accession: "P0C6B8", len: 3564 },
+    QuerySpec { accession: "P20930", len: 4061 },
+    QuerySpec { accession: "P08519", len: 4548 },
+    QuerySpec { accession: "Q7TMA5", len: 4743 },
+    QuerySpec { accession: "P33450", len: 5147 },
+    QuerySpec { accession: "Q9UKN1", len: 5478 },
+];
+
+/// Background amino-acid frequencies of Swiss-Prot (fractions, sum ≈ 1).
+///
+/// Order matches the first 20 symbols of
+/// [`crate::alphabet::PROTEIN_SYMBOLS`] (`ARNDCQEGHILKMFPSTWYV`). Values
+/// are the UniProtKB/Swiss-Prot composition statistics; the synthetic
+/// generator samples residues from this distribution so profile-lookup
+/// behaviour (which depends on residue frequencies) matches the real
+/// database.
+pub const AA_BACKGROUND_FREQ: [f64; 20] = [
+    0.0825, // A
+    0.0553, // R
+    0.0406, // N
+    0.0545, // D
+    0.0137, // C
+    0.0393, // Q
+    0.0675, // E
+    0.0707, // G
+    0.0227, // H
+    0.0596, // I
+    0.0966, // L
+    0.0584, // K
+    0.0242, // M
+    0.0386, // F
+    0.0470, // P
+    0.0656, // S
+    0.0534, // T
+    0.0108, // W
+    0.0292, // Y
+    0.0687, // V
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_set_matches_paper_bounds() {
+        assert_eq!(QUERY_SET.len(), 20);
+        assert_eq!(QUERY_SET.first().unwrap().len, 144);
+        assert_eq!(QUERY_SET.last().unwrap().len, 5478);
+        // Sorted ascending by length, as the paper plots them.
+        assert!(QUERY_SET.windows(2).all(|w| w[0].len < w[1].len));
+    }
+
+    #[test]
+    fn mean_length_close_to_355() {
+        let m = swissprot_mean_len();
+        assert!((m - 355.4).abs() < 0.5, "mean = {m}");
+    }
+
+    #[test]
+    fn background_frequencies_sum_to_one() {
+        let sum: f64 = AA_BACKGROUND_FREQ.iter().sum();
+        assert!((sum - 1.0).abs() < 0.02, "sum = {sum}");
+    }
+
+    #[test]
+    fn all_accessions_unique() {
+        let mut accs: Vec<_> = QUERY_SET.iter().map(|q| q.accession).collect();
+        accs.sort_unstable();
+        accs.dedup();
+        assert_eq!(accs.len(), 20);
+    }
+}

@@ -1,0 +1,149 @@
+//! Genetic-code translation — DNA → protein, all six reading frames.
+//!
+//! Lets a nucleotide query be searched against a protein database
+//! (BLASTX-style) with the exact Smith-Waterman engine: translate the six
+//! frames, search each as a protein query, report the best frame.
+
+use crate::alphabet::Alphabet;
+use crate::dna::reverse_complement;
+
+/// The standard genetic code, indexed by `base1·16 + base2·4 + base3`
+/// with bases encoded A=0, C=1, G=2, T=3. `*` marks stop codons.
+const CODON_TABLE: [u8; 64] = *b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
+
+/// Translate one codon (three encoded DNA residues) to an amino-acid
+/// ASCII letter (`*` for stop). Codons containing `N` translate to `X`.
+pub fn translate_codon(b1: u8, b2: u8, b3: u8) -> u8 {
+    if b1 > 3 || b2 > 3 || b3 > 3 {
+        return b'X';
+    }
+    CODON_TABLE[(b1 as usize) * 16 + (b2 as usize) * 4 + b3 as usize]
+}
+
+/// Translate an encoded DNA sequence in the given frame offset (0, 1, 2)
+/// into an **encoded protein** sequence under `protein` (stops become the
+/// `*` residue, ambiguous codons become `X`).
+pub fn translate_frame(dna: &[u8], frame: usize, protein: &Alphabet) -> Vec<u8> {
+    assert!(frame < 3, "frame offset must be 0, 1 or 2");
+    dna[frame..]
+        .chunks_exact(3)
+        .map(|c| {
+            let aa = translate_codon(c[0], c[1], c[2]);
+            protein.encode_byte(aa).expect("codon table emits canonical symbols")
+        })
+        .collect()
+}
+
+/// All six reading frames of an encoded DNA sequence: three forward,
+/// three on the reverse complement. Returned as `(label, protein)` pairs
+/// with labels `+1 +2 +3 -1 -2 -3`.
+pub fn six_frames(dna: &[u8], protein: &Alphabet) -> Vec<(&'static str, Vec<u8>)> {
+    let rc = reverse_complement(dna);
+    vec![
+        ("+1", translate_frame(dna, 0, protein)),
+        ("+2", translate_frame(dna, 1, protein)),
+        ("+3", translate_frame(dna, 2, protein)),
+        ("-1", translate_frame(&rc, 0, protein)),
+        ("-2", translate_frame(&rc, 1, protein)),
+        ("-3", translate_frame(&rc, 2, protein)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(s: &[u8]) -> Vec<u8> {
+        Alphabet::dna().encode_strict(s).unwrap()
+    }
+
+    fn protein_text(codes: &[u8]) -> String {
+        String::from_utf8(Alphabet::protein().decode(codes)).unwrap()
+    }
+
+    #[test]
+    fn canonical_codons() {
+        // Spot-check well-known codons: ATG=M, TGG=W, TAA=stop, AAA=K,
+        // GGC=G, TTT=F.
+        let d = Alphabet::dna();
+        let c = |s: &[u8]| {
+            let e = d.encode_strict(s).unwrap();
+            translate_codon(e[0], e[1], e[2])
+        };
+        assert_eq!(c(b"ATG"), b'M');
+        assert_eq!(c(b"TGG"), b'W');
+        assert_eq!(c(b"TAA"), b'*');
+        assert_eq!(c(b"TAG"), b'*');
+        assert_eq!(c(b"TGA"), b'*');
+        assert_eq!(c(b"AAA"), b'K');
+        assert_eq!(c(b"GGC"), b'G');
+        assert_eq!(c(b"TTT"), b'F');
+        assert_eq!(c(b"GCT"), b'A');
+        assert_eq!(c(b"CGA"), b'R');
+    }
+
+    #[test]
+    fn codon_table_is_complete_and_canonical() {
+        let p = Alphabet::protein();
+        for b1 in 0..4u8 {
+            for b2 in 0..4u8 {
+                for b3 in 0..4u8 {
+                    let aa = translate_codon(b1, b2, b3);
+                    assert!(
+                        p.encode_byte(aa).is_some(),
+                        "codon {b1}{b2}{b3} -> '{}' must be encodable",
+                        aa as char
+                    );
+                }
+            }
+        }
+        // 61 coding codons + 3 stops.
+        let stops = CODON_TABLE.iter().filter(|&&c| c == b'*').count();
+        assert_eq!(stops, 3);
+    }
+
+    #[test]
+    fn ambiguous_codon_is_x() {
+        assert_eq!(translate_codon(0, 4, 0), b'X'); // A N A
+    }
+
+    #[test]
+    fn frame_translation() {
+        let p = Alphabet::protein();
+        // ATG AAA TGG = M K W
+        let d = dna(b"ATGAAATGG");
+        assert_eq!(protein_text(&translate_frame(&d, 0, &p)), "MKW");
+        // Frame +2 drops the first base: TGA AAT GG -> * N (trailing GG dropped)
+        assert_eq!(protein_text(&translate_frame(&d, 1, &p)), "*N");
+        // Frame +3: GAA ATG G -> E M
+        assert_eq!(protein_text(&translate_frame(&d, 2, &p)), "EM");
+    }
+
+    #[test]
+    fn six_frames_cover_reverse_strand() {
+        let p = Alphabet::protein();
+        // Reverse complement of ATGAAATGG is CCATTTCAT: CCA TTT CAT = P F H.
+        let d = dna(b"ATGAAATGG");
+        let frames = six_frames(&d, &p);
+        assert_eq!(frames.len(), 6);
+        assert_eq!(frames[0].0, "+1");
+        assert_eq!(protein_text(&frames[3].1), "PFH");
+        // A protein encoded on the minus strand is found in a minus frame.
+        let minus_encoded = dna(b"CCATTTCAT"); // rev-comp encodes M K W on -1
+        let f = six_frames(&minus_encoded, &p);
+        assert_eq!(protein_text(&f[3].1), "MKW");
+    }
+
+    #[test]
+    fn short_input_translates_empty() {
+        let p = Alphabet::protein();
+        assert!(translate_frame(&dna(b"AT"), 0, &p).is_empty());
+        assert!(translate_frame(&dna(b"ATG"), 1, &p).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "frame offset")]
+    fn bad_frame_rejected() {
+        translate_frame(&dna(b"ATG"), 3, &Alphabet::protein());
+    }
+}

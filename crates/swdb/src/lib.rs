@@ -1,0 +1,44 @@
+//! # sw-swdb — sequence database preprocessing
+//!
+//! Step (2) of the paper's pipeline: *"Pre-process database sequences."*
+//!
+//! The preprocessing chain is:
+//!
+//! 1. [`db::SequenceDatabase`] — a flat, cache-friendly store of encoded
+//!    sequences (one concatenated residue buffer + offsets).
+//! 2. [`preprocess::SortedDb`] — the database sorted by sequence length
+//!    (the paper: *"pre-processing the reference database and sorting its
+//!    sequences by length in advance … consecutive alignment operations
+//!    take similar time"*), carrying the permutation so results can be
+//!    reported against original ids.
+//! 3. [`batch::LaneBatcher`] — groups of `L` similar-length sequences,
+//!    residues interleaved lane-wise and padded, ready for the inter-task
+//!    SIMD kernels (the SWIPE scheme the paper builds on).
+//! 4. [`profile`] — the paper's two substitution-score layouts: the *query
+//!    profile* (QP, built once per query) and the *sequence profile* (SP,
+//!    built per batch).
+//! 5. [`chunk`] — contiguous batch ranges for scheduling and for the
+//!    CPU/accelerator split of Algorithm 2.
+//! 6. [`stats`] — the database statistics the paper reports in §V-B.
+//! 7. [`snapshot`] — a compact binary snapshot format so a preprocessed
+//!    database can be built once and reloaded by tools.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod chunk;
+pub mod db;
+pub mod preprocess;
+pub mod profile;
+pub mod snapshot;
+pub mod stats;
+pub mod volumes;
+
+pub use batch::{LaneBatch, LaneBatcher};
+pub use chunk::{split_batches, split_by_cells, BatchRange};
+pub use db::SequenceDatabase;
+pub use preprocess::SortedDb;
+pub use profile::{QueryProfile, QueryProfileI8, SequenceProfile, SequenceProfileI8};
+pub use stats::DbStats;
+pub use volumes::VolumePlan;

@@ -1,0 +1,404 @@
+//! Query and sequence profiles — the paper's two substitution-score
+//! layouts (§IV).
+//!
+//! **Query profile (QP)**: a `|Q| × |Σ'|` table built once per query in the
+//! pre-processing stage. Row `i` holds the scores of query residue `q_i`
+//! against every possible database residue code. In the inner loop the
+//! kernel must *gather* `L` entries of row `i` indexed by the `L` database
+//! residues — cheap on hardware with vector-gather (the Phi), expensive
+//! where it must be emulated with shuffles (AVX Xeon). This asymmetry is
+//! exactly what Figs. 3–6 of the paper show.
+//!
+//! **Sequence profile (SP)**: a `|Σ| × N_pad × L` table built *per lane
+//! batch* ("these profiles cannot be constructed in the pre-processing
+//! stage"). Entry `(e, j, lane)` scores alphabet residue `e` against the
+//! lane's residue at database position `j`; the kernel then loads row
+//! `(q_i, j)` as one contiguous vector. The build cost is `|Σ|·N·L` — it
+//! amortises over `M·N·L` DP cells, which is why SP gets *better* as the
+//! query grows (Fig. 6).
+//!
+//! `Σ'` is the alphabet plus the pad sentinel; pad entries score
+//! [`PAD_SCORE`] so padded lanes stay at `H = 0`.
+
+use crate::batch::{pad_code, profile_codes, LaneBatch, PAD_SCORE};
+use sw_seq::{Alphabet, SubstMatrix};
+
+/// Per-query substitution-score table (built once per query).
+///
+/// ```
+/// use sw_swdb::QueryProfile;
+/// use sw_seq::{Alphabet, SubstMatrix};
+///
+/// let a = Alphabet::protein();
+/// let m = SubstMatrix::blosum62();
+/// let query = a.encode_strict(b"MKW").unwrap();
+/// let qp = QueryProfile::build(&query, &m, &a);
+/// // Row 2 holds W's scores against every residue: W-W is +11.
+/// let w = a.encode_byte(b'W').unwrap();
+/// assert_eq!(qp.score(2, w), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Row stride = alphabet size + 1 (pad column).
+    stride: usize,
+    /// Query length `M`.
+    query_len: usize,
+    /// `scores[i * stride + c]` = V(q_i, c); the pad column is PAD_SCORE.
+    scores: Vec<i16>,
+}
+
+impl QueryProfile {
+    /// Build from an encoded query under `matrix`.
+    ///
+    /// # Panics
+    /// Panics if the matrix dimension differs from the alphabet size or if
+    /// the query contains codes outside the alphabet.
+    pub fn build(query: &[u8], matrix: &SubstMatrix, alphabet: &Alphabet) -> Self {
+        assert_eq!(matrix.len(), alphabet.len(), "matrix/alphabet size mismatch");
+        let stride = profile_codes(alphabet);
+        let mut scores = Vec::with_capacity(query.len() * stride);
+        for &q in query {
+            assert!(
+                (q as usize) < alphabet.len(),
+                "query residue code {q} outside alphabet"
+            );
+            for c in 0..alphabet.len() {
+                let v = matrix.score(q, c as u8);
+                scores.push(i16::try_from(v).expect("score fits i16"));
+            }
+            scores.push(PAD_SCORE as i16);
+        }
+        QueryProfile { stride, query_len: query.len(), scores }
+    }
+
+    /// Query length `M`.
+    #[inline]
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// Row stride (alphabet size + 1).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Scores of query position `i` against every residue code.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i16] {
+        let s = i * self.stride;
+        &self.scores[s..s + self.stride]
+    }
+
+    /// Score of query position `i` against database residue code `c`
+    /// (including the pad code).
+    #[inline]
+    pub fn score(&self, i: usize, c: u8) -> i16 {
+        self.scores[i * self.stride + c as usize]
+    }
+
+    /// Approximate memory footprint in bytes (the paper: "it increases
+    /// memory requirements but it is negligible").
+    pub fn bytes(&self) -> usize {
+        self.scores.len() * 2
+    }
+}
+
+/// Per-batch substitution-score table (built per lane batch, per §IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceProfile {
+    /// Lane count `L`.
+    lanes: usize,
+    /// Padded batch length `N_pad`.
+    padded_len: usize,
+    /// Alphabet size (rows).
+    codes: usize,
+    /// `scores[(e * padded_len + j) * lanes + lane]` = V(e, d_j^lane).
+    scores: Vec<i16>,
+}
+
+impl SequenceProfile {
+    /// Build for one batch under `matrix`.
+    pub fn build(batch: &LaneBatch, matrix: &SubstMatrix, alphabet: &Alphabet) -> Self {
+        assert_eq!(matrix.len(), alphabet.len(), "matrix/alphabet size mismatch");
+        let lanes = batch.lanes();
+        let n = batch.padded_len();
+        let codes = alphabet.len();
+        let pad = pad_code(alphabet);
+        let mut scores = vec![0i16; codes * n * lanes];
+        for e in 0..codes {
+            let row = matrix.row(e as u8);
+            let base = e * n * lanes;
+            for j in 0..n {
+                let residues = batch.row(j);
+                let out = &mut scores[base + j * lanes..base + (j + 1) * lanes];
+                for (lane, &r) in residues.iter().enumerate() {
+                    out[lane] = if r == pad {
+                        PAD_SCORE as i16
+                    } else {
+                        i16::try_from(row[r as usize]).expect("score fits i16")
+                    };
+                }
+            }
+        }
+        SequenceProfile { lanes, padded_len: n, codes, scores }
+    }
+
+    /// Lane count `L`.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Padded batch length.
+    #[inline]
+    pub fn padded_len(&self) -> usize {
+        self.padded_len
+    }
+
+    /// The `L` scores of query-residue code `e` at database position `j` —
+    /// the contiguous vector load of the SP kernels.
+    #[inline]
+    pub fn row(&self, e: u8, j: usize) -> &[i16] {
+        let s = (e as usize * self.padded_len + j) * self.lanes;
+        &self.scores[s..s + self.lanes]
+    }
+
+    /// Number of table builds ops (for the analytic cost model):
+    /// `|Σ|·N_pad·L`.
+    pub fn build_ops(&self) -> u64 {
+        self.codes as u64 * self.padded_len as u64 * self.lanes as u64
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.scores.len() * 2
+    }
+}
+
+/// Narrow (i8) copy of a [`QueryProfile`] — the first tier of the
+/// SWIPE-style dual-precision cascade. Substitution scores of every
+/// bundled matrix fit `i8` comfortably (BLOSUM62 spans −4..11); the pad
+/// score −128 is `i8::MIN`, which the saturating kernels treat as −∞.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfileI8 {
+    stride: usize,
+    query_len: usize,
+    scores: Vec<i8>,
+}
+
+impl QueryProfileI8 {
+    /// Narrow an existing profile.
+    ///
+    /// # Panics
+    /// Panics if any score falls outside `i8` range (never for the
+    /// bundled matrices).
+    pub fn from_wide(qp: &QueryProfile) -> Self {
+        let scores = (0..qp.query_len())
+            .flat_map(|i| qp.row(i).iter().copied())
+            .map(|v| i8::try_from(v).expect("substitution score fits i8"))
+            .collect();
+        QueryProfileI8 { stride: qp.stride(), query_len: qp.query_len(), scores }
+    }
+
+    /// Query length `M`.
+    #[inline]
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// Scores of query position `i` against every residue code.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i8] {
+        let s = i * self.stride;
+        &self.scores[s..s + self.stride]
+    }
+}
+
+/// Narrow (i8) copy of a [`SequenceProfile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceProfileI8 {
+    lanes: usize,
+    padded_len: usize,
+    scores: Vec<i8>,
+}
+
+impl SequenceProfileI8 {
+    /// Narrow an existing profile.
+    pub fn from_wide(sp: &SequenceProfile) -> Self {
+        let scores = sp
+            .scores
+            .iter()
+            .map(|&v| i8::try_from(v).expect("substitution score fits i8"))
+            .collect();
+        SequenceProfileI8 { lanes: sp.lanes, padded_len: sp.padded_len, scores }
+    }
+
+    /// Lane count `L`.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Padded batch length.
+    #[inline]
+    pub fn padded_len(&self) -> usize {
+        self.padded_len
+    }
+
+    /// The `L` scores of query-residue code `e` at database position `j`.
+    #[inline]
+    pub fn row(&self, e: u8, j: usize) -> &[i8] {
+        let s = (e as usize * self.padded_len + j) * self.lanes;
+        &self.scores[s..s + self.lanes]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::SeqId;
+
+    fn setup() -> (Alphabet, SubstMatrix) {
+        (Alphabet::protein(), SubstMatrix::blosum62())
+    }
+
+    #[test]
+    fn query_profile_matches_matrix() {
+        let (a, m) = setup();
+        let query = a.encode_strict(b"ARNDW").unwrap();
+        let qp = QueryProfile::build(&query, &m, &a);
+        assert_eq!(qp.query_len(), 5);
+        for (i, &q) in query.iter().enumerate() {
+            for c in 0..a.len() as u8 {
+                assert_eq!(qp.score(i, c) as i32, m.score(q, c), "i={i} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_profile_pad_column() {
+        let (a, m) = setup();
+        let query = a.encode_strict(b"AR").unwrap();
+        let qp = QueryProfile::build(&query, &m, &a);
+        let pad = pad_code(&a);
+        assert_eq!(qp.score(0, pad) as i32, PAD_SCORE);
+        assert_eq!(qp.score(1, pad) as i32, PAD_SCORE);
+    }
+
+    #[test]
+    fn query_profile_row_slice() {
+        let (a, m) = setup();
+        let query = a.encode_strict(b"WAR").unwrap();
+        let qp = QueryProfile::build(&query, &m, &a);
+        let row = qp.row(0);
+        assert_eq!(row.len(), a.len() + 1);
+        assert_eq!(row[a.encode_byte(b'W').unwrap() as usize] as i32, 11);
+    }
+
+    #[test]
+    fn sequence_profile_matches_matrix() {
+        let (a, m) = setup();
+        let s0 = a.encode_strict(b"ARND").unwrap();
+        let s1 = a.encode_strict(b"WW").unwrap();
+        let batch =
+            LaneBatch::pack(4, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
+        let sp = SequenceProfile::build(&batch, &m, &a);
+        // e = 'A' at position 0: lanes are [A, W, pad, pad].
+        let e = a.encode_byte(b'A').unwrap();
+        let row = sp.row(e, 0);
+        assert_eq!(row[0] as i32, m.score(e, e)); // A vs A
+        assert_eq!(row[1] as i32, m.score(e, a.encode_byte(b'W').unwrap())); // A vs W
+        assert_eq!(row[2] as i32, PAD_SCORE);
+        assert_eq!(row[3] as i32, PAD_SCORE);
+    }
+
+    #[test]
+    fn sequence_profile_pad_positions() {
+        let (a, m) = setup();
+        let s0 = a.encode_strict(b"ARND").unwrap();
+        let s1 = a.encode_strict(b"W").unwrap();
+        let batch =
+            LaneBatch::pack(2, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
+        let sp = SequenceProfile::build(&batch, &m, &a);
+        // Position 2 of lane 1 is padding for every query residue.
+        for e in 0..a.len() as u8 {
+            assert_eq!(sp.row(e, 2)[1] as i32, PAD_SCORE);
+        }
+    }
+
+    #[test]
+    fn profiles_agree_with_each_other() {
+        // The central consistency property: for every (i, j, lane),
+        // QP[i][batch residue] == SP[q_i][j][lane].
+        let (a, m) = setup();
+        let query = a.encode_strict(b"MKVLITRA").unwrap();
+        let s0 = a.encode_strict(b"ARNDCQEG").unwrap();
+        let s1 = a.encode_strict(b"HILKM").unwrap();
+        let batch =
+            LaneBatch::pack(4, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
+        let qp = QueryProfile::build(&query, &m, &a);
+        let sp = SequenceProfile::build(&batch, &m, &a);
+        for (i, &q) in query.iter().enumerate() {
+            for j in 0..batch.padded_len() {
+                for lane in 0..batch.lanes() {
+                    let via_qp = qp.score(i, batch.residue(j, lane));
+                    let via_sp = sp.row(q, j)[lane];
+                    assert_eq!(via_qp, via_sp, "i={i} j={j} lane={lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_ops_formula() {
+        let (a, m) = setup();
+        let s0 = a.encode_strict(b"ARND").unwrap();
+        let batch = LaneBatch::pack(8, &[(SeqId(0), &s0[..])], pad_code(&a));
+        let sp = SequenceProfile::build(&batch, &m, &a);
+        assert_eq!(sp.build_ops(), 24 * 4 * 8);
+    }
+
+    #[test]
+    fn memory_footprints() {
+        let (a, m) = setup();
+        let query = a.encode_strict(b"ARND").unwrap();
+        let qp = QueryProfile::build(&query, &m, &a);
+        assert_eq!(qp.bytes(), 4 * 25 * 2);
+    }
+
+    #[test]
+    fn i8_profiles_match_wide() {
+        let (a, m) = setup();
+        let query = a.encode_strict(b"MKVLITRAW").unwrap();
+        let s0 = a.encode_strict(b"ARNDCQEG").unwrap();
+        let batch = LaneBatch::pack(4, &[(SeqId(0), &s0[..])], pad_code(&a));
+        let qp = QueryProfile::build(&query, &m, &a);
+        let sp = SequenceProfile::build(&batch, &m, &a);
+        let qp8 = QueryProfileI8::from_wide(&qp);
+        let sp8 = SequenceProfileI8::from_wide(&sp);
+        assert_eq!(qp8.query_len(), qp.query_len());
+        for i in 0..qp.query_len() {
+            for (w, n) in qp.row(i).iter().zip(qp8.row(i)) {
+                assert_eq!(*w as i32, *n as i32);
+            }
+        }
+        assert_eq!(sp8.lanes(), sp.lanes());
+        assert_eq!(sp8.padded_len(), sp.padded_len());
+        for e in 0..24u8 {
+            for j in 0..sp.padded_len() {
+                for (w, n) in sp.row(e, j).iter().zip(sp8.row(e, j)) {
+                    assert_eq!(*w as i32, *n as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn query_profile_rejects_pad_in_query() {
+        let (a, m) = setup();
+        let bad = vec![pad_code(&a)];
+        QueryProfile::build(&bad, &m, &a);
+    }
+}

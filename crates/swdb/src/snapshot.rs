@@ -1,0 +1,197 @@
+//! Compact binary snapshot of a [`SequenceDatabase`].
+//!
+//! Production search tools preprocess the database once (`makedb`) and
+//! reload the flat form at query time; this module is that format. The
+//! layout is deliberately simple and versioned:
+//!
+//! ```text
+//! magic   [u8; 8]  = b"SWDBSNP1"
+//! n_seqs  u64 LE
+//! n_res   u64 LE
+//! offsets [u64 LE; n_seqs + 1]
+//! residues[u8; n_res]
+//! headers n_seqs × (u32 LE length + UTF-8 bytes)
+//! ```
+
+use crate::db::SequenceDatabase;
+use bytes::{Buf, BufMut};
+use std::sync::Arc;
+use sw_seq::SeqError;
+
+/// Snapshot magic / version tag.
+pub const MAGIC: &[u8; 8] = b"SWDBSNP1";
+
+/// Serialize `db` into a fresh byte buffer.
+pub fn write(db: &SequenceDatabase) -> Vec<u8> {
+    let offsets = db.raw_offsets();
+    let residues = db.raw_residues();
+    let headers = db.raw_headers();
+    let header_bytes: usize = headers.iter().map(|h| 4 + h.len()).sum();
+    let mut out =
+        Vec::with_capacity(8 + 16 + offsets.len() * 8 + residues.len() + header_bytes);
+    out.put_slice(MAGIC);
+    out.put_u64_le(headers.len() as u64);
+    out.put_u64_le(residues.len() as u64);
+    for &o in offsets {
+        out.put_u64_le(o);
+    }
+    out.put_slice(residues);
+    for h in headers {
+        out.put_u32_le(h.len() as u32);
+        out.put_slice(h.as_bytes());
+    }
+    out
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), SeqError> {
+    if buf.remaining() < n {
+        return Err(SeqError::Io(format!("snapshot truncated while reading {what}")));
+    }
+    Ok(())
+}
+
+/// Deserialize a snapshot produced by [`write`].
+pub fn read(mut buf: &[u8]) -> Result<SequenceDatabase, SeqError> {
+    need(buf, 8, "magic")?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SeqError::Io("bad snapshot magic (not a SWDB snapshot?)".into()));
+    }
+    need(buf, 16, "counts")?;
+    let n_seqs = buf.get_u64_le() as usize;
+    let n_res = buf.get_u64_le() as usize;
+
+    // A corrupted count can be astronomically large; checked arithmetic
+    // turns it into a clean error instead of an overflow (caught by the
+    // corruption fuzz test).
+    let offsets_bytes = n_seqs
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| SeqError::Io("snapshot sequence count is implausibly large".into()))?;
+    need(buf, offsets_bytes, "offsets")?;
+    let mut offsets = Vec::with_capacity(n_seqs + 1);
+    for _ in 0..=n_seqs {
+        offsets.push(buf.get_u64_le());
+    }
+    need(buf, n_res, "residues")?;
+    let mut residues = vec![0u8; n_res];
+    buf.copy_to_slice(&mut residues);
+
+    let mut headers: Vec<Arc<str>> = Vec::with_capacity(n_seqs);
+    for i in 0..n_seqs {
+        need(buf, 4, "header length")?;
+        let len = buf.get_u32_le() as usize;
+        need(buf, len, "header bytes")?;
+        let mut raw = vec![0u8; len];
+        buf.copy_to_slice(&mut raw);
+        let s = String::from_utf8(raw)
+            .map_err(|_| SeqError::Io(format!("header {i} is not valid UTF-8")))?;
+        headers.push(s.into());
+    }
+    if buf.remaining() != 0 {
+        return Err(SeqError::Io(format!("{} trailing bytes after snapshot", buf.remaining())));
+    }
+    // from_raw_parts validates offset consistency; convert its panics into
+    // a proper error by pre-checking here.
+    if offsets.first() != Some(&0)
+        || offsets.last().map(|&o| o as usize) != Some(residues.len())
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(SeqError::Io("snapshot offsets table is inconsistent".into()));
+    }
+    Ok(SequenceDatabase::from_raw_parts(residues, offsets, headers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::{Alphabet, EncodedSeq};
+
+    fn sample() -> SequenceDatabase {
+        let a = Alphabet::protein();
+        SequenceDatabase::from_sequences(vec![
+            EncodedSeq::from_text("sp|P02232|HBM", b"MKVLITRA", &a).unwrap(),
+            EncodedSeq::from_text("syn|S0000001|SYNTH", b"WW", &a).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = sample();
+        let bytes = write(&db);
+        let back = read(&bytes).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let db = SequenceDatabase::from_sequences(vec![]);
+        let back = read(&write(&db)).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = write(&sample());
+        bytes[0] = b'X';
+        let err = read(&bytes).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = write(&sample());
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(read(&bytes[..cut]).is_err(), "prefix of {cut} bytes should fail");
+        }
+    }
+
+    #[test]
+    fn absurd_sequence_count_rejected_cleanly() {
+        // Regression (found by the corruption fuzzer): a corrupted u64
+        // sequence count must produce an error, not an integer overflow in
+        // the offsets-size computation.
+        let mut bytes = write(&sample());
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausibly large"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = write(&sample());
+        bytes.push(0);
+        assert!(read(&bytes).unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn corrupt_offsets_rejected() {
+        let db = sample();
+        let mut bytes = write(&db);
+        // First offset lives right after magic+counts; overwrite with junk.
+        let pos = 8 + 16;
+        bytes[pos..pos + 8].copy_from_slice(&999u64.to_le_bytes());
+        assert!(read(&bytes).is_err());
+    }
+
+    #[test]
+    fn non_utf8_header_rejected() {
+        let db = sample();
+        let mut bytes = write(&db);
+        // Headers are at the tail; flip the final byte to an invalid UTF-8
+        // continuation to exercise the error path.
+        let n = bytes.len();
+        bytes[n - 1] = 0xFF;
+        assert!(read(&bytes).is_err());
+    }
+
+    #[test]
+    fn snapshot_of_synthetic_db() {
+        let seqs = sw_seq::gen::generate_database(&sw_seq::gen::DbSpec::tiny(4));
+        let db = SequenceDatabase::from_sequences(seqs);
+        let back = read(&write(&db)).unwrap();
+        assert_eq!(back, db);
+    }
+}

@@ -1,0 +1,156 @@
+//! Database volumes — bounded-memory search over databases larger than
+//! RAM (or than an accelerator's on-board memory).
+//!
+//! Production tools (BLAST's `makeblastdb`, SWIPE) split large databases
+//! into volumes of bounded residue count and search them one at a time,
+//! merging score lists. The paper's §VI future work (TrEMBL, 5 GB Phi
+//! memory) is exactly the scenario volumes exist for: each volume fits
+//! the device, is shipped once, searched for all queries, then replaced.
+
+use crate::db::SequenceDatabase;
+use sw_seq::{EncodedSeq, SeqId};
+
+/// A plan splitting a database into volumes of at most `max_residues`
+/// residues each (a sequence larger than the cap gets its own volume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumePlan {
+    /// Per-volume half-open id ranges `[start, end)` over original ids.
+    pub ranges: Vec<(u32, u32)>,
+    /// Residues per volume (parallel to `ranges`).
+    pub residues: Vec<u64>,
+}
+
+impl VolumePlan {
+    /// Plan volumes over `db` with the given residue cap.
+    ///
+    /// # Panics
+    /// Panics if `max_residues` is zero.
+    pub fn new(db: &SequenceDatabase, max_residues: u64) -> Self {
+        assert!(max_residues > 0, "volume cap must be positive");
+        let mut ranges = Vec::new();
+        let mut residues = Vec::new();
+        let mut start = 0u32;
+        let mut acc = 0u64;
+        for (id, seq) in db.iter() {
+            let len = seq.len() as u64;
+            if acc > 0 && acc + len > max_residues {
+                ranges.push((start, id.0));
+                residues.push(acc);
+                start = id.0;
+                acc = 0;
+            }
+            acc += len;
+        }
+        if acc > 0 || db.is_empty() {
+            ranges.push((start, db.len() as u32));
+            residues.push(acc);
+        }
+        VolumePlan { ranges, residues }
+    }
+
+    /// Number of volumes.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when the plan holds no volumes (never: an empty database
+    /// still produces one empty volume).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Materialise volume `v` as an owned sequence list (headers and ids
+    /// preserved via the id offset — the caller re-bases hit ids with
+    /// [`Self::rebase`]).
+    pub fn extract(&self, db: &SequenceDatabase, v: usize) -> Vec<EncodedSeq> {
+        let (s, e) = self.ranges[v];
+        (s..e)
+            .map(|i| {
+                let id = SeqId(i);
+                EncodedSeq {
+                    header: db.header(id).into(),
+                    residues: db.seq(id).residues.to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Map a volume-local sequence index back to the original id.
+    pub fn rebase(&self, v: usize, local: u32) -> SeqId {
+        SeqId(self.ranges[v].0 + local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::Alphabet;
+
+    fn db(lens: &[usize]) -> SequenceDatabase {
+        let a = Alphabet::protein();
+        SequenceDatabase::from_sequences(
+            lens.iter()
+                .enumerate()
+                .map(|(i, &l)| EncodedSeq::from_text(&format!("s{i}"), &vec![b'A'; l], &a).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn volumes_respect_cap() {
+        let d = db(&[30, 30, 30, 30, 30]);
+        let plan = VolumePlan::new(&d, 70);
+        assert_eq!(plan.len(), 3); // 60 + 60 + 30
+        assert_eq!(plan.residues, vec![60, 60, 30]);
+        assert!(plan.residues.iter().all(|&r| r <= 70));
+    }
+
+    #[test]
+    fn oversized_sequence_gets_own_volume() {
+        let d = db(&[10, 500, 10]);
+        let plan = VolumePlan::new(&d, 100);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.residues[1], 500, "the giant exceeds the cap alone");
+    }
+
+    #[test]
+    fn volumes_partition_ids() {
+        let d = db(&[5, 10, 15, 20, 25, 30]);
+        let plan = VolumePlan::new(&d, 40);
+        let mut covered = Vec::new();
+        for (s, e) in &plan.ranges {
+            covered.extend(*s..*e);
+        }
+        assert_eq!(covered, (0..6).collect::<Vec<_>>());
+        let total: u64 = plan.residues.iter().sum();
+        assert_eq!(total, d.total_residues());
+    }
+
+    #[test]
+    fn extract_and_rebase() {
+        let d = db(&[5, 10, 15]);
+        let plan = VolumePlan::new(&d, 16);
+        assert_eq!(plan.len(), 2);
+        let v1 = plan.extract(&d, 1);
+        assert_eq!(v1.len(), 1);
+        assert_eq!(v1[0].header.as_ref(), "s2");
+        assert_eq!(plan.rebase(1, 0), SeqId(2));
+    }
+
+    #[test]
+    fn empty_database_single_empty_volume() {
+        let d = db(&[]);
+        let plan = VolumePlan::new(&d, 100);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.residues, vec![0]);
+        assert!(plan.extract(&d, 0).is_empty());
+    }
+
+    #[test]
+    fn single_volume_when_cap_large() {
+        let d = db(&[10, 20, 30]);
+        let plan = VolumePlan::new(&d, 1_000_000);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.ranges[0], (0, 3));
+    }
+}

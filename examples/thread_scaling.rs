@@ -1,0 +1,54 @@
+//! Thread scaling — the Fig. 3 experiment in miniature, both real and
+//! simulated.
+//!
+//! The real half runs the actual kernels under the dynamic scheduler at
+//! increasing thread counts on this machine (results are exact whatever
+//! the core count). The simulated half replays the same schedule on the
+//! paper's 32-thread Xeon model and prints the efficiency ladder the
+//! paper quotes (99 % / 88 % / 70 % at 4 / 16 / 32 threads).
+//!
+//! Run with: `cargo run --release --example thread_scaling`
+
+use swhetero::core::prepare::shapes_from_lengths;
+use swhetero::prelude::*;
+use swhetero::seq::gen::generate_lengths;
+
+fn main() {
+    let alphabet = Alphabet::protein();
+
+    // ---- real execution on this machine ------------------------------
+    let seqs = generate_database(&DbSpec { n_seqs: 600, mean_len: 200.0, max_len: 1_500, seed: 2 });
+    let db = PreparedDb::prepare(seqs, 16, &alphabet);
+    let query = generate_query(375, 3);
+    let engine = SearchEngine::paper_default();
+
+    println!("real execution on this host (exactness is thread-count independent):");
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        let res = engine.search(&query.residues, &db, &SearchConfig::best(threads));
+        println!(
+            "  {threads} thread(s): {} in {:.3}s",
+            res.gcups(),
+            res.elapsed.as_secs_f64()
+        );
+        match &reference {
+            None => reference = Some(res.hits),
+            Some(r) => assert_eq!(&res.hits, r, "results must not depend on threads"),
+        }
+    }
+
+    // ---- simulated paper testbed --------------------------------------
+    let lens = generate_lengths(&DbSpec::swissprot_scaled(0.25, 1));
+    let model = CostModel::xeon();
+    let shapes = shapes_from_lengths(&lens, model.device.lanes_i16(), 2000);
+    println!("\nsimulated 2x Xeon E5-2670, intrinsic-SP, query length 2000:");
+    let base = simulate_search(&model, &shapes, &SimConfig::best(1));
+    for threads in [1u32, 2, 4, 8, 16, 32] {
+        let r = simulate_search(&model, &shapes, &SimConfig::best(threads));
+        println!(
+            "  {threads:>2} threads: {:>5.1} GCUPS  (efficiency {:.2})",
+            r.gcups,
+            r.gcups / (threads as f64 * base.gcups)
+        );
+    }
+}

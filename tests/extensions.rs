@@ -1,0 +1,264 @@
+//! Integration tests of the extension features: DNA search, dual
+//! precision, banded refinement, the heuristic comparator, alignment
+//! statistics and the pooled multi-query engine.
+
+use swhetero::core::stats::KarlinParams;
+use swhetero::heuristic::{HeuristicEngine, HeuristicOpts};
+use swhetero::kernels::banded::sw_banded;
+use swhetero::kernels::scalar::sw_score_scalar;
+use swhetero::prelude::*;
+use swhetero::swdb::SequenceDatabase;
+
+/// The engine is alphabet-generic: DNA search with a match/mismatch
+/// matrix end to end.
+#[test]
+fn dna_search_end_to_end() {
+    let dna = Alphabet::dna();
+    let matrix = SubstMatrix::match_mismatch(&dna, 5, -4);
+    let params = SwParams::new(matrix, GapPenalty::new(10, 2));
+    let engine = SearchEngine::new(params.clone());
+
+    let seqs: Vec<EncodedSeq> = [
+        &b"ACGTACGTACGTACGT"[..],
+        &b"TTTTTTTTTTTT"[..],
+        &b"ACGTACGAACGT"[..],
+        &b"GGGGCCCCGGGG"[..],
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| EncodedSeq::from_text(&format!("d{i}"), s, &dna).unwrap())
+    .collect();
+    let db = PreparedDb::prepare(seqs.clone(), 4, &dna);
+    let query = dna.encode_strict(b"ACGTACGTACGT").unwrap();
+    let res = engine.search(&query, &db, &SearchConfig::best(2));
+
+    // Reference check for every sequence.
+    for hit in &res.hits {
+        let expect = sw_score_scalar(&query, db.sorted.db().seq(hit.id).residues, &params);
+        assert_eq!(hit.score, expect);
+    }
+    // The perfect prefix match ranks first.
+    assert_eq!(res.hits[0].id.0, 0);
+    assert_eq!(res.hits[0].score, 12 * 5);
+}
+
+/// Dual precision through the public engine equals plain precision on a
+/// workload with a mix of small, medium and saturating scores.
+#[test]
+fn adaptive_precision_engine_equivalence() {
+    let a = Alphabet::protein();
+    let w = a.encode_byte(b'W').unwrap();
+    let mut seqs = generate_database(&DbSpec::tiny(31));
+    seqs.push(EncodedSeq { header: "mid".into(), residues: vec![w; 60] });
+    seqs.push(EncodedSeq { header: "giant".into(), residues: vec![w; 3100] });
+    let db = PreparedDb::prepare(seqs, 8, &a);
+    let query = EncodedSeq { header: "q".into(), residues: vec![w; 3100] };
+    let engine = SearchEngine::paper_default();
+    let plain = engine.search(
+        &query.residues,
+        &db,
+        &SearchConfig::best(2).with_variant(KernelVariant {
+            vec: Vectorization::Intrinsic,
+            profile: ProfileMode::Sequence,
+            blocking: false,
+        }),
+    );
+    let adaptive = engine.search(
+        &query.residues,
+        &db,
+        &SearchConfig {
+            adaptive_precision: true,
+            ..SearchConfig::best(2).with_variant(KernelVariant {
+                vec: Vectorization::Intrinsic,
+                profile: ProfileMode::Sequence,
+                blocking: false,
+            })
+        },
+    );
+    assert_eq!(plain.hits, adaptive.hits);
+    assert_eq!(adaptive.hits[0].score, 3100 * 11);
+}
+
+/// Banded SW with the band centred by a heuristic HSP reproduces the
+/// exact score of a gapless homolog at a fraction of the work.
+#[test]
+fn banded_heuristic_pipeline() {
+    let a = Alphabet::protein();
+    let query = a.encode_strict(b"MKVLITRAWQESTNHYFPGDMKVLITRAWQESTNHYFPGD").unwrap();
+    // Subject: query embedded at offset 10 in junk.
+    let mut subject = a.encode_strict(&vec![b'P'; 10]).unwrap();
+    subject.extend_from_slice(&query);
+    subject.extend(a.encode_strict(&vec![b'G'; 10]).unwrap());
+
+    let params = SwParams::paper_default();
+    let exact = sw_score_scalar(&query, &subject, &params);
+    // Band centred on the true diagonal (+10) with a tiny radius.
+    assert_eq!(sw_banded(&query, &subject, &params, 10, 2), exact);
+
+    // Through the heuristic engine with banded refinement.
+    let db = SequenceDatabase::from_sequences(vec![EncodedSeq {
+        header: "s".into(),
+        residues: subject.clone(),
+    }]);
+    let engine = HeuristicEngine {
+        params: params.clone(),
+        opts: HeuristicOpts { band_radius: Some(8), ..Default::default() },
+    };
+    let res = engine.search(&query, &db);
+    assert_eq!(res.hits[0].score, exact);
+    assert!(res.refine_cells < (query.len() * subject.len()) as u64 / 2);
+}
+
+/// Heuristic hits are always a subset of the exact engine's ranking with
+/// identical scores for surfaced candidates.
+#[test]
+fn heuristic_scores_match_exact_engine() {
+    let a = Alphabet::protein();
+    let seqs = generate_database(&DbSpec { n_seqs: 80, mean_len: 120.0, max_len: 400, seed: 3 });
+    let query = generate_query(200, 17).residues;
+    let exact_engine = SearchEngine::paper_default();
+    let db = PreparedDb::prepare(seqs.clone(), 8, &a);
+    let exact = exact_engine.search(&query, &db, &SearchConfig::best(2));
+    let by_id: std::collections::HashMap<u32, i64> =
+        exact.hits.iter().map(|h| (h.id.0, h.score)).collect();
+
+    let flat = SequenceDatabase::from_sequences(seqs);
+    let heuristic = HeuristicEngine {
+        params: SwParams::paper_default(),
+        opts: HeuristicOpts { min_hsp_score: 15, ..Default::default() },
+    };
+    let h = heuristic.search(&query, &flat);
+    for hit in &h.hits {
+        assert_eq!(hit.score, by_id[&hit.id.0], "refined scores must be exact");
+    }
+}
+
+/// E-values integrate consistently with engine scores: the top hit of a
+/// planted-homolog search is overwhelmingly significant, random decoys
+/// are not.
+#[test]
+fn evalues_separate_signal_from_noise() {
+    let a = Alphabet::protein();
+    let query = generate_query(300, 5);
+    let mut seqs = generate_database(&DbSpec { n_seqs: 100, mean_len: 300.0, max_len: 900, seed: 9 });
+    seqs.push(query.clone()); // plant an identical copy
+    let db = PreparedDb::prepare(seqs, 8, &a);
+    let engine = SearchEngine::paper_default();
+    let res = engine.search(&query.residues, &db, &SearchConfig::best(2));
+    let karlin = KarlinParams::gapped_approx(&engine.params.matrix);
+    let db_res = db.stats.total_residues;
+
+    let top_e = karlin.evalue(res.hits[0].score, query.residues.len(), db_res);
+    assert!(top_e < 1e-100, "self-hit E-value must be negligible: {top_e}");
+    // Median decoy has E-value around or above 1 (not significant).
+    let mid = res.hits[res.hits.len() / 2];
+    let mid_e = karlin.evalue(mid.score, query.residues.len(), db_res);
+    assert!(mid_e > 1e-4, "typical decoy must not look significant: {mid_e}");
+    // Bit scores order like raw scores.
+    assert!(karlin.bit_score(res.hits[0].score) > karlin.bit_score(mid.score));
+}
+
+/// Pooled multi-query search over the whole paper query set matches
+/// per-query searches.
+#[test]
+fn pooled_query_set_matches_individual() {
+    let a = Alphabet::protein();
+    let seqs = generate_database(&DbSpec { n_seqs: 40, mean_len: 100.0, max_len: 300, seed: 8 });
+    let db = PreparedDb::prepare(seqs, 16, &a);
+    let engine = SearchEngine::paper_default();
+    let queries: Vec<EncodedSeq> = generate_query_set(3).into_iter().take(6).collect();
+    let refs: Vec<&[u8]> = queries.iter().map(|q| q.residues.as_slice()).collect();
+    let pooled = engine.search_many(&refs, &db, &SearchConfig::best(4));
+    for (q, pooled_res) in queries.iter().zip(&pooled) {
+        let single = engine.search(&q.residues, &db, &SearchConfig::best(1));
+        assert_eq!(pooled_res.hits, single.hits, "query {}", q.header);
+    }
+}
+
+/// BLASTX-style workflow: a DNA query translated in six frames and
+/// searched against a protein database; the frame carrying the real
+/// coding sequence wins.
+#[test]
+fn translated_dna_search_finds_coding_frame() {
+    use swhetero::seq::translate::six_frames;
+    let protein = Alphabet::protein();
+    let dna = Alphabet::dna();
+
+    // A protein target and synthetic decoys.
+    let target = protein.encode_strict(b"MKWLNEHRAGDFERQSTVYK").unwrap();
+    let mut seqs =
+        vec![EncodedSeq { header: "target".into(), residues: target.clone() }];
+    seqs.extend(generate_database(&DbSpec { n_seqs: 50, mean_len: 60.0, max_len: 200, seed: 2 }));
+    let db = PreparedDb::prepare(seqs, 8, &protein);
+
+    // A DNA query encoding the target on the minus strand: take a real
+    // coding sequence for the target and reverse-complement it.
+    // Build the coding DNA by picking one codon per residue via brute
+    // force over the codon table.
+    let mut coding = Vec::new();
+    'outer: for &aa in &target {
+        for b1 in 0..4u8 {
+            for b2 in 0..4u8 {
+                for b3 in 0..4u8 {
+                    let t = swhetero::seq::translate::translate_codon(b1, b2, b3);
+                    if protein.encode_byte(t) == Some(aa) {
+                        coding.extend_from_slice(&[b1, b2, b3]);
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        panic!("no codon for residue {aa}");
+    }
+    let dna_query = swhetero::seq::dna::reverse_complement(&coding);
+    let _ = dna;
+
+    // Search each frame; the -1 frame must contain the full-score hit.
+    let engine = SearchEngine::paper_default();
+    let self_score: i64 =
+        target.iter().map(|&r| engine.params.matrix.score(r, r) as i64).sum();
+    let mut best_frame = ("", 0i64);
+    for (label, frame_protein) in six_frames(&dna_query, &protein) {
+        if frame_protein.is_empty() {
+            continue;
+        }
+        let res = engine.search(&frame_protein, &db, &SearchConfig::best(1));
+        if res.hits[0].score > best_frame.1 {
+            best_frame = (label, res.hits[0].score);
+        }
+    }
+    assert_eq!(best_frame.0, "-1", "the coding frame is the minus strand");
+    assert_eq!(best_frame.1, self_score, "frame search recovers the exact protein hit");
+}
+
+/// Alignment-mode relationships hold through the public API.
+#[test]
+fn alignment_mode_relationships() {
+    use swhetero::kernels::modes::{nw_score_global, sw_score_semi_global};
+    use swhetero::kernels::scalar::sw_score_scalar;
+    let a = Alphabet::protein();
+    let p = SwParams::paper_default();
+    let q = a.encode_strict(b"MKVLITRAWQ").unwrap();
+    let s = a.encode_strict(b"GGGMKVLITRAWQGGG").unwrap();
+    let local = sw_score_scalar(&q, &s, &p);
+    let semi = sw_score_semi_global(&q, &s, &p);
+    let global = nw_score_global(&q, &s, &p);
+    assert_eq!(local, semi, "embedded query: local == semi-global");
+    assert!(global < semi, "global pays for the flanks");
+}
+
+/// The KNL projection presets behave like devices (sanity of the future
+/// study's inputs).
+#[test]
+fn knl_presets_are_coherent() {
+    use swhetero::device::presets;
+    let knc = presets::xeon_phi_60c();
+    let knl = presets::xeon_phi_knl_7210();
+    assert!(knl.max_threads() > knc.max_threads());
+    assert!(knl.pcie.is_none(), "KNL is self-hosted");
+    // Out-of-order single-thread issue is no longer halved.
+    let p1 = knl.place_threads(64);
+    assert!(knl.issue_eff(p1) >= 1.0);
+    let costs = presets::knl_costs();
+    assert!(costs.cpv_intr_sp < presets::phi_costs().cpv_intr_sp);
+}

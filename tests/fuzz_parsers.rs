@@ -1,0 +1,136 @@
+//! Failure-injection / never-panic properties of every parser and
+//! deserializer: arbitrary bytes must produce `Ok` or `Err`, never a
+//! panic, and accepted inputs must round-trip.
+
+use proptest::prelude::*;
+use swhetero::prelude::*;
+use swhetero::seq::fasta::{read_encoded, FastaReader};
+use swhetero::seq::matrices::parser::parse_ncbi;
+use swhetero::swdb::snapshot;
+use swhetero::swdb::SequenceDatabase;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The FASTA reader never panics on arbitrary bytes.
+    #[test]
+    fn fasta_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let _ = FastaReader::new(&data[..]).collect::<Result<Vec<_>, _>>();
+        let _ = read_encoded(&data[..], &Alphabet::protein());
+    }
+
+    /// The FASTA reader never panics on arbitrary ASCII text either (a
+    /// denser source of almost-valid input).
+    #[test]
+    fn fasta_reader_never_panics_on_text(data in "[ -~\n\r]{0,800}") {
+        let _ = read_encoded(data.as_bytes(), &Alphabet::protein());
+    }
+
+    /// Well-formed FASTA round-trips through write → read exactly.
+    #[test]
+    fn fasta_roundtrip(
+        seqs in prop::collection::vec(
+            ("[A-Za-z0-9_ ]{1,20}", prop::collection::vec(0u8..20, 1..200)),
+            1..10,
+        ),
+        width in 1usize..100,
+    ) {
+        let a = Alphabet::protein();
+        let originals: Vec<EncodedSeq> = seqs
+            .iter()
+            .map(|(h, r)| EncodedSeq { header: h.trim().to_string().into(), residues: r.clone() })
+            .collect();
+        // Headers must be non-empty after trimming for exact round-trip.
+        prop_assume!(originals.iter().all(|s| !s.header.is_empty()));
+        let mut w = swhetero::seq::FastaWriter::new(Vec::new()).with_width(width);
+        for s in &originals {
+            w.write(s, &a).unwrap();
+        }
+        let bytes = w.into_inner().unwrap();
+        let back = read_encoded(&bytes[..], &a).unwrap();
+        prop_assert_eq!(back, originals);
+    }
+
+    /// The snapshot reader never panics on arbitrary bytes.
+    #[test]
+    fn snapshot_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let _ = snapshot::read(&data);
+    }
+
+    /// Snapshots round-trip for arbitrary databases, and every corruption
+    /// of a single byte either still parses or fails cleanly.
+    #[test]
+    fn snapshot_roundtrip_and_corruption(
+        seqs in prop::collection::vec(
+            ("[a-z]{1,10}", prop::collection::vec(0u8..24, 1..50)),
+            0..8,
+        ),
+        flip_at in any::<prop::sample::Index>(),
+        flip_to in any::<u8>(),
+    ) {
+        let db = SequenceDatabase::from_sequences(
+            seqs.iter()
+                .map(|(h, r)| EncodedSeq { header: h.clone().into(), residues: r.clone() })
+                .collect(),
+        );
+        let bytes = snapshot::write(&db);
+        prop_assert_eq!(snapshot::read(&bytes).unwrap(), db);
+        if !bytes.is_empty() {
+            let mut corrupt = bytes.clone();
+            let ix = flip_at.index(corrupt.len());
+            corrupt[ix] = flip_to;
+            let _ = snapshot::read(&corrupt); // must not panic
+        }
+    }
+
+    /// The NCBI matrix parser never panics on arbitrary text.
+    #[test]
+    fn matrix_parser_never_panics(text in "[ -~\n]{0,1500}") {
+        let _ = parse_ncbi("fuzz", &text, &Alphabet::protein());
+        let _ = parse_ncbi("fuzz", &text, &Alphabet::dna());
+    }
+
+    /// Lenient encoding accepts any alphabetic text; strict rejects
+    /// exactly the non-canonical letters.
+    #[test]
+    fn encoding_agreement(text in "[A-Za-z]{1,200}") {
+        let a = Alphabet::protein();
+        let lenient = a.encode_lenient(text.as_bytes()).unwrap();
+        prop_assert_eq!(lenient.len(), text.len());
+        match a.encode_strict(text.as_bytes()) {
+            Ok(strict) => prop_assert_eq!(strict, lenient),
+            Err(e) => {
+                // The reported byte really is outside the canonical set.
+                if let SeqError::InvalidResidue { byte, .. } = e {
+                    prop_assert!(a.encode_byte(byte).is_none());
+                } else {
+                    prop_assert!(false, "unexpected error kind: {e}");
+                }
+            }
+        }
+    }
+}
+
+use swhetero::seq::SeqError;
+
+/// Hand-picked hostile FASTA inputs fail with line-accurate errors.
+#[test]
+fn fasta_error_line_numbers() {
+    let cases: [(&[u8], usize); 3] = [
+        (b"garbage\n>ok\nMKV\n", 1),
+        (b">a\nMKV\n\nstillsequence\n>b\nWW\n", 0), // continuation, fine
+        (b">empty\n>next\nMKV\n", 2),
+    ];
+    let (data, line) = cases[0];
+    match read_encoded(data, &Alphabet::protein()) {
+        Err(SeqError::Fasta { line: l, .. }) => assert_eq!(l, line),
+        other => panic!("expected FASTA error, got {other:?}"),
+    }
+    // Case 1 parses fine: bare text after a record continues the sequence.
+    assert!(read_encoded(cases[1].0, &Alphabet::protein()).is_ok());
+    let (data, line) = cases[2];
+    match read_encoded(data, &Alphabet::protein()) {
+        Err(SeqError::Fasta { line: l, .. }) => assert_eq!(l, line),
+        other => panic!("expected FASTA error, got {other:?}"),
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests (proptest) of the core invariants.
+//!
+//! The central property is cross-variant score equivalence: every kernel
+//! the paper evaluates must return exactly the scalar-reference score.
+//! Around it: mathematical invariants of Smith-Waterman itself and of the
+//! preprocessing/scheduling substrates.
+
+use proptest::prelude::*;
+use swhetero::kernels::blocked::{sw_blocked_qp, BlockedWorkspace};
+use swhetero::kernels::guided::{sw_guided_qp, sw_guided_sp, GuidedWorkspace};
+use swhetero::kernels::intertask::{sw_lanes_qp, sw_lanes_sp, Workspace};
+use swhetero::kernels::scalar::sw_score_scalar;
+use swhetero::kernels::striped::sw_striped_pair;
+use swhetero::kernels::traceback::sw_align;
+use swhetero::prelude::*;
+use swhetero::swdb::batch::pad_code;
+use swhetero::swdb::LaneBatch;
+
+fn residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..20, 1..max_len)
+}
+
+fn gap_params() -> impl Strategy<Value = SwParams> {
+    (0i32..12, 1i32..4).prop_map(|(open, extend)| {
+        SwParams::new(SubstMatrix::blosum62(), GapPenalty::new(open, extend))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All vector kernels equal the scalar reference on random batches.
+    #[test]
+    fn all_kernels_agree_with_scalar(
+        query in residues(48),
+        subjects in prop::collection::vec(residues(64), 1..8),
+        params in gap_params(),
+    ) {
+        let a = Alphabet::protein();
+        let refs: Vec<(SeqId, &[u8])> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeqId(i as u32), s.as_slice()))
+            .collect();
+        let batch = LaneBatch::pack(8, &refs, pad_code(&a));
+        let qp = QueryProfile::build(&query, &params.matrix, &a);
+        let sp = SequenceProfile::build(&batch, &params.matrix, &a);
+
+        let mut iws = Workspace::<8>::new();
+        let mut gws = GuidedWorkspace::new();
+        let mut bws = BlockedWorkspace::<8>::new();
+        let o1 = sw_lanes_qp::<8>(&qp, &batch, &params.gap, &mut iws);
+        let o2 = sw_lanes_sp::<8>(&query, &sp, &batch, &params.gap, &mut iws);
+        let o3 = sw_guided_qp(&qp, &batch, &params.gap, &mut gws);
+        let o4 = sw_guided_sp(&query, &sp, &batch, &params.gap, &mut gws);
+        let o5 = sw_blocked_qp::<8>(&qp, &batch, &params.gap, 7, &mut bws);
+
+        for (lane, s) in subjects.iter().enumerate() {
+            let expect = sw_score_scalar(&query, s, &params);
+            prop_assert_eq!(o1.scores[lane], expect);
+            prop_assert_eq!(o2.scores[lane], expect);
+            prop_assert_eq!(o3.scores[lane], expect);
+            prop_assert_eq!(o4.scores[lane], expect);
+            prop_assert_eq!(o5.scores[lane], expect);
+            // Striped (intra-task) agrees too.
+            prop_assert_eq!(sw_striped_pair::<8>(&query, s, &params).score, expect);
+        }
+    }
+
+    /// SW score is symmetric under a symmetric matrix.
+    #[test]
+    fn score_symmetric(a in residues(40), b in residues(40), params in gap_params()) {
+        prop_assert_eq!(
+            sw_score_scalar(&a, &b, &params),
+            sw_score_scalar(&b, &a, &params)
+        );
+    }
+
+    /// Local alignment scores are never negative and never exceed the
+    /// perfect-diagonal upper bound.
+    #[test]
+    fn score_bounds(a in residues(40), b in residues(40)) {
+        let params = SwParams::paper_default();
+        let s = sw_score_scalar(&a, &b, &params);
+        prop_assert!(s >= 0);
+        let bound = a.len().min(b.len()) as i64 * params.matrix.max_score() as i64;
+        prop_assert!(s <= bound, "score {} exceeds bound {}", s, bound);
+    }
+
+    /// Appending residues to the subject never lowers the score
+    /// (local alignment can only gain candidate segments).
+    #[test]
+    fn subject_extension_monotone(
+        q in residues(30),
+        s in residues(30),
+        extra in residues(10),
+    ) {
+        let params = SwParams::paper_default();
+        let base = sw_score_scalar(&q, &s, &params);
+        let mut longer = s.clone();
+        longer.extend_from_slice(&extra);
+        prop_assert!(sw_score_scalar(&q, &longer, &params) >= base);
+    }
+
+    /// Self-alignment equals the sum of diagonal scores (all BLOSUM62
+    /// diagonals are positive, so the perfect path has no reason to stop).
+    #[test]
+    fn self_alignment_is_diagonal_sum(q in residues(40)) {
+        let params = SwParams::paper_default();
+        let expect: i64 = q.iter().map(|&r| params.matrix.score(r, r) as i64).sum();
+        prop_assert_eq!(sw_score_scalar(&q, &q, &params), expect);
+    }
+
+    /// Traceback consistency: recomputing the alignment path's score
+    /// reproduces the reported score, and ranges are in bounds.
+    #[test]
+    fn traceback_consistent(q in residues(32), s in residues(32), params in gap_params()) {
+        if let Some(al) = sw_align(&q, &s, &params) {
+            prop_assert_eq!(al.recompute_score(&q, &s, &params), al.score);
+            prop_assert_eq!(al.score, sw_score_scalar(&q, &s, &params));
+            prop_assert!(al.query_range.1 <= q.len());
+            prop_assert!(al.subject_range.1 <= s.len());
+            prop_assert!(al.query_range.0 <= al.query_range.1);
+        } else {
+            prop_assert_eq!(sw_score_scalar(&q, &s, &params), 0);
+        }
+    }
+
+    /// Engine-level: hits cover every sequence exactly once and come back
+    /// sorted, for random small databases.
+    #[test]
+    fn engine_hit_set_is_a_sorted_permutation(
+        lens in prop::collection::vec(1usize..60, 1..25),
+        seed in 0u64..1000,
+    ) {
+        let alphabet = Alphabet::protein();
+        let mut g = swhetero::seq::gen::SwissProtGen::new(50.0, seed);
+        let seqs: Vec<EncodedSeq> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| g.sequence(&format!("s{i}"), l as u32))
+            .collect();
+        let n = seqs.len();
+        let db = PreparedDb::prepare(seqs, 4, &alphabet);
+        let engine = SearchEngine::paper_default();
+        let query = g.sequence("q", 30);
+        let res = engine.search(&query.residues, &db, &SearchConfig::best(1));
+        prop_assert_eq!(res.hits.len(), n);
+        let mut ids: Vec<u32> = res.hits.iter().map(|h| h.id.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+        prop_assert!(res.hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    /// Batching invariant: every sequence appears in exactly one batch,
+    /// padding is never counted as real cells.
+    #[test]
+    fn batching_conserves_sequences(
+        lens in prop::collection::vec(1usize..200, 1..40),
+        lanes in 1usize..33,
+    ) {
+        let alphabet = Alphabet::protein();
+        let mut g = swhetero::seq::gen::SwissProtGen::new(50.0, 3);
+        let seqs: Vec<EncodedSeq> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| g.sequence(&format!("s{i}"), l as u32))
+            .collect();
+        let total_res: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+        let sorted = SortedDb::new(SequenceDatabase::from_sequences(seqs));
+        let batches = LaneBatcher::new(lanes, &alphabet).batch(&sorted);
+        let seen: usize = batches.iter().map(|b| b.real_lanes()).sum();
+        prop_assert_eq!(seen, lens.len());
+        let real: u64 = batches.iter().map(|b| b.real_cells(1)).sum();
+        prop_assert_eq!(real, total_res);
+        let padded: u64 = batches.iter().map(|b| b.padded_cells(1)).sum();
+        prop_assert!(padded >= real);
+    }
+
+    /// Scheduling invariant: for any cost vector and worker count, the
+    /// simulated makespan respects the lower bound and conserves work.
+    #[test]
+    fn desim_respects_bounds(
+        costs in prop::collection::vec(0.0f64..10.0, 1..200),
+        workers in 1usize..64,
+    ) {
+        use swhetero::sched::desim::{makespan_lower_bound, simulate};
+        for policy in [Policy::Static, Policy::dynamic(), Policy::guided()] {
+            let r = simulate(&costs, workers, policy);
+            let total: f64 = costs.iter().sum();
+            prop_assert!((r.total_busy() - total).abs() < 1e-6 * total.max(1.0));
+            prop_assert!(r.makespan >= makespan_lower_bound(&costs, workers) - 1e-9);
+            prop_assert!(r.makespan <= total + 1e-9);
+        }
+    }
+
+    /// Split invariant: for any fraction, the two shares partition the
+    /// lengths and their residue counts bracket the requested fraction.
+    #[test]
+    fn hetero_split_partitions(
+        lens in prop::collection::vec(1u32..5000, 1..300),
+        frac in 0.0f64..1.0,
+    ) {
+        use swhetero::core::simulate::split_lengths;
+        let (cpu, accel) = split_lengths(&lens, frac);
+        prop_assert_eq!(cpu.len() + accel.len(), lens.len());
+        let total: u64 = lens.iter().map(|&l| l as u64).sum();
+        let got: u64 = cpu.iter().chain(accel.iter()).map(|&l| l as u64).sum();
+        prop_assert_eq!(got, total);
+        // Every accel sequence is at least as long as every cpu sequence
+        // (suffix of the sorted order).
+        if let (Some(&cpu_max), Some(&accel_min)) = (cpu.last(), accel.first()) {
+            prop_assert!(accel_min >= cpu_max);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests of the figure-level claims: each paper figure's
+//! qualitative shape must hold in the simulation, at a reduced database
+//! scale so the suite stays fast.
+
+use swhetero::core::prepare::shapes_from_lengths;
+use swhetero::prelude::*;
+use swhetero::seq::gen::generate_lengths;
+use swhetero::seq::swissprot::QUERY_SET;
+
+fn lens() -> Vec<u32> {
+    generate_lengths(&DbSpec::swissprot_scaled(0.15, 1))
+}
+
+fn variant(vec: Vectorization, profile: ProfileMode) -> KernelVariant {
+    KernelVariant { vec, profile, blocking: true }
+}
+
+fn sim(model: &CostModel, v: KernelVariant, threads: u32, qlen: usize, lens: &[u32]) -> f64 {
+    let shapes = shapes_from_lengths(lens, model.device.lanes_i16(), qlen);
+    let cfg = SimConfig { variant: v, ..SimConfig::streamed(threads, 8) };
+    simulate_search(model, &shapes, &cfg).gcups
+}
+
+/// Fig. 3 shape: on the Xeon, rates are ordered
+/// no-vec ≪ simd-QP < simd-SP and intrinsic-QP < intrinsic-SP, and every
+/// variant scales with threads.
+#[test]
+fn fig3_variant_ordering_and_scaling() {
+    let model = CostModel::xeon();
+    let l = lens();
+    let order = [
+        variant(Vectorization::NoVec, ProfileMode::Sequence),
+        variant(Vectorization::Guided, ProfileMode::Query),
+        variant(Vectorization::Guided, ProfileMode::Sequence),
+        variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+    ];
+    let rates: Vec<f64> = order.iter().map(|&v| sim(&model, v, 32, 2000, &l)).collect();
+    assert!(
+        rates.windows(2).all(|w| w[0] < w[1]),
+        "Fig 3 ordering violated: {rates:?}"
+    );
+    // Thread scaling is monotone for the best variant.
+    let best = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
+    let mut last = 0.0;
+    for t in [1u32, 2, 4, 8, 16, 32] {
+        let g = sim(&model, best, t, 2000, &l);
+        assert!(g > last, "thread scaling broke at {t}: {g} <= {last}");
+        last = g;
+    }
+}
+
+/// Fig. 4 shape: on the Xeon, QP variants are well below SP (no vector
+/// gather on AVX), and SP rates rise with query length.
+#[test]
+fn fig4_qp_sp_gap_and_rising_sp() {
+    let model = CostModel::xeon();
+    let l = lens();
+    let qp = variant(Vectorization::Intrinsic, ProfileMode::Query);
+    let sp = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
+    for qlen in [144usize, 1000, 5478] {
+        assert!(
+            sim(&model, qp, 32, qlen, &l) < sim(&model, sp, 32, qlen, &l),
+            "QP must trail SP at query length {qlen}"
+        );
+    }
+    let short = sim(&model, sp, 32, 144, &l);
+    let long = sim(&model, sp, 32, 5478, &l);
+    assert!(long > short, "SP must rise with query length ({short} -> {long})");
+}
+
+/// Fig. 5 shape: Phi rates at 240 threads keep the paper's ordering with
+/// a *small* intrinsic QP/SP gap (hardware gather) and a large
+/// guided/intrinsic gap.
+#[test]
+fn fig5_phi_orderings() {
+    let model = CostModel::phi();
+    let l = lens();
+    let s_qp = sim(&model, variant(Vectorization::Guided, ProfileMode::Query), 240, 2000, &l);
+    let s_sp = sim(&model, variant(Vectorization::Guided, ProfileMode::Sequence), 240, 2000, &l);
+    let i_qp = sim(&model, variant(Vectorization::Intrinsic, ProfileMode::Query), 240, 2000, &l);
+    let i_sp = sim(&model, variant(Vectorization::Intrinsic, ProfileMode::Sequence), 240, 2000, &l);
+    assert!(s_qp < s_sp && s_sp < i_qp && i_qp < i_sp, "{s_qp} {s_sp} {i_qp} {i_sp}");
+    // Guided is under half of intrinsic on the Phi ("hand-vectorization
+    // [has] more impact ... than in Intel Xeon").
+    assert!(s_sp < 0.5 * i_sp);
+    // Thread scaling 30 → 240 grows by well over 3×.
+    let g30 = sim(&model, variant(Vectorization::Intrinsic, ProfileMode::Sequence), 30, 2000, &l);
+    assert!(i_sp > 3.0 * g30, "Phi scaling 30→240: {g30} -> {i_sp}");
+}
+
+/// Fig. 6 shape: on the Phi every vectorized variant rises with query
+/// length.
+#[test]
+fn fig6_phi_rising_with_query_length() {
+    let model = CostModel::phi();
+    let l = lens();
+    for v in [
+        variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+        variant(Vectorization::Intrinsic, ProfileMode::Query),
+        variant(Vectorization::Guided, ProfileMode::Sequence),
+    ] {
+        let short = sim(&model, v, 240, 144, &l);
+        let long = sim(&model, v, 240, 5478, &l);
+        assert!(long >= short * 0.98, "{v}: {short} -> {long}");
+    }
+}
+
+/// Fig. 7 shape: blocking gains nothing for short queries, is decisive
+/// for long ones, and matters far more on the Phi than on the Xeon.
+#[test]
+fn fig7_blocking_shape() {
+    let l = lens();
+    let blocked = KernelVariant::best();
+    let unblocked = KernelVariant { blocking: false, ..blocked };
+    let xeon = CostModel::xeon();
+    let phi = CostModel::phi();
+
+    // Short query: no difference anywhere.
+    let pb = sim(&phi, blocked, 240, 144, &l);
+    let pu = sim(&phi, unblocked, 240, 144, &l);
+    assert!((pb - pu).abs() / pb < 0.01, "short-query blocking gap: {pb} vs {pu}");
+
+    // Long query: both devices lose without blocking, the Phi much more.
+    let xeon_loss = 1.0 - sim(&xeon, unblocked, 32, 5478, &l) / sim(&xeon, blocked, 32, 5478, &l);
+    let phi_loss = 1.0 - sim(&phi, unblocked, 240, 5478, &l) / sim(&phi, blocked, 240, 5478, &l);
+    assert!(xeon_loss > 0.01, "xeon must lose something: {xeon_loss}");
+    assert!(phi_loss > 2.0 * xeon_loss, "phi loss {phi_loss} vs xeon {xeon_loss}");
+}
+
+/// Fig. 8 shape: the split sweep has an interior optimum near 55 % Phi
+/// share whose rate approaches the sum of the endpoints.
+#[test]
+fn fig8_split_sweep_shape() {
+    let l = lens();
+    let xeon = CostModel::xeon();
+    let phi = CostModel::phi();
+    let cpu_cfg = SimConfig::streamed(32, 8);
+    let phi_cfg = SimConfig::streamed(240, 8);
+    let sweep: Vec<(f64, f64)> = (0..=10)
+        .map(|i| {
+            let f = i as f64 / 10.0;
+            let r = simulate_hetero((&xeon, &cpu_cfg), (&phi, &phi_cfg), &l, 2000, f);
+            (f, r.gcups)
+        })
+        .collect();
+    let (best_f, best_g) = sweep
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    let cpu_only = sweep[0].1;
+    let phi_only = sweep[10].1;
+    assert!((0.4..=0.7).contains(&best_f), "optimum at {best_f}");
+    assert!(best_g > cpu_only && best_g > phi_only);
+    assert!(best_g > 0.85 * (cpu_only + phi_only), "{best_g} vs {cpu_only}+{phi_only}");
+}
+
+/// The paper's 20-query set drives all per-length figures; make sure the
+/// simulated per-query sweep runs for every length.
+#[test]
+fn per_query_sweep_covers_paper_set() {
+    let model = CostModel::xeon();
+    let l = lens();
+    for q in QUERY_SET {
+        let g = sim(&model, KernelVariant::best(), 32, q.len as usize, &l);
+        assert!(g > 5.0, "query {} ({}): {g}", q.accession, q.len);
+    }
+}
+
+/// Scheduling ablation (§IV prose): dynamic > guided > static on the
+/// pooled workload.
+#[test]
+fn scheduling_ablation_ordering() {
+    let model = CostModel::xeon();
+    let l = lens();
+    let shapes = shapes_from_lengths(&l, 16, 2000);
+    let run = |policy: Policy| {
+        let cfg = SimConfig { policy, ..SimConfig::best(32) };
+        simulate_search(&model, &shapes, &cfg).gcups
+    };
+    let stat = run(Policy::Static);
+    let guided = run(Policy::guided());
+    let dynamic = run(Policy::dynamic());
+    assert!(dynamic >= guided * 0.999, "dynamic {dynamic} vs guided {guided}");
+    assert!(guided > stat, "guided {guided} vs static {stat}");
+    assert!(dynamic > 1.05 * stat, "dynamic must beat static significantly");
+}

@@ -1,20 +1,19 @@
-//! Criterion micro-benchmarks of the real kernels on the host.
+//! Micro-benchmarks of the real kernels on the host (std-only harness,
+//! see `sw_bench::micro`).
 //!
-//! These measure *this machine's* throughput (cells/s, reported via
-//! criterion's throughput counter) for every kernel variant — the
-//! host-measured complement to the simulated device figures. They also
-//! demonstrate the orderings the paper relies on: profile layouts matter,
-//! explicit-lane code beats scalar by a wide margin, and blocking is free
-//! for short queries.
+//! These measure *this machine's* throughput (cells/s) for every kernel
+//! variant — the host-measured complement to the simulated device
+//! figures. They also demonstrate the orderings the paper relies on:
+//! profile layouts matter, explicit-lane code beats scalar by a wide
+//! margin, and blocking is free for short queries.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
+use sw_bench::micro;
+use sw_kernels::banded::sw_banded;
 use sw_kernels::blocked::{sw_blocked_sp, BlockedWorkspace};
 use sw_kernels::guided::{sw_guided_qp, sw_guided_sp, GuidedWorkspace};
 use sw_kernels::intertask::{sw_lanes_qp, sw_lanes_sp, Workspace};
-use sw_kernels::scalar::{sw_score_scalar, SwParams};
-use sw_kernels::banded::sw_banded;
 use sw_kernels::narrow::{sw_adaptive_sp, NarrowWorkspace};
+use sw_kernels::scalar::{sw_score_scalar, SwParams};
 use sw_kernels::striped::{sw_striped, StripedProfile};
 use sw_seq::gen::SwissProtGen;
 use sw_seq::{Alphabet, SeqId};
@@ -40,93 +39,93 @@ fn fixture() -> Fixture {
     let params = SwParams::paper_default();
     let mut g = SwissProtGen::new(355.4, 99);
     let query = g.sequence("q", QUERY_LEN).residues;
-    let subjects: Vec<Vec<u8>> =
-        (0..LANES).map(|_| g.sequence("s", SUBJECT_LEN).residues).collect();
-    let refs: Vec<(SeqId, &[u8])> =
-        subjects.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+    let subjects: Vec<Vec<u8>> = (0..LANES)
+        .map(|_| g.sequence("s", SUBJECT_LEN).residues)
+        .collect();
+    let refs: Vec<(SeqId, &[u8])> = subjects
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (SeqId(i as u32), s.as_slice()))
+        .collect();
     let batch = LaneBatch::pack(LANES, &refs, pad_code(&a));
     let qp = QueryProfile::build(&query, &params.matrix, &a);
     let sp = SequenceProfile::build(&batch, &params.matrix, &a);
     let cells = batch.real_cells(query.len());
-    Fixture { params, query, subjects, batch, qp, sp, cells }
+    Fixture {
+        params,
+        query,
+        subjects,
+        batch,
+        qp,
+        sp,
+        cells,
+    }
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let f = fixture();
-    let mut group = c.benchmark_group("kernels");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1200))
-        .throughput(Throughput::Elements(f.cells));
+    micro::section("kernels (cells/s as elem/s)");
 
-    group.bench_function("scalar (no-vec)", |b| {
-        b.iter(|| {
-            let mut total = 0i64;
-            for s in &f.subjects {
-                total += sw_score_scalar(&f.query, s, &f.params);
-            }
-            total
-        })
+    micro::run("scalar (no-vec)", f.cells, || {
+        let mut total = 0i64;
+        for s in &f.subjects {
+            total += sw_score_scalar(&f.query, s, &f.params);
+        }
+        total
     });
 
-    group.bench_function("guided-QP", |b| {
-        let mut ws = GuidedWorkspace::new();
-        b.iter(|| sw_guided_qp(&f.qp, &f.batch, &f.params.gap, &mut ws))
+    let mut gws = GuidedWorkspace::new();
+    micro::run("guided-QP", f.cells, || {
+        sw_guided_qp(&f.qp, &f.batch, &f.params.gap, &mut gws)
+    });
+    let mut gws = GuidedWorkspace::new();
+    micro::run("guided-SP", f.cells, || {
+        sw_guided_sp(&f.query, &f.sp, &f.batch, &f.params.gap, &mut gws)
     });
 
-    group.bench_function("guided-SP", |b| {
-        let mut ws = GuidedWorkspace::new();
-        b.iter(|| sw_guided_sp(&f.query, &f.sp, &f.batch, &f.params.gap, &mut ws))
+    let mut iws = Workspace::<LANES>::new();
+    micro::run("intrinsic-QP", f.cells, || {
+        sw_lanes_qp::<LANES>(&f.qp, &f.batch, &f.params.gap, &mut iws)
+    });
+    let mut iws = Workspace::<LANES>::new();
+    micro::run("intrinsic-SP", f.cells, || {
+        sw_lanes_sp::<LANES>(&f.query, &f.sp, &f.batch, &f.params.gap, &mut iws)
     });
 
-    group.bench_function("intrinsic-QP", |b| {
-        let mut ws = Workspace::<LANES>::new();
-        b.iter(|| sw_lanes_qp::<LANES>(&f.qp, &f.batch, &f.params.gap, &mut ws))
+    let mut bws = BlockedWorkspace::<LANES>::new();
+    micro::run("blocked-SP", f.cells, || {
+        sw_blocked_sp::<LANES>(&f.query, &f.sp, &f.batch, &f.params.gap, 2048, &mut bws)
     });
 
-    group.bench_function("intrinsic-SP", |b| {
-        let mut ws = Workspace::<LANES>::new();
-        b.iter(|| sw_lanes_sp::<LANES>(&f.query, &f.sp, &f.batch, &f.params.gap, &mut ws))
+    let sp8 = SequenceProfileI8::from_wide(&f.sp);
+    let mut ws8 = NarrowWorkspace::<LANES>::new();
+    let mut ws16 = Workspace::<LANES>::new();
+    micro::run("adaptive i8->i16", f.cells, || {
+        sw_adaptive_sp::<LANES>(
+            &f.query,
+            &f.sp,
+            &sp8,
+            &f.batch,
+            &f.params.gap,
+            &mut ws8,
+            &mut ws16,
+        )
     });
 
-    group.bench_function("blocked-SP", |b| {
-        let mut ws = BlockedWorkspace::<LANES>::new();
-        b.iter(|| sw_blocked_sp::<LANES>(&f.query, &f.sp, &f.batch, &f.params.gap, 2048, &mut ws))
+    micro::run("banded r=32 (per pair)", f.cells, || {
+        let mut total = 0i64;
+        for s in &f.subjects {
+            total += sw_banded(&f.query, s, &f.params, 0, 32);
+        }
+        total
     });
 
-    group.bench_function("adaptive i8->i16", |b| {
-        let sp8 = SequenceProfileI8::from_wide(&f.sp);
-        let mut ws8 = NarrowWorkspace::<LANES>::new();
-        let mut ws16 = Workspace::<LANES>::new();
-        b.iter(|| {
-            sw_adaptive_sp::<LANES>(&f.query, &f.sp, &sp8, &f.batch, &f.params.gap, &mut ws8, &mut ws16)
-        })
+    let profile = StripedProfile::<LANES>::build(&f.query, &f.params);
+    micro::run("striped (intra-task)", f.cells, || {
+        let mut total = 0i64;
+        for s in &f.subjects {
+            total += sw_striped(&profile, s, &f.params).score;
+        }
+        total
     });
-
-    group.bench_function("banded r=32 (per pair)", |b| {
-        b.iter(|| {
-            let mut total = 0i64;
-            for s in &f.subjects {
-                total += sw_banded(&f.query, s, &f.params, 0, 32);
-            }
-            total
-        })
-    });
-
-    group.bench_function("striped (intra-task)", |b| {
-        let profile = StripedProfile::<LANES>::build(&f.query, &f.params);
-        b.iter(|| {
-            let mut total = 0i64;
-            for s in &f.subjects {
-                total += sw_striped(&profile, s, &f.params).score;
-            }
-            total
-        })
-    });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

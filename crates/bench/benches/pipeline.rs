@@ -1,55 +1,52 @@
-//! Criterion benchmark of the end-to-end pipeline (Algorithm 1) on a
-//! small synthetic database — preparation, search under each major
-//! variant, and the heterogeneous split path.
+//! End-to-end pipeline benchmark (Algorithm 1) on a small synthetic
+//! database — preparation, search under each major variant, and both
+//! heterogeneous paths (static split and dynamic dual-pool). Std-only
+//! harness, see `sw_bench::micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
-use sw_core::{HeteroEngine, PreparedDb, SearchConfig, SearchEngine};
+use sw_bench::micro;
+use sw_core::{HeteroEngine, HeteroSearchConfig, PreparedDb, SearchConfig, SearchEngine};
 use sw_kernels::KernelVariant;
 use sw_seq::gen::{generate_database, generate_query, DbSpec};
 use sw_seq::Alphabet;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let a = Alphabet::protein();
-    let spec = DbSpec { n_seqs: 400, mean_len: 200.0, max_len: 1000, seed: 5 };
+    let spec = DbSpec {
+        n_seqs: 400,
+        mean_len: 200.0,
+        max_len: 1000,
+        seed: 5,
+    };
     let seqs = generate_database(&spec);
     let query = generate_query(300, 1).residues;
     let db = PreparedDb::prepare(seqs.clone(), 16, &a);
     let engine = SearchEngine::paper_default();
     let cells = db.total_cells(query.len());
 
-    let mut group = c.benchmark_group("pipeline");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1500))
-        .throughput(Throughput::Elements(cells));
+    micro::section("pipeline (cells/s as elem/s)");
 
-    group.bench_function("prepare", |b| {
-        b.iter(|| PreparedDb::prepare(seqs.clone(), 16, &a))
+    micro::run("prepare", cells, || {
+        PreparedDb::prepare(seqs.clone(), 16, &a)
     });
 
-    for variant in [
-        "no-vec-sp",
-        "simd-sp",
-        "intrinsic-qp",
-        "intrinsic-sp",
-    ] {
-        let v = sw_cli_like_variant(variant);
-        let cfg = SearchConfig::best(1).with_variant(v);
-        group.bench_with_input(BenchmarkId::new("search", variant), &cfg, |b, cfg| {
-            b.iter(|| engine.search(&query, &db, cfg))
+    for variant in ["no-vec-sp", "simd-sp", "intrinsic-qp", "intrinsic-sp"] {
+        let cfg = SearchConfig::best(1).with_variant(sw_cli_like_variant(variant));
+        micro::run(&format!("search/{variant}"), cells, || {
+            engine.search(&query, &db, &cfg)
         });
     }
 
-    group.bench_function("hetero-55pct", |b| {
-        let hetero = HeteroEngine::new(engine.clone());
-        let plan = hetero.plan_split(&db, query.len(), 0.55);
-        let cfg = SearchConfig::best(1);
-        b.iter(|| hetero.search(&query, &db, &plan, &cfg, &cfg))
+    let hetero = HeteroEngine::new(engine.clone());
+    let plan = hetero.plan_split(&db, query.len(), 0.55);
+    let cfg = SearchConfig::best(1);
+    micro::run("hetero-55pct (static split)", cells, || {
+        hetero.search(&query, &db, &plan, &cfg, &cfg)
     });
 
-    group.finish();
+    let dyn_cfg = HeteroSearchConfig::best(1, 1);
+    micro::run("hetero dual-pool (1+1)", cells, || {
+        hetero.search_dynamic(&query, &db, &plan, &dyn_cfg)
+    });
 }
 
 /// Minimal local variant parser (avoids a dependency on sw-cli).
@@ -62,8 +59,9 @@ fn sw_cli_like_variant(label: &str) -> KernelVariant {
         "intrinsic-sp" => (Vectorization::Intrinsic, ProfileMode::Sequence),
         _ => unreachable!("labels are fixed above"),
     };
-    KernelVariant { vec, profile, blocking: true }
+    KernelVariant {
+        vec,
+        profile,
+        blocking: true,
+    }
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

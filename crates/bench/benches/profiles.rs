@@ -1,47 +1,40 @@
-//! Criterion benchmarks of profile construction — the per-batch cost the
+//! Micro-benchmarks of profile construction — the per-batch cost the
 //! analytic model charges the SP variants (and the reason Fig. 4/6 show a
-//! rising trend with query length).
+//! rising trend with query length). Std-only harness, see
+//! `sw_bench::micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
+use sw_bench::micro;
 use sw_kernels::SwParams;
 use sw_seq::gen::SwissProtGen;
 use sw_seq::{Alphabet, SeqId};
 use sw_swdb::batch::pad_code;
 use sw_swdb::{LaneBatch, QueryProfile, SequenceProfile};
 
-fn bench_profiles(c: &mut Criterion) {
+fn main() {
     let a = Alphabet::protein();
     let params = SwParams::paper_default();
     let mut g = SwissProtGen::new(355.4, 7);
 
-    let mut group = c.benchmark_group("profiles");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(1000));
+    micro::section("profiles (profile entries as elem/s)");
 
     for &qlen in &[144u32, 1000, 5478] {
         let query = g.sequence("q", qlen).residues;
-        group.throughput(Throughput::Elements(qlen as u64 * 24));
-        group.bench_with_input(BenchmarkId::new("query_profile", qlen), &query, |b, q| {
-            b.iter(|| QueryProfile::build(q, &params.matrix, &a))
+        micro::run(&format!("query_profile/{qlen}"), qlen as u64 * 24, || {
+            QueryProfile::build(&query, &params.matrix, &a)
         });
     }
 
     for &lanes in &[8usize, 16, 32] {
         let subjects: Vec<Vec<u8>> = (0..lanes).map(|_| g.sequence("s", 355).residues).collect();
-        let refs: Vec<(SeqId, &[u8])> =
-            subjects.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+        let refs: Vec<(SeqId, &[u8])> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeqId(i as u32), s.as_slice()))
+            .collect();
         let batch = LaneBatch::pack(lanes, &refs, pad_code(&a));
-        group.throughput(Throughput::Elements(24 * batch.padded_len() as u64 * lanes as u64));
-        group.bench_with_input(BenchmarkId::new("sequence_profile", lanes), &batch, |b, batch| {
-            b.iter(|| SequenceProfile::build(batch, &params.matrix, &a))
+        let elements = 24 * batch.padded_len() as u64 * lanes as u64;
+        micro::run(&format!("sequence_profile/{lanes}"), elements, || {
+            SequenceProfile::build(&batch, &params.matrix, &a)
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_profiles);
-criterion_main!(benches);

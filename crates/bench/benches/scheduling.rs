@@ -1,47 +1,47 @@
-//! Criterion benchmarks of the scheduling layer: discrete-event simulator
-//! throughput (it must handle ~677k-task pools for the pooled figures)
-//! and real-executor dispatch overhead per policy.
+//! Micro-benchmarks of the scheduling layer: discrete-event simulator
+//! throughput (it must handle ~677k-task pools for the pooled figures),
+//! real-executor dispatch overhead per policy, and the dual-pool
+//! scheduler's queue + metrics overhead. Std-only harness, see
+//! `sw_bench::micro`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
-use sw_sched::{run_parallel, simulate, ExecutorConfig, Policy};
+use sw_sched::{
+    run_dual_pool, run_parallel, simulate, DualPoolConfig, ExecutorConfig, MetricsSink, Policy,
+};
 
-fn bench_desim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("desim");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(1000));
+fn main() {
+    sw_bench::micro::section("desim (tasks/s as elem/s)");
     for &n in &[1_000usize, 100_000] {
-        let costs: Vec<f64> = (0..n).map(|i| ((i * 7919) % 97 + 1) as f64 * 1e-4).collect();
-        group.throughput(Throughput::Elements(n as u64));
+        let costs: Vec<f64> = (0..n)
+            .map(|i| ((i * 7919) % 97 + 1) as f64 * 1e-4)
+            .collect();
         for policy in [Policy::Static, Policy::dynamic(), Policy::guided()] {
-            group.bench_with_input(
-                BenchmarkId::new(policy.label(), n),
-                &costs,
-                |b, costs| b.iter(|| simulate(costs, 240, policy)),
-            );
+            sw_bench::micro::run(&format!("{}/{n}", policy.label()), n as u64, || {
+                simulate(&costs, 240, policy)
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_executor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("executor");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(1000));
+    sw_bench::micro::section("executor dispatch (tasks/s)");
     let n = 10_000usize;
-    group.throughput(Throughput::Elements(n as u64));
-    for policy in [Policy::Static, Policy::Dynamic { chunk: 16 }, Policy::guided()] {
-        group.bench_function(BenchmarkId::new("dispatch", policy.label()), |b| {
-            let cfg = ExecutorConfig { workers: 2, policy };
-            b.iter(|| run_parallel(n, cfg, |i| i as u64).iter().sum::<u64>())
+    for policy in [
+        Policy::Static,
+        Policy::Dynamic { chunk: 16 },
+        Policy::guided(),
+    ] {
+        let cfg = ExecutorConfig { workers: 2, policy };
+        sw_bench::micro::run(&format!("dispatch/{}", policy.label()), n as u64, || {
+            run_parallel(n, cfg, |i| i as u64).iter().sum::<u64>()
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_desim, bench_executor);
-criterion_main!(benches);
+    sw_bench::micro::section("dual-pool dispatch (tasks/s)");
+    for (cpu_w, accel_w) in [(1usize, 1usize), (2, 2), (4, 4)] {
+        let cfg = DualPoolConfig::new(cpu_w, accel_w);
+        sw_bench::micro::run(&format!("dual_pool/{cpu_w}+{accel_w}"), n as u64, || {
+            let sink = MetricsSink::new();
+            run_dual_pool(n, cfg, |_| 1, |_d, i| i as u64, &sink)
+                .iter()
+                .sum::<u64>()
+        });
+    }
+}

@@ -32,7 +32,13 @@ fn main() {
 
     let mut t = Table::new(
         "Inter-task (SWIPE-style) vs intra-task (Farrar striped), single thread, this host",
-        &["query_len", "seq_len", "inter_Mcells/s", "intra_Mcells/s", "inter/intra"],
+        &[
+            "query_len",
+            "seq_len",
+            "inter_Mcells/s",
+            "intra_Mcells/s",
+            "inter/intra",
+        ],
     );
 
     for &(qlen, len) in &[
@@ -46,8 +52,9 @@ fn main() {
     ] {
         let query = g.sequence("q", qlen).residues;
         let n_seqs = (DB_RESIDUES / len).max(LANES);
-        let seqs: Vec<Vec<u8>> =
-            (0..n_seqs).map(|_| g.sequence("s", len as u32).residues).collect();
+        let seqs: Vec<Vec<u8>> = (0..n_seqs)
+            .map(|_| g.sequence("s", len as u32).residues)
+            .collect();
         let cells = (query.len() * len * n_seqs) as f64;
 
         // --- inter-task: lane batches + SP kernel ---------------------

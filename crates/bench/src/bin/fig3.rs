@@ -13,8 +13,11 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let workload =
-        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let workload = if scale >= 1.0 {
+        Workload::paper_scale(1)
+    } else {
+        Workload::scaled(scale, 1)
+    };
     let model = CostModel::xeon();
     let threads = [1u32, 2, 4, 8, 16, 32];
     let variants = sw_bench::workload::fig_variants();

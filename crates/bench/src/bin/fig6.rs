@@ -9,9 +9,15 @@ use sw_bench::{table, Table, Workload};
 use sw_device::CostModel;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let workload =
-        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let workload = if scale >= 1.0 {
+        Workload::paper_scale(1)
+    } else {
+        Workload::scaled(scale, 1)
+    };
     let model = CostModel::phi();
     let variants = sw_bench::workload::fig_variants();
 

@@ -12,17 +12,32 @@ use sw_device::CostModel;
 use sw_kernels::KernelVariant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let workload =
-        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let workload = if scale >= 1.0 {
+        Workload::paper_scale(1)
+    } else {
+        Workload::scaled(scale, 1)
+    };
     let xeon = CostModel::xeon();
     let phi = CostModel::phi();
     let blocked = KernelVariant::best();
-    let unblocked = KernelVariant { blocking: false, ..blocked };
+    let unblocked = KernelVariant {
+        blocking: false,
+        ..blocked
+    };
 
     let mut t = Table::new(
         "Fig. 7 — blocking vs non-blocking, intrinsic-SP (Xeon @32T, Phi @240T)",
-        &["query_len", "xeon-block", "xeon-noblock", "phi-block", "phi-noblock"],
+        &[
+            "query_len",
+            "xeon-block",
+            "xeon-noblock",
+            "phi-block",
+            "phi-noblock",
+        ],
     );
     for &q in &workload.query_lens.clone() {
         let q = q as usize;

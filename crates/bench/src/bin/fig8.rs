@@ -12,9 +12,15 @@ use sw_core::{simulate_hetero, SimConfig};
 use sw_device::CostModel;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let workload =
-        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let workload = if scale >= 1.0 {
+        Workload::paper_scale(1)
+    } else {
+        Workload::scaled(scale, 1)
+    };
     let xeon = CostModel::xeon();
     let phi = CostModel::phi();
     let cpu_cfg = SimConfig::streamed(32, 8);
@@ -24,7 +30,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 8 — heterogeneous GCUPS vs % workload on the Phi (paper optimum: 62.6 @ 55 %)",
-        &["phi_share_%", "GCUPS", "cpu_GCUPS", "phi_GCUPS", "GCUPS_per_W"],
+        &[
+            "phi_share_%",
+            "GCUPS",
+            "cpu_GCUPS",
+            "phi_GCUPS",
+            "GCUPS_per_W",
+        ],
     );
     let mut best = (0.0f64, 0.0f64);
     for step in 0..=20 {

@@ -12,9 +12,15 @@ use sw_device::{presets, CostModel};
 use sw_kernels::KernelVariant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
-    let workload =
-        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let workload = if scale >= 1.0 {
+        Workload::paper_scale(1)
+    } else {
+        Workload::scaled(scale, 1)
+    };
 
     let devices = [
         CostModel::new(presets::xeon_phi_60c(), presets::phi_costs()),

@@ -61,7 +61,12 @@ fn main() {
 
     let mut t = Table::new(
         "Sensitivity — exact SW vs seed-and-extend (paper §I motivation)",
-        &["mutation_%", "sw_recall", "heuristic_recall", "work_saved_%"],
+        &[
+            "mutation_%",
+            "sw_recall",
+            "heuristic_recall",
+            "work_saved_%",
+        ],
     );
 
     for &rate in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
@@ -73,7 +78,10 @@ fn main() {
             let mut residues = g.sequence("tmp", 300).residues;
             let mutated = mutate(domain, rate, &mut rng);
             residues[100..100 + DOMAIN_LEN].copy_from_slice(&mutated);
-            seqs.push(EncodedSeq { header: format!("hom{i}").into(), residues });
+            seqs.push(EncodedSeq {
+                header: format!("hom{i}").into(),
+                residues,
+            });
         }
         for i in 0..N_DECOYS {
             seqs.push(g.sequence(&format!("decoy{i}"), 300));

@@ -12,7 +12,9 @@ use sw_swdb::{DbStats, SequenceDatabase};
 fn tab_environment() {
     let mut t = Table::new(
         "Tab. A — §V-A testbed inventory (simulated device models)",
-        &["device", "cores", "threads", "GHz", "vector", "gather", "L2/core", "LLC", "TDP_W"],
+        &[
+            "device", "cores", "threads", "GHz", "vector", "gather", "L2/core", "LLC", "TDP_W",
+        ],
     );
     for d in [presets::xeon_e5_2670_pair(), presets::xeon_phi_60c()] {
         t.row(vec![
@@ -34,8 +36,11 @@ fn tab_database(scale: f64) {
     // Materialise a scaled synthetic database for honest statistics; the
     // full 541 561-sequence version is used by the figure harness through
     // the lengths-only path.
-    let spec =
-        if scale >= 1.0 { DbSpec::swissprot_full(1) } else { DbSpec::swissprot_scaled(scale, 1) };
+    let spec = if scale >= 1.0 {
+        DbSpec::swissprot_full(1)
+    } else {
+        DbSpec::swissprot_scaled(scale, 1)
+    };
     let lens = sw_seq::gen::generate_lengths(&spec);
     let n = lens.len() as u64;
     let residues: u64 = lens.iter().map(|&l| l as u64).sum();
@@ -57,14 +62,20 @@ fn tab_database(scale: f64) {
         paper::DB_SEQUENCES.to_string(),
         paper::DB_RESIDUES.to_string(),
         paper::DB_MAX_LEN.to_string(),
-        format!("{:.1}", paper::DB_RESIDUES as f64 / paper::DB_SEQUENCES as f64),
+        format!(
+            "{:.1}",
+            paper::DB_RESIDUES as f64 / paper::DB_SEQUENCES as f64
+        ),
     ]);
     t.emit("tab_db");
 
     // A small materialised sample proves the residue-level generator too.
     let sample = generate_database(&DbSpec::tiny(1));
     let stats = DbStats::compute(&SequenceDatabase::from_sequences(sample));
-    println!("(residue-level sample: {} seqs, mean {:.1})\n", stats.n_seqs, stats.mean_len);
+    println!(
+        "(residue-level sample: {} seqs, mean {:.1})\n",
+        stats.n_seqs, stats.mean_len
+    );
 }
 
 fn tab_scheduling(workload: &Workload) {
@@ -78,7 +89,10 @@ fn tab_scheduling(workload: &Workload) {
         let mut row = vec![model.device.name.to_string()];
         for policy in [Policy::Static, Policy::guided(), Policy::dynamic()] {
             let shapes = workload.pooled_shapes(model.device.lanes_i16());
-            let cfg = SimConfig { policy, ..SimConfig::best(threads) };
+            let cfg = SimConfig {
+                policy,
+                ..SimConfig::best(threads)
+            };
             let r = simulate_search(&model, &shapes, &cfg);
             row.push(table::gcups(r.gcups));
         }
@@ -128,15 +142,24 @@ fn tab_padding(workload: &Workload) {
         let shapes = workload.shapes(lanes, 1000);
         let real: u64 = shapes.iter().map(|s| s.real_cells).sum();
         let padded: u64 = shapes.iter().map(|s| s.padded_cells()).sum();
-        t.row(vec![lanes.to_string(), format!("{:.4}", padded as f64 / real as f64)]);
+        t.row(vec![
+            lanes.to_string(),
+            format!("{:.4}", padded as f64 / real as f64),
+        ]);
     }
     t.emit("tab_padding");
 }
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let workload =
-        if scale >= 1.0 { Workload::paper_scale(1) } else { Workload::scaled(scale, 1) };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let workload = if scale >= 1.0 {
+        Workload::paper_scale(1)
+    } else {
+        Workload::scaled(scale, 1)
+    };
     tab_environment();
     tab_database(scale);
     tab_scheduling(&workload);

@@ -29,7 +29,10 @@ const QUERIES: usize = 20;
 const QUERY_LEN: usize = 2000;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let base = if scale >= 1.0 {
         generate_lengths(&DbSpec::swissprot_full(1))
     } else {
@@ -42,7 +45,13 @@ fn main() {
 
     let mut t = Table::new(
         "TrEMBL-scale transfer study (paper §VI future work) — 55 % Phi share, 20 queries",
-        &["db_scale", "db_gbytes", "phi_resident", "GCUPS", "transfer_share_%"],
+        &[
+            "db_scale",
+            "db_gbytes",
+            "phi_resident",
+            "GCUPS",
+            "transfer_share_%",
+        ],
     );
 
     for &mult in &[1usize, 4, 16, 76] {
@@ -67,7 +76,11 @@ fn main() {
         let mut transfer_s = 0.0;
         for q in 0..QUERIES {
             // DB shipped once if resident, per query otherwise.
-            let in_bytes = if resident && q > 0 { QUERY_LEN as u64 } else { phi_bytes };
+            let in_bytes = if resident && q > 0 {
+                QUERY_LEN as u64
+            } else {
+                phi_bytes
+            };
             transfer_s += link.transfer_time(in_bytes);
             let sig = sim.offload_async(in_bytes, phi_s, 4 * phi_lens.len() as u64, "phi");
             sim.host_compute(cpu_s, "cpu");
@@ -78,7 +91,10 @@ fn main() {
             QUERIES as u64 * QUERY_LEN as u64 * lens.iter().map(|&l| l as u64).sum::<u64>();
         t.row(vec![
             format!("{mult}x"),
-            format!("{:.1}", lens.iter().map(|&l| l as u64).sum::<u64>() as f64 / 1e9),
+            format!(
+                "{:.1}",
+                lens.iter().map(|&l| l as u64).sum::<u64>() as f64 / 1e9
+            ),
             resident.to_string(),
             table::gcups(total_cells as f64 / wall / 1e9),
             format!("{:.1}", 100.0 * transfer_s / wall),
@@ -114,8 +130,7 @@ fn main() {
             sim.wait(sig);
         }
         let wall = sim.elapsed();
-        let cells =
-            QUERIES as u64 * q as u64 * lens76.iter().map(|&l| l as u64).sum::<u64>();
+        let cells = QUERIES as u64 * q as u64 * lens76.iter().map(|&l| l as u64).sum::<u64>();
         t2.row(vec![
             q.to_string(),
             table::gcups(cells as f64 / wall / 1e9),

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod micro;
 pub mod paper;
 pub mod table;
 pub mod workload;

@@ -1,0 +1,42 @@
+//! Minimal self-timing micro-benchmark harness — a std-only stand-in for
+//! criterion, which the offline dependency budget excludes (DESIGN.md).
+//!
+//! Each measurement warms up briefly, calibrates an iteration count to a
+//! fixed measurement window, then prints one line: mean wall-clock per
+//! iteration and element throughput. No statistics beyond the mean — the
+//! `benches/` targets exist to show *orderings* (intrinsic beats scalar,
+//! SP beats QP for long queries), not to detect 1% regressions.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measure `f` and print one line.
+///
+/// `elements` is the per-iteration work (DP cells, tasks) used for the
+/// throughput column; pass 0 to suppress the rate.
+pub fn run<R>(label: &str, elements: u64, mut f: impl FnMut() -> R) {
+    let warm = Instant::now();
+    while warm.elapsed() < Duration::from_millis(200) {
+        black_box(f());
+    }
+    let once_t = Instant::now();
+    black_box(f());
+    let once = once_t.elapsed().max(Duration::from_nanos(100));
+    let iters = (Duration::from_millis(300).as_nanos() / once.as_nanos()).clamp(5, 100_000) as u32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = t.elapsed() / iters;
+    if elements > 0 {
+        let rate = elements as f64 / per.as_secs_f64();
+        println!("{label:<34} {per:>12.3?}/iter  {:>9.1} Melem/s", rate / 1e6);
+    } else {
+        println!("{label:<34} {per:>12.3?}/iter");
+    }
+}
+
+/// Print a section heading for a group of [`run`] lines.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}

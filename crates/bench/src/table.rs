@@ -27,7 +27,11 @@ impl Table {
     /// # Panics
     /// Panics on arity mismatch.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row arity must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
         self.rows.push(cells);
     }
 

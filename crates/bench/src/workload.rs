@@ -64,7 +64,10 @@ impl Workload {
         threads: u32,
     ) -> SimReport {
         let shapes = self.pooled_shapes(model.device.lanes_i16());
-        let cfg = SimConfig { variant, ..SimConfig::best(threads) };
+        let cfg = SimConfig {
+            variant,
+            ..SimConfig::best(threads)
+        };
         simulate_search(model, &shapes, &cfg)
     }
 
@@ -78,14 +81,20 @@ impl Workload {
         query_len: usize,
     ) -> SimReport {
         let shapes = self.shapes(model.device.lanes_i16(), query_len);
-        let cfg = SimConfig { variant, ..SimConfig::streamed(threads, 8) };
+        let cfg = SimConfig {
+            variant,
+            ..SimConfig::streamed(threads, 8)
+        };
         simulate_search(model, &shapes, &cfg)
     }
 }
 
 /// The six Fig. 3/5 variant labels in plotting order.
 pub fn fig_variants() -> Vec<(String, KernelVariant)> {
-    KernelVariant::fig3_set().into_iter().map(|v| (v.label(), v)).collect()
+    KernelVariant::fig3_set()
+        .into_iter()
+        .map(|v| (v.label(), v))
+        .collect()
 }
 
 #[cfg(test)]

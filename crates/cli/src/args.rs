@@ -18,7 +18,8 @@ USAGE:
                     [--frac <0..1>] [--variant <v>] [--db-scale <0..1>]
   swsearch align    --query <fasta> --subject <fasta> [--matrix <name>] [--open <q>] [--extend <r>]
   swsearch bench    [--seqs <n>] [--query-len <m>] [--threads <t>] [--lanes <l>]
-  swsearch hetero   --query <fasta> --db <fasta|swdb> [--frac <0..1>] [options]
+  swsearch hetero   --query <fasta> --db <fasta|swdb> [--frac <0..1>]
+                    [--dynamic] [--accel-threads <n>] [--min-chunk <n>] [options]
 
 SEARCH OPTIONS:
   --matrix <name>     BLOSUM45/50/62/80 or PAM250 (default BLOSUM62)
@@ -37,6 +38,13 @@ SEARCH OPTIONS:
   --match <s>         DNA match score (with --dna; default 5)
   --mismatch <s>      DNA mismatch score (with --dna; default -4)
   --both-strands      with --dna: also search the reverse complement
+
+HETERO OPTIONS:
+  --dynamic           dual-pool dynamic scheduler: both device pools pull
+                      from one shared queue; --frac only seeds the
+                      feedback estimator. Prints per-device metrics.
+  --accel-threads <n> accelerator-pool workers (default: same as --threads)
+  --min-chunk <n>     smallest batch chunk a pool grabs (default 1)
 ";
 
 /// A parsed command.
@@ -105,14 +113,23 @@ pub enum Command {
         /// Scoring knobs.
         opts: SearchOpts,
     },
-    /// Heterogeneous search (Algorithm 2) with a static split.
+    /// Heterogeneous search (Algorithm 2): static split, or the dynamic
+    /// dual-pool scheduler with `--dynamic`.
     Hetero {
         /// Query FASTA path.
         query: String,
         /// Database path.
         db: String,
-        /// Fraction of DP cells sent to the accelerator share.
+        /// Fraction of DP cells sent to the accelerator share (seed of
+        /// the feedback estimator under `--dynamic`).
         frac: f64,
+        /// Use the dynamic dual-pool scheduler instead of the fixed
+        /// prefix/suffix split.
+        dynamic: bool,
+        /// Accelerator-pool worker threads (dynamic mode).
+        accel_threads: usize,
+        /// Smallest batch chunk either pool grabs (dynamic mode).
+        min_chunk: usize,
         /// Scoring/search knobs.
         opts: SearchOpts,
     },
@@ -212,7 +229,11 @@ pub fn parse_variant(s: &str, blocking: bool) -> Result<KernelVariant, ParseErro
         "intrinsic-sp" => (Vectorization::Intrinsic, ProfileMode::Sequence),
         other => return Err(err(format!("unknown variant '{other}'"))),
     };
-    Ok(KernelVariant { vec, profile, blocking })
+    Ok(KernelVariant {
+        vec,
+        profile,
+        blocking,
+    })
 }
 
 /// Cursor over argv tokens with typed take-helpers.
@@ -249,7 +270,9 @@ impl<'a> Args<'a> {
     fn parse_num<T: std::str::FromStr>(&mut self, flag: &str, default: T) -> Result<T, ParseError> {
         match self.opt_value(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("bad value for {flag}: '{v}'"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("bad value for {flag}: '{v}'"))),
         }
     }
 }
@@ -259,7 +282,10 @@ fn parse_search_opts(a: &mut Args<'_>) -> Result<SearchOpts, ParseError> {
     let blocking = !a.has_flag("--no-blocking");
     let variant = match a.opt_value("--variant") {
         Some(v) => parse_variant(&v, blocking)?,
-        None => KernelVariant { blocking, ..d.variant },
+        None => KernelVariant {
+            blocking,
+            ..d.variant
+        },
     };
     let lanes: usize = a.parse_num("--lanes", d.lanes)?;
     if !matches!(lanes, 4 | 8 | 16 | 32) {
@@ -288,7 +314,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let Some(sub) = argv.first() else {
         return Ok(Command::Help);
     };
-    let mut a = Args { tokens: argv, pos: 1 };
+    let mut a = Args {
+        tokens: argv,
+        pos: 1,
+    };
     match sub.as_str() {
         "-h" | "--help" | "help" => Ok(Command::Help),
         "search" => Ok(Command::Search {
@@ -312,18 +341,25 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             seed: a.parse_num("--seed", 42u64)?,
             mean_len: a.parse_num("--mean-len", 355.4f64)?,
         }),
-        "stats" => Ok(Command::Stats { db: a.value_of("--db")? }),
+        "stats" => Ok(Command::Stats {
+            db: a.value_of("--db")?,
+        }),
         "selftest" => {
             let lanes: usize = a.parse_num("--lanes", 8usize)?;
             if !matches!(lanes, 4 | 8 | 16 | 32) {
                 return Err(err("--lanes must be 4, 8, 16 or 32"));
             }
-            Ok(Command::SelfTest { lanes, scale: a.parse_num("--scale", 1u32)? })
+            Ok(Command::SelfTest {
+                lanes,
+                scale: a.parse_num("--scale", 1u32)?,
+            })
         }
         "simulate" => {
             let device = a.value_of("--device")?;
             if !matches!(device.as_str(), "xeon" | "phi" | "hetero") {
-                return Err(err(format!("--device must be xeon, phi or hetero (got '{device}')")));
+                return Err(err(format!(
+                    "--device must be xeon, phi or hetero (got '{device}')"
+                )));
             }
             let variant = match a.opt_value("--variant") {
                 Some(v) => parse_variant(&v, !a.has_flag("--no-blocking"))?,
@@ -351,11 +387,20 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if !(0.0..=1.0).contains(&frac) {
                 return Err(err("--frac must be in [0, 1]"));
             }
+            let opts = parse_search_opts(&mut a)?;
+            let accel_threads: usize = a.parse_num("--accel-threads", opts.threads)?;
+            let min_chunk: usize = a.parse_num("--min-chunk", 1usize)?;
+            if min_chunk == 0 {
+                return Err(err("--min-chunk must be at least 1"));
+            }
             Ok(Command::Hetero {
                 query: a.value_of("--query")?,
                 db: a.value_of("--db")?,
                 frac,
-                opts: parse_search_opts(&mut a)?,
+                dynamic: a.has_flag("--dynamic"),
+                accel_threads,
+                min_chunk,
+                opts,
             })
         }
         "bench" => {
@@ -450,7 +495,14 @@ mod tests {
     fn simulate_defaults() {
         let c = parse(&argv("simulate --device phi")).unwrap();
         match c {
-            Command::Simulate { device, threads, query_len, frac, db_scale, .. } => {
+            Command::Simulate {
+                device,
+                threads,
+                query_len,
+                frac,
+                db_scale,
+                ..
+            } => {
                 assert_eq!(device, "phi");
                 assert_eq!(threads, 0);
                 assert_eq!(query_len, 2000);
@@ -474,7 +526,12 @@ mod tests {
         let c = parse(&argv("gendb --seqs 100 --out x.fa --seed 7")).unwrap();
         assert_eq!(
             c,
-            Command::GenDb { seqs: 100, output: "x.fa".into(), seed: 7, mean_len: 355.4 }
+            Command::GenDb {
+                seqs: 100,
+                output: "x.fa".into(),
+                seed: 7,
+                mean_len: 355.4
+            }
         );
     }
 
@@ -486,7 +543,11 @@ mod tests {
             ("simd-qp", Vectorization::Guided, ProfileMode::Query),
             ("simd-sp", Vectorization::Guided, ProfileMode::Sequence),
             ("intrinsic-qp", Vectorization::Intrinsic, ProfileMode::Query),
-            ("intrinsic-sp", Vectorization::Intrinsic, ProfileMode::Sequence),
+            (
+                "intrinsic-sp",
+                Vectorization::Intrinsic,
+                ProfileMode::Sequence,
+            ),
         ] {
             let v = parse_variant(name, true).unwrap();
             assert_eq!(v.vec, vec, "{name}");
@@ -501,9 +562,67 @@ mod tests {
     }
 
     #[test]
+    fn hetero_static_defaults() {
+        let c = parse(&argv("hetero --query q.fa --db d.fa")).unwrap();
+        match c {
+            Command::Hetero {
+                frac,
+                dynamic,
+                accel_threads,
+                min_chunk,
+                opts,
+                ..
+            } => {
+                assert!((frac - 0.55).abs() < 1e-12);
+                assert!(!dynamic);
+                assert_eq!(accel_threads, opts.threads);
+                assert_eq!(min_chunk, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hetero_dynamic_options() {
+        let c = parse(&argv(
+            "hetero --query q.fa --db d.fa --dynamic --threads 4 --accel-threads 8 \
+             --min-chunk 2 --frac 0.3",
+        ))
+        .unwrap();
+        match c {
+            Command::Hetero {
+                frac,
+                dynamic,
+                accel_threads,
+                min_chunk,
+                opts,
+                ..
+            } => {
+                assert!((frac - 0.3).abs() < 1e-12);
+                assert!(dynamic);
+                assert_eq!(opts.threads, 4);
+                assert_eq!(accel_threads, 8);
+                assert_eq!(min_chunk, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hetero_rejects_zero_min_chunk() {
+        assert!(parse(&argv("hetero --query q --db d --min-chunk 0")).is_err());
+    }
+
+    #[test]
     fn selftest_lanes_validated() {
         assert!(parse(&argv("selftest --lanes 5")).is_err());
         let c = parse(&argv("selftest --lanes 32 --scale 2")).unwrap();
-        assert_eq!(c, Command::SelfTest { lanes: 32, scale: 2 });
+        assert_eq!(
+            c,
+            Command::SelfTest {
+                lanes: 32,
+                scale: 2
+            }
+        );
     }
 }

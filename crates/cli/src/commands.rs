@@ -4,8 +4,7 @@ use crate::args::{Command, SearchOpts, USAGE};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use sw_core::{
-    simulate_hetero, simulate_search, PreparedDb, SearchConfig, SearchEngine,
-    SimConfig,
+    simulate_hetero, simulate_search, PreparedDb, SearchConfig, SearchEngine, SimConfig,
 };
 use sw_device::CostModel;
 use sw_kernels::scalar::SwParams;
@@ -29,7 +28,10 @@ fn load_sequences(path: &str, alphabet: &Alphabet) -> Result<Vec<EncodedSeq>, Cm
             })
             .collect())
     } else {
-        Ok(sw_seq::fasta::read_encoded(BufReader::new(File::open(path)?), alphabet)?)
+        Ok(sw_seq::fasta::read_encoded(
+            BufReader::new(File::open(path)?),
+            alphabet,
+        )?)
     }
 }
 
@@ -40,7 +42,10 @@ fn params_from(opts: &SearchOpts) -> Result<SwParams, CmdError> {
         SubstMatrix::by_name(&opts.matrix)
             .ok_or_else(|| format!("unknown matrix '{}'", opts.matrix))?
     };
-    Ok(SwParams::new(matrix, GapPenalty::new(opts.open, opts.extend)))
+    Ok(SwParams::new(
+        matrix,
+        GapPenalty::new(opts.open, opts.extend),
+    ))
 }
 
 fn alphabet_from(opts: &SearchOpts) -> Alphabet {
@@ -60,19 +65,51 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
         }
         Command::Search { query, db, opts } => cmd_search(&query, &db, &opts, out),
         Command::MakeDb { input, output } => cmd_makedb(&input, &output, out),
-        Command::GenDb { seqs, output, seed, mean_len } => {
-            cmd_gendb(seqs, &output, seed, mean_len, out)
-        }
+        Command::GenDb {
+            seqs,
+            output,
+            seed,
+            mean_len,
+        } => cmd_gendb(seqs, &output, seed, mean_len, out),
         Command::Stats { db } => cmd_stats(&db, out),
         Command::SelfTest { lanes, scale } => cmd_selftest(lanes, scale, out),
-        Command::Simulate { device, threads, query_len, frac, variant, db_scale } => {
-            cmd_simulate(&device, threads, query_len, frac, variant, db_scale, out)
-        }
-        Command::Align { query, subject, opts } => cmd_align(&query, &subject, &opts, out),
-        Command::Bench { seqs, query_len, threads, lanes } => {
-            cmd_bench(seqs, query_len, threads, lanes, out)
-        }
-        Command::Hetero { query, db, frac, opts } => cmd_hetero(&query, &db, frac, &opts, out),
+        Command::Simulate {
+            device,
+            threads,
+            query_len,
+            frac,
+            variant,
+            db_scale,
+        } => cmd_simulate(&device, threads, query_len, frac, variant, db_scale, out),
+        Command::Align {
+            query,
+            subject,
+            opts,
+        } => cmd_align(&query, &subject, &opts, out),
+        Command::Bench {
+            seqs,
+            query_len,
+            threads,
+            lanes,
+        } => cmd_bench(seqs, query_len, threads, lanes, out),
+        Command::Hetero {
+            query,
+            db,
+            frac,
+            dynamic,
+            accel_threads,
+            min_chunk,
+            opts,
+        } => cmd_hetero(
+            &query,
+            &db,
+            frac,
+            dynamic,
+            accel_threads,
+            min_chunk,
+            &opts,
+            out,
+        ),
     }
 }
 
@@ -123,12 +160,13 @@ fn cmd_search<W: Write>(
     )?;
     let karlin = if opts.dna {
         // Uniform base composition for nucleotide statistics.
-        let lambda = sw_core::stats::ungapped_lambda(
-            &params.matrix,
-            &[0.25, 0.25, 0.25, 0.25, 0.0],
-        )
-        .ok_or("DNA scoring has no valid Karlin lambda")?;
-        sw_core::stats::KarlinParams { lambda: lambda * 0.85, k: 0.041 }
+        let lambda =
+            sw_core::stats::ungapped_lambda(&params.matrix, &[0.25, 0.25, 0.25, 0.25, 0.0])
+                .ok_or("DNA scoring has no valid Karlin lambda")?;
+        sw_core::stats::KarlinParams {
+            lambda: lambda * 0.85,
+            k: 0.041,
+        }
     } else {
         sw_core::stats::KarlinParams::gapped_approx(&params.matrix)
     };
@@ -177,8 +215,9 @@ fn cmd_search<W: Write>(
                 if opts.align {
                     if let Some(alignment) = &r.alignment {
                         let subject = prepared.sorted.db().seq(r.id);
-                        for line in
-                            alignment.render(&q.residues, subject.residues, &alphabet).lines()
+                        for line in alignment
+                            .render(&q.residues, subject.residues, &alphabet)
+                            .lines()
                         {
                             writeln!(out, "          {line}")?;
                         }
@@ -213,7 +252,12 @@ fn cmd_gendb<W: Write>(
     mean_len: f64,
     out: &mut W,
 ) -> Result<(), CmdError> {
-    let spec = DbSpec { n_seqs: seqs, mean_len, max_len: 35_213, seed };
+    let spec = DbSpec {
+        n_seqs: seqs,
+        mean_len,
+        max_len: 35_213,
+        seed,
+    };
     let generated = generate_database(&spec);
     if output.ends_with(".swdb") {
         let db = sw_swdb::SequenceDatabase::from_sequences(generated);
@@ -226,7 +270,10 @@ fn cmd_gendb<W: Write>(
         }
         w.into_inner()?.flush()?;
     }
-    writeln!(out, "generated {seqs} synthetic sequences (seed {seed}) into {output}")?;
+    writeln!(
+        out,
+        "generated {seqs} synthetic sequences (seed {seed}) into {output}"
+    )?;
     Ok(())
 }
 
@@ -240,7 +287,10 @@ fn cmd_stats<W: Write>(db_path: &str, out: &mut W) -> Result<(), CmdError> {
 }
 
 fn cmd_selftest<W: Write>(lanes: usize, scale: u32, out: &mut W) -> Result<(), CmdError> {
-    writeln!(out, "running cross-variant self-test at {lanes} lanes (scale {scale})...")?;
+    writeln!(
+        out,
+        "running cross-variant self-test at {lanes} lanes (scale {scale})..."
+    )?;
     let report = sw_core::verify::self_test(lanes, scale);
     writeln!(
         out,
@@ -277,10 +327,19 @@ fn cmd_simulate<W: Write>(
         lens.len()
     )?;
     let report_one = |model: &CostModel, t: u32, out: &mut W| -> Result<(), CmdError> {
-        let t = if t == 0 { model.device.max_threads() } else { t };
+        let t = if t == 0 {
+            model.device.max_threads()
+        } else {
+            t
+        };
         let shapes =
             sw_core::prepare::shapes_from_lengths(&lens, model.device.lanes_i16(), query_len);
-        let cfg = SimConfig { variant, threads: t, replicas: 8, ..SimConfig::best(t) };
+        let cfg = SimConfig {
+            variant,
+            threads: t,
+            replicas: 8,
+            ..SimConfig::best(t)
+        };
         let r = simulate_search(model, &shapes, &cfg);
         writeln!(
             out,
@@ -293,15 +352,29 @@ fn cmd_simulate<W: Write>(
         Ok(())
     };
     match device {
-        "xeon" => report_one(&CostModel::xeon(), if threads == 0 { 32 } else { threads }, out),
-        "phi" => report_one(&CostModel::phi(), if threads == 0 { 240 } else { threads }, out),
+        "xeon" => report_one(
+            &CostModel::xeon(),
+            if threads == 0 { 32 } else { threads },
+            out,
+        ),
+        "phi" => report_one(
+            &CostModel::phi(),
+            if threads == 0 { 240 } else { threads },
+            out,
+        ),
         "hetero" => {
             let xeon = CostModel::xeon();
             let phi = CostModel::phi();
-            let cpu_cfg =
-                SimConfig { variant, replicas: 8, ..SimConfig::best(32) };
-            let phi_cfg =
-                SimConfig { variant, replicas: 8, ..SimConfig::best(240) };
+            let cpu_cfg = SimConfig {
+                variant,
+                replicas: 8,
+                ..SimConfig::best(32)
+            };
+            let phi_cfg = SimConfig {
+                variant,
+                replicas: 8,
+                ..SimConfig::best(240)
+            };
             let r = simulate_hetero((&xeon, &cpu_cfg), (&phi, &phi_cfg), &lens, query_len, frac);
             writeln!(
                 out,
@@ -318,14 +391,18 @@ fn cmd_simulate<W: Write>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_hetero<W: Write>(
     query_path: &str,
     db_path: &str,
     frac: f64,
+    dynamic: bool,
+    accel_threads: usize,
+    min_chunk: usize,
     opts: &SearchOpts,
     out: &mut W,
 ) -> Result<(), CmdError> {
-    use sw_core::HeteroEngine;
+    use sw_core::{HeteroEngine, HeteroSearchConfig};
     let alphabet = alphabet_from(opts);
     let queries = load_sequences(query_path, &alphabet)?;
     let q = queries.first().ok_or("query file holds no sequences")?;
@@ -352,8 +429,49 @@ fn cmd_hetero<W: Write>(
         block_rows: None,
         adaptive_precision: opts.adaptive,
     };
-    let res = hetero.search(&q.residues, &prepared, &plan, &cfg, &cfg);
-    writeln!(out, "merged {} hits; top {}:", res.hits.len(), opts.top.min(res.hits.len()))?;
+    let res = if dynamic {
+        let dyn_cfg = HeteroSearchConfig {
+            cpu: cfg,
+            accel: SearchConfig {
+                threads: accel_threads.max(1),
+                ..cfg
+            },
+            min_chunk,
+        };
+        let outcome = hetero.search_dynamic(&q.residues, &prepared, &plan, &dyn_cfg);
+        writeln!(
+            out,
+            "# dynamic dual-pool: pools met at batch {} of {}; accel took {:.1}% of cells \
+             (plan seeded {:.1}%)",
+            outcome.boundary,
+            prepared.batches.len(),
+            outcome.accel_cell_fraction * 100.0,
+            plan.accel_cell_fraction * 100.0
+        )?;
+        for (label, m) in [("cpu  ", &outcome.cpu), ("accel", &outcome.accel)] {
+            writeln!(
+                out,
+                "#   {label}: {} workers, {} tasks in {} chunks, busy {:.3}s \
+                 (queue wait {:.3}s), {} cells, {:.2} GCUPS",
+                m.workers,
+                m.tasks,
+                m.chunks,
+                m.busy.as_secs_f64(),
+                m.queue_wait.as_secs_f64(),
+                m.cells,
+                m.gcups()
+            )?;
+        }
+        outcome.results
+    } else {
+        hetero.search(&q.residues, &prepared, &plan, &cfg, &cfg)
+    };
+    writeln!(
+        out,
+        "merged {} hits; top {}:",
+        res.hits.len(),
+        opts.top.min(res.hits.len())
+    )?;
     for (rank, hit) in res.top(opts.top).iter().enumerate() {
         writeln!(
             out,
@@ -364,8 +482,9 @@ fn cmd_hetero<W: Write>(
         )?;
     }
     // Simulated wall-clock of the same split on the paper's testbed.
-    let lens: Vec<u32> =
-        (0..prepared.n_seqs()).map(|r| prepared.sorted.len_at(r) as u32).collect();
+    let lens: Vec<u32> = (0..prepared.n_seqs())
+        .map(|r| prepared.sorted.len_at(r) as u32)
+        .collect();
     let xeon = sw_core::SimConfig::streamed(32, 8);
     let phi = sw_core::SimConfig::streamed(240, 8);
     let sim = sw_core::simulate_hetero(
@@ -392,7 +511,12 @@ fn cmd_bench<W: Write>(
 ) -> Result<(), CmdError> {
     use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
     let alphabet = Alphabet::protein();
-    let spec = DbSpec { n_seqs: seqs, mean_len: 355.4, max_len: 5_000, seed: 42 };
+    let spec = DbSpec {
+        n_seqs: seqs,
+        mean_len: 355.4,
+        max_len: 5_000,
+        seed: 42,
+    };
     let prepared = PreparedDb::prepare(generate_database(&spec), lanes, &alphabet);
     let query = sw_seq::gen::generate_query(query_len, 7);
     let engine = SearchEngine::paper_default();
@@ -405,10 +529,18 @@ fn cmd_bench<W: Write>(
         ("no-vec-SP", Vectorization::NoVec, ProfileMode::Sequence),
         ("simd-SP", Vectorization::Guided, ProfileMode::Sequence),
         ("intrinsic-QP", Vectorization::Intrinsic, ProfileMode::Query),
-        ("intrinsic-SP", Vectorization::Intrinsic, ProfileMode::Sequence),
+        (
+            "intrinsic-SP",
+            Vectorization::Intrinsic,
+            ProfileMode::Sequence,
+        ),
     ] {
         let cfg = SearchConfig {
-            variant: sw_kernels::KernelVariant { vec, profile, blocking: true },
+            variant: sw_kernels::KernelVariant {
+                vec,
+                profile,
+                blocking: true,
+            },
             threads: threads.max(1),
             policy: sw_sched::Policy::dynamic(),
             block_rows: None,
@@ -482,7 +614,9 @@ mod tests {
     #[test]
     fn gendb_stats_roundtrip_fasta() {
         let path = tmp("gen1.fasta");
-        let (code, _) = run_str(&format!("gendb --seqs 50 --out {path} --seed 3 --mean-len 80"));
+        let (code, _) = run_str(&format!(
+            "gendb --seqs 50 --out {path} --seed 3 --mean-len 80"
+        ));
         assert_eq!(code, 0);
         let (code, text) = run_str(&format!("stats --db {path}"));
         assert_eq!(code, 0);
@@ -493,7 +627,9 @@ mod tests {
     fn makedb_snapshot_roundtrip() {
         let fasta = tmp("gen2.fasta");
         let snap = tmp("gen2.swdb");
-        run_str(&format!("gendb --seqs 30 --out {fasta} --seed 5 --mean-len 60"));
+        run_str(&format!(
+            "gendb --seqs 30 --out {fasta} --seed 5 --mean-len 60"
+        ));
         let (code, text) = run_str(&format!("makedb --in {fasta} --out {snap}"));
         assert_eq!(code, 0, "{text}");
         let (code, text) = run_str(&format!("stats --db {snap}"));
@@ -506,7 +642,9 @@ mod tests {
         // Build a small db and use one of its own sequences as the query:
         // the top hit must be that sequence with its self-score.
         let db_path = tmp("gen3.fasta");
-        run_str(&format!("gendb --seqs 40 --out {db_path} --seed 9 --mean-len 100"));
+        run_str(&format!(
+            "gendb --seqs 40 --out {db_path} --seed 9 --mean-len 100"
+        ));
         // Extract sequence 0 as the query.
         let alphabet = Alphabet::protein();
         let seqs = load_sequences(&db_path, &alphabet).unwrap();
@@ -515,8 +653,9 @@ mod tests {
         w.write(&seqs[7], &alphabet).unwrap();
         w.into_inner().unwrap();
 
-        let (code, text) =
-            run_str(&format!("search --query {q_path} --db {db_path} --lanes 8 --top 3"));
+        let (code, text) = run_str(&format!(
+            "search --query {q_path} --db {db_path} --lanes 8 --top 3"
+        ));
         assert_eq!(code, 0, "{text}");
         let first_hit_line = text
             .lines()
@@ -531,7 +670,9 @@ mod tests {
     #[test]
     fn search_variants_give_same_top_hit() {
         let db_path = tmp("gen4.fasta");
-        run_str(&format!("gendb --seqs 25 --out {db_path} --seed 11 --mean-len 90"));
+        run_str(&format!(
+            "gendb --seqs 25 --out {db_path} --seed 11 --mean-len 90"
+        ));
         let alphabet = Alphabet::protein();
         let seqs = load_sequences(&db_path, &alphabet).unwrap();
         let q_path = tmp("query4.fasta");
@@ -544,7 +685,11 @@ mod tests {
                 "search --query {q_path} --db {db_path} --lanes 4 --variant {v} --top 1"
             ));
             assert_eq!(code, 0, "{v}: {text}");
-            let hit = text.lines().find(|l| l.trim_start().starts_with("1 ")).unwrap().to_string();
+            let hit = text
+                .lines()
+                .find(|l| l.trim_start().starts_with("1 "))
+                .unwrap()
+                .to_string();
             match &first {
                 None => first = Some(hit),
                 Some(f) => assert_eq!(&hit, f, "variant {v} disagrees"),
@@ -569,18 +714,23 @@ mod tests {
     #[test]
     fn tabular_output_format() {
         let db_path = tmp("gen6.fasta");
-        run_str(&format!("gendb --seqs 20 --out {db_path} --seed 2 --mean-len 80"));
+        run_str(&format!(
+            "gendb --seqs 20 --out {db_path} --seed 2 --mean-len 80"
+        ));
         let alphabet = Alphabet::protein();
         let seqs = load_sequences(&db_path, &alphabet).unwrap();
         let q_path = tmp("query6.fasta");
         let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
         w.write(&seqs[0], &alphabet).unwrap();
         w.into_inner().unwrap();
-        let (code, text) =
-            run_str(&format!("search --query {q_path} --db {db_path} --lanes 4 --top 3 --tabular"));
+        let (code, text) = run_str(&format!(
+            "search --query {q_path} --db {db_path} --lanes 4 --top 3 --tabular"
+        ));
         assert_eq!(code, 0, "{text}");
-        let tab_lines: Vec<&str> =
-            text.lines().filter(|l| l.matches('\t').count() == 11).collect();
+        let tab_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.matches('\t').count() == 11)
+            .collect();
         assert_eq!(tab_lines.len(), 3, "three 12-column rows:\n{text}");
         assert!(tab_lines[0].contains("100.0"), "self hit is 100% identical");
     }
@@ -611,8 +761,9 @@ mod tests {
         std::fs::write(&db_path, ">a\nMKV\n").unwrap();
         let q_path = tmp("dnaq2.fasta");
         std::fs::write(&q_path, ">q\nMKV\n").unwrap();
-        let (code, text) =
-            run_str(&format!("search --query {q_path} --db {db_path} --both-strands"));
+        let (code, text) = run_str(&format!(
+            "search --query {q_path} --db {db_path} --both-strands"
+        ));
         assert_eq!(code, 1);
         assert!(text.contains("--both-strands requires --dna"), "{text}");
     }
@@ -627,7 +778,9 @@ mod tests {
     #[test]
     fn hetero_command_matches_search() {
         let db_path = tmp("het1.fasta");
-        run_str(&format!("gendb --seqs 30 --out {db_path} --seed 4 --mean-len 90"));
+        run_str(&format!(
+            "gendb --seqs 30 --out {db_path} --seed 4 --mean-len 90"
+        ));
         let alphabet = Alphabet::protein();
         let seqs = load_sequences(&db_path, &alphabet).unwrap();
         let q_path = tmp("hetq1.fasta");
@@ -641,8 +794,53 @@ mod tests {
         assert!(text.contains("Algorithm 2"), "{text}");
         assert!(text.contains("GCUPS at this split"), "{text}");
         // Top hit is the planted query itself.
-        let hit_line = text.lines().find(|l| l.trim_start().starts_with("1 ")).unwrap();
+        let hit_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("1 "))
+            .unwrap();
         assert!(hit_line.contains(seqs[5].header.as_ref()), "{text}");
+    }
+
+    #[test]
+    fn hetero_dynamic_reports_metrics_and_same_hits() {
+        let db_path = tmp("het2.fasta");
+        run_str(&format!(
+            "gendb --seqs 30 --out {db_path} --seed 4 --mean-len 90"
+        ));
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("hetq2.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[5], &alphabet).unwrap();
+        w.into_inner().unwrap();
+        let common = format!("--query {q_path} --db {db_path} --frac 0.5 --lanes 4 --top 3");
+        let (code, stat) = run_str(&format!("hetero {common}"));
+        assert_eq!(code, 0, "{stat}");
+        let (code, dynamic) = run_str(&format!(
+            "hetero {common} --dynamic --threads 2 --accel-threads 2"
+        ));
+        assert_eq!(code, 0, "{dynamic}");
+        // Per-device metrics lines reach the user.
+        assert!(dynamic.contains("dynamic dual-pool"), "{dynamic}");
+        assert!(
+            dynamic.contains("cpu  :") && dynamic.contains("accel:"),
+            "{dynamic}"
+        );
+        assert!(dynamic.contains("GCUPS"), "{dynamic}");
+        // The hit list is identical to the static split's.
+        let hits = |text: &str| -> Vec<String> {
+            text.lines()
+                .skip_while(|l| !l.starts_with("merged"))
+                .skip(1)
+                .take(3)
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(
+            hits(&stat),
+            hits(&dynamic),
+            "\nstatic:\n{stat}\ndynamic:\n{dynamic}"
+        );
     }
 
     #[test]
@@ -670,8 +868,10 @@ mod tests {
     #[test]
     fn parse_then_execute_consistency() {
         // `parse` output feeds `execute` directly; spot-check the koppeling.
-        let argv: Vec<String> =
-            "gendb --seqs 10 --out /tmp/swsearch-tests/k.fasta".split_whitespace().map(String::from).collect();
+        let argv: Vec<String> = "gendb --seqs 10 --out /tmp/swsearch-tests/k.fasta"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
         let cmd = parse(&argv).unwrap();
         let mut out = Vec::new();
         execute(cmd, &mut out).unwrap();

@@ -55,6 +55,42 @@ impl Default for SearchConfig {
     }
 }
 
+/// Configuration of a dynamic dual-pool heterogeneous search
+/// ([`crate::hetero::HeteroEngine::search_dynamic`]): one kernel
+/// configuration per device pool plus the shared-queue granularity.
+///
+/// Each device's `threads` field sizes its worker pool; the static
+/// [`crate::hetero::SplitPlan`] only seeds the feedback estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeteroSearchConfig {
+    /// Kernel configuration and pool size for the CPU share.
+    pub cpu: SearchConfig,
+    /// Kernel configuration and pool size for the accelerator share.
+    pub accel: SearchConfig,
+    /// Smallest number of lane batches either pool grabs from the shared
+    /// queue in one chunk.
+    pub min_chunk: usize,
+}
+
+impl HeteroSearchConfig {
+    /// Dual-pool configuration from two per-device configurations.
+    pub fn new(cpu: SearchConfig, accel: SearchConfig) -> Self {
+        HeteroSearchConfig {
+            cpu,
+            accel,
+            min_chunk: 1,
+        }
+    }
+
+    /// The paper's best kernels on both pools, with explicit pool sizes.
+    pub fn best(cpu_threads: usize, accel_threads: usize) -> Self {
+        HeteroSearchConfig::new(
+            SearchConfig::best(cpu_threads),
+            SearchConfig::best(accel_threads),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,7 +110,10 @@ mod tests {
     fn block_rows_default_derivation() {
         let c = SearchConfig::best(1);
         assert_eq!(c.effective_block_rows(16), 2048);
-        let explicit = SearchConfig { block_rows: Some(128), ..c };
+        let explicit = SearchConfig {
+            block_rows: Some(128),
+            ..c
+        };
         assert_eq!(explicit.effective_block_rows(16), 128);
     }
 }

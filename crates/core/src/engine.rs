@@ -39,19 +39,16 @@ impl SearchEngine {
 
     /// Engine with the paper's parameters (BLOSUM62, 10/2).
     pub fn paper_default() -> Self {
-        SearchEngine { params: SwParams::paper_default() }
+        SearchEngine {
+            params: SwParams::paper_default(),
+        }
     }
 
     /// Search `query` against a prepared database (Algorithm 1).
     ///
     /// Scores are exact for every database sequence; hits come back
     /// sorted descending.
-    pub fn search(
-        &self,
-        query: &[u8],
-        db: &PreparedDb,
-        config: &SearchConfig,
-    ) -> SearchResults {
+    pub fn search(&self, query: &[u8], db: &PreparedDb, config: &SearchConfig) -> SearchResults {
         assert!(!query.is_empty(), "query must not be empty");
         let qp = QueryProfile::build(query, &self.params.matrix, &db.alphabet);
         let block_rows = config.effective_block_rows(db.lanes);
@@ -59,7 +56,10 @@ impl SearchEngine {
 
         let per_batch = run_parallel(
             db.batches.len(),
-            ExecutorConfig { workers: config.threads, policy: config.policy },
+            ExecutorConfig {
+                workers: config.threads,
+                policy: config.policy,
+            },
             |bi| {
                 let batch = &db.batches[bi];
                 self.run_batch(query, &qp, db, batch, config, block_rows)
@@ -93,7 +93,10 @@ impl SearchEngine {
         db: &PreparedDb,
         config: &SearchConfig,
     ) -> Vec<SearchResults> {
-        assert!(queries.iter().all(|q| !q.is_empty()), "queries must not be empty");
+        assert!(
+            queries.iter().all(|q| !q.is_empty()),
+            "queries must not be empty"
+        );
         let n_batches = db.batches.len();
         if n_batches == 0 {
             return queries
@@ -101,7 +104,7 @@ impl SearchEngine {
                 .map(|_| {
                     SearchResults::new(
                         Vec::new(),
-                        std::time::Duration::from_nanos(1),
+                        std::time::Duration::ZERO,
                         CellCount::default(),
                         0,
                     )
@@ -117,7 +120,10 @@ impl SearchEngine {
 
         let per_task = run_parallel(
             queries.len() * n_batches,
-            ExecutorConfig { workers: config.threads, policy: config.policy },
+            ExecutorConfig {
+                workers: config.threads,
+                policy: config.policy,
+            },
             |t| {
                 let (qi, bi) = (t / n_batches, t % n_batches);
                 let batch = &db.batches[bi];
@@ -167,7 +173,10 @@ impl SearchEngine {
             let mut res = self.search(query, &prepared, config);
             // Re-base volume-local ids to the original database.
             for hit in &mut res.hits {
-                *hit = Hit { id: plan.rebase(v, hit.id.0), score: hit.score };
+                *hit = Hit {
+                    id: plan.rebase(v, hit.id.0),
+                    score: hit.score,
+                };
             }
             merged = Some(match merged.take() {
                 None => res,
@@ -177,7 +186,7 @@ impl SearchEngine {
         merged.unwrap_or_else(|| {
             SearchResults::new(
                 Vec::new(),
-                std::time::Duration::from_nanos(1),
+                std::time::Duration::ZERO,
                 CellCount::default(),
                 0,
             )
@@ -185,7 +194,7 @@ impl SearchEngine {
     }
 
     /// Execute one lane batch under the configured variant.
-    fn run_batch(
+    pub(crate) fn run_batch(
         &self,
         query: &[u8],
         qp: &QueryProfile,
@@ -196,7 +205,10 @@ impl SearchEngine {
     ) -> (Vec<Hit>, CellCount, u64) {
         let gap = &self.params.gap;
         let m = query.len();
-        let cells = CellCount { real: batch.real_cells(m), padded: batch.padded_cells(m) };
+        let cells = CellCount {
+            real: batch.real_cells(m),
+            padded: batch.padded_cells(m),
+        };
 
         let mut out = match config.variant.vec {
             Vectorization::NoVec => self.run_batch_scalar(query, qp, db, batch, config),
@@ -218,8 +230,11 @@ impl SearchEngine {
         // Exact rescue of saturated lanes.
         let mut rescued = 0u64;
         if out.any_overflow() {
-            let lane_seqs: Vec<&[u8]> =
-                batch.ids().iter().map(|&id| db.sorted.db().seq(id).residues).collect();
+            let lane_seqs: Vec<&[u8]> = batch
+                .ids()
+                .iter()
+                .map(|&id| db.sorted.db().seq(id).residues)
+                .collect();
             let stats = rescue_overflows(&mut out, query, batch, &lane_seqs, &self.params);
             rescued = stats.lanes_rescued;
         }
@@ -274,9 +289,7 @@ impl SearchEngine {
                 if config.adaptive_precision {
                     // Dual-precision cascade (unblocked kernels; exactness
                     // is identical, see sw_kernels::narrow).
-                    use sw_kernels::narrow::{
-                        sw_adaptive_qp, sw_adaptive_sp, NarrowWorkspace,
-                    };
+                    use sw_kernels::narrow::{sw_adaptive_qp, sw_adaptive_sp, NarrowWorkspace};
                     use sw_swdb::{QueryProfileI8, SequenceProfileI8};
                     let mut ws8 = NarrowWorkspace::<$lanes>::new();
                     let mut ws16 = Workspace::<$lanes>::new();
@@ -424,8 +437,14 @@ mod tests {
         // and must come back exact.
         let a = Alphabet::protein();
         let w = a.encode_byte(b'W').unwrap();
-        let giant = sw_seq::EncodedSeq { header: "giant".into(), residues: vec![w; 3200] };
-        let small = sw_seq::EncodedSeq { header: "small".into(), residues: vec![w; 10] };
+        let giant = sw_seq::EncodedSeq {
+            header: "giant".into(),
+            residues: vec![w; 3200],
+        };
+        let small = sw_seq::EncodedSeq {
+            header: "small".into(),
+            residues: vec![w; 10],
+        };
         let db = PreparedDb::prepare(vec![giant.clone(), small], 4, &a);
         let engine = SearchEngine::paper_default();
         let res = engine.search(&giant.residues, &db, &SearchConfig::best(1));
@@ -438,8 +457,10 @@ mod tests {
     fn search_many_equals_individual_searches() {
         let db = small_db(8);
         let engine = SearchEngine::paper_default();
-        let queries: Vec<Vec<u8>> =
-            [60u32, 144, 222].iter().map(|&l| generate_query(l, l as u64).residues).collect();
+        let queries: Vec<Vec<u8>> = [60u32, 144, 222]
+            .iter()
+            .map(|&l| generate_query(l, l as u64).residues)
+            .collect();
         let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
         let cfg = SearchConfig::best(3);
         let pooled = engine.search_many(&refs, &db, &cfg);
@@ -463,9 +484,13 @@ mod tests {
         // Tight cap → many volumes.
         for cap in [500u64, 2_000, 1_000_000] {
             let plan = sw_swdb::VolumePlan::new(&flat, cap);
-            let res =
-                engine.search_volumes(&query, &flat, &plan, 8, &a, &SearchConfig::best(2));
-            assert_eq!(res.hits, reference.hits, "cap {cap} ({} volumes)", plan.len());
+            let res = engine.search_volumes(&query, &flat, &plan, 8, &a, &SearchConfig::best(2));
+            assert_eq!(
+                res.hits,
+                reference.hits,
+                "cap {cap} ({} volumes)",
+                plan.len()
+            );
             assert_eq!(res.cells.real, reference.cells.real);
         }
     }
@@ -493,7 +518,10 @@ mod tests {
                 blocking: false,
             };
             let plain = SearchConfig::best(2).with_variant(variant);
-            let adaptive = SearchConfig { adaptive_precision: true, ..plain };
+            let adaptive = SearchConfig {
+                adaptive_precision: true,
+                ..plain
+            };
             let r1 = engine.search(&query.residues, &db, &plain);
             let r2 = engine.search(&query.residues, &db, &adaptive);
             assert_eq!(r1.hits, r2.hits, "profile {profile:?}");
@@ -505,10 +533,16 @@ mod tests {
         // The cascade must chain all the way to the i64 rescue.
         let a = Alphabet::protein();
         let w = a.encode_byte(b'W').unwrap();
-        let giant = sw_seq::EncodedSeq { header: "giant".into(), residues: vec![w; 3200] };
+        let giant = sw_seq::EncodedSeq {
+            header: "giant".into(),
+            residues: vec![w; 3200],
+        };
         let db = PreparedDb::prepare(vec![giant.clone()], 4, &a);
         let engine = SearchEngine::paper_default();
-        let cfg = SearchConfig { adaptive_precision: true, ..SearchConfig::best(1) };
+        let cfg = SearchConfig {
+            adaptive_precision: true,
+            ..SearchConfig::best(1)
+        };
         let res = engine.search(&giant.residues, &db, &cfg);
         assert_eq!(res.hits[0].score, 3200 * 11);
         assert_eq!(res.lanes_rescued, 1);

@@ -15,13 +15,18 @@
 //! by [`crate::simulate::simulate_hetero`], which replays the same split
 //! through the device models and the offload-runtime simulator.
 
-use crate::config::SearchConfig;
+use crate::config::{HeteroSearchConfig, SearchConfig};
 use crate::engine::SearchEngine;
 use crate::prepare::PreparedDb;
-use crate::results::SearchResults;
+use crate::results::{Hit, SearchResults};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use sw_kernels::CellCount;
+use sw_sched::{
+    run_dual_pool, DeviceMetrics, DualPoolConfig, MetricsSink, DEVICE_ACCEL, DEVICE_CPU,
+};
 use sw_swdb::chunk::{range_cells, split_by_cells};
-use sw_swdb::BatchRange;
+use sw_swdb::{BatchRange, QueryProfile};
 
 /// How the database was split between the two devices.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,20 +58,28 @@ impl HeteroEngine {
     /// Plan the static split: the accelerator receives `accel_fraction`
     /// of the padded DP cells (Fig. 8's abscissa), taken from the long
     /// end of the sorted database.
-    pub fn plan_split(
-        &self,
-        db: &PreparedDb,
-        query_len: usize,
-        accel_fraction: f64,
-    ) -> SplitPlan {
+    ///
+    /// # Panics
+    /// Panics when `accel_fraction` is NaN or outside `[0, 1]` — a split
+    /// plan with an invalid fraction would silently assign everything to
+    /// one device (NaN propagates through `1.0 - f` and every comparison).
+    pub fn plan_split(&self, db: &PreparedDb, query_len: usize, accel_fraction: f64) -> SplitPlan {
+        assert!(
+            accel_fraction.is_finite() && (0.0..=1.0).contains(&accel_fraction),
+            "accelerator fraction must be a finite value in [0, 1], got {accel_fraction}"
+        );
         let (cpu, accel) = split_by_cells(&db.batches, query_len, 1.0 - accel_fraction);
-        let total = range_cells(&db.batches, cpu, query_len)
-            + range_cells(&db.batches, accel, query_len);
+        let total =
+            range_cells(&db.batches, cpu, query_len) + range_cells(&db.batches, accel, query_len);
         let accel_cells = range_cells(&db.batches, accel, query_len);
         SplitPlan {
             cpu,
             accel,
-            accel_cell_fraction: if total == 0 { 0.0 } else { accel_cells as f64 / total as f64 },
+            accel_cell_fraction: if total == 0 {
+                0.0
+            } else {
+                accel_cells as f64 / total as f64
+            },
         }
     }
 
@@ -106,13 +119,108 @@ impl HeteroEngine {
         if view.batches.is_empty() {
             return SearchResults::new(
                 Vec::new(),
-                std::time::Duration::from_nanos(1),
+                std::time::Duration::ZERO,
                 sw_kernels::CellCount::default(),
                 0,
             );
         }
         self.engine.search(query, &view, config)
     }
+
+    /// Run the **dynamic** heterogeneous search: instead of executing the
+    /// plan's fixed prefix/suffix ranges, both device pools pull lane
+    /// batches from one shared double-ended queue (CPU from the short
+    /// end, accelerator from the long end), with chunk sizes re-balanced
+    /// from observed per-device throughput. `plan` only *seeds* the
+    /// feedback estimator with its `accel_cell_fraction`.
+    ///
+    /// Hits are identical to [`Self::search`] with the same plan — the
+    /// scheduler moves work between devices, never changes scores.
+    pub fn search_dynamic(
+        &self,
+        query: &[u8],
+        db: &PreparedDb,
+        plan: &SplitPlan,
+        config: &HeteroSearchConfig,
+    ) -> DynamicSearchOutcome {
+        assert!(!query.is_empty(), "query must not be empty");
+        let qp = QueryProfile::build(query, &self.engine.params.matrix, &db.alphabet);
+        let block_rows = [
+            config.cpu.effective_block_rows(db.lanes),
+            config.accel.effective_block_rows(db.lanes),
+        ];
+        let device_config = [&config.cpu, &config.accel];
+        let m = query.len();
+        let sink = MetricsSink::new();
+        let start = Instant::now();
+
+        let per_batch = run_dual_pool(
+            db.batches.len(),
+            DualPoolConfig {
+                cpu_workers: config.cpu.threads,
+                accel_workers: config.accel.threads,
+                initial_accel_fraction: plan.accel_cell_fraction,
+                min_chunk: config.min_chunk,
+            },
+            |bi| db.batches[bi].padded_cells(m),
+            |device, bi| {
+                let cfg = device_config[device];
+                let out =
+                    self.engine
+                        .run_batch(query, &qp, db, &db.batches[bi], cfg, block_rows[device]);
+                (device, out)
+            },
+            &sink,
+        );
+        let elapsed = start.elapsed();
+
+        let mut hits: Vec<Hit> = Vec::with_capacity(db.n_seqs());
+        let mut cells = CellCount::default();
+        let mut rescued = 0u64;
+        let mut boundary = 0usize;
+        for (device, (batch_hits, batch_cells, batch_rescued)) in per_batch {
+            if device == DEVICE_CPU {
+                boundary += 1;
+            }
+            hits.extend(batch_hits);
+            cells.add(batch_cells);
+            rescued += batch_rescued;
+        }
+        let cpu = sink.device(DEVICE_CPU);
+        let accel = sink.device(DEVICE_ACCEL);
+        let total_cells = cpu.cells + accel.cells;
+        DynamicSearchOutcome {
+            results: SearchResults::new(hits, elapsed, cells, rescued),
+            accel_cell_fraction: if total_cells == 0 {
+                0.0
+            } else {
+                accel.cells as f64 / total_cells as f64
+            },
+            cpu,
+            accel,
+            boundary,
+        }
+    }
+}
+
+/// What a [`HeteroEngine::search_dynamic`] run produced: the merged
+/// results plus the realised per-device schedule.
+#[derive(Debug, Clone)]
+pub struct DynamicSearchOutcome {
+    /// Merged, sorted hits — identical to the static-split search.
+    pub results: SearchResults,
+    /// Aggregated CPU-pool metrics (tasks, chunks, busy, queue-wait,
+    /// cells, running GCUPS via [`DeviceMetrics::gcups`]).
+    pub cpu: DeviceMetrics,
+    /// Aggregated accelerator-pool metrics.
+    pub accel: DeviceMetrics,
+    /// Where the pools met: batches `0..boundary` ran on the CPU pool,
+    /// `boundary..` on the accelerator pool.
+    pub boundary: usize,
+    /// Fraction of padded cells that actually landed on the accelerator —
+    /// the *emergent* split, comparable to the plan's
+    /// `accel_cell_fraction`.
+    pub accel_cell_fraction: f64,
 }
 
 #[cfg(test)]
@@ -136,7 +244,13 @@ mod tests {
         let hetero = HeteroEngine::new(engine);
         for frac in [0.0, 0.25, 0.55, 1.0] {
             let plan = hetero.plan_split(&db, q.len(), frac);
-            let res = hetero.search(&q, &db, &plan, &SearchConfig::best(2), &SearchConfig::best(2));
+            let res = hetero.search(
+                &q,
+                &db,
+                &plan,
+                &SearchConfig::best(2),
+                &SearchConfig::best(2),
+            );
             assert_eq!(res.hits, single.hits, "fraction {frac}");
         }
     }
@@ -174,6 +288,130 @@ mod tests {
             let accel_min = db.batches[plan.accel.start].padded_len();
             assert!(accel_min >= cpu_max, "sorted split: accel takes the suffix");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite value in [0, 1]")]
+    fn nan_fraction_rejected() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        hetero.plan_split(&db, q.len(), f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite value in [0, 1]")]
+    fn negative_fraction_rejected() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        hetero.plan_split(&db, q.len(), -0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite value in [0, 1]")]
+    fn fraction_above_one_rejected() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        hetero.plan_split(&db, q.len(), 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn boundary_fractions_accepted() {
+        // Exactly 0.0 and exactly 1.0 are valid (all-CPU / all-accel).
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        assert!(hetero.plan_split(&db, q.len(), 0.0).accel.is_empty());
+        assert!(hetero.plan_split(&db, q.len(), 1.0).cpu.is_empty());
+    }
+
+    #[test]
+    fn empty_share_reports_zero_elapsed_and_gcups() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let plan = hetero.plan_split(&db, q.len(), 0.0);
+        let res = hetero.search_range(&q, &db, plan.accel, &SearchConfig::best(1));
+        assert!(res.hits.is_empty());
+        assert_eq!(res.elapsed, std::time::Duration::ZERO);
+        assert_eq!(
+            res.gcups().value(),
+            0.0,
+            "no work in no time is zero throughput"
+        );
+    }
+
+    #[test]
+    fn dynamic_search_identical_to_static_split() {
+        let (db, q) = setup();
+        let engine = SearchEngine::paper_default();
+        let hetero = HeteroEngine::new(engine);
+        for frac in [0.0, 0.3, 0.7, 1.0] {
+            let plan = hetero.plan_split(&db, q.len(), frac);
+            let stat = hetero.search(
+                &q,
+                &db,
+                &plan,
+                &SearchConfig::best(2),
+                &SearchConfig::best(2),
+            );
+            let dyn_ = hetero.search_dynamic(&q, &db, &plan, &HeteroSearchConfig::best(2, 2));
+            assert_eq!(dyn_.results.hits, stat.hits, "fraction {frac}");
+            assert_eq!(dyn_.results.cells, stat.cells, "fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn dynamic_search_metrics_are_conserved() {
+        let (db, q) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+        let out = hetero.search_dynamic(&q, &db, &plan, &HeteroSearchConfig::best(2, 2));
+        // Every batch executed exactly once, across the two pools.
+        assert_eq!(out.cpu.tasks + out.accel.tasks, db.batches.len() as u64);
+        assert_eq!(out.boundary, out.cpu.tasks as usize);
+        // Cost-function cells equal the database's padded cells.
+        let padded: u64 = db.batches.iter().map(|b| b.padded_cells(q.len())).sum();
+        assert_eq!(out.cpu.cells + out.accel.cells, padded);
+        // The emergent split is a fraction, and GCUPS are finite.
+        assert!((0.0..=1.0).contains(&out.accel_cell_fraction));
+        assert!(out.cpu.gcups().is_finite() && out.accel.gcups().is_finite());
+    }
+
+    #[test]
+    fn dynamic_search_single_pool_degenerate() {
+        // Zero accelerator workers: the CPU pool drains the whole queue
+        // and results still match the single-device engine.
+        let (db, q) = setup();
+        let engine = SearchEngine::paper_default();
+        let single = engine.search(&q, &db, &SearchConfig::best(2));
+        let hetero = HeteroEngine::new(engine);
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+        let cfg = HeteroSearchConfig::best(2, 0);
+        let out = hetero.search_dynamic(&q, &db, &plan, &cfg);
+        assert_eq!(out.results.hits, single.hits);
+        assert_eq!(out.accel.tasks, 0);
+        assert_eq!(out.accel_cell_fraction, 0.0);
+        assert_eq!(out.boundary, db.batches.len());
+    }
+
+    #[test]
+    fn dynamic_search_mixed_variants_still_exact() {
+        use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
+        let (db, q) = setup();
+        let engine = SearchEngine::paper_default();
+        let reference = engine.search(&q, &db, &SearchConfig::best(1));
+        let hetero = HeteroEngine::new(engine);
+        let plan = hetero.plan_split(&db, q.len(), 0.4);
+        let cpu_cfg = SearchConfig::best(2).with_variant(KernelVariant {
+            vec: Vectorization::Guided,
+            profile: ProfileMode::Query,
+            blocking: false,
+        });
+        let out = hetero.search_dynamic(
+            &q,
+            &db,
+            &plan,
+            &HeteroSearchConfig::new(cpu_cfg, SearchConfig::best(2)),
+        );
+        assert_eq!(out.results.hits, reference.hits);
     }
 
     #[test]

@@ -41,9 +41,9 @@ pub mod simulate;
 pub mod stats;
 pub mod verify;
 
-pub use config::SearchConfig;
+pub use config::{HeteroSearchConfig, SearchConfig};
 pub use engine::SearchEngine;
-pub use hetero::HeteroEngine;
+pub use hetero::{DynamicSearchOutcome, HeteroEngine, SplitPlan};
 pub use prepare::PreparedDb;
 pub use results::{Hit, SearchResults};
 pub use simulate::{

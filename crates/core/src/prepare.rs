@@ -26,7 +26,13 @@ impl PreparedDb {
         let stats = DbStats::compute(&db);
         let sorted = SortedDb::new(db);
         let batches = LaneBatcher::new(lanes, alphabet).batch(&sorted);
-        PreparedDb { alphabet: alphabet.clone(), sorted, batches, lanes, stats }
+        PreparedDb {
+            alphabet: alphabet.clone(),
+            sorted,
+            batches,
+            lanes,
+            stats,
+        }
     }
 
     /// Number of database sequences.

@@ -73,7 +73,9 @@ pub fn report_top_hits(
         .map(|hit| {
             let subject = db.sorted.db().seq(hit.id);
             let alignment = sw_align(query, subject.residues, params);
-            let stats = alignment.as_ref().map(|a| a.stats(query, subject.residues, params));
+            let stats = alignment
+                .as_ref()
+                .map(|a| a.stats(query, subject.residues, params));
             if let Some(a) = &alignment {
                 debug_assert_eq!(a.score, hit.score, "traceback must agree with the kernel");
             }
@@ -149,7 +151,10 @@ mod tests {
         let w = a.encode_byte(b'W').unwrap();
         let p = a.encode_byte(b'P').unwrap();
         let db = PreparedDb::prepare(
-            vec![sw_seq::EncodedSeq { header: "nohit".into(), residues: vec![p; 30] }],
+            vec![sw_seq::EncodedSeq {
+                header: "nohit".into(),
+                residues: vec![p; 30],
+            }],
             4,
             &a,
         );

@@ -37,7 +37,12 @@ impl SearchResults {
         lanes_rescued: u64,
     ) -> Self {
         hits.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
-        SearchResults { hits, elapsed, cells, lanes_rescued }
+        SearchResults {
+            hits,
+            elapsed,
+            cells,
+            lanes_rescued,
+        }
     }
 
     /// The `k` best hits.
@@ -71,7 +76,10 @@ mod tests {
     use super::*;
 
     fn hit(id: u32, score: i64) -> Hit {
-        Hit { id: SeqId(id), score }
+        Hit {
+            id: SeqId(id),
+            score,
+        }
     }
 
     #[test]
@@ -104,13 +112,19 @@ mod tests {
         let a = SearchResults::new(
             vec![hit(0, 10)],
             Duration::from_secs(2),
-            CellCount { real: 100, padded: 120 },
+            CellCount {
+                real: 100,
+                padded: 120,
+            },
             1,
         );
         let b = SearchResults::new(
             vec![hit(1, 20)],
             Duration::from_secs(3),
-            CellCount { real: 50, padded: 60 },
+            CellCount {
+                real: 50,
+                padded: 60,
+            },
             0,
         );
         let m = a.merge(b);
@@ -125,7 +139,10 @@ mod tests {
         let r = SearchResults::new(
             vec![],
             Duration::from_secs(1),
-            CellCount { real: 2_000_000_000, padded: 4_000_000_000 },
+            CellCount {
+                real: 2_000_000_000,
+                padded: 4_000_000_000,
+            },
             0,
         );
         assert!((r.gcups().value() - 2.0).abs() < 1e-9);

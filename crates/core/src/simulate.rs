@@ -49,7 +49,10 @@ impl SimConfig {
 
     /// Steady-state variant: pool `replicas` copies of the workload.
     pub fn streamed(threads: u32, replicas: u32) -> Self {
-        SimConfig { replicas: replicas.max(1), ..Self::best(threads) }
+        SimConfig {
+            replicas: replicas.max(1),
+            ..Self::best(threads)
+        }
     }
 }
 
@@ -75,8 +78,10 @@ pub struct SimReport {
 /// the standard fix.
 pub fn simulate_search(model: &CostModel, shapes: &[TaskShape], cfg: &SimConfig) -> SimReport {
     let placement = model.device.place_threads(cfg.threads);
-    let per_shape: Vec<f64> =
-        shapes.iter().map(|s| model.task_seconds(cfg.variant, s, placement)).collect();
+    let per_shape: Vec<f64> = shapes
+        .iter()
+        .map(|s| model.task_seconds(cfg.variant, s, placement))
+        .collect();
     let mut costs = Vec::with_capacity(per_shape.len() * cfg.replicas.max(1) as usize);
     for _ in 0..cfg.replicas.max(1) {
         costs.extend_from_slice(&per_shape);
@@ -140,7 +145,10 @@ impl HeteroReport {
 /// holds ≈`fraction_accel` of the total residues; returns
 /// `(cpu_lens, accel_lens)`.
 pub fn split_lengths(lens: &[u32], fraction_accel: f64) -> (Vec<u32>, Vec<u32>) {
-    assert!((0.0..=1.0).contains(&fraction_accel), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction_accel),
+        "fraction must be in [0, 1]"
+    );
     let mut sorted: Vec<u32> = lens.to_vec();
     sorted.sort_unstable();
     let total: u64 = sorted.iter().map(|&l| l as u64).sum();
@@ -178,26 +186,37 @@ pub fn simulate_hetero(
     let (cpu_lens, accel_lens) = split_lengths(lens, fraction_accel);
 
     let cpu_shapes = shapes_from_lengths(&cpu_lens, cpu_model.device.lanes_i16(), query_len);
-    let accel_shapes =
-        shapes_from_lengths(&accel_lens, accel_model.device.lanes_i16(), query_len);
+    let accel_shapes = shapes_from_lengths(&accel_lens, accel_model.device.lanes_i16(), query_len);
 
     let cpu_report = if cpu_shapes.is_empty() {
-        SimReport { seconds: 0.0, gcups: 0.0, efficiency: 1.0, real_cells: 0 }
+        SimReport {
+            seconds: 0.0,
+            gcups: 0.0,
+            efficiency: 1.0,
+            real_cells: 0,
+        }
     } else {
         simulate_search(cpu_model, &cpu_shapes, cpu_cfg)
     };
     let accel_report = if accel_shapes.is_empty() {
-        SimReport { seconds: 0.0, gcups: 0.0, efficiency: 1.0, real_cells: 0 }
+        SimReport {
+            seconds: 0.0,
+            gcups: 0.0,
+            efficiency: 1.0,
+            real_cells: 0,
+        }
     } else {
         simulate_search(accel_model, &accel_shapes, accel_cfg)
     };
 
     // Offload runtime: ship the accelerator's residues + query, get the
     // score list back (4 B per sequence).
-    let link = accel_model.device.pcie.unwrap_or_else(sw_device::PcieLink::gen2_x16);
+    let link = accel_model
+        .device
+        .pcie
+        .unwrap_or_else(sw_device::PcieLink::gen2_x16);
     let mut sim = OffloadSim::new(link);
-    let in_bytes: u64 =
-        accel_lens.iter().map(|&l| l as u64).sum::<u64>() + query_len as u64;
+    let in_bytes: u64 = accel_lens.iter().map(|&l| l as u64).sum::<u64>() + query_len as u64;
     let out_bytes = 4 * accel_lens.len() as u64;
     let sig = if accel_report.real_cells > 0 {
         Some(sim.offload_async(in_bytes, accel_report.seconds, out_bytes, "accel share"))
@@ -214,8 +233,7 @@ pub fn simulate_hetero(
     let total_cells = cpu_report.real_cells + accel_report.real_cells;
 
     let cpu_energy = device_energy(&cpu_model.device, sim.host_busy().min(seconds), seconds);
-    let accel_energy =
-        device_energy(&accel_model.device, sim.device_busy().min(seconds), seconds);
+    let accel_energy = device_energy(&accel_model.device, sim.device_busy().min(seconds), seconds);
 
     HeteroReport {
         seconds,
@@ -340,8 +358,7 @@ pub fn simulate_hetero_dynamic(
         }
         heap.push(Reverse((T(t + dt), is_accel)));
     }
-    let total_cells: u64 = accel_shapes.iter().map(|s| s.real_cells).sum::<u64>()
-        * replicas as u64;
+    let total_cells: u64 = accel_shapes.iter().map(|s| s.real_cells).sum::<u64>() * replicas as u64;
     let seconds = makespan.max(1e-12);
     HeteroDynReport {
         seconds,
@@ -442,9 +459,17 @@ mod tests {
             best.gcups
         );
         // Endpoints are the single-device rates.
-        assert!((sweep[0].1.gcups - 30.4).abs() / 30.4 < 0.10, "f=0: {}", sweep[0].1.gcups);
+        assert!(
+            (sweep[0].1.gcups - 30.4).abs() / 30.4 < 0.10,
+            "f=0: {}",
+            sweep[0].1.gcups
+        );
         let last = sweep.last().expect("non-empty");
-        assert!((last.1.gcups - 34.9).abs() / 34.9 < 0.12, "f=1: {}", last.1.gcups);
+        assert!(
+            (last.1.gcups - 34.9).abs() / 34.9 < 0.12,
+            "f=1: {}",
+            last.1.gcups
+        );
     }
 
     #[test]

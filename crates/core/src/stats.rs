@@ -50,7 +50,10 @@ impl KarlinParams {
     /// for the paper's 10/2 as well.
     pub fn gapped_approx(matrix: &SubstMatrix) -> Self {
         let u = Self::ungapped(matrix);
-        KarlinParams { lambda: u.lambda * 0.85, k: 0.041 }
+        KarlinParams {
+            lambda: u.lambda * 0.85,
+            k: 0.041,
+        }
     }
 
     /// Expected number of chance alignments scoring ≥ `score` for a query
@@ -79,9 +82,7 @@ pub fn ungapped_lambda(matrix: &SubstMatrix, freqs: &[f64]) -> Option<f64> {
         let mut acc = 0.0;
         for i in 0..n {
             for j in 0..n {
-                acc += freqs[i]
-                    * freqs[j]
-                    * (lambda * matrix.score(i as u8, j as u8) as f64).exp();
+                acc += freqs[i] * freqs[j] * (lambda * matrix.score(i as u8, j as u8) as f64).exp();
             }
         }
         acc
@@ -138,11 +139,9 @@ mod tests {
         let m = SubstMatrix::blosum62();
         let lambda = ungapped_lambda(&m, &AA_BACKGROUND_FREQ).unwrap();
         let mut acc = 0.0;
-        for i in 0..20 {
-            for j in 0..20 {
-                acc += AA_BACKGROUND_FREQ[i]
-                    * AA_BACKGROUND_FREQ[j]
-                    * (lambda * m.score(i as u8, j as u8) as f64).exp();
+        for (i, &pi) in AA_BACKGROUND_FREQ.iter().enumerate() {
+            for (j, &pj) in AA_BACKGROUND_FREQ.iter().enumerate() {
+                acc += pi * pj * (lambda * m.score(i as u8, j as u8) as f64).exp();
             }
         }
         assert!((acc - 1.0).abs() < 1e-6, "φ(λ) = {acc}");
@@ -176,7 +175,10 @@ mod tests {
         let e100 = p.evalue(100, 300, 192_480_382);
         let e300 = p.evalue(300, 300, 192_480_382);
         assert!(e50 > e100 && e100 > e300);
-        assert!(e300 < 1e-20, "a 300-score hit is essentially certain homology");
+        assert!(
+            e300 < 1e-20,
+            "a 300-score hit is essentially certain homology"
+        );
     }
 
     #[test]

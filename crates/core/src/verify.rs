@@ -40,7 +40,12 @@ impl SelfTestReport {
 pub fn self_test(lanes: usize, scale: u32) -> SelfTestReport {
     let alphabet = Alphabet::protein();
     let engine = SearchEngine::paper_default();
-    let spec = DbSpec { n_seqs: 200 * scale.max(1), mean_len: 120.0, max_len: 600, seed: 0xCAFE };
+    let spec = DbSpec {
+        n_seqs: 200 * scale.max(1),
+        mean_len: 120.0,
+        max_len: 600,
+        seed: 0xCAFE,
+    };
     let db = PreparedDb::prepare(generate_database(&spec), lanes, &alphabet);
     let query = generate_query(150, 0xF00D).residues;
 
@@ -75,7 +80,11 @@ pub fn self_test(lanes: usize, scale: u32) -> SelfTestReport {
             }
         }
     }
-    SelfTestReport { variants_checked: n_variants, comparisons, first_mismatch }
+    SelfTestReport {
+        variants_checked: n_variants,
+        comparisons,
+        first_mismatch,
+    }
 }
 
 #[cfg(test)]

@@ -35,10 +35,17 @@ pub struct DeviceEnergy {
 /// Panics if `busy_s > wall_s` (beyond rounding) or either is negative.
 pub fn device_energy(device: &DeviceSpec, busy_s: f64, wall_s: f64) -> DeviceEnergy {
     assert!(busy_s >= 0.0 && wall_s >= 0.0, "times must be non-negative");
-    assert!(busy_s <= wall_s * (1.0 + 1e-9), "busy time cannot exceed wall time");
+    assert!(
+        busy_s <= wall_s * (1.0 + 1e-9),
+        "busy time cannot exceed wall time"
+    );
     let idle_s = (wall_s - busy_s).max(0.0);
     let joules = device.tdp_watts * (busy_s + IDLE_FRACTION * idle_s);
-    DeviceEnergy { busy_s, idle_s, joules }
+    DeviceEnergy {
+        busy_s,
+        idle_s,
+        joules,
+    }
 }
 
 /// Combined efficiency report of a (possibly heterogeneous) run.
@@ -65,7 +72,12 @@ impl EnergyReport {
         let total_joules: f64 = energies.iter().map(|e| e.joules).sum();
         let avg_watts = total_joules / wall_s;
         let gcups = real_cells as f64 / wall_s / 1e9;
-        EnergyReport { total_joules, avg_watts, gcups, gcups_per_watt: gcups / avg_watts }
+        EnergyReport {
+            total_joules,
+            avg_watts,
+            gcups,
+            gcups_per_watt: gcups / avg_watts,
+        }
     }
 }
 
@@ -105,7 +117,11 @@ mod tests {
         // 6.26e12 cells in 100 s = 62.6 GCUPS (the paper's combined rate).
         let r = EnergyReport::from_devices(&[ex, ep], wall, 6_260_000_000_000);
         assert!((r.gcups - 62.6).abs() < 1e-6);
-        assert!(r.avg_watts > 400.0 && r.avg_watts < 480.0, "avg {}", r.avg_watts);
+        assert!(
+            r.avg_watts > 400.0 && r.avg_watts < 480.0,
+            "avg {}",
+            r.avg_watts
+        );
         assert!(r.gcups_per_watt > 0.12 && r.gcups_per_watt < 0.15);
     }
 
@@ -118,7 +134,10 @@ mod tests {
         // CPU-only: 30.4 GCUPS, Phi idles.
         let wall_cpu = 100.0;
         let cpu_only = EnergyReport::from_devices(
-            &[device_energy(&xeon, wall_cpu, wall_cpu), device_energy(&phi, 0.0, wall_cpu)],
+            &[
+                device_energy(&xeon, wall_cpu, wall_cpu),
+                device_energy(&phi, 0.0, wall_cpu),
+            ],
             wall_cpu,
             3_040_000_000_000,
         );

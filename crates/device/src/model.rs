@@ -19,7 +19,11 @@ pub struct PcieLink {
 impl PcieLink {
     /// PCIe Gen2 x16, the paper's host–Phi link.
     pub fn gen2_x16() -> Self {
-        PcieLink { bandwidth_bps: 6.0e9, latency_s: 20e-6, launch_s: 150e-6 }
+        PcieLink {
+            bandwidth_bps: 6.0e9,
+            latency_s: 20e-6,
+            launch_s: 150e-6,
+        }
     }
 
     /// Time to move `bytes` across the link.
@@ -105,12 +109,18 @@ impl DeviceSpec {
             self.max_threads()
         );
         if threads <= self.cores {
-            ThreadPlacement { cores_used: threads, threads_per_core: 1 }
+            ThreadPlacement {
+                cores_used: threads,
+                threads_per_core: 1,
+            }
         } else {
             // Spread evenly; round threads/core up and shrink cores to fit.
             let tpc = threads.div_ceil(self.cores).min(self.smt);
             let cores = threads.div_ceil(tpc);
-            ThreadPlacement { cores_used: cores, threads_per_core: tpc }
+            ThreadPlacement {
+                cores_used: cores,
+                threads_per_core: tpc,
+            }
         }
     }
 
@@ -122,8 +132,7 @@ impl DeviceSpec {
 
     /// Memory-contention factor of a placement.
     pub fn contention(&self, placement: ThreadPlacement) -> f64 {
-        (1.0 - self.contention_per_core * (placement.cores_used.saturating_sub(1)) as f64)
-            .max(0.1)
+        (1.0 - self.contention_per_core * (placement.cores_used.saturating_sub(1)) as f64).max(0.1)
     }
 
     /// Effective aggregate clock available to DP work, in GHz:
@@ -166,9 +175,21 @@ mod tests {
     fn place_threads_prefers_cores() {
         let xeon = presets::xeon_e5_2670_pair();
         let p = xeon.place_threads(8);
-        assert_eq!(p, ThreadPlacement { cores_used: 8, threads_per_core: 1 });
+        assert_eq!(
+            p,
+            ThreadPlacement {
+                cores_used: 8,
+                threads_per_core: 1
+            }
+        );
         let p = xeon.place_threads(32);
-        assert_eq!(p, ThreadPlacement { cores_used: 16, threads_per_core: 2 });
+        assert_eq!(
+            p,
+            ThreadPlacement {
+                cores_used: 16,
+                threads_per_core: 2
+            }
+        );
     }
 
     #[test]
@@ -176,19 +197,31 @@ mod tests {
         let phi = presets::xeon_phi_60c();
         assert_eq!(
             phi.place_threads(240),
-            ThreadPlacement { cores_used: 60, threads_per_core: 4 }
+            ThreadPlacement {
+                cores_used: 60,
+                threads_per_core: 4
+            }
         );
         assert_eq!(
             phi.place_threads(120),
-            ThreadPlacement { cores_used: 60, threads_per_core: 2 }
+            ThreadPlacement {
+                cores_used: 60,
+                threads_per_core: 2
+            }
         );
         assert_eq!(
             phi.place_threads(30),
-            ThreadPlacement { cores_used: 30, threads_per_core: 1 }
+            ThreadPlacement {
+                cores_used: 30,
+                threads_per_core: 1
+            }
         );
         assert_eq!(
             phi.place_threads(180),
-            ThreadPlacement { cores_used: 60, threads_per_core: 3 }
+            ThreadPlacement {
+                cores_used: 60,
+                threads_per_core: 3
+            }
         );
     }
 
@@ -204,7 +237,10 @@ mod tests {
         let mut last = 0.0;
         for t in [1u32, 2, 4, 8, 16, 32] {
             let g = xeon.effective_ghz(xeon.place_threads(t));
-            assert!(g > last, "effective GHz must grow with threads ({t}: {g} vs {last})");
+            assert!(
+                g > last,
+                "effective GHz must grow with threads ({t}: {g} vs {last})"
+            );
             last = g;
         }
     }

@@ -69,7 +69,12 @@ pub struct OffloadSim {
 impl OffloadSim {
     /// Fresh simulator over `link`, both clocks at zero.
     pub fn new(link: PcieLink) -> Self {
-        OffloadSim { link, host_clock: 0.0, device_clock: 0.0, timeline: Vec::new() }
+        OffloadSim {
+            link,
+            host_clock: 0.0,
+            device_clock: 0.0,
+            timeline: Vec::new(),
+        }
     }
 
     /// Asynchronously offload a kernel: input transfer, device compute
@@ -90,11 +95,25 @@ impl OffloadSim {
         // stream is free.
         let t0 = self.host_clock.max(self.device_clock);
         let t1 = t0 + self.link.transfer_time(in_bytes);
-        self.timeline.push(Event { start_s: t0, end_s: t1, kind: EventKind::TransferIn { bytes: in_bytes } });
+        self.timeline.push(Event {
+            start_s: t0,
+            end_s: t1,
+            kind: EventKind::TransferIn { bytes: in_bytes },
+        });
         let t2 = t1 + kernel_s;
-        self.timeline.push(Event { start_s: t1, end_s: t2, kind: EventKind::Kernel { label: label.into() } });
+        self.timeline.push(Event {
+            start_s: t1,
+            end_s: t2,
+            kind: EventKind::Kernel {
+                label: label.into(),
+            },
+        });
         let t3 = t2 + self.link.transfer_time(out_bytes);
-        self.timeline.push(Event { start_s: t2, end_s: t3, kind: EventKind::TransferOut { bytes: out_bytes } });
+        self.timeline.push(Event {
+            start_s: t2,
+            end_s: t3,
+            kind: EventKind::TransferOut { bytes: out_bytes },
+        });
         self.device_clock = t3;
         Signal { completion_s: t3 }
     }
@@ -107,7 +126,9 @@ impl OffloadSim {
         self.timeline.push(Event {
             start_s: t0,
             end_s: self.host_clock,
-            kind: EventKind::HostCompute { label: label.into() },
+            kind: EventKind::HostCompute {
+                label: label.into(),
+            },
         });
     }
 
@@ -136,7 +157,9 @@ impl OffloadSim {
             .filter(|e| {
                 matches!(
                     e.kind,
-                    EventKind::TransferIn { .. } | EventKind::Kernel { .. } | EventKind::TransferOut { .. }
+                    EventKind::TransferIn { .. }
+                        | EventKind::Kernel { .. }
+                        | EventKind::TransferOut { .. }
                 )
             })
             .map(|e| e.end_s - e.start_s)
@@ -176,9 +199,7 @@ impl OffloadSim {
                 EventKind::HostCompute { .. } => (&mut host, b'#'),
                 EventKind::HostWait => (&mut host, b'.'),
                 EventKind::Kernel { .. } => (&mut device, b'#'),
-                EventKind::TransferIn { .. } | EventKind::TransferOut { .. } => {
-                    (&mut device, b'=')
-                }
+                EventKind::TransferIn { .. } | EventKind::TransferOut { .. } => (&mut device, b'='),
             };
             let (a, b) = (col(e.start_s), col(e.end_s));
             for c in row.iter_mut().take(b + 1).skip(a) {
@@ -205,7 +226,9 @@ impl OffloadSim {
             .filter(|e| {
                 matches!(
                     e.kind,
-                    EventKind::TransferIn { .. } | EventKind::Kernel { .. } | EventKind::TransferOut { .. }
+                    EventKind::TransferIn { .. }
+                        | EventKind::Kernel { .. }
+                        | EventKind::TransferOut { .. }
                 )
             })
             .map(|e| (e.start_s, e.end_s))
@@ -220,7 +243,11 @@ mod tests {
     use super::*;
 
     fn link() -> PcieLink {
-        PcieLink { bandwidth_bps: 1e9, latency_s: 1e-3, launch_s: 1e-3 }
+        PcieLink {
+            bandwidth_bps: 1e9,
+            latency_s: 1e-3,
+            launch_s: 1e-3,
+        }
     }
 
     #[test]
@@ -247,7 +274,10 @@ mod tests {
         sim.wait(sig);
         // Host finished after the device: wait is a no-op.
         assert!((sim.elapsed() - (0.001 + 10.0)).abs() < 1e-6);
-        assert!(!sim.timeline().iter().any(|e| matches!(e.kind, EventKind::HostWait)));
+        assert!(!sim
+            .timeline()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::HostWait)));
     }
 
     #[test]
@@ -255,7 +285,10 @@ mod tests {
         let mut sim = OffloadSim::new(link());
         let sig = sim.offload_async(0, 5.0, 0, "k");
         sim.wait(sig);
-        assert!(sim.timeline().iter().any(|e| matches!(e.kind, EventKind::HostWait)));
+        assert!(sim
+            .timeline()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::HostWait)));
         assert!(sim.check_causality());
     }
 

@@ -106,7 +106,10 @@ impl CostModel {
 
     /// The paper's host CPU with calibrated constants.
     pub fn xeon() -> Self {
-        CostModel::new(crate::presets::xeon_e5_2670_pair(), crate::presets::xeon_costs())
+        CostModel::new(
+            crate::presets::xeon_e5_2670_pair(),
+            crate::presets::xeon_costs(),
+        )
     }
 
     /// The paper's coprocessor with calibrated constants.
@@ -121,9 +124,7 @@ impl CostModel {
         match (variant.vec, variant.profile) {
             (Vectorization::NoVec, ProfileMode::Query) => (c.cps_novec_qp, 1),
             (Vectorization::NoVec, ProfileMode::Sequence) => (c.cps_novec_sp, 1),
-            (Vectorization::Guided, ProfileMode::Query) => {
-                (c.cpv_simd_qp, self.device.lanes_i16())
-            }
+            (Vectorization::Guided, ProfileMode::Query) => (c.cpv_simd_qp, self.device.lanes_i16()),
             (Vectorization::Guided, ProfileMode::Sequence) => {
                 (c.cpv_simd_sp, self.device.lanes_i16())
             }
@@ -178,9 +179,8 @@ impl CostModel {
             ProfileMode::Sequence => {
                 // |Σ|·N_pad·L per batch; the scalar SP variant builds a
                 // 1-lane profile per sequence — same op count per residue.
-                let ops = 24.0
-                    * shape.padded_len as f64
-                    * if lanes == 1 { 1.0 } else { lanes as f64 };
+                let ops =
+                    24.0 * shape.padded_len as f64 * if lanes == 1 { 1.0 } else { lanes as f64 };
                 ops * self.costs.sp_build_cyc_per_op
             }
             ProfileMode::Query => 0.0, // built once per query, amortised away
@@ -214,7 +214,11 @@ mod tests {
     use super::*;
 
     fn variant(vec: Vectorization, profile: ProfileMode) -> KernelVariant {
-        KernelVariant { vec, profile, blocking: true }
+        KernelVariant {
+            vec,
+            profile,
+            blocking: true,
+        }
     }
 
     /// The calibration contract: simulated peaks must land on the paper's
@@ -222,12 +226,33 @@ mod tests {
     #[test]
     fn xeon_peaks_match_paper() {
         let m = CostModel::xeon();
-        let sp = m.peak_gcups(variant(Vectorization::Intrinsic, ProfileMode::Sequence), 32, 2000);
-        assert!((sp - 30.4).abs() / 30.4 < 0.05, "intrinsic-SP {sp} vs paper 30.4");
-        let simd_sp = m.peak_gcups(variant(Vectorization::Guided, ProfileMode::Sequence), 32, 2000);
-        assert!((simd_sp - 25.1).abs() / 25.1 < 0.05, "simd-SP {simd_sp} vs paper 25.1");
-        let novec = m.peak_gcups(variant(Vectorization::NoVec, ProfileMode::Sequence), 32, 2000);
-        assert!(novec < 3.0, "no-vec must 'hardly offer performance': {novec}");
+        let sp = m.peak_gcups(
+            variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+            32,
+            2000,
+        );
+        assert!(
+            (sp - 30.4).abs() / 30.4 < 0.05,
+            "intrinsic-SP {sp} vs paper 30.4"
+        );
+        let simd_sp = m.peak_gcups(
+            variant(Vectorization::Guided, ProfileMode::Sequence),
+            32,
+            2000,
+        );
+        assert!(
+            (simd_sp - 25.1).abs() / 25.1 < 0.05,
+            "simd-SP {simd_sp} vs paper 25.1"
+        );
+        let novec = m.peak_gcups(
+            variant(Vectorization::NoVec, ProfileMode::Sequence),
+            32,
+            2000,
+        );
+        assert!(
+            novec < 3.0,
+            "no-vec must 'hardly offer performance': {novec}"
+        );
     }
 
     #[test]
@@ -251,12 +276,21 @@ mod tests {
     #[test]
     fn hetero_sum_matches_62_6() {
         // Fig. 8: combined ≈ 62.6 GCUPS = 30.4 + 34.9 (minus small overheads).
-        let x = CostModel::xeon()
-            .peak_gcups(variant(Vectorization::Intrinsic, ProfileMode::Sequence), 32, 2000);
-        let p = CostModel::phi()
-            .peak_gcups(variant(Vectorization::Intrinsic, ProfileMode::Sequence), 240, 2000);
+        let x = CostModel::xeon().peak_gcups(
+            variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+            32,
+            2000,
+        );
+        let p = CostModel::phi().peak_gcups(
+            variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+            240,
+            2000,
+        );
         let total = x + p;
-        assert!((total - 62.6).abs() / 62.6 < 0.05, "combined {total} vs paper 62.6");
+        assert!(
+            (total - 62.6).abs() / 62.6 < 0.05,
+            "combined {total} vs paper 62.6"
+        );
     }
 
     #[test]
@@ -289,19 +323,31 @@ mod tests {
     fn blocking_only_matters_for_long_queries() {
         let m = CostModel::phi();
         let blocked = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
-        let unblocked = KernelVariant { blocking: false, ..blocked };
+        let unblocked = KernelVariant {
+            blocking: false,
+            ..blocked
+        };
         let short_b = m.peak_gcups(blocked, 240, 144);
         let short_u = m.peak_gcups(unblocked, 240, 144);
-        assert!((short_b - short_u).abs() < 1e-9, "short queries: no difference");
+        assert!(
+            (short_b - short_u).abs() < 1e-9,
+            "short queries: no difference"
+        );
         let long_b = m.peak_gcups(blocked, 240, 5478);
         let long_u = m.peak_gcups(unblocked, 240, 5478);
-        assert!(long_u < 0.85 * long_b, "Fig 7: unblocked {long_u} vs blocked {long_b}");
+        assert!(
+            long_u < 0.85 * long_b,
+            "Fig 7: unblocked {long_u} vs blocked {long_b}"
+        );
     }
 
     #[test]
     fn blocking_gap_larger_on_phi_than_xeon() {
         let v = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
-        let u = KernelVariant { blocking: false, ..v };
+        let u = KernelVariant {
+            blocking: false,
+            ..v
+        };
         let xeon = CostModel::xeon();
         let phi = CostModel::phi();
         let xeon_ratio = xeon.peak_gcups(u, 32, 5478) / xeon.peak_gcups(v, 32, 5478);
@@ -315,10 +361,23 @@ mod tests {
     #[test]
     fn task_seconds_includes_dispatch_and_build() {
         let m = CostModel::xeon();
-        let shape = TaskShape { query_len: 500, padded_len: 400, lanes: 16, real_cells: 500 * 400 * 16 };
+        let shape = TaskShape {
+            query_len: 500,
+            padded_len: 400,
+            lanes: 16,
+            real_cells: 500 * 400 * 16,
+        };
         let p = m.device.place_threads(32);
-        let sp = m.task_seconds(variant(Vectorization::Intrinsic, ProfileMode::Sequence), &shape, p);
-        let qp = m.task_seconds(variant(Vectorization::Intrinsic, ProfileMode::Query), &shape, p);
+        let sp = m.task_seconds(
+            variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+            &shape,
+            p,
+        );
+        let qp = m.task_seconds(
+            variant(Vectorization::Intrinsic, ProfileMode::Query),
+            &shape,
+            p,
+        );
         assert!(sp > 0.0 && qp > 0.0);
         // SP pays the per-batch profile build, but its lower cpv wins for
         // this query length on the Xeon.
@@ -333,8 +392,12 @@ mod tests {
         let v = variant(Vectorization::Intrinsic, ProfileMode::Sequence);
         let p = m.device.place_threads(240);
         let rate = |ql: usize| {
-            let shape =
-                TaskShape { query_len: ql, padded_len: 355, lanes: 32, real_cells: (ql * 355 * 32) as u64 };
+            let shape = TaskShape {
+                query_len: ql,
+                padded_len: 355,
+                lanes: 32,
+                real_cells: (ql * 355 * 32) as u64,
+            };
             shape.real_cells as f64 / m.task_seconds(v, &shape, p)
         };
         assert!(rate(144) < rate(1000));
@@ -344,7 +407,12 @@ mod tests {
     #[test]
     fn scalar_variant_charged_per_real_cell() {
         let m = CostModel::xeon();
-        let shape = TaskShape { query_len: 100, padded_len: 200, lanes: 16, real_cells: 50_000 };
+        let shape = TaskShape {
+            query_len: 100,
+            padded_len: 200,
+            lanes: 16,
+            real_cells: 50_000,
+        };
         let v = variant(Vectorization::NoVec, ProfileMode::Query);
         let cyc = m.task_cycles(v, &shape, 1);
         assert!((cyc - 50_000.0 * m.costs.cps_novec_qp).abs() < 1e-6);

@@ -136,8 +136,8 @@ pub fn xeon_phi_knl_7210() -> DeviceSpec {
         freq_ghz: 1.3,
         vector_bits: 512,
         has_gather: true,
-        l2_bytes: 512 * 1024, // 1 MB shared per 2-core tile
-        llc_bytes: 16 * 1024 * 1024 * 1024, // MCDRAM as LLC-like cache
+        l2_bytes: 512 * 1024,                // 1 MB shared per 2-core tile
+        llc_bytes: 16 * 1024 * 1024 * 1024,  // MCDRAM as LLC-like cache
         smt_issue_eff: [1.0, 1.4, 1.5, 1.5], // out-of-order: 1 thread ≈ full issue
         contention_per_core: 0.0008,
         tdp_watts: 215.0,
@@ -214,7 +214,10 @@ mod tests {
         let phi = xeon_phi_60c();
         assert_eq!(phi.max_threads(), 240);
         assert!(phi.has_gather);
-        assert_eq!(phi.llc_bytes, 0, "the Phi has no L3 — Fig. 7 depends on this");
+        assert_eq!(
+            phi.llc_bytes, 0,
+            "the Phi has no L3 — Fig. 7 depends on this"
+        );
         assert!(phi.pcie.is_some());
     }
 
@@ -238,7 +241,10 @@ mod tests {
         let p = phi_costs();
         let xeon_qp_sp = x.cpv_intr_qp / x.cpv_intr_sp;
         let phi_qp_sp = p.cpv_intr_qp / p.cpv_intr_sp;
-        assert!(phi_qp_sp < xeon_qp_sp + 0.05, "phi {phi_qp_sp} vs xeon {xeon_qp_sp}");
+        assert!(
+            phi_qp_sp < xeon_qp_sp + 0.05,
+            "phi {phi_qp_sp} vs xeon {xeon_qp_sp}"
+        );
     }
 
     #[test]

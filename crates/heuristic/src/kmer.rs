@@ -24,7 +24,10 @@ impl KmerIndex {
         let size = alphabet
             .checked_pow(k as u32)
             .expect("k-mer key space must fit usize");
-        assert!(size <= 1 << 28, "k too large for a dense table (use k <= 6 for proteins)");
+        assert!(
+            size <= 1 << 28,
+            "k too large for a dense table (use k <= 6 for proteins)"
+        );
         let mut buckets = vec![Vec::new(); size];
         if query.len() >= k {
             for i in 0..=(query.len() - k) {
@@ -32,13 +35,19 @@ impl KmerIndex {
                 buckets[key].push(i as u32);
             }
         }
-        KmerIndex { k, alphabet, buckets }
+        KmerIndex {
+            k,
+            alphabet,
+            buckets,
+        }
     }
 
     /// Dense key of a k-residue window.
     #[inline]
     fn key_of(window: &[u8], alphabet: usize) -> usize {
-        window.iter().fold(0usize, |acc, &c| acc * alphabet + c as usize)
+        window
+            .iter()
+            .fold(0usize, |acc, &c| acc * alphabet + c as usize)
     }
 
     /// Word length `k`.

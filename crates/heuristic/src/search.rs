@@ -25,7 +25,12 @@ pub struct HeuristicOpts {
 
 impl Default for HeuristicOpts {
     fn default() -> Self {
-        HeuristicOpts { k: 3, x_drop: 16, min_hsp_score: 38, band_radius: None }
+        HeuristicOpts {
+            k: 3,
+            x_drop: 16,
+            min_hsp_score: 38,
+            band_radius: None,
+        }
     }
 }
 
@@ -95,7 +100,10 @@ pub struct HeuristicEngine {
 impl HeuristicEngine {
     /// Engine with the paper's scoring parameters and default knobs.
     pub fn paper_default() -> Self {
-        HeuristicEngine { params: SwParams::paper_default(), opts: HeuristicOpts::default() }
+        HeuristicEngine {
+            params: SwParams::paper_default(),
+            opts: HeuristicOpts::default(),
+        }
     }
 
     /// Scan `db` for `query`, refining candidate pairs with exact SW.
@@ -126,19 +134,12 @@ impl HeuristicEngine {
                 let window = &s[j..j + k];
                 for &qi in index.hits(window) {
                     let qi = qi as usize;
-                    let diag = (j + m - qi) as usize; // shifted to be non-negative
+                    let diag = j + m - qi; // shifted to be non-negative
                     if (covered[diag] as usize) > j {
                         continue; // this diagonal already extended past here
                     }
-                    let hsp = xdrop_extend(
-                        query,
-                        s,
-                        qi,
-                        j,
-                        k,
-                        &self.params.matrix,
-                        self.opts.x_drop,
-                    );
+                    let hsp =
+                        xdrop_extend(query, s, qi, j, k, &self.params.matrix, self.opts.x_drop);
                     covered[diag] = hsp.subject_range.1 as u32;
                     if hsp.score > best_hsp {
                         best_hsp = hsp.score;
@@ -156,18 +157,26 @@ impl HeuristicEngine {
                         sw_score_scalar(query, s, &self.params)
                     }
                     Some(r) => {
-                        refine_cells +=
-                            (query.len() * (2 * r + 1).min(s.len())) as u64;
+                        refine_cells += (query.len() * (2 * r + 1).min(s.len())) as u64;
                         sw_kernels::banded::sw_banded(query, s, &self.params, best_diag, r)
                     }
                 };
-                hits.push(HeuristicHit { id, score, hsp_score: best_hsp });
+                hits.push(HeuristicHit {
+                    id,
+                    score,
+                    hsp_score: best_hsp,
+                });
             } else {
                 skipped += 1;
             }
         }
         hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
-        HeuristicResults { hits, skipped, refine_cells, exhaustive_cells }
+        HeuristicResults {
+            hits,
+            skipped,
+            refine_cells,
+            exhaustive_cells,
+        }
     }
 }
 
@@ -190,7 +199,8 @@ mod tests {
         let a = Alphabet::protein();
         let mut g = SwissProtGen::new(200.0, 1);
         let target = g.sequence("target", 120);
-        let mut seqs: Vec<EncodedSeq> = (0..30).map(|i| g.sequence(&format!("d{i}"), 150)).collect();
+        let mut seqs: Vec<EncodedSeq> =
+            (0..30).map(|i| g.sequence(&format!("d{i}"), 150)).collect();
         seqs.push(target.clone());
         let db = db_of(seqs);
         let engine = HeuristicEngine::paper_default();
@@ -209,7 +219,11 @@ mod tests {
         let seqs: Vec<EncodedSeq> = (0..50).map(|i| g.sequence(&format!("d{i}"), 200)).collect();
         let db = db_of(seqs);
         let res = HeuristicEngine::paper_default().search(&query.residues, &db);
-        assert!(res.skipped > 25, "most random pairs must be skipped, got {}", res.skipped);
+        assert!(
+            res.skipped > 25,
+            "most random pairs must be skipped, got {}",
+            res.skipped
+        );
         assert!(res.work_saved() > 0.5);
     }
 
@@ -235,7 +249,10 @@ mod tests {
         // exact 3-mer survives.
         let query = enc(b"MKVMKVMKVMKVMKVMKVMKVMKVMKVMKV");
         let homolog = enc(b"MKAMKAMKAMKAMKAMKAMKAMKAMKAMKA");
-        let db = db_of(vec![EncodedSeq { header: "hom".into(), residues: homolog.clone() }]);
+        let db = db_of(vec![EncodedSeq {
+            header: "hom".into(),
+            residues: homolog.clone(),
+        }]);
         let engine = HeuristicEngine::paper_default();
         let res = engine.search(&query, &db);
         let exact = sw_score_scalar(&query, &homolog, &engine.params);
@@ -249,7 +266,10 @@ mod tests {
 
     #[test]
     fn empty_and_short_inputs() {
-        let db = db_of(vec![EncodedSeq { header: "s".into(), residues: enc(b"MK") }]);
+        let db = db_of(vec![EncodedSeq {
+            header: "s".into(),
+            residues: enc(b"MK"),
+        }]);
         let engine = HeuristicEngine::paper_default();
         let res = engine.search(&enc(b"MKVLITRAW"), &db);
         assert!(res.hits.is_empty());
@@ -274,16 +294,25 @@ mod tests {
                     *r = rng.gen_range(0..20);
                 }
             }
-            seqs.push(EncodedSeq { header: format!("hom{i}").into(), residues: hom });
+            seqs.push(EncodedSeq {
+                header: format!("hom{i}").into(),
+                residues: hom,
+            });
         }
         let db = db_of(seqs);
         let strict = HeuristicEngine {
             params: SwParams::paper_default(),
-            opts: HeuristicOpts { min_hsp_score: 60, ..Default::default() },
+            opts: HeuristicOpts {
+                min_hsp_score: 60,
+                ..Default::default()
+            },
         };
         let lenient = HeuristicEngine {
             params: SwParams::paper_default(),
-            opts: HeuristicOpts { min_hsp_score: 20, ..Default::default() },
+            opts: HeuristicOpts {
+                min_hsp_score: 20,
+                ..Default::default()
+            },
         };
         let r_strict = strict.search(&query.residues, &db);
         let r_lenient = lenient.search(&query.residues, &db);
@@ -300,13 +329,22 @@ mod tests {
         let exact = full.search(&target.residues, &db).hits[0].score;
         let banded_wide = HeuristicEngine {
             params: SwParams::paper_default(),
-            opts: HeuristicOpts { band_radius: Some(200), ..Default::default() },
+            opts: HeuristicOpts {
+                band_radius: Some(200),
+                ..Default::default()
+            },
         };
-        assert_eq!(banded_wide.search(&target.residues, &db).hits[0].score, exact);
+        assert_eq!(
+            banded_wide.search(&target.residues, &db).hits[0].score,
+            exact
+        );
         // Narrow bands are lower bounds and cost less work.
         let banded_narrow = HeuristicEngine {
             params: SwParams::paper_default(),
-            opts: HeuristicOpts { band_radius: Some(4), ..Default::default() },
+            opts: HeuristicOpts {
+                band_radius: Some(4),
+                ..Default::default()
+            },
         };
         let narrow = banded_narrow.search(&target.residues, &db);
         assert!(narrow.hits[0].score <= exact);

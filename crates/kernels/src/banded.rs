@@ -55,8 +55,16 @@ pub fn sw_banded(
             continue;
         }
         // H[i][lo-1] boundary: inside the band it is a valid local start.
-        let mut h_diag = if in_band(i as i64 - 1, lo - 1) { h_row[(lo - 1) as usize] } else { NEG_INF };
-        let mut h_left = if in_band(i as i64, lo - 1) { 0 } else { NEG_INF };
+        let mut h_diag = if in_band(i as i64 - 1, lo - 1) {
+            h_row[(lo - 1) as usize]
+        } else {
+            NEG_INF
+        };
+        let mut h_left = if in_band(i as i64, lo - 1) {
+            0
+        } else {
+            NEG_INF
+        };
         let mut f = NEG_INF;
         // Cells before lo are out of band for this row.
         if lo > 1 {

@@ -67,7 +67,12 @@ pub struct BlockedWorkspace<const L: usize> {
 impl<const L: usize> BlockedWorkspace<L> {
     /// Fresh empty workspace.
     pub fn new() -> Self {
-        Self { h_col: Vec::new(), f_col: Vec::new(), bh: Vec::new(), be: Vec::new() }
+        Self {
+            h_col: Vec::new(),
+            f_col: Vec::new(),
+            bh: Vec::new(),
+            be: Vec::new(),
+        }
     }
 }
 
@@ -163,7 +168,11 @@ pub fn sw_blocked_sp<const L: usize>(
     block_rows: usize,
     ws: &mut BlockedWorkspace<L>,
 ) -> KernelOutput {
-    assert_eq!(sp.padded_len(), batch.padded_len(), "profile/batch shape mismatch");
+    assert_eq!(
+        sp.padded_len(),
+        batch.padded_len(),
+        "profile/batch shape mismatch"
+    );
     let src = SpSource { sp, query };
     sw_blocked::<L, _>(query.len(), &src, batch, gap, block_rows, ws)
 }
@@ -191,15 +200,20 @@ mod tests {
     }
 
     fn make_batch<const L: usize>(a: &Alphabet, seqs: &[Vec<u8>]) -> LaneBatch {
-        let refs: Vec<(SeqId, &[u8])> =
-            seqs.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+        let refs: Vec<(SeqId, &[u8])> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeqId(i as u32), s.as_slice()))
+            .collect();
         LaneBatch::pack(L, &refs, pad_code(a))
     }
 
     #[test]
     fn blocked_equals_unblocked_all_block_sizes() {
         let (a, p) = setup();
-        let query = a.encode_strict(b"MKVLITRAWQESTNHYFPGDMKVLITRAWQESTNHYFPGD").unwrap();
+        let query = a
+            .encode_strict(b"MKVLITRAWQESTNHYFPGDMKVLITRAWQESTNHYFPGD")
+            .unwrap();
         let subjects: Vec<Vec<u8>> = [
             &b"MKVLITRAWQESTNHYFPGD"[..],
             &b"DGPFYHNTSEQWARTILVKM"[..],
@@ -272,7 +286,7 @@ mod tests {
         qtext.extend_from_slice(b"MKVLITRAW");
         let query = a.encode_strict(&qtext).unwrap();
         let subject = a.encode_strict(b"MKVLITRAWMKVLITRAW").unwrap();
-        let batch = make_batch::<2>(&a, &[subject.clone()]);
+        let batch = make_batch::<2>(&a, std::slice::from_ref(&subject));
         let qp = QueryProfile::build(&query, &p.matrix, &a);
         let expect = sw_score_scalar(&query, &subject, &p);
         let mut ws = BlockedWorkspace::<2>::new();
@@ -297,7 +311,7 @@ mod tests {
     fn zero_block_rows_panics() {
         let (a, p) = setup();
         let q = a.encode_strict(b"MKV").unwrap();
-        let batch = make_batch::<2>(&a, &[q.clone()]);
+        let batch = make_batch::<2>(&a, std::slice::from_ref(&q));
         let qp = QueryProfile::build(&q, &p.matrix, &a);
         let mut ws = BlockedWorkspace::<2>::new();
         let _ = sw_blocked_qp::<2>(&qp, &batch, &p.gap, 0, &mut ws);

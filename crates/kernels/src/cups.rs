@@ -13,10 +13,14 @@ use std::time::Duration;
 pub struct Gcups(pub f64);
 
 impl Gcups {
-    /// From a cell count and elapsed wall-clock time.
+    /// From a cell count and elapsed wall-clock time. A zero elapsed time
+    /// (an empty device share, a search over zero batches) reports zero
+    /// throughput rather than panicking — no work happened in no time.
     pub fn from_cells(cells: u64, elapsed: Duration) -> Self {
         let secs = elapsed.as_secs_f64();
-        assert!(secs > 0.0, "elapsed time must be positive");
+        if secs <= 0.0 {
+            return Gcups(0.0);
+        }
         Gcups(cells as f64 / secs / 1e9)
     }
 
@@ -90,9 +94,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_reports_zero_throughput() {
+        // An empty device share has elapsed == ZERO; that is zero
+        // throughput, not an error (regression for the old 1 ns sentinel).
+        let g = Gcups::from_cells(1_000_000, Duration::ZERO);
+        assert_eq!(g.value(), 0.0);
+        assert_eq!(Gcups::from_cells(0, Duration::ZERO).value(), 0.0);
+    }
+
+    #[test]
     fn cell_count_math() {
-        let mut c = CellCount { real: 80, padded: 100 };
-        c.add(CellCount { real: 20, padded: 20 });
+        let mut c = CellCount {
+            real: 80,
+            padded: 100,
+        };
+        c.add(CellCount {
+            real: 20,
+            padded: 20,
+        });
         assert_eq!(c.real, 100);
         assert_eq!(c.padded, 120);
         assert!((c.overhead() - 1.2).abs() < 1e-12);

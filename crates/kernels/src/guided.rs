@@ -53,7 +53,10 @@ impl GuidedWorkspace {
     fn output(&self, real_lanes: usize) -> KernelOutput {
         KernelOutput {
             scores: self.vmax[..real_lanes].iter().map(|&v| v as i64).collect(),
-            overflowed: self.vmax[..real_lanes].iter().map(|&v| v == i16::MAX).collect(),
+            overflowed: self.vmax[..real_lanes]
+                .iter()
+                .map(|&v| v == i16::MAX)
+                .collect(),
         }
     }
 }
@@ -142,7 +145,11 @@ pub fn sw_guided_sp(
     ws: &mut GuidedWorkspace,
 ) -> KernelOutput {
     assert_eq!(sp.lanes(), batch.lanes(), "profile/batch lane mismatch");
-    assert_eq!(sp.padded_len(), batch.padded_len(), "profile/batch shape mismatch");
+    assert_eq!(
+        sp.padded_len(),
+        batch.padded_len(),
+        "profile/batch shape mismatch"
+    );
     let m = query.len();
     let n = batch.padded_len();
     let lanes = batch.lanes();
@@ -184,8 +191,11 @@ mod tests {
     }
 
     fn make_batch(a: &Alphabet, lanes: usize, seqs: &[Vec<u8>]) -> LaneBatch {
-        let refs: Vec<(SeqId, &[u8])> =
-            seqs.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+        let refs: Vec<(SeqId, &[u8])> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeqId(i as u32), s.as_slice()))
+            .collect();
         LaneBatch::pack(lanes, &refs, pad_code(a))
     }
 
@@ -231,7 +241,7 @@ mod tests {
         for _ in 0..20 {
             let m = rng.gen_range(1..50);
             let query: Vec<u8> = (0..m).map(|_| rng.gen_range(0..20u8)).collect();
-            let lanes = *[1usize, 2, 4, 8, 16].iter().nth(rng.gen_range(0..5)).unwrap();
+            let lanes = [1usize, 2, 4, 8, 16][rng.gen_range(0usize..5)];
             let n_seqs = rng.gen_range(1..=lanes);
             let subjects: Vec<Vec<u8>> = (0..n_seqs)
                 .map(|_| {
@@ -271,7 +281,7 @@ mod tests {
     fn guided_saturation_flagged() {
         let (a, p) = setup();
         let long = vec![a.encode_byte(b'W').unwrap(); 3100];
-        let batch = make_batch(&a, 2, &[long.clone()]);
+        let batch = make_batch(&a, 2, std::slice::from_ref(&long));
         let qp = QueryProfile::build(&long, &p.matrix, &a);
         let mut ws = GuidedWorkspace::new();
         let out = sw_guided_qp(&qp, &batch, &p.gap, &mut ws);

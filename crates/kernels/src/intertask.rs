@@ -61,7 +61,10 @@ pub struct Workspace<const L: usize> {
 impl<const L: usize> Workspace<L> {
     /// Fresh empty workspace.
     pub fn new() -> Self {
-        Workspace { h_col: Vec::new(), f_col: Vec::new() }
+        Workspace {
+            h_col: Vec::new(),
+            f_col: Vec::new(),
+        }
     }
 
     fn reset(&mut self, m: usize) {
@@ -136,7 +139,11 @@ pub fn sw_lanes_sp<const L: usize>(
 ) -> KernelOutput {
     assert_eq!(batch.lanes(), L, "batch lane width must match kernel width");
     assert_eq!(sp.lanes(), L, "profile lane width must match kernel width");
-    assert_eq!(sp.padded_len(), batch.padded_len(), "profile/batch shape mismatch");
+    assert_eq!(
+        sp.padded_len(),
+        batch.padded_len(),
+        "profile/batch shape mismatch"
+    );
     let m = query.len();
     let n = batch.padded_len();
     let first = I16s::<L>::splat(gap.first() as i16);
@@ -183,8 +190,11 @@ mod tests {
     }
 
     fn make_batch<const L: usize>(a: &Alphabet, seqs: &[Vec<u8>]) -> LaneBatch {
-        let refs: Vec<(SeqId, &[u8])> =
-            seqs.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+        let refs: Vec<(SeqId, &[u8])> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeqId(i as u32), s.as_slice()))
+            .collect();
         LaneBatch::pack(L, &refs, pad_code(a))
     }
 
@@ -293,7 +303,7 @@ mod tests {
         // A long perfect self-match overflows i16: 11 (W-W) × 3100 ≈ 34 100.
         let (a, p) = setup();
         let long = vec![a.encode_byte(b'W').unwrap(); 3100];
-        let batch = make_batch::<4>(&a, &[long.clone()]);
+        let batch = make_batch::<4>(&a, std::slice::from_ref(&long));
         let qp = QueryProfile::build(&long, &p.matrix, &a);
         let mut ws = Workspace::<4>::new();
         let out = sw_lanes_qp::<4>(&qp, &batch, &p.gap, &mut ws);
@@ -307,13 +317,13 @@ mod tests {
         let (a, p) = setup();
         let mut ws = Workspace::<4>::new();
         let big = enc(&a, b"MKVLITRAWQESTNHYFPGMKVLITRAWQESTNHYFPG");
-        let batch_big = make_batch::<4>(&a, &[big.clone()]);
+        let batch_big = make_batch::<4>(&a, std::slice::from_ref(&big));
         let qp_big = QueryProfile::build(&big, &p.matrix, &a);
         sw_lanes_qp::<4>(&qp_big, &batch_big, &p.gap, &mut ws);
 
         let q = enc(&a, b"MKV");
         let s = enc(&a, b"MKV");
-        let batch = make_batch::<4>(&a, &[s.clone()]);
+        let batch = make_batch::<4>(&a, std::slice::from_ref(&s));
         let qp = QueryProfile::build(&q, &p.matrix, &a);
         let out = sw_lanes_qp::<4>(&qp, &batch, &p.gap, &mut ws);
         assert_eq!(out.scores[0], sw_score_scalar(&q, &s, &p));
@@ -324,7 +334,7 @@ mod tests {
     fn lane_width_mismatch_panics() {
         let (a, p) = setup();
         let q = enc(&a, b"MKV");
-        let batch = make_batch::<8>(&a, &[q.clone()]);
+        let batch = make_batch::<8>(&a, std::slice::from_ref(&q));
         let qp = QueryProfile::build(&q, &p.matrix, &a);
         let mut ws = Workspace::<4>::new();
         let _ = sw_lanes_qp::<4>(&qp, &batch, &p.gap, &mut ws);

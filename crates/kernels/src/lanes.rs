@@ -112,9 +112,7 @@ impl<const L: usize> I16s<L> {
     pub fn shift_in(self, v: i16) -> Self {
         let mut out = [0i16; L];
         out[0] = v;
-        for l in 1..L {
-            out[l] = self.0[l - 1];
-        }
+        out[1..L].copy_from_slice(&self.0[..L - 1]);
         I16s(out)
     }
 
@@ -128,7 +126,7 @@ impl<const L: usize> I16s<L> {
     /// True if any lane equals `v` (saturation detection).
     #[inline(always)]
     pub fn any_eq(self, v: i16) -> bool {
-        self.0.iter().any(|&a| a == v)
+        self.0.contains(&v)
     }
 
     /// Store lanes into a slice.
@@ -329,7 +327,10 @@ mod tests {
         assert_eq!(a.max(b).0, [1, 2, 120, 0]);
         assert_eq!(a.max_zero().0, [1, 0, 120, 0]);
         assert_eq!(a.sat_add(b).0, [1, -3, i8::MAX, 0]);
-        assert_eq!(I8s::<4>::splat(i8::MIN).sat_sub(I8s::splat(10)).0, [i8::MIN; 4]);
+        assert_eq!(
+            I8s::<4>::splat(i8::MIN).sat_sub(I8s::splat(10)).0,
+            [i8::MIN; 4]
+        );
         let table: Vec<i8> = (0..10).map(|x| x as i8 * 3).collect();
         assert_eq!(I8s::<3>::gather(&table, &[2, 0, 9]).0, [6, 0, 27]);
         let data = [5i8, 6, 7, 8];

@@ -35,7 +35,9 @@ pub fn nw_score_global(query: &[u8], subject: &[u8], params: &SwParams) -> i64 {
     }
     // Row-wise DP, three-state affine.
     let gap_to = |len: usize| -> i64 { -(params.gap.cost(len as u32)) };
-    let mut h_row: Vec<i64> = (0..=n).map(|j| if j == 0 { 0 } else { gap_to(j) }).collect();
+    let mut h_row: Vec<i64> = (0..=n)
+        .map(|j| if j == 0 { 0 } else { gap_to(j) })
+        .collect();
     let mut e_col = vec![NEG_INF; n + 1];
     for i in 1..=m {
         let row = params.matrix.row(query[i - 1]);
@@ -116,8 +118,7 @@ mod tests {
     #[test]
     fn identical_sequences_all_modes_agree() {
         let q = enc(b"MKVLITRAW");
-        let self_score: i64 =
-            q.iter().map(|&c| p().matrix.score(c, c) as i64).sum();
+        let self_score: i64 = q.iter().map(|&c| p().matrix.score(c, c) as i64).sum();
         assert_eq!(nw_score_global(&q, &q, &p()), self_score);
         assert_eq!(sw_score_semi_global(&q, &q, &p()), self_score);
         assert_eq!(sw_score_scalar(&q, &q, &p()), self_score);
@@ -168,7 +169,10 @@ mod tests {
         assert_eq!(nw_score_global(&[], &[], &params), 0);
         // Semi-global: empty query is free; empty subject gaps the query.
         assert_eq!(sw_score_semi_global(&[], &q, &params), 0);
-        assert_eq!(sw_score_semi_global(&q, &[], &params), -(params.gap.cost(3)));
+        assert_eq!(
+            sw_score_semi_global(&q, &[], &params),
+            -(params.gap.cost(3))
+        );
     }
 
     #[test]

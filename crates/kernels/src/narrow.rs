@@ -33,7 +33,10 @@ pub struct NarrowWorkspace<const L: usize> {
 impl<const L: usize> NarrowWorkspace<L> {
     /// Fresh empty workspace.
     pub fn new() -> Self {
-        NarrowWorkspace { h_col: Vec::new(), f_col: Vec::new() }
+        NarrowWorkspace {
+            h_col: Vec::new(),
+            f_col: Vec::new(),
+        }
     }
 
     fn reset(&mut self, m: usize) {
@@ -83,7 +86,11 @@ pub fn sw_narrow_sp<const L: usize>(
 ) -> NarrowOutput {
     assert_eq!(batch.lanes(), L, "batch lane width must match kernel width");
     assert_eq!(sp.lanes(), L, "profile lane width must match kernel width");
-    assert_eq!(sp.padded_len(), batch.padded_len(), "profile/batch shape mismatch");
+    assert_eq!(
+        sp.padded_len(),
+        batch.padded_len(),
+        "profile/batch shape mismatch"
+    );
     let m = query.len();
     let n = batch.padded_len();
     let first = I8s::<L>::splat(gap.first().clamp(0, 127) as i8);
@@ -195,7 +202,13 @@ fn cascade(
             overflowed: vec![false; narrow.scores.len()],
             scores: narrow.scores,
         };
-        return (out, CascadeStats { settled_i8: real, widened_i16: 0 });
+        return (
+            out,
+            CascadeStats {
+                settled_i8: real,
+                widened_i16: 0,
+            },
+        );
     }
     // At least one lane needs i16; rerun the batch wide (lanes are
     // computed together anyway) and keep the wide scores for saturated
@@ -219,7 +232,10 @@ fn cascade(
     }
     (
         KernelOutput { scores, overflowed },
-        CascadeStats { settled_i8: real - widened, widened_i16: widened },
+        CascadeStats {
+            settled_i8: real - widened,
+            widened_i16: widened,
+        },
     )
 }
 
@@ -235,8 +251,11 @@ mod tests {
     }
 
     fn make_batch<const L: usize>(a: &Alphabet, seqs: &[Vec<u8>]) -> LaneBatch {
-        let refs: Vec<(SeqId, &[u8])> =
-            seqs.iter().enumerate().map(|(i, s)| (SeqId(i as u32), s.as_slice())).collect();
+        let refs: Vec<(SeqId, &[u8])> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SeqId(i as u32), s.as_slice()))
+            .collect();
         LaneBatch::pack(L, &refs, pad_code(a))
     }
 
@@ -245,7 +264,12 @@ mod tests {
         p: &SwParams,
         query: &[u8],
         batch: &LaneBatch,
-    ) -> (QueryProfile, QueryProfileI8, SequenceProfile, SequenceProfileI8) {
+    ) -> (
+        QueryProfile,
+        QueryProfileI8,
+        SequenceProfile,
+        SequenceProfileI8,
+    ) {
         let qp = QueryProfile::build(query, &p.matrix, a);
         let sp = SequenceProfile::build(batch, &p.matrix, a);
         let qp8 = QueryProfileI8::from_wide(&qp);
@@ -269,7 +293,11 @@ mod tests {
         assert_eq!(o_sp, o_qp);
         assert!(!o_sp.any_saturated());
         for (lane, s) in subjects.iter().enumerate() {
-            assert_eq!(o_sp.scores[lane], sw_score_scalar(&query, s, &p), "lane {lane}");
+            assert_eq!(
+                o_sp.scores[lane],
+                sw_score_scalar(&query, s, &p),
+                "lane {lane}"
+            );
         }
     }
 
@@ -279,7 +307,7 @@ mod tests {
         let (a, p) = setup();
         let w = a.encode_byte(b'W').unwrap();
         let long = vec![w; 12];
-        let batch = make_batch::<2>(&a, &[long.clone()]);
+        let batch = make_batch::<2>(&a, std::slice::from_ref(&long));
         let (_, _, _, sp8) = profiles(&a, &p, &long, &batch);
         let mut ws = NarrowWorkspace::<2>::new();
         let o = sw_narrow_sp::<2>(&long, &sp8, &batch, &p.gap, &mut ws);
@@ -322,8 +350,7 @@ mod tests {
         let (qp, qp8, sp, sp8) = profiles(&a, &p, &query, &batch);
         let mut ws8 = NarrowWorkspace::<2>::new();
         let mut ws16 = Workspace::<2>::new();
-        let (o1, s1) =
-            sw_adaptive_sp::<2>(&query, &sp, &sp8, &batch, &p.gap, &mut ws8, &mut ws16);
+        let (o1, s1) = sw_adaptive_sp::<2>(&query, &sp, &sp8, &batch, &p.gap, &mut ws8, &mut ws16);
         let (o2, s2) = sw_adaptive_qp::<2>(&qp, &qp8, &batch, &p.gap, &mut ws8, &mut ws16);
         assert_eq!(o1, o2);
         assert_eq!(s1, s2);

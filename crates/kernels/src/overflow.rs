@@ -33,14 +33,18 @@ pub fn rescue_overflows(
     lane_seqs: &[&[u8]],
     params: &SwParams,
 ) -> RescueStats {
-    assert_eq!(lane_seqs.len(), batch.real_lanes(), "need one sequence per real lane");
+    assert_eq!(
+        lane_seqs.len(),
+        batch.real_lanes(),
+        "need one sequence per real lane"
+    );
     let mut stats = RescueStats::default();
-    for lane in 0..out.scores.len() {
+    for (lane, &seq) in lane_seqs.iter().enumerate() {
         if out.overflowed[lane] {
-            out.scores[lane] = sw_score_scalar(query, lane_seqs[lane], params);
+            out.scores[lane] = sw_score_scalar(query, seq, params);
             out.overflowed[lane] = false;
             stats.lanes_rescued += 1;
-            stats.rescue_cells += query.len() as u64 * lane_seqs[lane].len() as u64;
+            stats.rescue_cells += query.len() as u64 * seq.len() as u64;
         }
     }
     stats

@@ -24,7 +24,10 @@ pub struct SwParams {
 impl SwParams {
     /// The paper's evaluation setting: BLOSUM62, gap open 10, extend 2.
     pub fn paper_default() -> Self {
-        SwParams { matrix: SubstMatrix::blosum62(), gap: GapPenalty::paper_default() }
+        SwParams {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapPenalty::paper_default(),
+        }
     }
 
     /// Custom parameters.
@@ -166,8 +169,10 @@ mod tests {
         let m = SubstMatrix::blosum62();
         let a = Alphabet::protein();
         let text = b"MKVLITRAWQ";
-        let expect: i64 =
-            text.iter().map(|&c| m.score(a.encode_byte(c).unwrap(), a.encode_byte(c).unwrap()) as i64).sum();
+        let expect: i64 = text
+            .iter()
+            .map(|&c| m.score(a.encode_byte(c).unwrap(), a.encode_byte(c).unwrap()) as i64)
+            .sum();
         assert_eq!(score(text, text), expect);
     }
 
@@ -184,8 +189,11 @@ mod tests {
 
     #[test]
     fn symmetry_for_symmetric_matrix() {
-        let pairs: [(&[u8], &[u8]); 3] =
-            [(b"MKVLIT", b"MKRLIT"), (b"AAAA", b"WWWW"), (b"ARNDCQE", b"CQEARND")];
+        let pairs: [(&[u8], &[u8]); 3] = [
+            (b"MKVLIT", b"MKRLIT"),
+            (b"AAAA", b"WWWW"),
+            (b"ARNDCQE", b"CQEARND"),
+        ];
         for (a, b) in pairs {
             assert_eq!(score(a, b), score(b, a), "SW must be symmetric");
         }
@@ -219,8 +227,7 @@ mod tests {
         let a = Alphabet::protein();
         let params = SwParams::paper_default();
         let q = enc(b"MKVLITRAWQPSTNE");
-        let subjects: [&[u8]; 4] =
-            [b"MKVLITRAW", b"QQQQQ", b"MKVLITRAWMKVLITRAWMKVLITRAW", b"A"];
+        let subjects: [&[u8]; 4] = [b"MKVLITRAW", b"QQQQQ", b"MKVLITRAWMKVLITRAWMKVLITRAW", b"A"];
         let qp = QueryProfile::build(&q, &params.matrix, &a);
         for s in subjects {
             let d = enc(s);

@@ -54,7 +54,12 @@ impl<const L: usize> StripedProfile<L> {
                 data[c * seg + k] = I16s(v);
             }
         }
-        StripedProfile { seg, query_len: m, codes, data }
+        StripedProfile {
+            seg,
+            query_len: m,
+            codes,
+            data,
+        }
     }
 
     /// Stripe count (`ceil(M / L)`).
@@ -100,7 +105,10 @@ pub fn sw_striped<const L: usize>(
     let mut vmax = I16s::<L>::zero();
 
     for &d in subject {
-        assert!((d as usize) < profile.codes, "subject residue outside matrix");
+        assert!(
+            (d as usize) < profile.codes,
+            "subject residue outside matrix"
+        );
         let prof = profile.rows(d);
         let mut f = I16s::<L>::splat(NEG_INF_I16);
         // Diagonal for stripe 0: previous column's last stripe, shifted one
@@ -137,7 +145,10 @@ pub fn sw_striped<const L: usize>(
         }
     }
     let best = vmax.hmax();
-    StripedScore { score: best as i64, overflowed: best == i16::MAX }
+    StripedScore {
+        score: best as i64,
+        overflowed: best == i16::MAX,
+    }
 }
 
 /// Convenience: build the profile and align one pair.
@@ -147,7 +158,10 @@ pub fn sw_striped_pair<const L: usize>(
     params: &SwParams,
 ) -> StripedScore {
     if query.is_empty() || subject.is_empty() {
-        return StripedScore { score: 0, overflowed: false };
+        return StripedScore {
+            score: 0,
+            overflowed: false,
+        };
     }
     let profile = StripedProfile::<L>::build(query, params);
     sw_striped(&profile, subject, params)
@@ -230,9 +244,21 @@ mod tests {
             let q: Vec<u8> = (0..m).map(|_| rng.gen_range(0..20u8)).collect();
             let d: Vec<u8> = (0..n).map(|_| rng.gen_range(0..20u8)).collect();
             let expect = sw_score_scalar(&q, &d, &p);
-            assert_eq!(sw_striped_pair::<4>(&q, &d, &p).score, expect, "L=4 round={round}");
-            assert_eq!(sw_striped_pair::<8>(&q, &d, &p).score, expect, "L=8 round={round}");
-            assert_eq!(sw_striped_pair::<16>(&q, &d, &p).score, expect, "L=16 round={round}");
+            assert_eq!(
+                sw_striped_pair::<4>(&q, &d, &p).score,
+                expect,
+                "L=4 round={round}"
+            );
+            assert_eq!(
+                sw_striped_pair::<8>(&q, &d, &p).score,
+                expect,
+                "L=8 round={round}"
+            );
+            assert_eq!(
+                sw_striped_pair::<16>(&q, &d, &p).score,
+                expect,
+                "L=16 round={round}"
+            );
         }
     }
 

@@ -52,11 +52,19 @@ impl Alignment {
                     sj += 1;
                 }
                 AlignOp::InsertQuery => {
-                    score -= if prev == Some(AlignOp::InsertQuery) { extend } else { first };
+                    score -= if prev == Some(AlignOp::InsertQuery) {
+                        extend
+                    } else {
+                        first
+                    };
                     qi += 1;
                 }
                 AlignOp::InsertSubject => {
-                    score -= if prev == Some(AlignOp::InsertSubject) { extend } else { first };
+                    score -= if prev == Some(AlignOp::InsertSubject) {
+                        extend
+                    } else {
+                        first
+                    };
                     sj += 1;
                 }
             }
@@ -257,13 +265,21 @@ pub fn sw_align(query: &[u8], subject: &[u8], params: &SwParams) -> Option<Align
                 // E[i][j] came from H[i-1][j] (open) or E[i-1][j] (extend).
                 ops_rev.push(AlignOp::InsertQuery);
                 let up = (i - 1) * w + j;
-                state = if e[ix] == e[up] - extend { State::E } else { State::H };
+                state = if e[ix] == e[up] - extend {
+                    State::E
+                } else {
+                    State::H
+                };
                 i -= 1;
             }
             State::F => {
                 ops_rev.push(AlignOp::InsertSubject);
                 let left = i * w + j - 1;
-                state = if f[ix] == f[left] - extend { State::F } else { State::H };
+                state = if f[ix] == f[left] - extend {
+                    State::F
+                } else {
+                    State::H
+                };
                 j -= 1;
             }
         }

@@ -37,16 +37,28 @@ pub struct KernelVariant {
 impl KernelVariant {
     /// The paper's best configuration: intrinsic + SP + blocking.
     pub fn best() -> Self {
-        KernelVariant { vec: Vectorization::Intrinsic, profile: ProfileMode::Sequence, blocking: true }
+        KernelVariant {
+            vec: Vectorization::Intrinsic,
+            profile: ProfileMode::Sequence,
+            blocking: true,
+        }
     }
 
     /// All six vectorization × profile combinations of Fig. 3/5 (with
     /// blocking enabled, as the paper's main results use).
     pub fn fig3_set() -> Vec<Self> {
         let mut v = Vec::with_capacity(6);
-        for vec in [Vectorization::NoVec, Vectorization::Guided, Vectorization::Intrinsic] {
+        for vec in [
+            Vectorization::NoVec,
+            Vectorization::Guided,
+            Vectorization::Intrinsic,
+        ] {
             for profile in [ProfileMode::Query, ProfileMode::Sequence] {
-                v.push(KernelVariant { vec, profile, blocking: true });
+                v.push(KernelVariant {
+                    vec,
+                    profile,
+                    blocking: true,
+                });
             }
         }
         v
@@ -90,7 +102,10 @@ mod tests {
             blocking: true,
         };
         assert_eq!(v.label(), "simd-QP");
-        let nb = KernelVariant { blocking: false, ..v };
+        let nb = KernelVariant {
+            blocking: false,
+            ..v
+        };
         assert_eq!(nb.label(), "simd-QP-noblock");
     }
 

@@ -8,7 +8,10 @@
 //! length-sorted database, the static-vs-dynamic gap the paper reports,
 //! and the thread-scaling curves of Figs. 3 and 5.
 
-use crate::policy::{static_partition, ChunkDispenser, Policy};
+use crate::policy::{
+    adaptive_chunk, static_partition, ChunkDispenser, DualQueue, Policy, SplitEstimator,
+    DEVICE_ACCEL, DEVICE_CPU,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -88,7 +91,11 @@ pub fn simulate(costs: &[f64], workers: usize, policy: Policy) -> SimResult {
                 busy.push(costs[s..e].iter().sum());
             }
             let makespan = busy.iter().cloned().fold(0.0, f64::max);
-            SimResult { makespan, busy, chunks: workers.min(costs.len()).max(1) }
+            SimResult {
+                makespan,
+                busy,
+                chunks: workers.min(costs.len()).max(1),
+            }
         }
         Policy::Dynamic { .. } | Policy::Guided { .. } => {
             let mut dispenser = ChunkDispenser::new(policy, costs.len(), workers);
@@ -111,7 +118,11 @@ pub fn simulate(costs: &[f64], workers: usize, policy: Policy) -> SimResult {
                         while let Some(Reverse((Time(t2), _))) = heap.pop() {
                             makespan = makespan.max(t2);
                         }
-                        return SimResult { makespan, busy, chunks };
+                        return SimResult {
+                            makespan,
+                            busy,
+                            chunks,
+                        };
                     }
                 }
             }
@@ -132,13 +143,12 @@ pub fn simulate(costs: &[f64], workers: usize, policy: Policy) -> SimResult {
 /// # Panics
 /// Panics on empty/non-positive speeds, non-finite costs, or
 /// [`Policy::Static`].
-pub fn simulate_heterogeneous(
-    costs: &[f64],
-    speeds: &[f64],
-    policy: Policy,
-) -> SimResult {
+pub fn simulate_heterogeneous(costs: &[f64], speeds: &[f64], policy: Policy) -> SimResult {
     assert!(!speeds.is_empty(), "need at least one worker");
-    assert!(speeds.iter().all(|s| s.is_finite() && *s > 0.0), "speeds must be positive");
+    assert!(
+        speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+        "speeds must be positive"
+    );
     assert!(
         !matches!(policy, Policy::Static),
         "static scheduling cannot account for worker speeds; use dynamic or guided"
@@ -166,11 +176,166 @@ pub fn simulate_heterogeneous(
                 while let Some(Reverse((Time(t2), _))) = heap.pop() {
                     makespan = makespan.max(t2);
                 }
-                return SimResult { makespan, busy, chunks };
+                return SimResult {
+                    makespan,
+                    busy,
+                    chunks,
+                };
             }
         }
     }
     unreachable!("heap always holds a worker")
+}
+
+/// Configuration of a simulated dual-pool run — mirrors the real
+/// executor's `DualPoolConfig` plus the per-device speeds the simulator
+/// needs in place of wall clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DualPoolSimConfig {
+    /// Workers in the CPU pool (front of the queue).
+    pub cpu_workers: usize,
+    /// Workers in the accelerator pool (back of the queue).
+    pub accel_workers: usize,
+    /// CPU throughput in cells per second.
+    pub cpu_speed: f64,
+    /// Accelerator throughput in cells per second.
+    pub accel_speed: f64,
+    /// The static plan's accelerator share seeding the estimator.
+    pub initial_accel_fraction: f64,
+    /// Smallest chunk either pool grabs.
+    pub min_chunk: usize,
+}
+
+/// Result of one simulated dual-pool loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DualPoolSimResult {
+    /// Wall-clock of the loop.
+    pub makespan: f64,
+    /// Busy seconds per device pool (index [`DEVICE_CPU`] / [`DEVICE_ACCEL`]).
+    pub device_busy: [f64; 2],
+    /// Tasks executed per device pool.
+    pub device_tasks: [usize; 2],
+    /// Cells processed per device pool.
+    pub device_cells: [f64; 2],
+    /// Chunks grabbed per device pool.
+    pub device_chunks: [usize; 2],
+    /// Where the pools met: the CPU pool executed tasks `0..boundary`,
+    /// the accelerator pool `boundary..n_tasks`.
+    pub boundary: usize,
+}
+
+impl DualPoolSimResult {
+    /// Fraction of the total cells the accelerator pool processed — the
+    /// *emergent* split, comparable with a static plan's
+    /// `accel_cell_fraction`.
+    pub fn accel_cell_fraction(&self) -> f64 {
+        let total = self.device_cells[DEVICE_CPU] + self.device_cells[DEVICE_ACCEL];
+        if total == 0.0 {
+            0.0
+        } else {
+            self.device_cells[DEVICE_ACCEL] / total
+        }
+    }
+}
+
+/// Simulate the dual-pool heterogeneous executor over per-task `cells`
+/// workloads: the CPU pool pulls from the front of one shared queue, the
+/// accelerator pool from the back, with chunk sizes steered by the same
+/// [`SplitEstimator`] + [`adaptive_chunk`] feedback policy the real
+/// executor runs. Deterministic, so tests can compare a simulated split
+/// against a real run's metrics.
+///
+/// # Panics
+/// Panics when both pools are empty, speeds are non-positive, cells are
+/// non-finite/negative, or the initial fraction is NaN/outside `[0, 1]`.
+pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolSimResult {
+    assert!(
+        config.cpu_workers + config.accel_workers >= 1,
+        "need at least one worker across the two pools"
+    );
+    assert!(
+        config.cpu_speed.is_finite()
+            && config.cpu_speed > 0.0
+            && config.accel_speed.is_finite()
+            && config.accel_speed > 0.0,
+        "device speeds must be positive"
+    );
+    assert!(
+        cells.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "task cells must be finite and non-negative"
+    );
+    let estimator = SplitEstimator::new(config.initial_accel_fraction);
+
+    let mut queue = DualQueue::new(cells.len());
+    let speeds = [config.cpu_speed, config.accel_speed];
+    let pool_workers = [config.cpu_workers, config.accel_workers];
+    let mut device_busy = [0.0f64; 2];
+    let mut device_tasks = [0usize; 2];
+    let mut device_cells = [0.0f64; 2];
+    let mut device_chunks = [0usize; 2];
+    let mut boundary = 0usize;
+
+    // Min-heap of (available_time, device, worker) — deterministic tie
+    // order: CPU workers before accelerator workers at equal times.
+    let mut heap: BinaryHeap<Reverse<(Time, usize, usize)>> = BinaryHeap::new();
+    for device in [DEVICE_CPU, DEVICE_ACCEL] {
+        for w in 0..pool_workers[device] {
+            heap.push(Reverse((Time(0.0), device, w)));
+        }
+    }
+
+    let mut makespan = 0.0f64;
+    while let Some(Reverse((Time(t), device, w))) = heap.pop() {
+        let accel_share = estimator.accel_share(
+            device_cells[DEVICE_CPU].round() as u64,
+            (device_busy[DEVICE_CPU] * 1e9).round() as u64,
+            device_cells[DEVICE_ACCEL].round() as u64,
+            (device_busy[DEVICE_ACCEL] * 1e9).round() as u64,
+        );
+        let my_share = if device == DEVICE_CPU {
+            1.0 - accel_share
+        } else {
+            accel_share
+        };
+        let k = adaptive_chunk(
+            queue.remaining(),
+            my_share,
+            pool_workers[device],
+            config.min_chunk,
+        );
+        let grabbed = if device == DEVICE_CPU {
+            queue.take_front(k)
+        } else {
+            queue.take_back(k)
+        };
+        match grabbed {
+            Some((s, e)) => {
+                let chunk_cells: f64 = cells[s..e].iter().sum();
+                let work = chunk_cells / speeds[device];
+                device_busy[device] += work;
+                device_tasks[device] += e - s;
+                device_cells[device] += chunk_cells;
+                device_chunks[device] += 1;
+                if device == DEVICE_CPU {
+                    boundary = boundary.max(e);
+                }
+                heap.push(Reverse((Time(t + work), device, w)));
+            }
+            None => makespan = makespan.max(t),
+        }
+    }
+    // CPU never grabbed anything: the pools met at task 0.
+    if device_tasks[DEVICE_CPU] == 0 {
+        boundary = 0;
+    }
+    DualPoolSimResult {
+        makespan,
+        device_busy,
+        device_tasks,
+        device_cells,
+        device_chunks,
+        boundary,
+    }
 }
 
 /// Theoretical lower bound on any schedule's makespan:
@@ -201,7 +366,11 @@ mod tests {
     fn work_is_conserved() {
         let costs: Vec<f64> = (1..=37).map(|i| i as f64 * 0.1).collect();
         let total: f64 = costs.iter().sum();
-        for policy in [Policy::Static, Policy::dynamic(), Policy::Guided { min_chunk: 2 }] {
+        for policy in [
+            Policy::Static,
+            Policy::dynamic(),
+            Policy::Guided { min_chunk: 2 },
+        ] {
             let r = simulate(&costs, 5, policy);
             assert!((r.total_busy() - total).abs() < 1e-6, "{policy:?}");
             assert!(r.makespan >= makespan_lower_bound(&costs, 5) - EPS);
@@ -264,7 +433,10 @@ mod tests {
         let lb = makespan_lower_bound(&costs, 8);
         assert!((lb - 100.0).abs() < EPS);
         assert!(r.makespan >= 100.0 - EPS);
-        assert!(r.makespan < 106.0, "dynamic must hide the small tasks behind the giant");
+        assert!(
+            r.makespan < 106.0,
+            "dynamic must hide the small tasks behind the giant"
+        );
     }
 
     #[test]
@@ -323,7 +495,12 @@ mod tests {
         let speeds = [2.0, 1.0];
         let r = simulate_heterogeneous(&costs, &speeds, Policy::dynamic());
         let ideal = total / 3.0;
-        assert!(r.makespan < ideal + 30.0, "{} vs ideal {}", r.makespan, ideal);
+        assert!(
+            r.makespan < ideal + 30.0,
+            "{} vs ideal {}",
+            r.makespan,
+            ideal
+        );
     }
 
     #[test]
@@ -336,5 +513,111 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn heterogeneous_rejects_zero_speed() {
         simulate_heterogeneous(&[1.0], &[0.0], Policy::dynamic());
+    }
+
+    fn dual_cfg() -> DualPoolSimConfig {
+        DualPoolSimConfig {
+            cpu_workers: 4,
+            accel_workers: 2,
+            cpu_speed: 1e9,
+            accel_speed: 4e9,
+            initial_accel_fraction: 0.5,
+            min_chunk: 1,
+        }
+    }
+
+    #[test]
+    fn dual_pool_covers_all_tasks_once() {
+        let cells: Vec<f64> = (1..=200).map(|i| i as f64 * 1e6).collect();
+        let r = simulate_dual_pool(&cells, dual_cfg());
+        assert_eq!(r.device_tasks[0] + r.device_tasks[1], 200);
+        let total: f64 = cells.iter().sum();
+        assert!((r.device_cells[0] + r.device_cells[1] - total).abs() < 1.0);
+        // Pools met at one boundary: CPU cells are exactly the prefix sum.
+        let prefix: f64 = cells[..r.boundary].iter().sum();
+        assert!((r.device_cells[0] - prefix).abs() < 1.0);
+    }
+
+    #[test]
+    fn dual_pool_faster_accel_claims_larger_share() {
+        // Accelerator is 4x faster per worker; the emergent split should
+        // give it well over half the cells even from a 0.5 seed.
+        let cells = vec![1e6; 400];
+        let r = simulate_dual_pool(&cells, dual_cfg());
+        assert!(
+            r.accel_cell_fraction() > 0.5,
+            "accel took {} of the cells",
+            r.accel_cell_fraction()
+        );
+        // And the makespan beats giving everything to either pool alone.
+        let total: f64 = cells.iter().sum();
+        assert!(r.makespan < total / (4.0 * 1e9));
+    }
+
+    #[test]
+    fn dual_pool_estimator_converges_toward_speed_ratio() {
+        // 4 CPU workers at 1 GCUPS vs 2 accel workers at 4 GCUPS: pool
+        // throughput is 4 vs 8, so the ideal accel share is 2/3. Start
+        // from a bad seed and check the feedback converges near it.
+        let cells = vec![1e6; 2000];
+        let mut cfg = dual_cfg();
+        cfg.initial_accel_fraction = 0.1;
+        let r = simulate_dual_pool(&cells, cfg);
+        assert!(
+            (r.accel_cell_fraction() - 2.0 / 3.0).abs() < 0.15,
+            "emergent split {} should approach 2/3",
+            r.accel_cell_fraction()
+        );
+    }
+
+    #[test]
+    fn dual_pool_single_sided() {
+        let cells = vec![1e6; 50];
+        let mut cfg = dual_cfg();
+        cfg.accel_workers = 0;
+        let r = simulate_dual_pool(&cells, cfg);
+        assert_eq!(r.device_tasks[0], 50);
+        assert_eq!(r.boundary, 50);
+        assert_eq!(r.device_tasks[1], 0);
+
+        let mut cfg = dual_cfg();
+        cfg.cpu_workers = 0;
+        let r = simulate_dual_pool(&cells, cfg);
+        assert_eq!(r.device_tasks[1], 50);
+        assert_eq!(r.boundary, 0);
+        assert_eq!(r.accel_cell_fraction(), 1.0);
+    }
+
+    #[test]
+    fn dual_pool_empty_loop() {
+        let r = simulate_dual_pool(&[], dual_cfg());
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.device_tasks, [0, 0]);
+        assert_eq!(r.accel_cell_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dual_pool_deterministic() {
+        let cells: Vec<f64> = (0..300).map(|i| ((i * 13) % 37 + 1) as f64 * 1e5).collect();
+        let a = simulate_dual_pool(&cells, dual_cfg());
+        let b = simulate_dual_pool(&cells, dual_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite fraction")]
+    fn dual_pool_rejects_bad_fraction() {
+        let mut cfg = dual_cfg();
+        cfg.initial_accel_fraction = 1.5;
+        simulate_dual_pool(&[1.0], cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn dual_pool_rejects_no_workers() {
+        let mut cfg = dual_cfg();
+        cfg.cpu_workers = 0;
+        cfg.accel_workers = 0;
+        simulate_dual_pool(&[1.0], cfg);
     }
 }

@@ -1,19 +1,33 @@
-//! Real multi-threaded loop executor.
+//! Real multi-threaded loop executors.
 //!
-//! Runs a task closure over `0..n_tasks` with the same scheduling
-//! policies the simulator models, on actual OS threads: crossbeam scoped
-//! threads plus an atomic chunk counter (dynamic/guided) or a
-//! pre-partition (static). This is what the search engine uses to execute
-//! kernels on the host; results are collected in task order.
+//! Two executors share this module:
 //!
-//! Built on crossbeam + atomics rather than rayon's work-stealing pool so
-//! the *policy* is exactly the one being studied — rayon would silently
-//! replace the schedule under test.
+//! * [`run_parallel`] — runs a task closure over `0..n_tasks` with the
+//!   same scheduling policies the simulator models, on actual OS threads:
+//!   `std::thread::scope` plus an atomic chunk counter (dynamic/guided)
+//!   or a pre-partition (static). This is what the single-device search
+//!   engine uses; results are collected in task order.
+//! * [`run_dual_pool`] — the heterogeneous executor: two device worker
+//!   pools (CPU share and accelerator share) pull lane batches from the
+//!   two ends of one shared work queue, with an adaptive feedback
+//!   estimator re-balancing the remaining queue from observed per-device
+//!   throughput. Per-worker metrics are recorded through a
+//!   [`MetricsSink`].
+//!
+//! Built on std scoped threads + atomics rather than a work-stealing pool
+//! so the *policy* is exactly the one being studied — a generic pool
+//! would silently replace the schedule under test. Workers buffer each
+//! chunk's results locally and commit them under a single lock
+//! acquisition, so the slot mutex is taken once per chunk, not per task.
 
-use crate::policy::{static_partition, Policy};
-use parking_lot::Mutex;
+use crate::metrics::{MetricsSink, WorkerSample};
+use crate::policy::{
+    adaptive_chunk, static_partition, Policy, SplitEstimator, DEVICE_ACCEL, DEVICE_CPU,
+};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,7 +41,10 @@ pub struct ExecutorConfig {
 impl ExecutorConfig {
     /// `workers` threads with dynamic(1) scheduling.
     pub fn dynamic(workers: usize) -> Self {
-        ExecutorConfig { workers, policy: Policy::dynamic() }
+        ExecutorConfig {
+            workers,
+            policy: Policy::dynamic(),
+        }
     }
 }
 
@@ -61,6 +78,37 @@ fn grab_chunk(
     }
 }
 
+/// Result slot table: workers buffer one chunk locally, then commit the
+/// whole chunk under a single lock acquisition.
+struct Slots<T> {
+    slots: Mutex<Vec<Option<T>>>,
+}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+        }
+    }
+
+    /// Commit the results of chunk `[start, start + buf.len())`.
+    fn commit(&self, start: usize, buf: Vec<T>) {
+        let mut guard = self.slots.lock().expect("result slots poisoned");
+        for (offset, r) in buf.into_iter().enumerate() {
+            guard[start + offset] = Some(r);
+        }
+    }
+
+    fn into_results(self) -> Vec<T> {
+        self.slots
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every task index executed exactly once"))
+            .collect()
+    }
+}
+
 /// Run `task(i)` for every `i in 0..n_tasks` under `config`, returning
 /// results in task order.
 ///
@@ -82,13 +130,10 @@ where
         return (0..n_tasks).map(task).collect();
     }
 
-    // Results land in a pre-sized slot table guarded by a mutex; tasks are
-    // coarse (whole lane batches), so contention on the lock is trivial
-    // next to kernel time.
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_tasks).map(|_| None).collect());
+    let slots: Slots<T> = Slots::new(n_tasks);
     let next = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let task = &task;
         let slots = &slots;
         let next = &next;
@@ -99,56 +144,251 @@ where
         };
         for w in 0..config.workers {
             let my_range = parts.get(w).copied();
-            scope.spawn(move |_| match config.policy {
+            scope.spawn(move || match config.policy {
                 Policy::Static => {
                     let (s, e) = my_range.expect("partition has one range per worker");
-                    for i in s..e {
-                        let r = task(i);
-                        slots.lock()[i] = Some(r);
-                    }
+                    let buf: Vec<T> = (s..e).map(task).collect();
+                    slots.commit(s, buf);
                 }
                 _ => {
                     while let Some((s, e)) =
                         grab_chunk(next, n_tasks, config.workers, config.policy)
                     {
-                        for i in s..e {
-                            let r = task(i);
-                            slots.lock()[i] = Some(r);
-                        }
+                        let buf: Vec<T> = (s..e).map(task).collect();
+                        slots.commit(s, buf);
                     }
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|slot| slot.expect("every task index executed exactly once"))
-        .collect()
+    slots.into_results()
 }
 
-/// Run `task(i)` for every `i in 0..n_tasks` on rayon's work-stealing
-/// pool, returning results in task order.
+/// Run `task(i)` for every `i in 0..n_tasks` on a self-scheduling thread
+/// pool (atomic-counter work pulling), returning results in task order.
 ///
-/// This is the idiomatic data-parallel path (per the session's Rayon
-/// guide) for callers that do not need a *specific* OpenMP policy —
-/// work-stealing behaves like dynamic scheduling with adaptive chunking.
-/// The policy-faithful executor above remains the one used for the
-/// paper's scheduling experiments.
-pub fn run_rayon<T, F>(n_tasks: usize, workers: usize, task: F) -> Vec<T>
+/// This is the policy-agnostic data-parallel path for callers that do not
+/// need a *specific* OpenMP schedule — free workers pull single tasks,
+/// which behaves like dynamic scheduling with the finest grain. (It
+/// replaces an earlier rayon-based path; the dependency budget is now
+/// zero external crates.) The policy-faithful executor above remains the
+/// one used for the paper's scheduling experiments.
+pub fn run_work_stealing<T, F>(n_tasks: usize, workers: usize, task: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync + Send,
+    F: Fn(usize) -> T + Sync,
 {
     assert!(workers >= 1, "need at least one worker");
-    use rayon::prelude::*;
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(workers)
-        .build()
-        .expect("rayon pool construction");
-    pool.install(|| (0..n_tasks).into_par_iter().map(task).collect())
+    run_parallel(n_tasks, ExecutorConfig::dynamic(workers), task)
+}
+
+/// Configuration of the dual-pool heterogeneous executor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DualPoolConfig {
+    /// Worker threads in the CPU-share pool (front of the queue).
+    pub cpu_workers: usize,
+    /// Worker threads in the accelerator-share pool (back of the queue).
+    pub accel_workers: usize,
+    /// The static plan's accelerator share — the estimator's seed until
+    /// both pools have observed throughput.
+    pub initial_accel_fraction: f64,
+    /// Smallest chunk either pool grabs.
+    pub min_chunk: usize,
+}
+
+impl DualPoolConfig {
+    /// A dual-pool configuration with an even initial split.
+    pub fn new(cpu_workers: usize, accel_workers: usize) -> Self {
+        DualPoolConfig {
+            cpu_workers,
+            accel_workers,
+            initial_accel_fraction: 0.5,
+            min_chunk: 1,
+        }
+    }
+
+    /// Total workers across both pools.
+    pub fn total_workers(&self) -> usize {
+        self.cpu_workers + self.accel_workers
+    }
+}
+
+/// Two atomic cursors packed into one word: `front` (next CPU task) in
+/// the high 32 bits, `back` (one past the last accelerator task) in the
+/// low 32. A single CAS claims from either end without overlap.
+struct AtomicDualQueue {
+    state: AtomicU64,
+}
+
+impl AtomicDualQueue {
+    fn new(n_tasks: usize) -> Self {
+        assert!(
+            n_tasks <= u32::MAX as usize,
+            "dual-pool queue holds at most u32::MAX tasks"
+        );
+        AtomicDualQueue {
+            state: AtomicU64::new(n_tasks as u64),
+        }
+    }
+
+    #[inline]
+    fn unpack(state: u64) -> (usize, usize) {
+        ((state >> 32) as usize, (state & 0xFFFF_FFFF) as usize)
+    }
+
+    fn remaining(&self) -> usize {
+        let (front, back) = Self::unpack(self.state.load(Ordering::Relaxed));
+        back.saturating_sub(front)
+    }
+
+    fn take(&self, k: usize, from_front: bool) -> Option<(usize, usize)> {
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            let (front, back) = Self::unpack(state);
+            if front >= back {
+                return None;
+            }
+            let k = k.max(1).min(back - front);
+            let (claim, new_state) = if from_front {
+                (
+                    (front, front + k),
+                    (((front + k) as u64) << 32) | back as u64,
+                )
+            } else {
+                ((back - k, back), ((front as u64) << 32) | (back - k) as u64)
+            };
+            if self
+                .state
+                .compare_exchange_weak(state, new_state, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(claim);
+            }
+        }
+    }
+}
+
+/// Observed progress of one device pool, shared across its workers for
+/// the feedback estimator.
+#[derive(Default)]
+struct DeviceProgress {
+    cells: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// Run `task(device, i)` for every `i in 0..n_tasks` on two device worker
+/// pools pulling from one shared double-ended queue, returning results in
+/// task order.
+///
+/// The CPU pool (device [`DEVICE_CPU`]) consumes from the front of the
+/// queue, the accelerator pool ([`DEVICE_ACCEL`]) from the back — with a
+/// length-sorted database this preserves Algorithm 2's assignment of long
+/// sequences to the accelerator, but the boundary is wherever the pools
+/// *meet*, not a precomputed split point. Chunk sizes follow the
+/// [`SplitEstimator`]'s view of each device's share of the remaining
+/// work, seeded from `config.initial_accel_fraction` (the static plan)
+/// and re-balanced from observed per-device throughput.
+///
+/// `cost(i)` is the workload of task `i` in DP cells — used for the
+/// estimator and the per-worker metrics recorded into `sink`.
+///
+/// # Panics
+/// Panics when both pools are empty, when `initial_accel_fraction` is
+/// NaN or outside `[0, 1]`, or propagates a panic from `task`.
+pub fn run_dual_pool<T, F, C>(
+    n_tasks: usize,
+    config: DualPoolConfig,
+    cost: C,
+    task: F,
+    sink: &MetricsSink,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+    C: Fn(usize) -> u64 + Sync,
+{
+    assert!(
+        config.total_workers() >= 1,
+        "need at least one worker across the two pools"
+    );
+    let estimator = SplitEstimator::new(config.initial_accel_fraction);
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+
+    let slots: Slots<T> = Slots::new(n_tasks);
+    let queue = AtomicDualQueue::new(n_tasks);
+    let progress = [DeviceProgress::default(), DeviceProgress::default()];
+
+    std::thread::scope(|scope| {
+        let task = &task;
+        let cost = &cost;
+        let slots = &slots;
+        let queue = &queue;
+        let progress = &progress;
+        let pools = [
+            (DEVICE_CPU, config.cpu_workers),
+            (DEVICE_ACCEL, config.accel_workers),
+        ];
+        for (device, workers) in pools {
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let mut sample = WorkerSample::new(device, w);
+                    loop {
+                        let wait_start = Instant::now();
+                        let accel_share = estimator.accel_share(
+                            progress[DEVICE_CPU].cells.load(Ordering::Relaxed),
+                            progress[DEVICE_CPU].busy_nanos.load(Ordering::Relaxed),
+                            progress[DEVICE_ACCEL].cells.load(Ordering::Relaxed),
+                            progress[DEVICE_ACCEL].busy_nanos.load(Ordering::Relaxed),
+                        );
+                        let my_share = if device == DEVICE_CPU {
+                            1.0 - accel_share
+                        } else {
+                            accel_share
+                        };
+                        let k = adaptive_chunk(
+                            queue.remaining(),
+                            my_share,
+                            workers.max(1),
+                            config.min_chunk,
+                        );
+                        let Some((s, e)) = queue.take(k, device == DEVICE_CPU) else {
+                            break;
+                        };
+                        sample.queue_wait += wait_start.elapsed();
+
+                        let exec_start = Instant::now();
+                        let mut buf = Vec::with_capacity(e - s);
+                        let mut chunk_cells = 0u64;
+                        for i in s..e {
+                            buf.push(task(device, i));
+                            chunk_cells += cost(i);
+                        }
+                        let busy = exec_start.elapsed();
+                        sample.busy += busy;
+                        sample.tasks += (e - s) as u64;
+                        sample.chunks += 1;
+                        sample.cells += chunk_cells;
+                        progress[device]
+                            .cells
+                            .fetch_add(chunk_cells, Ordering::Relaxed);
+                        progress[device]
+                            .busy_nanos
+                            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+
+                        let commit_start = Instant::now();
+                        slots.commit(s, buf);
+                        sample.queue_wait += commit_start.elapsed();
+                    }
+                    sink.record(sample);
+                });
+            }
+        }
+    });
+
+    slots.into_results()
 }
 
 #[cfg(test)]
@@ -166,7 +406,10 @@ mod tests {
     #[test]
     fn every_task_runs_exactly_once() {
         let counter = AtomicU64::new(0);
-        let cfg = ExecutorConfig { workers: 8, policy: Policy::Dynamic { chunk: 3 } };
+        let cfg = ExecutorConfig {
+            workers: 8,
+            policy: Policy::Dynamic { chunk: 3 },
+        };
         let out = run_parallel(1000, cfg, |i| {
             counter.fetch_add(1, Ordering::Relaxed);
             i
@@ -178,17 +421,42 @@ mod tests {
 
     #[test]
     fn static_policy_works() {
-        let cfg = ExecutorConfig { workers: 3, policy: Policy::Static };
+        let cfg = ExecutorConfig {
+            workers: 3,
+            policy: Policy::Static,
+        };
         let out = run_parallel(10, cfg, |i| i + 1);
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
     }
 
     #[test]
     fn guided_policy_works() {
-        let cfg = ExecutorConfig { workers: 4, policy: Policy::guided() };
+        let cfg = ExecutorConfig {
+            workers: 4,
+            policy: Policy::guided(),
+        };
         let out = run_parallel(57, cfg, |i| i);
         assert_eq!(out.len(), 57);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn results_in_task_order_under_all_policies() {
+        // The chunk-buffered commit must preserve task order for every
+        // policy and several worker counts (regression for the one-lock-
+        // per-task hot loop, which masked ordering bugs by serialising).
+        let expect: Vec<usize> = (0..503).map(|i| i * 7 + 1).collect();
+        for policy in [
+            Policy::Static,
+            Policy::Dynamic { chunk: 5 },
+            Policy::guided(),
+        ] {
+            for workers in [2, 3, 8] {
+                let cfg = ExecutorConfig { workers, policy };
+                let out = run_parallel(503, cfg, |i| i * 7 + 1);
+                assert_eq!(out, expect, "{policy:?} with {workers} workers");
+            }
+        }
     }
 
     #[test]
@@ -213,25 +481,164 @@ mod tests {
     }
 
     #[test]
-    fn rayon_path_matches_policy_executor() {
-        let via_rayon = run_rayon(200, 3, |i| i * 3);
+    fn work_stealing_path_matches_policy_executor() {
+        let via_pool = run_work_stealing(200, 3, |i| i * 3);
         let via_policy = run_parallel(200, ExecutorConfig::dynamic(3), |i| i * 3);
-        assert_eq!(via_rayon, via_policy);
+        assert_eq!(via_pool, via_policy);
     }
 
     #[test]
-    fn rayon_empty_and_single() {
-        let empty: Vec<usize> = run_rayon(0, 2, |i| i);
+    fn work_stealing_empty_and_single() {
+        let empty: Vec<usize> = run_work_stealing(0, 2, |i| i);
         assert!(empty.is_empty());
-        assert_eq!(run_rayon(4, 1, |i| i + 1), vec![1, 2, 3, 4]);
+        assert_eq!(run_work_stealing(4, 1, |i| i + 1), vec![1, 2, 3, 4]);
     }
 
     #[test]
     fn heavy_shared_state_is_safe() {
         // Workers summing into results; validated against the closed form.
-        let cfg = ExecutorConfig { workers: 6, policy: Policy::Guided { min_chunk: 2 } };
+        let cfg = ExecutorConfig {
+            workers: 6,
+            policy: Policy::Guided { min_chunk: 2 },
+        };
         let out = run_parallel(500, cfg, |i| i as u64);
         let total: u64 = out.iter().sum();
         assert_eq!(total, 499 * 500 / 2);
+    }
+
+    #[test]
+    fn dual_pool_results_in_task_order() {
+        let sink = MetricsSink::new();
+        let out = run_dual_pool(
+            200,
+            DualPoolConfig::new(3, 2),
+            |_| 1,
+            |_device, i| i * 2,
+            &sink,
+        );
+        assert_eq!(out, (0..200).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dual_pool_every_task_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let sink = MetricsSink::new();
+        let out = run_dual_pool(
+            977,
+            DualPoolConfig::new(4, 4),
+            |_| 1,
+            |_d, i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+            &sink,
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 977);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        // Metrics conservation: the pools together did all the work.
+        let total: u64 = sink.devices().iter().map(|d| d.tasks).sum();
+        assert_eq!(total, 977);
+    }
+
+    #[test]
+    fn dual_pool_cpu_takes_prefix_accel_takes_suffix() {
+        // Record which device ran each task: device 0's tasks must all be
+        // below device 1's (the pools meet at one boundary).
+        let owners: Vec<AtomicU64> = (0..300).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let sink = MetricsSink::new();
+        run_dual_pool(
+            300,
+            DualPoolConfig::new(2, 2),
+            |_| 1,
+            |device, i| owners[i].store(device as u64, Ordering::Relaxed),
+            &sink,
+        );
+        let owned: Vec<u64> = owners.iter().map(|o| o.load(Ordering::Relaxed)).collect();
+        assert!(
+            owned.iter().all(|&d| d == 0 || d == 1),
+            "every task claimed"
+        );
+        let boundary = owned.iter().position(|&d| d == 1).unwrap_or(owned.len());
+        assert!(
+            owned[..boundary].iter().all(|&d| d == 0) && owned[boundary..].iter().all(|&d| d == 1),
+            "CPU owns a contiguous prefix, accel a contiguous suffix"
+        );
+    }
+
+    #[test]
+    fn dual_pool_single_sided_pools() {
+        let sink = MetricsSink::new();
+        let out = run_dual_pool(
+            50,
+            DualPoolConfig {
+                cpu_workers: 2,
+                accel_workers: 0,
+                ..DualPoolConfig::new(2, 0)
+            },
+            |_| 1,
+            |_d, i| i,
+            &sink,
+        );
+        assert_eq!(out.len(), 50);
+        assert_eq!(sink.device(DEVICE_CPU).tasks, 50);
+        assert_eq!(sink.device(DEVICE_ACCEL).tasks, 0);
+
+        let sink2 = MetricsSink::new();
+        let out2 = run_dual_pool(
+            50,
+            DualPoolConfig {
+                cpu_workers: 0,
+                accel_workers: 3,
+                ..DualPoolConfig::new(0, 3)
+            },
+            |_| 1,
+            |_d, i| i,
+            &sink2,
+        );
+        assert_eq!(out2.len(), 50);
+        assert_eq!(sink2.device(DEVICE_ACCEL).tasks, 50);
+    }
+
+    #[test]
+    fn dual_pool_empty_loop() {
+        let sink = MetricsSink::new();
+        let out: Vec<usize> = run_dual_pool(0, DualPoolConfig::new(2, 2), |_| 1, |_d, i| i, &sink);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dual_pool_metrics_cells_accounted() {
+        let sink = MetricsSink::new();
+        run_dual_pool(
+            100,
+            DualPoolConfig::new(2, 2),
+            |i| i as u64,
+            |_d, i| i,
+            &sink,
+        );
+        let cells: u64 = sink.devices().iter().map(|d| d.cells).sum();
+        assert_eq!(cells, (0..100u64).sum::<u64>());
+        // Chunks were grabbed and each pool reports one sample per worker.
+        let samples = sink.samples();
+        assert_eq!(samples.len(), 4);
+        assert!(sink.devices().iter().map(|d| d.chunks).sum::<u64>() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite fraction")]
+    fn dual_pool_rejects_nan_fraction() {
+        let sink = MetricsSink::new();
+        let cfg = DualPoolConfig {
+            initial_accel_fraction: f64::NAN,
+            ..DualPoolConfig::new(1, 1)
+        };
+        run_dual_pool(10, cfg, |_| 1, |_d, i| i, &sink);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn dual_pool_rejects_empty_pools() {
+        let sink = MetricsSink::new();
+        run_dual_pool(10, DualPoolConfig::new(0, 0), |_| 1, |_d, i| i, &sink);
     }
 }

@@ -6,15 +6,21 @@
 //! minor."* This crate owns both halves of reproducing that:
 //!
 //! * [`policy`] — the three OpenMP scheduling policies as explicit chunk
-//!   generators.
+//!   generators, plus the dual-pool primitives ([`policy::DualQueue`],
+//!   [`policy::SplitEstimator`], [`policy::adaptive_chunk`]) shared by
+//!   the simulator and the real executor.
 //! * [`desim`] — a discrete-event simulator that replays a policy over
 //!   per-task costs (from `sw-device`'s cost model) and returns makespan
 //!   and per-worker utilisation. This is what regenerates the paper's
 //!   thread-scaling figures on hardware we don't have.
-//! * [`executor`] — a real multi-threaded executor (crossbeam scoped
-//!   threads + atomics, per the session's concurrency guides) implementing
-//!   the same policies for actually running kernels on the host.
-//! * [`metrics`] — load-imbalance statistics.
+//!   [`desim::simulate_dual_pool`] replays the heterogeneous dual-pool
+//!   policy deterministically.
+//! * [`executor`] — a real multi-threaded executor (std scoped threads +
+//!   atomics) implementing the same policies for actually running kernels
+//!   on the host, and [`executor::run_dual_pool`], the instrumented
+//!   two-device scheduler.
+//! * [`metrics`] — load-imbalance statistics and the per-device /
+//!   per-worker [`MetricsSink`] the dual-pool executor reports through.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +30,7 @@ pub mod executor;
 pub mod metrics;
 pub mod policy;
 
-pub use desim::{simulate, SimResult};
-pub use executor::{run_parallel, ExecutorConfig};
-pub use policy::Policy;
+pub use desim::{simulate, simulate_dual_pool, DualPoolSimConfig, DualPoolSimResult, SimResult};
+pub use executor::{run_dual_pool, run_parallel, DualPoolConfig, ExecutorConfig};
+pub use metrics::{imbalance, DeviceMetrics, Imbalance, MetricsSink, WorkerSample};
+pub use policy::{adaptive_chunk, DualQueue, Policy, SplitEstimator, DEVICE_ACCEL, DEVICE_CPU};

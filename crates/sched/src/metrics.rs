@@ -1,10 +1,15 @@
-//! Load-imbalance metrics.
+//! Scheduling metrics: load-imbalance statistics and the instrumented
+//! per-worker/per-device sink the dual-pool executor reports through.
 //!
 //! §VI of the paper: *"The key to have good scalability in a heterogeneous
 //! system is to find an optimal distribution workload."* These statistics
-//! quantify how far a schedule (simulated or real) is from that optimum.
+//! quantify how far a schedule (simulated or real) is from that optimum,
+//! and [`MetricsSink`] records what each worker actually did so the engine
+//! and the CLI can report the realised distribution.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Imbalance statistics over per-worker busy times.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,7 +39,174 @@ pub fn imbalance(busy: &[f64]) -> Imbalance {
     let var = busy.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / n;
     let lambda = if mean == 0.0 { 1.0 } else { max / mean };
     let cv = if mean == 0.0 { 0.0 } else { var.sqrt() / mean };
-    Imbalance { max, min, mean, lambda, cv }
+    Imbalance {
+        max,
+        min,
+        mean,
+        lambda,
+        cv,
+    }
+}
+
+/// What one worker did over one parallel region: recorded once, at worker
+/// exit, into a [`MetricsSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerSample {
+    /// Device the worker belongs to (0 = CPU share, 1 = accelerator
+    /// share in the dual-pool executor).
+    pub device: usize,
+    /// Worker index within the device pool.
+    pub worker: usize,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Chunks grabbed from the shared queue.
+    pub chunks: u64,
+    /// Time spent executing tasks.
+    pub busy: Duration,
+    /// Time spent contending on the shared queue (grab + commit).
+    pub queue_wait: Duration,
+    /// DP cells processed (per the caller's cost function).
+    pub cells: u64,
+}
+
+impl WorkerSample {
+    /// A zeroed sample for `(device, worker)`.
+    pub fn new(device: usize, worker: usize) -> Self {
+        WorkerSample {
+            device,
+            worker,
+            tasks: 0,
+            chunks: 0,
+            busy: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+            cells: 0,
+        }
+    }
+}
+
+/// Aggregated view of one device's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceMetrics {
+    /// Device id.
+    pub device: usize,
+    /// Workers that reported.
+    pub workers: usize,
+    /// Total tasks executed by the pool.
+    pub tasks: u64,
+    /// Total chunks grabbed by the pool.
+    pub chunks: u64,
+    /// Summed busy time across the pool's workers.
+    pub busy: Duration,
+    /// Summed queue-contention time.
+    pub queue_wait: Duration,
+    /// Total DP cells processed.
+    pub cells: u64,
+}
+
+impl DeviceMetrics {
+    /// Running throughput over the pool's busy time, in GCUPS. Zero when
+    /// nothing was recorded (an idle pool has no throughput).
+    pub fn gcups(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 / secs / 1e9
+        }
+    }
+
+    /// Mean busy seconds per worker (0 for an empty pool).
+    pub fn mean_busy_secs(&self) -> f64 {
+        if self.workers == 0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / self.workers as f64
+        }
+    }
+}
+
+/// Thread-safe collector of [`WorkerSample`]s for one parallel region.
+///
+/// Workers record exactly once at exit, so contention is negligible; the
+/// engine and the CLI read the aggregate afterwards.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    samples: Mutex<Vec<WorkerSample>>,
+}
+
+impl MetricsSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MetricsSink::default()
+    }
+
+    /// Record one worker's sample.
+    pub fn record(&self, sample: WorkerSample) {
+        self.samples
+            .lock()
+            .expect("metrics sink poisoned")
+            .push(sample);
+    }
+
+    /// All recorded samples, ordered by `(device, worker)`.
+    pub fn samples(&self) -> Vec<WorkerSample> {
+        let mut v = self.samples.lock().expect("metrics sink poisoned").clone();
+        v.sort_by_key(|s| (s.device, s.worker));
+        v
+    }
+
+    /// Aggregate the samples of one device.
+    pub fn device(&self, device: usize) -> DeviceMetrics {
+        let mut out = DeviceMetrics {
+            device,
+            workers: 0,
+            tasks: 0,
+            chunks: 0,
+            busy: Duration::ZERO,
+            queue_wait: Duration::ZERO,
+            cells: 0,
+        };
+        for s in self.samples.lock().expect("metrics sink poisoned").iter() {
+            if s.device == device {
+                out.workers += 1;
+                out.tasks += s.tasks;
+                out.chunks += s.chunks;
+                out.busy += s.busy;
+                out.queue_wait += s.queue_wait;
+                out.cells += s.cells;
+            }
+        }
+        out
+    }
+
+    /// Aggregates for every device that recorded at least one sample,
+    /// ordered by device id.
+    pub fn devices(&self) -> Vec<DeviceMetrics> {
+        let mut ids: Vec<usize> = self
+            .samples
+            .lock()
+            .expect("metrics sink poisoned")
+            .iter()
+            .map(|s| s.device)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(|d| self.device(d)).collect()
+    }
+
+    /// Per-worker busy seconds of one device (for [`imbalance`]).
+    pub fn busy_seconds(&self, device: usize) -> Vec<f64> {
+        let mut v: Vec<(usize, f64)> = self
+            .samples
+            .lock()
+            .expect("metrics sink poisoned")
+            .iter()
+            .filter(|s| s.device == device)
+            .map(|s| (s.worker, s.busy.as_secs_f64()))
+            .collect();
+        v.sort_by_key(|&(w, _)| w);
+        v.into_iter().map(|(_, b)| b).collect()
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +251,76 @@ mod tests {
         let stat = imbalance(&simulate(&costs, 8, Policy::Static).busy);
         let dynm = imbalance(&simulate(&costs, 8, Policy::dynamic()).busy);
         assert!(dynm.lambda < stat.lambda, "dynamic must balance better");
+    }
+
+    #[test]
+    fn sink_aggregates_per_device() {
+        let sink = MetricsSink::new();
+        sink.record(WorkerSample {
+            device: 0,
+            worker: 0,
+            tasks: 10,
+            chunks: 3,
+            busy: Duration::from_secs(2),
+            queue_wait: Duration::from_millis(5),
+            cells: 1_000_000_000,
+        });
+        sink.record(WorkerSample {
+            device: 0,
+            worker: 1,
+            tasks: 6,
+            chunks: 2,
+            busy: Duration::from_secs(2),
+            queue_wait: Duration::ZERO,
+            cells: 3_000_000_000,
+        });
+        sink.record(WorkerSample {
+            device: 1,
+            worker: 0,
+            tasks: 4,
+            chunks: 4,
+            busy: Duration::from_secs(1),
+            queue_wait: Duration::ZERO,
+            cells: 500_000_000,
+        });
+        let cpu = sink.device(0);
+        assert_eq!(cpu.workers, 2);
+        assert_eq!(cpu.tasks, 16);
+        assert_eq!(cpu.chunks, 5);
+        assert_eq!(cpu.cells, 4_000_000_000);
+        assert!(
+            (cpu.gcups() - 1.0).abs() < 1e-9,
+            "4e9 cells over 4 busy seconds"
+        );
+        let accel = sink.device(1);
+        assert_eq!(accel.tasks, 4);
+        assert!((accel.gcups() - 0.5).abs() < 1e-9);
+        assert_eq!(sink.devices().len(), 2);
+        assert_eq!(sink.busy_seconds(0), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn idle_device_reports_zero_gcups() {
+        let sink = MetricsSink::new();
+        sink.record(WorkerSample::new(0, 0));
+        let m = sink.device(0);
+        assert_eq!(m.gcups(), 0.0);
+        assert_eq!(m.tasks, 0);
+        assert_eq!(m.mean_busy_secs(), 0.0);
+    }
+
+    #[test]
+    fn samples_sorted_by_device_then_worker() {
+        let sink = MetricsSink::new();
+        sink.record(WorkerSample::new(1, 1));
+        sink.record(WorkerSample::new(0, 1));
+        sink.record(WorkerSample::new(1, 0));
+        sink.record(WorkerSample::new(0, 0));
+        let order: Vec<(usize, usize)> = sink
+            .samples()
+            .iter()
+            .map(|s| (s.device, s.worker))
+            .collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
     }
 }

@@ -85,7 +85,12 @@ impl ChunkDispenser {
             "static scheduling is a pre-partition, not a dispenser"
         );
         assert!(workers >= 1, "need at least one worker");
-        ChunkDispenser { policy, workers, n_tasks, next: 0 }
+        ChunkDispenser {
+            policy,
+            workers,
+            n_tasks,
+            next: 0,
+        }
     }
 
     /// Next chunk `[start, end)`, or `None` when the loop is exhausted.
@@ -96,9 +101,7 @@ impl ChunkDispenser {
         let remaining = self.n_tasks - self.next;
         let size = match self.policy {
             Policy::Dynamic { chunk } => chunk.max(1),
-            Policy::Guided { min_chunk } => {
-                (remaining / (2 * self.workers)).max(min_chunk.max(1))
-            }
+            Policy::Guided { min_chunk } => (remaining / (2 * self.workers)).max(min_chunk.max(1)),
             Policy::Static => unreachable!("rejected in new()"),
         }
         .min(remaining);
@@ -106,6 +109,135 @@ impl ChunkDispenser {
         self.next += size;
         Some((start, start + size))
     }
+}
+
+/// The two device pools of the heterogeneous dual-pool scheduler.
+///
+/// Device 0 is the CPU share (pulls short sequences from the *front* of
+/// the length-sorted task list), device 1 the accelerator share (pulls
+/// long sequences from the *back*, which amortise per-task overheads
+/// best — the same assignment Algorithm 2 makes statically).
+pub const DEVICE_CPU: usize = 0;
+/// The accelerator-share device id. See [`DEVICE_CPU`].
+pub const DEVICE_ACCEL: usize = 1;
+
+/// A double-ended index queue over `0..n` tasks: the CPU pool consumes
+/// from the front, the accelerator pool from the back, and the pools meet
+/// wherever observed throughput puts the boundary — the *dynamic*
+/// replacement for Algorithm 2's static split point.
+///
+/// This sequential form is what the discrete-event simulator replays; the
+/// real executor packs the same two cursors into one atomic word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualQueue {
+    front: usize,
+    back: usize,
+}
+
+impl DualQueue {
+    /// A queue over `0..n_tasks`.
+    pub fn new(n_tasks: usize) -> Self {
+        DualQueue {
+            front: 0,
+            back: n_tasks,
+        }
+    }
+
+    /// Tasks not yet claimed by either pool.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.back - self.front
+    }
+
+    /// Claim up to `k` tasks from the front (CPU side). Returns the
+    /// claimed `[start, end)` range, or `None` when the queue is drained.
+    pub fn take_front(&mut self, k: usize) -> Option<(usize, usize)> {
+        if self.front >= self.back {
+            return None;
+        }
+        let k = k.max(1).min(self.remaining());
+        let start = self.front;
+        self.front += k;
+        Some((start, start + k))
+    }
+
+    /// Claim up to `k` tasks from the back (accelerator side).
+    pub fn take_back(&mut self, k: usize) -> Option<(usize, usize)> {
+        if self.front >= self.back {
+            return None;
+        }
+        let k = k.max(1).min(self.remaining());
+        let end = self.back;
+        self.back -= k;
+        Some((end - k, end))
+    }
+}
+
+/// Adaptive feedback estimator for the dual-pool scheduler.
+///
+/// Starts from the static plan's accelerator share (`plan_split` stays
+/// the *initial* assignment) and, once both devices have measured
+/// throughput, re-balances the remaining queue from the observed
+/// cells-per-second of each pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitEstimator {
+    initial_accel_share: f64,
+}
+
+impl SplitEstimator {
+    /// An estimator seeded with the static plan's accelerator share.
+    ///
+    /// # Panics
+    /// Panics when `initial_accel_share` is NaN or outside `[0, 1]` — a
+    /// nonsense seed would silently mis-size every chunk.
+    pub fn new(initial_accel_share: f64) -> Self {
+        assert!(
+            initial_accel_share.is_finite() && (0.0..=1.0).contains(&initial_accel_share),
+            "initial accelerator share must be a finite fraction in [0, 1], got \
+             {initial_accel_share}"
+        );
+        SplitEstimator {
+            initial_accel_share,
+        }
+    }
+
+    /// The accelerator's share of the *remaining* work, from observed
+    /// per-device progress (cells processed over busy nanoseconds). Until
+    /// both devices have measurements, the static plan's share is used.
+    /// The result is clamped to `[0.02, 0.98]` so neither pool's chunk
+    /// size collapses to zero on a transient estimate.
+    pub fn accel_share(
+        &self,
+        cpu_cells: u64,
+        cpu_busy_nanos: u64,
+        accel_cells: u64,
+        accel_busy_nanos: u64,
+    ) -> f64 {
+        if cpu_busy_nanos == 0 || accel_busy_nanos == 0 {
+            return self.initial_accel_share;
+        }
+        let cpu_rate = cpu_cells as f64 / cpu_busy_nanos as f64;
+        let accel_rate = accel_cells as f64 / accel_busy_nanos as f64;
+        if cpu_rate + accel_rate <= 0.0 {
+            return self.initial_accel_share;
+        }
+        (accel_rate / (cpu_rate + accel_rate)).clamp(0.02, 0.98)
+    }
+}
+
+/// Chunk size for a dual-pool worker: the device's estimated share of the
+/// remaining queue, spread over twice its worker count (the same decay
+/// shape as guided scheduling, so chunks shrink as the pools converge on
+/// the boundary), never below `min_chunk` or one task.
+pub fn adaptive_chunk(
+    remaining: usize,
+    device_share: f64,
+    workers: usize,
+    min_chunk: usize,
+) -> usize {
+    assert!(workers >= 1, "need at least one worker");
+    let target = (remaining as f64 * device_share / (2.0 * workers as f64)).floor() as usize;
+    target.max(min_chunk.max(1)).min(remaining.max(1))
 }
 
 #[cfg(test)]
@@ -152,7 +284,7 @@ mod tests {
         assert_eq!(first, (0, 12)); // 100 / (2·4) = 12
         let second = d.grab().unwrap();
         assert_eq!(second.1 - second.0, 11); // 88 / 8 = 11
-        // Drain; sizes never grow and everything is covered exactly once.
+                                             // Drain; sizes never grow and everything is covered exactly once.
         let mut covered = second.1;
         let mut last = second.1 - second.0;
         while let Some((s, e)) = d.grab() {
@@ -189,5 +321,102 @@ mod tests {
         let mut d = ChunkDispenser::new(Policy::dynamic(), 0, 4);
         assert_eq!(d.grab(), None);
         assert!(static_partition(0, 3).iter().all(|(s, e)| s == e));
+    }
+
+    #[test]
+    fn dual_queue_meets_in_the_middle() {
+        let mut q = DualQueue::new(10);
+        assert_eq!(q.take_front(3), Some((0, 3)));
+        assert_eq!(q.take_back(4), Some((6, 10)));
+        assert_eq!(q.remaining(), 3);
+        // Over-ask is truncated to what's left.
+        assert_eq!(q.take_front(100), Some((3, 6)));
+        assert_eq!(q.take_front(1), None);
+        assert_eq!(q.take_back(1), None);
+    }
+
+    #[test]
+    fn dual_queue_covers_every_task_exactly_once() {
+        let mut q = DualQueue::new(37);
+        let mut seen = [false; 37];
+        let mut from_front = true;
+        loop {
+            let grab = if from_front {
+                q.take_front(2)
+            } else {
+                q.take_back(3)
+            };
+            from_front = !from_front;
+            match grab {
+                None => break,
+                Some((s, e)) => {
+                    for (i, slot) in seen.iter_mut().enumerate().take(e).skip(s) {
+                        assert!(!*slot, "task {i} claimed twice");
+                        *slot = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dual_queue_empty() {
+        let mut q = DualQueue::new(0);
+        assert_eq!(q.take_front(1), None);
+        assert_eq!(q.take_back(1), None);
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn estimator_uses_initial_share_until_measured() {
+        let e = SplitEstimator::new(0.7);
+        assert_eq!(e.accel_share(0, 0, 0, 0), 0.7);
+        assert_eq!(
+            e.accel_share(100, 50, 0, 0),
+            0.7,
+            "one-sided measurement is not enough"
+        );
+    }
+
+    #[test]
+    fn estimator_follows_observed_rates() {
+        let e = SplitEstimator::new(0.5);
+        // Accelerator observed 3× the CPU's cells/nanosecond.
+        let share = e.accel_share(1_000, 1_000, 3_000, 1_000);
+        assert!((share - 0.75).abs() < 1e-12);
+        // Extreme rates are clamped away from 0/1.
+        let clamped = e.accel_share(1, 1_000_000, 1_000_000, 1);
+        assert!(clamped <= 0.98);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite fraction")]
+    fn estimator_rejects_nan() {
+        SplitEstimator::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite fraction")]
+    fn estimator_rejects_out_of_range() {
+        SplitEstimator::new(1.5);
+    }
+
+    #[test]
+    fn adaptive_chunk_decays_with_remaining() {
+        let big = adaptive_chunk(1000, 0.5, 4, 1);
+        assert_eq!(big, 62); // 1000 · 0.5 / 8
+        let small = adaptive_chunk(10, 0.5, 4, 1);
+        assert_eq!(small, 1, "floors at min_chunk");
+        assert_eq!(
+            adaptive_chunk(0, 0.5, 4, 1),
+            1,
+            "degenerate remaining still asks for one"
+        );
+        assert_eq!(adaptive_chunk(100, 1.0, 1, 3), 50);
+        assert!(
+            adaptive_chunk(5, 1.0, 1, 100) <= 5,
+            "never exceeds remaining"
+        );
     }
 }

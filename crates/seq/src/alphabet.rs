@@ -67,7 +67,12 @@ impl Alphabet {
         }
         let unknown_code = encode[unknown as usize];
         debug_assert_ne!(unknown_code, 0xFF, "unknown symbol must be in the alphabet");
-        Alphabet { kind, decode: symbols.to_vec(), encode, unknown_code }
+        Alphabet {
+            kind,
+            decode: symbols.to_vec(),
+            encode,
+            unknown_code,
+        }
     }
 
     /// Which molecule family this alphabet encodes.
@@ -187,7 +192,13 @@ mod tests {
         let a = Alphabet::protein();
         // 'U' (selenocysteine) is not one of the 24 canonical symbols.
         let err = a.encode_strict(b"ARU").unwrap_err();
-        assert_eq!(err, SeqError::InvalidResidue { byte: b'U', position: 2 });
+        assert_eq!(
+            err,
+            SeqError::InvalidResidue {
+                byte: b'U',
+                position: 2
+            }
+        );
     }
 
     #[test]

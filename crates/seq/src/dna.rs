@@ -14,10 +14,10 @@ use crate::matrices::SubstMatrix;
 #[inline]
 pub fn complement_code(code: u8) -> u8 {
     match code {
-        0 => 3, // A -> T
-        1 => 2, // C -> G
-        2 => 1, // G -> C
-        3 => 0, // T -> A
+        0 => 3,         // A -> T
+        1 => 2,         // C -> G
+        2 => 1,         // G -> C
+        3 => 0,         // T -> A
         other => other, // N and anything else stays put
     }
 }
@@ -44,7 +44,11 @@ pub fn dna_matrix(matches: i32, mismatch: i32, n_score: i32) -> SubstMatrix {
         scores[n * len + i] = n_score;
         scores[i * len + n] = n_score;
     }
-    SubstMatrix::from_flat(&format!("DNA({matches}/{mismatch},N={n_score})"), len, scores)
+    SubstMatrix::from_flat(
+        &format!("DNA({matches}/{mismatch},N={n_score})"),
+        len,
+        scores,
+    )
 }
 
 /// The classic BLASTN scoring: +5/−4, N = −2.
@@ -68,7 +72,10 @@ mod tests {
     fn complement_pairs() {
         assert_eq!(dec(&reverse_complement(&enc(b"ACGT"))), b"ACGT".to_vec());
         assert_eq!(dec(&reverse_complement(&enc(b"AAAA"))), b"TTTT".to_vec());
-        assert_eq!(dec(&reverse_complement(&enc(b"GATTACA"))), b"TGTAATC".to_vec());
+        assert_eq!(
+            dec(&reverse_complement(&enc(b"GATTACA"))),
+            b"TGTAATC".to_vec()
+        );
         assert_eq!(dec(&reverse_complement(&enc(b"ACGN"))), b"NCGT".to_vec());
     }
 
@@ -127,8 +134,10 @@ mod tests {
                     let up = h_row[j];
                     let e = (up - first).max(e_col[j] - ext);
                     f = (h_left - first).max(f - ext);
-                    let h =
-                        (h_diag + params_matrix.score(qc, s[j - 1]) as i64).max(e).max(f).max(0);
+                    let h = (h_diag + params_matrix.score(qc, s[j - 1]) as i64)
+                        .max(e)
+                        .max(f)
+                        .max(0);
                     h_diag = up;
                     e_col[j] = e;
                     h_row[j] = h;

@@ -32,9 +32,16 @@ impl fmt::Display for SeqError {
         match self {
             SeqError::InvalidResidue { byte, position } => {
                 if byte.is_ascii_graphic() {
-                    write!(f, "invalid residue '{}' at position {position}", *byte as char)
+                    write!(
+                        f,
+                        "invalid residue '{}' at position {position}",
+                        *byte as char
+                    )
                 } else {
-                    write!(f, "invalid residue byte 0x{byte:02x} at position {position}")
+                    write!(
+                        f,
+                        "invalid residue byte 0x{byte:02x} at position {position}"
+                    )
                 }
             }
             SeqError::Fasta { line, msg } => write!(f, "FASTA parse error at line {line}: {msg}"),
@@ -59,19 +66,28 @@ mod tests {
 
     #[test]
     fn display_invalid_residue_printable() {
-        let e = SeqError::InvalidResidue { byte: b'!', position: 7 };
+        let e = SeqError::InvalidResidue {
+            byte: b'!',
+            position: 7,
+        };
         assert_eq!(e.to_string(), "invalid residue '!' at position 7");
     }
 
     #[test]
     fn display_invalid_residue_nonprintable() {
-        let e = SeqError::InvalidResidue { byte: 0x01, position: 0 };
+        let e = SeqError::InvalidResidue {
+            byte: 0x01,
+            position: 0,
+        };
         assert!(e.to_string().contains("0x01"));
     }
 
     #[test]
     fn display_fasta() {
-        let e = SeqError::Fasta { line: 3, msg: "bad header".into() };
+        let e = SeqError::Fasta {
+            line: 3,
+            msg: "bad header".into(),
+        };
         assert_eq!(e.to_string(), "FASTA parse error at line 3: bad header");
     }
 

@@ -49,7 +49,12 @@ pub struct FastaReader<R: BufRead> {
 impl<R: BufRead> FastaReader<R> {
     /// Wrap a buffered reader.
     pub fn new(reader: R) -> Self {
-        FastaReader { reader, line_no: 0, pending_header: None, done: false }
+        FastaReader {
+            reader,
+            line_no: 0,
+            pending_header: None,
+            done: false,
+        }
     }
 
     fn read_line(&mut self, buf: &mut String) -> Result<usize, SeqError> {
@@ -139,7 +144,9 @@ pub fn read_encoded<R: BufRead>(
     reader: R,
     alphabet: &Alphabet,
 ) -> Result<Vec<EncodedSeq>, SeqError> {
-    FastaReader::new(reader).map(|r| r.and_then(|rec| rec.encode(alphabet))).collect()
+    FastaReader::new(reader)
+        .map(|r| r.and_then(|rec| rec.encode(alphabet)))
+        .collect()
 }
 
 /// FASTA writer with configurable line width.

@@ -25,14 +25,23 @@ impl GapPenalty {
     /// # Panics
     /// Panics if either penalty is negative.
     pub fn new(open: i32, extend: i32) -> Self {
-        assert!(open >= 0, "gap open penalty must be non-negative, got {open}");
-        assert!(extend >= 0, "gap extend penalty must be non-negative, got {extend}");
+        assert!(
+            open >= 0,
+            "gap open penalty must be non-negative, got {open}"
+        );
+        assert!(
+            extend >= 0,
+            "gap extend penalty must be non-negative, got {extend}"
+        );
         GapPenalty { open, extend }
     }
 
     /// The paper's evaluation setting: open 10, extend 2.
     pub fn paper_default() -> Self {
-        GapPenalty { open: 10, extend: 2 }
+        GapPenalty {
+            open: 10,
+            extend: 2,
+        }
     }
 
     /// Total cost of a gap of length `x` (Eq. 5): `q + r·x`.

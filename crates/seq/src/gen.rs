@@ -63,10 +63,12 @@ impl DbSpec {
     /// the fraction so small databases are not dominated by one huge
     /// outlier).
     pub fn swissprot_scaled(fraction: f64, seed: u64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let n = ((swissprot::SWISSPROT_2013_11_SEQS as f64 * fraction).round() as u32).max(1);
-        let max = ((swissprot::SWISSPROT_2013_11_MAX_LEN as f64 * fraction.sqrt()).round()
-            as u32)
+        let max = ((swissprot::SWISSPROT_2013_11_MAX_LEN as f64 * fraction.sqrt()).round() as u32)
             .max(MIN_LEN * 4);
         DbSpec {
             n_seqs: n,
@@ -79,7 +81,12 @@ impl DbSpec {
     /// A tiny database for unit tests (deterministic, a few hundred
     /// sequences).
     pub fn tiny(seed: u64) -> Self {
-        DbSpec { n_seqs: 200, mean_len: 120.0, max_len: 600, seed }
+        DbSpec {
+            n_seqs: 200,
+            mean_len: 120.0,
+            max_len: 600,
+            seed,
+        }
     }
 }
 
@@ -104,9 +111,13 @@ impl SwissProtGen {
             cum[i] = acc;
         }
         cum[19] = 1.0; // guard against floating-point shortfall
-        // E[lognormal(μ, σ)] = exp(μ + σ²/2)  ⇒  μ = ln(mean) − σ²/2.
+                       // E[lognormal(μ, σ)] = exp(μ + σ²/2)  ⇒  μ = ln(mean) − σ²/2.
         let mu = mean_len.ln() - LENGTH_SIGMA * LENGTH_SIGMA / 2.0;
-        SwissProtGen { rng: SmallRng::seed_from_u64(seed), cum_freq: cum, mu }
+        SwissProtGen {
+            rng: SmallRng::seed_from_u64(seed),
+            cum_freq: cum,
+            mu,
+        }
     }
 
     /// One standard-normal variate (Box–Muller; we only need the cosine
@@ -140,7 +151,10 @@ impl SwissProtGen {
     /// Generate an encoded sequence of exactly `len` residues.
     pub fn sequence(&mut self, header: &str, len: u32) -> EncodedSeq {
         let residues = (0..len).map(|_| self.sample_residue()).collect();
-        EncodedSeq { header: header.into(), residues }
+        EncodedSeq {
+            header: header.into(),
+            residues,
+        }
     }
 }
 
@@ -180,7 +194,9 @@ pub fn generate_database(spec: &DbSpec) -> Vec<EncodedSeq> {
 /// interleaves residue sampling with length sampling.
 pub fn generate_lengths(spec: &DbSpec) -> Vec<u32> {
     let mut g = SwissProtGen::new(spec.mean_len, spec.seed);
-    let mut out: Vec<u32> = (0..spec.n_seqs).map(|_| g.sample_len(spec.max_len)).collect();
+    let mut out: Vec<u32> = (0..spec.n_seqs)
+        .map(|_| g.sample_len(spec.max_len))
+        .collect();
     if let Some(m) = out.iter_mut().max() {
         *m = spec.max_len;
     }
@@ -243,7 +259,12 @@ mod tests {
 
     #[test]
     fn longest_sequence_pinned_to_max() {
-        let spec = DbSpec { n_seqs: 500, mean_len: 355.4, max_len: 2000, seed: 11 };
+        let spec = DbSpec {
+            n_seqs: 500,
+            mean_len: 355.4,
+            max_len: 2000,
+            seed: 11,
+        };
         let db = generate_database(&spec);
         let max = db.iter().map(EncodedSeq::len).max().unwrap();
         assert_eq!(max, spec.max_len as usize);
@@ -251,7 +272,12 @@ mod tests {
 
     #[test]
     fn mean_length_close_to_target() {
-        let spec = DbSpec { n_seqs: 20_000, mean_len: 355.4, max_len: 35_213, seed: 5 };
+        let spec = DbSpec {
+            n_seqs: 20_000,
+            mean_len: 355.4,
+            max_len: 35_213,
+            seed: 5,
+        };
         let db = generate_database(&spec);
         let total: usize = db.iter().map(EncodedSeq::len).sum();
         let mean = total as f64 / db.len() as f64;
@@ -310,7 +336,12 @@ mod tests {
 
     #[test]
     fn lengths_only_path_matches_distribution() {
-        let spec = DbSpec { n_seqs: 20_000, mean_len: 355.4, max_len: 35_213, seed: 5 };
+        let spec = DbSpec {
+            n_seqs: 20_000,
+            mean_len: 355.4,
+            max_len: 35_213,
+            seed: 5,
+        };
         let lens = generate_lengths(&spec);
         assert_eq!(lens.len(), 20_000);
         let mean = lens.iter().map(|&l| l as u64).sum::<u64>() as f64 / lens.len() as f64;

@@ -33,8 +33,16 @@ impl SubstMatrix {
     /// # Panics
     /// Panics if `scores.len() != len * len`.
     pub fn from_flat(name: &str, len: usize, scores: Vec<i32>) -> Self {
-        assert_eq!(scores.len(), len * len, "flat score table must be len × len");
-        SubstMatrix { name: name.into(), len, scores }
+        assert_eq!(
+            scores.len(),
+            len * len,
+            "flat score table must be len × len"
+        );
+        SubstMatrix {
+            name: name.into(),
+            len,
+            scores,
+        }
     }
 
     /// The matrix used throughout the paper's evaluation.
@@ -208,7 +216,11 @@ mod tests {
         for m in [SubstMatrix::blosum62(), SubstMatrix::blosum50()] {
             for a in 0..20u8 {
                 let diag = m.score(a, a);
-                assert!(diag > 0, "{}: diagonal of residue {a} must be positive", m.name);
+                assert!(
+                    diag > 0,
+                    "{}: diagonal of residue {a} must be positive",
+                    m.name
+                );
             }
         }
     }

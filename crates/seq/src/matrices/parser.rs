@@ -36,7 +36,9 @@ pub fn parse_ncbi(name: &str, text: &str, alphabet: &Alphabet) -> Result<SubstMa
             if tok.len() == 1 {
                 Ok(tok.as_bytes()[0])
             } else {
-                Err(SeqError::Matrix(format!("header token '{tok}' is not a single symbol")))
+                Err(SeqError::Matrix(format!(
+                    "header token '{tok}' is not a single symbol"
+                )))
             }
         })
         .collect::<Result<_, _>>()?;
@@ -49,7 +51,9 @@ pub fn parse_ncbi(name: &str, text: &str, alphabet: &Alphabet) -> Result<SubstMa
         let mut toks = line.split_ascii_whitespace();
         let row_tok = toks.next().expect("non-empty line has a first token");
         if row_tok.len() != 1 {
-            return Err(SeqError::Matrix(format!("row label '{row_tok}' is not a single symbol")));
+            return Err(SeqError::Matrix(format!(
+                "row label '{row_tok}' is not a single symbol"
+            )));
         }
         let row_sym = row_tok.as_bytes()[0];
         let Some(row_code) = alphabet.encode_byte(row_sym) else {
@@ -170,7 +174,10 @@ T -1 -1 -1  2  0
 N  0  0  0  0  0
 ";
         let a = Alphabet::dna();
-        assert!(matches!(parse_ncbi("b", broken, &a), Err(SeqError::Matrix(_))));
+        assert!(matches!(
+            parse_ncbi("b", broken, &a),
+            Err(SeqError::Matrix(_))
+        ));
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl EncodedSeq {
         if text.is_empty() {
             return Err(SeqError::EmptySequence);
         }
-        Ok(EncodedSeq { header: header.into(), residues: alphabet.encode_lenient(text)? })
+        Ok(EncodedSeq {
+            header: header.into(),
+            residues: alphabet.encode_lenient(text)?,
+        })
     }
 
     /// Residue count.
@@ -57,7 +60,9 @@ impl EncodedSeq {
     /// Borrow the residues as a [`SeqView`].
     #[inline]
     pub fn view(&self) -> SeqView<'_> {
-        SeqView { residues: &self.residues }
+        SeqView {
+            residues: &self.residues,
+        }
     }
 
     /// Decode back to ASCII for display.
@@ -109,7 +114,10 @@ mod tests {
     #[test]
     fn empty_rejected() {
         let a = Alphabet::protein();
-        assert_eq!(EncodedSeq::from_text("q", b"", &a).unwrap_err(), SeqError::EmptySequence);
+        assert_eq!(
+            EncodedSeq::from_text("q", b"", &a).unwrap_err(),
+            SeqError::EmptySequence
+        );
     }
 
     #[test]

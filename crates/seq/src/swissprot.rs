@@ -39,26 +39,86 @@ pub struct QuerySpec {
 /// papers and reused by SWIPE, SWAPHI and this paper; the lengths are the
 /// published UniProt sequence lengths of each accession.
 pub const QUERY_SET: [QuerySpec; 20] = [
-    QuerySpec { accession: "P02232", len: 144 },
-    QuerySpec { accession: "P05013", len: 189 },
-    QuerySpec { accession: "P14942", len: 222 },
-    QuerySpec { accession: "P07327", len: 375 },
-    QuerySpec { accession: "P01008", len: 464 },
-    QuerySpec { accession: "P03435", len: 567 },
-    QuerySpec { accession: "P42357", len: 657 },
-    QuerySpec { accession: "P21177", len: 729 },
-    QuerySpec { accession: "Q38941", len: 850 },
-    QuerySpec { accession: "P27895", len: 1000 },
-    QuerySpec { accession: "P07756", len: 1500 },
-    QuerySpec { accession: "P04775", len: 2005 },
-    QuerySpec { accession: "P19096", len: 2504 },
-    QuerySpec { accession: "P28167", len: 3005 },
-    QuerySpec { accession: "P0C6B8", len: 3564 },
-    QuerySpec { accession: "P20930", len: 4061 },
-    QuerySpec { accession: "P08519", len: 4548 },
-    QuerySpec { accession: "Q7TMA5", len: 4743 },
-    QuerySpec { accession: "P33450", len: 5147 },
-    QuerySpec { accession: "Q9UKN1", len: 5478 },
+    QuerySpec {
+        accession: "P02232",
+        len: 144,
+    },
+    QuerySpec {
+        accession: "P05013",
+        len: 189,
+    },
+    QuerySpec {
+        accession: "P14942",
+        len: 222,
+    },
+    QuerySpec {
+        accession: "P07327",
+        len: 375,
+    },
+    QuerySpec {
+        accession: "P01008",
+        len: 464,
+    },
+    QuerySpec {
+        accession: "P03435",
+        len: 567,
+    },
+    QuerySpec {
+        accession: "P42357",
+        len: 657,
+    },
+    QuerySpec {
+        accession: "P21177",
+        len: 729,
+    },
+    QuerySpec {
+        accession: "Q38941",
+        len: 850,
+    },
+    QuerySpec {
+        accession: "P27895",
+        len: 1000,
+    },
+    QuerySpec {
+        accession: "P07756",
+        len: 1500,
+    },
+    QuerySpec {
+        accession: "P04775",
+        len: 2005,
+    },
+    QuerySpec {
+        accession: "P19096",
+        len: 2504,
+    },
+    QuerySpec {
+        accession: "P28167",
+        len: 3005,
+    },
+    QuerySpec {
+        accession: "P0C6B8",
+        len: 3564,
+    },
+    QuerySpec {
+        accession: "P20930",
+        len: 4061,
+    },
+    QuerySpec {
+        accession: "P08519",
+        len: 4548,
+    },
+    QuerySpec {
+        accession: "Q7TMA5",
+        len: 4743,
+    },
+    QuerySpec {
+        accession: "P33450",
+        len: 5147,
+    },
+    QuerySpec {
+        accession: "Q9UKN1",
+        len: 5478,
+    },
 ];
 
 /// Background amino-acid frequencies of Swiss-Prot (fractions, sum ≈ 1).

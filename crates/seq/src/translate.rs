@@ -29,7 +29,9 @@ pub fn translate_frame(dna: &[u8], frame: usize, protein: &Alphabet) -> Vec<u8> 
         .chunks_exact(3)
         .map(|c| {
             let aa = translate_codon(c[0], c[1], c[2]);
-            protein.encode_byte(aa).expect("codon table emits canonical symbols")
+            protein
+                .encode_byte(aa)
+                .expect("codon table emits canonical symbols")
         })
         .collect()
 }

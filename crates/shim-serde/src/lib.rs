@@ -1,0 +1,23 @@
+//! No-op stand-ins for `serde`'s `Serialize`/`Deserialize` derives.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real serde cannot be fetched. The codebase only uses serde for derive
+//! annotations (structured output is hand-rolled — see `sw_swdb::snapshot`
+//! and `sw_bench::table`), so an empty derive keeps every annotation
+//! compiling without generating any code. If real serialization is ever
+//! needed, swap the workspace `serde` entry back to the real crate; the
+//! annotations are already in place.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

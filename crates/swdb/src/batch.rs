@@ -162,7 +162,10 @@ impl LaneBatcher {
     /// A batcher producing `lanes`-wide batches for `alphabet`.
     pub fn new(lanes: usize, alphabet: &Alphabet) -> Self {
         assert!(lanes >= 1, "need at least one lane");
-        LaneBatcher { lanes, pad: pad_code(alphabet) }
+        LaneBatcher {
+            lanes,
+            pad: pad_code(alphabet),
+        }
     }
 
     /// Batch the whole sorted database. Because the input is length-sorted,
@@ -173,8 +176,9 @@ impl LaneBatcher {
         let mut rank = 0usize;
         while rank < n {
             let end = (rank + self.lanes).min(n);
-            let group: Vec<(SeqId, &[u8])> =
-                (rank..end).map(|r| (sorted.id_at(r), sorted.seq_at(r).residues)).collect();
+            let group: Vec<(SeqId, &[u8])> = (rank..end)
+                .map(|r| (sorted.id_at(r), sorted.seq_at(r).residues))
+                .collect();
             out.push(LaneBatch::pack(self.lanes, &group, self.pad));
             rank = end;
         }
@@ -236,8 +240,10 @@ mod tests {
         let sorted = sorted_db(&[9, 2, 5, 7, 3, 1, 8]);
         let batches = LaneBatcher::new(4, &Alphabet::protein()).batch(&sorted);
         assert_eq!(batches.len(), 2);
-        let mut ids: Vec<u32> =
-            batches.iter().flat_map(|b| b.ids().iter().map(|id| id.0)).collect();
+        let mut ids: Vec<u32> = batches
+            .iter()
+            .flat_map(|b| b.ids().iter().map(|id| id.0))
+            .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..7).collect::<Vec<_>>());
     }

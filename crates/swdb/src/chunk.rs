@@ -49,7 +49,10 @@ pub fn split_batches(n_batches: usize, n_chunks: usize) -> Vec<BatchRange> {
     let mut start = 0usize;
     for c in 0..n_chunks {
         let len = base + usize::from(c < extra);
-        out.push(BatchRange { start, end: start + len });
+        out.push(BatchRange {
+            start,
+            end: start + len,
+        });
         start += len;
     }
     debug_assert_eq!(start, n_batches);
@@ -68,7 +71,10 @@ pub fn split_by_cells(
     query_len: usize,
     fraction: f64,
 ) -> (BatchRange, BatchRange) {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be within [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be within [0, 1]"
+    );
     let total: u64 = batches.iter().map(|b| b.padded_cells(query_len)).sum();
     let target = (total as f64 * fraction).round() as u64;
     let mut acc = 0u64;
@@ -90,8 +96,14 @@ pub fn split_by_cells(
         split = batches.len();
     }
     (
-        BatchRange { start: 0, end: split },
-        BatchRange { start: split, end: batches.len() },
+        BatchRange {
+            start: 0,
+            end: split,
+        },
+        BatchRange {
+            start: split,
+            end: batches.len(),
+        },
     )
 }
 
@@ -123,7 +135,13 @@ mod tests {
     #[test]
     fn split_batches_even() {
         let r = split_batches(10, 2);
-        assert_eq!(r, vec![BatchRange { start: 0, end: 5 }, BatchRange { start: 5, end: 10 }]);
+        assert_eq!(
+            r,
+            vec![
+                BatchRange { start: 0, end: 5 },
+                BatchRange { start: 5, end: 10 }
+            ]
+        );
     }
 
     #[test]

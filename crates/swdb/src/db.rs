@@ -33,7 +33,11 @@ impl SequenceDatabase {
             offsets.push(residues.len() as u64);
             headers.push(s.header);
         }
-        SequenceDatabase { residues, offsets, headers }
+        SequenceDatabase {
+            residues,
+            offsets,
+            headers,
+        }
     }
 
     /// Reassemble from raw parts (used by the snapshot loader).
@@ -41,16 +45,30 @@ impl SequenceDatabase {
     /// # Panics
     /// Panics if the offsets table is malformed.
     pub fn from_raw_parts(residues: Vec<u8>, offsets: Vec<u64>, headers: Vec<Arc<str>>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least the initial 0");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least the initial 0"
+        );
         assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(offsets.len(), headers.len() + 1, "offsets/headers length mismatch");
+        assert_eq!(
+            offsets.len(),
+            headers.len() + 1,
+            "offsets/headers length mismatch"
+        );
         assert_eq!(
             *offsets.last().expect("non-empty") as usize,
             residues.len(),
             "last offset must equal residue buffer length"
         );
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
-        SequenceDatabase { residues, offsets, headers }
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        SequenceDatabase {
+            residues,
+            offsets,
+            headers,
+        }
     }
 
     /// Number of sequences.

@@ -67,7 +67,10 @@ impl SortedDb {
 
     /// Iterate `(rank, SeqId, SeqView)` in sorted order.
     pub fn iter_sorted(&self) -> impl Iterator<Item = (usize, SeqId, SeqView<'_>)> + '_ {
-        self.order.iter().enumerate().map(move |(rank, &id)| (rank, id, self.db.seq(id)))
+        self.order
+            .iter()
+            .enumerate()
+            .map(move |(rank, &id)| (rank, id, self.db.seq(id)))
     }
 
     /// The full sorted permutation (`rank -> original id`).
@@ -123,8 +126,10 @@ mod tests {
     #[test]
     fn iter_sorted_yields_views() {
         let sorted = SortedDb::new(db_with_lens(&[3, 1]));
-        let collected: Vec<(usize, u32, usize)> =
-            sorted.iter_sorted().map(|(r, id, v)| (r, id.0, v.len())).collect();
+        let collected: Vec<(usize, u32, usize)> = sorted
+            .iter_sorted()
+            .map(|(r, id, v)| (r, id.0, v.len()))
+            .collect();
         assert_eq!(collected, vec![(0, 1, 1), (1, 0, 3)]);
     }
 

@@ -54,7 +54,11 @@ impl QueryProfile {
     /// Panics if the matrix dimension differs from the alphabet size or if
     /// the query contains codes outside the alphabet.
     pub fn build(query: &[u8], matrix: &SubstMatrix, alphabet: &Alphabet) -> Self {
-        assert_eq!(matrix.len(), alphabet.len(), "matrix/alphabet size mismatch");
+        assert_eq!(
+            matrix.len(),
+            alphabet.len(),
+            "matrix/alphabet size mismatch"
+        );
         let stride = profile_codes(alphabet);
         let mut scores = Vec::with_capacity(query.len() * stride);
         for &q in query {
@@ -68,7 +72,11 @@ impl QueryProfile {
             }
             scores.push(PAD_SCORE as i16);
         }
-        QueryProfile { stride, query_len: query.len(), scores }
+        QueryProfile {
+            stride,
+            query_len: query.len(),
+            scores,
+        }
     }
 
     /// Query length `M`.
@@ -120,7 +128,11 @@ pub struct SequenceProfile {
 impl SequenceProfile {
     /// Build for one batch under `matrix`.
     pub fn build(batch: &LaneBatch, matrix: &SubstMatrix, alphabet: &Alphabet) -> Self {
-        assert_eq!(matrix.len(), alphabet.len(), "matrix/alphabet size mismatch");
+        assert_eq!(
+            matrix.len(),
+            alphabet.len(),
+            "matrix/alphabet size mismatch"
+        );
         let lanes = batch.lanes();
         let n = batch.padded_len();
         let codes = alphabet.len();
@@ -141,7 +153,12 @@ impl SequenceProfile {
                 }
             }
         }
-        SequenceProfile { lanes, padded_len: n, codes, scores }
+        SequenceProfile {
+            lanes,
+            padded_len: n,
+            codes,
+            scores,
+        }
     }
 
     /// Lane count `L`.
@@ -198,7 +215,11 @@ impl QueryProfileI8 {
             .flat_map(|i| qp.row(i).iter().copied())
             .map(|v| i8::try_from(v).expect("substitution score fits i8"))
             .collect();
-        QueryProfileI8 { stride: qp.stride(), query_len: qp.query_len(), scores }
+        QueryProfileI8 {
+            stride: qp.stride(),
+            query_len: qp.query_len(),
+            scores,
+        }
     }
 
     /// Query length `M`.
@@ -231,7 +252,11 @@ impl SequenceProfileI8 {
             .iter()
             .map(|&v| i8::try_from(v).expect("substitution score fits i8"))
             .collect();
-        SequenceProfileI8 { lanes: sp.lanes, padded_len: sp.padded_len, scores }
+        SequenceProfileI8 {
+            lanes: sp.lanes,
+            padded_len: sp.padded_len,
+            scores,
+        }
     }
 
     /// Lane count `L`.
@@ -301,8 +326,7 @@ mod tests {
         let (a, m) = setup();
         let s0 = a.encode_strict(b"ARND").unwrap();
         let s1 = a.encode_strict(b"WW").unwrap();
-        let batch =
-            LaneBatch::pack(4, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
+        let batch = LaneBatch::pack(4, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
         let sp = SequenceProfile::build(&batch, &m, &a);
         // e = 'A' at position 0: lanes are [A, W, pad, pad].
         let e = a.encode_byte(b'A').unwrap();
@@ -318,8 +342,7 @@ mod tests {
         let (a, m) = setup();
         let s0 = a.encode_strict(b"ARND").unwrap();
         let s1 = a.encode_strict(b"W").unwrap();
-        let batch =
-            LaneBatch::pack(2, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
+        let batch = LaneBatch::pack(2, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
         let sp = SequenceProfile::build(&batch, &m, &a);
         // Position 2 of lane 1 is padding for every query residue.
         for e in 0..a.len() as u8 {
@@ -335,8 +358,7 @@ mod tests {
         let query = a.encode_strict(b"MKVLITRA").unwrap();
         let s0 = a.encode_strict(b"ARNDCQEG").unwrap();
         let s1 = a.encode_strict(b"HILKM").unwrap();
-        let batch =
-            LaneBatch::pack(4, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
+        let batch = LaneBatch::pack(4, &[(SeqId(0), &s0[..]), (SeqId(1), &s1[..])], pad_code(&a));
         let qp = QueryProfile::build(&query, &m, &a);
         let sp = SequenceProfile::build(&batch, &m, &a);
         for (i, &q) in query.iter().enumerate() {

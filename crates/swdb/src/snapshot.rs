@@ -14,9 +14,59 @@
 //! ```
 
 use crate::db::SequenceDatabase;
-use bytes::{Buf, BufMut};
 use std::sync::Arc;
 use sw_seq::SeqError;
+
+/// Little-endian append helpers (the `bytes::BufMut` subset this format
+/// needs, hand-rolled to keep the dependency budget at zero).
+trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian consume helpers over an advancing byte slice (the
+/// `bytes::Buf` subset the reader needs). Callers check `remaining()`
+/// before every get, so the internal panics are unreachable.
+trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
 
 /// Snapshot magic / version tag.
 pub const MAGIC: &[u8; 8] = b"SWDBSNP1";
@@ -27,8 +77,7 @@ pub fn write(db: &SequenceDatabase) -> Vec<u8> {
     let residues = db.raw_residues();
     let headers = db.raw_headers();
     let header_bytes: usize = headers.iter().map(|h| 4 + h.len()).sum();
-    let mut out =
-        Vec::with_capacity(8 + 16 + offsets.len() * 8 + residues.len() + header_bytes);
+    let mut out = Vec::with_capacity(8 + 16 + offsets.len() * 8 + residues.len() + header_bytes);
     out.put_slice(MAGIC);
     out.put_u64_le(headers.len() as u64);
     out.put_u64_le(residues.len() as u64);
@@ -45,7 +94,9 @@ pub fn write(db: &SequenceDatabase) -> Vec<u8> {
 
 fn need(buf: &[u8], n: usize, what: &str) -> Result<(), SeqError> {
     if buf.remaining() < n {
-        return Err(SeqError::Io(format!("snapshot truncated while reading {what}")));
+        return Err(SeqError::Io(format!(
+            "snapshot truncated while reading {what}"
+        )));
     }
     Ok(())
 }
@@ -56,7 +107,9 @@ pub fn read(mut buf: &[u8]) -> Result<SequenceDatabase, SeqError> {
     let mut magic = [0u8; 8];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(SeqError::Io("bad snapshot magic (not a SWDB snapshot?)".into()));
+        return Err(SeqError::Io(
+            "bad snapshot magic (not a SWDB snapshot?)".into(),
+        ));
     }
     need(buf, 16, "counts")?;
     let n_seqs = buf.get_u64_le() as usize;
@@ -90,7 +143,10 @@ pub fn read(mut buf: &[u8]) -> Result<SequenceDatabase, SeqError> {
         headers.push(s.into());
     }
     if buf.remaining() != 0 {
-        return Err(SeqError::Io(format!("{} trailing bytes after snapshot", buf.remaining())));
+        return Err(SeqError::Io(format!(
+            "{} trailing bytes after snapshot",
+            buf.remaining()
+        )));
     }
     // from_raw_parts validates offset consistency; convert its panics into
     // a proper error by pre-checking here.
@@ -98,7 +154,9 @@ pub fn read(mut buf: &[u8]) -> Result<SequenceDatabase, SeqError> {
         || offsets.last().map(|&o| o as usize) != Some(residues.len())
         || offsets.windows(2).any(|w| w[0] > w[1])
     {
-        return Err(SeqError::Io("snapshot offsets table is inconsistent".into()));
+        return Err(SeqError::Io(
+            "snapshot offsets table is inconsistent".into(),
+        ));
     }
     Ok(SequenceDatabase::from_raw_parts(residues, offsets, headers))
 }
@@ -144,7 +202,10 @@ mod tests {
         let bytes = write(&sample());
         // Every strict prefix must fail cleanly, never panic.
         for cut in 0..bytes.len() {
-            assert!(read(&bytes[..cut]).is_err(), "prefix of {cut} bytes should fail");
+            assert!(
+                read(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes should fail"
+            );
         }
     }
 

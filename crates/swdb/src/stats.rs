@@ -28,8 +28,9 @@ pub struct DbStats {
 impl DbStats {
     /// Compute statistics over `db`.
     pub fn compute(db: &SequenceDatabase) -> Self {
-        let mut lens: Vec<u64> =
-            (0..db.len() as u32).map(|i| db.seq_len(SeqId(i)) as u64).collect();
+        let mut lens: Vec<u64> = (0..db.len() as u32)
+            .map(|i| db.seq_len(SeqId(i)) as u64)
+            .collect();
         lens.sort_unstable();
         let n = lens.len() as u64;
         if n == 0 {
@@ -141,11 +142,23 @@ mod tests {
     #[test]
     fn synthetic_swissprot_stats_match_spec() {
         // A scaled synthetic database must land near the Swiss-Prot shape.
-        let spec = sw_seq::gen::DbSpec { n_seqs: 5000, mean_len: 355.4, max_len: 35213, seed: 2 };
+        let spec = sw_seq::gen::DbSpec {
+            n_seqs: 5000,
+            mean_len: 355.4,
+            max_len: 35213,
+            seed: 2,
+        };
         let seqs = sw_seq::gen::generate_database(&spec);
         let s = DbStats::compute(&SequenceDatabase::from_sequences(seqs));
         assert_eq!(s.n_seqs, 5000);
-        assert!((s.mean_len - 355.4).abs() / 355.4 < 0.1, "mean {}", s.mean_len);
-        assert!(s.median_len < s.mean_len as u64, "log-normal: median < mean");
+        assert!(
+            (s.mean_len - 355.4).abs() / 355.4 < 0.1,
+            "mean {}",
+            s.mean_len
+        );
+        assert!(
+            s.median_len < s.mean_len as u64,
+            "log-normal: median < mean"
+        );
     }
 }

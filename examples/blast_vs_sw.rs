@@ -19,11 +19,23 @@ fn main() {
     // Query: a periodic domain. Homolog: the same domain with every third
     // residue substituted — ~67 % identity, strong SW score, but not one
     // conserved 3-residue word for the seeder to find.
-    let query = alphabet.encode_strict(b"MKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKV").unwrap();
-    let homolog = alphabet.encode_strict(b"MKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKA").unwrap();
+    let query = alphabet
+        .encode_strict(b"MKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKVMKV")
+        .unwrap();
+    let homolog = alphabet
+        .encode_strict(b"MKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKAMKA")
+        .unwrap();
 
-    let mut seqs = vec![EncodedSeq { header: "remote-homolog".into(), residues: homolog }];
-    seqs.extend(generate_database(&DbSpec { n_seqs: 300, mean_len: 150.0, max_len: 600, seed: 6 }));
+    let mut seqs = vec![EncodedSeq {
+        header: "remote-homolog".into(),
+        residues: homolog,
+    }];
+    seqs.extend(generate_database(&DbSpec {
+        n_seqs: 300,
+        mean_len: 150.0,
+        max_len: 600,
+        seed: 6,
+    }));
     let n = seqs.len();
 
     // --- exact engine -------------------------------------------------
@@ -31,7 +43,11 @@ fn main() {
     let exact = SearchEngine::paper_default();
     let res = exact.search(&query, &db, &SearchConfig::best(2));
     let top = res.hits[0];
-    println!("exact SW:   top hit = {} (score {})", db.sorted.db().header(top.id), top.score);
+    println!(
+        "exact SW:   top hit = {} (score {})",
+        db.sorted.db().header(top.id),
+        top.score
+    );
     assert!(db.sorted.db().header(top.id).contains("remote-homolog"));
 
     // --- heuristic engine ----------------------------------------------
@@ -41,7 +57,10 @@ fn main() {
         opts: HeuristicOpts::default(),
     };
     let h = blast.search(&query, &flat);
-    let found_homolog = h.hits.iter().any(|x| flat.header(x.id).contains("remote-homolog"));
+    let found_homolog = h
+        .hits
+        .iter()
+        .any(|x| flat.header(x.id).contains("remote-homolog"));
     println!(
         "heuristic:  {} candidates refined, {} of {} sequences skipped ({}% work saved)",
         h.hits.len(),
@@ -53,7 +72,10 @@ fn main() {
         "heuristic found the remote homolog: {found_homolog} \
          (no conserved 3-mer word survives the mutations)"
     );
-    assert!(!found_homolog, "the demonstration depends on the seeder missing it");
+    assert!(
+        !found_homolog,
+        "the demonstration depends on the seeder missing it"
+    );
 
     println!(
         "\nThis is the sensitivity/speed trade-off the paper cites as the\n\

@@ -14,7 +14,12 @@ fn main() {
     let alphabet = Alphabet::protein();
 
     // ---- functional half: exact scores under any split --------------
-    let seqs = generate_database(&DbSpec { n_seqs: 1_000, mean_len: 250.0, max_len: 3_000, seed: 4 });
+    let seqs = generate_database(&DbSpec {
+        n_seqs: 1_000,
+        mean_len: 250.0,
+        max_len: 3_000,
+        seed: 4,
+    });
     let db = PreparedDb::prepare(seqs, 16, &alphabet);
     let query = generate_query(729, 5); // P21177-sized
 
@@ -47,7 +52,10 @@ fn main() {
     let phi_cfg = SimConfig::streamed(240, 8);
 
     println!("simulated heterogeneous sweep (query length 2000):");
-    println!("{:>10} {:>10} {:>10} {:>10}", "phi_share", "GCUPS", "cpu", "phi");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "phi_share", "GCUPS", "cpu", "phi"
+    );
     let mut best = (0.0, 0.0);
     for step in 0..=10 {
         let f = step as f64 / 10.0;
@@ -77,8 +85,16 @@ fn main() {
     let r = simulate_hetero((&xeon, &cpu_cfg), (&phi, &phi_cfg), &lens, 2000, best.0);
     let mut sim = OffloadSim::new(PcieLink::gen2_x16());
     let in_bytes: u64 = (lens.iter().map(|&l| l as u64).sum::<u64>() as f64 * best.0) as u64;
-    let sig = sim.offload_async(in_bytes, r.accel_busy_s.max(0.001), 4 * lens.len() as u64, "phi");
+    let sig = sim.offload_async(
+        in_bytes,
+        r.accel_busy_s.max(0.001),
+        4 * lens.len() as u64,
+        "phi",
+    );
     sim.host_compute(r.cpu_busy_s.max(0.001), "cpu");
     sim.wait(sig);
-    println!("\nAlgorithm 2 timeline at the optimum split:\n{}", sim.render_timeline(64));
+    println!(
+        "\nAlgorithm 2 timeline at the optimum split:\n{}",
+        sim.render_timeline(64)
+    );
 }

@@ -27,7 +27,12 @@ MKALIVLGLVLLSVTVQGKVFERCELARTLKRLGMDGYRGISLANWMCLAKWESGYNTRA
     let mut db_seqs = read_encoded(Cursor::new(&fasta[..]), &alphabet).expect("valid FASTA");
 
     // Pad with synthetic decoys so the search is non-trivial.
-    db_seqs.extend(generate_database(&DbSpec { n_seqs: 500, mean_len: 200.0, max_len: 800, seed: 9 }));
+    db_seqs.extend(generate_database(&DbSpec {
+        n_seqs: 500,
+        mean_len: 200.0,
+        max_len: 800,
+        seed: 9,
+    }));
     let db = PreparedDb::prepare(db_seqs, 8, &alphabet);
 
     // The query: a mutated fragment of DEMO2 (globin) — a distant homolog
@@ -42,11 +47,20 @@ MVLSPADKTNVRAAWGKVGAHAGEYGAEALERMFLSYPTTKTYFPHF
     let engine = SearchEngine::paper_default();
     let results = engine.search(&query.residues, &db, &SearchConfig::best(2));
 
-    println!("query: {} ({} residues)", query.header, query.residues.len());
+    println!(
+        "query: {} ({} residues)",
+        query.header,
+        query.residues.len()
+    );
     println!("database: {} sequences\n", db.n_seqs());
     println!("top 5 hits:");
     for (rank, hit) in results.top(5).iter().enumerate() {
-        println!("{:>3}. score {:>5}  {}", rank + 1, hit.score, db.sorted.db().header(hit.id));
+        println!(
+            "{:>3}. score {:>5}  {}",
+            rank + 1,
+            hit.score,
+            db.sorted.db().header(hit.id)
+        );
     }
 
     // Render the best alignment via affine-gap traceback.
@@ -66,5 +80,8 @@ MVLSPADKTNVRAAWGKVGAHAGEYGAEALERMFLSYPTTKTYFPHF
         alignment.subject_range.0,
         alignment.subject_range.1
     );
-    println!("{}", alignment.render(&query.residues, subject.residues, &alphabet));
+    println!(
+        "{}",
+        alignment.render(&query.residues, subject.residues, &alphabet)
+    );
 }

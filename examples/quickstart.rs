@@ -9,7 +9,12 @@ fn main() {
     // 1. A Swiss-Prot-like synthetic database (2 000 sequences here; the
     //    real evaluation uses 541 561 — see the fig* binaries).
     let alphabet = Alphabet::protein();
-    let spec = DbSpec { n_seqs: 2_000, mean_len: 355.4, max_len: 5_000, seed: 42 };
+    let spec = DbSpec {
+        n_seqs: 2_000,
+        mean_len: 355.4,
+        max_len: 5_000,
+        seed: 42,
+    };
     let seqs = generate_database(&spec);
     println!("database: {} sequences", seqs.len());
 

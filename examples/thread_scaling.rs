@@ -17,7 +17,12 @@ fn main() {
     let alphabet = Alphabet::protein();
 
     // ---- real execution on this machine ------------------------------
-    let seqs = generate_database(&DbSpec { n_seqs: 600, mean_len: 200.0, max_len: 1_500, seed: 2 });
+    let seqs = generate_database(&DbSpec {
+        n_seqs: 600,
+        mean_len: 200.0,
+        max_len: 1_500,
+        seed: 2,
+    });
     let db = PreparedDb::prepare(seqs, 16, &alphabet);
     let query = generate_query(375, 3);
     let engine = SearchEngine::paper_default();

@@ -52,8 +52,8 @@ pub use sw_swdb as swdb;
 /// The most common imports in one place.
 pub mod prelude {
     pub use sw_core::{
-        simulate_hetero, simulate_search, HeteroEngine, Hit, PreparedDb, SearchConfig,
-        SearchEngine, SearchResults, SimConfig,
+        simulate_hetero, simulate_search, HeteroEngine, HeteroSearchConfig, Hit, PreparedDb,
+        SearchConfig, SearchEngine, SearchResults, SimConfig,
     };
     pub use sw_device::{CostModel, DeviceSpec};
     pub use sw_kernels::{Gcups, KernelVariant, ProfileMode, SwParams, Vectorization};

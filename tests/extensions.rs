@@ -49,10 +49,19 @@ fn adaptive_precision_engine_equivalence() {
     let a = Alphabet::protein();
     let w = a.encode_byte(b'W').unwrap();
     let mut seqs = generate_database(&DbSpec::tiny(31));
-    seqs.push(EncodedSeq { header: "mid".into(), residues: vec![w; 60] });
-    seqs.push(EncodedSeq { header: "giant".into(), residues: vec![w; 3100] });
+    seqs.push(EncodedSeq {
+        header: "mid".into(),
+        residues: vec![w; 60],
+    });
+    seqs.push(EncodedSeq {
+        header: "giant".into(),
+        residues: vec![w; 3100],
+    });
     let db = PreparedDb::prepare(seqs, 8, &a);
-    let query = EncodedSeq { header: "q".into(), residues: vec![w; 3100] };
+    let query = EncodedSeq {
+        header: "q".into(),
+        residues: vec![w; 3100],
+    };
     let engine = SearchEngine::paper_default();
     let plain = engine.search(
         &query.residues,
@@ -84,11 +93,13 @@ fn adaptive_precision_engine_equivalence() {
 #[test]
 fn banded_heuristic_pipeline() {
     let a = Alphabet::protein();
-    let query = a.encode_strict(b"MKVLITRAWQESTNHYFPGDMKVLITRAWQESTNHYFPGD").unwrap();
+    let query = a
+        .encode_strict(b"MKVLITRAWQESTNHYFPGDMKVLITRAWQESTNHYFPGD")
+        .unwrap();
     // Subject: query embedded at offset 10 in junk.
-    let mut subject = a.encode_strict(&vec![b'P'; 10]).unwrap();
+    let mut subject = a.encode_strict(&[b'P'; 10]).unwrap();
     subject.extend_from_slice(&query);
-    subject.extend(a.encode_strict(&vec![b'G'; 10]).unwrap());
+    subject.extend(a.encode_strict(&[b'G'; 10]).unwrap());
 
     let params = SwParams::paper_default();
     let exact = sw_score_scalar(&query, &subject, &params);
@@ -102,7 +113,10 @@ fn banded_heuristic_pipeline() {
     }]);
     let engine = HeuristicEngine {
         params: params.clone(),
-        opts: HeuristicOpts { band_radius: Some(8), ..Default::default() },
+        opts: HeuristicOpts {
+            band_radius: Some(8),
+            ..Default::default()
+        },
     };
     let res = engine.search(&query, &db);
     assert_eq!(res.hits[0].score, exact);
@@ -114,7 +128,12 @@ fn banded_heuristic_pipeline() {
 #[test]
 fn heuristic_scores_match_exact_engine() {
     let a = Alphabet::protein();
-    let seqs = generate_database(&DbSpec { n_seqs: 80, mean_len: 120.0, max_len: 400, seed: 3 });
+    let seqs = generate_database(&DbSpec {
+        n_seqs: 80,
+        mean_len: 120.0,
+        max_len: 400,
+        seed: 3,
+    });
     let query = generate_query(200, 17).residues;
     let exact_engine = SearchEngine::paper_default();
     let db = PreparedDb::prepare(seqs.clone(), 8, &a);
@@ -125,7 +144,10 @@ fn heuristic_scores_match_exact_engine() {
     let flat = SequenceDatabase::from_sequences(seqs);
     let heuristic = HeuristicEngine {
         params: SwParams::paper_default(),
-        opts: HeuristicOpts { min_hsp_score: 15, ..Default::default() },
+        opts: HeuristicOpts {
+            min_hsp_score: 15,
+            ..Default::default()
+        },
     };
     let h = heuristic.search(&query, &flat);
     for hit in &h.hits {
@@ -140,7 +162,12 @@ fn heuristic_scores_match_exact_engine() {
 fn evalues_separate_signal_from_noise() {
     let a = Alphabet::protein();
     let query = generate_query(300, 5);
-    let mut seqs = generate_database(&DbSpec { n_seqs: 100, mean_len: 300.0, max_len: 900, seed: 9 });
+    let mut seqs = generate_database(&DbSpec {
+        n_seqs: 100,
+        mean_len: 300.0,
+        max_len: 900,
+        seed: 9,
+    });
     seqs.push(query.clone()); // plant an identical copy
     let db = PreparedDb::prepare(seqs, 8, &a);
     let engine = SearchEngine::paper_default();
@@ -149,11 +176,17 @@ fn evalues_separate_signal_from_noise() {
     let db_res = db.stats.total_residues;
 
     let top_e = karlin.evalue(res.hits[0].score, query.residues.len(), db_res);
-    assert!(top_e < 1e-100, "self-hit E-value must be negligible: {top_e}");
+    assert!(
+        top_e < 1e-100,
+        "self-hit E-value must be negligible: {top_e}"
+    );
     // Median decoy has E-value around or above 1 (not significant).
     let mid = res.hits[res.hits.len() / 2];
     let mid_e = karlin.evalue(mid.score, query.residues.len(), db_res);
-    assert!(mid_e > 1e-4, "typical decoy must not look significant: {mid_e}");
+    assert!(
+        mid_e > 1e-4,
+        "typical decoy must not look significant: {mid_e}"
+    );
     // Bit scores order like raw scores.
     assert!(karlin.bit_score(res.hits[0].score) > karlin.bit_score(mid.score));
 }
@@ -163,7 +196,12 @@ fn evalues_separate_signal_from_noise() {
 #[test]
 fn pooled_query_set_matches_individual() {
     let a = Alphabet::protein();
-    let seqs = generate_database(&DbSpec { n_seqs: 40, mean_len: 100.0, max_len: 300, seed: 8 });
+    let seqs = generate_database(&DbSpec {
+        n_seqs: 40,
+        mean_len: 100.0,
+        max_len: 300,
+        seed: 8,
+    });
     let db = PreparedDb::prepare(seqs, 16, &a);
     let engine = SearchEngine::paper_default();
     let queries: Vec<EncodedSeq> = generate_query_set(3).into_iter().take(6).collect();
@@ -186,9 +224,16 @@ fn translated_dna_search_finds_coding_frame() {
 
     // A protein target and synthetic decoys.
     let target = protein.encode_strict(b"MKWLNEHRAGDFERQSTVYK").unwrap();
-    let mut seqs =
-        vec![EncodedSeq { header: "target".into(), residues: target.clone() }];
-    seqs.extend(generate_database(&DbSpec { n_seqs: 50, mean_len: 60.0, max_len: 200, seed: 2 }));
+    let mut seqs = vec![EncodedSeq {
+        header: "target".into(),
+        residues: target.clone(),
+    }];
+    seqs.extend(generate_database(&DbSpec {
+        n_seqs: 50,
+        mean_len: 60.0,
+        max_len: 200,
+        seed: 2,
+    }));
     let db = PreparedDb::prepare(seqs, 8, &protein);
 
     // A DNA query encoding the target on the minus strand: take a real
@@ -215,8 +260,10 @@ fn translated_dna_search_finds_coding_frame() {
 
     // Search each frame; the -1 frame must contain the full-score hit.
     let engine = SearchEngine::paper_default();
-    let self_score: i64 =
-        target.iter().map(|&r| engine.params.matrix.score(r, r) as i64).sum();
+    let self_score: i64 = target
+        .iter()
+        .map(|&r| engine.params.matrix.score(r, r) as i64)
+        .sum();
     let mut best_frame = ("", 0i64);
     for (label, frame_protein) in six_frames(&dna_query, &protein) {
         if frame_protein.is_empty() {
@@ -228,7 +275,10 @@ fn translated_dna_search_finds_coding_frame() {
         }
     }
     assert_eq!(best_frame.0, "-1", "the coding frame is the minus strand");
-    assert_eq!(best_frame.1, self_score, "frame search recovers the exact protein hit");
+    assert_eq!(
+        best_frame.1, self_score,
+        "frame search recovers the exact protein hit"
+    );
 }
 
 /// Alignment-mode relationships hold through the public API.

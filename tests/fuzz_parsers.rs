@@ -1,117 +1,175 @@
 //! Failure-injection / never-panic properties of every parser and
 //! deserializer: arbitrary bytes must produce `Ok` or `Err`, never a
-//! panic, and accepted inputs must round-trip.
+//! panic, and accepted inputs must round-trip. Driven by seeded
+//! pseudo-random case loops (the offline dependency budget excludes
+//! proptest); every case is replayable from the seed.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use swhetero::prelude::*;
 use swhetero::seq::fasta::{read_encoded, FastaReader};
 use swhetero::seq::matrices::parser::parse_ncbi;
+use swhetero::seq::SeqError;
 use swhetero::swdb::snapshot;
 use swhetero::swdb::SequenceDatabase;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn bytes(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
 
-    /// The FASTA reader never panics on arbitrary bytes.
-    #[test]
-    fn fasta_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+fn text_from(rng: &mut SmallRng, charset: &[u8], max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len)
+        .map(|_| charset[rng.gen_range(0..charset.len())] as char)
+        .collect()
+}
+
+/// Printable ASCII plus newline/carriage return — a denser source of
+/// almost-valid parser input than raw bytes.
+fn ascii_text(rng: &mut SmallRng, max_len: usize) -> String {
+    let charset: Vec<u8> = (b' '..=b'~').chain([b'\n', b'\r']).collect();
+    text_from(rng, &charset, max_len)
+}
+
+/// The FASTA reader never panics on arbitrary bytes.
+#[test]
+fn fasta_reader_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xFA57);
+    for _ in 0..64 {
+        let data = bytes(&mut rng, 2000);
         let _ = FastaReader::new(&data[..]).collect::<Result<Vec<_>, _>>();
         let _ = read_encoded(&data[..], &Alphabet::protein());
     }
+}
 
-    /// The FASTA reader never panics on arbitrary ASCII text either (a
-    /// denser source of almost-valid input).
-    #[test]
-    fn fasta_reader_never_panics_on_text(data in "[ -~\n\r]{0,800}") {
+/// The FASTA reader never panics on arbitrary ASCII text either.
+#[test]
+fn fasta_reader_never_panics_on_text() {
+    let mut rng = SmallRng::seed_from_u64(0xFA58);
+    for _ in 0..64 {
+        let data = ascii_text(&mut rng, 800);
         let _ = read_encoded(data.as_bytes(), &Alphabet::protein());
     }
+}
 
-    /// Well-formed FASTA round-trips through write → read exactly.
-    #[test]
-    fn fasta_roundtrip(
-        seqs in prop::collection::vec(
-            ("[A-Za-z0-9_ ]{1,20}", prop::collection::vec(0u8..20, 1..200)),
-            1..10,
-        ),
-        width in 1usize..100,
-    ) {
-        let a = Alphabet::protein();
-        let originals: Vec<EncodedSeq> = seqs
-            .iter()
-            .map(|(h, r)| EncodedSeq { header: h.trim().to_string().into(), residues: r.clone() })
+/// Well-formed FASTA round-trips through write → read exactly.
+#[test]
+fn fasta_roundtrip() {
+    let a = Alphabet::protein();
+    let header_charset = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_ ";
+    let mut rng = SmallRng::seed_from_u64(0xF07A);
+    for case in 0..64 {
+        let n = rng.gen_range(1usize..10);
+        let originals: Vec<EncodedSeq> = (0..n)
+            .map(|_| {
+                // Headers must be non-empty after trimming for exact
+                // round-trip, so anchor them with a letter.
+                let mut header = String::from("h");
+                header.push_str(&text_from(&mut rng, header_charset, 19));
+                let len = rng.gen_range(1usize..200);
+                let residues = (0..len).map(|_| rng.gen_range(0u8..20)).collect();
+                EncodedSeq {
+                    header: header.trim().to_string().into(),
+                    residues,
+                }
+            })
             .collect();
-        // Headers must be non-empty after trimming for exact round-trip.
-        prop_assume!(originals.iter().all(|s| !s.header.is_empty()));
+        let width = rng.gen_range(1usize..100);
         let mut w = swhetero::seq::FastaWriter::new(Vec::new()).with_width(width);
         for s in &originals {
             w.write(s, &a).unwrap();
         }
         let bytes = w.into_inner().unwrap();
         let back = read_encoded(&bytes[..], &a).unwrap();
-        prop_assert_eq!(back, originals);
+        assert_eq!(back, originals, "case {case} width {width}");
     }
+}
 
-    /// The snapshot reader never panics on arbitrary bytes.
-    #[test]
-    fn snapshot_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+/// The snapshot reader never panics on arbitrary bytes.
+#[test]
+fn snapshot_reader_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x54A9);
+    for _ in 0..64 {
+        let data = bytes(&mut rng, 4000);
         let _ = snapshot::read(&data);
     }
+}
 
-    /// Snapshots round-trip for arbitrary databases, and every corruption
-    /// of a single byte either still parses or fails cleanly.
-    #[test]
-    fn snapshot_roundtrip_and_corruption(
-        seqs in prop::collection::vec(
-            ("[a-z]{1,10}", prop::collection::vec(0u8..24, 1..50)),
-            0..8,
-        ),
-        flip_at in any::<prop::sample::Index>(),
-        flip_to in any::<u8>(),
-    ) {
-        let db = SequenceDatabase::from_sequences(
-            seqs.iter()
-                .map(|(h, r)| EncodedSeq { header: h.clone().into(), residues: r.clone() })
-                .collect(),
-        );
+/// Snapshots round-trip for arbitrary databases, and every corruption
+/// of a single byte either still parses or fails cleanly.
+#[test]
+fn snapshot_roundtrip_and_corruption() {
+    let mut rng = SmallRng::seed_from_u64(0x54AA);
+    for case in 0..64 {
+        let n = rng.gen_range(0usize..8);
+        let seqs: Vec<EncodedSeq> = (0..n)
+            .map(|_| {
+                let header = text_from(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 10);
+                let header = if header.is_empty() {
+                    "x".to_string()
+                } else {
+                    header
+                };
+                let len = rng.gen_range(1usize..50);
+                let residues = (0..len).map(|_| rng.gen_range(0u8..24)).collect();
+                EncodedSeq {
+                    header: header.into(),
+                    residues,
+                }
+            })
+            .collect();
+        let db = SequenceDatabase::from_sequences(seqs);
         let bytes = snapshot::write(&db);
-        prop_assert_eq!(snapshot::read(&bytes).unwrap(), db);
+        assert_eq!(snapshot::read(&bytes).unwrap(), db, "case {case}");
         if !bytes.is_empty() {
             let mut corrupt = bytes.clone();
-            let ix = flip_at.index(corrupt.len());
-            corrupt[ix] = flip_to;
+            let ix = rng.gen_range(0..corrupt.len());
+            corrupt[ix] = rng.gen::<u8>();
             let _ = snapshot::read(&corrupt); // must not panic
         }
     }
+}
 
-    /// The NCBI matrix parser never panics on arbitrary text.
-    #[test]
-    fn matrix_parser_never_panics(text in "[ -~\n]{0,1500}") {
+/// The NCBI matrix parser never panics on arbitrary text.
+#[test]
+fn matrix_parser_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x9CB1);
+    let charset: Vec<u8> = (b' '..=b'~').chain([b'\n']).collect();
+    for _ in 0..64 {
+        let text = text_from(&mut rng, &charset, 1500);
         let _ = parse_ncbi("fuzz", &text, &Alphabet::protein());
         let _ = parse_ncbi("fuzz", &text, &Alphabet::dna());
     }
+}
 
-    /// Lenient encoding accepts any alphabetic text; strict rejects
-    /// exactly the non-canonical letters.
-    #[test]
-    fn encoding_agreement(text in "[A-Za-z]{1,200}") {
-        let a = Alphabet::protein();
+/// Lenient encoding accepts any alphabetic text; strict rejects
+/// exactly the non-canonical letters.
+#[test]
+fn encoding_agreement() {
+    let a = Alphabet::protein();
+    let letters = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    let mut rng = SmallRng::seed_from_u64(0xE9C0);
+    for case in 0..64 {
+        let len = rng.gen_range(1usize..200);
+        let text: String = (0..len)
+            .map(|_| letters[rng.gen_range(0..letters.len())] as char)
+            .collect();
         let lenient = a.encode_lenient(text.as_bytes()).unwrap();
-        prop_assert_eq!(lenient.len(), text.len());
+        assert_eq!(lenient.len(), text.len(), "case {case}");
         match a.encode_strict(text.as_bytes()) {
-            Ok(strict) => prop_assert_eq!(strict, lenient),
+            Ok(strict) => assert_eq!(strict, lenient, "case {case}"),
             Err(e) => {
                 // The reported byte really is outside the canonical set.
                 if let SeqError::InvalidResidue { byte, .. } = e {
-                    prop_assert!(a.encode_byte(byte).is_none());
+                    assert!(a.encode_byte(byte).is_none(), "case {case}");
                 } else {
-                    prop_assert!(false, "unexpected error kind: {e}");
+                    panic!("case {case}: unexpected error kind: {e}");
                 }
             }
         }
     }
 }
-
-use swhetero::seq::SeqError;
 
 /// Hand-picked hostile FASTA inputs fail with line-accurate errors.
 #[test]

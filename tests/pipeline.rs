@@ -21,7 +21,12 @@ fn reference_ranking(query: &[u8], db: &PreparedDb, params: &SwParams) -> Vec<(u
 #[test]
 fn full_pipeline_matches_reference_at_all_lane_widths() {
     let alphabet = Alphabet::protein();
-    let seqs = generate_database(&DbSpec { n_seqs: 120, mean_len: 150.0, max_len: 700, seed: 77 });
+    let seqs = generate_database(&DbSpec {
+        n_seqs: 120,
+        mean_len: 150.0,
+        max_len: 700,
+        seed: 77,
+    });
     let query = generate_query(222, 5);
     let engine = SearchEngine::paper_default();
     for lanes in [4usize, 8, 16, 32] {
@@ -58,7 +63,9 @@ fn fasta_snapshot_search_roundtrip() {
     );
 
     let engine = SearchEngine::paper_default();
-    let q = read_encoded(Cursor::new(&b">q\nMKVLITRAW\n"[..]), &alphabet).unwrap().remove(0);
+    let q = read_encoded(Cursor::new(&b">q\nMKVLITRAW\n"[..]), &alphabet)
+        .unwrap()
+        .remove(0);
     let r1 = engine.search(&q.residues, &direct, &SearchConfig::best(1));
     let r2 = engine.search(&q.residues, &via_snapshot, &SearchConfig::best(1));
     assert_eq!(r1.hits, r2.hits);
@@ -67,11 +74,18 @@ fn fasta_snapshot_search_roundtrip() {
 #[test]
 fn hetero_engine_equals_single_engine_across_splits_and_variants() {
     let alphabet = Alphabet::protein();
-    let seqs = generate_database(&DbSpec { n_seqs: 90, mean_len: 120.0, max_len: 500, seed: 8 });
+    let seqs = generate_database(&DbSpec {
+        n_seqs: 90,
+        mean_len: 120.0,
+        max_len: 500,
+        seed: 8,
+    });
     let db = PreparedDb::prepare(seqs, 8, &alphabet);
     let query = generate_query(189, 2);
     let engine = SearchEngine::paper_default();
-    let expect = engine.search(&query.residues, &db, &SearchConfig::best(1)).hits;
+    let expect = engine
+        .search(&query.residues, &db, &SearchConfig::best(1))
+        .hits;
 
     let hetero = HeteroEngine::new(engine);
     let cpu_cfg = SearchConfig::best(2).with_variant(KernelVariant {
@@ -92,7 +106,12 @@ fn paper_query_set_runs_end_to_end() {
     // All 20 paper queries against a small synthetic database: results
     // complete, sorted, and cells accounted exactly.
     let alphabet = Alphabet::protein();
-    let seqs = generate_database(&DbSpec { n_seqs: 60, mean_len: 100.0, max_len: 400, seed: 31 });
+    let seqs = generate_database(&DbSpec {
+        n_seqs: 60,
+        mean_len: 100.0,
+        max_len: 400,
+        seed: 31,
+    });
     let db = PreparedDb::prepare(seqs, 16, &alphabet);
     let engine = SearchEngine::paper_default();
     for q in generate_query_set(1) {
@@ -107,14 +126,27 @@ fn paper_query_set_runs_end_to_end() {
 fn score_overflow_rescued_end_to_end() {
     let alphabet = Alphabet::protein();
     let w = alphabet.encode_byte(b'W').unwrap();
-    let mut seqs =
-        generate_database(&DbSpec { n_seqs: 30, mean_len: 80.0, max_len: 300, seed: 4 });
-    seqs.push(EncodedSeq { header: "titin-like".into(), residues: vec![w; 3500] });
+    let mut seqs = generate_database(&DbSpec {
+        n_seqs: 30,
+        mean_len: 80.0,
+        max_len: 300,
+        seed: 4,
+    });
+    seqs.push(EncodedSeq {
+        header: "titin-like".into(),
+        residues: vec![w; 3500],
+    });
     let db = PreparedDb::prepare(seqs, 8, &alphabet);
-    let query = EncodedSeq { header: "q".into(), residues: vec![w; 3500] };
+    let query = EncodedSeq {
+        header: "q".into(),
+        residues: vec![w; 3500],
+    };
     let engine = SearchEngine::paper_default();
     let res = engine.search(&query.residues, &db, &SearchConfig::best(2));
-    assert!(res.lanes_rescued >= 1, "the titin-like pair must saturate i16");
+    assert!(
+        res.lanes_rescued >= 1,
+        "the titin-like pair must saturate i16"
+    );
     assert_eq!(res.hits[0].score, 3500 * 11, "rescued score must be exact");
     assert!(db.sorted.db().header(res.hits[0].id).contains("titin"));
 }
@@ -149,6 +181,10 @@ fn single_sequence_database() {
 fn cross_variant_self_test_all_widths() {
     for lanes in [4usize, 8, 16, 32] {
         let report = swhetero::core::verify::self_test(lanes, 1);
-        assert!(report.passed(), "lanes {lanes}: {:?}", report.first_mismatch);
+        assert!(
+            report.passed(),
+            "lanes {lanes}: {:?}",
+            report.first_mismatch
+        );
     }
 }

@@ -12,12 +12,19 @@ fn lens() -> Vec<u32> {
 }
 
 fn variant(vec: Vectorization, profile: ProfileMode) -> KernelVariant {
-    KernelVariant { vec, profile, blocking: true }
+    KernelVariant {
+        vec,
+        profile,
+        blocking: true,
+    }
 }
 
 fn sim(model: &CostModel, v: KernelVariant, threads: u32, qlen: usize, lens: &[u32]) -> f64 {
     let shapes = shapes_from_lengths(lens, model.device.lanes_i16(), qlen);
-    let cfg = SimConfig { variant: v, ..SimConfig::streamed(threads, 8) };
+    let cfg = SimConfig {
+        variant: v,
+        ..SimConfig::streamed(threads, 8)
+    };
     simulate_search(model, &shapes, &cfg).gcups
 }
 
@@ -34,7 +41,10 @@ fn fig3_variant_ordering_and_scaling() {
         variant(Vectorization::Guided, ProfileMode::Sequence),
         variant(Vectorization::Intrinsic, ProfileMode::Sequence),
     ];
-    let rates: Vec<f64> = order.iter().map(|&v| sim(&model, v, 32, 2000, &l)).collect();
+    let rates: Vec<f64> = order
+        .iter()
+        .map(|&v| sim(&model, v, 32, 2000, &l))
+        .collect();
     assert!(
         rates.windows(2).all(|w| w[0] < w[1]),
         "Fig 3 ordering violated: {rates:?}"
@@ -65,7 +75,10 @@ fn fig4_qp_sp_gap_and_rising_sp() {
     }
     let short = sim(&model, sp, 32, 144, &l);
     let long = sim(&model, sp, 32, 5478, &l);
-    assert!(long > short, "SP must rise with query length ({short} -> {long})");
+    assert!(
+        long > short,
+        "SP must rise with query length ({short} -> {long})"
+    );
 }
 
 /// Fig. 5 shape: Phi rates at 240 threads keep the paper's ordering with
@@ -75,16 +88,49 @@ fn fig4_qp_sp_gap_and_rising_sp() {
 fn fig5_phi_orderings() {
     let model = CostModel::phi();
     let l = lens();
-    let s_qp = sim(&model, variant(Vectorization::Guided, ProfileMode::Query), 240, 2000, &l);
-    let s_sp = sim(&model, variant(Vectorization::Guided, ProfileMode::Sequence), 240, 2000, &l);
-    let i_qp = sim(&model, variant(Vectorization::Intrinsic, ProfileMode::Query), 240, 2000, &l);
-    let i_sp = sim(&model, variant(Vectorization::Intrinsic, ProfileMode::Sequence), 240, 2000, &l);
-    assert!(s_qp < s_sp && s_sp < i_qp && i_qp < i_sp, "{s_qp} {s_sp} {i_qp} {i_sp}");
+    let s_qp = sim(
+        &model,
+        variant(Vectorization::Guided, ProfileMode::Query),
+        240,
+        2000,
+        &l,
+    );
+    let s_sp = sim(
+        &model,
+        variant(Vectorization::Guided, ProfileMode::Sequence),
+        240,
+        2000,
+        &l,
+    );
+    let i_qp = sim(
+        &model,
+        variant(Vectorization::Intrinsic, ProfileMode::Query),
+        240,
+        2000,
+        &l,
+    );
+    let i_sp = sim(
+        &model,
+        variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+        240,
+        2000,
+        &l,
+    );
+    assert!(
+        s_qp < s_sp && s_sp < i_qp && i_qp < i_sp,
+        "{s_qp} {s_sp} {i_qp} {i_sp}"
+    );
     // Guided is under half of intrinsic on the Phi ("hand-vectorization
     // [has] more impact ... than in Intel Xeon").
     assert!(s_sp < 0.5 * i_sp);
     // Thread scaling 30 → 240 grows by well over 3×.
-    let g30 = sim(&model, variant(Vectorization::Intrinsic, ProfileMode::Sequence), 30, 2000, &l);
+    let g30 = sim(
+        &model,
+        variant(Vectorization::Intrinsic, ProfileMode::Sequence),
+        30,
+        2000,
+        &l,
+    );
     assert!(i_sp > 3.0 * g30, "Phi scaling 30→240: {g30} -> {i_sp}");
 }
 
@@ -111,20 +157,29 @@ fn fig6_phi_rising_with_query_length() {
 fn fig7_blocking_shape() {
     let l = lens();
     let blocked = KernelVariant::best();
-    let unblocked = KernelVariant { blocking: false, ..blocked };
+    let unblocked = KernelVariant {
+        blocking: false,
+        ..blocked
+    };
     let xeon = CostModel::xeon();
     let phi = CostModel::phi();
 
     // Short query: no difference anywhere.
     let pb = sim(&phi, blocked, 240, 144, &l);
     let pu = sim(&phi, unblocked, 240, 144, &l);
-    assert!((pb - pu).abs() / pb < 0.01, "short-query blocking gap: {pb} vs {pu}");
+    assert!(
+        (pb - pu).abs() / pb < 0.01,
+        "short-query blocking gap: {pb} vs {pu}"
+    );
 
     // Long query: both devices lose without blocking, the Phi much more.
     let xeon_loss = 1.0 - sim(&xeon, unblocked, 32, 5478, &l) / sim(&xeon, blocked, 32, 5478, &l);
     let phi_loss = 1.0 - sim(&phi, unblocked, 240, 5478, &l) / sim(&phi, blocked, 240, 5478, &l);
     assert!(xeon_loss > 0.01, "xeon must lose something: {xeon_loss}");
-    assert!(phi_loss > 2.0 * xeon_loss, "phi loss {phi_loss} vs xeon {xeon_loss}");
+    assert!(
+        phi_loss > 2.0 * xeon_loss,
+        "phi loss {phi_loss} vs xeon {xeon_loss}"
+    );
 }
 
 /// Fig. 8 shape: the split sweep has an interior optimum near 55 % Phi
@@ -152,7 +207,10 @@ fn fig8_split_sweep_shape() {
     let phi_only = sweep[10].1;
     assert!((0.4..=0.7).contains(&best_f), "optimum at {best_f}");
     assert!(best_g > cpu_only && best_g > phi_only);
-    assert!(best_g > 0.85 * (cpu_only + phi_only), "{best_g} vs {cpu_only}+{phi_only}");
+    assert!(
+        best_g > 0.85 * (cpu_only + phi_only),
+        "{best_g} vs {cpu_only}+{phi_only}"
+    );
 }
 
 /// The paper's 20-query set drives all per-length figures; make sure the
@@ -175,13 +233,22 @@ fn scheduling_ablation_ordering() {
     let l = lens();
     let shapes = shapes_from_lengths(&l, 16, 2000);
     let run = |policy: Policy| {
-        let cfg = SimConfig { policy, ..SimConfig::best(32) };
+        let cfg = SimConfig {
+            policy,
+            ..SimConfig::best(32)
+        };
         simulate_search(&model, &shapes, &cfg).gcups
     };
     let stat = run(Policy::Static);
     let guided = run(Policy::guided());
     let dynamic = run(Policy::dynamic());
-    assert!(dynamic >= guided * 0.999, "dynamic {dynamic} vs guided {guided}");
+    assert!(
+        dynamic >= guided * 0.999,
+        "dynamic {dynamic} vs guided {guided}"
+    );
     assert!(guided > stat, "guided {guided} vs static {stat}");
-    assert!(dynamic > 1.05 * stat, "dynamic must beat static significantly");
+    assert!(
+        dynamic > 1.05 * stat,
+        "dynamic must beat static significantly"
+    );
 }

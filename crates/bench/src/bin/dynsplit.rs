@@ -22,6 +22,7 @@ use sw_core::{
 };
 use sw_device::CostModel;
 use sw_kernels::KernelVariant;
+use sw_sched::{FaultInjector, FaultKind, FaultPlan, FaultSpec, DEVICE_ACCEL};
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -135,12 +136,56 @@ fn main() {
     r.emit("dynsplit-real");
     println!(
         "pools met at batch {} of {}; emergent accel share {:.1}% \
-         (seeded {:.1}%); merged {} hits at {:.2} GCUPS",
+         (seeded {:.1}%); merged {} hits at {:.2} GCUPS\n",
         outcome.boundary,
         prepared.batches.len(),
         outcome.accel_cell_fraction * 100.0,
         plan.accel_cell_fraction * 100.0,
         outcome.results.hits.len(),
         outcome.results.gcups().value()
+    );
+
+    // Fault-injection drill: kill the whole accel pool as it starts its
+    // first chunk and let the lease/requeue machinery degrade the run to
+    // CPU-only. The table contrasts the clean and killed runs; the hit
+    // lists must be identical — recovery costs time, never correctness.
+    let injector = FaultInjector::new(FaultPlan::single(FaultSpec {
+        device: DEVICE_ACCEL,
+        chunk: 0,
+        kind: FaultKind::KillPool,
+    }));
+    let killed = hetero
+        .search_dynamic_supervised(&query.residues, &prepared, &plan, &cfg, &injector)
+        .expect("degraded run still completes on the surviving pool");
+
+    let mut f = Table::new(
+        "Fault drill — accel pool killed at its first chunk (kill-pool@0)",
+        &[
+            "run", "pool", "tasks", "requeues", "failures", "degraded", "hits",
+        ],
+    );
+    for (run, o) in [("clean", &outcome), ("killed", &killed)] {
+        for (label, m) in [("cpu", &o.cpu), ("accel", &o.accel)] {
+            f.row(vec![
+                run.to_string(),
+                label.to_string(),
+                m.tasks.to_string(),
+                m.requeues.to_string(),
+                m.failures.to_string(),
+                m.degraded.to_string(),
+                o.results.hits.len().to_string(),
+            ]);
+        }
+    }
+    f.emit("dynsplit-fault");
+    assert_eq!(
+        outcome.results.hits, killed.results.hits,
+        "degraded run must produce the identical hit list"
+    );
+    println!(
+        "accel pool killed at chunk 0: {} chunk(s) requeued, run degraded to \
+         CPU-only, hit list identical to the clean run ({} hits).",
+        killed.accel.requeues,
+        killed.results.hits.len()
     );
 }

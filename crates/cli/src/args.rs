@@ -2,7 +2,9 @@
 //! the dependency budget is documented in DESIGN.md).
 
 use std::fmt;
+use std::time::Duration;
 use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
+use sw_sched::{FaultKind, FaultSpec, DEVICE_ACCEL};
 
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
@@ -45,6 +47,13 @@ HETERO OPTIONS:
                       feedback estimator. Prints per-device metrics.
   --accel-threads <n> accelerator-pool workers (default: same as --threads)
   --min-chunk <n>     smallest batch chunk a pool grabs (default 1)
+  --inject-fault <s>  (dynamic) fault-injection drill against the accel
+                      pool: kill@N | delay@N:MS | wedge@N | kill-pool@N
+                      (N = 0-based chunk index). Hits stay exact; the run
+                      recovers on the surviving pool.
+  --accel-timeout-ms <n>  reclaim a silent accel chunk lease after n ms
+                      (default: never; required for wedge recovery)
+  --failure-budget <n> failures before a pool is retired (default 3)
 ";
 
 /// A parsed command.
@@ -130,6 +139,14 @@ pub enum Command {
         accel_threads: usize,
         /// Smallest batch chunk either pool grabs (dynamic mode).
         min_chunk: usize,
+        /// Fault to inject into the accelerator pool (dynamic mode):
+        /// exercises the lease/requeue recovery path end to end.
+        inject_fault: Option<FaultSpec>,
+        /// Reclaim a silent accelerator chunk lease after this many
+        /// milliseconds (dynamic mode; `None` = never).
+        accel_timeout_ms: Option<u64>,
+        /// Failures a pool tolerates before it is retired (dynamic mode).
+        failure_budget: u32,
         /// Scoring/search knobs.
         opts: SearchOpts,
     },
@@ -216,6 +233,36 @@ impl std::error::Error for ParseError {}
 
 fn err(msg: impl Into<String>) -> ParseError {
     ParseError(msg.into())
+}
+
+/// Parse an `--inject-fault` value: `kill@N`, `delay@N:MS`, `wedge@N` or
+/// `kill-pool@N`, where `N` is the 0-based chunk index (in the accel
+/// pool's grab order) at which the fault fires. Drills always target the
+/// accelerator pool — the CPU pool is the recovery path.
+pub fn parse_fault_spec(s: &str) -> Result<FaultSpec, ParseError> {
+    let bad = || {
+        err(format!(
+            "bad --inject-fault '{s}': expected kill@N, delay@N:MS, wedge@N or kill-pool@N"
+        ))
+    };
+    let (kind_s, at) = s.split_once('@').ok_or_else(bad)?;
+    let parse_chunk = |t: &str| t.parse::<u64>().map_err(|_| bad());
+    let (kind, chunk) = match kind_s.to_ascii_lowercase().as_str() {
+        "kill" => (FaultKind::Kill, parse_chunk(at)?),
+        "wedge" => (FaultKind::Wedge, parse_chunk(at)?),
+        "kill-pool" | "killpool" => (FaultKind::KillPool, parse_chunk(at)?),
+        "delay" => {
+            let (n, ms) = at.split_once(':').ok_or_else(bad)?;
+            let ms: u64 = ms.parse().map_err(|_| bad())?;
+            (FaultKind::Delay(Duration::from_millis(ms)), parse_chunk(n)?)
+        }
+        _ => return Err(bad()),
+    };
+    Ok(FaultSpec {
+        device: DEVICE_ACCEL,
+        chunk,
+        kind,
+    })
 }
 
 /// Parse a `--variant` value.
@@ -393,6 +440,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if min_chunk == 0 {
                 return Err(err("--min-chunk must be at least 1"));
             }
+            let inject_fault = a
+                .opt_value("--inject-fault")
+                .map(|s| parse_fault_spec(&s))
+                .transpose()?;
+            let accel_timeout_ms = a
+                .opt_value("--accel-timeout-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| err(format!("bad value for --accel-timeout-ms: '{v}'")))
+                })
+                .transpose()?;
+            let failure_budget: u32 = a.parse_num("--failure-budget", 3u32)?;
             Ok(Command::Hetero {
                 query: a.value_of("--query")?,
                 db: a.value_of("--db")?,
@@ -400,6 +459,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 dynamic: a.has_flag("--dynamic"),
                 accel_threads,
                 min_chunk,
+                inject_fault,
+                accel_timeout_ms,
+                failure_budget,
                 opts,
             })
         }
@@ -611,6 +673,83 @@ mod tests {
     #[test]
     fn hetero_rejects_zero_min_chunk() {
         assert!(parse(&argv("hetero --query q --db d --min-chunk 0")).is_err());
+    }
+
+    #[test]
+    fn hetero_fault_defaults_off() {
+        let c = parse(&argv("hetero --query q --db d --dynamic")).unwrap();
+        match c {
+            Command::Hetero {
+                inject_fault,
+                accel_timeout_ms,
+                failure_budget,
+                ..
+            } => {
+                assert_eq!(inject_fault, None);
+                assert_eq!(accel_timeout_ms, None);
+                assert_eq!(failure_budget, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hetero_parses_fault_drill_options() {
+        let c = parse(&argv(
+            "hetero --query q --db d --dynamic --inject-fault kill-pool@2 \
+             --accel-timeout-ms 50 --failure-budget 1",
+        ))
+        .unwrap();
+        match c {
+            Command::Hetero {
+                inject_fault,
+                accel_timeout_ms,
+                failure_budget,
+                ..
+            } => {
+                assert_eq!(
+                    inject_fault,
+                    Some(FaultSpec {
+                        device: DEVICE_ACCEL,
+                        chunk: 2,
+                        kind: FaultKind::KillPool,
+                    })
+                );
+                assert_eq!(accel_timeout_ms, Some(50));
+                assert_eq!(failure_budget, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_spec_forms_parse() {
+        assert_eq!(parse_fault_spec("kill@0").unwrap().kind, FaultKind::Kill);
+        assert_eq!(
+            parse_fault_spec("wedge@7").unwrap(),
+            FaultSpec {
+                device: DEVICE_ACCEL,
+                chunk: 7,
+                kind: FaultKind::Wedge,
+            }
+        );
+        assert_eq!(
+            parse_fault_spec("delay@3:250").unwrap().kind,
+            FaultKind::Delay(Duration::from_millis(250))
+        );
+        assert_eq!(
+            parse_fault_spec("KILL-POOL@1").unwrap().kind,
+            FaultKind::KillPool
+        );
+    }
+
+    #[test]
+    fn fault_spec_rejects_malformed() {
+        for bad in [
+            "kill", "kill@", "kill@x", "delay@3", "delay@3:", "pause@1", "@2",
+        ] {
+            assert!(parse_fault_spec(bad).is_err(), "accepted '{bad}'");
+        }
     }
 
     #[test]

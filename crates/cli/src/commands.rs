@@ -99,6 +99,9 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             dynamic,
             accel_threads,
             min_chunk,
+            inject_fault,
+            accel_timeout_ms,
+            failure_budget,
             opts,
         } => cmd_hetero(
             &query,
@@ -107,6 +110,11 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             dynamic,
             accel_threads,
             min_chunk,
+            HeteroDrill {
+                inject_fault,
+                accel_timeout_ms,
+                failure_budget,
+            },
             &opts,
             out,
         ),
@@ -391,6 +399,13 @@ fn cmd_simulate<W: Write>(
     }
 }
 
+/// Fault-drill knobs for `cmd_hetero` (all off by default).
+struct HeteroDrill {
+    inject_fault: Option<sw_sched::FaultSpec>,
+    accel_timeout_ms: Option<u64>,
+    failure_budget: u32,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cmd_hetero<W: Write>(
     query_path: &str,
@@ -399,10 +414,15 @@ fn cmd_hetero<W: Write>(
     dynamic: bool,
     accel_threads: usize,
     min_chunk: usize,
+    drill: HeteroDrill,
     opts: &SearchOpts,
     out: &mut W,
 ) -> Result<(), CmdError> {
-    use sw_core::{HeteroEngine, HeteroSearchConfig};
+    use sw_core::{HeteroEngine, HeteroSearchConfig, RecoveryConfig};
+    use sw_sched::{FaultInjector, FaultPlan};
+    if drill.inject_fault.is_some() && !dynamic {
+        return Err("--inject-fault requires --dynamic (the static split has no recovery)".into());
+    }
     let alphabet = alphabet_from(opts);
     let queries = load_sequences(query_path, &alphabet)?;
     let q = queries.first().ok_or("query file holds no sequences")?;
@@ -437,8 +457,26 @@ fn cmd_hetero<W: Write>(
                 ..cfg
             },
             min_chunk,
+            recovery: RecoveryConfig {
+                accel_timeout_ms: drill.accel_timeout_ms,
+                failure_budget: drill.failure_budget,
+                ..RecoveryConfig::default()
+            },
         };
-        let outcome = hetero.search_dynamic(&q.residues, &prepared, &plan, &dyn_cfg);
+        let injector = match &drill.inject_fault {
+            Some(spec) => {
+                writeln!(
+                    out,
+                    "# fault drill: injecting {:?} at accel chunk {} (hits stay exact)",
+                    spec.kind, spec.chunk
+                )?;
+                FaultInjector::new(FaultPlan::single(*spec))
+            }
+            None => FaultInjector::none(),
+        };
+        let outcome = hetero
+            .search_dynamic_supervised(&q.residues, &prepared, &plan, &dyn_cfg, &injector)
+            .map_err(|e| format!("dynamic search failed beyond recovery: {e}"))?;
         writeln!(
             out,
             "# dynamic dual-pool: pools met at batch {} of {}; accel took {:.1}% of cells \
@@ -460,6 +498,25 @@ fn cmd_hetero<W: Write>(
                 m.queue_wait.as_secs_f64(),
                 m.cells,
                 m.gcups()
+            )?;
+            if m.retries + m.requeues + m.lost_leases + m.failures > 0 || m.degraded {
+                writeln!(
+                    out,
+                    "#   {label}: recovery: {} retries, {} requeues, {} lost leases, \
+                     {} failures{}",
+                    m.retries,
+                    m.requeues,
+                    m.lost_leases,
+                    m.failures,
+                    if m.degraded { " [pool retired]" } else { "" }
+                )?;
+            }
+        }
+        if outcome.results.degraded {
+            writeln!(
+                out,
+                "# DEGRADED: a device pool was retired mid-run; the surviving pool \
+                 completed the queue (results are exact)"
             )?;
         }
         outcome.results
@@ -841,6 +898,55 @@ mod tests {
             hits(&dynamic),
             "\nstatic:\n{stat}\ndynamic:\n{dynamic}"
         );
+    }
+
+    #[test]
+    fn hetero_fault_drill_recovers_with_identical_hits() {
+        // Enough real work per batch (~50 batches at lanes 4) that the
+        // accel pool always reaches its first chunk before the CPU pool
+        // drains the queue — the kill-pool fault then reliably fires.
+        let db_path = tmp("het3.fasta");
+        run_str(&format!(
+            "gendb --seqs 200 --out {db_path} --seed 4 --mean-len 300"
+        ));
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("hetq3.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[5], &alphabet).unwrap();
+        w.into_inner().unwrap();
+        let common = format!(
+            "--query {q_path} --db {db_path} --frac 0.5 --lanes 4 --top 3 \
+             --dynamic --threads 2 --accel-threads 1"
+        );
+        let (code, clean) = run_str(&format!("hetero {common}"));
+        assert_eq!(code, 0, "{clean}");
+        let (code, drilled) = run_str(&format!("hetero {common} --inject-fault kill-pool@0"));
+        assert_eq!(code, 0, "{drilled}");
+        assert!(drilled.contains("fault drill"), "{drilled}");
+        assert!(drilled.contains("DEGRADED"), "{drilled}");
+        assert!(drilled.contains("[pool retired]"), "{drilled}");
+        // Recovery costs time, never correctness: same hit list either way.
+        let hits = |text: &str| -> Vec<String> {
+            text.lines()
+                .skip_while(|l| !l.starts_with("merged"))
+                .skip(1)
+                .take(3)
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(
+            hits(&clean),
+            hits(&drilled),
+            "\nclean:\n{clean}\ndrilled:\n{drilled}"
+        );
+    }
+
+    #[test]
+    fn hetero_fault_drill_requires_dynamic() {
+        let (code, text) = run_str("hetero --query q --db d --inject-fault kill@0");
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("requires --dynamic"), "{text}");
     }
 
     #[test]

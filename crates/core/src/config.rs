@@ -55,6 +55,39 @@ impl Default for SearchConfig {
     }
 }
 
+/// Fault-tolerance knobs of the dual-pool scheduler: how long to wait on
+/// a silent accelerator, how many failures to tolerate before retiring a
+/// pool, and how retries back off. Mirrors the recovery fields of
+/// `sw_sched::DualPoolConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Reclaim an accelerator chunk lease after this many milliseconds of
+    /// silence (`None` = never; a wedged accelerator then only recovers
+    /// if the fault also kills the worker).
+    pub accel_timeout_ms: Option<u64>,
+    /// Failures a device pool may accumulate before it is retired and the
+    /// surviving pool absorbs the rest of the queue.
+    pub failure_budget: u32,
+    /// Base delay before re-running a requeued chunk; doubles with each
+    /// attempt.
+    pub retry_backoff_ms: u64,
+    /// Attempts per chunk before its failing task is reported as a
+    /// permanent error instead of requeued.
+    pub max_chunk_retries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        let d = sw_sched::DualPoolConfig::new(1, 1);
+        RecoveryConfig {
+            accel_timeout_ms: d.accel_timeout_ms,
+            failure_budget: d.failure_budget,
+            retry_backoff_ms: d.retry_backoff_ms,
+            max_chunk_retries: d.max_chunk_retries,
+        }
+    }
+}
+
 /// Configuration of a dynamic dual-pool heterogeneous search
 /// ([`crate::hetero::HeteroEngine::search_dynamic`]): one kernel
 /// configuration per device pool plus the shared-queue granularity.
@@ -70,6 +103,8 @@ pub struct HeteroSearchConfig {
     /// Smallest number of lane batches either pool grabs from the shared
     /// queue in one chunk.
     pub min_chunk: usize,
+    /// Fault-tolerance knobs (lease timeout, failure budget, backoff).
+    pub recovery: RecoveryConfig,
 }
 
 impl HeteroSearchConfig {
@@ -79,6 +114,7 @@ impl HeteroSearchConfig {
             cpu,
             accel,
             min_chunk: 1,
+            recovery: RecoveryConfig::default(),
         }
     }
 

@@ -21,7 +21,7 @@ use sw_kernels::intertask::{sw_lanes_qp, sw_lanes_sp, KernelOutput, Workspace};
 use sw_kernels::overflow::rescue_overflows;
 use sw_kernels::scalar::{sw_score_scalar, sw_score_scalar_qp};
 use sw_kernels::{CellCount, ProfileMode, SwParams, Vectorization};
-use sw_sched::{run_parallel, ExecutorConfig};
+use sw_sched::{try_run_parallel, ExecutorConfig};
 use sw_swdb::{LaneBatch, QueryProfile, SequenceProfile};
 
 /// The Smith-Waterman database search engine.
@@ -54,7 +54,7 @@ impl SearchEngine {
         let block_rows = config.effective_block_rows(db.lanes);
         let start = Instant::now();
 
-        let per_batch = run_parallel(
+        let per_batch = try_run_parallel(
             db.batches.len(),
             ExecutorConfig {
                 workers: config.threads,
@@ -64,7 +64,13 @@ impl SearchEngine {
                 let batch = &db.batches[bi];
                 self.run_batch(query, &qp, db, batch, config, block_rows)
             },
-        );
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "database search failed on {} lane batch(es): {e}",
+                e.failures.len().max(e.missing.len())
+            )
+        });
 
         let elapsed = start.elapsed();
         let mut hits = Vec::with_capacity(db.n_seqs());
@@ -118,7 +124,7 @@ impl SearchEngine {
         let block_rows = config.effective_block_rows(db.lanes);
         let start = Instant::now();
 
-        let per_task = run_parallel(
+        let per_task = try_run_parallel(
             queries.len() * n_batches,
             ExecutorConfig {
                 workers: config.threads,
@@ -129,7 +135,16 @@ impl SearchEngine {
                 let batch = &db.batches[bi];
                 self.run_batch(queries[qi], &qps[qi], db, batch, config, block_rows)
             },
-        );
+        )
+        .unwrap_or_else(|e| {
+            // Task ids are (query, batch) pairs; name the first culprit.
+            let ctx = e
+                .failures
+                .first()
+                .map(|f| format!("query {} batch {}", f.task / n_batches, f.task % n_batches))
+                .unwrap_or_else(|| "unexecuted tasks".into());
+            panic!("multi-query search failed ({ctx}): {e}")
+        });
         let elapsed = start.elapsed();
 
         let mut out: Vec<SearchResults> = Vec::with_capacity(queries.len());

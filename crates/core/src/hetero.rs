@@ -23,7 +23,8 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use sw_kernels::CellCount;
 use sw_sched::{
-    run_dual_pool, DeviceMetrics, DualPoolConfig, MetricsSink, DEVICE_ACCEL, DEVICE_CPU,
+    run_dual_pool_supervised, DeviceMetrics, DualPoolConfig, ExecError, FaultInjector, MetricsSink,
+    DEVICE_ACCEL, DEVICE_CPU,
 };
 use sw_swdb::chunk::{range_cells, split_by_cells};
 use sw_swdb::{BatchRange, QueryProfile};
@@ -136,6 +137,11 @@ impl HeteroEngine {
     ///
     /// Hits are identical to [`Self::search`] with the same plan — the
     /// scheduler moves work between devices, never changes scores.
+    ///
+    /// # Panics
+    /// Panics if the run fails terminally (a batch panics more often than
+    /// `config.recovery.max_chunk_retries` on every pool). Use
+    /// [`Self::search_dynamic_supervised`] to handle that as an error.
     pub fn search_dynamic(
         &self,
         query: &[u8],
@@ -143,7 +149,45 @@ impl HeteroEngine {
         plan: &SplitPlan,
         config: &HeteroSearchConfig,
     ) -> DynamicSearchOutcome {
+        self.search_dynamic_supervised(query, db, plan, config, &FaultInjector::none())
+            .unwrap_or_else(|e| panic!("dynamic heterogeneous search failed: {e}"))
+    }
+
+    /// [`Self::search_dynamic`] with an explicit fault injector and a
+    /// fallible signature — the full fault-tolerant path. Device workers
+    /// that die or wedge release their chunk lease back to the queue; the
+    /// surviving pool re-executes it, so a run that loses the whole
+    /// accelerator pool still returns the exact hit list (flagged
+    /// `degraded`). An `Err` only occurs when a batch fails persistently
+    /// on every pool (`config.recovery` budgets exhausted).
+    ///
+    /// Degenerate inputs are safe: an empty database returns empty
+    /// results without spawning workers, and a config with zero workers
+    /// in both pools is clamped to one CPU worker.
+    pub fn search_dynamic_supervised(
+        &self,
+        query: &[u8],
+        db: &PreparedDb,
+        plan: &SplitPlan,
+        config: &HeteroSearchConfig,
+        injector: &FaultInjector,
+    ) -> Result<DynamicSearchOutcome, ExecError> {
         assert!(!query.is_empty(), "query must not be empty");
+        if db.batches.is_empty() {
+            return Ok(DynamicSearchOutcome {
+                results: SearchResults::new(
+                    Vec::new(),
+                    std::time::Duration::ZERO,
+                    CellCount::default(),
+                    0,
+                ),
+                cpu: DeviceMetrics::default(),
+                accel: DeviceMetrics::default(),
+                boundary: 0,
+                accel_cell_fraction: 0.0,
+                degraded: [false, false],
+            });
+        }
         let qp = QueryProfile::build(query, &self.engine.params.matrix, &db.alphabet);
         let block_rows = [
             config.cpu.effective_block_rows(db.lanes),
@@ -151,17 +195,29 @@ impl HeteroEngine {
         ];
         let device_config = [&config.cpu, &config.accel];
         let m = query.len();
+        // An all-zero worker config would deadlock the queue; degrade it
+        // to a single CPU worker instead.
+        let mut cpu_workers = config.cpu.threads;
+        let accel_workers = config.accel.threads;
+        if cpu_workers + accel_workers == 0 {
+            cpu_workers = 1;
+        }
         let sink = MetricsSink::new();
         let start = Instant::now();
 
-        let per_batch = run_dual_pool(
+        let outcome = run_dual_pool_supervised(
             db.batches.len(),
             DualPoolConfig {
-                cpu_workers: config.cpu.threads,
-                accel_workers: config.accel.threads,
+                cpu_workers,
+                accel_workers,
                 initial_accel_fraction: plan.accel_cell_fraction,
                 min_chunk: config.min_chunk,
+                accel_timeout_ms: config.recovery.accel_timeout_ms,
+                failure_budget: config.recovery.failure_budget,
+                retry_backoff_ms: config.recovery.retry_backoff_ms,
+                max_chunk_retries: config.recovery.max_chunk_retries,
             },
+            injector,
             |bi| db.batches[bi].padded_cells(m),
             |device, bi| {
                 let cfg = device_config[device];
@@ -171,14 +227,14 @@ impl HeteroEngine {
                 (device, out)
             },
             &sink,
-        );
+        )?;
         let elapsed = start.elapsed();
 
         let mut hits: Vec<Hit> = Vec::with_capacity(db.n_seqs());
         let mut cells = CellCount::default();
         let mut rescued = 0u64;
         let mut boundary = 0usize;
-        for (device, (batch_hits, batch_cells, batch_rescued)) in per_batch {
+        for (device, (batch_hits, batch_cells, batch_rescued)) in outcome.results {
             if device == DEVICE_CPU {
                 boundary += 1;
             }
@@ -189,8 +245,10 @@ impl HeteroEngine {
         let cpu = sink.device(DEVICE_CPU);
         let accel = sink.device(DEVICE_ACCEL);
         let total_cells = cpu.cells + accel.cells;
-        DynamicSearchOutcome {
-            results: SearchResults::new(hits, elapsed, cells, rescued),
+        let degraded = outcome.degraded;
+        Ok(DynamicSearchOutcome {
+            results: SearchResults::new(hits, elapsed, cells, rescued)
+                .with_degraded(degraded[DEVICE_CPU] || degraded[DEVICE_ACCEL]),
             accel_cell_fraction: if total_cells == 0 {
                 0.0
             } else {
@@ -199,7 +257,8 @@ impl HeteroEngine {
             cpu,
             accel,
             boundary,
-        }
+            degraded,
+        })
     }
 }
 
@@ -221,6 +280,10 @@ pub struct DynamicSearchOutcome {
     /// the *emergent* split, comparable to the plan's
     /// `accel_cell_fraction`.
     pub accel_cell_fraction: f64,
+    /// Per-device degraded flags: true when that pool died mid-run and
+    /// the other pool finished its share. Also folded into
+    /// `results.degraded`.
+    pub degraded: [bool; 2],
 }
 
 #[cfg(test)]
@@ -412,6 +475,96 @@ mod tests {
             &HeteroSearchConfig::new(cpu_cfg, SearchConfig::best(2)),
         );
         assert_eq!(out.results.hits, reference.hits);
+    }
+
+    #[test]
+    fn killed_accel_pool_degrades_with_identical_hits() {
+        use sw_sched::{FaultKind, FaultPlan, FaultSpec};
+        // Lanes of 4 → ~50 batches: plenty of queue for the accel pool to
+        // reach its first chunk before the CPU pool can drain everything.
+        let a = Alphabet::protein();
+        let db = PreparedDb::prepare(generate_database(&DbSpec::tiny(29)), 4, &a);
+        let q = generate_query(100, 17).residues;
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+
+        // Reference: a fault-free CPU-only run.
+        let cpu_only = hetero.search_dynamic(&q, &db, &plan, &HeteroSearchConfig::best(2, 0));
+
+        // Fault run: the whole accelerator pool dies at its first chunk.
+        let inj = FaultInjector::new(FaultPlan::single(FaultSpec {
+            device: DEVICE_ACCEL,
+            chunk: 0,
+            kind: FaultKind::KillPool,
+        }));
+        let cfg = HeteroSearchConfig::best(2, 1);
+        let out = hetero
+            .search_dynamic_supervised(&q, &db, &plan, &cfg, &inj)
+            .expect("run must recover, not fail");
+
+        assert_eq!(
+            out.results.hits, cpu_only.results.hits,
+            "hit list must be identical to the CPU-only run"
+        );
+        assert!(out.degraded[DEVICE_ACCEL] && !out.degraded[DEVICE_CPU]);
+        assert!(out.results.degraded, "degradation surfaces on the results");
+        assert!(out.accel.degraded, "and on the device metrics");
+        assert!(out.accel.requeues >= 1, "the killed chunk was requeued");
+        assert!(out.accel.failures >= 1);
+        // The surviving pool executed every batch.
+        assert_eq!(out.cpu.tasks, db.batches.len() as u64);
+        assert_eq!(out.accel.tasks, 0);
+    }
+
+    #[test]
+    fn dynamic_search_empty_database_is_safe() {
+        let a = Alphabet::protein();
+        let db = PreparedDb::prepare(Vec::new(), 8, &a);
+        let q = generate_query(50, 3).residues;
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+        let out = hetero.search_dynamic(&q, &db, &plan, &HeteroSearchConfig::best(2, 2));
+        assert!(out.results.hits.is_empty());
+        assert_eq!(out.boundary, 0);
+        assert_eq!(out.degraded, [false, false]);
+        assert!(!out.results.degraded);
+        assert_eq!(out.cpu.tasks + out.accel.tasks, 0);
+        assert_eq!(out.accel_cell_fraction, 0.0);
+    }
+
+    #[test]
+    fn dynamic_search_zero_workers_clamped_to_one_cpu() {
+        let (db, q) = setup();
+        let engine = SearchEngine::paper_default();
+        let single = engine.search(&q, &db, &SearchConfig::best(1));
+        let hetero = HeteroEngine::new(engine);
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+        let out = hetero.search_dynamic(&q, &db, &plan, &HeteroSearchConfig::best(0, 0));
+        assert_eq!(out.results.hits, single.hits);
+        assert_eq!(out.cpu.tasks, db.batches.len() as u64);
+        assert_eq!(out.accel.tasks, 0);
+    }
+
+    #[test]
+    fn dynamic_search_more_workers_than_batches() {
+        let a = Alphabet::protein();
+        let spec = DbSpec {
+            n_seqs: 5,
+            mean_len: 80.0,
+            max_len: 120,
+            seed: 9,
+        };
+        // 5 sequences in 8-lane batches → a single batch, 8 workers.
+        let db = PreparedDb::prepare(generate_database(&spec), 8, &a);
+        assert_eq!(db.batches.len(), 1);
+        let q = generate_query(60, 2).residues;
+        let engine = SearchEngine::paper_default();
+        let single = engine.search(&q, &db, &SearchConfig::best(1));
+        let hetero = HeteroEngine::new(engine);
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+        let out = hetero.search_dynamic(&q, &db, &plan, &HeteroSearchConfig::best(4, 4));
+        assert_eq!(out.results.hits, single.hits);
+        assert_eq!(out.cpu.tasks + out.accel.tasks, 1, "one batch, once");
     }
 
     #[test]

@@ -41,10 +41,11 @@ pub mod simulate;
 pub mod stats;
 pub mod verify;
 
-pub use config::{HeteroSearchConfig, SearchConfig};
+pub use config::{HeteroSearchConfig, RecoveryConfig, SearchConfig};
 pub use engine::SearchEngine;
 pub use hetero::{DynamicSearchOutcome, HeteroEngine, SplitPlan};
 pub use prepare::PreparedDb;
+pub use report::SearchSummary;
 pub use results::{Hit, SearchResults};
 pub use simulate::{
     simulate_hetero, simulate_hetero_dynamic, simulate_search, HeteroDynReport, HeteroReport,

@@ -58,6 +58,53 @@ impl HitReport {
     }
 }
 
+/// One-look summary of a whole search run — what a service health page
+/// or the CLI footer prints, including whether the run degraded to a
+/// single device pool.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SearchSummary {
+    /// Number of database sequences scored.
+    pub hits: usize,
+    /// Best raw score (0 for an empty result list).
+    pub best_score: i64,
+    /// Measured throughput over real cells.
+    pub gcups: f64,
+    /// Saturated vector lanes recomputed exactly.
+    pub lanes_rescued: u64,
+    /// True when a device pool died mid-run and the search completed on
+    /// the surviving pool.
+    pub degraded: bool,
+}
+
+impl SearchSummary {
+    /// Summarise a result set.
+    pub fn of(results: &SearchResults) -> Self {
+        SearchSummary {
+            hits: results.hits.len(),
+            best_score: results.hits.first().map_or(0, |h| h.score),
+            gcups: results.gcups().value(),
+            lanes_rescued: results.lanes_rescued,
+            degraded: results.degraded,
+        }
+    }
+
+    /// Render the single status line.
+    pub fn render(&self) -> String {
+        format!(
+            "{} hits, best {}, {:.3} GCUPS, {} lanes rescued{}",
+            self.hits,
+            self.best_score,
+            self.gcups,
+            self.lanes_rescued,
+            if self.degraded {
+                " [DEGRADED: completed on one device pool]"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
 /// Build full reports for the top `k` hits of `results`.
 pub fn report_top_hits(
     query: &[u8],
@@ -141,6 +188,20 @@ mod tests {
         assert_eq!(fields.len(), 12, "outfmt-6 has 12 columns: {line}");
         assert_eq!(fields[0], "query1");
         assert_eq!(fields[2], "100.0");
+    }
+
+    #[test]
+    fn summary_reports_degradation() {
+        let (db, query, engine) = setup();
+        let res = engine.search(&query, &db, &SearchConfig::best(1));
+        let clean = SearchSummary::of(&res);
+        assert_eq!(clean.hits, db.n_seqs());
+        assert!(clean.best_score > 0);
+        assert!(!clean.degraded);
+        assert!(!clean.render().contains("DEGRADED"));
+        let degraded = SearchSummary::of(&res.with_degraded(true));
+        assert!(degraded.degraded);
+        assert!(degraded.render().contains("DEGRADED"));
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct SearchResults {
     pub cells: CellCount,
     /// Vector lanes that saturated and were recomputed exactly.
     pub lanes_rescued: u64,
+    /// True when a device pool died during the search and the run
+    /// degraded to the surviving pool. Hits are still exact and complete
+    /// — degradation costs time, never correctness.
+    pub degraded: bool,
 }
 
 impl SearchResults {
@@ -42,7 +46,14 @@ impl SearchResults {
             elapsed,
             cells,
             lanes_rescued,
+            degraded: false,
         }
+    }
+
+    /// Same results, flagged as produced by a degraded run.
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
     }
 
     /// The `k` best hits.
@@ -68,6 +79,7 @@ impl SearchResults {
             cells,
             self.lanes_rescued + other.lanes_rescued,
         )
+        .with_degraded(self.degraded || other.degraded)
     }
 }
 
@@ -132,6 +144,17 @@ mod tests {
         assert_eq!(m.cells.real, 150);
         assert_eq!(m.elapsed, Duration::from_secs(3));
         assert_eq!(m.lanes_rescued, 1);
+    }
+
+    #[test]
+    fn degraded_flag_survives_merge() {
+        let clean = SearchResults::new(vec![hit(0, 1)], Duration::ZERO, CellCount::default(), 0);
+        assert!(!clean.degraded, "fresh results are not degraded");
+        let bad = SearchResults::new(vec![hit(1, 2)], Duration::ZERO, CellCount::default(), 0)
+            .with_degraded(true);
+        assert!(clean.clone().merge(bad.clone()).degraded);
+        assert!(bad.merge(clean.clone()).degraded);
+        assert!(!clean.clone().merge(clean).degraded);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum EventKind {
     },
     /// Host blocked in `wait(sem)`.
     HostWait,
+    /// The device died mid-kernel: the offload produced no results and
+    /// the host must re-run the share itself (graceful degradation).
+    DeviceFault {
+        /// Human-readable label of the failed kernel.
+        label: String,
+    },
 }
 
 /// One interval on the timeline.
@@ -55,6 +61,21 @@ pub struct Signal {
     /// Device-clock time at which the offload's results are visible to
     /// the host.
     completion_s: f64,
+    /// True when the offload died mid-kernel and produced no results.
+    failed: bool,
+}
+
+/// What [`OffloadSim::wait_timeout`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WaitOutcome {
+    /// The offload's results are visible; the host may merge them.
+    Completed,
+    /// The offload was still silent when the timeout expired. The host
+    /// gave up waiting and must treat the share as lost.
+    TimedOut,
+    /// The offload died mid-kernel; the host saw the fault as soon as it
+    /// reached the wait.
+    Failed,
 }
 
 /// The offload runtime simulator.
@@ -115,7 +136,45 @@ impl OffloadSim {
             kind: EventKind::TransferOut { bytes: out_bytes },
         });
         self.device_clock = t3;
-        Signal { completion_s: t3 }
+        Signal {
+            completion_s: t3,
+            failed: false,
+        }
+    }
+
+    /// An offload whose kernel dies after `fail_after_s` seconds of
+    /// device time: the input transfer happens, the kernel runs partially,
+    /// then a [`EventKind::DeviceFault`] is recorded — no output transfer,
+    /// no results. Waiting on the returned signal reports
+    /// [`WaitOutcome::Failed`] and the host must recompute the share.
+    pub fn offload_async_failing(
+        &mut self,
+        in_bytes: u64,
+        fail_after_s: f64,
+        label: &str,
+    ) -> Signal {
+        assert!(fail_after_s >= 0.0, "fault time must be non-negative");
+        self.host_clock += self.link.launch_s;
+        let t0 = self.host_clock.max(self.device_clock);
+        let t1 = t0 + self.link.transfer_time(in_bytes);
+        self.timeline.push(Event {
+            start_s: t0,
+            end_s: t1,
+            kind: EventKind::TransferIn { bytes: in_bytes },
+        });
+        let t2 = t1 + fail_after_s;
+        self.timeline.push(Event {
+            start_s: t1,
+            end_s: t2,
+            kind: EventKind::DeviceFault {
+                label: label.into(),
+            },
+        });
+        self.device_clock = t2;
+        Signal {
+            completion_s: t2,
+            failed: true,
+        }
     }
 
     /// Host-side compute for `secs` (Algorithm 2 line 12: the CPU share).
@@ -145,12 +204,44 @@ impl OffloadSim {
         }
     }
 
+    /// Fault-aware wait with a deadline: block until the offload
+    /// completes, fails, or `timeout_s` of host time elapses, whichever
+    /// comes first. A timed-out wait leaves the host clock at the
+    /// deadline — the production pattern for detecting a wedged device
+    /// (the real executor's `accel_timeout_ms` is the same guard).
+    pub fn wait_timeout(&mut self, sig: Signal, timeout_s: f64) -> WaitOutcome {
+        assert!(
+            timeout_s >= 0.0 && timeout_s.is_finite(),
+            "timeout must be finite and non-negative"
+        );
+        let deadline = self.host_clock + timeout_s;
+        // The signal (completion or fault) becomes visible at
+        // `completion_s`; past the deadline the host stops watching.
+        let until = sig.completion_s.min(deadline);
+        if until > self.host_clock {
+            self.timeline.push(Event {
+                start_s: self.host_clock,
+                end_s: until,
+                kind: EventKind::HostWait,
+            });
+            self.host_clock = until;
+        }
+        if sig.completion_s > deadline {
+            WaitOutcome::TimedOut
+        } else if sig.failed {
+            WaitOutcome::Failed
+        } else {
+            WaitOutcome::Completed
+        }
+    }
+
     /// Current host clock (wall-clock of the heterogeneous run so far).
     pub fn elapsed(&self) -> f64 {
         self.host_clock
     }
 
-    /// Device busy time (transfers + kernels) — energy accounting input.
+    /// Device busy time (transfers + kernels, including the burnt time of
+    /// a kernel that died mid-run) — energy accounting input.
     pub fn device_busy(&self) -> f64 {
         self.timeline
             .iter()
@@ -160,6 +251,7 @@ impl OffloadSim {
                     EventKind::TransferIn { .. }
                         | EventKind::Kernel { .. }
                         | EventKind::TransferOut { .. }
+                        | EventKind::DeviceFault { .. }
                 )
             })
             .map(|e| e.end_s - e.start_s)
@@ -200,6 +292,7 @@ impl OffloadSim {
                 EventKind::HostWait => (&mut host, b'.'),
                 EventKind::Kernel { .. } => (&mut device, b'#'),
                 EventKind::TransferIn { .. } | EventKind::TransferOut { .. } => (&mut device, b'='),
+                EventKind::DeviceFault { .. } => (&mut device, b'X'),
             };
             let (a, b) = (col(e.start_s), col(e.end_s));
             for c in row.iter_mut().take(b + 1).skip(a) {
@@ -207,7 +300,7 @@ impl OffloadSim {
             }
         }
         format!(
-            "host   |{}|\ndevice |{}|  ({:.3}s total; # compute, = transfer, . wait)",
+            "host   |{}|\ndevice |{}|  ({:.3}s total; # compute, = transfer, . wait, X fault)",
             String::from_utf8(host).expect("ascii"),
             String::from_utf8(device).expect("ascii"),
             span
@@ -229,6 +322,7 @@ impl OffloadSim {
                     EventKind::TransferIn { .. }
                         | EventKind::Kernel { .. }
                         | EventKind::TransferOut { .. }
+                        | EventKind::DeviceFault { .. }
                 )
             })
             .map(|e| (e.start_s, e.end_s))
@@ -331,6 +425,59 @@ mod tests {
             host_row.find('|').map(|a| host_row.rfind('|').unwrap() - a),
             dev_row.find('|').map(|a| dev_row.rfind('|').unwrap() - a)
         );
+    }
+
+    #[test]
+    fn failing_offload_reports_failed_wait() {
+        let mut sim = OffloadSim::new(link());
+        let sig = sim.offload_async_failing(1000, 2.0, "doomed");
+        sim.host_compute(1.0, "cpu share");
+        assert_eq!(sim.wait_timeout(sig, 100.0), WaitOutcome::Failed);
+        assert!(sim
+            .timeline()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DeviceFault { .. })));
+        // No output transfer ever happened.
+        assert!(!sim
+            .timeline()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::TransferOut { .. })));
+        // The burnt device time still counts toward energy accounting.
+        assert!(sim.device_busy() > 2.0);
+        assert!(sim.check_causality());
+    }
+
+    #[test]
+    fn wedged_offload_times_out_at_the_deadline() {
+        let mut sim = OffloadSim::new(link());
+        // A kernel that would take 100 s models a wedged device.
+        let sig = sim.offload_async(0, 100.0, 0, "wedged");
+        let before = sim.elapsed();
+        assert_eq!(sim.wait_timeout(sig, 5.0), WaitOutcome::TimedOut);
+        // The host stopped watching exactly at the deadline.
+        assert!((sim.elapsed() - (before + 5.0)).abs() < 1e-9);
+        assert!(sim.check_causality());
+    }
+
+    #[test]
+    fn healthy_offload_completes_within_timeout() {
+        let mut sim = OffloadSim::new(link());
+        let sig = sim.offload_async(0, 1.0, 0, "k");
+        assert_eq!(sim.wait_timeout(sig, 50.0), WaitOutcome::Completed);
+        // wait_timeout leaves the clock where plain wait would have.
+        let mut reference = OffloadSim::new(link());
+        let sig2 = reference.offload_async(0, 1.0, 0, "k");
+        reference.wait(sig2);
+        assert!((sim.elapsed() - reference.elapsed()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_offload_renders_fault_marker() {
+        let mut sim = OffloadSim::new(link());
+        let sig = sim.offload_async_failing(1_000_000_000, 5.0, "dead");
+        sim.wait_timeout(sig, 100.0);
+        let text = sim.render_timeline(60);
+        assert!(text.lines().nth(1).unwrap().contains('X'));
     }
 
     #[test]

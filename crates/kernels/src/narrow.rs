@@ -358,6 +358,63 @@ mod tests {
     }
 
     #[test]
+    fn cascade_exact_at_i8_max_boundary() {
+        // BLOSUM62 self-scores: W=11, G=6. Eleven Ws and one G self-align
+        // to 11·11 + 6 = 127 = i8::MAX exactly. A lane at exactly 127 is
+        // indistinguishable from a capped one, so the narrow pass must
+        // flag it and the cascade must still return the exact score.
+        let (a, p) = setup();
+        let w = a.encode_byte(b'W').unwrap();
+        let g = a.encode_byte(b'G').unwrap();
+        let mut seq = vec![w; 11];
+        seq.push(g);
+        let scalar = sw_score_scalar(&seq, &seq, &p);
+        assert_eq!(scalar, i8::MAX as i64, "construction lands on i8::MAX");
+        let batch = make_batch::<2>(&a, std::slice::from_ref(&seq));
+        let (qp, qp8, sp, sp8) = profiles(&a, &p, &seq, &batch);
+        let mut ws8 = NarrowWorkspace::<2>::new();
+        let mut ws16 = Workspace::<2>::new();
+        let narrow = sw_narrow_sp::<2>(&seq, &sp8, &batch, &p.gap, &mut ws8);
+        assert!(narrow.saturated[0], "a lane at exactly i8::MAX is flagged");
+        let (o_sp, s_sp) =
+            sw_adaptive_sp::<2>(&seq, &sp, &sp8, &batch, &p.gap, &mut ws8, &mut ws16);
+        let (o_qp, s_qp) = sw_adaptive_qp::<2>(&qp, &qp8, &batch, &p.gap, &mut ws8, &mut ws16);
+        assert_eq!(o_sp, o_qp);
+        assert_eq!(o_sp.scores[0], scalar);
+        assert_eq!(s_sp.widened_i16, 1);
+        assert_eq!(s_qp.widened_i16, 1);
+        assert!(!o_sp.overflowed[0], "127 fits comfortably in i16");
+    }
+
+    #[test]
+    fn cascade_exact_at_i16_max_boundary() {
+        // 2975 Ws and seven Gs self-align to 2975·11 + 7·6 = 32 767 =
+        // i16::MAX exactly: the wide pass must flag the lane (the value is
+        // indistinguishable from saturation) and the i64 rescue must agree
+        // with the scalar reference.
+        let (a, p) = setup();
+        let w = a.encode_byte(b'W').unwrap();
+        let g = a.encode_byte(b'G').unwrap();
+        let mut seq = vec![w; 2975];
+        seq.resize(2982, g);
+        let scalar = sw_score_scalar(&seq, &seq, &p);
+        assert_eq!(scalar, i16::MAX as i64, "construction lands on i16::MAX");
+        let batch = make_batch::<2>(&a, std::slice::from_ref(&seq));
+        let (_, _, sp, sp8) = profiles(&a, &p, &seq, &batch);
+        let mut ws8 = NarrowWorkspace::<2>::new();
+        let mut ws16 = Workspace::<2>::new();
+        let (mut out, stats) =
+            sw_adaptive_sp::<2>(&seq, &sp, &sp8, &batch, &p.gap, &mut ws8, &mut ws16);
+        assert_eq!(stats.widened_i16, 1);
+        assert_eq!(out.scores[0], i16::MAX as i64);
+        assert!(out.overflowed[0], "a lane at exactly i16::MAX is flagged");
+        let lane_seqs: Vec<&[u8]> = vec![&seq];
+        let rescue = crate::overflow::rescue_overflows(&mut out, &seq, &batch, &lane_seqs, &p);
+        assert_eq!(rescue.lanes_rescued, 1);
+        assert_eq!(out.scores[0], scalar, "rescue agrees with scalar");
+    }
+
+    #[test]
     fn narrow_fuzz_cascade_against_scalar() {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};

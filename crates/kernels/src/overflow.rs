@@ -124,4 +124,14 @@ mod tests {
         assert!(fits_i16(2978, 2978, 11));
         assert!(!fits_i16(2979, 2979, 11));
     }
+
+    #[test]
+    fn fits_i16_exact_off_by_one() {
+        // With a unit matrix the bound lands exactly on i16::MAX: a bound
+        // *equal* to the saturation value must not fit, because a lane at
+        // i16::MAX is indistinguishable from a capped one.
+        assert_eq!(score_upper_bound(32_767, 40_000, 1), i16::MAX as i64);
+        assert!(!fits_i16(32_767, 40_000, 1));
+        assert!(fits_i16(32_766, 40_000, 1));
+    }
 }

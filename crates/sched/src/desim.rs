@@ -9,8 +9,8 @@
 //! and the thread-scaling curves of Figs. 3 and 5.
 
 use crate::policy::{
-    adaptive_chunk, static_partition, ChunkDispenser, DualQueue, Policy, SplitEstimator,
-    DEVICE_ACCEL, DEVICE_CPU,
+    adaptive_chunk, static_partition, ChunkDispenser, DualQueue, Policy, RequeueQueue,
+    SplitEstimator, DEVICE_ACCEL, DEVICE_CPU,
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -204,6 +204,12 @@ pub struct DualPoolSimConfig {
     pub initial_accel_fraction: f64,
     /// Smallest chunk either pool grabs.
     pub min_chunk: usize,
+    /// Injected failure, mirroring the executor's `KillPool` fault: the
+    /// accelerator pool dies as it starts its Nth chunk (0-based). The
+    /// claimed chunk is released to the requeue list and the surviving
+    /// CPU pool absorbs it plus everything left in the queue. `None`
+    /// simulates a fault-free run.
+    pub accel_fail_after_chunks: Option<usize>,
 }
 
 /// Result of one simulated dual-pool loop.
@@ -220,8 +226,21 @@ pub struct DualPoolSimResult {
     /// Chunks grabbed per device pool.
     pub device_chunks: [usize; 2],
     /// Where the pools met: the CPU pool executed tasks `0..boundary`,
-    /// the accelerator pool `boundary..n_tasks`.
+    /// the accelerator pool `boundary..n_tasks`. Requeued ranges a CPU
+    /// worker re-executes after an accelerator failure are *not* folded
+    /// into the boundary — they lie beyond it by construction.
     pub boundary: usize,
+    /// Chunks released back to the requeue list by the injected failure.
+    pub requeued_chunks: usize,
+    /// Tasks inside those requeued chunks.
+    pub requeued_tasks: usize,
+    /// Per-device degraded flag (a pool died and was retired) — mirrors
+    /// the executor's `DualPoolOutcome::degraded`.
+    pub degraded: [bool; 2],
+    /// Tasks left unexecuted because no live worker remained to drain the
+    /// requeue list (only possible when the surviving pool is empty).
+    /// This is the simulated analogue of the executor's `ExecError`.
+    pub unrecovered_tasks: usize,
 }
 
 impl DualPoolSimResult {
@@ -244,6 +263,12 @@ impl DualPoolSimResult {
 /// [`SplitEstimator`] + [`adaptive_chunk`] feedback policy the real
 /// executor runs. Deterministic, so tests can compare a simulated split
 /// against a real run's metrics.
+///
+/// The failure model mirrors the executor's recovery algorithm: when
+/// [`DualPoolSimConfig::accel_fail_after_chunks`] fires, the claimed
+/// chunk goes back on a [`RequeueQueue`], the accelerator pool is
+/// retired (degraded), and idle CPU workers — which *linger* rather than
+/// retire while a failure is still possible — wake up to absorb it.
 ///
 /// # Panics
 /// Panics when both pools are empty, speeds are non-positive, cells are
@@ -284,49 +309,104 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
         }
     }
 
+    let mut requeue = RequeueQueue::new();
+    // Workers idling on an empty queue. They cannot retire while a
+    // pool-kill could still orphan a claimed chunk, so they park here
+    // (the real executor's linger state) and wake when a requeue lands.
+    let mut parked: Vec<(f64, usize, usize)> = Vec::new();
+    let mut accel_chunk_counter = 0usize;
+    let mut degraded = [false; 2];
+    let mut requeued_chunks = 0usize;
+    let mut requeued_tasks = 0usize;
+
     let mut makespan = 0.0f64;
     while let Some(Reverse((Time(t), device, w))) = heap.pop() {
-        let accel_share = estimator.accel_share(
-            device_cells[DEVICE_CPU].round() as u64,
-            (device_busy[DEVICE_CPU] * 1e9).round() as u64,
-            device_cells[DEVICE_ACCEL].round() as u64,
-            (device_busy[DEVICE_ACCEL] * 1e9).round() as u64,
-        );
-        let my_share = if device == DEVICE_CPU {
-            1.0 - accel_share
-        } else {
-            accel_share
-        };
-        let k = adaptive_chunk(
-            queue.remaining(),
-            my_share,
-            pool_workers[device],
-            config.min_chunk,
-        );
-        let grabbed = if device == DEVICE_CPU {
-            queue.take_front(k)
-        } else {
-            queue.take_back(k)
+        if degraded[device] {
+            // Retired pool: the worker exits without grabbing.
+            makespan = makespan.max(t);
+            continue;
+        }
+        // Requeued ranges take priority over fresh chunks, exactly like
+        // the executor's acquire path.
+        let (grabbed, from_requeue) = match requeue.pop() {
+            Some((range, _attempts)) => (Some(range), true),
+            None => {
+                let accel_share = estimator.accel_share(
+                    device_cells[DEVICE_CPU].round() as u64,
+                    (device_busy[DEVICE_CPU] * 1e9).round() as u64,
+                    device_cells[DEVICE_ACCEL].round() as u64,
+                    (device_busy[DEVICE_ACCEL] * 1e9).round() as u64,
+                );
+                let my_share = if device == DEVICE_CPU {
+                    1.0 - accel_share
+                } else {
+                    accel_share
+                };
+                let k = adaptive_chunk(
+                    queue.remaining(),
+                    my_share,
+                    pool_workers[device],
+                    config.min_chunk,
+                );
+                let g = if device == DEVICE_CPU {
+                    queue.take_front(k)
+                } else {
+                    queue.take_back(k)
+                };
+                (g, false)
+            }
         };
         match grabbed {
             Some((s, e)) => {
+                if device == DEVICE_ACCEL {
+                    let n = accel_chunk_counter;
+                    accel_chunk_counter += 1;
+                    if config.accel_fail_after_chunks == Some(n) {
+                        // Pool-kill fires as this chunk starts: the claimed
+                        // range is released to the requeue list and the
+                        // whole accelerator pool retires. Parked workers
+                        // wake to absorb the orphaned chunk.
+                        requeue.push((s, e), 1);
+                        requeued_chunks += 1;
+                        requeued_tasks += e - s;
+                        degraded[DEVICE_ACCEL] = true;
+                        makespan = makespan.max(t);
+                        for (pt, pd, pw) in parked.drain(..) {
+                            heap.push(Reverse((Time(pt.max(t)), pd, pw)));
+                        }
+                        continue;
+                    }
+                }
                 let chunk_cells: f64 = cells[s..e].iter().sum();
                 let work = chunk_cells / speeds[device];
                 device_busy[device] += work;
                 device_tasks[device] += e - s;
                 device_cells[device] += chunk_cells;
                 device_chunks[device] += 1;
-                if device == DEVICE_CPU {
+                if device == DEVICE_CPU && !from_requeue {
                     boundary = boundary.max(e);
                 }
                 heap.push(Reverse((Time(t + work), device, w)));
             }
-            None => makespan = makespan.max(t),
+            None => {
+                makespan = makespan.max(t);
+                if config.accel_fail_after_chunks.is_some() && !degraded[DEVICE_ACCEL] {
+                    // A kill may still orphan a chunk: linger instead of
+                    // retiring. Woken at most once, so this terminates.
+                    parked.push((t, device, w));
+                }
+            }
         }
     }
     // CPU never grabbed anything: the pools met at task 0.
     if device_tasks[DEVICE_CPU] == 0 {
         boundary = 0;
+    }
+    // Anything still on the requeue list had no live worker left to run
+    // it — the simulated analogue of the executor returning `ExecError`.
+    let mut unrecovered_tasks = 0usize;
+    while let Some(((s, e), _)) = requeue.pop() {
+        unrecovered_tasks += e - s;
     }
     DualPoolSimResult {
         makespan,
@@ -335,6 +415,10 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
         device_cells,
         device_chunks,
         boundary,
+        requeued_chunks,
+        requeued_tasks,
+        degraded,
+        unrecovered_tasks,
     }
 }
 
@@ -523,6 +607,7 @@ mod tests {
             accel_speed: 4e9,
             initial_accel_fraction: 0.5,
             min_chunk: 1,
+            accel_fail_after_chunks: None,
         }
     }
 
@@ -602,6 +687,83 @@ mod tests {
         let a = simulate_dual_pool(&cells, dual_cfg());
         let b = simulate_dual_pool(&cells, dual_cfg());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dual_pool_kill_recovers_all_tasks() {
+        let cells: Vec<f64> = (1..=200).map(|i| i as f64 * 1e6).collect();
+        let mut cfg = dual_cfg();
+        cfg.accel_fail_after_chunks = Some(2);
+        let r = simulate_dual_pool(&cells, cfg);
+        assert_eq!(r.degraded, [false, true]);
+        assert_eq!(r.requeued_chunks, 1);
+        assert!(r.requeued_tasks >= 1);
+        assert_eq!(r.unrecovered_tasks, 0, "CPU pool absorbs the orphan");
+        assert_eq!(r.device_tasks[0] + r.device_tasks[1], 200);
+        let total: f64 = cells.iter().sum();
+        assert!((r.device_cells[0] + r.device_cells[1] - total).abs() < 1.0);
+        // The accel pool completed exactly the chunks before the kill.
+        assert_eq!(r.device_chunks[DEVICE_ACCEL], 2);
+    }
+
+    #[test]
+    fn dual_pool_kill_at_first_chunk_degrades_to_cpu_only() {
+        let cells = vec![1e6; 120];
+        let mut cfg = dual_cfg();
+        cfg.accel_fail_after_chunks = Some(0);
+        let r = simulate_dual_pool(&cells, cfg);
+        assert_eq!(r.degraded, [false, true]);
+        assert_eq!(r.device_tasks[DEVICE_ACCEL], 0);
+        assert_eq!(r.device_tasks[DEVICE_CPU], 120);
+        assert_eq!(r.unrecovered_tasks, 0);
+        // Degraded makespan matches a CPU-only run to first order: all
+        // cells at CPU speed across the CPU workers.
+        let cpu_only: f64 = 120.0 * 1e6 / 1e9 / 4.0;
+        assert!(r.makespan >= cpu_only - 1e-9, "{}", r.makespan);
+    }
+
+    #[test]
+    fn dual_pool_kill_never_reached_matches_clean_run() {
+        let cells: Vec<f64> = (0..300).map(|i| ((i * 13) % 37 + 1) as f64 * 1e5).collect();
+        let clean = simulate_dual_pool(&cells, dual_cfg());
+        let mut cfg = dual_cfg();
+        cfg.accel_fail_after_chunks = Some(1_000_000);
+        let armed = simulate_dual_pool(&cells, cfg);
+        assert_eq!(clean, armed, "unfired fault must not perturb the run");
+        assert_eq!(clean.degraded, [false, false]);
+        assert_eq!(clean.requeued_chunks, 0);
+    }
+
+    #[test]
+    fn dual_pool_kill_with_no_survivors_loses_tasks() {
+        let cells = vec![1e6; 80];
+        let mut cfg = dual_cfg();
+        cfg.cpu_workers = 0;
+        cfg.accel_fail_after_chunks = Some(1);
+        let r = simulate_dual_pool(&cells, cfg);
+        assert_eq!(r.degraded, [false, true]);
+        assert_eq!(r.device_tasks[DEVICE_CPU], 0);
+        assert_eq!(
+            r.device_chunks[DEVICE_ACCEL], 1,
+            "one chunk before the kill"
+        );
+        assert_eq!(
+            r.unrecovered_tasks, r.requeued_tasks,
+            "no pool left to drain the requeue: the orphan stays orphaned"
+        );
+        assert!(r.unrecovered_tasks > 0);
+        assert!(r.device_tasks[DEVICE_ACCEL] + r.unrecovered_tasks <= 80);
+    }
+
+    #[test]
+    fn dual_pool_degraded_run_is_deterministic() {
+        let cells: Vec<f64> = (0..250).map(|i| ((i * 7) % 23 + 1) as f64 * 2e5).collect();
+        let mut cfg = dual_cfg();
+        cfg.accel_fail_after_chunks = Some(3);
+        let a = simulate_dual_pool(&cells, cfg);
+        let b = simulate_dual_pool(&cells, cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.degraded, [false, true]);
     }
 
     #[test]

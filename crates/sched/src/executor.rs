@@ -2,32 +2,55 @@
 //!
 //! Two executors share this module:
 //!
-//! * [`run_parallel`] — runs a task closure over `0..n_tasks` with the
-//!   same scheduling policies the simulator models, on actual OS threads:
-//!   `std::thread::scope` plus an atomic chunk counter (dynamic/guided)
-//!   or a pre-partition (static). This is what the single-device search
-//!   engine uses; results are collected in task order.
-//! * [`run_dual_pool`] — the heterogeneous executor: two device worker
-//!   pools (CPU share and accelerator share) pull lane batches from the
-//!   two ends of one shared work queue, with an adaptive feedback
-//!   estimator re-balancing the remaining queue from observed per-device
-//!   throughput. Per-worker metrics are recorded through a
-//!   [`MetricsSink`].
+//! * [`run_parallel`] / [`try_run_parallel`] — run a task closure over
+//!   `0..n_tasks` with the same scheduling policies the simulator models,
+//!   on actual OS threads: `std::thread::scope` plus an atomic chunk
+//!   counter (dynamic/guided) or a pre-partition (static). This is what
+//!   the single-device search engine uses; results are collected in task
+//!   order. A panicking task no longer poisons the result slots: the
+//!   panic is captured per task and surfaced as a structured
+//!   [`ExecError`] naming the failed task indices.
+//! * [`run_dual_pool`] / [`run_dual_pool_supervised`] — the heterogeneous
+//!   executor: two device worker pools (CPU share and accelerator share)
+//!   pull lane batches from the two ends of one shared work queue, with
+//!   an adaptive feedback estimator re-balancing the remaining queue from
+//!   observed per-device throughput. Every claimed chunk is covered by a
+//!   *lease*; a chunk whose holder dies (panic, injected kill) is
+//!   requeued and re-executed by a surviving worker, a chunk whose holder
+//!   wedges is reclaimed after `accel_timeout_ms`, and a pool that
+//!   exhausts its failure budget is retired so the run *degrades* to the
+//!   other pool instead of hanging or crashing. Per-worker metrics and
+//!   recovery events are recorded through a [`MetricsSink`].
 //!
 //! Built on std scoped threads + atomics rather than a work-stealing pool
 //! so the *policy* is exactly the one being studied — a generic pool
 //! would silently replace the schedule under test. Workers buffer each
 //! chunk's results locally and commit them under a single lock
 //! acquisition, so the slot mutex is taken once per chunk, not per task.
+//!
+//! Because task results are pure functions of the task index, re-executing
+//! a requeued chunk (or double-executing one whose slow holder finished
+//! after its lease was reclaimed) commits identical values — recovery
+//! never changes the output, only who computed it.
 
-use crate::metrics::{MetricsSink, WorkerSample};
+use crate::fault::{FaultInjector, FaultKind};
+use crate::metrics::{MetricsSink, RecoveryEvent, WorkerSample};
 use crate::policy::{
-    adaptive_chunk, static_partition, Policy, SplitEstimator, DEVICE_ACCEL, DEVICE_CPU,
+    adaptive_chunk, static_partition, DualQueue, Policy, RequeueQueue, SplitEstimator,
+    DEVICE_ACCEL, DEVICE_CPU,
 };
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps while waiting for requeued work or
+/// outstanding leases to resolve.
+const LINGER_POLL: Duration = Duration::from_micros(200);
+/// How often a wedged worker checks whether its lease was reclaimed.
+const WEDGE_POLL: Duration = Duration::from_millis(1);
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,8 +71,99 @@ impl ExecutorConfig {
     }
 }
 
+/// One task that failed (panicked) during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Device pool the failing worker belonged to (`None` for the
+    /// single-device executor).
+    pub device: Option<usize>,
+    /// The task index whose execution panicked.
+    pub task: usize,
+    /// The captured panic message.
+    pub message: String,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.device {
+            Some(DEVICE_CPU) => write!(f, "task {} (cpu pool): {}", self.task, self.message),
+            Some(DEVICE_ACCEL) => write!(f, "task {} (accel pool): {}", self.task, self.message),
+            Some(d) => write!(f, "task {} (device {d}): {}", self.task, self.message),
+            None => write!(f, "task {}: {}", self.task, self.message),
+        }
+    }
+}
+
+/// Structured failure of a parallel region: which tasks panicked (with
+/// captured messages) and which task ranges were left unexecuted.
+///
+/// Replaces the old behaviour where one panicking task poisoned the
+/// result-slot mutex and every other worker died with an opaque
+/// `PoisonError` cascade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Tasks whose execution panicked (terminally — retries exhausted,
+    /// where retries apply).
+    pub failures: Vec<TaskError>,
+    /// `[start, end)` task ranges that were never successfully executed.
+    pub missing: Vec<(usize, usize)>,
+}
+
+impl ExecError {
+    /// Total number of tasks left without a result.
+    pub fn unexecuted_tasks(&self) -> usize {
+        self.missing.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} task failure(s)", self.failures.len())?;
+        if let Some(first) = self.failures.first() {
+            write!(f, " (first: {first})")?;
+        }
+        if !self.missing.is_empty() {
+            write!(f, "; {} task(s) left unexecuted", self.unexecuted_tasks())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Locks never stay poisoned here: a panicking task is captured *inside*
+/// the worker, and the shared tables hold only plain data that is mutated
+/// in whole-record steps, so the value behind a poisoned lock is still
+/// coherent.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a captured panic payload as text for [`TaskError::message`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked with a non-string payload".to_string()
+    }
+}
+
 /// Grab the next chunk for dynamic/guided policies from the shared
 /// counter. Returns `None` when the loop is exhausted.
+///
+/// Memory-ordering audit (satellite of the fault-tolerance PR): the
+/// `Relaxed` initial load is only an *optimistic read* — the claim itself
+/// is the CAS, which is atomic on the counter's modification order under
+/// every ordering, so two grabbers can never both succeed from the same
+/// `start` and claims can never overlap or skip indices. No cross-thread
+/// data is published through this counter (results travel through the
+/// `Slots` mutex, task inputs are read-only and published by the scoped
+/// spawn), so even fully `Relaxed` orderings would be correct; `AcqRel`
+/// on success is kept as cheap belt-and-braces. The stress test
+/// `grab_chunk_stress_every_index_exactly_once` hammers this with more
+/// threads than cores.
 fn grab_chunk(
     next: &AtomicUsize,
     n_tasks: usize,
@@ -93,19 +207,143 @@ impl<T> Slots<T> {
 
     /// Commit the results of chunk `[start, start + buf.len())`.
     fn commit(&self, start: usize, buf: Vec<T>) {
-        let mut guard = self.slots.lock().expect("result slots poisoned");
+        let mut guard = lock_unpoisoned(&self.slots);
         for (offset, r) in buf.into_iter().enumerate() {
             guard[start + offset] = Some(r);
         }
     }
 
-    fn into_results(self) -> Vec<T> {
-        self.slots
+    /// Results in task order, or the `[start, end)` ranges that were
+    /// never filled.
+    fn try_into_results(self) -> Result<Vec<T>, Vec<(usize, usize)>> {
+        let slots = self
+            .slots
             .into_inner()
-            .expect("result slots poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("every task index executed exactly once"))
-            .collect()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::with_capacity(slots.len());
+        let mut missing: Vec<(usize, usize)> = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(v) => out.push(v),
+                None => match missing.last_mut() {
+                    Some(last) if last.1 == i => last.1 = i + 1,
+                    _ => missing.push((i, i + 1)),
+                },
+            }
+        }
+        if missing.is_empty() {
+            Ok(out)
+        } else {
+            Err(missing)
+        }
+    }
+}
+
+/// Execute `[s, e)` with per-task panic capture: contiguous successful
+/// runs are committed, each panicking task is recorded as a [`TaskError`]
+/// and its slot left empty. Used by the single-device worker loops.
+fn run_range_captured<T, F>(
+    range: (usize, usize),
+    task: &F,
+    slots: &Slots<T>,
+    failures: &Mutex<Vec<TaskError>>,
+) where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let (s, e) = range;
+    let mut start = s;
+    let mut buf: Vec<T> = Vec::with_capacity(e - s);
+    for i in s..e {
+        match catch_unwind(AssertUnwindSafe(|| task(i))) {
+            Ok(v) => buf.push(v),
+            Err(p) => {
+                if !buf.is_empty() {
+                    slots.commit(start, std::mem::take(&mut buf));
+                }
+                start = i + 1;
+                lock_unpoisoned(failures).push(TaskError {
+                    device: None,
+                    task: i,
+                    message: panic_message(p),
+                });
+            }
+        }
+    }
+    if !buf.is_empty() {
+        slots.commit(start, buf);
+    }
+}
+
+/// Run `task(i)` for every `i in 0..n_tasks` under `config`, returning
+/// results in task order, or a structured [`ExecError`] naming every task
+/// whose execution panicked.
+///
+/// A panicking task only loses its own slot: the worker that caught it
+/// keeps pulling chunks, so all other tasks still execute.
+///
+/// # Panics
+/// Panics if `config.workers == 0`.
+pub fn try_run_parallel<T, F>(
+    n_tasks: usize,
+    config: ExecutorConfig,
+    task: F,
+) -> Result<Vec<T>, ExecError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(config.workers >= 1, "need at least one worker");
+    if n_tasks == 0 {
+        return Ok(Vec::new());
+    }
+
+    let slots: Slots<T> = Slots::new(n_tasks);
+    let failures: Mutex<Vec<TaskError>> = Mutex::new(Vec::new());
+
+    if config.workers == 1 {
+        run_range_captured((0, n_tasks), &task, &slots, &failures);
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let task = &task;
+            let slots = &slots;
+            let failures = &failures;
+            let next = &next;
+            let parts = if matches!(config.policy, Policy::Static) {
+                static_partition(n_tasks, config.workers)
+            } else {
+                Vec::new()
+            };
+            for w in 0..config.workers {
+                let my_range = parts.get(w).copied();
+                scope.spawn(move || match config.policy {
+                    Policy::Static => {
+                        let range = my_range.expect("partition has one range per worker");
+                        run_range_captured(range, task, slots, failures);
+                    }
+                    _ => {
+                        while let Some(range) =
+                            grab_chunk(next, n_tasks, config.workers, config.policy)
+                        {
+                            run_range_captured(range, task, slots, failures);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let failures = failures
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    match slots.try_into_results() {
+        Ok(results) if failures.is_empty() => Ok(results),
+        Ok(_) => Err(ExecError {
+            failures,
+            missing: Vec::new(),
+        }),
+        Err(missing) => Err(ExecError { failures, missing }),
     }
 }
 
@@ -113,56 +351,18 @@ impl<T> Slots<T> {
 /// results in task order.
 ///
 /// `task` must be `Sync` (shared read-only state) and is invoked exactly
-/// once per index.
+/// once per index. Infallible wrapper over [`try_run_parallel`].
 ///
 /// # Panics
-/// Panics if `config.workers == 0`, or propagates a panic from `task`.
+/// Panics if `config.workers == 0`, or with the structured failure
+/// summary when any task panicked.
 pub fn run_parallel<T, F>(n_tasks: usize, config: ExecutorConfig, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    assert!(config.workers >= 1, "need at least one worker");
-    if n_tasks == 0 {
-        return Vec::new();
-    }
-    if config.workers == 1 {
-        return (0..n_tasks).map(task).collect();
-    }
-
-    let slots: Slots<T> = Slots::new(n_tasks);
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        let task = &task;
-        let slots = &slots;
-        let next = &next;
-        let parts = if matches!(config.policy, Policy::Static) {
-            static_partition(n_tasks, config.workers)
-        } else {
-            Vec::new()
-        };
-        for w in 0..config.workers {
-            let my_range = parts.get(w).copied();
-            scope.spawn(move || match config.policy {
-                Policy::Static => {
-                    let (s, e) = my_range.expect("partition has one range per worker");
-                    let buf: Vec<T> = (s..e).map(task).collect();
-                    slots.commit(s, buf);
-                }
-                _ => {
-                    while let Some((s, e)) =
-                        grab_chunk(next, n_tasks, config.workers, config.policy)
-                    {
-                        let buf: Vec<T> = (s..e).map(task).collect();
-                        slots.commit(s, buf);
-                    }
-                }
-            });
-        }
-    });
-
-    slots.into_results()
+    try_run_parallel(n_tasks, config, task)
+        .unwrap_or_else(|e| panic!("parallel execution failed: {e}"))
 }
 
 /// Run `task(i)` for every `i in 0..n_tasks` on a self-scheduling thread
@@ -195,16 +395,36 @@ pub struct DualPoolConfig {
     pub initial_accel_fraction: f64,
     /// Smallest chunk either pool grabs.
     pub min_chunk: usize,
+    /// Lease timeout for chunks held by the accelerator pool: a chunk
+    /// whose holder makes no progress for this long is reclaimed and
+    /// requeued. `None` disables reclamation (a wedge fault then
+    /// degenerates to a kill so runs still terminate).
+    pub accel_timeout_ms: Option<u64>,
+    /// Failures a device pool tolerates before it is retired and the run
+    /// degrades to the other pool.
+    pub failure_budget: u32,
+    /// Base backoff before re-executing a requeued chunk, doubled per
+    /// prior attempt (`backoff · 2^(attempts-1)`). Zero disables backoff.
+    pub retry_backoff_ms: u64,
+    /// Times a failing chunk is re-executed before its failing task is
+    /// reported terminally and the rest of the chunk salvaged.
+    pub max_chunk_retries: u32,
 }
 
 impl DualPoolConfig {
-    /// A dual-pool configuration with an even initial split.
+    /// A dual-pool configuration with an even initial split and default
+    /// recovery settings (no lease timeout, budget 3, 1 ms backoff, 2
+    /// retries per chunk).
     pub fn new(cpu_workers: usize, accel_workers: usize) -> Self {
         DualPoolConfig {
             cpu_workers,
             accel_workers,
             initial_accel_fraction: 0.5,
             min_chunk: 1,
+            accel_timeout_ms: None,
+            failure_budget: 3,
+            retry_backoff_ms: 1,
+            max_chunk_retries: 2,
         }
     }
 
@@ -212,59 +432,16 @@ impl DualPoolConfig {
     pub fn total_workers(&self) -> usize {
         self.cpu_workers + self.accel_workers
     }
-}
 
-/// Two atomic cursors packed into one word: `front` (next CPU task) in
-/// the high 32 bits, `back` (one past the last accelerator task) in the
-/// low 32. A single CAS claims from either end without overlap.
-struct AtomicDualQueue {
-    state: AtomicU64,
-}
-
-impl AtomicDualQueue {
-    fn new(n_tasks: usize) -> Self {
-        assert!(
-            n_tasks <= u32::MAX as usize,
-            "dual-pool queue holds at most u32::MAX tasks"
-        );
-        AtomicDualQueue {
-            state: AtomicU64::new(n_tasks as u64),
-        }
-    }
-
-    #[inline]
-    fn unpack(state: u64) -> (usize, usize) {
-        ((state >> 32) as usize, (state & 0xFFFF_FFFF) as usize)
-    }
-
-    fn remaining(&self) -> usize {
-        let (front, back) = Self::unpack(self.state.load(Ordering::Relaxed));
-        back.saturating_sub(front)
-    }
-
-    fn take(&self, k: usize, from_front: bool) -> Option<(usize, usize)> {
-        loop {
-            let state = self.state.load(Ordering::Relaxed);
-            let (front, back) = Self::unpack(state);
-            if front >= back {
-                return None;
-            }
-            let k = k.max(1).min(back - front);
-            let (claim, new_state) = if from_front {
-                (
-                    (front, front + k),
-                    (((front + k) as u64) << 32) | back as u64,
-                )
-            } else {
-                ((back - k, back), ((front as u64) << 32) | (back - k) as u64)
-            };
-            if self
-                .state
-                .compare_exchange_weak(state, new_state, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                return Some(claim);
-            }
+    /// The lease timeout applying to chunks held by `device`, if any.
+    /// Only accelerator-held leases time out: CPU workers are in-process
+    /// threads whose failures surface as captured panics immediately,
+    /// while an accelerator dispatch can silently wedge.
+    pub fn lease_timeout(&self, device: usize) -> Option<Duration> {
+        if device == DEVICE_ACCEL {
+            self.accel_timeout_ms.map(Duration::from_millis)
+        } else {
+            None
         }
     }
 }
@@ -277,9 +454,260 @@ struct DeviceProgress {
     busy_nanos: AtomicU64,
 }
 
+/// Result of a supervised dual-pool run.
+#[derive(Debug)]
+pub struct DualPoolOutcome<T> {
+    /// Task results in task order.
+    pub results: Vec<T>,
+    /// Whether each device pool (`[cpu, accel]`) was retired before the
+    /// queue drained — the run *degraded* to the surviving pool.
+    pub degraded: [bool; 2],
+}
+
+/// An active chunk lease: `device`'s pool claimed `range` and has not yet
+/// committed or released it.
+struct Lease {
+    id: u64,
+    device: usize,
+    range: (usize, usize),
+    attempts: u32,
+    started: Instant,
+}
+
+/// Shared recovery bookkeeping of one dual-pool region. The double-ended
+/// queue lives under the same lock as the lease table so "claim a range"
+/// and "lease it" are one atomic step — a worker deciding the region is
+/// done (queue drained, no leases, no requeues) can never race a claim
+/// that has not been leased yet.
+struct RecoveryState {
+    queue: DualQueue,
+    requeue: RequeueQueue,
+    leases: Vec<Lease>,
+    next_lease: u64,
+    failures: [u32; 2],
+    retired: [bool; 2],
+    errors: Vec<TaskError>,
+}
+
+/// What a worker got back from [`Supervisor::acquire`].
+enum Acquire {
+    /// A leased range to execute.
+    Work(Work),
+    /// The region is complete: queue drained, no leases, no requeues.
+    Done,
+    /// The worker's pool was retired; the worker must exit.
+    Retired,
+    /// Nothing to do right now but leases are outstanding — poll again.
+    Linger,
+}
+
+struct Work {
+    range: (usize, usize),
+    attempts: u32,
+    lease: u64,
+    retried: bool,
+}
+
+/// The lease/requeue/budget supervisor shared by all workers of one
+/// dual-pool region.
+struct Supervisor<'a> {
+    config: DualPoolConfig,
+    estimator: SplitEstimator,
+    progress: [DeviceProgress; 2],
+    state: Mutex<RecoveryState>,
+    sink: &'a MetricsSink,
+}
+
+impl<'a> Supervisor<'a> {
+    fn new(n_tasks: usize, config: DualPoolConfig, sink: &'a MetricsSink) -> Self {
+        Supervisor {
+            config,
+            estimator: SplitEstimator::new(config.initial_accel_fraction),
+            progress: [DeviceProgress::default(), DeviceProgress::default()],
+            state: Mutex::new(RecoveryState {
+                queue: DualQueue::new(n_tasks),
+                requeue: RequeueQueue::new(),
+                leases: Vec::new(),
+                next_lease: 0,
+                failures: [0, 0],
+                retired: [false, false],
+                errors: Vec::new(),
+            }),
+            sink,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RecoveryState> {
+        lock_unpoisoned(&self.state)
+    }
+
+    fn register(
+        st: &mut RecoveryState,
+        device: usize,
+        range: (usize, usize),
+        attempts: u32,
+    ) -> u64 {
+        let id = st.next_lease;
+        st.next_lease += 1;
+        st.leases.push(Lease {
+            id,
+            device,
+            range,
+            attempts,
+            started: Instant::now(),
+        });
+        id
+    }
+
+    /// Charge one failure against `device`'s budget, retiring the pool
+    /// (degraded) once the budget is exceeded.
+    fn charge_failure(&self, st: &mut RecoveryState, device: usize) {
+        st.failures[device] += 1;
+        self.sink.record_recovery(device, RecoveryEvent::Failure);
+        if st.failures[device] > self.config.failure_budget && !st.retired[device] {
+            st.retired[device] = true;
+            self.sink.record_recovery(device, RecoveryEvent::Degraded);
+        }
+    }
+
+    /// Retire `device`'s pool immediately (injected pool kill).
+    fn retire(&self, device: usize) {
+        let mut st = self.lock();
+        if !st.retired[device] {
+            st.retired[device] = true;
+            self.sink.record_recovery(device, RecoveryEvent::Degraded);
+        }
+    }
+
+    /// True while lease `id` is still held (not reclaimed).
+    fn holds(&self, id: u64) -> bool {
+        self.lock().leases.iter().any(|l| l.id == id)
+    }
+
+    /// Acquire the next unit of work for a worker of `device`:
+    /// requeued ranges first, then a fresh adaptive chunk from the
+    /// device's end of the queue; once the queue drains, reclaim expired
+    /// leases, report completion, or ask the worker to linger.
+    fn acquire(&self, device: usize, pool_workers: usize) -> Acquire {
+        let mut st = self.lock();
+        loop {
+            if st.retired[device] {
+                return Acquire::Retired;
+            }
+            if let Some((range, attempts)) = st.requeue.pop() {
+                let lease = Self::register(&mut st, device, range, attempts);
+                return Acquire::Work(Work {
+                    range,
+                    attempts,
+                    lease,
+                    retried: true,
+                });
+            }
+            if st.queue.remaining() > 0 {
+                let accel_share = self.estimator.accel_share(
+                    self.progress[DEVICE_CPU].cells.load(Ordering::Relaxed),
+                    self.progress[DEVICE_CPU].busy_nanos.load(Ordering::Relaxed),
+                    self.progress[DEVICE_ACCEL].cells.load(Ordering::Relaxed),
+                    self.progress[DEVICE_ACCEL]
+                        .busy_nanos
+                        .load(Ordering::Relaxed),
+                );
+                let my_share = if device == DEVICE_CPU {
+                    1.0 - accel_share
+                } else {
+                    accel_share
+                };
+                let k = adaptive_chunk(
+                    st.queue.remaining(),
+                    my_share,
+                    pool_workers.max(1),
+                    self.config.min_chunk,
+                );
+                let range = if device == DEVICE_CPU {
+                    st.queue.take_front(k)
+                } else {
+                    st.queue.take_back(k)
+                }
+                .expect("non-empty queue yields a range");
+                let lease = Self::register(&mut st, device, range, 0);
+                return Acquire::Work(Work {
+                    range,
+                    attempts: 0,
+                    lease,
+                    retried: false,
+                });
+            }
+            // Queue drained: reclaim a lease whose holder exceeded its
+            // timeout, finish, or wait for in-flight work to resolve.
+            let now = Instant::now();
+            let expired = st.leases.iter().position(|l| {
+                self.config
+                    .lease_timeout(l.device)
+                    .is_some_and(|t| now.duration_since(l.started) > t)
+            });
+            if let Some(pos) = expired {
+                let lease = st.leases.swap_remove(pos);
+                st.requeue.push(lease.range, lease.attempts + 1);
+                self.sink
+                    .record_recovery(lease.device, RecoveryEvent::LostLease);
+                self.charge_failure(&mut st, lease.device);
+                continue; // the requeued range is available now
+            }
+            if st.leases.is_empty() && st.requeue.is_empty() {
+                return Acquire::Done;
+            }
+            return Acquire::Linger;
+        }
+    }
+
+    /// Mark lease `id` committed. A lease already reclaimed by timeout is
+    /// a no-op: the slow holder's duplicate commit wrote the same
+    /// deterministic values the re-execution produces, and the reclaim
+    /// was already counted as a lost lease.
+    fn complete(&self, id: u64) {
+        let mut st = self.lock();
+        if let Some(pos) = st.leases.iter().position(|l| l.id == id) {
+            st.leases.swap_remove(pos);
+        }
+    }
+
+    /// Release a lease whose execution panicked at task `failed_at`
+    /// (everything before it was committed). The unexecuted tail is
+    /// requeued with an incremented attempt count, or — once retries are
+    /// exhausted — the failing task is reported terminally and the rest
+    /// of the chunk salvaged.
+    fn release_failed(&self, id: u64, device: usize, failed_at: usize, message: String) {
+        let mut st = self.lock();
+        let Some(pos) = st.leases.iter().position(|l| l.id == id) else {
+            // Already reclaimed by timeout: the reclaimer charged the
+            // failure and requeued the full range.
+            return;
+        };
+        let lease = st.leases.swap_remove(pos);
+        self.charge_failure(&mut st, device);
+        let end = lease.range.1;
+        if lease.attempts >= self.config.max_chunk_retries {
+            st.errors.push(TaskError {
+                device: Some(device),
+                task: failed_at,
+                message,
+            });
+            if failed_at + 1 < end {
+                st.requeue.push((failed_at + 1, end), 0);
+                self.sink.record_recovery(device, RecoveryEvent::Requeue);
+            }
+        } else {
+            st.requeue.push((failed_at, end), lease.attempts + 1);
+            self.sink.record_recovery(device, RecoveryEvent::Requeue);
+        }
+    }
+}
+
 /// Run `task(device, i)` for every `i in 0..n_tasks` on two device worker
-/// pools pulling from one shared double-ended queue, returning results in
-/// task order.
+/// pools pulling from one shared double-ended queue, with fault injection
+/// and lease-based recovery. Returns results in task order plus per-pool
+/// degradation flags, or a structured [`ExecError`] when tasks failed
+/// terminally or every pool died with work outstanding.
 ///
 /// The CPU pool (device [`DEVICE_CPU`]) consumes from the front of the
 /// queue, the accelerator pool ([`DEVICE_ACCEL`]) from the back — with a
@@ -290,12 +718,195 @@ struct DeviceProgress {
 /// work, seeded from `config.initial_accel_fraction` (the static plan)
 /// and re-balanced from observed per-device throughput.
 ///
+/// Recovery semantics: every claimed chunk is leased; a worker that dies
+/// (task panic or injected kill) releases the unexecuted tail of its
+/// chunk to a shared requeue list that *either* pool re-executes (with
+/// exponential backoff); a wedged accelerator chunk is reclaimed after
+/// `config.accel_timeout_ms`; a pool whose failures exceed
+/// `config.failure_budget` — or that is pool-killed by the `injector` —
+/// is retired, and the run degrades to the surviving pool. All recovery
+/// is observable in `sink` (retries, requeues, lost leases, failures,
+/// degraded).
+///
 /// `cost(i)` is the workload of task `i` in DP cells — used for the
 /// estimator and the per-worker metrics recorded into `sink`.
 ///
 /// # Panics
-/// Panics when both pools are empty, when `initial_accel_fraction` is
-/// NaN or outside `[0, 1]`, or propagates a panic from `task`.
+/// Panics when both pools are empty or when `initial_accel_fraction` is
+/// NaN or outside `[0, 1]`.
+pub fn run_dual_pool_supervised<T, F, C>(
+    n_tasks: usize,
+    config: DualPoolConfig,
+    injector: &FaultInjector,
+    cost: C,
+    task: F,
+    sink: &MetricsSink,
+) -> Result<DualPoolOutcome<T>, ExecError>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+    C: Fn(usize) -> u64 + Sync,
+{
+    assert!(
+        config.total_workers() >= 1,
+        "need at least one worker across the two pools"
+    );
+    let sup = Supervisor::new(n_tasks, config, sink);
+    if n_tasks == 0 {
+        return Ok(DualPoolOutcome {
+            results: Vec::new(),
+            degraded: [false, false],
+        });
+    }
+
+    let slots: Slots<T> = Slots::new(n_tasks);
+
+    std::thread::scope(|scope| {
+        let task = &task;
+        let cost = &cost;
+        let slots = &slots;
+        let sup = &sup;
+        let pools = [
+            (DEVICE_CPU, config.cpu_workers),
+            (DEVICE_ACCEL, config.accel_workers),
+        ];
+        for (device, workers) in pools {
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let mut sample = WorkerSample::new(device, w);
+                    'work: loop {
+                        if injector.pool_dead(device) {
+                            sup.retire(device);
+                        }
+                        let wait_start = Instant::now();
+                        let work = loop {
+                            match sup.acquire(device, workers) {
+                                Acquire::Work(wk) => break wk,
+                                Acquire::Done | Acquire::Retired => break 'work,
+                                Acquire::Linger => std::thread::sleep(LINGER_POLL),
+                            }
+                        };
+                        sample.queue_wait += wait_start.elapsed();
+                        let (s, e) = work.range;
+
+                        let mut fault = injector.on_chunk_start(device);
+                        if matches!(fault, Some(FaultKind::Wedge))
+                            && config.lease_timeout(device).is_none()
+                        {
+                            // No timeout means no reclamation: a wedge
+                            // would hang the run, so it degrades to kill.
+                            fault = Some(FaultKind::Kill);
+                        }
+                        if matches!(fault, Some(FaultKind::KillPool)) {
+                            sup.retire(device);
+                        }
+                        match fault {
+                            Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                            Some(FaultKind::Wedge) => {
+                                // Hold the lease without progress until it
+                                // is reclaimed, then die (the reclaimer
+                                // charges the failure).
+                                while sup.holds(work.lease) {
+                                    std::thread::sleep(WEDGE_POLL);
+                                }
+                                break 'work;
+                            }
+                            _ => {}
+                        }
+                        let kill = matches!(fault, Some(FaultKind::Kill | FaultKind::KillPool));
+
+                        if work.attempts > 0 && config.retry_backoff_ms > 0 {
+                            let factor = 1u64 << (work.attempts - 1).min(6);
+                            std::thread::sleep(Duration::from_millis(
+                                config.retry_backoff_ms.saturating_mul(factor),
+                            ));
+                        }
+
+                        let exec_start = Instant::now();
+                        let mut buf: Vec<T> = Vec::with_capacity(e - s);
+                        let mut chunk_cells = 0u64;
+                        let mut failed: Option<(usize, String)> = None;
+                        for i in s..e {
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                if kill {
+                                    panic!("injected fault: worker killed");
+                                }
+                                if injector.pool_dead(device) {
+                                    panic!("injected fault: device pool killed");
+                                }
+                                task(device, i)
+                            }));
+                            match run {
+                                Ok(v) => {
+                                    buf.push(v);
+                                    chunk_cells += cost(i);
+                                }
+                                Err(p) => {
+                                    failed = Some((i, panic_message(p)));
+                                    break;
+                                }
+                            }
+                        }
+                        let busy = exec_start.elapsed();
+                        sample.busy += busy;
+                        sample.tasks += buf.len() as u64;
+                        sample.cells += chunk_cells;
+                        sup.progress[device]
+                            .cells
+                            .fetch_add(chunk_cells, Ordering::Relaxed);
+                        sup.progress[device]
+                            .busy_nanos
+                            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+                        if !buf.is_empty() {
+                            let commit_start = Instant::now();
+                            slots.commit(s, buf);
+                            sample.queue_wait += commit_start.elapsed();
+                        }
+                        match failed {
+                            None => {
+                                sample.chunks += 1;
+                                if work.retried {
+                                    sample.retries += 1;
+                                }
+                                sup.complete(work.lease);
+                            }
+                            Some((at, message)) => {
+                                sup.release_failed(work.lease, device, at, message);
+                                if kill {
+                                    break 'work; // injected kill: worker is dead
+                                }
+                            }
+                        }
+                    }
+                    sink.record(sample);
+                });
+            }
+        }
+    });
+
+    let state = sup
+        .state
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let degraded = state.retired;
+    match slots.try_into_results() {
+        Ok(results) => Ok(DualPoolOutcome { results, degraded }),
+        Err(missing) => Err(ExecError {
+            failures: state.errors,
+            missing,
+        }),
+    }
+}
+
+/// Run `task(device, i)` for every `i in 0..n_tasks` on two device worker
+/// pools, returning results in task order.
+///
+/// Infallible, fault-free wrapper over [`run_dual_pool_supervised`].
+///
+/// # Panics
+/// Panics when both pools are empty, when `initial_accel_fraction` is NaN
+/// or outside `[0, 1]`, or with the structured failure summary when tasks
+/// failed terminally.
 pub fn run_dual_pool<T, F, C>(
     n_tasks: usize,
     config: DualPoolConfig,
@@ -308,92 +919,16 @@ where
     F: Fn(usize, usize) -> T + Sync,
     C: Fn(usize) -> u64 + Sync,
 {
-    assert!(
-        config.total_workers() >= 1,
-        "need at least one worker across the two pools"
-    );
-    let estimator = SplitEstimator::new(config.initial_accel_fraction);
-    if n_tasks == 0 {
-        return Vec::new();
+    match run_dual_pool_supervised(n_tasks, config, &FaultInjector::none(), cost, task, sink) {
+        Ok(outcome) => outcome.results,
+        Err(e) => panic!("dual-pool execution failed: {e}"),
     }
-
-    let slots: Slots<T> = Slots::new(n_tasks);
-    let queue = AtomicDualQueue::new(n_tasks);
-    let progress = [DeviceProgress::default(), DeviceProgress::default()];
-
-    std::thread::scope(|scope| {
-        let task = &task;
-        let cost = &cost;
-        let slots = &slots;
-        let queue = &queue;
-        let progress = &progress;
-        let pools = [
-            (DEVICE_CPU, config.cpu_workers),
-            (DEVICE_ACCEL, config.accel_workers),
-        ];
-        for (device, workers) in pools {
-            for w in 0..workers {
-                scope.spawn(move || {
-                    let mut sample = WorkerSample::new(device, w);
-                    loop {
-                        let wait_start = Instant::now();
-                        let accel_share = estimator.accel_share(
-                            progress[DEVICE_CPU].cells.load(Ordering::Relaxed),
-                            progress[DEVICE_CPU].busy_nanos.load(Ordering::Relaxed),
-                            progress[DEVICE_ACCEL].cells.load(Ordering::Relaxed),
-                            progress[DEVICE_ACCEL].busy_nanos.load(Ordering::Relaxed),
-                        );
-                        let my_share = if device == DEVICE_CPU {
-                            1.0 - accel_share
-                        } else {
-                            accel_share
-                        };
-                        let k = adaptive_chunk(
-                            queue.remaining(),
-                            my_share,
-                            workers.max(1),
-                            config.min_chunk,
-                        );
-                        let Some((s, e)) = queue.take(k, device == DEVICE_CPU) else {
-                            break;
-                        };
-                        sample.queue_wait += wait_start.elapsed();
-
-                        let exec_start = Instant::now();
-                        let mut buf = Vec::with_capacity(e - s);
-                        let mut chunk_cells = 0u64;
-                        for i in s..e {
-                            buf.push(task(device, i));
-                            chunk_cells += cost(i);
-                        }
-                        let busy = exec_start.elapsed();
-                        sample.busy += busy;
-                        sample.tasks += (e - s) as u64;
-                        sample.chunks += 1;
-                        sample.cells += chunk_cells;
-                        progress[device]
-                            .cells
-                            .fetch_add(chunk_cells, Ordering::Relaxed);
-                        progress[device]
-                            .busy_nanos
-                            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
-
-                        let commit_start = Instant::now();
-                        slots.commit(s, buf);
-                        sample.queue_wait += commit_start.elapsed();
-                    }
-                    sink.record(sample);
-                });
-            }
-        }
-    });
-
-    slots.into_results()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultSpec};
     use std::sync::atomic::AtomicU64;
 
     #[test]
@@ -507,6 +1042,86 @@ mod tests {
     }
 
     #[test]
+    fn grab_chunk_stress_every_index_exactly_once() {
+        // Satellite audit of the Relaxed-load + CAS claim loop: more
+        // threads than cores hammering the counter must still claim every
+        // index exactly once, for both chunked-dynamic and guided sizing.
+        for policy in [Policy::Dynamic { chunk: 3 }, Policy::guided()] {
+            let n = 10_007; // prime, so chunk edges never line up
+            let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..16 {
+                    scope.spawn(|| {
+                        while let Some((a, b)) = grab_chunk(&next, n, 16, policy) {
+                            for c in &counts[a..b] {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "{policy:?}: some index executed zero or multiple times"
+            );
+        }
+    }
+
+    #[test]
+    fn task_panic_returns_structured_error() {
+        let err = try_run_parallel(100, ExecutorConfig::dynamic(4), |i| {
+            if i == 37 {
+                panic!("task 37 exploded");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].task, 37);
+        assert_eq!(err.failures[0].device, None);
+        assert!(err.failures[0].message.contains("task 37 exploded"));
+        assert_eq!(err.missing, vec![(37, 38)]);
+        assert_eq!(err.unexecuted_tasks(), 1);
+        let rendered = err.to_string();
+        assert!(rendered.contains("task 37"), "got: {rendered}");
+    }
+
+    #[test]
+    fn task_panic_captured_on_single_worker_and_static() {
+        for cfg in [
+            ExecutorConfig::dynamic(1),
+            ExecutorConfig {
+                workers: 3,
+                policy: Policy::Static,
+            },
+        ] {
+            let err = try_run_parallel(30, cfg, |i| {
+                if i % 10 == 4 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+            .unwrap_err();
+            let mut failed: Vec<usize> = err.failures.iter().map(|f| f.task).collect();
+            failed.sort_unstable();
+            assert_eq!(failed, vec![4, 14, 24], "{cfg:?}");
+            assert_eq!(err.missing, vec![(4, 5), (14, 15), (24, 25)], "{cfg:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel execution failed")]
+    fn run_parallel_panics_with_structured_message() {
+        run_parallel(10, ExecutorConfig::dynamic(2), |i| {
+            if i == 3 {
+                panic!("inner failure");
+            }
+            i
+        });
+    }
+
+    #[test]
     fn dual_pool_results_in_task_order() {
         let sink = MetricsSink::new();
         let out = run_dual_pool(
@@ -568,33 +1183,13 @@ mod tests {
     #[test]
     fn dual_pool_single_sided_pools() {
         let sink = MetricsSink::new();
-        let out = run_dual_pool(
-            50,
-            DualPoolConfig {
-                cpu_workers: 2,
-                accel_workers: 0,
-                ..DualPoolConfig::new(2, 0)
-            },
-            |_| 1,
-            |_d, i| i,
-            &sink,
-        );
+        let out = run_dual_pool(50, DualPoolConfig::new(2, 0), |_| 1, |_d, i| i, &sink);
         assert_eq!(out.len(), 50);
         assert_eq!(sink.device(DEVICE_CPU).tasks, 50);
         assert_eq!(sink.device(DEVICE_ACCEL).tasks, 0);
 
         let sink2 = MetricsSink::new();
-        let out2 = run_dual_pool(
-            50,
-            DualPoolConfig {
-                cpu_workers: 0,
-                accel_workers: 3,
-                ..DualPoolConfig::new(0, 3)
-            },
-            |_| 1,
-            |_d, i| i,
-            &sink2,
-        );
+        let out2 = run_dual_pool(50, DualPoolConfig::new(0, 3), |_| 1, |_d, i| i, &sink2);
         assert_eq!(out2.len(), 50);
         assert_eq!(sink2.device(DEVICE_ACCEL).tasks, 50);
     }
@@ -604,6 +1199,13 @@ mod tests {
         let sink = MetricsSink::new();
         let out: Vec<usize> = run_dual_pool(0, DualPoolConfig::new(2, 2), |_| 1, |_d, i| i, &sink);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dual_pool_more_workers_than_tasks() {
+        let sink = MetricsSink::new();
+        let out = run_dual_pool(3, DualPoolConfig::new(8, 8), |_| 1, |_d, i| i, &sink);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]
@@ -640,5 +1242,207 @@ mod tests {
     fn dual_pool_rejects_empty_pools() {
         let sink = MetricsSink::new();
         run_dual_pool(10, DualPoolConfig::new(0, 0), |_| 1, |_d, i| i, &sink);
+    }
+
+    fn injected(kind: FaultKind, chunk: u64) -> FaultInjector {
+        FaultInjector::new(FaultPlan::single(FaultSpec {
+            device: DEVICE_ACCEL,
+            chunk,
+            kind,
+        }))
+    }
+
+    /// CPU tasks block until every planned fault has fired, so the
+    /// accelerator pool is guaranteed to reach its triggering chunk
+    /// before the CPU pool can drain the queue — making the fault tests
+    /// deterministic instead of racing the (fast) CPU workers.
+    fn gate_cpu_on(inj: &FaultInjector, device: usize) {
+        if device == DEVICE_CPU {
+            while !inj.all_fired() {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    #[test]
+    fn dual_pool_injected_kill_recovers() {
+        let sink = MetricsSink::new();
+        let inj = injected(FaultKind::Kill, 0);
+        let out = run_dual_pool_supervised(
+            200,
+            DualPoolConfig::new(2, 2),
+            &inj,
+            |_| 1,
+            |d, i| {
+                gate_cpu_on(&inj, d);
+                i * 3
+            },
+            &sink,
+        )
+        .expect("kill of one worker must be recovered");
+        assert_eq!(out.results, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(out.degraded, [false, false], "one kill is under budget");
+        let accel = sink.device(DEVICE_ACCEL);
+        assert_eq!(accel.failures, 1);
+        assert_eq!(accel.requeues, 1);
+        let retries: u64 = sink.devices().iter().map(|d| d.retries).sum();
+        assert!(retries >= 1, "the requeued chunk was re-executed");
+    }
+
+    #[test]
+    fn dual_pool_kill_pool_degrades_to_cpu() {
+        let sink = MetricsSink::new();
+        let inj = injected(FaultKind::KillPool, 0);
+        // A single accel worker so the pool's first chunk is the trigger:
+        // no second accel worker can race a chunk to completion before
+        // the pool-dead flag is set.
+        let out = run_dual_pool_supervised(
+            300,
+            DualPoolConfig::new(2, 1),
+            &inj,
+            |_| 1,
+            |d, i| {
+                gate_cpu_on(&inj, d);
+                i + 7
+            },
+            &sink,
+        )
+        .expect("CPU pool must absorb the dead accelerator's share");
+        assert_eq!(out.results, (0..300).map(|i| i + 7).collect::<Vec<_>>());
+        assert!(out.degraded[DEVICE_ACCEL], "accel pool was retired");
+        assert!(!out.degraded[DEVICE_CPU]);
+        let accel = sink.device(DEVICE_ACCEL);
+        assert!(accel.degraded);
+        assert!(accel.requeues >= 1, "the killed chunk was requeued");
+        assert_eq!(sink.device(DEVICE_CPU).tasks, 300, "CPU pool did it all");
+    }
+
+    #[test]
+    fn dual_pool_wedge_reclaimed_by_timeout() {
+        let sink = MetricsSink::new();
+        let inj = injected(FaultKind::Wedge, 0);
+        let cfg = DualPoolConfig {
+            accel_timeout_ms: Some(40),
+            ..DualPoolConfig::new(2, 1)
+        };
+        let out = run_dual_pool_supervised(
+            120,
+            cfg,
+            &inj,
+            |_| 1,
+            |d, i| {
+                gate_cpu_on(&inj, d);
+                i
+            },
+            &sink,
+        )
+        .expect("wedged chunk must be reclaimed and re-executed");
+        assert!(out.results.iter().enumerate().all(|(i, &v)| v == i));
+        let accel = sink.device(DEVICE_ACCEL);
+        assert_eq!(accel.lost_leases, 1, "exactly one lease reclaimed");
+        assert_eq!(accel.failures, 1);
+        assert!(!out.degraded[DEVICE_ACCEL], "one timeout is under budget");
+    }
+
+    #[test]
+    fn dual_pool_wedge_without_timeout_degenerates_to_kill() {
+        let sink = MetricsSink::new();
+        let inj = injected(FaultKind::Wedge, 0);
+        let out = run_dual_pool_supervised(
+            80,
+            DualPoolConfig::new(2, 1),
+            &inj,
+            |_| 1,
+            |d, i| {
+                gate_cpu_on(&inj, d);
+                i
+            },
+            &sink,
+        )
+        .expect("wedge without a timeout must behave like a kill");
+        assert!(out.results.iter().enumerate().all(|(i, &v)| v == i));
+        let accel = sink.device(DEVICE_ACCEL);
+        assert_eq!(accel.failures, 1);
+        assert_eq!(accel.lost_leases, 0, "no lease reclaim happened");
+    }
+
+    #[test]
+    fn dual_pool_delay_fault_only_slows() {
+        let sink = MetricsSink::new();
+        let inj = injected(FaultKind::Delay(Duration::from_millis(5)), 0);
+        let out = run_dual_pool_supervised(
+            60,
+            DualPoolConfig::new(2, 1),
+            &inj,
+            |_| 1,
+            |d, i| {
+                gate_cpu_on(&inj, d);
+                i
+            },
+            &sink,
+        )
+        .expect("a delay is not a failure");
+        assert!(out.results.iter().enumerate().all(|(i, &v)| v == i));
+        let accel = sink.device(DEVICE_ACCEL);
+        assert_eq!(accel.failures, 0);
+        assert_eq!(accel.requeues, 0);
+        assert_eq!(out.degraded, [false, false]);
+    }
+
+    #[test]
+    fn dual_pool_task_panic_exhausts_retries() {
+        // Task 13 fails deterministically: after max_chunk_retries
+        // re-executions it is reported terminally, everything else is
+        // salvaged.
+        let sink = MetricsSink::new();
+        let cfg = DualPoolConfig {
+            failure_budget: 10,
+            retry_backoff_ms: 0,
+            ..DualPoolConfig::new(1, 0)
+        };
+        let err = run_dual_pool_supervised(
+            40,
+            cfg,
+            &FaultInjector::none(),
+            |_| 1,
+            |_d, i| {
+                if i == 13 {
+                    panic!("task 13 always fails");
+                }
+                i
+            },
+            &sink,
+        )
+        .unwrap_err();
+        assert_eq!(err.missing, vec![(13, 14)], "only task 13 is missing");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].task, 13);
+        assert_eq!(err.failures[0].device, Some(DEVICE_CPU));
+        assert!(err.failures[0].message.contains("always fails"));
+        // 1 initial failure + max_chunk_retries re-execution failures.
+        assert_eq!(sink.device(DEVICE_CPU).failures, 3);
+    }
+
+    #[test]
+    fn dual_pool_seeded_fault_matrix_recovers() {
+        // The CI fault matrix in miniature: several seeds, each a random
+        // kill/delay plan against the accelerator pool; every run must
+        // still produce complete, correct results.
+        for seed in 0..4u64 {
+            let plan = FaultPlan::seeded(seed, 2, DEVICE_ACCEL, 6);
+            let inj = FaultInjector::new(plan);
+            let sink = MetricsSink::new();
+            let cfg = DualPoolConfig {
+                accel_timeout_ms: Some(200),
+                ..DualPoolConfig::new(2, 2)
+            };
+            let out = run_dual_pool_supervised(150, cfg, &inj, |_| 1, |_d, i| i * 5, &sink)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                out.results,
+                (0..150).map(|i| i * 5).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
     }
 }

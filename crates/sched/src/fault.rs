@@ -1,0 +1,231 @@
+//! Deterministic fault injection for the dual-pool executor.
+//!
+//! An accelerator in a production search service can stall, time out, or
+//! die mid-run; SWAPHI and the KNL follow-up both treat device dispatch
+//! as fallible and size work so it can be re-issued. This module is the
+//! *test harness* for that failure model: a [`FaultPlan`] describes which
+//! device fails at which chunk and how, and a [`FaultInjector`] arms the
+//! plan inside a real `run_dual_pool_supervised` region. Plans are plain
+//! data (seeded generation via the in-tree `rand` shim), so every
+//! recovery path is reproducible from a single `u64`.
+//!
+//! Faults trigger on a per-device *chunk counter*: the Nth chunk started
+//! by that device's pool fires the fault, whichever worker grabs it.
+//! Task results are deterministic per index, so recovered runs produce
+//! hit lists identical to a fault-free run even though the chunk→worker
+//! assignment is not itself deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What an injected fault does to the worker that trips it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker dies (panics) while holding its chunk lease. The lease
+    /// is requeued and the worker never returns.
+    Kill,
+    /// The worker stalls for the given duration, then continues normally
+    /// (a transient hiccup — may trip the lease timeout if long enough).
+    Delay(Duration),
+    /// The worker wedges: it holds its lease without progressing until
+    /// the lease is reclaimed by timeout, then dies. Requires a lease
+    /// timeout on the device; with no timeout configured it degenerates
+    /// to [`FaultKind::Kill`] so runs always terminate.
+    Wedge,
+    /// The whole device pool dies: every worker of the device abandons
+    /// its work and exits, and the pool is retired immediately (the
+    /// surviving pool absorbs the remaining queue).
+    KillPool,
+}
+
+/// One scheduled fault: `kind` fires when `device`'s pool starts its
+/// `chunk`-th chunk (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Device pool the fault targets (0 = CPU, 1 = accelerator).
+    pub device: usize,
+    /// 0-based index of the triggering chunk in the device's grab order.
+    pub chunk: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic set of faults to inject into one parallel region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single fault.
+    pub fn single(spec: FaultSpec) -> Self {
+        FaultPlan { specs: vec![spec] }
+    }
+
+    /// A seeded random plan: `n_faults` kill/delay faults against
+    /// `device`, at chunk indices below `max_chunk`. Deterministic per
+    /// seed — the CI fault matrix replays the same plans on every push.
+    pub fn seeded(seed: u64, n_faults: usize, device: usize, max_chunk: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let specs = (0..n_faults)
+            .map(|_| {
+                let chunk = rng.gen_range(0..max_chunk.max(1));
+                let kind = if rng.gen_bool(0.5) {
+                    FaultKind::Kill
+                } else {
+                    FaultKind::Delay(Duration::from_millis(rng.gen_range(1..=20u64)))
+                };
+                FaultSpec {
+                    device,
+                    chunk,
+                    kind,
+                }
+            })
+            .collect();
+        FaultPlan { specs }
+    }
+}
+
+/// Armed runtime form of a [`FaultPlan`]: thread-safe, consumed once per
+/// spec, shared by every worker of one parallel region.
+#[derive(Debug)]
+pub struct FaultInjector {
+    specs: Vec<FaultSpec>,
+    fired: Vec<AtomicBool>,
+    chunk_counter: [AtomicU64; 2],
+    pool_dead: [AtomicBool; 2],
+}
+
+impl FaultInjector {
+    /// An injector that never fires.
+    pub fn none() -> Self {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let fired = plan.specs.iter().map(|_| AtomicBool::new(false)).collect();
+        FaultInjector {
+            specs: plan.specs,
+            fired,
+            chunk_counter: [AtomicU64::new(0), AtomicU64::new(0)],
+            pool_dead: [AtomicBool::new(false), AtomicBool::new(false)],
+        }
+    }
+
+    /// True when the plan holds no faults (the hot path skips all
+    /// bookkeeping).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Called by a worker of `device` as it starts a chunk; returns the
+    /// fault to apply to this chunk, if any. Each spec fires at most
+    /// once.
+    pub fn on_chunk_start(&self, device: usize) -> Option<FaultKind> {
+        if self.specs.is_empty() {
+            return None;
+        }
+        let n = self.chunk_counter[device].fetch_add(1, Ordering::Relaxed);
+        for (spec, fired) in self.specs.iter().zip(&self.fired) {
+            if spec.device == device
+                && spec.chunk == n
+                && fired
+                    .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                if matches!(spec.kind, FaultKind::KillPool) {
+                    self.pool_dead[device].store(true, Ordering::Release);
+                }
+                return Some(spec.kind);
+            }
+        }
+        None
+    }
+
+    /// True once a [`FaultKind::KillPool`] has fired against `device`:
+    /// every worker of the pool must abandon its work and exit.
+    pub fn pool_dead(&self, device: usize) -> bool {
+        !self.specs.is_empty() && self.pool_dead[device].load(Ordering::Acquire)
+    }
+
+    /// Number of faults from the plan that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.fired
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// True once every fault in the plan has fired (vacuously true for an
+    /// empty plan). Tests and drills gate on this to make fault timing
+    /// deterministic relative to other workers' progress.
+    pub fn all_fired(&self) -> bool {
+        self.fired.iter().all(|f| f.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(7, 4, 1, 100);
+        let b = FaultPlan::seeded(7, 4, 1, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.specs.len(), 4);
+        assert!(a.specs.iter().all(|s| s.device == 1 && s.chunk < 100));
+        let c = FaultPlan::seeded(8, 4, 1, 100);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn fault_fires_once_at_the_right_chunk() {
+        let inj = FaultInjector::new(FaultPlan::single(FaultSpec {
+            device: 1,
+            chunk: 2,
+            kind: FaultKind::Kill,
+        }));
+        assert_eq!(inj.on_chunk_start(1), None); // chunk 0
+        assert_eq!(inj.on_chunk_start(0), None); // CPU chunk, other counter
+        assert_eq!(inj.on_chunk_start(1), None); // chunk 1
+        assert!(!inj.all_fired());
+        assert_eq!(inj.on_chunk_start(1), Some(FaultKind::Kill)); // chunk 2
+        assert_eq!(inj.on_chunk_start(1), None, "fires at most once");
+        assert_eq!(inj.fired_count(), 1);
+        assert!(inj.all_fired());
+    }
+
+    #[test]
+    fn kill_pool_marks_device_dead() {
+        let inj = FaultInjector::new(FaultPlan::single(FaultSpec {
+            device: 1,
+            chunk: 0,
+            kind: FaultKind::KillPool,
+        }));
+        assert!(!inj.pool_dead(1));
+        assert_eq!(inj.on_chunk_start(1), Some(FaultKind::KillPool));
+        assert!(inj.pool_dead(1));
+        assert!(!inj.pool_dead(0));
+    }
+
+    #[test]
+    fn empty_injector_is_inert() {
+        let inj = FaultInjector::none();
+        assert!(inj.is_empty());
+        for _ in 0..10 {
+            assert_eq!(inj.on_chunk_start(0), None);
+            assert_eq!(inj.on_chunk_start(1), None);
+        }
+        assert!(!inj.pool_dead(0) && !inj.pool_dead(1));
+    }
+}

@@ -17,20 +17,33 @@
 //!   policy deterministically.
 //! * [`executor`] — a real multi-threaded executor (std scoped threads +
 //!   atomics) implementing the same policies for actually running kernels
-//!   on the host, and [`executor::run_dual_pool`], the instrumented
-//!   two-device scheduler.
+//!   on the host, and [`executor::run_dual_pool`] /
+//!   [`executor::run_dual_pool_supervised`], the instrumented two-device
+//!   scheduler with lease-based recovery (requeue, retry with backoff,
+//!   per-device failure budget, graceful degradation to one pool).
+//! * [`fault`] — deterministic, seeded fault injection (kill / delay /
+//!   wedge / pool-kill) for exercising the recovery paths.
 //! * [`metrics`] — load-imbalance statistics and the per-device /
-//!   per-worker [`MetricsSink`] the dual-pool executor reports through.
+//!   per-worker [`MetricsSink`] the dual-pool executor reports through,
+//!   including recovery counters (retries, requeues, lost leases,
+//!   degraded).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod desim;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod policy;
 
 pub use desim::{simulate, simulate_dual_pool, DualPoolSimConfig, DualPoolSimResult, SimResult};
-pub use executor::{run_dual_pool, run_parallel, DualPoolConfig, ExecutorConfig};
-pub use metrics::{imbalance, DeviceMetrics, Imbalance, MetricsSink, WorkerSample};
-pub use policy::{adaptive_chunk, DualQueue, Policy, SplitEstimator, DEVICE_ACCEL, DEVICE_CPU};
+pub use executor::{
+    run_dual_pool, run_dual_pool_supervised, run_parallel, try_run_parallel, DualPoolConfig,
+    DualPoolOutcome, ExecError, ExecutorConfig, TaskError,
+};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+pub use metrics::{imbalance, DeviceMetrics, Imbalance, MetricsSink, RecoveryEvent, WorkerSample};
+pub use policy::{
+    adaptive_chunk, DualQueue, Policy, RequeueQueue, SplitEstimator, DEVICE_ACCEL, DEVICE_CPU,
+};

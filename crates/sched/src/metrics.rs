@@ -67,6 +67,9 @@ pub struct WorkerSample {
     pub queue_wait: Duration,
     /// DP cells processed (per the caller's cost function).
     pub cells: u64,
+    /// Chunks this worker re-executed from the requeue list (work another
+    /// worker failed, timed out on, or abandoned).
+    pub retries: u64,
 }
 
 impl WorkerSample {
@@ -80,12 +83,31 @@ impl WorkerSample {
             busy: Duration::ZERO,
             queue_wait: Duration::ZERO,
             cells: 0,
+            retries: 0,
         }
     }
 }
 
-/// Aggregated view of one device's pool.
+/// One recovery event charged to a device pool, recorded by the executor
+/// as it happens (as opposed to [`WorkerSample`]s, recorded at exit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryEvent {
+    /// A chunk held by the device was released un-executed and pushed to
+    /// the requeue list (worker died or abandoned the lease).
+    Requeue,
+    /// A lease held by the device was reclaimed by another worker after
+    /// exceeding its timeout (the holder wedged or stalled).
+    LostLease,
+    /// A failure charged against the device's failure budget (worker
+    /// panic, injected kill, or lease timeout).
+    Failure,
+    /// The device's pool was retired before the queue drained (budget
+    /// exhausted or pool killed) — the run degraded to the other pool.
+    Degraded,
+}
+
+/// Aggregated view of one device's pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceMetrics {
     /// Device id.
     pub device: usize,
@@ -101,6 +123,16 @@ pub struct DeviceMetrics {
     pub queue_wait: Duration,
     /// Total DP cells processed.
     pub cells: u64,
+    /// Chunks the pool re-executed from the requeue list.
+    pub retries: u64,
+    /// Chunks the pool released un-executed for others to re-run.
+    pub requeues: u64,
+    /// Leases reclaimed from the pool by timeout.
+    pub lost_leases: u64,
+    /// Failures charged against the pool's failure budget.
+    pub failures: u64,
+    /// True when the pool was retired before the queue drained.
+    pub degraded: bool,
 }
 
 impl DeviceMetrics {
@@ -132,6 +164,16 @@ impl DeviceMetrics {
 #[derive(Debug, Default)]
 pub struct MetricsSink {
     samples: Mutex<Vec<WorkerSample>>,
+    events: Mutex<Vec<(usize, RecoveryEvent)>>,
+}
+
+/// Locks never stay poisoned: a sink only stores plain data, so the value
+/// inside a poisoned lock is still coherent (the panicking thread died
+/// between whole-record pushes, not mid-write).
+fn unpoison<T>(
+    r: std::sync::LockResult<std::sync::MutexGuard<'_, T>>,
+) -> std::sync::MutexGuard<'_, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl MetricsSink {
@@ -142,20 +184,27 @@ impl MetricsSink {
 
     /// Record one worker's sample.
     pub fn record(&self, sample: WorkerSample) {
-        self.samples
-            .lock()
-            .expect("metrics sink poisoned")
-            .push(sample);
+        unpoison(self.samples.lock()).push(sample);
+    }
+
+    /// Record one recovery event against `device`.
+    pub fn record_recovery(&self, device: usize, event: RecoveryEvent) {
+        unpoison(self.events.lock()).push((device, event));
     }
 
     /// All recorded samples, ordered by `(device, worker)`.
     pub fn samples(&self) -> Vec<WorkerSample> {
-        let mut v = self.samples.lock().expect("metrics sink poisoned").clone();
+        let mut v = unpoison(self.samples.lock()).clone();
         v.sort_by_key(|s| (s.device, s.worker));
         v
     }
 
-    /// Aggregate the samples of one device.
+    /// All recovery events in record order.
+    pub fn recovery_events(&self) -> Vec<(usize, RecoveryEvent)> {
+        unpoison(self.events.lock()).clone()
+    }
+
+    /// Aggregate the samples and recovery events of one device.
     pub fn device(&self, device: usize) -> DeviceMetrics {
         let mut out = DeviceMetrics {
             device,
@@ -165,8 +214,13 @@ impl MetricsSink {
             busy: Duration::ZERO,
             queue_wait: Duration::ZERO,
             cells: 0,
+            retries: 0,
+            requeues: 0,
+            lost_leases: 0,
+            failures: 0,
+            degraded: false,
         };
-        for s in self.samples.lock().expect("metrics sink poisoned").iter() {
+        for s in unpoison(self.samples.lock()).iter() {
             if s.device == device {
                 out.workers += 1;
                 out.tasks += s.tasks;
@@ -174,20 +228,29 @@ impl MetricsSink {
                 out.busy += s.busy;
                 out.queue_wait += s.queue_wait;
                 out.cells += s.cells;
+                out.retries += s.retries;
+            }
+        }
+        for &(d, event) in unpoison(self.events.lock()).iter() {
+            if d == device {
+                match event {
+                    RecoveryEvent::Requeue => out.requeues += 1,
+                    RecoveryEvent::LostLease => out.lost_leases += 1,
+                    RecoveryEvent::Failure => out.failures += 1,
+                    RecoveryEvent::Degraded => out.degraded = true,
+                }
             }
         }
         out
     }
 
-    /// Aggregates for every device that recorded at least one sample,
-    /// ordered by device id.
+    /// Aggregates for every device that recorded at least one sample or
+    /// recovery event, ordered by device id.
     pub fn devices(&self) -> Vec<DeviceMetrics> {
-        let mut ids: Vec<usize> = self
-            .samples
-            .lock()
-            .expect("metrics sink poisoned")
+        let mut ids: Vec<usize> = unpoison(self.samples.lock())
             .iter()
             .map(|s| s.device)
+            .chain(unpoison(self.events.lock()).iter().map(|&(d, _)| d))
             .collect();
         ids.sort_unstable();
         ids.dedup();
@@ -196,10 +259,7 @@ impl MetricsSink {
 
     /// Per-worker busy seconds of one device (for [`imbalance`]).
     pub fn busy_seconds(&self, device: usize) -> Vec<f64> {
-        let mut v: Vec<(usize, f64)> = self
-            .samples
-            .lock()
-            .expect("metrics sink poisoned")
+        let mut v: Vec<(usize, f64)> = unpoison(self.samples.lock())
             .iter()
             .filter(|s| s.device == device)
             .map(|s| (s.worker, s.busy.as_secs_f64()))
@@ -257,37 +317,35 @@ mod tests {
     fn sink_aggregates_per_device() {
         let sink = MetricsSink::new();
         sink.record(WorkerSample {
-            device: 0,
-            worker: 0,
             tasks: 10,
             chunks: 3,
             busy: Duration::from_secs(2),
             queue_wait: Duration::from_millis(5),
             cells: 1_000_000_000,
+            ..WorkerSample::new(0, 0)
         });
         sink.record(WorkerSample {
-            device: 0,
-            worker: 1,
             tasks: 6,
             chunks: 2,
             busy: Duration::from_secs(2),
-            queue_wait: Duration::ZERO,
             cells: 3_000_000_000,
+            retries: 2,
+            ..WorkerSample::new(0, 1)
         });
         sink.record(WorkerSample {
-            device: 1,
-            worker: 0,
             tasks: 4,
             chunks: 4,
             busy: Duration::from_secs(1),
-            queue_wait: Duration::ZERO,
             cells: 500_000_000,
+            ..WorkerSample::new(1, 0)
         });
         let cpu = sink.device(0);
         assert_eq!(cpu.workers, 2);
         assert_eq!(cpu.tasks, 16);
         assert_eq!(cpu.chunks, 5);
         assert_eq!(cpu.cells, 4_000_000_000);
+        assert_eq!(cpu.retries, 2);
+        assert!(!cpu.degraded);
         assert!(
             (cpu.gcups() - 1.0).abs() < 1e-9,
             "4e9 cells over 4 busy seconds"
@@ -307,6 +365,29 @@ mod tests {
         assert_eq!(m.gcups(), 0.0);
         assert_eq!(m.tasks, 0);
         assert_eq!(m.mean_busy_secs(), 0.0);
+    }
+
+    #[test]
+    fn recovery_events_aggregate_per_device() {
+        let sink = MetricsSink::new();
+        sink.record(WorkerSample::new(0, 0));
+        sink.record_recovery(1, RecoveryEvent::Failure);
+        sink.record_recovery(1, RecoveryEvent::Requeue);
+        sink.record_recovery(1, RecoveryEvent::LostLease);
+        sink.record_recovery(1, RecoveryEvent::Failure);
+        sink.record_recovery(1, RecoveryEvent::Degraded);
+        let accel = sink.device(1);
+        assert_eq!(accel.failures, 2);
+        assert_eq!(accel.requeues, 1);
+        assert_eq!(accel.lost_leases, 1);
+        assert!(accel.degraded);
+        assert_eq!(accel.workers, 0, "no samples, only events");
+        let cpu = sink.device(0);
+        assert_eq!(cpu.failures, 0);
+        assert!(!cpu.degraded);
+        // devices() lists a device known only through events.
+        assert_eq!(sink.devices().len(), 2);
+        assert_eq!(sink.recovery_events().len(), 5);
     }
 
     #[test]

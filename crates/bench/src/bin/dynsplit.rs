@@ -188,4 +188,80 @@ fn main() {
         killed.accel.requeues,
         killed.results.hits.len()
     );
+
+    // Traced replay of the same real run: the split-estimator drift the
+    // scheduler saw, one row per fresh chunk grab (a Perfetto counter
+    // track shows the same series from `--trace-out`).
+    let traced_cfg = cfg.with_trace(sw_core::TraceConfig::full());
+    let traced = hetero.search_dynamic(&query.residues, &prepared, &plan, &traced_cfg);
+    let tl = traced
+        .timeline
+        .as_ref()
+        .expect("full tracing yields a timeline");
+    let mut d = Table::new(
+        "Split-estimator drift — accel share at each fresh chunk grab",
+        &["t_us", "accel_share"],
+    );
+    for (t_us, share) in tl.rebalances() {
+        d.row(vec![t_us.to_string(), format!("{share:.4}")]);
+    }
+    d.emit("dynsplit-drift");
+    println!(
+        "traced run: {} events on {} worker tracks ({} dropped), \
+         {} rebalance samples\n",
+        tl.total_events(),
+        tl.tracks.len(),
+        tl.total_dropped(),
+        tl.rebalances().len()
+    );
+
+    // Tracing-overhead guard: the journal must be free when off and
+    // cheap when on. Median of three timed runs per config; the CSV is
+    // the baseline future PRs compare against.
+    let timed = |c: &HeteroSearchConfig| -> Vec<f64> {
+        let mut g: Vec<f64> = (0..3)
+            .map(|_| {
+                hetero
+                    .search_dynamic(&query.residues, &prepared, &plan, c)
+                    .results
+                    .gcups()
+                    .value()
+            })
+            .collect();
+        g.sort_by(|a, b| a.total_cmp(b));
+        g
+    };
+    let off = timed(&cfg);
+    let full = timed(&traced_cfg);
+    let overhead_pct = 100.0 * (1.0 - full[1] / off[1]);
+    let mut o = Table::new(
+        "Tracing overhead — dual-pool GCUPS, median of 3 (host threads)",
+        &["config", "run_min", "run_med", "run_max", "overhead_pct"],
+    );
+    for (label, runs, oh) in [
+        ("trace-off", &off, 0.0),
+        ("trace-full", &full, overhead_pct),
+    ] {
+        o.row(vec![
+            label.to_string(),
+            format!("{:.3}", runs[0]),
+            format!("{:.3}", runs[1]),
+            format!("{:.3}", runs[2]),
+            format!("{oh:.2}"),
+        ]);
+    }
+    o.emit("trace-overhead");
+    println!(
+        "full tracing costs {overhead_pct:.2}% of median throughput \
+         (off {:.3} vs full {:.3} GCUPS).",
+        off[1], full[1]
+    );
+    // Generous bound — this guards against a pathological regression
+    // (e.g. journalling on the disabled path), not scheduler noise.
+    assert!(
+        full[1] > 0.7 * off[1],
+        "full tracing costs more than 30% of throughput: off {:.3}, full {:.3}",
+        off[1],
+        full[1]
+    );
 }

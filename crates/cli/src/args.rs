@@ -22,6 +22,7 @@ USAGE:
   swsearch bench    [--seqs <n>] [--query-len <m>] [--threads <t>] [--lanes <l>]
   swsearch hetero   --query <fasta> --db <fasta|swdb> [--frac <0..1>]
                     [--dynamic] [--accel-threads <n>] [--min-chunk <n>] [options]
+  swsearch trace-check [--trace <jsonl>] [--metrics <prom>]
 
 SEARCH OPTIONS:
   --matrix <name>     BLOSUM45/50/62/80 or PAM250 (default BLOSUM62)
@@ -54,6 +55,18 @@ HETERO OPTIONS:
   --accel-timeout-ms <n>  reclaim a silent accel chunk lease after n ms
                       (default: never; required for wedge recovery)
   --failure-budget <n> failures before a pool is retired (default 3)
+  --trace-out <path>  (dynamic) write the run's event timeline: a .jsonl
+                      path gets one event per line; any other extension
+                      gets Chrome trace-event JSON (open in Perfetto)
+  --metrics-out <path> (dynamic) write a Prometheus text snapshot of the
+                      run's counters, histograms and GCUPS time series
+  --trace-level <l>   off | lite | full (default: full when --trace-out
+                      or --metrics-out is given, else off)
+
+TRACE-CHECK OPTIONS:
+  --trace <path>      validate a JSONL event log: schema header, per-track
+                      monotonic timestamps, balanced begin/end spans
+  --metrics <path>    validate a Prometheus text snapshot
 ";
 
 /// A parsed command.
@@ -147,8 +160,25 @@ pub enum Command {
         accel_timeout_ms: Option<u64>,
         /// Failures a pool tolerates before it is retired (dynamic mode).
         failure_budget: u32,
+        /// Write the event timeline here (dynamic mode): `.jsonl` → JSONL
+        /// event log, anything else → Chrome trace-event JSON.
+        trace_out: Option<String>,
+        /// Write a Prometheus text snapshot of the run's metrics here
+        /// (dynamic mode).
+        metrics_out: Option<String>,
+        /// Journal detail level. Defaults to `Full` when `--trace-out` or
+        /// `--metrics-out` is given, `Off` otherwise.
+        trace_level: sw_trace::TraceLevel,
         /// Scoring/search knobs.
         opts: SearchOpts,
+    },
+    /// Validate exported trace artifacts (CI gate for `--trace-out` /
+    /// `--metrics-out` files).
+    TraceCheck {
+        /// JSONL event log to validate.
+        trace: Option<String>,
+        /// Prometheus text snapshot to validate.
+        metrics: Option<String>,
     },
     /// Host throughput micro-benchmark.
     Bench {
@@ -452,6 +482,17 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 })
                 .transpose()?;
             let failure_budget: u32 = a.parse_num("--failure-budget", 3u32)?;
+            let trace_out = a.opt_value("--trace-out");
+            let metrics_out = a.opt_value("--metrics-out");
+            let trace_level = match a.opt_value("--trace-level") {
+                Some(v) => sw_trace::TraceLevel::parse(&v).ok_or_else(|| {
+                    err(format!(
+                        "--trace-level must be off, lite or full (got '{v}')"
+                    ))
+                })?,
+                None if trace_out.is_some() || metrics_out.is_some() => sw_trace::TraceLevel::Full,
+                None => sw_trace::TraceLevel::Off,
+            };
             Ok(Command::Hetero {
                 query: a.value_of("--query")?,
                 db: a.value_of("--db")?,
@@ -462,8 +503,21 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 inject_fault,
                 accel_timeout_ms,
                 failure_budget,
+                trace_out,
+                metrics_out,
+                trace_level,
                 opts,
             })
+        }
+        "trace-check" => {
+            let trace = a.opt_value("--trace");
+            let metrics = a.opt_value("--metrics");
+            if trace.is_none() && metrics.is_none() {
+                return Err(err(
+                    "trace-check needs --trace <jsonl> and/or --metrics <prom>",
+                ));
+            }
+            Ok(Command::TraceCheck { trace, metrics })
         }
         "bench" => {
             let lanes: usize = a.parse_num("--lanes", 16usize)?;
@@ -720,6 +774,66 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn hetero_trace_flags() {
+        use sw_trace::TraceLevel;
+        // No trace flags: tracing stays off.
+        match parse(&argv("hetero --query q --db d --dynamic")).unwrap() {
+            Command::Hetero {
+                trace_out,
+                metrics_out,
+                trace_level,
+                ..
+            } => {
+                assert_eq!(trace_out, None);
+                assert_eq!(metrics_out, None);
+                assert_eq!(trace_level, TraceLevel::Off);
+            }
+            other => panic!("{other:?}"),
+        }
+        // An output path implies full tracing.
+        match parse(&argv(
+            "hetero --query q --db d --dynamic --trace-out t.json --metrics-out m.prom",
+        ))
+        .unwrap()
+        {
+            Command::Hetero {
+                trace_out,
+                metrics_out,
+                trace_level,
+                ..
+            } => {
+                assert_eq!(trace_out.as_deref(), Some("t.json"));
+                assert_eq!(metrics_out.as_deref(), Some("m.prom"));
+                assert_eq!(trace_level, TraceLevel::Full);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Explicit level wins over the implication.
+        match parse(&argv(
+            "hetero --query q --db d --dynamic --trace-out t.jsonl --trace-level lite",
+        ))
+        .unwrap()
+        {
+            Command::Hetero { trace_level, .. } => assert_eq!(trace_level, TraceLevel::Lite),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("hetero --query q --db d --trace-level verbose")).is_err());
+    }
+
+    #[test]
+    fn trace_check_needs_at_least_one_file() {
+        assert!(parse(&argv("trace-check")).is_err());
+        let c = parse(&argv("trace-check --trace t.jsonl --metrics m.prom")).unwrap();
+        assert_eq!(
+            c,
+            Command::TraceCheck {
+                trace: Some("t.jsonl".into()),
+                metrics: Some("m.prom".into()),
+            }
+        );
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             subject,
             opts,
         } => cmd_align(&query, &subject, &opts, out),
+        Command::TraceCheck { trace, metrics } => {
+            cmd_trace_check(trace.as_deref(), metrics.as_deref(), out)
+        }
         Command::Bench {
             seqs,
             query_len,
@@ -102,6 +105,9 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             inject_fault,
             accel_timeout_ms,
             failure_budget,
+            trace_out,
+            metrics_out,
+            trace_level,
             opts,
         } => cmd_hetero(
             &query,
@@ -114,6 +120,11 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 inject_fault,
                 accel_timeout_ms,
                 failure_budget,
+            },
+            HeteroTraceOpts {
+                trace_out,
+                metrics_out,
+                level: trace_level,
             },
             &opts,
             out,
@@ -406,6 +417,13 @@ struct HeteroDrill {
     failure_budget: u32,
 }
 
+/// Trace and metrics outputs for `cmd_hetero` (all off by default).
+struct HeteroTraceOpts {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    level: sw_trace::TraceLevel,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cmd_hetero<W: Write>(
     query_path: &str,
@@ -415,13 +433,23 @@ fn cmd_hetero<W: Write>(
     accel_threads: usize,
     min_chunk: usize,
     drill: HeteroDrill,
+    trace: HeteroTraceOpts,
     opts: &SearchOpts,
     out: &mut W,
 ) -> Result<(), CmdError> {
-    use sw_core::{HeteroEngine, HeteroSearchConfig, RecoveryConfig};
+    use sw_core::{HeteroEngine, HeteroSearchConfig, RecoveryConfig, TraceConfig};
     use sw_sched::{FaultInjector, FaultPlan};
     if drill.inject_fault.is_some() && !dynamic {
         return Err("--inject-fault requires --dynamic (the static split has no recovery)".into());
+    }
+    let tracing_requested = trace.trace_out.is_some() || trace.metrics_out.is_some();
+    if tracing_requested && !dynamic {
+        return Err(
+            "--trace-out/--metrics-out require --dynamic (the static split emits no events)".into(),
+        );
+    }
+    if tracing_requested && trace.level == sw_trace::TraceLevel::Off {
+        return Err("--trace-out/--metrics-out need --trace-level lite or full".into());
     }
     let alphabet = alphabet_from(opts);
     let queries = load_sequences(query_path, &alphabet)?;
@@ -461,6 +489,10 @@ fn cmd_hetero<W: Write>(
                 accel_timeout_ms: drill.accel_timeout_ms,
                 failure_budget: drill.failure_budget,
                 ..RecoveryConfig::default()
+            },
+            trace: TraceConfig {
+                level: trace.level,
+                ..TraceConfig::default()
             },
         };
         let injector = match &drill.inject_fault {
@@ -519,6 +551,33 @@ fn cmd_hetero<W: Write>(
                  completed the queue (results are exact)"
             )?;
         }
+        if let Some(tl) = &outcome.timeline {
+            if let Some(path) = &trace.trace_out {
+                // Extension picks the format: `.jsonl` is the line-oriented
+                // event log, anything else is Chrome trace JSON (Perfetto).
+                let rendered = if path.ends_with(".jsonl") {
+                    sw_trace::export::jsonl(tl)
+                } else {
+                    sw_trace::export::chrome_trace(tl)
+                };
+                std::fs::write(path, rendered)?;
+                writeln!(
+                    out,
+                    "# trace: {} events ({} dropped) written to {path}",
+                    tl.total_events(),
+                    tl.total_dropped()
+                )?;
+            }
+            if let Some(path) = &trace.metrics_out {
+                let prom = sw_trace::export::prometheus(
+                    tl,
+                    &outcome.device_counters(),
+                    dyn_cfg.trace.effective_gcups_window_us(),
+                );
+                std::fs::write(path, prom)?;
+                writeln!(out, "# metrics: prometheus snapshot written to {path}")?;
+            }
+        }
         outcome.results
     } else {
         hetero.search(&q.residues, &prepared, &plan, &cfg, &cfg)
@@ -556,6 +615,30 @@ fn cmd_hetero<W: Write>(
         "simulated on the paper's testbed: {:.1} GCUPS at this split",
         sim.gcups
     )?;
+    Ok(())
+}
+
+fn cmd_trace_check<W: Write>(
+    trace: Option<&str>,
+    metrics: Option<&str>,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    if let Some(path) = trace {
+        let text = std::fs::read_to_string(path)?;
+        let report =
+            sw_trace::validate::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(
+            out,
+            "{path}: OK ({} events, {} tracks, {} balanced spans)",
+            report.events, report.tracks, report.spans
+        )?;
+    }
+    if let Some(path) = metrics {
+        let text = std::fs::read_to_string(path)?;
+        let samples =
+            sw_trace::validate::validate_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+        writeln!(out, "{path}: OK ({samples} samples)")?;
+    }
     Ok(())
 }
 
@@ -940,6 +1023,125 @@ mod tests {
             hits(&drilled),
             "\nclean:\n{clean}\ndrilled:\n{drilled}"
         );
+    }
+
+    #[test]
+    fn hetero_trace_outputs_validate_and_match_printed_counters() {
+        // One fault-injected dynamic run exporting both artifacts: the
+        // JSONL log must validate and show the recovery sequence in
+        // order, and the Prometheus counters must equal the numbers the
+        // CLI itself printed (they share `device_counters()` as source).
+        let db_path = tmp("het5.fasta");
+        run_str(&format!(
+            "gendb --seqs 200 --out {db_path} --seed 4 --mean-len 300"
+        ));
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("hetq5.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[5], &alphabet).unwrap();
+        w.into_inner().unwrap();
+        let trace_jsonl = tmp("het5.trace.jsonl");
+        let prom_path = tmp("het5.metrics.prom");
+        let common = format!(
+            "--query {q_path} --db {db_path} --frac 0.5 --lanes 4 --top 1 \
+             --dynamic --threads 2 --accel-threads 1"
+        );
+        let (code, text) = run_str(&format!(
+            "hetero {common} --inject-fault kill@0 \
+             --trace-out {trace_jsonl} --metrics-out {prom_path}"
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("# trace:"), "{text}");
+        assert!(text.contains("# metrics:"), "{text}");
+        assert!(
+            text.contains("recovery:"),
+            "kill@0 must cost a retry: {text}"
+        );
+
+        let jtext = std::fs::read_to_string(&trace_jsonl).unwrap();
+        let report = sw_trace::validate::validate_jsonl(&jtext).unwrap();
+        assert!(report.events > 0 && report.spans > 0, "{report:?}");
+        let lines: Vec<&str> = jtext.lines().collect();
+        let lost = lines
+            .iter()
+            .position(|l| l.contains("\"lease_lost\""))
+            .unwrap_or_else(|| panic!("no lease_lost event:\n{jtext}"));
+        let requeued = lines
+            .iter()
+            .position(|l| l.contains("\"lease_requeued\""))
+            .unwrap_or_else(|| panic!("no lease_requeued event:\n{jtext}"));
+        let reexec = lines
+            .iter()
+            .position(|l| l.contains("\"chunk_claim\"") && l.contains("\"attempts\":1"))
+            .unwrap_or_else(|| panic!("no re-execution claim:\n{jtext}"));
+        assert!(
+            lost <= requeued && requeued < reexec,
+            "recovery events out of order: lost@{lost} requeued@{requeued} reexec@{reexec}"
+        );
+
+        let ptext = std::fs::read_to_string(&prom_path).unwrap();
+        sw_trace::validate::validate_prometheus(&ptext).unwrap();
+        // Sum a counter over both device labels.
+        let prom_total = |name: &str| -> u64 {
+            let prefix = format!("{name}{{");
+            ptext
+                .lines()
+                .filter(|l| l.starts_with(&prefix))
+                .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+                .sum()
+        };
+        // Totals from the printed "#   <pool>: recovery: ..." lines.
+        let mut printed = [0u64; 4]; // retries, requeues, lost leases, failures
+        for l in text.lines().filter(|l| l.contains("recovery:")) {
+            let nums: Vec<u64> = l
+                .split(|c: char| !c.is_ascii_digit())
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().unwrap())
+                .collect();
+            assert_eq!(nums.len(), 4, "unexpected recovery line: {l}");
+            for (slot, n) in printed.iter_mut().zip(nums) {
+                *slot += n;
+            }
+        }
+        assert_eq!(prom_total("sw_retries_total"), printed[0], "{ptext}");
+        assert_eq!(prom_total("sw_requeues_total"), printed[1], "{ptext}");
+        assert_eq!(prom_total("sw_lost_leases_total"), printed[2], "{ptext}");
+        assert_eq!(prom_total("sw_failures_total"), printed[3], "{ptext}");
+
+        // trace-check accepts both artifacts.
+        let (code, checked) = run_str(&format!(
+            "trace-check --trace {trace_jsonl} --metrics {prom_path}"
+        ));
+        assert_eq!(code, 0, "{checked}");
+        assert_eq!(checked.matches(": OK (").count(), 2, "{checked}");
+
+        // A non-.jsonl path gets Chrome trace JSON with per-worker tracks.
+        let trace_json = tmp("het5.trace.json");
+        let (code, text) = run_str(&format!("hetero {common} --trace-out {trace_json}"));
+        assert_eq!(code, 0, "{text}");
+        let ctext = std::fs::read_to_string(&trace_json).unwrap();
+        assert!(ctext.starts_with('{'), "{ctext}");
+        assert!(ctext.contains("\"traceEvents\""), "{ctext}");
+    }
+
+    #[test]
+    fn hetero_trace_requires_dynamic() {
+        let (code, text) = run_str("hetero --query q --db d --trace-out t.json");
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("require --dynamic"), "{text}");
+        let (code, text) = run_str("hetero --query q --db d --metrics-out m.prom");
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("require --dynamic"), "{text}");
+    }
+
+    #[test]
+    fn trace_check_rejects_garbage() {
+        let bad = tmp("garbage.jsonl");
+        std::fs::write(&bad, "this is not a trace\n").unwrap();
+        let (code, text) = run_str(&format!("trace-check --trace {bad}"));
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("error"), "{text}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use sw_kernels::KernelVariant;
 use sw_sched::Policy;
+use sw_trace::{TraceLevel, Tracer};
 
 /// Configuration of one database search (Algorithm 1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +89,59 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Event-journal tracing knobs for a dynamic heterogeneous search.
+///
+/// Off by default: a disabled tracer hands every worker a no-op journal,
+/// so the scheduler's emission sites cost one branch on an `Option` and
+/// nothing is allocated or locked. Enabling tracing attaches a
+/// per-worker ring journal whose drained timeline the caller can export
+/// (JSONL / Chrome trace / Prometheus — see `sw_trace::export`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// How much detail to record. `Off` (the default) disables the
+    /// journal entirely; `Lite` records instants and counters only;
+    /// `Full` adds the chunk-execution and queue-wait spans.
+    pub level: TraceLevel,
+    /// Per-worker ring capacity in events; `0` uses
+    /// `sw_trace::DEFAULT_RING_CAPACITY`. When a worker out-emits its
+    /// ring the oldest events are dropped and counted, never blocking
+    /// the worker.
+    pub ring_capacity: usize,
+    /// Bucket width of the exported per-device GCUPS time series in
+    /// microseconds; `0` uses `sw_trace::export::DEFAULT_GCUPS_WINDOW_US`.
+    pub gcups_window_us: u64,
+}
+
+impl TraceConfig {
+    /// Full-detail tracing with default capacity and window.
+    pub fn full() -> Self {
+        TraceConfig {
+            level: TraceLevel::Full,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Build the tracer this configuration describes (disabled for
+    /// [`TraceLevel::Off`]).
+    pub fn tracer(&self) -> Tracer {
+        let capacity = if self.ring_capacity == 0 {
+            sw_trace::DEFAULT_RING_CAPACITY
+        } else {
+            self.ring_capacity
+        };
+        Tracer::new(self.level, capacity)
+    }
+
+    /// The GCUPS window to export with, resolving `0` to the default.
+    pub fn effective_gcups_window_us(&self) -> u64 {
+        if self.gcups_window_us == 0 {
+            sw_trace::export::DEFAULT_GCUPS_WINDOW_US
+        } else {
+            self.gcups_window_us
+        }
+    }
+}
+
 /// Configuration of a dynamic dual-pool heterogeneous search
 /// ([`crate::hetero::HeteroEngine::search_dynamic`]): one kernel
 /// configuration per device pool plus the shared-queue granularity.
@@ -105,6 +159,8 @@ pub struct HeteroSearchConfig {
     pub min_chunk: usize,
     /// Fault-tolerance knobs (lease timeout, failure budget, backoff).
     pub recovery: RecoveryConfig,
+    /// Event-journal tracing (off by default, zero-cost when off).
+    pub trace: TraceConfig,
 }
 
 impl HeteroSearchConfig {
@@ -115,7 +171,14 @@ impl HeteroSearchConfig {
             accel,
             min_chunk: 1,
             recovery: RecoveryConfig::default(),
+            trace: TraceConfig::default(),
         }
+    }
+
+    /// Same configuration with tracing enabled at `trace`.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The paper's best kernels on both pools, with explicit pool sizes.
@@ -140,6 +203,23 @@ mod tests {
         assert!(c.variant.blocking);
         assert_eq!(c.threads, 32);
         assert_eq!(c.policy, Policy::dynamic());
+    }
+
+    #[test]
+    fn trace_config_defaults_off() {
+        let t = TraceConfig::default();
+        assert_eq!(t.level, TraceLevel::Off);
+        assert!(!t.tracer().is_enabled(), "off builds a disabled tracer");
+        assert_eq!(
+            t.effective_gcups_window_us(),
+            sw_trace::export::DEFAULT_GCUPS_WINDOW_US
+        );
+        assert!(TraceConfig::full().tracer().is_enabled());
+        assert_eq!(
+            HeteroSearchConfig::best(1, 1).trace,
+            TraceConfig::default(),
+            "tracing is opt-in"
+        );
     }
 
     #[test]

@@ -23,11 +23,12 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use sw_kernels::CellCount;
 use sw_sched::{
-    run_dual_pool_supervised, DeviceMetrics, DualPoolConfig, ExecError, FaultInjector, MetricsSink,
+    run_dual_pool_traced, DeviceMetrics, DualPoolConfig, ExecError, FaultInjector, MetricsSink,
     DEVICE_ACCEL, DEVICE_CPU,
 };
 use sw_swdb::chunk::{range_cells, split_by_cells};
 use sw_swdb::{BatchRange, QueryProfile};
+use sw_trace::Timeline;
 
 /// How the database was split between the two devices.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -186,6 +187,7 @@ impl HeteroEngine {
                 boundary: 0,
                 accel_cell_fraction: 0.0,
                 degraded: [false, false],
+                timeline: None,
             });
         }
         let qp = QueryProfile::build(query, &self.engine.params.matrix, &db.alphabet);
@@ -203,9 +205,10 @@ impl HeteroEngine {
             cpu_workers = 1;
         }
         let sink = MetricsSink::new();
+        let tracer = config.trace.tracer();
         let start = Instant::now();
 
-        let outcome = run_dual_pool_supervised(
+        let outcome = run_dual_pool_traced(
             db.batches.len(),
             DualPoolConfig {
                 cpu_workers,
@@ -227,8 +230,10 @@ impl HeteroEngine {
                 (device, out)
             },
             &sink,
+            &tracer,
         )?;
         let elapsed = start.elapsed();
+        let timeline = tracer.is_enabled().then(|| tracer.timeline());
 
         let mut hits: Vec<Hit> = Vec::with_capacity(db.n_seqs());
         let mut cells = CellCount::default();
@@ -258,6 +263,7 @@ impl HeteroEngine {
             accel,
             boundary,
             degraded,
+            timeline,
         })
     }
 }
@@ -284,6 +290,33 @@ pub struct DynamicSearchOutcome {
     /// the other pool finished its share. Also folded into
     /// `results.degraded`.
     pub degraded: [bool; 2],
+    /// Drained event timeline — `Some` only when
+    /// [`HeteroSearchConfig::trace`](crate::config::TraceConfig) enabled
+    /// tracing; export with `sw_trace::export`.
+    pub timeline: Option<Timeline>,
+}
+
+impl DynamicSearchOutcome {
+    /// Per-device counters in the shape the Prometheus exporter takes —
+    /// **the same aggregates** the CLI prints, so an exported
+    /// `metrics.prom` and the printed recovery summary always agree.
+    /// `overflow_recomputes` come from the results' rescued-lane count,
+    /// attributed per device by each pool's cell share (the kernel layer
+    /// reports rescues per run, not per device).
+    pub fn device_counters(&self) -> [sw_trace::DeviceCounters; 2] {
+        // All rescued lanes are charged to the device that computed more
+        // cells; splitting one u64 across pools would fabricate fractions
+        // the CLI never prints.
+        let (cpu_rescues, accel_rescues) = if self.cpu.cells >= self.accel.cells {
+            (self.results.lanes_rescued, 0)
+        } else {
+            (0, self.results.lanes_rescued)
+        };
+        [
+            self.cpu.counters(cpu_rescues),
+            self.accel.counters(accel_rescues),
+        ]
+    }
 }
 
 #[cfg(test)]

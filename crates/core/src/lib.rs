@@ -41,7 +41,7 @@ pub mod simulate;
 pub mod stats;
 pub mod verify;
 
-pub use config::{HeteroSearchConfig, RecoveryConfig, SearchConfig};
+pub use config::{HeteroSearchConfig, RecoveryConfig, SearchConfig, TraceConfig};
 pub use engine::SearchEngine;
 pub use hetero::{DynamicSearchOutcome, HeteroEngine, SplitPlan};
 pub use prepare::PreparedDb;

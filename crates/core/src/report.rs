@@ -71,31 +71,63 @@ pub struct SearchSummary {
     pub gcups: f64,
     /// Saturated vector lanes recomputed exactly.
     pub lanes_rescued: u64,
+    /// Chunks re-executed after a failure, across both pools.
+    pub retries: u64,
+    /// Chunk leases released back to the queue, across both pools.
+    pub requeues: u64,
+    /// Leases reclaimed from silent workers by the lease timeout.
+    pub lost_leases: u64,
     /// True when a device pool died mid-run and the search completed on
     /// the surviving pool.
     pub degraded: bool,
 }
 
 impl SearchSummary {
-    /// Summarise a result set.
+    /// Summarise a result set. Recovery counters are zero — a plain
+    /// [`SearchResults`] does not carry them; use
+    /// [`SearchSummary::of_dynamic`] for a dual-pool run.
     pub fn of(results: &SearchResults) -> Self {
         SearchSummary {
             hits: results.hits.len(),
             best_score: results.hits.first().map_or(0, |h| h.score),
             gcups: results.gcups().value(),
             lanes_rescued: results.lanes_rescued,
+            retries: 0,
+            requeues: 0,
+            lost_leases: 0,
             degraded: results.degraded,
         }
     }
 
-    /// Render the single status line.
+    /// Summarise a dynamic dual-pool run, folding in the per-device
+    /// recovery counters the supervised scheduler collected.
+    pub fn of_dynamic(outcome: &crate::hetero::DynamicSearchOutcome) -> Self {
+        SearchSummary {
+            retries: outcome.cpu.retries + outcome.accel.retries,
+            requeues: outcome.cpu.requeues + outcome.accel.requeues,
+            lost_leases: outcome.cpu.lost_leases + outcome.accel.lost_leases,
+            ..SearchSummary::of(&outcome.results)
+        }
+    }
+
+    /// Render the single status line. Recovery counters appear only when
+    /// at least one is non-zero, so a clean run's line is unchanged.
     pub fn render(&self) -> String {
+        let recovery = if self.retries + self.requeues + self.lost_leases > 0 {
+            format!(
+                ", {} retries, {} requeues, {} lost leases",
+                self.retries, self.requeues, self.lost_leases
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} hits, best {}, {:.3} GCUPS, {} lanes rescued{}",
+            "{} hits, best {}, {:.3} GCUPS, {} lanes rescued{}{}",
             self.hits,
             self.best_score,
             self.gcups,
             self.lanes_rescued,
+            recovery,
             if self.degraded {
                 " [DEGRADED: completed on one device pool]"
             } else {
@@ -202,6 +234,67 @@ mod tests {
         let degraded = SearchSummary::of(&res.with_degraded(true));
         assert!(degraded.degraded);
         assert!(degraded.render().contains("DEGRADED"));
+    }
+
+    #[test]
+    fn render_golden_lines() {
+        // Hand-built summaries pin the exact status-line format: a clean
+        // run, a recovered run, and a degraded run.
+        let clean = SearchSummary {
+            hits: 42,
+            best_score: 517,
+            gcups: 1.2345,
+            lanes_rescued: 2,
+            retries: 0,
+            requeues: 0,
+            lost_leases: 0,
+            degraded: false,
+        };
+        assert_eq!(
+            clean.render(),
+            "42 hits, best 517, 1.234 GCUPS, 2 lanes rescued"
+        );
+
+        let recovered = SearchSummary {
+            retries: 3,
+            requeues: 4,
+            lost_leases: 1,
+            ..clean.clone()
+        };
+        assert_eq!(
+            recovered.render(),
+            "42 hits, best 517, 1.234 GCUPS, 2 lanes rescued, \
+             3 retries, 4 requeues, 1 lost leases"
+        );
+
+        let degraded = SearchSummary {
+            degraded: true,
+            ..recovered
+        };
+        assert_eq!(
+            degraded.render(),
+            "42 hits, best 517, 1.234 GCUPS, 2 lanes rescued, \
+             3 retries, 4 requeues, 1 lost leases \
+             [DEGRADED: completed on one device pool]"
+        );
+    }
+
+    #[test]
+    fn dynamic_summary_carries_recovery_counters() {
+        use crate::config::HeteroSearchConfig;
+        use crate::hetero::HeteroEngine;
+        let (db, query, engine) = setup();
+        let hetero = HeteroEngine::new(engine);
+        let plan = hetero.plan_split(&db, query.len(), 0.5);
+        let out = hetero.search_dynamic(&query, &db, &plan, &HeteroSearchConfig::best(2, 1));
+        let summary = SearchSummary::of_dynamic(&out);
+        assert_eq!(summary.hits, out.results.hits.len());
+        assert_eq!(summary.retries, out.cpu.retries + out.accel.retries);
+        assert_eq!(summary.requeues, out.cpu.requeues + out.accel.requeues);
+        assert!(
+            !summary.render().contains("retries"),
+            "clean run renders without the recovery segment"
+        );
     }
 
     #[test]

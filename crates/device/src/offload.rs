@@ -10,6 +10,7 @@
 
 use crate::model::PcieLink;
 use serde::{Deserialize, Serialize};
+use sw_trace::WorkerJournal;
 
 /// What happened during one timeline interval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,12 +80,35 @@ pub enum WaitOutcome {
 }
 
 /// The offload runtime simulator.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OffloadSim {
     link: PcieLink,
     host_clock: f64,
     device_clock: f64,
     timeline: Vec<Event>,
+    /// Attached trace journal; a disabled journal (the default) makes
+    /// every emission a no-op.
+    journal: WorkerJournal,
+}
+
+impl Clone for OffloadSim {
+    /// Clones the simulator state but *not* the journal — two simulators
+    /// writing the same worker track would interleave nonsense, so the
+    /// clone starts with a disabled journal.
+    fn clone(&self) -> Self {
+        OffloadSim {
+            link: self.link,
+            host_clock: self.host_clock,
+            device_clock: self.device_clock,
+            timeline: self.timeline.clone(),
+            journal: WorkerJournal::disabled(),
+        }
+    }
+}
+
+/// Simulated seconds → the journal's microsecond clock.
+fn sim_us(t: f64) -> u64 {
+    (t * 1e6).round() as u64
 }
 
 impl OffloadSim {
@@ -95,7 +119,21 @@ impl OffloadSim {
             host_clock: 0.0,
             device_clock: 0.0,
             timeline: Vec::new(),
+            journal: WorkerJournal::disabled(),
         }
+    }
+
+    /// Attach a trace journal: offload signals, waits and timeouts are
+    /// emitted into it at the simulated clock (see `sw-trace`). The
+    /// journal flushes its events when the simulator is dropped or the
+    /// journal is [detached](OffloadSim::detach_journal).
+    pub fn attach_journal(&mut self, journal: WorkerJournal) {
+        self.journal = journal;
+    }
+
+    /// Detach the attached journal (a disabled journal remains).
+    pub fn detach_journal(&mut self) -> WorkerJournal {
+        std::mem::take(&mut self.journal)
     }
 
     /// Asynchronously offload a kernel: input transfer, device compute
@@ -136,6 +174,10 @@ impl OffloadSim {
             kind: EventKind::TransferOut { bytes: out_bytes },
         });
         self.device_clock = t3;
+        self.journal.emit_at(
+            sim_us(self.host_clock),
+            sw_trace::EventKind::OffloadSignal { bytes: in_bytes },
+        );
         Signal {
             completion_s: t3,
             failed: false,
@@ -171,6 +213,10 @@ impl OffloadSim {
             },
         });
         self.device_clock = t2;
+        self.journal.emit_at(
+            sim_us(self.host_clock),
+            sw_trace::EventKind::OffloadSignal { bytes: in_bytes },
+        );
         Signal {
             completion_s: t2,
             failed: true,
@@ -194,6 +240,7 @@ impl OffloadSim {
     /// Block the host until the offload signalled by `sig` has completed —
     /// `#pragma offload wait(sem)`.
     pub fn wait(&mut self, sig: Signal) {
+        let blocked_us = sim_us(sig.completion_s).saturating_sub(sim_us(self.host_clock));
         if sig.completion_s > self.host_clock {
             self.timeline.push(Event {
                 start_s: self.host_clock,
@@ -202,6 +249,10 @@ impl OffloadSim {
             });
             self.host_clock = sig.completion_s;
         }
+        self.journal.emit_at(
+            sim_us(self.host_clock),
+            sw_trace::EventKind::OffloadWait { us: blocked_us },
+        );
     }
 
     /// Fault-aware wait with a deadline: block until the offload
@@ -218,6 +269,7 @@ impl OffloadSim {
         // The signal (completion or fault) becomes visible at
         // `completion_s`; past the deadline the host stops watching.
         let until = sig.completion_s.min(deadline);
+        let blocked_us = sim_us(until).saturating_sub(sim_us(self.host_clock));
         if until > self.host_clock {
             self.timeline.push(Event {
                 start_s: self.host_clock,
@@ -227,11 +279,23 @@ impl OffloadSim {
             self.host_clock = until;
         }
         if sig.completion_s > deadline {
+            self.journal.emit_at(
+                sim_us(self.host_clock),
+                sw_trace::EventKind::OffloadTimeout {
+                    us: sim_us(timeout_s),
+                },
+            );
             WaitOutcome::TimedOut
-        } else if sig.failed {
-            WaitOutcome::Failed
         } else {
-            WaitOutcome::Completed
+            self.journal.emit_at(
+                sim_us(self.host_clock),
+                sw_trace::EventKind::OffloadWait { us: blocked_us },
+            );
+            if sig.failed {
+                WaitOutcome::Failed
+            } else {
+                WaitOutcome::Completed
+            }
         }
     }
 
@@ -478,6 +542,47 @@ mod tests {
         sim.wait_timeout(sig, 100.0);
         let text = sim.render_timeline(60);
         assert!(text.lines().nth(1).unwrap().contains('X'));
+    }
+
+    #[test]
+    fn attached_journal_records_offload_events() {
+        let tracer = sw_trace::Tracer::full();
+        let mut sim = OffloadSim::new(link());
+        sim.attach_journal(tracer.worker(1, 0));
+        let sig = sim.offload_async(1_000_000, 5.0, 1000, "phi share");
+        sim.host_compute(1.0, "cpu share");
+        sim.wait(sig);
+        let wedged = sim.offload_async(0, 100.0, 0, "wedged");
+        assert_eq!(sim.wait_timeout(wedged, 2.0), WaitOutcome::TimedOut);
+        drop(sim.detach_journal());
+        let tl = tracer.timeline();
+        assert_eq!(tl.count("offload_signal"), 2);
+        assert_eq!(tl.count("offload_wait"), 1);
+        assert_eq!(tl.count("offload_timeout"), 1);
+        // Events carry the simulated clock, so the first wait ends at the
+        // device path's completion (~6 s), not at wall zero.
+        let wait_t = tl
+            .events_sorted()
+            .iter()
+            .find_map(|(_, _, e)| match e.kind {
+                sw_trace::EventKind::OffloadWait { .. } => Some(e.t_us),
+                _ => None,
+            })
+            .expect("wait event");
+        assert!(wait_t > 5_000_000, "wait stamped at sim clock: {wait_t}");
+    }
+
+    #[test]
+    fn cloned_sim_does_not_share_the_journal() {
+        let tracer = sw_trace::Tracer::full();
+        let mut sim = OffloadSim::new(link());
+        sim.attach_journal(tracer.worker(1, 0));
+        let mut copy = sim.clone();
+        let sig = copy.offload_async(10, 1.0, 10, "cloned");
+        copy.wait(sig);
+        drop(copy);
+        drop(sim.detach_journal());
+        assert_eq!(tracer.timeline().total_events(), 0);
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub fn rescue_overflows(
             stats.rescue_cells += query.len() as u64 * seq.len() as u64;
         }
     }
+    if stats.lanes_rescued > 0 {
+        // Report into whichever worker journal the executor installed on
+        // this thread (no-op outside a traced run): the kernel layer has
+        // no tracer handle of its own.
+        sw_trace::emit_current(sw_trace::EventKind::OverflowRecompute {
+            from_bits: 16,
+            to_bits: 64,
+            lanes: stats.lanes_rescued,
+        });
+    }
     stats
 }
 
@@ -113,6 +123,36 @@ mod tests {
         let stats = rescue_overflows(&mut out, &q, &batch, &lane_seqs, &p);
         assert_eq!(stats, RescueStats::default());
         assert_eq!(out, before);
+    }
+
+    #[test]
+    fn rescue_reports_into_ambient_journal() {
+        let a = Alphabet::protein();
+        let p = SwParams::paper_default();
+        let long = vec![a.encode_byte(b'W').unwrap(); 3100];
+        let batch = LaneBatch::pack(4, &[(SeqId(0), &long[..])], pad_code(&a));
+        let qp = QueryProfile::build(&long, &p.matrix, &a);
+        let mut ws = Workspace::<4>::new();
+        let mut out = sw_lanes_qp::<4>(&qp, &batch, &p.gap, &mut ws);
+        assert!(out.overflowed[0]);
+
+        let tracer = sw_trace::Tracer::full();
+        sw_trace::install(tracer.worker(0, 0));
+        let lane_seqs: Vec<&[u8]> = vec![&long];
+        let stats = rescue_overflows(&mut out, &long, &batch, &lane_seqs, &p);
+        drop(sw_trace::uninstall());
+        assert_eq!(stats.lanes_rescued, 1);
+        let tl = tracer.timeline();
+        assert_eq!(tl.count("overflow_recompute"), 1);
+        let (_, _, ev) = tl.events_sorted()[0];
+        assert!(matches!(
+            ev.kind,
+            sw_trace::EventKind::OverflowRecompute {
+                from_bits: 16,
+                to_bits: 64,
+                lanes: 1
+            }
+        ));
     }
 
     #[test]

@@ -14,7 +14,8 @@ use crate::policy::{
 };
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use sw_trace::{EventKind, Tracer, WorkerJournal};
 
 /// Result of one simulated parallel loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -274,6 +275,26 @@ impl DualPoolSimResult {
 /// Panics when both pools are empty, speeds are non-positive, cells are
 /// non-finite/negative, or the initial fraction is NaN/outside `[0, 1]`.
 pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolSimResult {
+    simulate_dual_pool_traced(cells, config, &Tracer::disabled())
+}
+
+/// Convert simulated seconds to the journal's microsecond clock.
+fn sim_us(t: f64) -> u64 {
+    (t * 1e6).round() as u64
+}
+
+/// [`simulate_dual_pool`] with an event journal: every claim, execution
+/// span, requeue, retirement and rebalance is emitted into `tracer` with
+/// the *same schema* the real executor produces, stamped at the simulated
+/// clock via `emit_at`. A simulated trace and a real trace of the same
+/// workload are therefore directly comparable in the same tooling
+/// (JSONL diff, Perfetto side-by-side). A disabled tracer makes this
+/// identical to [`simulate_dual_pool`].
+pub fn simulate_dual_pool_traced(
+    cells: &[f64],
+    config: DualPoolSimConfig,
+    tracer: &Tracer,
+) -> DualPoolSimResult {
     assert!(
         config.cpu_workers + config.accel_workers >= 1,
         "need at least one worker across the two pools"
@@ -300,6 +321,21 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
     let mut device_chunks = [0usize; 2];
     let mut boundary = 0usize;
 
+    // One journal per simulated worker, stamped at the simulated clock.
+    // Empty when tracing is disabled so the hot loop pays one map miss.
+    let mut journals: HashMap<(usize, usize), WorkerJournal> = HashMap::new();
+    if tracer.is_enabled() {
+        for device in [DEVICE_CPU, DEVICE_ACCEL] {
+            for w in 0..pool_workers[device] {
+                journals.insert((device, w), tracer.worker(device, w));
+            }
+        }
+    }
+    let mut next_lease = 0u64;
+    // Park times of lingering workers; their queue-wait span is emitted
+    // in one balanced B/E pair when they wake.
+    let mut parked_since: HashMap<(usize, usize), f64> = HashMap::new();
+
     // Min-heap of (available_time, device, worker) — deterministic tie
     // order: CPU workers before accelerator workers at equal times.
     let mut heap: BinaryHeap<Reverse<(Time, usize, usize)>> = BinaryHeap::new();
@@ -321,6 +357,17 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
 
     let mut makespan = 0.0f64;
     while let Some(Reverse((Time(t), device, w))) = heap.pop() {
+        if let Some(t0) = parked_since.remove(&(device, w)) {
+            if let Some(jr) = journals.get_mut(&(device, w)) {
+                jr.emit_at(sim_us(t0), EventKind::QueueWaitBegin);
+                jr.emit_at(
+                    sim_us(t),
+                    EventKind::QueueWaitEnd {
+                        us: sim_us(t) - sim_us(t0),
+                    },
+                );
+            }
+        }
         if degraded[device] {
             // Retired pool: the worker exits without grabbing.
             makespan = makespan.max(t);
@@ -328,8 +375,8 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
         }
         // Requeued ranges take priority over fresh chunks, exactly like
         // the executor's acquire path.
-        let (grabbed, from_requeue) = match requeue.pop() {
-            Some((range, _attempts)) => (Some(range), true),
+        let (grabbed, from_requeue, attempts) = match requeue.pop() {
+            Some((range, attempts)) => (Some(range), true, attempts),
             None => {
                 let accel_share = estimator.accel_share(
                     device_cells[DEVICE_CPU].round() as u64,
@@ -353,11 +400,37 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
                 } else {
                     queue.take_back(k)
                 };
-                (g, false)
+                if g.is_some() {
+                    if let Some(jr) = journals.get_mut(&(device, w)) {
+                        jr.emit_at(sim_us(t), EventKind::SplitRebalance { share: accel_share });
+                    }
+                }
+                (g, false, 0)
             }
         };
         match grabbed {
             Some((s, e)) => {
+                let lease = next_lease;
+                next_lease += 1;
+                if let Some(jr) = journals.get_mut(&(device, w)) {
+                    jr.emit_at(
+                        sim_us(t),
+                        EventKind::LeaseGranted {
+                            lease,
+                            lo: s,
+                            hi: e,
+                        },
+                    );
+                    jr.emit_at(
+                        sim_us(t),
+                        EventKind::ChunkClaim {
+                            lease,
+                            lo: s,
+                            hi: e,
+                            attempts,
+                        },
+                    );
+                }
                 if device == DEVICE_ACCEL {
                     let n = accel_chunk_counter;
                     accel_chunk_counter += 1;
@@ -370,6 +443,30 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
                         requeued_chunks += 1;
                         requeued_tasks += e - s;
                         degraded[DEVICE_ACCEL] = true;
+                        if let Some(jr) = journals.get_mut(&(device, w)) {
+                            jr.emit_at(
+                                sim_us(t),
+                                EventKind::LeaseLost {
+                                    lease,
+                                    victim: DEVICE_ACCEL,
+                                },
+                            );
+                            jr.emit_at(
+                                sim_us(t),
+                                EventKind::LeaseRequeued {
+                                    lease,
+                                    lo: s,
+                                    hi: e,
+                                    attempts: 1,
+                                },
+                            );
+                            jr.emit_at(
+                                sim_us(t),
+                                EventKind::PoolRetired {
+                                    device: DEVICE_ACCEL,
+                                },
+                            );
+                        }
                         makespan = makespan.max(t);
                         for (pt, pd, pw) in parked.drain(..) {
                             heap.push(Reverse((Time(pt.max(t)), pd, pw)));
@@ -379,6 +476,25 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
                 }
                 let chunk_cells: f64 = cells[s..e].iter().sum();
                 let work = chunk_cells / speeds[device];
+                if let Some(jr) = journals.get_mut(&(device, w)) {
+                    jr.emit_at(
+                        sim_us(t),
+                        EventKind::ChunkStart {
+                            lease,
+                            lo: s,
+                            hi: e,
+                        },
+                    );
+                    jr.emit_at(
+                        sim_us(t + work),
+                        EventKind::ChunkFinish {
+                            lease,
+                            lo: s,
+                            hi: e,
+                            cells: chunk_cells.round() as u64,
+                        },
+                    );
+                }
                 device_busy[device] += work;
                 device_tasks[device] += e - s;
                 device_cells[device] += chunk_cells;
@@ -394,6 +510,7 @@ pub fn simulate_dual_pool(cells: &[f64], config: DualPoolSimConfig) -> DualPoolS
                     // A kill may still orphan a chunk: linger instead of
                     // retiring. Woken at most once, so this terminates.
                     parked.push((t, device, w));
+                    parked_since.insert((device, w), t);
                 }
             }
         }
@@ -764,6 +881,47 @@ mod tests {
         let b = simulate_dual_pool(&cells, cfg);
         assert_eq!(a, b);
         assert_eq!(a.degraded, [false, true]);
+    }
+
+    #[test]
+    fn traced_sim_matches_untraced_and_validates() {
+        let cells: Vec<f64> = (1..=150).map(|i| i as f64 * 1e6).collect();
+        let plain = simulate_dual_pool(&cells, dual_cfg());
+        let tracer = Tracer::full();
+        let traced = simulate_dual_pool_traced(&cells, dual_cfg(), &tracer);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        let tl = tracer.timeline();
+        assert_eq!(
+            tl.count("chunk_claim"),
+            plain.device_chunks[0] + plain.device_chunks[1]
+        );
+        let text = sw_trace::export::jsonl(&tl);
+        let rep = sw_trace::validate::validate_jsonl(&text).expect("sim trace validates");
+        assert!(rep.spans >= plain.device_chunks[0] + plain.device_chunks[1]);
+    }
+
+    #[test]
+    fn traced_sim_kill_emits_recovery_events() {
+        let cells: Vec<f64> = (1..=120).map(|i| i as f64 * 1e6).collect();
+        let mut cfg = dual_cfg();
+        cfg.accel_fail_after_chunks = Some(1);
+        let tracer = Tracer::full();
+        let r = simulate_dual_pool_traced(&cells, cfg, &tracer);
+        assert_eq!(r.degraded, [false, true]);
+        let tl = tracer.timeline();
+        assert_eq!(tl.count("lease_lost"), 1);
+        assert_eq!(tl.count("lease_requeued"), 1);
+        assert_eq!(tl.count("pool_retired"), 1);
+        // The requeued range is re-claimed with a non-zero attempt count.
+        let retry_claims = tl
+            .events_sorted()
+            .iter()
+            .filter(|(_, _, ev)| {
+                matches!(ev.kind, EventKind::ChunkClaim { attempts, .. } if attempts > 0)
+            })
+            .count();
+        assert_eq!(retry_claims, 1);
+        sw_trace::validate::validate_jsonl(&sw_trace::export::jsonl(&tl)).expect("valid");
     }
 
     #[test]

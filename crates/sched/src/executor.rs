@@ -45,6 +45,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use sw_trace::{EventKind, Tracer, WorkerJournal};
 
 /// How long an idle worker sleeps while waiting for requeued work or
 /// outstanding leases to resolve.
@@ -560,22 +561,25 @@ impl<'a> Supervisor<'a> {
     }
 
     /// Charge one failure against `device`'s budget, retiring the pool
-    /// (degraded) once the budget is exceeded.
-    fn charge_failure(&self, st: &mut RecoveryState, device: usize) {
+    /// (degraded) once the budget is exceeded. Events land on the journal
+    /// of the worker that observed the failure.
+    fn charge_failure(&self, st: &mut RecoveryState, device: usize, jr: &mut WorkerJournal) {
         st.failures[device] += 1;
         self.sink.record_recovery(device, RecoveryEvent::Failure);
         if st.failures[device] > self.config.failure_budget && !st.retired[device] {
             st.retired[device] = true;
             self.sink.record_recovery(device, RecoveryEvent::Degraded);
+            jr.emit(EventKind::PoolRetired { device });
         }
     }
 
     /// Retire `device`'s pool immediately (injected pool kill).
-    fn retire(&self, device: usize) {
+    fn retire(&self, device: usize, jr: &mut WorkerJournal) {
         let mut st = self.lock();
         if !st.retired[device] {
             st.retired[device] = true;
             self.sink.record_recovery(device, RecoveryEvent::Degraded);
+            jr.emit(EventKind::PoolRetired { device });
         }
     }
 
@@ -588,7 +592,7 @@ impl<'a> Supervisor<'a> {
     /// requeued ranges first, then a fresh adaptive chunk from the
     /// device's end of the queue; once the queue drains, reclaim expired
     /// leases, report completion, or ask the worker to linger.
-    fn acquire(&self, device: usize, pool_workers: usize) -> Acquire {
+    fn acquire(&self, device: usize, pool_workers: usize, jr: &mut WorkerJournal) -> Acquire {
         let mut st = self.lock();
         loop {
             if st.retired[device] {
@@ -596,6 +600,11 @@ impl<'a> Supervisor<'a> {
             }
             if let Some((range, attempts)) = st.requeue.pop() {
                 let lease = Self::register(&mut st, device, range, attempts);
+                jr.emit(EventKind::LeaseGranted {
+                    lease,
+                    lo: range.0,
+                    hi: range.1,
+                });
                 return Acquire::Work(Work {
                     range,
                     attempts,
@@ -630,6 +639,12 @@ impl<'a> Supervisor<'a> {
                 }
                 .expect("non-empty queue yields a range");
                 let lease = Self::register(&mut st, device, range, 0);
+                jr.emit(EventKind::SplitRebalance { share: accel_share });
+                jr.emit(EventKind::LeaseGranted {
+                    lease,
+                    lo: range.0,
+                    hi: range.1,
+                });
                 return Acquire::Work(Work {
                     range,
                     attempts: 0,
@@ -650,7 +665,17 @@ impl<'a> Supervisor<'a> {
                 st.requeue.push(lease.range, lease.attempts + 1);
                 self.sink
                     .record_recovery(lease.device, RecoveryEvent::LostLease);
-                self.charge_failure(&mut st, lease.device);
+                jr.emit(EventKind::LeaseLost {
+                    lease: lease.id,
+                    victim: lease.device,
+                });
+                jr.emit(EventKind::LeaseRequeued {
+                    lease: lease.id,
+                    lo: lease.range.0,
+                    hi: lease.range.1,
+                    attempts: lease.attempts + 1,
+                });
+                self.charge_failure(&mut st, lease.device, jr);
                 continue; // the requeued range is available now
             }
             if st.leases.is_empty() && st.requeue.is_empty() {
@@ -676,7 +701,14 @@ impl<'a> Supervisor<'a> {
     /// requeued with an incremented attempt count, or — once retries are
     /// exhausted — the failing task is reported terminally and the rest
     /// of the chunk salvaged.
-    fn release_failed(&self, id: u64, device: usize, failed_at: usize, message: String) {
+    fn release_failed(
+        &self,
+        id: u64,
+        device: usize,
+        failed_at: usize,
+        message: String,
+        jr: &mut WorkerJournal,
+    ) {
         let mut st = self.lock();
         let Some(pos) = st.leases.iter().position(|l| l.id == id) else {
             // Already reclaimed by timeout: the reclaimer charged the
@@ -684,7 +716,11 @@ impl<'a> Supervisor<'a> {
             return;
         };
         let lease = st.leases.swap_remove(pos);
-        self.charge_failure(&mut st, device);
+        jr.emit(EventKind::LeaseLost {
+            lease: id,
+            victim: device,
+        });
+        self.charge_failure(&mut st, device, jr);
         let end = lease.range.1;
         if lease.attempts >= self.config.max_chunk_retries {
             st.errors.push(TaskError {
@@ -695,10 +731,22 @@ impl<'a> Supervisor<'a> {
             if failed_at + 1 < end {
                 st.requeue.push((failed_at + 1, end), 0);
                 self.sink.record_recovery(device, RecoveryEvent::Requeue);
+                jr.emit(EventKind::LeaseRequeued {
+                    lease: id,
+                    lo: failed_at + 1,
+                    hi: end,
+                    attempts: 0,
+                });
             }
         } else {
             st.requeue.push((failed_at, end), lease.attempts + 1);
             self.sink.record_recovery(device, RecoveryEvent::Requeue);
+            jr.emit(EventKind::LeaseRequeued {
+                lease: id,
+                lo: failed_at,
+                hi: end,
+                attempts: lease.attempts + 1,
+            });
         }
     }
 }
@@ -731,16 +779,24 @@ impl<'a> Supervisor<'a> {
 /// `cost(i)` is the workload of task `i` in DP cells — used for the
 /// estimator and the per-worker metrics recorded into `sink`.
 ///
+/// `tracer` collects a per-worker event journal (chunk spans, queue
+/// waits, lease lifecycle, retire/rebalance) when enabled; pass
+/// [`Tracer::disabled`] for the zero-cost path. During each task the
+/// worker's journal is installed as the thread's ambient journal
+/// (`sw_trace::install`), so lower layers (kernels) can emit overflow
+/// recompute events without any signature threading.
+///
 /// # Panics
 /// Panics when both pools are empty or when `initial_accel_fraction` is
 /// NaN or outside `[0, 1]`.
-pub fn run_dual_pool_supervised<T, F, C>(
+pub fn run_dual_pool_traced<T, F, C>(
     n_tasks: usize,
     config: DualPoolConfig,
     injector: &FaultInjector,
     cost: C,
     task: F,
     sink: &MetricsSink,
+    tracer: &Tracer,
 ) -> Result<DualPoolOutcome<T>, ExecError>
 where
     T: Send,
@@ -774,20 +830,34 @@ where
             for w in 0..workers {
                 scope.spawn(move || {
                     let mut sample = WorkerSample::new(device, w);
+                    let mut journal = tracer.worker(device, w);
                     'work: loop {
                         if injector.pool_dead(device) {
-                            sup.retire(device);
+                            sup.retire(device, &mut journal);
                         }
                         let wait_start = Instant::now();
+                        let wait_stamp = journal.stamp();
                         let work = loop {
-                            match sup.acquire(device, workers) {
+                            match sup.acquire(device, workers, &mut journal) {
                                 Acquire::Work(wk) => break wk,
                                 Acquire::Done | Acquire::Retired => break 'work,
                                 Acquire::Linger => std::thread::sleep(LINGER_POLL),
                             }
                         };
                         sample.queue_wait += wait_start.elapsed();
+                        let wait_us = journal.since_us(wait_stamp);
+                        journal.span_from(
+                            wait_stamp,
+                            EventKind::QueueWaitBegin,
+                            EventKind::QueueWaitEnd { us: wait_us },
+                        );
                         let (s, e) = work.range;
+                        journal.emit(EventKind::ChunkClaim {
+                            lease: work.lease,
+                            lo: s,
+                            hi: e,
+                            attempts: work.attempts,
+                        });
 
                         let mut fault = injector.on_chunk_start(device);
                         if matches!(fault, Some(FaultKind::Wedge))
@@ -798,7 +868,7 @@ where
                             fault = Some(FaultKind::Kill);
                         }
                         if matches!(fault, Some(FaultKind::KillPool)) {
-                            sup.retire(device);
+                            sup.retire(device, &mut journal);
                         }
                         match fault {
                             Some(FaultKind::Delay(d)) => std::thread::sleep(d),
@@ -817,12 +887,24 @@ where
 
                         if work.attempts > 0 && config.retry_backoff_ms > 0 {
                             let factor = 1u64 << (work.attempts - 1).min(6);
-                            std::thread::sleep(Duration::from_millis(
-                                config.retry_backoff_ms.saturating_mul(factor),
-                            ));
+                            let backoff_ms = config.retry_backoff_ms.saturating_mul(factor);
+                            journal.emit(EventKind::RetryBackoff {
+                                attempts: work.attempts,
+                                backoff_ms,
+                            });
+                            std::thread::sleep(Duration::from_millis(backoff_ms));
                         }
 
                         let exec_start = Instant::now();
+                        let chunk_stamp = journal.stamp();
+                        // Hand the journal to the thread-local slot so the
+                        // task's lower layers (kernel overflow rescue) can
+                        // emit into the same track; recovered below even if
+                        // the task panics.
+                        let traced = journal.enabled();
+                        if traced {
+                            sw_trace::install(std::mem::take(&mut journal));
+                        }
                         let mut buf: Vec<T> = Vec::with_capacity(e - s);
                         let mut chunk_cells = 0u64;
                         let mut failed: Option<(usize, String)> = None;
@@ -847,6 +929,25 @@ where
                                 }
                             }
                         }
+                        if traced {
+                            if let Some(j) = sw_trace::uninstall() {
+                                journal = j;
+                            }
+                        }
+                        journal.span_from(
+                            chunk_stamp,
+                            EventKind::ChunkStart {
+                                lease: work.lease,
+                                lo: s,
+                                hi: e,
+                            },
+                            EventKind::ChunkFinish {
+                                lease: work.lease,
+                                lo: s,
+                                hi: e,
+                                cells: chunk_cells,
+                            },
+                        );
                         let busy = exec_start.elapsed();
                         sample.busy += busy;
                         sample.tasks += buf.len() as u64;
@@ -871,7 +972,7 @@ where
                                 sup.complete(work.lease);
                             }
                             Some((at, message)) => {
-                                sup.release_failed(work.lease, device, at, message);
+                                sup.release_failed(work.lease, device, at, message, &mut journal);
                                 if kill {
                                     break 'work; // injected kill: worker is dead
                                 }
@@ -879,6 +980,7 @@ where
                         }
                     }
                     sink.record(sample);
+                    journal.flush();
                 });
             }
         }
@@ -896,6 +998,36 @@ where
             missing,
         }),
     }
+}
+
+/// [`run_dual_pool_traced`] without tracing — the pre-observability
+/// entry point, kept for callers that don't collect a timeline.
+///
+/// # Panics
+/// Panics when both pools are empty or when `initial_accel_fraction` is
+/// NaN or outside `[0, 1]`.
+pub fn run_dual_pool_supervised<T, F, C>(
+    n_tasks: usize,
+    config: DualPoolConfig,
+    injector: &FaultInjector,
+    cost: C,
+    task: F,
+    sink: &MetricsSink,
+) -> Result<DualPoolOutcome<T>, ExecError>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+    C: Fn(usize) -> u64 + Sync,
+{
+    run_dual_pool_traced(
+        n_tasks,
+        config,
+        injector,
+        cost,
+        task,
+        sink,
+        &Tracer::disabled(),
+    )
 }
 
 /// Run `task(device, i)` for every `i in 0..n_tasks` on two device worker
@@ -1421,6 +1553,88 @@ mod tests {
         assert!(err.failures[0].message.contains("always fails"));
         // 1 initial failure + max_chunk_retries re-execution failures.
         assert_eq!(sink.device(DEVICE_CPU).failures, 3);
+    }
+
+    #[test]
+    fn traced_kill_shows_lease_loss_requeue_and_reexecution_in_order() {
+        let sink = MetricsSink::new();
+        let inj = injected(FaultKind::Kill, 0);
+        let tracer = Tracer::full();
+        let out = run_dual_pool_traced(
+            200,
+            DualPoolConfig::new(2, 2),
+            &inj,
+            |_| 1,
+            |d, i| {
+                gate_cpu_on(&inj, d);
+                i
+            },
+            &sink,
+            &tracer,
+        )
+        .expect("kill must be recovered");
+        assert!(out.results.iter().enumerate().all(|(i, &v)| v == i));
+        let tl = tracer.timeline();
+        // Workers that never claimed work flush nothing, so the track
+        // count is at most one per worker — but both pools must appear:
+        // the killed accel worker claimed a chunk before dying, and a CPU
+        // worker re-executed it.
+        assert!(tl.tracks.len() <= 4, "at most one track per worker");
+        assert!(tl.tracks.iter().any(|t| t.device == DEVICE_ACCEL));
+        assert!(tl.tracks.iter().any(|t| t.device == DEVICE_CPU));
+        assert!(tl.count("lease_lost") >= 1, "kill shows a lost lease");
+        assert!(tl.count("lease_requeued") >= 1);
+        let evs = tl.events_sorted();
+        let lost_t = evs
+            .iter()
+            .find_map(|(_, _, e)| match e.kind {
+                EventKind::LeaseLost { .. } => Some(e.t_us),
+                _ => None,
+            })
+            .expect("lease_lost event");
+        let requeue_t = evs
+            .iter()
+            .find_map(|(_, _, e)| match e.kind {
+                EventKind::LeaseRequeued { .. } => Some(e.t_us),
+                _ => None,
+            })
+            .expect("lease_requeued event");
+        let reexec_t = evs
+            .iter()
+            .find_map(|(_, _, e)| match e.kind {
+                EventKind::ChunkClaim { attempts, .. } if attempts > 0 => Some(e.t_us),
+                _ => None,
+            })
+            .expect("re-execution claim with attempts > 0");
+        assert!(lost_t <= requeue_t, "loss precedes requeue");
+        assert!(requeue_t <= reexec_t, "requeue precedes re-execution");
+        // The lost lease landed on the accel pool's track.
+        assert!(evs.iter().any(|(d, _, e)| {
+            matches!(e.kind, EventKind::LeaseLost { victim, .. } if victim == DEVICE_ACCEL)
+                && *d < 2
+        }));
+        // The full export round-trips through the schema validator.
+        let text = sw_trace::export::jsonl(&tl);
+        let report = sw_trace::validate::validate_jsonl(&text).expect("schema-valid trace");
+        assert!(report.spans > 0, "chunk spans present and balanced");
+    }
+
+    #[test]
+    fn untraced_run_produces_no_timeline() {
+        let sink = MetricsSink::new();
+        let tracer = Tracer::disabled();
+        let out = run_dual_pool_traced(
+            64,
+            DualPoolConfig::new(2, 1),
+            &FaultInjector::none(),
+            |_| 1,
+            |_d, i| i,
+            &sink,
+            &tracer,
+        )
+        .expect("clean run");
+        assert_eq!(out.results.len(), 64);
+        assert_eq!(tracer.timeline().total_events(), 0);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   and per-worker utilisation. This is what regenerates the paper's
 //!   thread-scaling figures on hardware we don't have.
 //!   [`desim::simulate_dual_pool`] replays the heterogeneous dual-pool
-//!   policy deterministically.
+//!   policy deterministically, and [`desim::simulate_dual_pool_traced`]
+//!   emits the same `sw-trace` event schema as the real executor,
+//!   stamped at the simulated clock.
 //! * [`executor`] — a real multi-threaded executor (std scoped threads +
 //!   atomics) implementing the same policies for actually running kernels
 //!   on the host, and [`executor::run_dual_pool`] /
@@ -37,10 +39,13 @@ pub mod fault;
 pub mod metrics;
 pub mod policy;
 
-pub use desim::{simulate, simulate_dual_pool, DualPoolSimConfig, DualPoolSimResult, SimResult};
+pub use desim::{
+    simulate, simulate_dual_pool, simulate_dual_pool_traced, DualPoolSimConfig, DualPoolSimResult,
+    SimResult,
+};
 pub use executor::{
-    run_dual_pool, run_dual_pool_supervised, run_parallel, try_run_parallel, DualPoolConfig,
-    DualPoolOutcome, ExecError, ExecutorConfig, TaskError,
+    run_dual_pool, run_dual_pool_supervised, run_dual_pool_traced, run_parallel, try_run_parallel,
+    DualPoolConfig, DualPoolOutcome, ExecError, ExecutorConfig, TaskError,
 };
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{imbalance, DeviceMetrics, Imbalance, MetricsSink, RecoveryEvent, WorkerSample};

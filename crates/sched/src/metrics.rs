@@ -26,12 +26,14 @@ pub struct Imbalance {
     pub cv: f64,
 }
 
-/// Compute imbalance statistics.
-///
-/// # Panics
-/// Panics on an empty slice.
-pub fn imbalance(busy: &[f64]) -> Imbalance {
-    assert!(!busy.is_empty(), "need at least one worker");
+/// Compute imbalance statistics. Returns `None` for an empty slice —
+/// zero workers have no distribution to measure (this used to panic;
+/// callers aggregating a retired or never-started pool hit the empty
+/// case legitimately).
+pub fn imbalance(busy: &[f64]) -> Option<Imbalance> {
+    if busy.is_empty() {
+        return None;
+    }
     let n = busy.len() as f64;
     let max = busy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min = busy.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -39,13 +41,13 @@ pub fn imbalance(busy: &[f64]) -> Imbalance {
     let var = busy.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / n;
     let lambda = if mean == 0.0 { 1.0 } else { max / mean };
     let cv = if mean == 0.0 { 0.0 } else { var.sqrt() / mean };
-    Imbalance {
+    Some(Imbalance {
         max,
         min,
         mean,
         lambda,
         cv,
-    }
+    })
 }
 
 /// What one worker did over one parallel region: recorded once, at worker
@@ -153,6 +155,29 @@ impl DeviceMetrics {
             0.0
         } else {
             self.busy.as_secs_f64() / self.workers as f64
+        }
+    }
+
+    /// Bridge to the trace exporters' counter struct. The Prometheus
+    /// snapshot is built from the *same* aggregate the CLI prints, so
+    /// exported counters match printed ones exactly.
+    /// `overflow_recomputes` rides along because lane rescues are counted
+    /// by the engine, not by this sink.
+    pub fn counters(&self, overflow_recomputes: u64) -> sw_trace::DeviceCounters {
+        sw_trace::DeviceCounters {
+            device: self.device,
+            workers: self.workers,
+            tasks: self.tasks,
+            chunks: self.chunks,
+            cells: self.cells,
+            busy_secs: self.busy.as_secs_f64(),
+            queue_wait_secs: self.queue_wait.as_secs_f64(),
+            retries: self.retries,
+            requeues: self.requeues,
+            lost_leases: self.lost_leases,
+            failures: self.failures,
+            degraded: self.degraded,
+            overflow_recomputes,
         }
     }
 }
@@ -275,7 +300,7 @@ mod tests {
 
     #[test]
     fn perfect_balance() {
-        let s = imbalance(&[2.0, 2.0, 2.0, 2.0]);
+        let s = imbalance(&[2.0, 2.0, 2.0, 2.0]).expect("non-empty");
         assert_eq!(s.lambda, 1.0);
         assert_eq!(s.cv, 0.0);
         assert_eq!(s.max, 2.0);
@@ -284,7 +309,7 @@ mod tests {
 
     #[test]
     fn skewed_balance() {
-        let s = imbalance(&[1.0, 3.0]);
+        let s = imbalance(&[1.0, 3.0]).expect("non-empty");
         assert_eq!(s.mean, 2.0);
         assert_eq!(s.lambda, 1.5);
         assert!((s.cv - 0.5).abs() < 1e-12);
@@ -292,15 +317,16 @@ mod tests {
 
     #[test]
     fn all_idle_workers() {
-        let s = imbalance(&[0.0, 0.0]);
+        let s = imbalance(&[0.0, 0.0]).expect("non-empty");
         assert_eq!(s.lambda, 1.0);
         assert_eq!(s.cv, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn empty_rejected() {
-        imbalance(&[]);
+    fn empty_yields_none() {
+        // Previously a panic; an empty pool (retired before starting, or
+        // a device that never reported) is a legitimate aggregation input.
+        assert_eq!(imbalance(&[]), None);
     }
 
     #[test]
@@ -308,8 +334,8 @@ mod tests {
         use crate::desim::simulate;
         use crate::policy::Policy;
         let costs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
-        let stat = imbalance(&simulate(&costs, 8, Policy::Static).busy);
-        let dynm = imbalance(&simulate(&costs, 8, Policy::dynamic()).busy);
+        let stat = imbalance(&simulate(&costs, 8, Policy::Static).busy).expect("8 workers");
+        let dynm = imbalance(&simulate(&costs, 8, Policy::dynamic()).busy).expect("8 workers");
         assert!(dynm.lambda < stat.lambda, "dynamic must balance better");
     }
 
@@ -388,6 +414,52 @@ mod tests {
         // devices() lists a device known only through events.
         assert_eq!(sink.devices().len(), 2);
         assert_eq!(sink.recovery_events().len(), 5);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        // N threads × M samples (plus recovery events) hammering one
+        // sink: nothing may be lost and device() aggregation must be
+        // exactly the closed-form totals.
+        const THREADS: usize = 8;
+        const SAMPLES: u64 = 250;
+        let sink = MetricsSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let sink = &sink;
+                scope.spawn(move || {
+                    let device = t % 2;
+                    for m in 0..SAMPLES {
+                        sink.record(WorkerSample {
+                            tasks: 1,
+                            chunks: 1,
+                            cells: m + 1,
+                            busy: Duration::from_micros(10),
+                            ..WorkerSample::new(device, t)
+                        });
+                        if m.is_multiple_of(50) {
+                            sink.record_recovery(device, RecoveryEvent::Requeue);
+                        }
+                    }
+                });
+            }
+        });
+        let all = sink.samples();
+        assert_eq!(all.len(), THREADS * SAMPLES as usize, "no lost samples");
+        let per_thread_cells: u64 = (1..=SAMPLES).sum();
+        let cpu = sink.device(0);
+        let accel = sink.device(1);
+        for d in [&cpu, &accel] {
+            assert_eq!(d.tasks, (THREADS as u64 / 2) * SAMPLES);
+            assert_eq!(d.chunks, (THREADS as u64 / 2) * SAMPLES);
+            assert_eq!(d.cells, (THREADS as u64 / 2) * per_thread_cells);
+            assert_eq!(d.requeues, (THREADS as u64 / 2) * SAMPLES.div_ceil(50));
+            assert_eq!(d.workers, THREADS * SAMPLES as usize / 2);
+        }
+        // Aggregation is stable: repeated reads see the same totals.
+        assert_eq!(sink.device(0), cpu);
+        assert_eq!(sink.device(1), accel);
+        assert_eq!(sink.devices(), vec![cpu, accel]);
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Schema validation for exported traces — what CI runs against real
+//! trace output: JSONL well-formedness, monotonic timestamps, balanced
+//! span begin/end per worker track, and Prometheus text parseability.
+//!
+//! The JSONL checker is deliberately a line-shape validator, not a full
+//! JSON parser: the format is ours (one flat object per line, no nested
+//! strings with braces), so brace/quote balance plus required-key
+//! extraction is both sufficient and dependency-free.
+
+use std::collections::HashMap;
+
+/// Summary of a successfully validated JSONL trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonlReport {
+    /// Event lines validated (header excluded).
+    pub events: usize,
+    /// Distinct (device, worker) tracks seen.
+    pub tracks: usize,
+    /// Spans successfully matched begin→end.
+    pub spans: usize,
+}
+
+fn shape_ok(line: &str) -> bool {
+    if !(line.starts_with('{') && line.ends_with('}')) {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut quotes = 0usize;
+    let mut prev = '\0';
+    for c in line.chars() {
+        match c {
+            '"' if prev != '\\' => quotes += 1,
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return false;
+        }
+        prev = c;
+    }
+    depth == 0 && quotes.is_multiple_of(2)
+}
+
+/// Extract an unsigned integer field `"key":123` from a flat JSON line.
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extract a string field `"key":"value"` from a flat JSON line.
+pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let at = line.find(&needle)? + needle.len();
+    let end = line[at..].find('"')?;
+    Some(&line[at..at + end])
+}
+
+/// Validate a JSONL trace export: header line with the right schema,
+/// well-formed event lines carrying `t_us`/`device`/`worker`/`ph`/`ev`,
+/// globally non-decreasing timestamps, and balanced `B`/`E` spans per
+/// (device, worker) track.
+pub fn validate_jsonl(text: &str) -> Result<JsonlReport, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace")?;
+    if !shape_ok(header) {
+        return Err(format!("malformed header line: {header}"));
+    }
+    match field_str(header, "schema") {
+        Some(s) if s == crate::SCHEMA => {}
+        Some(s) => return Err(format!("schema {s:?}, expected {:?}", crate::SCHEMA)),
+        None => return Err("header missing schema".to_string()),
+    }
+
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    let mut last_t = 0u64;
+    // Per-track stack of open span names.
+    let mut open: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    for (i, line) in lines {
+        let n = i + 1; // 1-based for messages
+        if line.is_empty() {
+            continue;
+        }
+        if !shape_ok(line) {
+            return Err(format!("line {n}: malformed JSON shape"));
+        }
+        let t = field_u64(line, "t_us").ok_or(format!("line {n}: missing t_us"))?;
+        let device = field_u64(line, "device").ok_or(format!("line {n}: missing device"))?;
+        let worker = field_u64(line, "worker").ok_or(format!("line {n}: missing worker"))?;
+        let ph = field_str(line, "ph").ok_or(format!("line {n}: missing ph"))?;
+        let ev = field_str(line, "ev").ok_or(format!("line {n}: missing ev"))?;
+        if t < last_t {
+            return Err(format!("line {n}: timestamp {t} < previous {last_t}"));
+        }
+        last_t = t;
+        let stack = open.entry((device, worker)).or_default();
+        match ph {
+            "B" => stack.push(ev.to_string()),
+            "E" => match stack.pop() {
+                Some(b) if b == ev => spans += 1,
+                Some(b) => {
+                    return Err(format!("line {n}: span end {ev:?} closes open {b:?}"));
+                }
+                None => return Err(format!("line {n}: span end {ev:?} with no open span")),
+            },
+            "I" | "C" => {}
+            other => return Err(format!("line {n}: unknown phase {other:?}")),
+        }
+        events += 1;
+    }
+    for ((d, w), stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!("track {d}/{w}: span {name:?} never ended"));
+        }
+    }
+    Ok(JsonlReport {
+        events,
+        tracks: open.len(),
+        spans,
+    })
+}
+
+/// Validate a Prometheus text-exposition snapshot: every non-comment
+/// line must be `name{labels} value` (or `name value`) with a parseable
+/// float value. Returns the sample count.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {n}: no value separator"))?;
+        let metric = match name_part.split_once('{') {
+            Some((m, rest)) => {
+                if !rest.ends_with('}') {
+                    return Err(format!("line {n}: unclosed label set"));
+                }
+                m
+            }
+            None => name_part,
+        };
+        if metric.is_empty()
+            || !metric
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {n}: bad metric name {metric:?}"));
+        }
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: unparseable value {value:?}"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export;
+    use crate::{EventKind, Tracer};
+
+    fn traced_jsonl() -> String {
+        let tr = Tracer::full();
+        let mut j = tr.worker(0, 0);
+        j.emit_at(0, EventKind::QueueWaitBegin);
+        j.emit_at(4, EventKind::QueueWaitEnd { us: 4 });
+        j.emit_at(
+            5,
+            EventKind::ChunkStart {
+                lease: 0,
+                lo: 0,
+                hi: 2,
+            },
+        );
+        j.emit_at(
+            9,
+            EventKind::ChunkFinish {
+                lease: 0,
+                lo: 0,
+                hi: 2,
+                cells: 64,
+            },
+        );
+        drop(j);
+        export::jsonl(&tr.timeline())
+    }
+
+    #[test]
+    fn real_export_validates() {
+        let text = traced_jsonl();
+        let rep = validate_jsonl(&text).expect("valid");
+        assert_eq!(rep.events, 4);
+        assert_eq!(rep.tracks, 1);
+        assert_eq!(rep.spans, 2);
+    }
+
+    #[test]
+    fn rejects_regressing_timestamps() {
+        let text = traced_jsonl().replace("\"t_us\":9", "\"t_us\":1");
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("timestamp"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_span() {
+        let mut text = traced_jsonl();
+        // Drop the ChunkFinish line.
+        text = text
+            .lines()
+            .filter(|l| !l.contains("\"cells\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = validate_jsonl(&text).unwrap_err();
+        assert!(err.contains("never ended"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_span_names() {
+        let text = traced_jsonl().replace(
+            "\"ph\":\"E\",\"ev\":\"chunk\"",
+            "\"ph\":\"E\",\"ev\":\"zz\"",
+        );
+        assert!(validate_jsonl(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_line_and_wrong_schema() {
+        let text = format!("{}not json\n", traced_jsonl());
+        assert!(validate_jsonl(&text).is_err());
+        let text = traced_jsonl().replace("sw-trace/1", "sw-trace/0");
+        assert!(validate_jsonl(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn prometheus_roundtrip_validates() {
+        let tr = Tracer::full();
+        drop(tr.worker(0, 0));
+        let text = export::prometheus(
+            &tr.timeline(),
+            &[crate::DeviceCounters {
+                device: 0,
+                cells: 10,
+                ..Default::default()
+            }],
+            0,
+        );
+        let n = validate_prometheus(&text).expect("valid");
+        assert!(n > 5);
+    }
+
+    #[test]
+    fn prometheus_rejects_garbage() {
+        assert!(validate_prometheus("sw_cells_total{device=\"cpu\"} notanumber\n").is_err());
+        assert!(validate_prometheus("").is_err());
+        assert!(validate_prometheus("bad metric name} 1\n").is_err());
+    }
+
+    #[test]
+    fn field_helpers() {
+        let line = "{\"t_us\":42,\"ev\":\"chunk\"}";
+        assert_eq!(field_u64(line, "t_us"), Some(42));
+        assert_eq!(field_str(line, "ev"), Some("chunk"));
+        assert_eq!(field_u64(line, "missing"), None);
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::fmt;
 use std::time::Duration;
-use sw_kernels::{KernelVariant, ProfileMode, Vectorization};
+use sw_kernels::{KernelIsa, KernelVariant, ProfileMode, Vectorization};
 use sw_sched::{FaultKind, FaultSpec, DEVICE_ACCEL};
 
 /// Usage text shown on parse errors and `--help`.
@@ -33,6 +33,9 @@ SEARCH OPTIONS:
   --variant <v>       no-vec-qp | no-vec-sp | simd-qp | simd-sp |
                       intrinsic-qp | intrinsic-sp  (default intrinsic-sp)
   --no-blocking       disable cache blocking
+  --kernel-isa <i>    auto | portable | sse2 | avx2 — instruction set for
+                      the intrinsic kernels (default auto: best the host
+                      supports; results are identical on every choice)
   --top <k>           hits to print (default 10)
   --align             render the alignment of each reported hit
   --adaptive          dual-precision scoring (i8 first, widen saturated lanes)
@@ -216,6 +219,9 @@ pub struct SearchOpts {
     pub align: bool,
     /// SWIPE-style dual-precision scoring (i8 first, widen on demand).
     pub adaptive: bool,
+    /// Forced kernel ISA (`--kernel-isa`); `None` = auto-detect the best
+    /// the host supports. Availability is checked at execution time.
+    pub kernel_isa: Option<KernelIsa>,
     /// Output format: plain report or BLAST-style 12-column tabular.
     pub tabular: bool,
     /// Nucleotide mode: DNA alphabet + match/mismatch scoring.
@@ -240,6 +246,7 @@ impl Default for SearchOpts {
             top: 10,
             align: false,
             adaptive: false,
+            kernel_isa: None,
             tabular: false,
             dna: false,
             match_score: 5,
@@ -368,6 +375,15 @@ fn parse_search_opts(a: &mut Args<'_>) -> Result<SearchOpts, ParseError> {
     if !matches!(lanes, 4 | 8 | 16 | 32) {
         return Err(err(format!("--lanes must be 4, 8, 16 or 32 (got {lanes})")));
     }
+    let kernel_isa = match a.opt_value("--kernel-isa") {
+        None => None,
+        Some(v) if v.eq_ignore_ascii_case("auto") => None,
+        Some(v) => Some(KernelIsa::from_name(&v).ok_or_else(|| {
+            err(format!(
+                "--kernel-isa must be auto, portable, sse2 or avx2 (got '{v}')"
+            ))
+        })?),
+    };
     Ok(SearchOpts {
         matrix: a.opt_value("--matrix").unwrap_or(d.matrix),
         open: a.parse_num("--open", d.open)?,
@@ -378,6 +394,7 @@ fn parse_search_opts(a: &mut Args<'_>) -> Result<SearchOpts, ParseError> {
         top: a.parse_num("--top", d.top)?,
         align: a.has_flag("--align"),
         adaptive: a.has_flag("--adaptive"),
+        kernel_isa,
         tabular: a.has_flag("--tabular"),
         dna: a.has_flag("--dna"),
         match_score: a.parse_num("--match", d.match_score)?,
@@ -669,6 +686,36 @@ mod tests {
             assert_eq!(v.vec, vec, "{name}");
             assert_eq!(v.profile, prof, "{name}");
         }
+    }
+
+    #[test]
+    fn kernel_isa_flag_parses() {
+        // Default and explicit auto both mean "detect at execution time".
+        for cmdline in [
+            "search --query q --db d",
+            "search --query q --db d --kernel-isa auto",
+        ] {
+            match parse(&argv(cmdline)).unwrap() {
+                Command::Search { opts, .. } => assert_eq!(opts.kernel_isa, None, "{cmdline}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        for (name, isa) in [
+            ("portable", KernelIsa::Portable),
+            ("sse2", KernelIsa::Sse2),
+            ("AVX2", KernelIsa::Avx2),
+        ] {
+            match parse(&argv(&format!(
+                "search --query q --db d --kernel-isa {name}"
+            )))
+            .unwrap()
+            {
+                Command::Search { opts, .. } => assert_eq!(opts.kernel_isa, Some(isa), "{name}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        let e = parse(&argv("search --query q --db d --kernel-isa mmx")).unwrap_err();
+        assert!(e.0.contains("--kernel-isa"), "{e}");
     }
 
     #[test]

@@ -56,6 +56,21 @@ fn alphabet_from(opts: &SearchOpts) -> Alphabet {
     }
 }
 
+/// Resolve `--kernel-isa` against the host: auto detects the best ISA,
+/// a forced ISA must actually be supported here.
+fn isa_from(opts: &SearchOpts) -> Result<sw_kernels::KernelIsa, CmdError> {
+    match opts.kernel_isa {
+        None => Ok(sw_kernels::KernelIsa::detect()),
+        Some(isa) if isa.is_available() => Ok(isa),
+        Some(isa) => Err(format!(
+            "--kernel-isa {isa}: this host does not support {isa} \
+             (detected: {})",
+            sw_kernels::KernelIsa::detect()
+        )
+        .into()),
+    }
+}
+
 /// Execute one parsed command, writing output to `out`.
 pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
     match cmd {
@@ -160,22 +175,25 @@ fn cmd_search<W: Write>(
     let params = params_from(opts)?;
     let prepared = PreparedDb::prepare(db_seqs, opts.lanes, &alphabet);
     let engine = SearchEngine::new(params.clone());
+    let isa = isa_from(opts)?;
     let config = SearchConfig {
         variant: opts.variant,
         threads: opts.threads.max(1),
         policy: sw_sched::Policy::dynamic(),
         block_rows: None,
         adaptive_precision: opts.adaptive,
+        isa,
     };
     writeln!(
         out,
-        "# swsearch: {} quer{} vs {} sequences ({} residues), {} [{}]",
+        "# swsearch: {} quer{} vs {} sequences ({} residues), {} [{}] isa {}",
         queries.len(),
         if queries.len() == 1 { "y" } else { "ies" },
         prepared.stats.n_seqs,
         prepared.stats.total_residues,
         params.matrix.name,
         opts.variant,
+        isa,
     )?;
     let karlin = if opts.dna {
         // Uniform base composition for nucleotide statistics.
@@ -463,9 +481,10 @@ fn cmd_hetero<W: Write>(
     let engine = SearchEngine::new(params);
     let hetero = HeteroEngine::new(engine);
     let plan = hetero.plan_split(&prepared, q.len(), frac);
+    let isa = isa_from(opts)?;
     writeln!(
         out,
-        "# Algorithm 2: {} batches to host, {} to accelerator ({:.1}% of cells)",
+        "# Algorithm 2: {} batches to host, {} to accelerator ({:.1}% of cells), isa {isa}",
         plan.cpu.len(),
         plan.accel.len(),
         plan.accel_cell_fraction * 100.0
@@ -476,6 +495,7 @@ fn cmd_hetero<W: Write>(
         policy: sw_sched::Policy::dynamic(),
         block_rows: None,
         adaptive_precision: opts.adaptive,
+        isa,
     };
     let res = if dynamic {
         let dyn_cfg = HeteroSearchConfig {
@@ -569,10 +589,11 @@ fn cmd_hetero<W: Write>(
                 )?;
             }
             if let Some(path) = &trace.metrics_out {
-                let prom = sw_trace::export::prometheus(
+                let prom = sw_trace::export::prometheus_with_isa(
                     tl,
                     &outcome.device_counters(),
                     dyn_cfg.trace.effective_gcups_window_us(),
+                    isa.name(),
                 );
                 std::fs::write(path, prom)?;
                 writeln!(out, "# metrics: prometheus snapshot written to {path}")?;
@@ -685,6 +706,7 @@ fn cmd_bench<W: Write>(
             policy: sw_sched::Policy::dynamic(),
             block_rows: None,
             adaptive_precision: false,
+            isa: sw_kernels::KernelIsa::detect(),
         };
         let res = engine.search(&query.residues, &prepared, &cfg);
         writeln!(out, "{label:<14} {}", res.gcups())?;

@@ -1,7 +1,7 @@
 //! Search configuration.
 
 use serde::{Deserialize, Serialize};
-use sw_kernels::KernelVariant;
+use sw_kernels::{KernelIsa, KernelVariant};
 use sw_sched::Policy;
 use sw_trace::{TraceLevel, Tracer};
 
@@ -22,6 +22,11 @@ pub struct SearchConfig {
     /// identical either way; this is a throughput knob. Off by default —
     /// the paper's kernels are 16-bit.
     pub adaptive_precision: bool,
+    /// Instruction set the intrinsic kernels run on. [`KernelIsa::detect`]
+    /// (the `best` default) picks the fastest ISA the host supports;
+    /// forcing [`KernelIsa::Portable`] reproduces identical results with
+    /// the autovectorized kernels. Ignored by non-intrinsic variants.
+    pub isa: KernelIsa,
 }
 
 impl SearchConfig {
@@ -34,12 +39,19 @@ impl SearchConfig {
             policy: Policy::dynamic(),
             block_rows: None,
             adaptive_precision: false,
+            isa: KernelIsa::detect(),
         }
     }
 
     /// Same configuration with a different kernel variant.
     pub fn with_variant(mut self, variant: KernelVariant) -> Self {
         self.variant = variant;
+        self
+    }
+
+    /// Same configuration with a forced kernel ISA.
+    pub fn with_isa(mut self, isa: KernelIsa) -> Self {
+        self.isa = isa;
         self
     }
 
@@ -203,6 +215,12 @@ mod tests {
         assert!(c.variant.blocking);
         assert_eq!(c.threads, 32);
         assert_eq!(c.policy, Policy::dynamic());
+        assert!(c.isa.is_available(), "best() picks a supported ISA");
+        assert_eq!(
+            c.with_isa(KernelIsa::Portable).isa,
+            KernelIsa::Portable,
+            "the ISA can be forced"
+        );
     }
 
     #[test]

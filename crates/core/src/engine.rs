@@ -15,9 +15,9 @@ use crate::config::SearchConfig;
 use crate::prepare::PreparedDb;
 use crate::results::{Hit, SearchResults};
 use std::time::Instant;
-use sw_kernels::blocked::{sw_blocked_qp, sw_blocked_sp, BlockedWorkspace};
+use sw_kernels::arch::{sw_isa_adaptive_qp, sw_isa_adaptive_sp, sw_isa_qp, sw_isa_sp};
 use sw_kernels::guided::{sw_guided_qp, sw_guided_sp, GuidedWorkspace};
-use sw_kernels::intertask::{sw_lanes_qp, sw_lanes_sp, KernelOutput, Workspace};
+use sw_kernels::intertask::KernelOutput;
 use sw_kernels::overflow::rescue_overflows;
 use sw_kernels::scalar::{sw_score_scalar, sw_score_scalar_qp};
 use sw_kernels::{CellCount, ProfileMode, SwParams, Vectorization};
@@ -288,7 +288,9 @@ impl SearchEngine {
     }
 
     /// The `intrinsic` path: explicit-lane kernels, monomorphised per
-    /// supported lane width.
+    /// supported lane width and dispatched to the configured ISA
+    /// (`sw_kernels::arch`) — real SSE2/AVX2 intrinsics at their native
+    /// widths, the portable kernels everywhere else.
     fn run_batch_intrinsic(
         &self,
         query: &[u8],
@@ -301,47 +303,31 @@ impl SearchEngine {
         macro_rules! dispatch {
             ($lanes:literal) => {{
                 let gap = &self.params.gap;
+                let isa = config.isa;
                 if config.adaptive_precision {
                     // Dual-precision cascade (unblocked kernels; exactness
                     // is identical, see sw_kernels::narrow).
-                    use sw_kernels::narrow::{sw_adaptive_qp, sw_adaptive_sp, NarrowWorkspace};
                     use sw_swdb::{QueryProfileI8, SequenceProfileI8};
-                    let mut ws8 = NarrowWorkspace::<$lanes>::new();
-                    let mut ws16 = Workspace::<$lanes>::new();
                     let (out, _stats) = match config.variant.profile {
                         ProfileMode::Query => {
                             let qp8 = QueryProfileI8::from_wide(qp);
-                            sw_adaptive_qp::<$lanes>(qp, &qp8, batch, gap, &mut ws8, &mut ws16)
+                            sw_isa_adaptive_qp::<$lanes>(isa, qp, &qp8, batch, gap)
                         }
                         ProfileMode::Sequence => {
                             let sp =
                                 SequenceProfile::build(batch, &self.params.matrix, &db.alphabet);
                             let sp8 = SequenceProfileI8::from_wide(&sp);
-                            sw_adaptive_sp::<$lanes>(
-                                query, &sp, &sp8, batch, gap, &mut ws8, &mut ws16,
-                            )
+                            sw_isa_adaptive_sp::<$lanes>(isa, query, &sp, &sp8, batch, gap)
                         }
                     };
                     return out;
                 }
-                match (config.variant.profile, config.variant.blocking) {
-                    (ProfileMode::Query, false) => {
-                        let mut ws = Workspace::<$lanes>::new();
-                        sw_lanes_qp::<$lanes>(qp, batch, gap, &mut ws)
-                    }
-                    (ProfileMode::Query, true) => {
-                        let mut ws = BlockedWorkspace::<$lanes>::new();
-                        sw_blocked_qp::<$lanes>(qp, batch, gap, block_rows, &mut ws)
-                    }
-                    (ProfileMode::Sequence, blocking) => {
+                let block = config.variant.blocking.then_some(block_rows);
+                match config.variant.profile {
+                    ProfileMode::Query => sw_isa_qp::<$lanes>(isa, qp, batch, gap, block),
+                    ProfileMode::Sequence => {
                         let sp = SequenceProfile::build(batch, &self.params.matrix, &db.alphabet);
-                        if blocking {
-                            let mut ws = BlockedWorkspace::<$lanes>::new();
-                            sw_blocked_sp::<$lanes>(query, &sp, batch, gap, block_rows, &mut ws)
-                        } else {
-                            let mut ws = Workspace::<$lanes>::new();
-                            sw_lanes_sp::<$lanes>(query, &sp, batch, gap, &mut ws)
-                        }
+                        sw_isa_sp::<$lanes>(isa, query, &sp, batch, gap, block)
                     }
                 }
             }};
@@ -561,6 +547,44 @@ mod tests {
         let res = engine.search(&giant.residues, &db, &cfg);
         assert_eq!(res.hits[0].score, 3200 * 11);
         assert_eq!(res.lanes_rescued, 1);
+    }
+
+    #[test]
+    fn forced_portable_matches_detected_isa_exactly() {
+        // The CLI contract: `--kernel-isa portable` reproduces the
+        // detected-ISA hit list byte for byte. Exercise both SSE2-native
+        // (8 × i16) and AVX2-native (16 × i16) lane widths, blocked and
+        // unblocked, plus the adaptive cascade.
+        use sw_kernels::KernelIsa;
+        let engine = SearchEngine::paper_default();
+        let query = generate_query(100, 17);
+        for lanes in [8usize, 16] {
+            let db = small_db(lanes);
+            for variant in KernelVariant::fig3_set() {
+                if variant.vec != Vectorization::Intrinsic {
+                    continue;
+                }
+                let cfg = SearchConfig::best(2).with_variant(variant);
+                let detected = engine.search(&query.residues, &db, &cfg);
+                let portable =
+                    engine.search(&query.residues, &db, &cfg.with_isa(KernelIsa::Portable));
+                assert_eq!(
+                    detected.hits, portable.hits,
+                    "lanes {lanes} variant {variant}"
+                );
+            }
+            let adaptive = SearchConfig {
+                adaptive_precision: true,
+                ..SearchConfig::best(2)
+            };
+            let detected = engine.search(&query.residues, &db, &adaptive);
+            let portable = engine.search(
+                &query.residues,
+                &db,
+                &adaptive.with_isa(KernelIsa::Portable),
+            );
+            assert_eq!(detected.hits, portable.hits, "lanes {lanes} adaptive");
+        }
     }
 
     #[test]

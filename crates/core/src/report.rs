@@ -71,6 +71,10 @@ pub struct SearchSummary {
     pub gcups: f64,
     /// Saturated vector lanes recomputed exactly.
     pub lanes_rescued: u64,
+    /// Instruction set the intrinsic kernels ran on (`KernelIsa::name`,
+    /// e.g. `"avx2"`); empty when the caller did not attach one, and the
+    /// rendered line then omits the segment.
+    pub isa: String,
     /// Chunks re-executed after a failure, across both pools.
     pub retries: u64,
     /// Chunk leases released back to the queue, across both pools.
@@ -92,6 +96,7 @@ impl SearchSummary {
             best_score: results.hits.first().map_or(0, |h| h.score),
             gcups: results.gcups().value(),
             lanes_rescued: results.lanes_rescued,
+            isa: String::new(),
             retries: 0,
             requeues: 0,
             lost_leases: 0,
@@ -110,9 +115,20 @@ impl SearchSummary {
         }
     }
 
-    /// Render the single status line. Recovery counters appear only when
-    /// at least one is non-zero, so a clean run's line is unchanged.
+    /// Same summary tagged with the kernel ISA the run executed on.
+    pub fn with_isa(mut self, isa: &str) -> Self {
+        self.isa = isa.to_string();
+        self
+    }
+
+    /// Render the single status line. The ISA tag and recovery counters
+    /// appear only when set/non-zero, so a plain run's line is unchanged.
     pub fn render(&self) -> String {
+        let isa = if self.isa.is_empty() {
+            String::new()
+        } else {
+            format!(", isa {}", self.isa)
+        };
         let recovery = if self.retries + self.requeues + self.lost_leases > 0 {
             format!(
                 ", {} retries, {} requeues, {} lost leases",
@@ -122,11 +138,12 @@ impl SearchSummary {
             String::new()
         };
         format!(
-            "{} hits, best {}, {:.3} GCUPS, {} lanes rescued{}{}",
+            "{} hits, best {}, {:.3} GCUPS, {} lanes rescued{}{}{}",
             self.hits,
             self.best_score,
             self.gcups,
             self.lanes_rescued,
+            isa,
             recovery,
             if self.degraded {
                 " [DEGRADED: completed on one device pool]"
@@ -245,6 +262,7 @@ mod tests {
             best_score: 517,
             gcups: 1.2345,
             lanes_rescued: 2,
+            isa: String::new(),
             retries: 0,
             requeues: 0,
             lost_leases: 0,
@@ -253,6 +271,12 @@ mod tests {
         assert_eq!(
             clean.render(),
             "42 hits, best 517, 1.234 GCUPS, 2 lanes rescued"
+        );
+
+        let tagged = clean.clone().with_isa("avx2");
+        assert_eq!(
+            tagged.render(),
+            "42 hits, best 517, 1.234 GCUPS, 2 lanes rescued, isa avx2"
         );
 
         let recovered = SearchSummary {

@@ -24,9 +24,14 @@ impl Gcups {
         Gcups(cells as f64 / secs / 1e9)
     }
 
-    /// From a cell count and elapsed seconds (simulated time).
+    /// From a cell count and elapsed seconds (simulated time). Mirrors
+    /// [`Gcups::from_cells`]: a non-positive elapsed time reports zero
+    /// throughput instead of panicking, so a zero-length simulated device
+    /// share in `desim` can't abort a run.
     pub fn from_cells_secs(cells: u64, secs: f64) -> Self {
-        assert!(secs > 0.0, "elapsed time must be positive");
+        if secs <= 0.0 {
+            return Gcups(0.0);
+        }
         Gcups(cells as f64 / secs / 1e9)
     }
 
@@ -60,12 +65,14 @@ impl CellCount {
         self.padded += other.padded;
     }
 
-    /// Padding overhead ratio (`padded / real`, 1.0 = no waste).
+    /// Padding overhead ratio (`padded / real`, 1.0 = no waste). An empty
+    /// tally is 1.0; a tally that is *all* padding has no real work to
+    /// amortise it and reports infinite overhead, not perfect efficiency.
     pub fn overhead(&self) -> f64 {
-        if self.real == 0 {
-            1.0
-        } else {
-            self.padded as f64 / self.real as f64
+        match (self.real, self.padded) {
+            (0, 0) => 1.0,
+            (0, _) => f64::INFINITY,
+            _ => self.padded as f64 / self.real as f64,
         }
     }
 }
@@ -88,9 +95,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_time_panics() {
-        let _ = Gcups::from_cells_secs(1, 0.0);
+    fn zero_simulated_time_reports_zero_throughput() {
+        // Must match `from_cells(…, Duration::ZERO)` — zero, not a panic.
+        assert_eq!(Gcups::from_cells_secs(1, 0.0).value(), 0.0);
+        assert_eq!(Gcups::from_cells_secs(1, -1.0).value(), 0.0);
     }
 
     #[test]
@@ -120,5 +128,12 @@ mod tests {
     #[test]
     fn empty_cell_count_overhead_is_one() {
         assert_eq!(CellCount::default().overhead(), 1.0);
+    }
+
+    #[test]
+    fn all_padding_overhead_is_infinite() {
+        // real == 0 with padded > 0 is pure waste, not "no waste".
+        let c = CellCount { real: 0, padded: 7 };
+        assert!(c.overhead().is_infinite());
     }
 }

@@ -47,10 +47,14 @@ impl<const L: usize> I16s<L> {
     /// Gather `L` lanes from `table` at `indices` (the QP profile access —
     /// one `vgather` on MIC, an unavoidable shuffle sequence on AVX; the
     /// perf model charges the corresponding penalty).
+    ///
+    /// # Panics
+    /// Panics if `indices` holds fewer than `L` elements — a short index
+    /// slice would otherwise leave trailing lanes scoring `table[0]`.
     #[inline(always)]
     pub fn gather(table: &[i16], indices: &[u8]) -> Self {
         let mut out = [0i16; L];
-        for (o, &ix) in out.iter_mut().zip(indices.iter().take(L)) {
+        for (o, &ix) in out.iter_mut().zip(&indices[..L]) {
             *o = table[ix as usize];
         }
         I16s(out)
@@ -193,10 +197,14 @@ impl<const L: usize> I8s<L> {
     }
 
     /// Gather `L` lanes from `table` at `indices`.
+    ///
+    /// # Panics
+    /// Panics if `indices` holds fewer than `L` elements (same contract as
+    /// [`I8s::load`]).
     #[inline(always)]
     pub fn gather(table: &[i8], indices: &[u8]) -> Self {
         let mut out = [0i8; L];
-        for (o, &ix) in out.iter_mut().zip(indices.iter().take(L)) {
+        for (o, &ix) in out.iter_mut().zip(&indices[..L]) {
             *o = table[ix as usize];
         }
         I8s(out)
@@ -279,6 +287,22 @@ mod tests {
         let idx = [3u8, 0, 9, 1];
         let v = I16s::<4>::gather(&table, &idx);
         assert_eq!(v.0, [30, 0, 90, 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_panics_on_short_indices() {
+        // A short index slice used to silently leave trailing lanes at
+        // table[0]; it must fail loudly like `load` does.
+        let table: Vec<i16> = (0..10).collect();
+        let _ = I16s::<4>::gather(&table, &[1u8, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn i8_gather_panics_on_short_indices() {
+        let table: Vec<i8> = (0..10).collect();
+        let _ = I8s::<4>::gather(&table, &[1u8, 2]);
     }
 
     #[test]

@@ -26,8 +26,9 @@
 //! [`modes`] (global / semi-global alignment).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `allow`ed only in `arch`, with SAFETY comments
 
+pub mod arch;
 pub mod banded;
 pub mod blocked;
 pub mod cups;
@@ -42,6 +43,7 @@ pub mod striped;
 pub mod traceback;
 pub mod variant;
 
+pub use arch::KernelIsa;
 pub use cups::{CellCount, Gcups};
 pub use scalar::{sw_score_scalar, SwParams};
 pub use traceback::{AlignOp, Alignment};

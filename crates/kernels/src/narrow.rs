@@ -192,7 +192,7 @@ pub fn sw_adaptive_qp<const L: usize>(
     cascade(narrow, || sw_lanes_qp::<L>(qp, batch, gap, ws16))
 }
 
-fn cascade(
+pub(crate) fn cascade(
     narrow: NarrowOutput,
     wide: impl FnOnce() -> KernelOutput,
 ) -> (KernelOutput, CascadeStats) {

@@ -1,0 +1,143 @@
+//! 64-byte-aligned score storage for the sequence profiles.
+//!
+//! The intrinsic SP kernels (`sw_kernels::arch`) read profile rows with
+//! *aligned* vector loads (`_mm_load_si128` / `_mm256_load_si256`), which
+//! fault on a misaligned address. A `Vec<i16>` only guarantees 2-byte
+//! alignment, so the profiles store their scores in these buffers
+//! instead: the backing allocation is a `Vec` of 64-byte blocks
+//! (`#[repr(C, align(64))]`), giving every row whose element offset is a
+//! multiple of the lane count a 16-/32-byte-aligned address for all
+//! supported lane widths (8/16 lanes of `i16`, 16/32 lanes of `i8`).
+//! 64 bytes also matches the x86 cache-line size, so no profile row
+//! straddles a line needlessly.
+//!
+//! This is the only module in the crate allowed to use `unsafe`: one
+//! slice reinterpret per accessor, with the layout argument spelled out
+//! at the call site.
+
+#![allow(unsafe_code)]
+
+use std::marker::PhantomData;
+
+/// One cache line of raw storage. `repr(C)` pins the layout to exactly
+/// the inner byte array; `align(64)` aligns the `Vec`'s allocation.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct Block([u8; 64]);
+
+const BLOCK_BYTES: usize = 64;
+
+/// A fixed-length, zero-initialised, 64-byte-aligned buffer of `T`
+/// (instantiated for `i16` and `i8` below).
+#[derive(Clone)]
+pub struct AlignedBuf<T> {
+    blocks: Vec<Block>,
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+macro_rules! aligned_impl {
+    ($elem:ty) => {
+        impl AlignedBuf<$elem> {
+            /// A zero-filled buffer of `len` elements, 64-byte aligned.
+            pub fn zeroed(len: usize) -> Self {
+                let bytes = len * std::mem::size_of::<$elem>();
+                let blocks = vec![Block([0u8; BLOCK_BYTES]); bytes.div_ceil(BLOCK_BYTES)];
+                AlignedBuf {
+                    blocks,
+                    len,
+                    _elem: PhantomData,
+                }
+            }
+
+            /// Number of elements.
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.len
+            }
+
+            /// True when the buffer holds no elements.
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.len == 0
+            }
+
+            /// The elements as a slice. The slice's base pointer is
+            /// 64-byte aligned.
+            #[inline]
+            pub fn as_slice(&self) -> &[$elem] {
+                // SAFETY: `Block` is `repr(C, align(64))` over `[u8; 64]`,
+                // so the blocks form one contiguous, zero-initialised byte
+                // region of `blocks.len() * 64` bytes whose base alignment
+                // (64) satisfies the element alignment; `zeroed` sized it
+                // to at least `len * size_of::<$elem>()` bytes, and `len`
+                // never changes afterwards. Every bit pattern is a valid
+                // `i16`/`i8`.
+                unsafe { std::slice::from_raw_parts(self.blocks.as_ptr().cast(), self.len) }
+            }
+
+            /// The elements as a mutable slice.
+            #[inline]
+            pub fn as_mut_slice(&mut self) -> &mut [$elem] {
+                // SAFETY: as in `as_slice`, plus `&mut self` guarantees
+                // exclusive access to the backing blocks.
+                unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast(), self.len) }
+            }
+        }
+
+        impl std::fmt::Debug for AlignedBuf<$elem> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_list().entries(self.as_slice()).finish()
+            }
+        }
+
+        impl PartialEq for AlignedBuf<$elem> {
+            fn eq(&self, other: &Self) -> bool {
+                self.as_slice() == other.as_slice()
+            }
+        }
+
+        impl Eq for AlignedBuf<$elem> {}
+    };
+}
+
+aligned_impl!(i16);
+aligned_impl!(i8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_pointer_is_cache_line_aligned() {
+        for len in [1usize, 7, 32, 33, 1000] {
+            let b16 = AlignedBuf::<i16>::zeroed(len);
+            assert_eq!(b16.as_slice().as_ptr() as usize % 64, 0, "i16 len {len}");
+            assert_eq!(b16.len(), len);
+            let b8 = AlignedBuf::<i8>::zeroed(len);
+            assert_eq!(b8.as_slice().as_ptr() as usize % 64, 0, "i8 len {len}");
+        }
+    }
+
+    #[test]
+    fn clone_preserves_contents_and_alignment() {
+        let mut b = AlignedBuf::<i16>::zeroed(70);
+        for (i, v) in b.as_mut_slice().iter_mut().enumerate() {
+            *v = i as i16;
+        }
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(c.as_slice()[69], 69);
+        assert_eq!(c.as_slice().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn zeroed_is_zero_and_writable() {
+        let mut b = AlignedBuf::<i8>::zeroed(5);
+        assert!(b.as_slice().iter().all(|&v| v == 0));
+        assert!(!b.is_empty());
+        b.as_mut_slice()[4] = -7;
+        assert_eq!(b.as_slice(), &[0, 0, 0, 0, -7]);
+        assert!(AlignedBuf::<i16>::zeroed(0).is_empty());
+    }
+}

@@ -142,12 +142,15 @@ impl LaneBatch {
         m as u64 * self.padded_len as u64 * self.lanes as u64
     }
 
-    /// Padding efficiency: real / padded cells (1.0 = no waste).
+    /// Padding efficiency: real / padded cells (1.0 = no waste). When no
+    /// cells are computed at all (`m == 0` or an empty batch) there is no
+    /// waste to report, so the ratio is 1.0 rather than NaN.
     pub fn pad_efficiency(&self, m: usize) -> f64 {
-        if self.padded_len == 0 {
+        let padded = self.padded_cells(m);
+        if padded == 0 {
             return 1.0;
         }
-        self.real_cells(m) as f64 / self.padded_cells(m) as f64
+        self.real_cells(m) as f64 / padded as f64
     }
 }
 
@@ -233,6 +236,9 @@ mod tests {
         assert_eq!(b.padded_cells(100), 100 * 10 * 2);
         let eff = b.pad_efficiency(100);
         assert!((eff - 16.0 / 20.0).abs() < 1e-12);
+        // A zero-length query computes no cells: efficiency is the neutral
+        // 1.0, not NaN (regression for the 0/0 division).
+        assert_eq!(b.pad_efficiency(0), 1.0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! `Σ'` is the alphabet plus the pad sentinel; pad entries score
 //! [`PAD_SCORE`] so padded lanes stay at `H = 0`.
 
+use crate::aligned::AlignedBuf;
 use crate::batch::{pad_code, profile_codes, LaneBatch, PAD_SCORE};
 use sw_seq::{Alphabet, SubstMatrix};
 
@@ -121,8 +122,12 @@ pub struct SequenceProfile {
     padded_len: usize,
     /// Alphabet size (rows).
     codes: usize,
-    /// `scores[(e * padded_len + j) * lanes + lane]` = V(e, d_j^lane).
-    scores: Vec<i16>,
+    /// `scores[(e * padded_len + j) * lanes + lane]` = V(e, d_j^lane),
+    /// in a 64-byte-aligned buffer. Each row starts `lanes` elements
+    /// apart, so for the intrinsic lane widths (8/16 × i16) every row
+    /// address is 16-/32-byte aligned — the alignment contract the
+    /// `sw_kernels::arch` SP kernels load under.
+    scores: AlignedBuf<i16>,
 }
 
 impl SequenceProfile {
@@ -137,7 +142,8 @@ impl SequenceProfile {
         let n = batch.padded_len();
         let codes = alphabet.len();
         let pad = pad_code(alphabet);
-        let mut scores = vec![0i16; codes * n * lanes];
+        let mut buf = AlignedBuf::<i16>::zeroed(codes * n * lanes);
+        let scores = buf.as_mut_slice();
         for e in 0..codes {
             let row = matrix.row(e as u8);
             let base = e * n * lanes;
@@ -157,7 +163,7 @@ impl SequenceProfile {
             lanes,
             padded_len: n,
             codes,
-            scores,
+            scores: buf,
         }
     }
 
@@ -174,11 +180,13 @@ impl SequenceProfile {
     }
 
     /// The `L` scores of query-residue code `e` at database position `j` —
-    /// the contiguous vector load of the SP kernels.
+    /// the contiguous vector load of the SP kernels. The returned slice
+    /// starts `(e·N_pad + j)·L` elements past a 64-byte-aligned base, so
+    /// it is `2·L`-byte aligned (16 B at 8 lanes, 32 B at 16 lanes).
     #[inline]
     pub fn row(&self, e: u8, j: usize) -> &[i16] {
         let s = (e as usize * self.padded_len + j) * self.lanes;
-        &self.scores[s..s + self.lanes]
+        &self.scores.as_slice()[s..s + self.lanes]
     }
 
     /// Number of table builds ops (for the analytic cost model):
@@ -236,26 +244,28 @@ impl QueryProfileI8 {
     }
 }
 
-/// Narrow (i8) copy of a [`SequenceProfile`].
+/// Narrow (i8) copy of a [`SequenceProfile`]. Scores live in the same
+/// 64-byte-aligned storage as the wide profile (rows are `L`-byte
+/// aligned: 16 B at 16 lanes, 32 B at 32 lanes).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SequenceProfileI8 {
     lanes: usize,
     padded_len: usize,
-    scores: Vec<i8>,
+    scores: AlignedBuf<i8>,
 }
 
 impl SequenceProfileI8 {
     /// Narrow an existing profile.
     pub fn from_wide(sp: &SequenceProfile) -> Self {
-        let scores = sp
-            .scores
-            .iter()
-            .map(|&v| i8::try_from(v).expect("substitution score fits i8"))
-            .collect();
+        let wide = sp.scores.as_slice();
+        let mut buf = AlignedBuf::<i8>::zeroed(wide.len());
+        for (n, &v) in buf.as_mut_slice().iter_mut().zip(wide) {
+            *n = i8::try_from(v).expect("substitution score fits i8");
+        }
         SequenceProfileI8 {
             lanes: sp.lanes,
             padded_len: sp.padded_len,
-            scores,
+            scores: buf,
         }
     }
 
@@ -271,11 +281,12 @@ impl SequenceProfileI8 {
         self.padded_len
     }
 
-    /// The `L` scores of query-residue code `e` at database position `j`.
+    /// The `L` scores of query-residue code `e` at database position `j`
+    /// (an `L`-byte-aligned slice, as for [`SequenceProfile::row`]).
     #[inline]
     pub fn row(&self, e: u8, j: usize) -> &[i8] {
         let s = (e as usize * self.padded_len + j) * self.lanes;
-        &self.scores[s..s + self.lanes]
+        &self.scores.as_slice()[s..s + self.lanes]
     }
 }
 
@@ -411,6 +422,33 @@ mod tests {
             for j in 0..sp.padded_len() {
                 for (w, n) in sp.row(e, j).iter().zip(sp8.row(e, j)) {
                     assert_eq!(*w as i32, *n as i32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_profile_rows_are_vector_aligned() {
+        // The alignment contract of the intrinsic SP kernels: every row of
+        // a profile at an engaged lane width starts on a `width × element`
+        // boundary (16 B for SSE2, 32 B for AVX2).
+        let (a, m) = setup();
+        let s: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 5 + i]).collect();
+        for lanes in [8usize, 16, 32] {
+            let refs: Vec<(SeqId, &[u8])> = s
+                .iter()
+                .enumerate()
+                .map(|(i, q)| (SeqId(i as u32), q.as_slice()))
+                .collect();
+            let batch = LaneBatch::pack(lanes, &refs, pad_code(&a));
+            let sp = SequenceProfile::build(&batch, &m, &a);
+            let sp8 = SequenceProfileI8::from_wide(&sp);
+            for e in [0u8, 7, 23] {
+                for j in 0..batch.padded_len() {
+                    let p16 = sp.row(e, j).as_ptr() as usize;
+                    assert_eq!(p16 % (2 * lanes), 0, "i16 lanes={lanes} e={e} j={j}");
+                    let p8 = sp8.row(e, j).as_ptr() as usize;
+                    assert_eq!(p8 % lanes, 0, "i8 lanes={lanes} e={e} j={j}");
                 }
             }
         }

@@ -188,6 +188,25 @@ fn counter_line(out: &mut String, metric: &str, help: &str, rows: &[(usize, u64)
     }
 }
 
+/// [`prometheus`] plus a `sw_kernel_isa_info{isa="..."} 1` gauge naming
+/// the instruction set the run's intrinsic kernels executed on, so a
+/// scrape can tell an AVX2 run from a forced-portable one.
+pub fn prometheus_with_isa(
+    tl: &Timeline,
+    counters: &[DeviceCounters],
+    gcups_window_us: u64,
+    isa: &str,
+) -> String {
+    let mut out = prometheus(tl, counters, gcups_window_us);
+    let _ = writeln!(
+        out,
+        "# HELP sw_kernel_isa_info instruction set of the run's intrinsic kernels"
+    );
+    let _ = writeln!(out, "# TYPE sw_kernel_isa_info gauge");
+    let _ = writeln!(out, "sw_kernel_isa_info{{isa=\"{isa}\"}} 1");
+    out
+}
+
 /// Export a Prometheus text-exposition snapshot.
 ///
 /// Counters (cells, chunks, tasks, retries, requeues, lost leases,
@@ -543,6 +562,17 @@ mod tests {
         let tl = Timeline { tracks: vec![] };
         let text = prometheus(&tl, &[], 0);
         assert!(text.contains("sw_trace_info"));
+        assert!(crate::validate::validate_prometheus(&text).is_ok());
+    }
+
+    #[test]
+    fn prometheus_isa_gauge() {
+        let tl = Timeline { tracks: vec![] };
+        let text = prometheus_with_isa(&tl, &[], 0, "avx2");
+        assert!(
+            text.contains("sw_kernel_isa_info{isa=\"avx2\"} 1"),
+            "{text}"
+        );
         assert!(crate::validate::validate_prometheus(&text).is_ok());
     }
 

@@ -264,4 +264,104 @@ fn main() {
         off[1],
         full[1]
     );
+
+    // Checkpoint-overhead guard. Durable runs write periodic CRC32
+    // checkpoints (atomic write-then-rename); the cost that matters is
+    // writes-per-run × cost-per-write against the run's wall-clock, so
+    // measure both directly — a throughput A/B of two multithreaded runs
+    // would drown a 2% budget in scheduler noise. Checkpointing earns
+    // its keep on long searches, so the guard times a paper-scale
+    // 2000-residue query (write count and write size are set by the
+    // batch count, which is unchanged — only the denominator grows to
+    // match the workloads durability is for).
+    use sw_core::{Checkpoint, DurableOptions, RecoveryTotals, SearchFingerprint};
+    let long_query = sw_seq::gen::generate_query(2_000, 7);
+    let long_plan = hetero.plan_split(&prepared, long_query.residues.len(), 0.5);
+    let ckpt_path = std::env::temp_dir().join("dynsplit-ckpt.swckpt");
+    let dopts = DurableOptions {
+        checkpoint_path: Some(&ckpt_path),
+        interval_chunks: 8,
+        drain: None,
+        resume: false,
+    };
+    let durable = hetero
+        .search_dynamic_resumable(
+            &long_query.residues,
+            &prepared,
+            &long_plan,
+            &cfg,
+            &FaultInjector::none(),
+            &dopts,
+        )
+        .expect("durable run completes");
+    let res = durable.outcome.as_ref().expect("not drained");
+    let elapsed = res.results.elapsed.as_secs_f64();
+
+    // Worst-case checkpoint: every batch committed, every sequence a
+    // scored hit — the size the *last* periodic write of a run carries.
+    let full_ckpt = Checkpoint {
+        fingerprint: SearchFingerprint::compute(&prepared, &long_query.residues),
+        seq: 0,
+        resumes: 0,
+        accel_share: 0.5,
+        recovery: [RecoveryTotals::default(); 2],
+        done: (0..prepared.batches.len())
+            .map(|i| sw_core::BatchResult {
+                batch: i,
+                device: i % 2,
+                hits: prepared.batches[i]
+                    .ids()
+                    .iter()
+                    .map(|&id| sw_core::Hit { id, score: 100 })
+                    .collect(),
+                cells: Default::default(),
+                rescued: 0,
+            })
+            .collect(),
+    };
+    let mut write_s: Vec<f64> = (0..9)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let bytes = full_ckpt
+                .write_atomic(&ckpt_path)
+                .expect("bench checkpoint write");
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(bytes > 0);
+            dt
+        })
+        .collect();
+    write_s.sort_by(|a, b| a.total_cmp(b));
+    let _ = std::fs::remove_file(&ckpt_path);
+    let per_write = write_s[write_s.len() / 2];
+    let writes = durable.checkpoints_written.max(1) as f64;
+    let ckpt_overhead_pct = 100.0 * (writes * per_write) / elapsed;
+    let mut c = Table::new(
+        "Checkpoint overhead — periodic durable writes vs run wall-clock",
+        &[
+            "interval_chunks",
+            "writes_per_run",
+            "write_med_ms",
+            "run_s",
+            "overhead_pct",
+        ],
+    );
+    c.row(vec![
+        dopts.interval_chunks.to_string(),
+        format!("{writes:.0}"),
+        format!("{:.3}", per_write * 1e3),
+        format!("{elapsed:.3}"),
+        format!("{ckpt_overhead_pct:.3}"),
+    ]);
+    c.emit("checkpoint-overhead");
+    println!(
+        "durable run wrote {writes:.0} checkpoint(s); a worst-case write costs \
+         {:.3} ms — {ckpt_overhead_pct:.3}% of the run.",
+        per_write * 1e3
+    );
+    assert!(
+        ckpt_overhead_pct < 2.0,
+        "checkpointing costs {ckpt_overhead_pct:.3}% of the run (budget 2%): \
+         {writes:.0} writes × {:.3} ms over {elapsed:.3} s",
+        per_write * 1e3
+    );
 }

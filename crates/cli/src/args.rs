@@ -21,7 +21,8 @@ USAGE:
   swsearch align    --query <fasta> --subject <fasta> [--matrix <name>] [--open <q>] [--extend <r>]
   swsearch bench    [--seqs <n>] [--query-len <m>] [--threads <t>] [--lanes <l>]
   swsearch hetero   --query <fasta> --db <fasta|swdb> [--frac <0..1>]
-                    [--dynamic] [--accel-threads <n>] [--min-chunk <n>] [options]
+                    [--dynamic] [--accel-threads <n>] [--min-chunk <n>]
+                    [--checkpoint <path> [--resume]] [options]
   swsearch trace-check [--trace <jsonl>] [--metrics <prom>]
 
 SEARCH OPTIONS:
@@ -44,6 +45,8 @@ SEARCH OPTIONS:
   --match <s>         DNA match score (with --dna; default 5)
   --mismatch <s>      DNA mismatch score (with --dna; default -4)
   --both-strands      with --dna: also search the reverse complement
+  --quarantine        skip malformed FASTA records instead of aborting;
+                      a per-issue summary is printed (also on makedb)
 
 HETERO OPTIONS:
   --dynamic           dual-pool dynamic scheduler: both device pools pull
@@ -65,6 +68,28 @@ HETERO OPTIONS:
                       run's counters, histograms and GCUPS time series
   --trace-level <l>   off | lite | full (default: full when --trace-out
                       or --metrics-out is given, else off)
+
+DURABILITY OPTIONS (dynamic mode):
+  --checkpoint <path> persist search progress to this file: versioned,
+                      CRC32-checksummed, written atomically. SIGINT or
+                      SIGTERM drains the run gracefully (workers finish
+                      their in-flight chunks, a final checkpoint is
+                      written) and prints how to resume. Deleted when the
+                      search completes.
+  --checkpoint-interval-chunks <n>
+                      write a checkpoint every n committed chunks
+                      (default 8; the graceful-drain checkpoint is
+                      written regardless)
+  --resume            load --checkpoint if it exists and skip its
+                      completed batches. The checkpoint is verified
+                      against the database content digest, query digest,
+                      lane count and batch count first; a mismatch is a
+                      hard error. The final hit list is byte-identical
+                      to an uninterrupted run.
+  --kill-after-chunks <n>
+                      crash drill: abort the whole process (as SIGKILL
+                      would) after n chunks have been committed — used
+                      by the crash-resume test harness
 
 TRACE-CHECK OPTIONS:
   --trace <path>      validate a JSONL event log: schema header, per-track
@@ -90,6 +115,8 @@ pub enum Command {
         input: String,
         /// Output snapshot path.
         output: String,
+        /// Skip malformed records instead of aborting.
+        quarantine: bool,
     },
     /// Generate a synthetic Swiss-Prot-like database.
     GenDb {
@@ -172,6 +199,17 @@ pub enum Command {
         /// Journal detail level. Defaults to `Full` when `--trace-out` or
         /// `--metrics-out` is given, `Off` otherwise.
         trace_level: sw_trace::TraceLevel,
+        /// Persist search progress to this checkpoint file (dynamic
+        /// mode); SIGINT/SIGTERM then drain gracefully instead of
+        /// killing the run.
+        checkpoint: Option<String>,
+        /// Chunks between periodic checkpoint writes.
+        checkpoint_interval: u64,
+        /// Load `--checkpoint` (if present) and skip its batches.
+        resume: bool,
+        /// Crash drill: abort the process after this many committed
+        /// chunks (simulates SIGKILL for the crash-resume harness).
+        kill_after_chunks: Option<u64>,
         /// Scoring/search knobs.
         opts: SearchOpts,
     },
@@ -232,6 +270,9 @@ pub struct SearchOpts {
     pub mismatch: i32,
     /// Also search the reverse-complement strand (nucleotide mode only).
     pub both_strands: bool,
+    /// Skip malformed FASTA records (with a printed per-issue summary)
+    /// instead of aborting on the first one.
+    pub quarantine: bool,
 }
 
 impl Default for SearchOpts {
@@ -252,6 +293,7 @@ impl Default for SearchOpts {
             match_score: 5,
             mismatch: -4,
             both_strands: false,
+            quarantine: false,
         }
     }
 }
@@ -400,6 +442,7 @@ fn parse_search_opts(a: &mut Args<'_>) -> Result<SearchOpts, ParseError> {
         match_score: a.parse_num("--match", d.match_score)?,
         mismatch: a.parse_num("--mismatch", d.mismatch)?,
         both_strands: a.has_flag("--both-strands"),
+        quarantine: a.has_flag("--quarantine"),
     })
 }
 
@@ -422,6 +465,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "makedb" => Ok(Command::MakeDb {
             input: a.value_of("--in")?,
             output: a.value_of("--out")?,
+            quarantine: a.has_flag("--quarantine"),
         }),
         "gendb" => Ok(Command::GenDb {
             seqs: a.parse_num("--seqs", 0u32).and_then(|n| {
@@ -510,6 +554,24 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 None if trace_out.is_some() || metrics_out.is_some() => sw_trace::TraceLevel::Full,
                 None => sw_trace::TraceLevel::Off,
             };
+            let checkpoint = a.opt_value("--checkpoint");
+            let checkpoint_interval: u64 = a.parse_num("--checkpoint-interval-chunks", 8u64)?;
+            if checkpoint_interval == 0 {
+                return Err(err("--checkpoint-interval-chunks must be at least 1"));
+            }
+            let resume = a.has_flag("--resume");
+            if resume && checkpoint.is_none() {
+                return Err(err("--resume needs --checkpoint <path> to resume from"));
+            }
+            let kill_after_chunks = a
+                .opt_value("--kill-after-chunks")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| err(format!("bad value for --kill-after-chunks: '{v}'")))
+                })
+                .transpose()?;
             Ok(Command::Hetero {
                 query: a.value_of("--query")?,
                 db: a.value_of("--db")?,
@@ -523,6 +585,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 trace_out,
                 metrics_out,
                 trace_level,
+                checkpoint,
+                checkpoint_interval,
+                resume,
+                kill_after_chunks,
                 opts,
             })
         }
@@ -868,6 +934,73 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("hetero --query q --db d --trace-level verbose")).is_err());
+    }
+
+    #[test]
+    fn hetero_durability_flags() {
+        // Defaults: no checkpointing.
+        match parse(&argv("hetero --query q --db d --dynamic")).unwrap() {
+            Command::Hetero {
+                checkpoint,
+                checkpoint_interval,
+                resume,
+                kill_after_chunks,
+                ..
+            } => {
+                assert_eq!(checkpoint, None);
+                assert_eq!(checkpoint_interval, 8);
+                assert!(!resume);
+                assert_eq!(kill_after_chunks, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "hetero --query q --db d --dynamic --checkpoint s.ckpt \
+             --checkpoint-interval-chunks 3 --resume --kill-after-chunks 5",
+        ))
+        .unwrap()
+        {
+            Command::Hetero {
+                checkpoint,
+                checkpoint_interval,
+                resume,
+                kill_after_chunks,
+                ..
+            } => {
+                assert_eq!(checkpoint.as_deref(), Some("s.ckpt"));
+                assert_eq!(checkpoint_interval, 3);
+                assert!(resume);
+                assert_eq!(kill_after_chunks, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --resume without a checkpoint path has nothing to resume from.
+        let e = parse(&argv("hetero --query q --db d --dynamic --resume")).unwrap_err();
+        assert!(e.0.contains("--checkpoint"), "{e}");
+        assert!(parse(&argv(
+            "hetero --query q --db d --dynamic --checkpoint c --checkpoint-interval-chunks 0"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "hetero --query q --db d --dynamic --checkpoint c --kill-after-chunks 0"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn quarantine_flag_parses() {
+        match parse(&argv("search --query q --db d --quarantine")).unwrap() {
+            Command::Search { opts, .. } => assert!(opts.quarantine),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("makedb --in a.fa --out b.swdb --quarantine")).unwrap() {
+            Command::MakeDb { quarantine, .. } => assert!(quarantine),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("makedb --in a.fa --out b.swdb")).unwrap() {
+            Command::MakeDb { quarantine, .. } => assert!(!quarantine),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -35,6 +35,27 @@ fn load_sequences(path: &str, alphabet: &Alphabet) -> Result<Vec<EncodedSeq>, Cm
     }
 }
 
+/// [`load_sequences`], optionally in quarantine mode: malformed FASTA
+/// records are skipped (with a printed per-issue summary) instead of
+/// aborting the command. Snapshots have no quarantine — their integrity
+/// is checked structurally on read.
+fn load_sequences_quarantined<W: Write>(
+    path: &str,
+    alphabet: &Alphabet,
+    quarantine: bool,
+    out: &mut W,
+) -> Result<Vec<EncodedSeq>, CmdError> {
+    if !quarantine || path.ends_with(".swdb") {
+        return load_sequences(path, alphabet);
+    }
+    let (seqs, report) =
+        sw_seq::read_encoded_quarantined(BufReader::new(File::open(path)?), alphabet)?;
+    if !report.is_clean() {
+        writeln!(out, "# quarantine {path}: {report}")?;
+    }
+    Ok(seqs)
+}
+
 fn params_from(opts: &SearchOpts) -> Result<SwParams, CmdError> {
     let matrix = if opts.dna {
         sw_seq::dna::dna_matrix(opts.match_score, opts.mismatch, -2)
@@ -79,7 +100,11 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             Ok(())
         }
         Command::Search { query, db, opts } => cmd_search(&query, &db, &opts, out),
-        Command::MakeDb { input, output } => cmd_makedb(&input, &output, out),
+        Command::MakeDb {
+            input,
+            output,
+            quarantine,
+        } => cmd_makedb(&input, &output, quarantine, out),
         Command::GenDb {
             seqs,
             output,
@@ -123,6 +148,10 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             trace_out,
             metrics_out,
             trace_level,
+            checkpoint,
+            checkpoint_interval,
+            resume,
+            kill_after_chunks,
             opts,
         } => cmd_hetero(
             &query,
@@ -135,11 +164,17 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 inject_fault,
                 accel_timeout_ms,
                 failure_budget,
+                kill_after_chunks,
             },
             HeteroTraceOpts {
                 trace_out,
                 metrics_out,
                 level: trace_level,
+            },
+            HeteroDurability {
+                checkpoint,
+                interval_chunks: checkpoint_interval,
+                resume,
             },
             &opts,
             out,
@@ -154,7 +189,7 @@ fn cmd_search<W: Write>(
     out: &mut W,
 ) -> Result<(), CmdError> {
     let alphabet = alphabet_from(opts);
-    let mut queries = load_sequences(query_path, &alphabet)?;
+    let mut queries = load_sequences_quarantined(query_path, &alphabet, opts.quarantine, out)?;
     if opts.both_strands {
         if !opts.dna {
             return Err("--both-strands requires --dna".into());
@@ -168,7 +203,7 @@ fn cmd_search<W: Write>(
             .collect();
         queries.extend(minus);
     }
-    let db_seqs = load_sequences(db_path, &alphabet)?;
+    let db_seqs = load_sequences_quarantined(db_path, &alphabet, opts.quarantine, out)?;
     if db_seqs.is_empty() {
         return Err("database holds no sequences".into());
     }
@@ -266,9 +301,14 @@ fn cmd_search<W: Write>(
     Ok(())
 }
 
-fn cmd_makedb<W: Write>(input: &str, output: &str, out: &mut W) -> Result<(), CmdError> {
+fn cmd_makedb<W: Write>(
+    input: &str,
+    output: &str,
+    quarantine: bool,
+    out: &mut W,
+) -> Result<(), CmdError> {
     let alphabet = Alphabet::protein();
-    let seqs = load_sequences(input, &alphabet)?;
+    let seqs = load_sequences_quarantined(input, &alphabet, quarantine, out)?;
     let db = sw_swdb::SequenceDatabase::from_sequences(seqs);
     let bytes = sw_swdb::snapshot::write(&db);
     File::create(output)?.write_all(&bytes)?;
@@ -433,6 +473,7 @@ struct HeteroDrill {
     inject_fault: Option<sw_sched::FaultSpec>,
     accel_timeout_ms: Option<u64>,
     failure_budget: u32,
+    kill_after_chunks: Option<u64>,
 }
 
 /// Trace and metrics outputs for `cmd_hetero` (all off by default).
@@ -440,6 +481,97 @@ struct HeteroTraceOpts {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     level: sw_trace::TraceLevel,
+}
+
+/// Checkpoint/resume knobs for `cmd_hetero` (all off by default).
+struct HeteroDurability {
+    checkpoint: Option<String>,
+    interval_chunks: u64,
+    resume: bool,
+}
+
+/// Print the realised schedule, per-device metrics and recovery lines of
+/// a completed dynamic run, then export its trace artifacts if asked.
+fn report_dynamic_outcome<W: Write>(
+    outcome: &sw_core::DynamicSearchOutcome,
+    n_batches: usize,
+    plan_accel_fraction: f64,
+    trace: &HeteroTraceOpts,
+    gcups_window_us: u64,
+    isa: sw_kernels::KernelIsa,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    writeln!(
+        out,
+        "# dynamic dual-pool: pools met at batch {} of {}; accel took {:.1}% of cells \
+         (plan seeded {:.1}%)",
+        outcome.boundary,
+        n_batches,
+        outcome.accel_cell_fraction * 100.0,
+        plan_accel_fraction * 100.0
+    )?;
+    for (label, m) in [("cpu  ", &outcome.cpu), ("accel", &outcome.accel)] {
+        writeln!(
+            out,
+            "#   {label}: {} workers, {} tasks in {} chunks, busy {:.3}s \
+             (queue wait {:.3}s), {} cells, {:.2} GCUPS",
+            m.workers,
+            m.tasks,
+            m.chunks,
+            m.busy.as_secs_f64(),
+            m.queue_wait.as_secs_f64(),
+            m.cells,
+            m.gcups()
+        )?;
+        if m.retries + m.requeues + m.lost_leases + m.failures > 0 || m.degraded {
+            writeln!(
+                out,
+                "#   {label}: recovery: {} retries, {} requeues, {} lost leases, \
+                 {} failures{}",
+                m.retries,
+                m.requeues,
+                m.lost_leases,
+                m.failures,
+                if m.degraded { " [pool retired]" } else { "" }
+            )?;
+        }
+    }
+    if outcome.results.degraded {
+        writeln!(
+            out,
+            "# DEGRADED: a device pool was retired mid-run; the surviving pool \
+             completed the queue (results are exact)"
+        )?;
+    }
+    if let Some(tl) = &outcome.timeline {
+        if let Some(path) = &trace.trace_out {
+            // Extension picks the format: `.jsonl` is the line-oriented
+            // event log, anything else is Chrome trace JSON (Perfetto).
+            let rendered = if path.ends_with(".jsonl") {
+                sw_trace::export::jsonl(tl)
+            } else {
+                sw_trace::export::chrome_trace(tl)
+            };
+            std::fs::write(path, rendered)?;
+            writeln!(
+                out,
+                "# trace: {} events ({} dropped) written to {path}",
+                tl.total_events(),
+                tl.total_dropped()
+            )?;
+        }
+        if let Some(path) = &trace.metrics_out {
+            let prom = sw_trace::export::prometheus_with_isa(
+                tl,
+                &outcome.device_counters(),
+                gcups_window_us,
+                isa.name(),
+            );
+            std::fs::write(path, prom)?;
+            writeln!(out, "# metrics: prometheus snapshot written to {path}")?;
+        }
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -452,13 +584,23 @@ fn cmd_hetero<W: Write>(
     min_chunk: usize,
     drill: HeteroDrill,
     trace: HeteroTraceOpts,
+    durable: HeteroDurability,
     opts: &SearchOpts,
     out: &mut W,
 ) -> Result<(), CmdError> {
-    use sw_core::{HeteroEngine, HeteroSearchConfig, RecoveryConfig, TraceConfig};
+    use sw_core::{DurableOptions, HeteroEngine, HeteroSearchConfig, RecoveryConfig, TraceConfig};
     use sw_sched::{FaultInjector, FaultPlan};
     if drill.inject_fault.is_some() && !dynamic {
         return Err("--inject-fault requires --dynamic (the static split has no recovery)".into());
+    }
+    if durable.checkpoint.is_none() && (durable.resume || drill.kill_after_chunks.is_some()) {
+        return Err("--resume/--kill-after-chunks need --checkpoint <path>".into());
+    }
+    if durable.checkpoint.is_some() && !dynamic {
+        return Err(
+            "--checkpoint requires --dynamic (the static split has no chunk progress to save)"
+                .into(),
+        );
     }
     let tracing_requested = trace.trace_out.is_some() || trace.metrics_out.is_some();
     if tracing_requested && !dynamic {
@@ -470,9 +612,9 @@ fn cmd_hetero<W: Write>(
         return Err("--trace-out/--metrics-out need --trace-level lite or full".into());
     }
     let alphabet = alphabet_from(opts);
-    let queries = load_sequences(query_path, &alphabet)?;
+    let queries = load_sequences_quarantined(query_path, &alphabet, opts.quarantine, out)?;
     let q = queries.first().ok_or("query file holds no sequences")?;
-    let db_seqs = load_sequences(db_path, &alphabet)?;
+    let db_seqs = load_sequences_quarantined(db_path, &alphabet, opts.quarantine, out)?;
     if db_seqs.is_empty() {
         return Err("database holds no sequences".into());
     }
@@ -515,7 +657,7 @@ fn cmd_hetero<W: Write>(
                 ..TraceConfig::default()
             },
         };
-        let injector = match &drill.inject_fault {
+        let mut injector = match &drill.inject_fault {
             Some(spec) => {
                 writeln!(
                     out,
@@ -526,79 +668,81 @@ fn cmd_hetero<W: Write>(
             }
             None => FaultInjector::none(),
         };
-        let outcome = hetero
-            .search_dynamic_supervised(&q.residues, &prepared, &plan, &dyn_cfg, &injector)
-            .map_err(|e| format!("dynamic search failed beyond recovery: {e}"))?;
-        writeln!(
-            out,
-            "# dynamic dual-pool: pools met at batch {} of {}; accel took {:.1}% of cells \
-             (plan seeded {:.1}%)",
-            outcome.boundary,
+        if let Some(n) = drill.kill_after_chunks {
+            writeln!(
+                out,
+                "# crash drill: the process will abort after {n} committed chunk(s)"
+            )?;
+            injector = injector.with_kill_after_chunks(n);
+        }
+        let outcome = if let Some(ckpt_path) = &durable.checkpoint {
+            // Durable run: graceful drain on SIGINT/SIGTERM, periodic
+            // checkpoints, optional resume.
+            crate::signals::install_drain_handlers();
+            let dopts = DurableOptions {
+                checkpoint_path: Some(std::path::Path::new(ckpt_path)),
+                interval_chunks: durable.interval_chunks,
+                drain: Some(&crate::signals::DRAIN),
+                resume: durable.resume,
+            };
+            let d = hetero
+                .search_dynamic_resumable(
+                    &q.residues,
+                    &prepared,
+                    &plan,
+                    &dyn_cfg,
+                    &injector,
+                    &dopts,
+                )
+                .map_err(|e| format!("durable dynamic search failed: {e}"))?;
+            if d.resumes > 0 {
+                writeln!(
+                    out,
+                    "# resume: loaded {} of {} batches from {ckpt_path} (resume #{})",
+                    d.resumed_tasks, d.n_batches, d.resumes
+                )?;
+            }
+            if d.checkpoint_write_failures > 0 {
+                writeln!(
+                    out,
+                    "# WARNING: {} periodic checkpoint write(s) failed; the search \
+                     continued but a crash in that window would lose that progress",
+                    d.checkpoint_write_failures
+                )?;
+            }
+            match d.outcome {
+                Some(outcome) => outcome,
+                None => {
+                    // Drained on a signal: the final checkpoint has every
+                    // committed chunk. Tell the user how to pick it up.
+                    writeln!(
+                        out,
+                        "# drained: {} of {} batches committed ({} checkpoint write(s) \
+                         this segment); state saved to {ckpt_path}",
+                        d.tasks_done, d.n_batches, d.checkpoints_written
+                    )?;
+                    writeln!(
+                        out,
+                        "# resume with: swsearch hetero --query {query_path} --db {db_path} \
+                         --dynamic --checkpoint {ckpt_path} --resume"
+                    )?;
+                    return Ok(());
+                }
+            }
+        } else {
+            hetero
+                .search_dynamic_supervised(&q.residues, &prepared, &plan, &dyn_cfg, &injector)
+                .map_err(|e| format!("dynamic search failed beyond recovery: {e}"))?
+        };
+        report_dynamic_outcome(
+            &outcome,
             prepared.batches.len(),
-            outcome.accel_cell_fraction * 100.0,
-            plan.accel_cell_fraction * 100.0
+            plan.accel_cell_fraction,
+            &trace,
+            dyn_cfg.trace.effective_gcups_window_us(),
+            isa,
+            out,
         )?;
-        for (label, m) in [("cpu  ", &outcome.cpu), ("accel", &outcome.accel)] {
-            writeln!(
-                out,
-                "#   {label}: {} workers, {} tasks in {} chunks, busy {:.3}s \
-                 (queue wait {:.3}s), {} cells, {:.2} GCUPS",
-                m.workers,
-                m.tasks,
-                m.chunks,
-                m.busy.as_secs_f64(),
-                m.queue_wait.as_secs_f64(),
-                m.cells,
-                m.gcups()
-            )?;
-            if m.retries + m.requeues + m.lost_leases + m.failures > 0 || m.degraded {
-                writeln!(
-                    out,
-                    "#   {label}: recovery: {} retries, {} requeues, {} lost leases, \
-                     {} failures{}",
-                    m.retries,
-                    m.requeues,
-                    m.lost_leases,
-                    m.failures,
-                    if m.degraded { " [pool retired]" } else { "" }
-                )?;
-            }
-        }
-        if outcome.results.degraded {
-            writeln!(
-                out,
-                "# DEGRADED: a device pool was retired mid-run; the surviving pool \
-                 completed the queue (results are exact)"
-            )?;
-        }
-        if let Some(tl) = &outcome.timeline {
-            if let Some(path) = &trace.trace_out {
-                // Extension picks the format: `.jsonl` is the line-oriented
-                // event log, anything else is Chrome trace JSON (Perfetto).
-                let rendered = if path.ends_with(".jsonl") {
-                    sw_trace::export::jsonl(tl)
-                } else {
-                    sw_trace::export::chrome_trace(tl)
-                };
-                std::fs::write(path, rendered)?;
-                writeln!(
-                    out,
-                    "# trace: {} events ({} dropped) written to {path}",
-                    tl.total_events(),
-                    tl.total_dropped()
-                )?;
-            }
-            if let Some(path) = &trace.metrics_out {
-                let prom = sw_trace::export::prometheus_with_isa(
-                    tl,
-                    &outcome.device_counters(),
-                    dyn_cfg.trace.effective_gcups_window_us(),
-                    isa.name(),
-                );
-                std::fs::write(path, prom)?;
-                writeln!(out, "# metrics: prometheus snapshot written to {path}")?;
-            }
-        }
         outcome.results
     } else {
         hetero.search(&q.residues, &prepared, &plan, &cfg, &cfg)
@@ -1171,6 +1315,91 @@ mod tests {
         let (code, text) = run_str("hetero --query q --db d --inject-fault kill@0");
         assert_eq!(code, 1, "{text}");
         assert!(text.contains("requires --dynamic"), "{text}");
+    }
+
+    #[test]
+    fn quarantine_skips_bad_records_and_reports() {
+        let db_path = tmp("quar1.fasta");
+        // Record 2 has an illegal residue, record 3 is empty; 1 and 4 are
+        // clean. Default mode aborts; --quarantine keeps the clean ones.
+        std::fs::write(
+            &db_path,
+            ">ok1\nMKVLITRAW\n>bad residue\nMKV1LIT\n>empty\n>ok2\nWARTILVKM\n",
+        )
+        .unwrap();
+        let q_path = tmp("quarq1.fasta");
+        std::fs::write(&q_path, ">q\nMKVLITRAW\n").unwrap();
+
+        let (code, text) = run_str(&format!("search --query {q_path} --db {db_path}"));
+        assert_eq!(code, 1, "default mode must abort: {text}");
+        let (code, text) = run_str(&format!(
+            "search --query {q_path} --db {db_path} --quarantine --lanes 4 --top 2"
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("# quarantine"), "{text}");
+        assert!(text.contains("2 records kept"), "{text}");
+        assert!(text.contains("ok1"), "clean records still searched: {text}");
+
+        // makedb honors the same flag.
+        let snap = tmp("quar1.swdb");
+        let (code, text) = run_str(&format!("makedb --in {db_path} --out {snap}"));
+        assert_eq!(code, 1, "{text}");
+        let (code, text) = run_str(&format!("makedb --in {db_path} --out {snap} --quarantine"));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("wrote 2 sequences"), "{text}");
+    }
+
+    #[test]
+    fn hetero_checkpoint_requires_dynamic() {
+        let (code, text) = run_str("hetero --query q --db d --checkpoint c.ckpt");
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("--checkpoint requires --dynamic"), "{text}");
+        let (code, text) = run_str("hetero --query q --db d --dynamic --kill-after-chunks 2");
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("need --checkpoint"), "{text}");
+    }
+
+    #[test]
+    fn hetero_durable_clean_run_completes_and_cleans_up() {
+        let db_path = tmp("dur1.fasta");
+        run_str(&format!(
+            "gendb --seqs 30 --out {db_path} --seed 4 --mean-len 90"
+        ));
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&db_path, &alphabet).unwrap();
+        let q_path = tmp("durq1.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[5], &alphabet).unwrap();
+        w.into_inner().unwrap();
+        let ckpt = tmp("dur1.ckpt");
+        let common = format!("--query {q_path} --db {db_path} --frac 0.5 --lanes 4 --top 3");
+        let (code, plain) = run_str(&format!(
+            "hetero {common} --dynamic --threads 2 --accel-threads 2"
+        ));
+        assert_eq!(code, 0, "{plain}");
+        let (code, durable) = run_str(&format!(
+            "hetero {common} --dynamic --threads 2 --accel-threads 2 \
+             --checkpoint {ckpt} --checkpoint-interval-chunks 1"
+        ));
+        assert_eq!(code, 0, "{durable}");
+        assert!(
+            !std::path::Path::new(&ckpt).exists(),
+            "completed run deletes its checkpoint"
+        );
+        // Same hit list with and without checkpointing.
+        let hits = |text: &str| -> Vec<String> {
+            text.lines()
+                .skip_while(|l| !l.starts_with("merged"))
+                .skip(1)
+                .take(3)
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(
+            hits(&plain),
+            hits(&durable),
+            "\nplain:\n{plain}\ndurable:\n{durable}"
+        );
     }
 
     #[test]

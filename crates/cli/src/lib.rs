@@ -2,10 +2,13 @@
 //! separated from `main.rs` so everything is unit-testable.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the signal-handler registration in `signals` is
+// the one scoped, documented exception.
+#![deny(unsafe_code)]
 
 pub mod args;
 pub mod commands;
+pub mod signals;
 
 pub use args::{Command, ParseError};
 

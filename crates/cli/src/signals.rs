@@ -1,0 +1,72 @@
+//! SIGINT/SIGTERM → graceful drain.
+//!
+//! Durable runs (`hetero --dynamic --checkpoint`) install a handler that
+//! flips a process-wide [`DrainSignal`] instead of letting the default
+//! disposition kill the process: workers finish their in-flight chunks,
+//! a final checkpoint is written, and the CLI prints how to resume. The
+//! handler body is a single atomic store — async-signal-safe by
+//! construction. `SIGKILL` (which cannot be caught) is covered by the
+//! same checkpoint files via the periodic write interval; the
+//! crash-resume harness exercises that path with `--kill-after-chunks`.
+//!
+//! This is the one place in the crate allowed to use `unsafe`: the
+//! `signal(2)` registration itself.
+
+use sw_sched::DrainSignal;
+
+/// The process-wide drain switch watched by durable searches.
+pub static DRAIN: DrainSignal = DrainSignal::new();
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: one atomic store, no allocation, no locks.
+        super::DRAIN.request();
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX `signal(2)` from the C runtime std already links.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        let h = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` is registering an async-signal-safe handler
+        // (a lone atomic store); the handler address stays valid for the
+        // life of the process.
+        unsafe {
+            signal(SIGINT, h);
+            signal(SIGTERM, h);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Non-unix hosts keep the default disposition; `--checkpoint` still
+    /// works through periodic writes, only the graceful-drain-on-signal
+    /// path is absent.
+    pub fn install() {}
+}
+
+/// Route SIGINT/SIGTERM to [`DRAIN`] for the rest of the process.
+/// Idempotent; called by durable searches before the pools start.
+pub fn install_drain_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_drain_starts_unset() {
+        install_drain_handlers();
+        install_drain_handlers();
+        assert!(!DRAIN.is_requested(), "install must not trip the drain");
+    }
+}

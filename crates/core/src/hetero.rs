@@ -15,16 +15,23 @@
 //! by [`crate::simulate::simulate_hetero`], which replays the same split
 //! through the device models and the offload-runtime simulator.
 
+use crate::checkpoint::{
+    BatchResult, Checkpoint, CheckpointError, RecoveryTotals, SearchFingerprint,
+};
 use crate::config::{HeteroSearchConfig, SearchConfig};
 use crate::engine::SearchEngine;
 use crate::prepare::PreparedDb;
 use crate::results::{Hit, SearchResults};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use sw_kernels::CellCount;
 use sw_sched::{
-    run_dual_pool_traced, DeviceMetrics, DualPoolConfig, ExecError, FaultInjector, MetricsSink,
-    DEVICE_ACCEL, DEVICE_CPU,
+    run_dual_pool_durable, run_dual_pool_traced, CheckpointView, DeviceMetrics, DrainSignal,
+    DualPoolConfig, DurableControl, ExecError, FaultInjector, MetricsSink, DEVICE_ACCEL,
+    DEVICE_CPU,
 };
 use sw_swdb::chunk::{range_cells, split_by_cells};
 use sw_swdb::{BatchRange, QueryProfile};
@@ -266,6 +273,368 @@ impl HeteroEngine {
             timeline,
         })
     }
+
+    /// [`Self::search_dynamic_supervised`] made **durable**: progress is
+    /// checkpointed to disk at a configurable chunk interval, a prior
+    /// checkpoint can be resumed (skipping its completed batches), and a
+    /// [`DrainSignal`] stops the run gracefully with a final checkpoint.
+    ///
+    /// Resume correctness: batch results are pure functions of the batch
+    /// index, and [`SearchResults::new`] sorts deterministically, so a
+    /// search killed at any point and resumed produces a hit list
+    /// byte-identical to an uninterrupted run. A checkpoint is only
+    /// accepted when its [`SearchFingerprint`] (database content digest,
+    /// query digest, lane count, batch count) matches the present search
+    /// — anything else is a typed [`CheckpointError::Mismatch`].
+    ///
+    /// Recovery counters are cumulative: the checkpoint carries the
+    /// totals of all prior run segments, so retries/requeues/lost-lease
+    /// counts reported by a resumed run are monotone across restarts.
+    /// On completion the checkpoint file is deleted.
+    pub fn search_dynamic_resumable(
+        &self,
+        query: &[u8],
+        db: &PreparedDb,
+        plan: &SplitPlan,
+        config: &HeteroSearchConfig,
+        injector: &FaultInjector,
+        opts: &DurableOptions<'_>,
+    ) -> Result<DurableSearchOutcome, DurableSearchError> {
+        assert!(!query.is_empty(), "query must not be empty");
+        type BatchOut = (usize, (Vec<Hit>, CellCount, u64));
+        let fingerprint = SearchFingerprint::compute(db, query);
+        if db.batches.is_empty() {
+            if let Some(path) = opts.checkpoint_path {
+                Checkpoint::remove(path).ok();
+            }
+            return Ok(DurableSearchOutcome {
+                outcome: Some(DynamicSearchOutcome {
+                    results: SearchResults::new(
+                        Vec::new(),
+                        std::time::Duration::ZERO,
+                        CellCount::default(),
+                        0,
+                    ),
+                    cpu: DeviceMetrics::default(),
+                    accel: DeviceMetrics::default(),
+                    boundary: 0,
+                    accel_cell_fraction: 0.0,
+                    degraded: [false, false],
+                    timeline: None,
+                }),
+                drained: false,
+                tasks_done: 0,
+                n_batches: 0,
+                resumed_tasks: 0,
+                resumes: 0,
+                checkpoints_written: 0,
+                checkpoint_write_failures: 0,
+                recovery: [RecoveryTotals::default(); 2],
+            });
+        }
+
+        // Load and verify a prior checkpoint, if resuming.
+        let mut prefill: Vec<(usize, BatchOut)> = Vec::new();
+        let mut baseline = [RecoveryTotals::default(); 2];
+        let mut resumes = 0u64;
+        let mut next_seq = 0u64;
+        let mut initial_share = plan.accel_cell_fraction;
+        if opts.resume {
+            if let Some(path) = opts.checkpoint_path {
+                if let Some(ckpt) = Checkpoint::load_if_exists(path)? {
+                    ckpt.verify(&fingerprint)?;
+                    resumes = ckpt.resumes + 1;
+                    next_seq = ckpt.seq + 1;
+                    baseline = ckpt.recovery;
+                    // Resume from the learned device balance, not the
+                    // static seed.
+                    initial_share = ckpt.accel_share;
+                    prefill = ckpt
+                        .done
+                        .into_iter()
+                        .map(|b| (b.batch, (b.device, (b.hits, b.cells, b.rescued))))
+                        .collect();
+                }
+            }
+        }
+        let resumed_tasks = prefill.len() as u64;
+
+        let qp = QueryProfile::build(query, &self.engine.params.matrix, &db.alphabet);
+        let block_rows = [
+            config.cpu.effective_block_rows(db.lanes),
+            config.accel.effective_block_rows(db.lanes),
+        ];
+        let device_config = [&config.cpu, &config.accel];
+        let m = query.len();
+        let mut cpu_workers = config.cpu.threads;
+        let accel_workers = config.accel.threads;
+        if cpu_workers + accel_workers == 0 {
+            cpu_workers = 1;
+        }
+        let sink = MetricsSink::new();
+        let tracer = config.trace.tracer();
+
+        let seq = AtomicU64::new(next_seq);
+        let writes = AtomicU64::new(0);
+        let write_failures = AtomicU64::new(0);
+        let make_checkpoint = |slots: &[Option<BatchOut>],
+                               accel_share: f64,
+                               recovery: [RecoveryTotals; 2]|
+         -> Checkpoint {
+            Checkpoint {
+                fingerprint,
+                seq: seq.fetch_add(1, Ordering::Relaxed),
+                resumes,
+                accel_share,
+                recovery,
+                done: slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        s.as_ref()
+                            .map(|(device, (hits, cells, rescued))| BatchResult {
+                                batch: i,
+                                device: *device,
+                                hits: hits.clone(),
+                                cells: *cells,
+                                rescued: *rescued,
+                            })
+                    })
+                    .collect(),
+            }
+        };
+        // Mid-run recovery totals: requeues / lost leases / failures are
+        // recorded as they happen; per-worker retry counts only land at
+        // worker exit, so a *periodic* checkpoint may undercount retries
+        // (the final drain checkpoint, written after the pools exit, is
+        // exact). Monotonicity is preserved either way.
+        let cumulative_recovery = || {
+            [
+                baseline[DEVICE_CPU].plus(&sink.device(DEVICE_CPU)),
+                baseline[DEVICE_ACCEL].plus(&sink.device(DEVICE_ACCEL)),
+            ]
+        };
+        let on_checkpoint = |view: CheckpointView<'_, BatchOut>| -> u64 {
+            let Some(path) = opts.checkpoint_path else {
+                return 0;
+            };
+            let ckpt = make_checkpoint(view.slots, view.accel_share, cumulative_recovery());
+            match ckpt.write_atomic(path) {
+                Ok(bytes) => {
+                    writes.fetch_add(1, Ordering::Relaxed);
+                    bytes
+                }
+                Err(_) => {
+                    // A failed periodic checkpoint must not kill the
+                    // search; the failure is counted and surfaced on the
+                    // outcome.
+                    write_failures.fetch_add(1, Ordering::Relaxed);
+                    0
+                }
+            }
+        };
+
+        let start = Instant::now();
+        let out = run_dual_pool_durable(
+            db.batches.len(),
+            DualPoolConfig {
+                cpu_workers,
+                accel_workers,
+                initial_accel_fraction: initial_share,
+                min_chunk: config.min_chunk,
+                accel_timeout_ms: config.recovery.accel_timeout_ms,
+                failure_budget: config.recovery.failure_budget,
+                retry_backoff_ms: config.recovery.retry_backoff_ms,
+                max_chunk_retries: config.recovery.max_chunk_retries,
+            },
+            injector,
+            DurableControl {
+                prefill,
+                drain: opts.drain,
+                checkpoint_every_chunks: if opts.checkpoint_path.is_some() {
+                    opts.interval_chunks
+                } else {
+                    0
+                },
+                on_checkpoint: Some(&on_checkpoint),
+            },
+            |bi| db.batches[bi].padded_cells(m),
+            |device, bi| {
+                let cfg = device_config[device];
+                let out =
+                    self.engine
+                        .run_batch(query, &qp, db, &db.batches[bi], cfg, block_rows[device]);
+                (device, out)
+            },
+            &sink,
+            &tracer,
+        );
+        let elapsed = start.elapsed();
+        let timeline = tracer.is_enabled().then(|| tracer.timeline());
+        let recovery = cumulative_recovery();
+        let tasks_done = out.tasks_done() as u64;
+        let n_batches = db.batches.len() as u64;
+
+        if out.drained {
+            // The final checkpoint is written *after* the pools exited,
+            // so it captures exact totals and every committed chunk. Its
+            // failure is a hard error: a drained run without its
+            // checkpoint cannot be resumed.
+            if let Some(path) = opts.checkpoint_path {
+                let cpu_m = sink.device(DEVICE_CPU);
+                let accel_m = sink.device(DEVICE_ACCEL);
+                let total = cpu_m.cells + accel_m.cells;
+                let share = if total == 0 {
+                    initial_share
+                } else {
+                    accel_m.cells as f64 / total as f64
+                };
+                make_checkpoint(&out.slots, share, recovery).write_atomic(path)?;
+                writes.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(DurableSearchOutcome {
+                outcome: None,
+                drained: true,
+                tasks_done,
+                n_batches,
+                resumed_tasks,
+                resumes,
+                checkpoints_written: writes.load(Ordering::Relaxed),
+                checkpoint_write_failures: write_failures.load(Ordering::Relaxed),
+                recovery,
+            });
+        }
+
+        let degraded = out.degraded;
+        let results_vec = out.try_into_results().map_err(DurableSearchError::Exec)?;
+        let mut hits: Vec<Hit> = Vec::with_capacity(db.n_seqs());
+        let mut cells = CellCount::default();
+        let mut rescued = 0u64;
+        let mut boundary = 0usize;
+        for (device, (batch_hits, batch_cells, batch_rescued)) in results_vec {
+            if device == DEVICE_CPU {
+                boundary += 1;
+            }
+            hits.extend(batch_hits);
+            cells.add(batch_cells);
+            rescued += batch_rescued;
+        }
+        let cpu = sink.device(DEVICE_CPU);
+        let accel = sink.device(DEVICE_ACCEL);
+        let total_cells = cpu.cells + accel.cells;
+        if let Some(path) = opts.checkpoint_path {
+            // Best-effort cleanup: a stale checkpoint left behind is
+            // re-verified (and its batches skipped) on the next resume,
+            // never silently wrong.
+            Checkpoint::remove(path).ok();
+        }
+        Ok(DurableSearchOutcome {
+            outcome: Some(DynamicSearchOutcome {
+                results: SearchResults::new(hits, elapsed, cells, rescued)
+                    .with_degraded(degraded[DEVICE_CPU] || degraded[DEVICE_ACCEL]),
+                accel_cell_fraction: if total_cells == 0 {
+                    0.0
+                } else {
+                    accel.cells as f64 / total_cells as f64
+                },
+                cpu,
+                accel,
+                boundary,
+                degraded,
+                timeline,
+            }),
+            drained: false,
+            tasks_done,
+            n_batches,
+            resumed_tasks,
+            resumes,
+            checkpoints_written: writes.load(Ordering::Relaxed),
+            checkpoint_write_failures: write_failures.load(Ordering::Relaxed),
+            recovery,
+        })
+    }
+}
+
+/// Durability knobs for [`HeteroEngine::search_dynamic_resumable`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurableOptions<'a> {
+    /// Where the checkpoint lives. `None` disables checkpointing (the
+    /// run is then durable in name only — drain still stops it
+    /// gracefully, but nothing is persisted).
+    pub checkpoint_path: Option<&'a Path>,
+    /// Write a checkpoint every this many committed chunks (0 = only the
+    /// final drain checkpoint).
+    pub interval_chunks: u64,
+    /// Cooperative stop signal (SIGINT/SIGTERM in the CLI).
+    pub drain: Option<&'a DrainSignal>,
+    /// Load `checkpoint_path` if it exists and skip its completed
+    /// batches.
+    pub resume: bool,
+}
+
+/// Why a durable search failed.
+#[derive(Debug)]
+pub enum DurableSearchError {
+    /// The execution itself failed terminally (see [`ExecError`]).
+    Exec(ExecError),
+    /// The checkpoint could not be loaded, verified, or (for the final
+    /// drain checkpoint) written.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for DurableSearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableSearchError::Exec(e) => write!(f, "{e}"),
+            DurableSearchError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableSearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableSearchError::Exec(e) => Some(e),
+            DurableSearchError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for DurableSearchError {
+    fn from(e: CheckpointError) -> Self {
+        DurableSearchError::Checkpoint(e)
+    }
+}
+
+impl From<ExecError> for DurableSearchError {
+    fn from(e: ExecError) -> Self {
+        DurableSearchError::Exec(e)
+    }
+}
+
+/// What a [`HeteroEngine::search_dynamic_resumable`] run produced.
+#[derive(Debug)]
+pub struct DurableSearchOutcome {
+    /// The completed search — `None` when the run was drained before
+    /// finishing (resume with the written checkpoint to continue).
+    pub outcome: Option<DynamicSearchOutcome>,
+    /// True when the run stopped on its [`DrainSignal`].
+    pub drained: bool,
+    /// Batches with a committed result (including resumed ones).
+    pub tasks_done: u64,
+    /// Total batches of the search.
+    pub n_batches: u64,
+    /// Batches loaded from the checkpoint instead of recomputed.
+    pub resumed_tasks: u64,
+    /// How many times this search has been resumed (0 = fresh run).
+    pub resumes: u64,
+    /// Checkpoints written during this segment (periodic + final).
+    pub checkpoints_written: u64,
+    /// Periodic checkpoint writes that failed (counted, never fatal).
+    pub checkpoint_write_failures: u64,
+    /// Cumulative recovery totals per device (`[cpu, accel]`) across all
+    /// run segments — monotone under resume.
+    pub recovery: [RecoveryTotals; 2],
 }
 
 /// What a [`HeteroEngine::search_dynamic`] run produced: the merged

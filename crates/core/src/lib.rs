@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod hetero;
@@ -41,9 +42,13 @@ pub mod simulate;
 pub mod stats;
 pub mod verify;
 
+pub use checkpoint::{BatchResult, Checkpoint, CheckpointError, RecoveryTotals, SearchFingerprint};
 pub use config::{HeteroSearchConfig, RecoveryConfig, SearchConfig, TraceConfig};
 pub use engine::SearchEngine;
-pub use hetero::{DynamicSearchOutcome, HeteroEngine, SplitPlan};
+pub use hetero::{
+    DurableOptions, DurableSearchError, DurableSearchOutcome, DynamicSearchOutcome, HeteroEngine,
+    SplitPlan,
+};
 pub use prepare::PreparedDb;
 pub use report::SearchSummary;
 pub use results::{Hit, SearchResults};

@@ -33,6 +33,7 @@
 //! after its lease was reclaimed) commits identical values — recovery
 //! never changes the output, only who computed it.
 
+use crate::drain::DrainSignal;
 use crate::fault::{FaultInjector, FaultKind};
 use crate::metrics::{MetricsSink, RecoveryEvent, WorkerSample};
 use crate::policy::{
@@ -214,29 +215,56 @@ impl<T> Slots<T> {
         }
     }
 
+    /// Commit an explicitly-indexed (possibly non-contiguous) batch of
+    /// results — the dual-pool path, where a resumed run skips the
+    /// indices a checkpoint already holds and a chunk's executed set can
+    /// therefore have holes.
+    fn commit_sparse(&self, buf: Vec<(usize, T)>) {
+        let mut guard = lock_unpoisoned(&self.slots);
+        for (i, r) in buf {
+            guard[i] = Some(r);
+        }
+    }
+
+    /// Run `f` over the current slot table (held under the lock). Used by
+    /// the checkpoint callback so a checkpoint observes a consistent
+    /// whole-chunk view — commits are whole-chunk under the same lock.
+    fn with_slots<R>(&self, f: impl FnOnce(&[Option<T>]) -> R) -> R {
+        f(&lock_unpoisoned(&self.slots))
+    }
+
+    /// The raw slot table (filled and unfilled).
+    fn into_slots(self) -> Vec<Option<T>> {
+        self.slots
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Results in task order, or the `[start, end)` ranges that were
     /// never filled.
     fn try_into_results(self) -> Result<Vec<T>, Vec<(usize, usize)>> {
-        let slots = self
-            .slots
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner);
-        let mut out = Vec::with_capacity(slots.len());
-        let mut missing: Vec<(usize, usize)> = Vec::new();
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot {
-                Some(v) => out.push(v),
-                None => match missing.last_mut() {
-                    Some(last) if last.1 == i => last.1 = i + 1,
-                    _ => missing.push((i, i + 1)),
-                },
-            }
+        slots_into_results(self.into_slots())
+    }
+}
+
+/// Split a slot table into results in task order, or the `[start, end)`
+/// ranges that were never filled.
+fn slots_into_results<T>(slots: Vec<Option<T>>) -> Result<Vec<T>, Vec<(usize, usize)>> {
+    let mut out = Vec::with_capacity(slots.len());
+    let mut missing: Vec<(usize, usize)> = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(v) => out.push(v),
+            None => match missing.last_mut() {
+                Some(last) if last.1 == i => last.1 = i + 1,
+                _ => missing.push((i, i + 1)),
+            },
         }
-        if missing.is_empty() {
-            Ok(out)
-        } else {
-            Err(missing)
-        }
+    }
+    if missing.is_empty() {
+        Ok(out)
+    } else {
+        Err(missing)
     }
 }
 
@@ -465,6 +493,104 @@ pub struct DualPoolOutcome<T> {
     pub degraded: [bool; 2],
 }
 
+/// Consistent view of a run's progress handed to the checkpoint
+/// callback. The slot table is observed under its lock, so every chunk
+/// is either fully present or fully absent — a checkpoint can never see
+/// half a chunk.
+pub struct CheckpointView<'v, T> {
+    /// Result slots in task order; `None` = not yet executed.
+    pub slots: &'v [Option<T>],
+    /// Tasks committed so far (including any resume prefill).
+    pub tasks_done: u64,
+    /// The split estimator's current accelerator share — persisted so a
+    /// resumed run starts from the learned split instead of the static
+    /// seed.
+    pub accel_share: f64,
+}
+
+/// Durability hooks for [`run_dual_pool_durable`]: resume prefill, a
+/// drain signal, and a periodic checkpoint callback.
+///
+/// The default value ([`DurableControl::none`]) disables all three, which
+/// makes the durable executor behave exactly like
+/// [`run_dual_pool_traced`] (the traced entry point is now a thin wrapper
+/// over it).
+pub struct DurableControl<'a, T> {
+    /// Task results a checkpoint already holds: `(task index, result)`.
+    /// Prefilled indices are skipped by the workers (no execution, no
+    /// cost accounting) and appear verbatim in the outcome's slots.
+    pub prefill: Vec<(usize, T)>,
+    /// Cooperative stop: when requested, workers finish the chunks they
+    /// hold, commit them, and exit; the outcome is marked drained and
+    /// carries whatever completed.
+    pub drain: Option<&'a DrainSignal>,
+    /// Invoke `on_checkpoint` every this many committed chunks
+    /// (0 = never).
+    pub checkpoint_every_chunks: u64,
+    /// Checkpoint writer: receives a consistent [`CheckpointView`] and
+    /// returns the number of bytes persisted (for the trace event). At
+    /// most one invocation runs at a time; an interval that fires while a
+    /// checkpoint is still being written is skipped, not queued.
+    #[allow(clippy::type_complexity)]
+    pub on_checkpoint: Option<&'a (dyn Fn(CheckpointView<'_, T>) -> u64 + Sync)>,
+}
+
+impl<T> DurableControl<'_, T> {
+    /// No prefill, no drain, no checkpoints.
+    pub fn none() -> Self {
+        DurableControl {
+            prefill: Vec::new(),
+            drain: None,
+            checkpoint_every_chunks: 0,
+            on_checkpoint: None,
+        }
+    }
+}
+
+impl<T> Default for DurableControl<'_, T> {
+    fn default() -> Self {
+        DurableControl::none()
+    }
+}
+
+/// Result of a durable dual-pool run. Unlike [`DualPoolOutcome`] this is
+/// returned even when tasks are left unexecuted — a drained run is a
+/// *successful partial* run, and the caller decides whether holes are an
+/// error (they are, when not drained).
+#[derive(Debug)]
+pub struct DurableOutcome<T> {
+    /// Result slots in task order; `None` = never executed (drained away,
+    /// or lost to terminal task failure).
+    pub slots: Vec<Option<T>>,
+    /// Whether each device pool (`[cpu, accel]`) was retired.
+    pub degraded: [bool; 2],
+    /// True when the run stopped because its [`DrainSignal`] fired.
+    pub drained: bool,
+    /// Tasks that failed terminally (retries exhausted).
+    pub failures: Vec<TaskError>,
+}
+
+impl<T> DurableOutcome<T> {
+    /// Number of tasks with a committed result.
+    pub fn tasks_done(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Results in task order, or the structured [`ExecError`] naming the
+    /// failed and unexecuted tasks. For a *completed* run this is the
+    /// conversion to [`DualPoolOutcome`] semantics; a drained run with
+    /// holes returns `Err`, so only call it when `!drained`.
+    pub fn try_into_results(self) -> Result<Vec<T>, ExecError> {
+        match slots_into_results(self.slots) {
+            Ok(results) => Ok(results),
+            Err(missing) => Err(ExecError {
+                failures: self.failures,
+                missing,
+            }),
+        }
+    }
+}
+
 /// An active chunk lease: `device`'s pool claimed `range` and has not yet
 /// committed or released it.
 struct Lease {
@@ -542,6 +668,18 @@ impl<'a> Supervisor<'a> {
         lock_unpoisoned(&self.state)
     }
 
+    /// The estimator's current accelerator share given observed progress.
+    fn current_accel_share(&self) -> f64 {
+        self.estimator.accel_share(
+            self.progress[DEVICE_CPU].cells.load(Ordering::Relaxed),
+            self.progress[DEVICE_CPU].busy_nanos.load(Ordering::Relaxed),
+            self.progress[DEVICE_ACCEL].cells.load(Ordering::Relaxed),
+            self.progress[DEVICE_ACCEL]
+                .busy_nanos
+                .load(Ordering::Relaxed),
+        )
+    }
+
     fn register(
         st: &mut RecoveryState,
         device: usize,
@@ -613,14 +751,7 @@ impl<'a> Supervisor<'a> {
                 });
             }
             if st.queue.remaining() > 0 {
-                let accel_share = self.estimator.accel_share(
-                    self.progress[DEVICE_CPU].cells.load(Ordering::Relaxed),
-                    self.progress[DEVICE_CPU].busy_nanos.load(Ordering::Relaxed),
-                    self.progress[DEVICE_ACCEL].cells.load(Ordering::Relaxed),
-                    self.progress[DEVICE_ACCEL]
-                        .busy_nanos
-                        .load(Ordering::Relaxed),
-                );
+                let accel_share = self.current_accel_share();
                 let my_share = if device == DEVICE_CPU {
                     1.0 - accel_share
                 } else {
@@ -786,18 +917,40 @@ impl<'a> Supervisor<'a> {
 /// (`sw_trace::install`), so lower layers (kernels) can emit overflow
 /// recompute events without any signature threading.
 ///
+/// Durability hooks ([`DurableControl`]):
+///
+/// * **prefill** — results a checkpoint already holds are committed
+///   before any worker starts and their indices are skipped (no
+///   execution, no cost/throughput accounting), so a resumed run spends
+///   time only on the remaining work; a `resume_loaded` trace event is
+///   emitted.
+/// * **drain** — once the [`DrainSignal`] fires, workers finish and
+///   commit the chunks they hold, then exit; the first to observe the
+///   request emits `drain_started`. The outcome is a successful partial
+///   run (`drained = true`).
+/// * **checkpoint** — every `checkpoint_every_chunks` committed chunks,
+///   one worker invokes `on_checkpoint` with a consistent
+///   [`CheckpointView`] (slot lock held, so checkpoints are whole-chunk
+///   atomic) and emits `checkpoint_written`.
+///
+/// Unlike [`run_dual_pool_traced`] this returns the raw slot table:
+/// unexecuted tasks are `None`, and deciding whether holes are an error
+/// is the caller's job (a drained run legitimately has them).
+///
 /// # Panics
-/// Panics when both pools are empty or when `initial_accel_fraction` is
-/// NaN or outside `[0, 1]`.
-pub fn run_dual_pool_traced<T, F, C>(
+/// Panics when both pools are empty, when `initial_accel_fraction` is
+/// NaN or outside `[0, 1]`, or when a prefill index is out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dual_pool_durable<T, F, C>(
     n_tasks: usize,
     config: DualPoolConfig,
     injector: &FaultInjector,
+    durable: DurableControl<'_, T>,
     cost: C,
     task: F,
     sink: &MetricsSink,
     tracer: &Tracer,
-) -> Result<DualPoolOutcome<T>, ExecError>
+) -> DurableOutcome<T>
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
@@ -809,19 +962,48 @@ where
     );
     let sup = Supervisor::new(n_tasks, config, sink);
     if n_tasks == 0 {
-        return Ok(DualPoolOutcome {
-            results: Vec::new(),
+        return DurableOutcome {
+            slots: Vec::new(),
             degraded: [false, false],
-        });
+            drained: durable.drain.is_some_and(|d| d.is_requested()),
+            failures: Vec::new(),
+        };
     }
 
     let slots: Slots<T> = Slots::new(n_tasks);
+    let mut skip = vec![false; n_tasks];
+    let prefilled = durable.prefill.len() as u64;
+    if prefilled > 0 {
+        for &(i, _) in &durable.prefill {
+            skip[i] = true;
+        }
+        slots.commit_sparse(durable.prefill);
+        // The resume event lands on a supervisor track (worker id past
+        // the real pools) so it never interleaves a worker's spans.
+        let mut journal = tracer.worker(DEVICE_CPU, config.total_workers());
+        journal.emit(EventKind::ResumeLoaded {
+            tasks_done: prefilled,
+        });
+        journal.flush();
+    }
+    let drain = durable.drain;
+    let every = durable.checkpoint_every_chunks;
+    let on_checkpoint = durable.on_checkpoint;
+    let tasks_done = AtomicU64::new(prefilled);
+    let chunks_done = AtomicU64::new(0);
+    // Next checkpoint sequence number; doubles as the "one checkpoint at
+    // a time" gate (try_lock).
+    let ckpt_seq: Mutex<u64> = Mutex::new(0);
 
     std::thread::scope(|scope| {
         let task = &task;
         let cost = &cost;
         let slots = &slots;
         let sup = &sup;
+        let skip = &skip;
+        let tasks_done = &tasks_done;
+        let chunks_done = &chunks_done;
+        let ckpt_seq = &ckpt_seq;
         let pools = [
             (DEVICE_CPU, config.cpu_workers),
             (DEVICE_ACCEL, config.accel_workers),
@@ -832,6 +1014,14 @@ where
                     let mut sample = WorkerSample::new(device, w);
                     let mut journal = tracer.worker(device, w);
                     'work: loop {
+                        if let Some(d) = drain {
+                            if d.is_requested() {
+                                if d.announce_once() {
+                                    journal.emit(EventKind::DrainStarted);
+                                }
+                                break 'work; // in-flight chunks already committed
+                            }
+                        }
                         if injector.pool_dead(device) {
                             sup.retire(device, &mut journal);
                         }
@@ -841,7 +1031,14 @@ where
                             match sup.acquire(device, workers, &mut journal) {
                                 Acquire::Work(wk) => break wk,
                                 Acquire::Done | Acquire::Retired => break 'work,
-                                Acquire::Linger => std::thread::sleep(LINGER_POLL),
+                                Acquire::Linger => {
+                                    if drain.is_some_and(|d| d.is_requested()) {
+                                        // Back to the loop top, which
+                                        // announces and exits.
+                                        continue 'work;
+                                    }
+                                    std::thread::sleep(LINGER_POLL)
+                                }
                             }
                         };
                         sample.queue_wait += wait_start.elapsed();
@@ -905,10 +1102,13 @@ where
                         if traced {
                             sw_trace::install(std::mem::take(&mut journal));
                         }
-                        let mut buf: Vec<T> = Vec::with_capacity(e - s);
+                        let mut buf: Vec<(usize, T)> = Vec::with_capacity(e - s);
                         let mut chunk_cells = 0u64;
                         let mut failed: Option<(usize, String)> = None;
-                        for i in s..e {
+                        for (i, &already_done) in skip.iter().enumerate().take(e).skip(s) {
+                            if already_done {
+                                continue; // a checkpoint already holds this task
+                            }
                             let run = catch_unwind(AssertUnwindSafe(|| {
                                 if kill {
                                     panic!("injected fault: worker killed");
@@ -920,7 +1120,7 @@ where
                             }));
                             match run {
                                 Ok(v) => {
-                                    buf.push(v);
+                                    buf.push((i, v));
                                     chunk_cells += cost(i);
                                 }
                                 Err(p) => {
@@ -958,9 +1158,10 @@ where
                         sup.progress[device]
                             .busy_nanos
                             .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+                        let n_committed = buf.len() as u64;
                         if !buf.is_empty() {
                             let commit_start = Instant::now();
-                            slots.commit(s, buf);
+                            slots.commit_sparse(buf);
                             sample.queue_wait += commit_start.elapsed();
                         }
                         match failed {
@@ -970,6 +1171,41 @@ where
                                     sample.retries += 1;
                                 }
                                 sup.complete(work.lease);
+                                let total_tasks = tasks_done
+                                    .fetch_add(n_committed, Ordering::AcqRel)
+                                    + n_committed;
+                                if let Some(d) = drain {
+                                    d.note_tasks_done(total_tasks);
+                                }
+                                let total_chunks = chunks_done.fetch_add(1, Ordering::AcqRel) + 1;
+                                if every > 0 && total_chunks.is_multiple_of(every) {
+                                    if let Some(write) = on_checkpoint {
+                                        // try_lock: a tick that collides
+                                        // with an in-flight checkpoint is
+                                        // dropped, not queued.
+                                        if let Ok(mut seq) = ckpt_seq.try_lock() {
+                                            let share = sup.current_accel_share();
+                                            let now = tasks_done.load(Ordering::Acquire);
+                                            let bytes = slots.with_slots(|view| {
+                                                write(CheckpointView {
+                                                    slots: view,
+                                                    tasks_done: now,
+                                                    accel_share: share,
+                                                })
+                                            });
+                                            journal.emit(EventKind::CheckpointWritten {
+                                                seq: *seq,
+                                                tasks_done: now,
+                                                bytes,
+                                            });
+                                            *seq += 1;
+                                        }
+                                    }
+                                }
+                                // Crash-harness switch: abort the process
+                                // only after this chunk (and any due
+                                // checkpoint) is durable.
+                                injector.on_chunk_committed();
                             }
                             Some((at, message)) => {
                                 sup.release_failed(work.lease, device, at, message, &mut journal);
@@ -990,11 +1226,52 @@ where
         .state
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
-    let degraded = state.retired;
-    match slots.try_into_results() {
-        Ok(results) => Ok(DualPoolOutcome { results, degraded }),
+    DurableOutcome {
+        slots: slots.into_slots(),
+        degraded: state.retired,
+        drained: drain.is_some_and(|d| d.is_requested()),
+        failures: state.errors,
+    }
+}
+
+/// [`run_dual_pool_durable`] with the durability hooks disabled: a
+/// complete run or a structured [`ExecError`]. This is the entry point
+/// for non-resumable searches.
+///
+/// # Panics
+/// Panics when both pools are empty or when `initial_accel_fraction` is
+/// NaN or outside `[0, 1]`.
+pub fn run_dual_pool_traced<T, F, C>(
+    n_tasks: usize,
+    config: DualPoolConfig,
+    injector: &FaultInjector,
+    cost: C,
+    task: F,
+    sink: &MetricsSink,
+    tracer: &Tracer,
+) -> Result<DualPoolOutcome<T>, ExecError>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+    C: Fn(usize) -> u64 + Sync,
+{
+    let out = run_dual_pool_durable(
+        n_tasks,
+        config,
+        injector,
+        DurableControl::none(),
+        cost,
+        task,
+        sink,
+        tracer,
+    );
+    match slots_into_results(out.slots) {
+        Ok(results) => Ok(DualPoolOutcome {
+            results,
+            degraded: out.degraded,
+        }),
         Err(missing) => Err(ExecError {
-            failures: state.errors,
+            failures: out.failures,
             missing,
         }),
     }
@@ -1635,6 +1912,224 @@ mod tests {
         .expect("clean run");
         assert_eq!(out.results.len(), 64);
         assert_eq!(tracer.timeline().total_events(), 0);
+    }
+
+    #[test]
+    fn durable_prefill_skips_completed_tasks() {
+        // A "resumed" run: half the tasks already committed. The workers
+        // must not re-execute them, and the slot table must carry the
+        // prefilled values verbatim.
+        let executed = AtomicU64::new(0);
+        let sink = MetricsSink::new();
+        let prefill: Vec<(usize, usize)> = (0..100).step_by(2).map(|i| (i, i * 10)).collect();
+        let out = run_dual_pool_durable(
+            100,
+            DualPoolConfig::new(2, 1),
+            &FaultInjector::none(),
+            DurableControl {
+                prefill,
+                ..DurableControl::none()
+            },
+            |_| 1,
+            |_d, i| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                i * 10
+            },
+            &sink,
+            &Tracer::disabled(),
+        );
+        assert!(!out.drained);
+        assert_eq!(out.tasks_done(), 100);
+        let results: Vec<usize> = out.slots.into_iter().map(Option::unwrap).collect();
+        assert_eq!(results, (0..100).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            50,
+            "only the odd (non-checkpointed) half was executed"
+        );
+        // Skipped tasks contribute no throughput accounting.
+        assert_eq!(sink.devices().iter().map(|d| d.tasks).sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn durable_resume_emits_trace_event() {
+        let sink = MetricsSink::new();
+        let tracer = Tracer::full();
+        let out = run_dual_pool_durable(
+            20,
+            DualPoolConfig::new(1, 1),
+            &FaultInjector::none(),
+            DurableControl {
+                prefill: vec![(0, 0usize), (1, 1)],
+                ..DurableControl::none()
+            },
+            |_| 1,
+            |_d, i| i,
+            &sink,
+            &tracer,
+        );
+        assert_eq!(out.tasks_done(), 20);
+        let tl = tracer.timeline();
+        assert_eq!(tl.count("resume_loaded"), 1);
+        let text = sw_trace::export::jsonl(&tl);
+        sw_trace::validate::validate_jsonl(&text).expect("schema-valid trace with resume event");
+    }
+
+    #[test]
+    fn durable_drain_stops_with_partial_results() {
+        // Drain after ~half the tasks: the run must stop early, report
+        // drained, and every committed slot must hold the right value —
+        // in-flight chunks finish, nothing is torn.
+        let drain = DrainSignal::after_tasks(32);
+        let sink = MetricsSink::new();
+        let tracer = Tracer::full();
+        let out = run_dual_pool_durable(
+            1000,
+            DualPoolConfig {
+                min_chunk: 4,
+                ..DualPoolConfig::new(2, 2)
+            },
+            &FaultInjector::none(),
+            DurableControl {
+                drain: Some(&drain),
+                ..DurableControl::none()
+            },
+            |_| 1,
+            |_d, i| {
+                // Slow tasks so the drain lands mid-run, not after it.
+                std::thread::sleep(Duration::from_micros(300));
+                i * 2
+            },
+            &sink,
+            &tracer,
+        );
+        assert!(out.drained, "drain signal must mark the outcome");
+        let done = out.tasks_done();
+        assert!(done >= 32, "drain fires only after the threshold");
+        assert!(done < 1000, "drain must stop the run early");
+        for (i, slot) in out.slots.iter().enumerate() {
+            if let Some(v) = slot {
+                assert_eq!(*v, i * 2, "committed slot {i} is intact");
+            }
+        }
+        assert!(out.failures.is_empty());
+        assert_eq!(tracer.timeline().count("drain_started"), 1);
+    }
+
+    #[test]
+    fn durable_checkpoint_callback_fires_at_interval() {
+        let sink = MetricsSink::new();
+        let tracer = Tracer::full();
+        let calls = AtomicU64::new(0);
+        let max_seen = AtomicU64::new(0);
+        let on_ckpt = |view: CheckpointView<'_, usize>| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            max_seen.fetch_max(view.tasks_done, Ordering::Relaxed);
+            // The view is whole-chunk consistent: every present slot
+            // holds its deterministic value.
+            for (i, slot) in view.slots.iter().enumerate() {
+                if let Some(v) = slot {
+                    assert_eq!(*v, i + 1);
+                }
+            }
+            assert!((0.0..=1.0).contains(&view.accel_share));
+            view.tasks_done // "bytes written"
+        };
+        let out = run_dual_pool_durable(
+            200,
+            DualPoolConfig {
+                min_chunk: 2,
+                ..DualPoolConfig::new(2, 1)
+            },
+            &FaultInjector::none(),
+            DurableControl {
+                checkpoint_every_chunks: 1,
+                on_checkpoint: Some(&on_ckpt),
+                ..DurableControl::none()
+            },
+            |_| 1,
+            |_d, i| i + 1,
+            &sink,
+            &tracer,
+        );
+        assert_eq!(out.tasks_done(), 200);
+        let n = calls.load(Ordering::Relaxed);
+        assert!(n >= 1, "interval 1 must checkpoint at least once");
+        assert_eq!(
+            max_seen.load(Ordering::Relaxed),
+            200,
+            "final view sees all tasks"
+        );
+        let tl = tracer.timeline();
+        assert_eq!(
+            tl.count("checkpoint_written") as u64,
+            n,
+            "one trace event per invocation"
+        );
+    }
+
+    #[test]
+    fn durable_without_hooks_matches_traced() {
+        let sink_a = MetricsSink::new();
+        let out_a = run_dual_pool_durable(
+            150,
+            DualPoolConfig::new(2, 2),
+            &FaultInjector::none(),
+            DurableControl::none(),
+            |_| 1,
+            |_d, i| i * 3,
+            &sink_a,
+            &Tracer::disabled(),
+        );
+        assert!(!out_a.drained);
+        let a: Vec<usize> = out_a.slots.into_iter().map(Option::unwrap).collect();
+        let sink_b = MetricsSink::new();
+        let out_b = run_dual_pool_supervised(
+            150,
+            DualPoolConfig::new(2, 2),
+            &FaultInjector::none(),
+            |_| 1,
+            |_d, i| i * 3,
+            &sink_b,
+        )
+        .expect("clean run");
+        assert_eq!(a, out_b.results);
+    }
+
+    #[test]
+    fn durable_drain_with_faults_keeps_committed_slots_sound() {
+        // Recovery and drain compose: a kill fault fires, its chunk is
+        // requeued, and a drain lands while the run is in flight. All
+        // committed slots must still be correct.
+        let drain = DrainSignal::after_tasks(40);
+        let sink = MetricsSink::new();
+        let inj = injected(FaultKind::Kill, 0);
+        let out = run_dual_pool_durable(
+            500,
+            DualPoolConfig {
+                min_chunk: 4,
+                ..DualPoolConfig::new(2, 2)
+            },
+            &inj,
+            DurableControl {
+                drain: Some(&drain),
+                ..DurableControl::none()
+            },
+            |_| 1,
+            |d, i| {
+                gate_cpu_on(&inj, d);
+                std::thread::sleep(Duration::from_micros(200));
+                i + 11
+            },
+            &sink,
+            &Tracer::disabled(),
+        );
+        assert!(out.drained);
+        for (i, slot) in out.slots.iter().enumerate() {
+            if let Some(v) = slot {
+                assert_eq!(*v, i + 11);
+            }
+        }
     }
 
     #[test]

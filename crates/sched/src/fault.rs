@@ -102,6 +102,11 @@ pub struct FaultInjector {
     fired: Vec<AtomicBool>,
     chunk_counter: [AtomicU64; 2],
     pool_dead: [AtomicBool; 2],
+    /// Hard process abort once this many chunks (across both devices)
+    /// have been *committed*: the crash-resume harness's "pull the plug"
+    /// switch. `0` disables it.
+    kill_after_chunks: u64,
+    committed: AtomicU64,
 }
 
 impl FaultInjector {
@@ -118,7 +123,22 @@ impl FaultInjector {
             fired,
             chunk_counter: [AtomicU64::new(0), AtomicU64::new(0)],
             pool_dead: [AtomicBool::new(false), AtomicBool::new(false)],
+            kill_after_chunks: 0,
+            committed: AtomicU64::new(0),
         }
+    }
+
+    /// Arm a whole-process kill: the run calls [`std::process::abort`]
+    /// the moment its `n`-th chunk is committed (counted across both
+    /// device pools). Unlike [`FaultKind::Kill`] — which the supervisor
+    /// recovers from *within* the run — this simulates a power cut: no
+    /// destructors, no final checkpoint flush. Only the checkpoint/resume
+    /// path can save such a search, which is exactly what the subprocess
+    /// crash harness asserts.
+    #[must_use]
+    pub fn with_kill_after_chunks(mut self, n: u64) -> Self {
+        self.kill_after_chunks = n;
+        self
     }
 
     /// True when the plan holds no faults (the hot path skips all
@@ -149,6 +169,21 @@ impl FaultInjector {
             }
         }
         None
+    }
+
+    /// Called by a worker right after it commits a chunk. Aborts the
+    /// whole process when an armed [`Self::with_kill_after_chunks`]
+    /// threshold is reached — the committed results up to and including
+    /// this chunk are on disk (if checkpointing is on), everything else
+    /// is lost, exactly like a real crash.
+    pub fn on_chunk_committed(&self) {
+        if self.kill_after_chunks == 0 {
+            return;
+        }
+        let n = self.committed.fetch_add(1, Ordering::AcqRel) + 1;
+        if n >= self.kill_after_chunks {
+            std::process::abort();
+        }
     }
 
     /// True once a [`FaultKind::KillPool`] has fired against `device`:
@@ -216,6 +251,17 @@ mod tests {
         assert_eq!(inj.on_chunk_start(1), Some(FaultKind::KillPool));
         assert!(inj.pool_dead(1));
         assert!(!inj.pool_dead(0));
+    }
+
+    #[test]
+    fn unarmed_process_kill_is_inert() {
+        // With no threshold armed, committing chunks must never abort.
+        // (The armed path can only be exercised from a subprocess; the
+        // CLI crash harness covers it end to end.)
+        let inj = FaultInjector::none();
+        for _ in 0..100 {
+            inj.on_chunk_committed();
+        }
     }
 
     #[test]

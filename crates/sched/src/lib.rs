@@ -23,8 +23,15 @@
 //!   [`executor::run_dual_pool_supervised`], the instrumented two-device
 //!   scheduler with lease-based recovery (requeue, retry with backoff,
 //!   per-device failure budget, graceful degradation to one pool).
+//!   [`executor::run_dual_pool_durable`] adds the durability hooks —
+//!   resume prefill, periodic checkpoint callbacks, graceful drain —
+//!   that back crash-safe searches.
+//! * [`drain`] — the cooperative stop signal ([`DrainSignal`]) flipped
+//!   by the CLI's SIGINT/SIGTERM handler and honoured by the executor's
+//!   worker pools.
 //! * [`fault`] — deterministic, seeded fault injection (kill / delay /
-//!   wedge / pool-kill) for exercising the recovery paths.
+//!   wedge / pool-kill) for exercising the recovery paths, plus the
+//!   whole-process kill switch the crash-resume harness uses.
 //! * [`metrics`] — load-imbalance statistics and the per-device /
 //!   per-worker [`MetricsSink`] the dual-pool executor reports through,
 //!   including recovery counters (retries, requeues, lost leases,
@@ -34,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod desim;
+pub mod drain;
 pub mod executor;
 pub mod fault;
 pub mod metrics;
@@ -43,9 +51,11 @@ pub use desim::{
     simulate, simulate_dual_pool, simulate_dual_pool_traced, DualPoolSimConfig, DualPoolSimResult,
     SimResult,
 };
+pub use drain::DrainSignal;
 pub use executor::{
-    run_dual_pool, run_dual_pool_supervised, run_dual_pool_traced, run_parallel, try_run_parallel,
-    DualPoolConfig, DualPoolOutcome, ExecError, ExecutorConfig, TaskError,
+    run_dual_pool, run_dual_pool_durable, run_dual_pool_supervised, run_dual_pool_traced,
+    run_parallel, try_run_parallel, CheckpointView, DualPoolConfig, DualPoolOutcome,
+    DurableControl, DurableOutcome, ExecError, ExecutorConfig, TaskError,
 };
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{imbalance, DeviceMetrics, Imbalance, MetricsSink, RecoveryEvent, WorkerSample};

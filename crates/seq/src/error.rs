@@ -2,6 +2,40 @@
 
 use std::fmt;
 
+/// Classification of a malformed FASTA record — the typed taxonomy
+/// ingestion hardening reports and the quarantine mode counts by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FastaIssue {
+    /// Sequence data appeared before the first `>` header line.
+    DataBeforeHeader,
+    /// A `>` line with nothing after it (truncated header).
+    EmptyHeader,
+    /// A header with no sequence lines before the next record or EOF.
+    EmptySequence,
+    /// A residue outside the target alphabet (non-IUPAC character).
+    InvalidResidue,
+}
+
+impl FastaIssue {
+    /// Stable short label (used in quarantine reports and CLI output).
+    pub fn label(self) -> &'static str {
+        match self {
+            FastaIssue::DataBeforeHeader => "data-before-header",
+            FastaIssue::EmptyHeader => "empty-header",
+            FastaIssue::EmptySequence => "empty-sequence",
+            FastaIssue::InvalidResidue => "invalid-residue",
+        }
+    }
+
+    /// All issue kinds, in report order.
+    pub const ALL: [FastaIssue; 4] = [
+        FastaIssue::DataBeforeHeader,
+        FastaIssue::EmptyHeader,
+        FastaIssue::EmptySequence,
+        FastaIssue::InvalidResidue,
+    ];
+}
+
 /// Errors produced while parsing, encoding or generating sequences.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SeqError {
@@ -16,6 +50,8 @@ pub enum SeqError {
     Fasta {
         /// 1-based line number where the problem was detected.
         line: usize,
+        /// Machine-readable classification of the problem.
+        kind: FastaIssue,
         /// Human-readable description.
         msg: String,
     },
@@ -23,6 +59,15 @@ pub enum SeqError {
     Matrix(String),
     /// An empty sequence where a non-empty one is required.
     EmptySequence,
+    /// A binary artifact (snapshot section, checkpoint payload) failed
+    /// integrity verification — the bytes were read fine but do not
+    /// checksum to what the file promises.
+    Corrupt {
+        /// Which section failed (e.g. `"residues"`, `"offsets"`).
+        section: String,
+        /// What exactly mismatched.
+        detail: String,
+    },
     /// Underlying I/O failure (stringified to keep the error `Clone + Eq`).
     Io(String),
 }
@@ -44,9 +89,14 @@ impl fmt::Display for SeqError {
                     )
                 }
             }
-            SeqError::Fasta { line, msg } => write!(f, "FASTA parse error at line {line}: {msg}"),
+            SeqError::Fasta { line, msg, .. } => {
+                write!(f, "FASTA parse error at line {line}: {msg}")
+            }
             SeqError::Matrix(msg) => write!(f, "substitution matrix parse error: {msg}"),
             SeqError::EmptySequence => write!(f, "empty sequence"),
+            SeqError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section}: {detail}")
+            }
             SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
@@ -86,9 +136,28 @@ mod tests {
     fn display_fasta() {
         let e = SeqError::Fasta {
             line: 3,
+            kind: FastaIssue::EmptyHeader,
             msg: "bad header".into(),
         };
         assert_eq!(e.to_string(), "FASTA parse error at line 3: bad header");
+    }
+
+    #[test]
+    fn display_corrupt_names_section() {
+        let e = SeqError::Corrupt {
+            section: "residues".into(),
+            detail: "CRC mismatch".into(),
+        };
+        assert_eq!(e.to_string(), "corrupt residues: CRC mismatch");
+    }
+
+    #[test]
+    fn fasta_issue_labels_are_distinct() {
+        let labels: Vec<&str> = FastaIssue::ALL.iter().map(|i| i.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
     }
 
     #[test]

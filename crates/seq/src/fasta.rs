@@ -6,8 +6,9 @@
 //! and reports precise line numbers on malformed input.
 
 use crate::alphabet::Alphabet;
-use crate::error::SeqError;
+use crate::error::{FastaIssue, SeqError};
 use crate::sequence::EncodedSeq;
+use std::fmt;
 use std::io::{BufRead, Write};
 
 /// One raw FASTA record: header (without `>`) plus ASCII residue text.
@@ -70,6 +71,12 @@ impl<R: BufRead> FastaReader<R> {
 impl<R: BufRead> Iterator for FastaReader<R> {
     type Item = Result<FastaRecord, SeqError>;
 
+    /// Record-level format errors are *recoverable*: the reader consumes
+    /// the malformed record (or run of headerless lines), reports one
+    /// typed [`SeqError::Fasta`] for it, and the next call continues at
+    /// the following header. Strict callers (`collect`) still stop at the
+    /// first error; quarantine mode keeps iterating. I/O errors end the
+    /// iteration.
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
             return None;
@@ -90,9 +97,32 @@ impl<R: BufRead> Iterator for FastaReader<R> {
                     if let Some(h) = t.strip_prefix('>') {
                         self.pending_header = Some(h.trim().to_string());
                     } else {
-                        self.done = true;
+                        // Consume the whole run of headerless lines so the
+                        // error is reported once and the next call resumes
+                        // at the following record.
+                        let at = self.line_no;
+                        loop {
+                            match self.read_line(&mut line) {
+                                Ok(0) => break,
+                                Ok(_) => {
+                                    let t = line.trim_end();
+                                    if t.is_empty() {
+                                        continue;
+                                    }
+                                    if let Some(h) = t.strip_prefix('>') {
+                                        self.pending_header = Some(h.trim().to_string());
+                                        break;
+                                    }
+                                }
+                                Err(e) => {
+                                    self.done = true;
+                                    return Some(Err(e));
+                                }
+                            }
+                        }
                         return Some(Err(SeqError::Fasta {
-                            line: self.line_no,
+                            line: at,
+                            kind: FastaIssue::DataBeforeHeader,
                             msg: "sequence data before first '>' header".into(),
                         }));
                     }
@@ -103,7 +133,10 @@ impl<R: BufRead> Iterator for FastaReader<R> {
                 }
             }
         }
+        // `pending_header` is always set right after its '>' line is read,
+        // so `line_no` still points at that line here.
         let header = self.pending_header.take().expect("set above");
+        let header_line = self.line_no;
         let mut sequence = Vec::new();
         loop {
             match self.read_line(&mut line) {
@@ -128,10 +161,17 @@ impl<R: BufRead> Iterator for FastaReader<R> {
                 }
             }
         }
+        if header.is_empty() {
+            return Some(Err(SeqError::Fasta {
+                line: header_line,
+                kind: FastaIssue::EmptyHeader,
+                msg: "'>' with no header text (truncated header)".into(),
+            }));
+        }
         if sequence.is_empty() {
-            self.done = true;
             return Some(Err(SeqError::Fasta {
                 line: self.line_no,
+                kind: FastaIssue::EmptySequence,
                 msg: format!("record '{header}' has no sequence data"),
             }));
         }
@@ -139,7 +179,8 @@ impl<R: BufRead> Iterator for FastaReader<R> {
     }
 }
 
-/// Read an entire FASTA stream and encode every record.
+/// Read an entire FASTA stream and encode every record (strict: the
+/// first malformed record or residue aborts the load).
 pub fn read_encoded<R: BufRead>(
     reader: R,
     alphabet: &Alphabet,
@@ -147,6 +188,97 @@ pub fn read_encoded<R: BufRead>(
     FastaReader::new(reader)
         .map(|r| r.and_then(|rec| rec.encode(alphabet)))
         .collect()
+}
+
+/// Tally of records skipped by quarantine-mode ingestion, by issue kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Records that parsed and encoded cleanly.
+    pub kept: usize,
+    counts: [u64; FastaIssue::ALL.len()],
+}
+
+impl QuarantineReport {
+    fn slot(issue: FastaIssue) -> usize {
+        FastaIssue::ALL
+            .iter()
+            .position(|&i| i == issue)
+            .expect("every issue kind is listed in ALL")
+    }
+
+    /// Record one skipped record of the given kind.
+    pub fn note(&mut self, issue: FastaIssue) {
+        self.counts[Self::slot(issue)] += 1;
+    }
+
+    /// Skipped records of one kind.
+    pub fn count(&self, issue: FastaIssue) -> u64 {
+        self.counts[Self::slot(issue)]
+    }
+
+    /// Total skipped records across all kinds.
+    pub fn skipped(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.skipped() == 0
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "{} records kept, none quarantined", self.kept);
+        }
+        write!(
+            f,
+            "{} records kept, {} quarantined (",
+            self.kept,
+            self.skipped()
+        )?;
+        let mut first = true;
+        for issue in FastaIssue::ALL {
+            let n = self.count(issue);
+            if n > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{n} {}", issue.label())?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Read a FASTA stream in quarantine mode: malformed records and records
+/// with out-of-alphabet residues are skipped and counted instead of
+/// aborting the load. Only I/O errors (and non-record-level failures)
+/// abort.
+pub fn read_encoded_quarantined<R: BufRead>(
+    reader: R,
+    alphabet: &Alphabet,
+) -> Result<(Vec<EncodedSeq>, QuarantineReport), SeqError> {
+    let mut report = QuarantineReport::default();
+    let mut seqs = Vec::new();
+    for item in FastaReader::new(reader) {
+        match item {
+            Ok(rec) => match rec.encode(alphabet) {
+                Ok(s) => {
+                    report.kept += 1;
+                    seqs.push(s);
+                }
+                Err(SeqError::InvalidResidue { .. }) => report.note(FastaIssue::InvalidResidue),
+                Err(SeqError::EmptySequence) => report.note(FastaIssue::EmptySequence),
+                Err(e) => return Err(e),
+            },
+            Err(SeqError::Fasta { kind, .. }) => report.note(kind),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((seqs, report))
 }
 
 /// FASTA writer with configurable line width.
@@ -272,5 +404,161 @@ mod tests {
     fn header_only_whitespace_trimmed() {
         let recs = parse(b">  spaced header  \nMKV\n").unwrap();
         assert_eq!(recs[0].header, "spaced header");
+    }
+
+    #[test]
+    fn empty_header_is_typed_error() {
+        let err = parse(b">\nMKV\n").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SeqError::Fasta {
+                    line: 1,
+                    kind: FastaIssue::EmptyHeader,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn errors_carry_issue_kinds() {
+        let err = parse(b"MKV\n>a\nWW\n").unwrap_err();
+        assert!(matches!(
+            err,
+            SeqError::Fasta {
+                kind: FastaIssue::DataBeforeHeader,
+                ..
+            }
+        ));
+        let err = parse(b">a\n>b\nWW\n").unwrap_err();
+        assert!(matches!(
+            err,
+            SeqError::Fasta {
+                kind: FastaIssue::EmptySequence,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reader_recovers_after_record_errors() {
+        // One headerless run, one empty record, one truncated header —
+        // interleaved with two good records; iterating past the errors
+        // must yield both good records.
+        let data = b"junk\nmore junk\n>good1\nMKV\n>empty\n>\nWW\n>good2\nITRA\n";
+        let items: Vec<_> = FastaReader::new(&data[..]).collect();
+        let good: Vec<_> = items.iter().flatten().collect();
+        let bad: Vec<_> = items.iter().filter(|r| r.is_err()).collect();
+        assert_eq!(good.len(), 2, "{items:?}");
+        assert_eq!(good[0].header, "good1");
+        assert_eq!(good[1].header, "good2");
+        assert_eq!(bad.len(), 3, "{items:?}");
+    }
+
+    #[test]
+    fn quarantine_keeps_good_and_counts_bad() {
+        let a = Alphabet::protein();
+        let data = b"junk\n>good1\nMKV\n>\nWW\n>bad!res\nMK1V\n>empty\n>good2\nITRA\n";
+        let (seqs, report) = read_encoded_quarantined(&data[..], &a).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].header.as_ref(), "good1");
+        assert_eq!(seqs[1].header.as_ref(), "good2");
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.count(FastaIssue::DataBeforeHeader), 1);
+        assert_eq!(report.count(FastaIssue::EmptyHeader), 1);
+        assert_eq!(report.count(FastaIssue::InvalidResidue), 1);
+        assert_eq!(report.count(FastaIssue::EmptySequence), 1);
+        assert_eq!(report.skipped(), 4);
+        assert!(!report.is_clean());
+        let line = report.to_string();
+        assert!(line.contains("2 records kept"), "{line}");
+        assert!(line.contains("4 quarantined"), "{line}");
+        assert!(line.contains("invalid-residue"), "{line}");
+    }
+
+    #[test]
+    fn quarantine_clean_input_matches_strict() {
+        let a = Alphabet::protein();
+        let data = b">a\nARND\n>b\nCQE\n";
+        let strict = read_encoded(&data[..], &a).unwrap();
+        let (seqs, report) = read_encoded_quarantined(&data[..], &a).unwrap();
+        assert_eq!(seqs, strict);
+        assert!(report.is_clean());
+        assert_eq!(report.to_string(), "2 records kept, none quarantined");
+    }
+
+    /// Seeded fuzz over mutated FASTA: start from a valid file, apply
+    /// random corruptions (bit flips, injected '>' lines, truncation,
+    /// CRLF conversion, invalid residues), and require that (a) nothing
+    /// panics, (b) quarantine mode always returns `Ok` on in-memory
+    /// input, and (c) kept + skipped covers every record the reader saw.
+    #[test]
+    fn quarantine_fuzz_mutated_inputs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let a = Alphabet::protein();
+        let mut rng = SmallRng::seed_from_u64(0xFA5A);
+        let clean =
+            b">q1 one\nMKVLITRA\nWWMKV\n>q2\nARNDCQE\n>q3 three\nGHILKMF\nPSTWYV\n".to_vec();
+        for case in 0..200 {
+            let mut data = clean.clone();
+            for _ in 0..rng.gen_range(1..6) {
+                match rng.gen_range(0..5) {
+                    0 => {
+                        // Bit flip within ASCII (bit 7 stays clear: a
+                        // non-UTF-8 byte would fail at the I/O layer,
+                        // which quarantine deliberately does not absorb).
+                        let i = rng.gen_range(0..data.len());
+                        data[i] ^= 1u8 << rng.gen_range(0..7);
+                    }
+                    1 => {
+                        // Inject a bare '>' line (truncated header).
+                        let i = rng.gen_range(0..data.len());
+                        data.splice(i..i, b">\n".iter().copied());
+                    }
+                    2 => {
+                        // Truncate.
+                        let keep = rng.gen_range(0..data.len());
+                        data.truncate(keep);
+                    }
+                    3 => {
+                        // CRLF-ify every newline.
+                        data = data
+                            .iter()
+                            .flat_map(|&b| {
+                                if b == b'\n' {
+                                    vec![b'\r', b'\n']
+                                } else {
+                                    vec![b]
+                                }
+                            })
+                            .collect();
+                    }
+                    _ => {
+                        // Drop an invalid residue into the stream.
+                        let i = rng.gen_range(0..data.len().max(1));
+                        data.insert(i.min(data.len()), b'1');
+                    }
+                }
+                if data.is_empty() {
+                    data.push(b'\n');
+                }
+            }
+            // Strict path: Ok or Err, never a panic.
+            let _ = read_encoded(&data[..], &a);
+            // Quarantine path: in-memory input cannot hit I/O errors, so
+            // record-level damage must always be absorbed.
+            let (seqs, report) =
+                read_encoded_quarantined(&data[..], &a).expect("quarantine absorbs record damage");
+            let parsed = FastaReader::new(&data[..]).count();
+            assert_eq!(
+                report.kept as u64 + report.skipped(),
+                parsed as u64,
+                "case {case}: every record is either kept or counted"
+            );
+            assert_eq!(seqs.len(), report.kept, "case {case}");
+        }
     }
 }

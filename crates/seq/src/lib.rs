@@ -39,8 +39,10 @@ pub mod swissprot;
 pub mod translate;
 
 pub use alphabet::{Alphabet, AlphabetKind};
-pub use error::SeqError;
-pub use fasta::{FastaReader, FastaRecord, FastaWriter};
+pub use error::{FastaIssue, SeqError};
+pub use fasta::{
+    read_encoded_quarantined, FastaReader, FastaRecord, FastaWriter, QuarantineReport,
+};
 pub use gap::GapPenalty;
 pub use matrices::SubstMatrix;
 pub use sequence::{EncodedSeq, SeqId, SeqView};

@@ -1,0 +1,186 @@
+//! Dependency-free integrity primitives shared by the snapshot format
+//! and the checkpoint layer: CRC32 (IEEE 802.3, the zlib/PNG polynomial)
+//! for per-section corruption detection and FNV-1a 64 for cheap content
+//! identity digests.
+//!
+//! Both are hand-rolled on purpose — the workspace builds offline with a
+//! zero-dependency budget, and the checkpoint/resume contract only needs
+//! error *detection*, not cryptographic strength: a checkpoint that does
+//! not match its database is rejected and the search reruns from scratch,
+//! so an adversarial collision buys nothing.
+
+/// CRC32 lookup table for the reflected IEEE polynomial `0xEDB88320`,
+/// built at compile time so the first checksum pays no init cost.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC32 state. `Crc32::new().update(a).update(b).finish()`
+/// equals `crc32(concat(a, b))`, which lets callers checksum a section
+/// without materialising it contiguously.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state (all-ones preload per the IEEE definition).
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Fold `bytes` into the running checksum.
+    #[must_use]
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = CRC32_TABLE[((self.0 ^ b as u32) & 0xFF) as usize] ^ (self.0 >> 8);
+        }
+        self
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64 digest. Used for *identity* (does this checkpoint
+/// belong to this database / query?), not integrity — CRC32 covers that.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh state at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Fold `bytes` into the digest.
+    #[must_use]
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Fold a little-endian u64 in (length-prefixing sections with their
+    /// size keeps `["ab","c"]` and `["a","bc"]` distinct).
+    #[must_use]
+    pub fn update_u64(self, v: u64) -> Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// Final digest value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    Fnv64::new().update(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Published IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"hello, checkpoint world";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(Crc32::new().update(a).update(b).finish(), crc32(data));
+        }
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"SWDBSNP2 section payload";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {i} bit {bit}");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_streaming_and_length_prefix() {
+        assert_eq!(
+            Fnv64::new().update(b"ab").update(b"c").finish(),
+            fnv1a64(b"abc")
+        );
+        // Length prefixes keep differently-split section lists distinct.
+        let a = Fnv64::new()
+            .update_u64(2)
+            .update(b"ab")
+            .update_u64(1)
+            .update(b"c");
+        let b = Fnv64::new()
+            .update_u64(1)
+            .update(b"a")
+            .update_u64(2)
+            .update(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

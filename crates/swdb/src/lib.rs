@@ -21,7 +21,9 @@
 //!    CPU/accelerator split of Algorithm 2.
 //! 6. [`stats`] — the database statistics the paper reports in §V-B.
 //! 7. [`snapshot`] — a compact binary snapshot format so a preprocessed
-//!    database can be built once and reloaded by tools.
+//!    database can be built once and reloaded by tools, with per-section
+//!    CRC32s and a content digest ([`integrity`]) so durable searches can
+//!    verify a checkpoint belongs to the database they reloaded.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)] // `allow`ed only in `aligned`, with SAFETY comments
@@ -30,6 +32,7 @@ pub mod aligned;
 pub mod batch;
 pub mod chunk;
 pub mod db;
+pub mod integrity;
 pub mod preprocess;
 pub mod profile;
 pub mod snapshot;

@@ -279,6 +279,30 @@ pub fn prometheus(tl: &Timeline, counters: &[DeviceCounters], gcups_window_us: u
         &row(|c| c.overflow_recomputes),
     );
 
+    // Durability counters, derived from the timeline (checkpointing is a
+    // run-level activity, not a per-device one).
+    for (metric, name, help) in [
+        (
+            "sw_checkpoints_written_total",
+            "checkpoint_written",
+            "checkpoint files written by the durable executor",
+        ),
+        (
+            "sw_resumes_total",
+            "resume_loaded",
+            "runs resumed from a checkpoint",
+        ),
+        (
+            "sw_drains_total",
+            "drain_started",
+            "graceful drains requested (signal or threshold)",
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {}", tl.count(name));
+    }
+
     let _ = writeln!(out, "# HELP sw_busy_seconds summed worker busy time");
     let _ = writeln!(out, "# TYPE sw_busy_seconds gauge");
     for c in counters {

@@ -208,6 +208,23 @@ pub enum EventKind {
         /// Accel share of remaining work, in [0, 1].
         share: f64,
     },
+    /// A durable-search checkpoint file was written.
+    CheckpointWritten {
+        /// Monotone checkpoint sequence number within the run.
+        seq: u64,
+        /// Tasks whose results the checkpoint covers.
+        tasks_done: u64,
+        /// Bytes written to the checkpoint file.
+        bytes: u64,
+    },
+    /// A durable search resumed from a checkpoint.
+    ResumeLoaded {
+        /// Tasks the loaded checkpoint already covered.
+        tasks_done: u64,
+    },
+    /// A graceful drain was requested: workers finish in-flight chunks
+    /// and exit so a final checkpoint can be written.
+    DrainStarted,
 }
 
 impl EventKind {
@@ -228,6 +245,9 @@ impl EventKind {
             EventKind::OffloadTimeout { .. } => "offload_timeout",
             EventKind::OverflowRecompute { .. } => "overflow_recompute",
             EventKind::SplitRebalance { .. } => "split_rebalance",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::ResumeLoaded { .. } => "resume_loaded",
+            EventKind::DrainStarted => "drain_started",
         }
     }
 
@@ -325,6 +345,20 @@ impl EventKind {
             EventKind::SplitRebalance { share } => {
                 let _ = write!(out, ",\"share\":{share:.6}");
             }
+            EventKind::CheckpointWritten {
+                seq,
+                tasks_done,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"seq\":{seq},\"tasks_done\":{tasks_done},\"bytes\":{bytes}"
+                );
+            }
+            EventKind::ResumeLoaded { tasks_done } => {
+                let _ = write!(out, ",\"tasks_done\":{tasks_done}");
+            }
+            EventKind::DrainStarted => {}
         }
     }
 }

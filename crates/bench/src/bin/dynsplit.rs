@@ -280,6 +280,7 @@ fn main() {
     let ckpt_path = std::env::temp_dir().join("dynsplit-ckpt.swckpt");
     let dopts = DurableOptions {
         checkpoint_path: Some(&ckpt_path),
+        checkpoint_dir: None,
         interval_chunks: 8,
         drain: None,
         resume: false,

@@ -22,7 +22,14 @@ USAGE:
   swsearch bench    [--seqs <n>] [--query-len <m>] [--threads <t>] [--lanes <l>]
   swsearch hetero   --query <fasta> --db <fasta|swdb> [--frac <0..1>]
                     [--dynamic] [--accel-threads <n>] [--min-chunk <n>]
-                    [--checkpoint <path> [--resume]] [options]
+                    [--checkpoint <path> | --checkpoint-dir <dir>] [--resume] [options]
+  swsearch serve    --db <swdb|fasta> --socket <path> [--threads <n>]
+                    [--accel-threads <n>] [--max-concurrent <n>]
+                    [--tenant-quota <n>] [--checkpoint-dir <dir>]
+                    [--trace-dir <dir>] [--registry-out <path>] [--lanes <n>]
+  swsearch submit   --socket <path> (--query <fasta> | --status <job> |
+                    --cancel <job> | --stats | --shutdown)
+                    [--tenant <name>] [--top <k>]
   swsearch trace-check [--trace <jsonl>] [--metrics <prom>]
 
 SEARCH OPTIONS:
@@ -76,11 +83,17 @@ DURABILITY OPTIONS (dynamic mode):
                       their in-flight chunks, a final checkpoint is
                       written) and prints how to resume. Deleted when the
                       search completes.
+  --checkpoint-dir <dir>
+                      like --checkpoint, but the file name is derived
+                      from the search fingerprint (database digest, query
+                      digest, lane packing), so any number of concurrent
+                      searches can share the directory without clobbering
+                      each other. Mutually exclusive with --checkpoint.
   --checkpoint-interval-chunks <n>
                       write a checkpoint every n committed chunks
                       (default 8; the graceful-drain checkpoint is
                       written regardless)
-  --resume            load --checkpoint if it exists and skip its
+  --resume            load the checkpoint if it exists and skip its
                       completed batches. The checkpoint is verified
                       against the database content digest, query digest,
                       lane count and batch count first; a mismatch is a
@@ -90,6 +103,29 @@ DURABILITY OPTIONS (dynamic mode):
                       crash drill: abort the whole process (as SIGKILL
                       would) after n chunks have been committed — used
                       by the crash-resume test harness
+
+SERVE OPTIONS:
+  --socket <path>     Unix socket the daemon listens on (serve) or the
+                      client connects to (submit)
+  --max-concurrent <n> searches running at once; further admitted jobs
+                      queue (default 2)
+  --tenant-quota <n>  max queued+running jobs per tenant; a submit over
+                      the quota is rejected immediately (default 4)
+  --checkpoint-dir <dir> (serve) per-job fingerprint-named checkpoints:
+                      cancelled jobs stay resumable
+  --trace-dir <dir>   (serve) write each job's query-tagged JSONL trace
+                      to <dir>/job-<id>.jsonl
+  --registry-out <path> (serve) dump the job registry as JSONL on
+                      shutdown
+  --drill <spec>      (submit) per-job fault drill forwarded to the
+                      daemon, e.g. delay@0:1500 (accel chunk 0 sleeps
+                      1500 ms) — test hook, hits stay exact
+  --tenant <name>     (submit) tenant the job is accounted against
+                      (default 'anon')
+  --status <job>      (submit) report one job instead of submitting
+  --cancel <job>      (submit) drain a running job gracefully
+  --stats             (submit) registry summary counts
+  --shutdown          (submit) drain the daemon and exit
 
 TRACE-CHECK OPTIONS:
   --trace <path>      validate a JSONL event log: schema header, per-track
@@ -203,15 +239,65 @@ pub enum Command {
         /// mode); SIGINT/SIGTERM then drain gracefully instead of
         /// killing the run.
         checkpoint: Option<String>,
+        /// Keep the checkpoint in this directory under a
+        /// fingerprint-derived name (concurrency-safe alternative to
+        /// `--checkpoint`).
+        checkpoint_dir: Option<String>,
         /// Chunks between periodic checkpoint writes.
         checkpoint_interval: u64,
-        /// Load `--checkpoint` (if present) and skip its batches.
+        /// Load the checkpoint (if present) and skip its batches.
         resume: bool,
         /// Crash drill: abort the process after this many committed
         /// chunks (simulates SIGKILL for the crash-resume harness).
         kill_after_chunks: Option<u64>,
         /// Scoring/search knobs.
         opts: SearchOpts,
+    },
+    /// Long-lived search daemon: load and verify the database once,
+    /// serve line-delimited JSON queries over a Unix socket.
+    Serve {
+        /// Database path (`.swdb` snapshot or FASTA).
+        db: String,
+        /// Unix socket path to listen on.
+        socket: String,
+        /// Searches allowed to run at once; admitted jobs past the cap
+        /// wait in the queue.
+        max_concurrent: usize,
+        /// Max queued+running jobs per tenant; a submit over the quota
+        /// is rejected immediately.
+        tenant_quota: usize,
+        /// Accelerator-pool worker threads per search.
+        accel_threads: usize,
+        /// Fingerprint-named per-job checkpoints live here (cancelled
+        /// jobs stay resumable).
+        checkpoint_dir: Option<String>,
+        /// Per-job query-tagged JSONL trace exports live here.
+        trace_dir: Option<String>,
+        /// Dump the job registry as JSONL here on shutdown.
+        registry_out: Option<String>,
+        /// Scoring/search knobs shared by every job.
+        opts: SearchOpts,
+    },
+    /// Client for a running `serve` daemon.
+    Submit {
+        /// Unix socket path of the daemon.
+        socket: String,
+        /// Query FASTA to submit (`None` for the control operations).
+        query: Option<String>,
+        /// Tenant the job is accounted against.
+        tenant: String,
+        /// Report this job id instead of submitting.
+        status: Option<u64>,
+        /// Drain this job id gracefully.
+        cancel: Option<u64>,
+        /// Print a registry summary.
+        stats: bool,
+        /// Drain in-flight jobs and stop the daemon.
+        shutdown: bool,
+        /// Fault drill forwarded with the job (e.g. `delay@0:1500`).
+        drill: Option<String>,
+        /// Hits to return.
+        top: usize,
     },
     /// Validate exported trace artifacts (CI gate for `--trace-out` /
     /// `--metrics-out` files).
@@ -555,13 +641,21 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 None => sw_trace::TraceLevel::Off,
             };
             let checkpoint = a.opt_value("--checkpoint");
+            let checkpoint_dir = a.opt_value("--checkpoint-dir");
+            if checkpoint.is_some() && checkpoint_dir.is_some() {
+                return Err(err(
+                    "--checkpoint and --checkpoint-dir are mutually exclusive",
+                ));
+            }
             let checkpoint_interval: u64 = a.parse_num("--checkpoint-interval-chunks", 8u64)?;
             if checkpoint_interval == 0 {
                 return Err(err("--checkpoint-interval-chunks must be at least 1"));
             }
             let resume = a.has_flag("--resume");
-            if resume && checkpoint.is_none() {
-                return Err(err("--resume needs --checkpoint <path> to resume from"));
+            if resume && checkpoint.is_none() && checkpoint_dir.is_none() {
+                return Err(err(
+                    "--resume needs --checkpoint <path> or --checkpoint-dir <dir> to resume from",
+                ));
             }
             let kill_after_chunks = a
                 .opt_value("--kill-after-chunks")
@@ -586,10 +680,74 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 metrics_out,
                 trace_level,
                 checkpoint,
+                checkpoint_dir,
                 checkpoint_interval,
                 resume,
                 kill_after_chunks,
                 opts,
+            })
+        }
+        "serve" => {
+            let opts = parse_search_opts(&mut a)?;
+            let max_concurrent: usize = a.parse_num("--max-concurrent", 2usize)?;
+            if max_concurrent == 0 {
+                return Err(err("--max-concurrent must be at least 1"));
+            }
+            let tenant_quota: usize = a.parse_num("--tenant-quota", 4usize)?;
+            if tenant_quota == 0 {
+                return Err(err("--tenant-quota must be at least 1"));
+            }
+            Ok(Command::Serve {
+                db: a.value_of("--db")?,
+                socket: a.value_of("--socket")?,
+                max_concurrent,
+                tenant_quota,
+                accel_threads: a.parse_num("--accel-threads", opts.threads)?,
+                checkpoint_dir: a.opt_value("--checkpoint-dir"),
+                trace_dir: a.opt_value("--trace-dir"),
+                registry_out: a.opt_value("--registry-out"),
+                opts,
+            })
+        }
+        "submit" => {
+            let socket = a.value_of("--socket")?;
+            let query = a.opt_value("--query");
+            let status = a
+                .opt_value("--status")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| err(format!("bad value for --status: '{v}'")))
+                })
+                .transpose()?;
+            let cancel = a
+                .opt_value("--cancel")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| err(format!("bad value for --cancel: '{v}'")))
+                })
+                .transpose()?;
+            let stats = a.has_flag("--stats");
+            let shutdown = a.has_flag("--shutdown");
+            let ops = usize::from(query.is_some())
+                + usize::from(status.is_some())
+                + usize::from(cancel.is_some())
+                + usize::from(stats)
+                + usize::from(shutdown);
+            if ops != 1 {
+                return Err(err(
+                    "submit needs exactly one of --query, --status, --cancel, --stats, --shutdown",
+                ));
+            }
+            Ok(Command::Submit {
+                socket,
+                query,
+                tenant: a.opt_value("--tenant").unwrap_or_else(|| "anon".into()),
+                status,
+                cancel,
+                stats,
+                shutdown,
+                drill: a.opt_value("--drill"),
+                top: a.parse_num("--top", 10usize)?,
             })
         }
         "trace-check" => {
@@ -985,6 +1143,132 @@ mod tests {
             "hetero --query q --db d --dynamic --checkpoint c --kill-after-chunks 0"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn hetero_checkpoint_dir_flag() {
+        match parse(&argv(
+            "hetero --query q --db d --dynamic --checkpoint-dir ckpts --resume",
+        ))
+        .unwrap()
+        {
+            Command::Hetero {
+                checkpoint,
+                checkpoint_dir,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint, None);
+                assert_eq!(checkpoint_dir.as_deref(), Some("ckpts"));
+                assert!(resume);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A path and a dir at once is ambiguous.
+        let e = parse(&argv(
+            "hetero --query q --db d --dynamic --checkpoint c --checkpoint-dir ckpts",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("mutually exclusive"), "{e}");
+    }
+
+    #[test]
+    fn serve_parses_with_defaults() {
+        match parse(&argv("serve --db d.swdb --socket /tmp/sw.sock")).unwrap() {
+            Command::Serve {
+                db,
+                socket,
+                max_concurrent,
+                tenant_quota,
+                checkpoint_dir,
+                trace_dir,
+                registry_out,
+                ..
+            } => {
+                assert_eq!(db, "d.swdb");
+                assert_eq!(socket, "/tmp/sw.sock");
+                assert_eq!(max_concurrent, 2);
+                assert_eq!(tenant_quota, 4);
+                assert_eq!(checkpoint_dir, None);
+                assert_eq!(trace_dir, None);
+                assert_eq!(registry_out, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "serve --db d.swdb --socket s.sock --max-concurrent 3 --tenant-quota 1 \
+             --checkpoint-dir ck --trace-dir tr --registry-out reg.jsonl",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                max_concurrent,
+                tenant_quota,
+                checkpoint_dir,
+                trace_dir,
+                registry_out,
+                ..
+            } => {
+                assert_eq!(max_concurrent, 3);
+                assert_eq!(tenant_quota, 1);
+                assert_eq!(checkpoint_dir.as_deref(), Some("ck"));
+                assert_eq!(trace_dir.as_deref(), Some("tr"));
+                assert_eq!(registry_out.as_deref(), Some("reg.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --socket s.sock")).is_err(), "needs --db");
+        assert!(parse(&argv("serve --db d")).is_err(), "needs --socket");
+        assert!(parse(&argv("serve --db d --socket s --max-concurrent 0")).is_err());
+        assert!(parse(&argv("serve --db d --socket s --tenant-quota 0")).is_err());
+    }
+
+    #[test]
+    fn submit_needs_exactly_one_operation() {
+        match parse(&argv(
+            "submit --socket s.sock --query q.fa --tenant acme --drill delay@0:500 --top 5",
+        ))
+        .unwrap()
+        {
+            Command::Submit {
+                socket,
+                query,
+                tenant,
+                drill,
+                top,
+                ..
+            } => {
+                assert_eq!(socket, "s.sock");
+                assert_eq!(query.as_deref(), Some("q.fa"));
+                assert_eq!(tenant, "acme");
+                assert_eq!(drill.as_deref(), Some("delay@0:500"));
+                assert_eq!(top, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("submit --socket s.sock --status 7")).unwrap() {
+            Command::Submit { status, tenant, .. } => {
+                assert_eq!(status, Some(7));
+                assert_eq!(tenant, "anon");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("submit --socket s.sock --cancel 3")).unwrap() {
+            Command::Submit { cancel, .. } => assert_eq!(cancel, Some(3)),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse(&argv("submit --socket s.sock --stats")).unwrap(),
+            Command::Submit { stats: true, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("submit --socket s.sock --shutdown")).unwrap(),
+            Command::Submit { shutdown: true, .. }
+        ));
+        // Zero or two operations are both rejected.
+        assert!(parse(&argv("submit --socket s.sock")).is_err());
+        assert!(parse(&argv("submit --socket s.sock --query q --stats")).is_err());
+        assert!(parse(&argv("submit --query q")).is_err(), "needs --socket");
     }
 
     #[test]

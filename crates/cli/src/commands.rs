@@ -77,11 +77,36 @@ fn alphabet_from(opts: &SearchOpts) -> Alphabet {
     }
 }
 
-/// Resolve `--kernel-isa` against the host: auto detects the best ISA,
-/// a forced ISA must actually be supported here.
+/// The kernel ISA the process starts with: `SW_KERNEL_ISA` read exactly
+/// once, here, at first use — the library layers never touch the
+/// environment, so a daemon's concurrent requests all see one frozen
+/// value (plus whatever explicit `--kernel-isa` a request carries). An
+/// unknown or unsupported override falls back to hardware detection
+/// rather than erroring: the variable is a preference, `--kernel-isa`
+/// is the contract.
+pub fn startup_kernel_isa() -> sw_kernels::KernelIsa {
+    static STARTUP_ISA: std::sync::OnceLock<sw_kernels::KernelIsa> = std::sync::OnceLock::new();
+    *STARTUP_ISA.get_or_init(|| match std::env::var("SW_KERNEL_ISA") {
+        Ok(name) => match sw_kernels::KernelIsa::from_name(&name) {
+            Some(isa) if isa.is_available() => isa,
+            _ => {
+                eprintln!(
+                    "# WARNING: SW_KERNEL_ISA={name} is unknown or unsupported here; \
+                     using detected ISA"
+                );
+                sw_kernels::KernelIsa::detect()
+            }
+        },
+        Err(_) => sw_kernels::KernelIsa::detect(),
+    })
+}
+
+/// Resolve `--kernel-isa` against the host: auto uses the startup
+/// resolution (environment override or detected best), a forced ISA
+/// must actually be supported here.
 fn isa_from(opts: &SearchOpts) -> Result<sw_kernels::KernelIsa, CmdError> {
     match opts.kernel_isa {
-        None => Ok(sw_kernels::KernelIsa::detect()),
+        None => Ok(startup_kernel_isa()),
         Some(isa) if isa.is_available() => Ok(isa),
         Some(isa) => Err(format!(
             "--kernel-isa {isa}: this host does not support {isa} \
@@ -149,6 +174,7 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             metrics_out,
             trace_level,
             checkpoint,
+            checkpoint_dir,
             checkpoint_interval,
             resume,
             kill_after_chunks,
@@ -173,10 +199,59 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             },
             HeteroDurability {
                 checkpoint,
+                checkpoint_dir,
                 interval_chunks: checkpoint_interval,
                 resume,
             },
             &opts,
+            out,
+        ),
+        Command::Serve {
+            db,
+            socket,
+            max_concurrent,
+            tenant_quota,
+            accel_threads,
+            checkpoint_dir,
+            trace_dir,
+            registry_out,
+            opts,
+        } => cmd_serve(
+            &db,
+            &socket,
+            ServeTuning {
+                max_concurrent,
+                tenant_quota,
+                accel_threads,
+                checkpoint_dir,
+                trace_dir,
+                registry_out,
+            },
+            &opts,
+            out,
+        ),
+        Command::Submit {
+            socket,
+            query,
+            tenant,
+            status,
+            cancel,
+            stats,
+            shutdown,
+            drill,
+            top,
+        } => cmd_submit(
+            &socket,
+            SubmitOp {
+                query,
+                tenant,
+                status,
+                cancel,
+                stats,
+                shutdown,
+                drill,
+                top,
+            },
             out,
         ),
     }
@@ -486,8 +561,24 @@ struct HeteroTraceOpts {
 /// Checkpoint/resume knobs for `cmd_hetero` (all off by default).
 struct HeteroDurability {
     checkpoint: Option<String>,
+    checkpoint_dir: Option<String>,
     interval_chunks: u64,
     resume: bool,
+}
+
+impl HeteroDurability {
+    fn enabled(&self) -> bool {
+        self.checkpoint.is_some() || self.checkpoint_dir.is_some()
+    }
+
+    /// Where checkpoint state lives, for messages and resume hints.
+    fn location(&self) -> (&'static str, &str) {
+        match (&self.checkpoint, &self.checkpoint_dir) {
+            (Some(p), _) => ("--checkpoint", p.as_str()),
+            (None, Some(d)) => ("--checkpoint-dir", d.as_str()),
+            (None, None) => ("--checkpoint", ""),
+        }
+    }
 }
 
 /// Print the realised schedule, per-device metrics and recovery lines of
@@ -593,12 +684,16 @@ fn cmd_hetero<W: Write>(
     if drill.inject_fault.is_some() && !dynamic {
         return Err("--inject-fault requires --dynamic (the static split has no recovery)".into());
     }
-    if durable.checkpoint.is_none() && (durable.resume || drill.kill_after_chunks.is_some()) {
-        return Err("--resume/--kill-after-chunks need --checkpoint <path>".into());
-    }
-    if durable.checkpoint.is_some() && !dynamic {
+    if !durable.enabled() && (durable.resume || drill.kill_after_chunks.is_some()) {
         return Err(
-            "--checkpoint requires --dynamic (the static split has no chunk progress to save)"
+            "--resume/--kill-after-chunks need --checkpoint <path> or --checkpoint-dir <dir>"
+                .into(),
+        );
+    }
+    if durable.enabled() && !dynamic {
+        return Err(
+            "--checkpoint/--checkpoint-dir require --dynamic (the static split has no \
+             chunk progress to save)"
                 .into(),
         );
     }
@@ -675,12 +770,14 @@ fn cmd_hetero<W: Write>(
             )?;
             injector = injector.with_kill_after_chunks(n);
         }
-        let outcome = if let Some(ckpt_path) = &durable.checkpoint {
+        let outcome = if durable.enabled() {
             // Durable run: graceful drain on SIGINT/SIGTERM, periodic
             // checkpoints, optional resume.
+            let (ckpt_flag, ckpt_where) = durable.location();
             crate::signals::install_drain_handlers();
             let dopts = DurableOptions {
-                checkpoint_path: Some(std::path::Path::new(ckpt_path)),
+                checkpoint_path: durable.checkpoint.as_deref().map(std::path::Path::new),
+                checkpoint_dir: durable.checkpoint_dir.as_deref().map(std::path::Path::new),
                 interval_chunks: durable.interval_chunks,
                 drain: Some(&crate::signals::DRAIN),
                 resume: durable.resume,
@@ -698,7 +795,7 @@ fn cmd_hetero<W: Write>(
             if d.resumes > 0 {
                 writeln!(
                     out,
-                    "# resume: loaded {} of {} batches from {ckpt_path} (resume #{})",
+                    "# resume: loaded {} of {} batches from {ckpt_where} (resume #{})",
                     d.resumed_tasks, d.n_batches, d.resumes
                 )?;
             }
@@ -718,13 +815,13 @@ fn cmd_hetero<W: Write>(
                     writeln!(
                         out,
                         "# drained: {} of {} batches committed ({} checkpoint write(s) \
-                         this segment); state saved to {ckpt_path}",
+                         this segment); state saved to {ckpt_where}",
                         d.tasks_done, d.n_batches, d.checkpoints_written
                     )?;
                     writeln!(
                         out,
                         "# resume with: swsearch hetero --query {query_path} --db {db_path} \
-                         --dynamic --checkpoint {ckpt_path} --resume"
+                         --dynamic {ckpt_flag} {ckpt_where} --resume"
                     )?;
                     return Ok(());
                 }
@@ -850,13 +947,201 @@ fn cmd_bench<W: Write>(
             policy: sw_sched::Policy::dynamic(),
             block_rows: None,
             adaptive_precision: false,
-            isa: sw_kernels::KernelIsa::detect(),
+            isa: startup_kernel_isa(),
         };
         let res = engine.search(&query.residues, &prepared, &cfg);
         writeln!(out, "{label:<14} {}", res.gcups())?;
         let _ = KernelVariant::best();
     }
     Ok(())
+}
+
+/// Daemon knobs carried from the `serve` arg parse to `cmd_serve`.
+struct ServeTuning {
+    max_concurrent: usize,
+    tenant_quota: usize,
+    accel_threads: usize,
+    checkpoint_dir: Option<String>,
+    trace_dir: Option<String>,
+    registry_out: Option<String>,
+}
+
+fn cmd_serve<W: Write>(
+    db_path: &str,
+    socket: &str,
+    tuning: ServeTuning,
+    opts: &SearchOpts,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    use sw_core::{HeteroEngine, HeteroSearchConfig, RecoveryConfig, TraceConfig};
+    let alphabet = alphabet_from(opts);
+    // Load once, stay resident. Snapshots get an explicit content
+    // digest in the banner — the integrity anchor every job's
+    // checkpoint fingerprint chains back to.
+    let (db_seqs, digest) = if db_path.ends_with(".swdb") {
+        let mut bytes = Vec::new();
+        File::open(db_path)?.read_to_end(&mut bytes)?;
+        let db = sw_swdb::snapshot::read(&bytes)?;
+        let digest = sw_swdb::snapshot::content_digest(&db);
+        let seqs = db
+            .iter()
+            .map(|(id, v)| EncodedSeq {
+                header: db.header(id).into(),
+                residues: v.residues.to_vec(),
+            })
+            .collect();
+        (seqs, Some(digest))
+    } else {
+        (
+            load_sequences_quarantined(db_path, &alphabet, opts.quarantine, out)?,
+            None,
+        )
+    };
+    if db_seqs.is_empty() {
+        return Err("database holds no sequences".into());
+    }
+    let params = params_from(opts)?;
+    let prepared = PreparedDb::prepare(db_seqs, opts.lanes, &alphabet);
+    let isa = isa_from(opts)?;
+    let cfg = SearchConfig {
+        variant: opts.variant,
+        threads: opts.threads.max(1),
+        policy: sw_sched::Policy::dynamic(),
+        block_rows: None,
+        adaptive_precision: opts.adaptive,
+        isa,
+    };
+    let base = HeteroSearchConfig {
+        cpu: cfg,
+        accel: SearchConfig {
+            threads: tuning.accel_threads.max(1),
+            ..cfg
+        },
+        min_chunk: 1,
+        recovery: RecoveryConfig::default(),
+        trace: TraceConfig::default(),
+    };
+    let engine = HeteroEngine::new(SearchEngine::new(params));
+    let mut config = sw_serve::ServeConfig::new(socket);
+    config.max_concurrent = tuning.max_concurrent;
+    config.tenant_quota = tuning.tenant_quota;
+    config.checkpoint_dir = tuning.checkpoint_dir.map(Into::into);
+    config.trace_dir = tuning.trace_dir.map(Into::into);
+    config.registry_out = tuning.registry_out.map(Into::into);
+    config.default_top = opts.top;
+    crate::signals::install_drain_handlers();
+    writeln!(
+        out,
+        "# sw-serve: {} sequences ({} residues) resident{}, isa {isa}",
+        prepared.stats.n_seqs,
+        prepared.stats.total_residues,
+        match digest {
+            Some(d) => format!(", snapshot digest {d:016x}"),
+            None => String::new(),
+        }
+    )?;
+    writeln!(
+        out,
+        "# listening on {socket} (max {} concurrent, tenant quota {})",
+        config.max_concurrent, config.tenant_quota
+    )?;
+    let stats = sw_serve::serve(
+        &engine,
+        &prepared,
+        &alphabet,
+        &base,
+        &config,
+        &crate::signals::SERVE_DRAIN,
+    )
+    .map_err(|e| format!("serve: {e}"))?;
+    writeln!(
+        out,
+        "# serve: drained; {} jobs ({} done, {} failed, {} cancelled, {} rejected)",
+        stats.total, stats.done, stats.failed, stats.cancelled, stats.rejected
+    )?;
+    Ok(())
+}
+
+/// One client operation carried from the `submit` arg parse to
+/// `cmd_submit` (exactly one of query/status/cancel/stats/shutdown).
+struct SubmitOp {
+    query: Option<String>,
+    tenant: String,
+    status: Option<u64>,
+    cancel: Option<u64>,
+    stats: bool,
+    shutdown: bool,
+    drill: Option<String>,
+    top: usize,
+}
+
+fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), CmdError> {
+    use sw_serve::client;
+    let socket = std::path::Path::new(socket);
+    if let Some(query_path) = &op.query {
+        let fasta = std::fs::read_to_string(query_path)?;
+        let req = client::submit_request(&op.tenant, &fasta, op.top, op.drill.as_deref());
+        let lines = client::request(socket, &req)?;
+        let outcome = client::parse_submit_response(&lines).map_err(|e| format!("submit: {e}"))?;
+        match outcome.state.as_str() {
+            "done" => {
+                writeln!(
+                    out,
+                    "job {} done: {} hits{}",
+                    outcome.job,
+                    outcome.hits.len(),
+                    if outcome.resumes > 0 {
+                        format!(
+                            " (resumed from checkpoint, segment #{})",
+                            outcome.resumes + 1
+                        )
+                    } else {
+                        String::new()
+                    }
+                )?;
+                for h in &outcome.hits {
+                    writeln!(out, "{:>6}  {:>8}  {}", h.rank, h.score, h.header)?;
+                }
+                Ok(())
+            }
+            "cancelled" => {
+                writeln!(
+                    out,
+                    "job {} cancelled; progress is checkpointed — resubmit the same \
+                     query to resume",
+                    outcome.job
+                )?;
+                Ok(())
+            }
+            other => Err(format!(
+                "job {} {other}: {}",
+                outcome.job,
+                outcome.error.as_deref().unwrap_or("no detail")
+            )
+            .into()),
+        }
+    } else {
+        let req = if let Some(id) = op.status {
+            client::status_request(id)
+        } else if let Some(id) = op.cancel {
+            client::cancel_request(id)
+        } else if op.stats {
+            client::stats_request()
+        } else {
+            // The parser guarantees exactly one operation flag.
+            debug_assert!(op.shutdown);
+            client::shutdown_request()
+        };
+        let lines = client::request(socket, &req)?;
+        let line = lines.first().ok_or("empty response")?;
+        if sw_serve::json::field_bool(line, "ok") == Some(false) {
+            return Err(sw_serve::json::field_str(line, "error")
+                .unwrap_or_else(|| "request failed".to_string())
+                .into());
+        }
+        writeln!(out, "{line}")?;
+        Ok(())
+    }
 }
 
 fn cmd_align<W: Write>(
@@ -1353,7 +1638,10 @@ mod tests {
     fn hetero_checkpoint_requires_dynamic() {
         let (code, text) = run_str("hetero --query q --db d --checkpoint c.ckpt");
         assert_eq!(code, 1, "{text}");
-        assert!(text.contains("--checkpoint requires --dynamic"), "{text}");
+        assert!(
+            text.contains("--checkpoint/--checkpoint-dir require --dynamic"),
+            "{text}"
+        );
         let (code, text) = run_str("hetero --query q --db d --dynamic --kill-after-chunks 2");
         assert_eq!(code, 1, "{text}");
         assert!(text.contains("need --checkpoint"), "{text}");

@@ -1,21 +1,48 @@
 //! SIGINT/SIGTERM → graceful drain.
 //!
-//! Durable runs (`hetero --dynamic --checkpoint`) install a handler that
-//! flips a process-wide [`DrainSignal`] instead of letting the default
-//! disposition kill the process: workers finish their in-flight chunks,
-//! a final checkpoint is written, and the CLI prints how to resume. The
-//! handler body is a single atomic store — async-signal-safe by
-//! construction. `SIGKILL` (which cannot be caught) is covered by the
-//! same checkpoint files via the periodic write interval; the
-//! crash-resume harness exercises that path with `--kill-after-chunks`.
+//! Durable runs (`hetero --dynamic --checkpoint`) and the `serve` daemon
+//! install a handler that flips a process-wide [`DrainSignal`] instead
+//! of letting the default disposition kill the process: workers finish
+//! their in-flight chunks, a final checkpoint is written, and the CLI
+//! prints how to resume. The handler body is a single atomic store —
+//! async-signal-safe by construction. `SIGKILL` (which cannot be caught)
+//! is covered by the same checkpoint files via the periodic write
+//! interval; the crash-resume harness exercises that path with
+//! `--kill-after-chunks`.
+//!
+//! Registration is guarded by a [`std::sync::Once`]: the raw
+//! `signal(2)` calls run exactly once per process no matter how many
+//! searches start. A daemon that launches a search per request would
+//! otherwise re-arm the handler on every job — harmless today, but a
+//! landmine the moment anything else (a test harness, an embedding
+//! application) installs its own disposition in between. Per-job drains
+//! do not go through this module at all: each job gets a
+//! [`DrainSignal::scoped`] child of [`DRAIN`], so cancelling one job
+//! never signals the process and a process signal still drains every
+//! job.
 //!
 //! This is the one place in the crate allowed to use `unsafe`: the
 //! `signal(2)` registration itself.
 
 use sw_sched::DrainSignal;
 
-/// The process-wide drain switch watched by durable searches.
+/// The process-wide drain switch watched by durable searches; parent of
+/// every per-job scoped signal handed out by [`job_drain`].
 pub static DRAIN: DrainSignal = DrainSignal::new();
+
+/// A fresh per-job drain signal scoped under the process-wide [`DRAIN`]:
+/// requesting it drains that one job; a SIGINT/SIGTERM on the process
+/// drains it too.
+pub fn job_drain() -> DrainSignal {
+    DrainSignal::scoped(&DRAIN)
+}
+
+/// The `serve` daemon's shutdown signal, scoped under [`DRAIN`]: a
+/// `submit --shutdown` requests it without touching process signal
+/// state, and a SIGINT/SIGTERM still shuts the daemon down through the
+/// parent. Per-job drains inside the daemon are scoped under this in
+/// turn, so the chain job → daemon → process drains at every level.
+pub static SERVE_DRAIN: DrainSignal = DrainSignal::scoped(&DRAIN);
 
 #[cfg(unix)]
 #[allow(unsafe_code)]
@@ -54,9 +81,12 @@ mod imp {
 }
 
 /// Route SIGINT/SIGTERM to [`DRAIN`] for the rest of the process.
-/// Idempotent; called by durable searches before the pools start.
+/// Idempotent: the underlying `signal(2)` registration runs exactly
+/// once per process, so concurrent searches in a daemon can all call
+/// this without re-arming the handler.
 pub fn install_drain_handlers() {
-    imp::install();
+    static REGISTER: std::sync::Once = std::sync::Once::new();
+    REGISTER.call_once(imp::install);
 }
 
 #[cfg(test)]
@@ -68,5 +98,18 @@ mod tests {
         install_drain_handlers();
         install_drain_handlers();
         assert!(!DRAIN.is_requested(), "install must not trip the drain");
+    }
+
+    #[test]
+    fn job_drain_is_scoped_under_the_process_signal() {
+        let a = job_drain();
+        let b = job_drain();
+        a.request();
+        assert!(a.is_requested());
+        assert!(!b.is_requested(), "cancelling one job leaves the rest");
+        assert!(
+            !DRAIN.is_requested(),
+            "job cancel never signals the process"
+        );
     }
 }

@@ -149,6 +149,18 @@ impl SearchFingerprint {
             n_batches: db.batches.len() as u64,
         }
     }
+
+    /// Canonical checkpoint file name for this search, unique per
+    /// (database, query, lane packing): two searches can share one
+    /// checkpoint *directory* without their SWCKPT1 tmp+rename writes
+    /// clobbering each other, and a resume finds its own file by
+    /// recomputing the fingerprint.
+    pub fn file_name(&self) -> String {
+        format!(
+            "swckpt-{:016x}-{:016x}-{}x{}.ckpt",
+            self.db_digest, self.query_digest, self.lanes, self.n_batches
+        )
+    }
 }
 
 /// Cumulative recovery counters of one device pool, carried across

@@ -23,9 +23,13 @@ pub struct SearchConfig {
     /// the paper's kernels are 16-bit.
     pub adaptive_precision: bool,
     /// Instruction set the intrinsic kernels run on. [`KernelIsa::detect`]
-    /// (the `best` default) picks the fastest ISA the host supports;
-    /// forcing [`KernelIsa::Portable`] reproduces identical results with
-    /// the autovectorized kernels. Ignored by non-intrinsic variants.
+    /// (the `best` default) picks the fastest ISA the host supports from
+    /// hardware probes alone; forcing [`KernelIsa::Portable`] reproduces
+    /// identical results with the autovectorized kernels. Environment
+    /// overrides (`SW_KERNEL_ISA`) are resolved once at front-end startup
+    /// and arrive here as an explicit value — the library never reads the
+    /// environment, so concurrent requests each see exactly the ISA their
+    /// config carries. Ignored by non-intrinsic variants.
     pub isa: KernelIsa,
 }
 
@@ -122,6 +126,11 @@ pub struct TraceConfig {
     /// Bucket width of the exported per-device GCUPS time series in
     /// microseconds; `0` uses `sw_trace::export::DEFAULT_GCUPS_WINDOW_US`.
     pub gcups_window_us: u64,
+    /// Query id stamped on every event this search emits, so timelines
+    /// of concurrent searches stay separable after export. `0` (the
+    /// default) is the solo-run id; daemons assign a distinct id per
+    /// request.
+    pub query_id: u64,
 }
 
 impl TraceConfig {
@@ -133,15 +142,23 @@ impl TraceConfig {
         }
     }
 
+    /// Same configuration stamping `query_id` on every event (daemon
+    /// requests; `0` is the solo-run id).
+    pub fn for_query(mut self, query_id: u64) -> Self {
+        self.query_id = query_id;
+        self
+    }
+
     /// Build the tracer this configuration describes (disabled for
-    /// [`TraceLevel::Off`]).
+    /// [`TraceLevel::Off`]). Each call makes a fresh tracer with its own
+    /// epoch, so concurrent searches never share clock state.
     pub fn tracer(&self) -> Tracer {
         let capacity = if self.ring_capacity == 0 {
             sw_trace::DEFAULT_RING_CAPACITY
         } else {
             self.ring_capacity
         };
-        Tracer::new(self.level, capacity)
+        Tracer::for_query(self.level, capacity, self.query_id)
     }
 
     /// The GCUPS window to export with, resolving `0` to the default.

@@ -24,7 +24,7 @@ use crate::prepare::PreparedDb;
 use crate::results::{Hit, SearchResults};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use sw_kernels::CellCount;
@@ -303,8 +303,20 @@ impl HeteroEngine {
         assert!(!query.is_empty(), "query must not be empty");
         type BatchOut = (usize, (Vec<Hit>, CellCount, u64));
         let fingerprint = SearchFingerprint::compute(db, query);
+        // Resolve the checkpoint file: an explicit path wins; a directory
+        // derives the name from the fingerprint so concurrent searches
+        // sharing the directory never clobber each other's tmp+rename.
+        let derived: Option<PathBuf> = match (opts.checkpoint_path, opts.checkpoint_dir) {
+            (Some(_), _) | (None, None) => None,
+            (None, Some(dir)) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| DurableSearchError::Checkpoint(CheckpointError::Io(e)))?;
+                Some(dir.join(fingerprint.file_name()))
+            }
+        };
+        let ckpt_path: Option<&Path> = opts.checkpoint_path.or(derived.as_deref());
         if db.batches.is_empty() {
-            if let Some(path) = opts.checkpoint_path {
+            if let Some(path) = ckpt_path {
                 Checkpoint::remove(path).ok();
             }
             return Ok(DurableSearchOutcome {
@@ -340,7 +352,7 @@ impl HeteroEngine {
         let mut next_seq = 0u64;
         let mut initial_share = plan.accel_cell_fraction;
         if opts.resume {
-            if let Some(path) = opts.checkpoint_path {
+            if let Some(path) = ckpt_path {
                 if let Some(ckpt) = Checkpoint::load_if_exists(path)? {
                     ckpt.verify(&fingerprint)?;
                     resumes = ckpt.resumes + 1;
@@ -415,7 +427,7 @@ impl HeteroEngine {
             ]
         };
         let on_checkpoint = |view: CheckpointView<'_, BatchOut>| -> u64 {
-            let Some(path) = opts.checkpoint_path else {
+            let Some(path) = ckpt_path else {
                 return 0;
             };
             let ckpt = make_checkpoint(view.slots, view.accel_share, cumulative_recovery());
@@ -451,7 +463,7 @@ impl HeteroEngine {
             DurableControl {
                 prefill,
                 drain: opts.drain,
-                checkpoint_every_chunks: if opts.checkpoint_path.is_some() {
+                checkpoint_every_chunks: if ckpt_path.is_some() {
                     opts.interval_chunks
                 } else {
                     0
@@ -480,7 +492,7 @@ impl HeteroEngine {
             // so it captures exact totals and every committed chunk. Its
             // failure is a hard error: a drained run without its
             // checkpoint cannot be resumed.
-            if let Some(path) = opts.checkpoint_path {
+            if let Some(path) = ckpt_path {
                 let cpu_m = sink.device(DEVICE_CPU);
                 let accel_m = sink.device(DEVICE_ACCEL);
                 let total = cpu_m.cells + accel_m.cells;
@@ -522,7 +534,7 @@ impl HeteroEngine {
         let cpu = sink.device(DEVICE_CPU);
         let accel = sink.device(DEVICE_ACCEL);
         let total_cells = cpu.cells + accel.cells;
-        if let Some(path) = opts.checkpoint_path {
+        if let Some(path) = ckpt_path {
             // Best-effort cleanup: a stale checkpoint left behind is
             // re-verified (and its batches skipped) on the next resume,
             // never silently wrong.
@@ -558,10 +570,21 @@ impl HeteroEngine {
 /// Durability knobs for [`HeteroEngine::search_dynamic_resumable`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DurableOptions<'a> {
-    /// Where the checkpoint lives. `None` disables checkpointing (the
-    /// run is then durable in name only — drain still stops it
-    /// gracefully, but nothing is persisted).
+    /// Where the checkpoint lives. `None` with no `checkpoint_dir`
+    /// disables checkpointing (the run is then durable in name only —
+    /// drain still stops it gracefully, but nothing is persisted). An
+    /// explicit path takes precedence over `checkpoint_dir`, but note it
+    /// is shared mutable state: two concurrent searches given the same
+    /// path will clobber each other — concurrent callers must use
+    /// `checkpoint_dir`.
     pub checkpoint_path: Option<&'a Path>,
+    /// Directory to keep the checkpoint in, under a file name derived
+    /// from the [`SearchFingerprint`]
+    /// ([`SearchFingerprint::file_name`]) — safe for any number of
+    /// concurrent searches (distinct database/query/packing) to share.
+    /// Created if missing. A resume with the same fingerprint finds the
+    /// same file.
+    pub checkpoint_dir: Option<&'a Path>,
     /// Write a checkpoint every this many committed chunks (0 = only the
     /// final drain checkpoint).
     pub interval_chunks: u64,

@@ -62,6 +62,7 @@ fn clean_durable_run_matches_static_and_dynamic() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 2,
                 drain: None,
                 resume: false,
@@ -116,6 +117,7 @@ fn drain_resume_equivalence_matrix() {
                 &FaultInjector::none(),
                 &DurableOptions {
                     checkpoint_path: Some(&path),
+                    checkpoint_dir: None,
                     interval_chunks: 1,
                     drain: Some(&drain),
                     resume: false,
@@ -146,6 +148,7 @@ fn drain_resume_equivalence_matrix() {
                 &FaultInjector::none(),
                 &DurableOptions {
                     checkpoint_path: Some(&path),
+                    checkpoint_dir: None,
                     interval_chunks: 1,
                     drain: None,
                     resume: true,
@@ -207,6 +210,7 @@ fn drain_during_drained_resume_still_converges() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: Some(&drain1),
                 resume: false,
@@ -228,6 +232,7 @@ fn drain_during_drained_resume_still_converges() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: Some(&drain2),
                 resume: true,
@@ -247,6 +252,7 @@ fn drain_during_drained_resume_still_converges() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: None,
                 resume: true,
@@ -297,6 +303,7 @@ fn faulty_segment_keeps_counters_monotone_after_resume() {
             &inj,
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: Some(&drain),
                 resume: false,
@@ -318,6 +325,7 @@ fn faulty_segment_keeps_counters_monotone_after_resume() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: None,
                 resume: true,
@@ -352,6 +360,7 @@ fn resume_against_wrong_query_is_typed_mismatch() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: Some(&drain),
                 resume: false,
@@ -371,6 +380,7 @@ fn resume_against_wrong_query_is_typed_mismatch() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: None,
                 resume: true,
@@ -403,6 +413,7 @@ fn corrupt_checkpoint_is_rejected_not_trusted() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: Some(&drain),
                 resume: false,
@@ -424,6 +435,7 @@ fn corrupt_checkpoint_is_rejected_not_trusted() {
             &FaultInjector::none(),
             &DurableOptions {
                 checkpoint_path: Some(&path),
+                checkpoint_dir: None,
                 interval_chunks: 1,
                 drain: None,
                 resume: true,
@@ -437,4 +449,83 @@ fn corrupt_checkpoint_is_rejected_not_trusted() {
         other => panic!("expected a corruption error, got: {other}"),
     }
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shared_checkpoint_dir_keeps_concurrent_searches_apart() {
+    // Satellite of the daemon work: two different searches handed the
+    // SAME checkpoint directory must never collide — the file name is
+    // derived from the search fingerprint, so each drained search gets
+    // its own checkpoint and each resumes to its own exact hit list.
+    let (db, q1) = setup();
+    let q2 = generate_query(140, 77).residues;
+    let engine = SearchEngine::paper_default();
+    let hetero = HeteroEngine::new(engine);
+    let cfg = HeteroSearchConfig::best(2, 2);
+    let dir = std::env::temp_dir().join(format!("sw-ckpt-dir-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut finals = Vec::new();
+    for q in [&q1, &q2] {
+        let plan = hetero.plan_split(&db, q.len(), 0.5);
+        let reference = hetero.search(
+            q,
+            &db,
+            &plan,
+            &SearchConfig::best(2),
+            &SearchConfig::best(2),
+        );
+        let n = db.batches.len() as u64;
+        let dopts = DurableOptions {
+            checkpoint_path: None,
+            checkpoint_dir: Some(&dir),
+            interval_chunks: 1,
+            drain: Some(&DrainSignal::after_tasks((n / 2).max(1))),
+            resume: false,
+        };
+        let first = hetero
+            .search_dynamic_resumable(q, &db, &plan, &cfg, &FaultInjector::none(), &dopts)
+            .expect("drained first segment");
+        assert!(first.drained, "drain threshold must interrupt the run");
+        finals.push((q, plan, reference));
+    }
+
+    // Both drained checkpoints coexist under their fingerprint names.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(
+        names.len(),
+        2,
+        "one fingerprint-named checkpoint per search: {names:?}"
+    );
+    for (q, _, _) in &finals {
+        let expected = sw_core::SearchFingerprint::compute(&db, q).file_name();
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+
+    // Each search resumes from its own file to its own exact hit list.
+    for (q, plan, reference) in &finals {
+        let dopts = DurableOptions {
+            checkpoint_path: None,
+            checkpoint_dir: Some(&dir),
+            interval_chunks: 1,
+            drain: None,
+            resume: true,
+        };
+        let out = hetero
+            .search_dynamic_resumable(q, &db, plan, &cfg, &FaultInjector::none(), &dopts)
+            .expect("resumed to completion");
+        assert!(out.resumes >= 1, "second segment must actually resume");
+        assert!(out.resumed_tasks > 0, "resume must load committed work");
+        let res = out.outcome.expect("completed").results;
+        assert_eq!(res.hits, reference.hits, "resumed == uninterrupted");
+    }
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        0,
+        "completed searches clean up their own checkpoints only"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -10,8 +10,13 @@
 //!
 //! Dispatch rules (see also `DESIGN.md`):
 //!
-//! * [`KernelIsa::detect`] picks the best ISA the host supports; the
-//!   `SW_KERNEL_ISA` environment variable (or `--kernel-isa`) forces one.
+//! * [`KernelIsa::detect`] picks the best ISA the host supports from
+//!   hardware feature probes alone — it never reads the environment, so
+//!   a long-lived daemon can resolve an ISA per request without two
+//!   concurrent searches observing different answers. Front-ends
+//!   (`--kernel-isa`, or the CLI's startup-time `SW_KERNEL_ISA` read)
+//!   force one by threading an explicit [`KernelIsa`] through
+//!   `SearchConfig`.
 //! * An ISA engages only at its native lane width — AVX2 at 16 × i16 /
 //!   32 × i8, SSE2 at 8 × i16 / 16 × i8. An AVX2 selection at SSE width
 //!   runs the 128-bit kernels (AVX2 implies SSE2); anything else falls
@@ -90,17 +95,14 @@ impl KernelIsa {
         }
     }
 
-    /// The best ISA the host supports, honouring an `SW_KERNEL_ISA`
-    /// environment override when it names an *available* ISA (the hook CI
-    /// uses to force the portable side of every dispatch).
+    /// The best ISA the host supports, from hardware probes alone.
+    ///
+    /// Deliberately pure: no environment reads, no globals. Process-level
+    /// overrides (`SW_KERNEL_ISA`, `--kernel-isa`) are resolved once at
+    /// front-end startup and travel through `SearchConfig`, so the
+    /// library path is daemon-safe — concurrent requests can never race
+    /// on an env mutation mid-run.
     pub fn detect() -> KernelIsa {
-        if let Ok(name) = std::env::var("SW_KERNEL_ISA") {
-            if let Some(isa) = KernelIsa::from_name(&name) {
-                if isa.is_available() {
-                    return isa;
-                }
-            }
-        }
         if KernelIsa::Avx2.is_available() {
             KernelIsa::Avx2
         } else if KernelIsa::Sse2.is_available() {
@@ -290,6 +292,18 @@ mod tests {
         assert!(KernelIsa::Portable.is_available());
         #[cfg(target_arch = "x86_64")]
         assert!(KernelIsa::Sse2.is_available());
+    }
+
+    #[test]
+    fn detect_is_hardware_only_and_ignores_the_environment() {
+        // The env override moved to front-end startup; the library must
+        // answer from feature probes alone (daemon-safe, race-free).
+        std::env::set_var("SW_KERNEL_ISA", "portable");
+        let isa = KernelIsa::detect();
+        std::env::remove_var("SW_KERNEL_ISA");
+        #[cfg(target_arch = "x86_64")]
+        assert_ne!(isa, KernelIsa::Portable, "env must not force the ISA here");
+        assert!(isa.is_available());
     }
 
     #[test]

@@ -19,6 +19,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A cooperative stop request shared between a signal handler (or test)
 /// and the executor's worker pools.
+///
+/// Signals can be *scoped*: [`DrainSignal::scoped`] links a per-search
+/// signal to a `'static` process-wide parent (typically the one flipped
+/// by the SIGINT/SIGTERM handler). A scoped signal observes its own
+/// request **or** the parent's, so a daemon can drain one job via the
+/// job's own signal while a process-level signal still drains every job
+/// at once. Requesting a scoped signal never propagates upward.
 #[derive(Debug)]
 pub struct DrainSignal {
     requested: AtomicBool,
@@ -27,6 +34,8 @@ pub struct DrainSignal {
     /// Set by the first worker to observe the request, so the
     /// `drain_started` trace event is emitted exactly once.
     announced: AtomicBool,
+    /// Optional process-wide parent; `is_requested` ORs it in.
+    parent: Option<&'static DrainSignal>,
 }
 
 impl Default for DrainSignal {
@@ -43,6 +52,20 @@ impl DrainSignal {
             requested: AtomicBool::new(false),
             after_tasks: AtomicU64::new(0),
             announced: AtomicBool::new(false),
+            parent: None,
+        }
+    }
+
+    /// A per-search signal linked to a process-wide parent: it reports
+    /// requested when either it *or* the parent has been requested, so a
+    /// single job can be drained without stopping the process while a
+    /// process-level drain (SIGTERM) still stops every linked job.
+    pub const fn scoped(parent: &'static DrainSignal) -> Self {
+        DrainSignal {
+            requested: AtomicBool::new(false),
+            after_tasks: AtomicU64::new(0),
+            announced: AtomicBool::new(false),
+            parent: Some(parent),
         }
     }
 
@@ -60,9 +83,10 @@ impl DrainSignal {
         self.requested.store(true, Ordering::Release);
     }
 
-    /// True once a drain has been requested.
+    /// True once a drain has been requested on this signal or, for a
+    /// scoped signal, on its process-wide parent.
     pub fn is_requested(&self) -> bool {
-        self.requested.load(Ordering::Acquire)
+        self.requested.load(Ordering::Acquire) || self.parent.is_some_and(|p| p.is_requested())
     }
 
     /// Executor hook: called with the cumulative committed-task count;
@@ -120,5 +144,30 @@ mod tests {
     fn const_new_backs_a_static() {
         static S: DrainSignal = DrainSignal::new();
         assert!(!S.is_requested());
+    }
+
+    #[test]
+    fn scoped_signal_drains_alone_without_touching_parent() {
+        static PARENT: DrainSignal = DrainSignal::new();
+        let job_a = DrainSignal::scoped(&PARENT);
+        let job_b = DrainSignal::scoped(&PARENT);
+        job_a.request();
+        assert!(job_a.is_requested());
+        assert!(!job_b.is_requested(), "sibling job keeps running");
+        assert!(!PARENT.is_requested(), "child request never propagates up");
+    }
+
+    #[test]
+    fn parent_request_drains_every_scoped_child() {
+        static PARENT2: DrainSignal = DrainSignal::new();
+        let job_a = DrainSignal::scoped(&PARENT2);
+        let job_b = DrainSignal::scoped(&PARENT2);
+        PARENT2.request();
+        assert!(job_a.is_requested());
+        assert!(job_b.is_requested());
+        // Each child still announces independently (one trace event per job).
+        assert!(job_a.announce_once());
+        assert!(job_b.announce_once());
+        assert!(!job_a.announce_once());
     }
 }

@@ -1097,11 +1097,15 @@ where
                         // Hand the journal to the thread-local slot so the
                         // task's lower layers (kernel overflow rescue) can
                         // emit into the same track; recovered below even if
-                        // the task panics.
+                        // the task panics. The scoped guard keeps whatever
+                        // journal a caller higher on this thread had
+                        // installed and puts it back afterwards — without
+                        // it, an engine nested inside another search (a
+                        // daemon worker) would silently flush the outer
+                        // search's journal mid-run.
                         let traced = journal.enabled();
-                        if traced {
-                            sw_trace::install(std::mem::take(&mut journal));
-                        }
+                        let ambient =
+                            traced.then(|| sw_trace::install_scoped(std::mem::take(&mut journal)));
                         let mut buf: Vec<(usize, T)> = Vec::with_capacity(e - s);
                         let mut chunk_cells = 0u64;
                         let mut failed: Option<(usize, String)> = None;
@@ -1129,10 +1133,8 @@ where
                                 }
                             }
                         }
-                        if traced {
-                            if let Some(j) = sw_trace::uninstall() {
-                                journal = j;
-                            }
+                        if let Some(scope) = ambient {
+                            journal = scope.take();
                         }
                         journal.span_from(
                             chunk_stamp,

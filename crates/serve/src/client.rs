@@ -1,0 +1,174 @@
+//! Client side of the serve protocol: request builders, a one-shot
+//! request runner, and the submit-stream parser. Used by the `swsearch
+//! submit` front-end and the integration tests — both speak exactly
+//! this code, so the wire format has one reader and one writer.
+
+use crate::json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Build a `submit` request line.
+pub fn submit_request(tenant: &str, query_fasta: &str, top: usize, drill: Option<&str>) -> String {
+    let mut line = format!(
+        "{{\"op\":\"submit\",\"tenant\":\"{}\",\"top\":{top},\"query\":\"{}\"",
+        json::escape(tenant),
+        json::escape(query_fasta)
+    );
+    if let Some(d) = drill {
+        line.push_str(&format!(",\"drill\":\"{}\"", json::escape(d)));
+    }
+    line.push('}');
+    line
+}
+
+/// Build a `status` request line.
+pub fn status_request(job: u64) -> String {
+    format!("{{\"op\":\"status\",\"job\":{job}}}")
+}
+
+/// Build a `cancel` request line.
+pub fn cancel_request(job: u64) -> String {
+    format!("{{\"op\":\"cancel\",\"job\":{job}}}")
+}
+
+/// Build a `stats` request line.
+pub fn stats_request() -> String {
+    "{\"op\":\"stats\"}".to_string()
+}
+
+/// Build a `shutdown` request line.
+pub fn shutdown_request() -> String {
+    "{\"op\":\"shutdown\"}".to_string()
+}
+
+/// Send one request line and collect every response line until the
+/// daemon closes the connection. For `submit` this blocks until the job
+/// finishes (the daemon streams the result on the same connection).
+pub fn request(socket: &Path, line: &str) -> io::Result<Vec<String>> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut lines = Vec::new();
+    for l in BufReader::new(stream).lines() {
+        lines.push(l?);
+    }
+    Ok(lines)
+}
+
+/// One streamed hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HitLine {
+    /// 1-based rank.
+    pub rank: u64,
+    /// Exact Smith-Waterman score.
+    pub score: i64,
+    /// Database header.
+    pub header: String,
+}
+
+/// Parsed outcome of a submit stream.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Job id the daemon assigned.
+    pub job: u64,
+    /// Final state: `done`, `cancelled` or `failed`.
+    pub state: String,
+    /// Checkpoint resumes the run stitched together.
+    pub resumes: u64,
+    /// Streamed hits (`done` only).
+    pub hits: Vec<HitLine>,
+    /// Failure message (`failed` only).
+    pub error: Option<String>,
+}
+
+/// Parse a full submit response. A rejection (quota, bad query, bad
+/// drill) or a truncated stream is an `Err` with the daemon's message.
+pub fn parse_submit_response(lines: &[String]) -> Result<SubmitOutcome, String> {
+    let ack = lines.first().ok_or("empty response")?;
+    if json::field_bool(ack, "ok") != Some(true) {
+        return Err(json::field_str(ack, "error").unwrap_or_else(|| "rejected".to_string()));
+    }
+    let job = json::field_u64(ack, "job").ok_or("ack without job id")?;
+    if lines.last().map(|l| json::field_bool(l, "end")) != Some(Some(true)) {
+        return Err(format!("job {job}: response stream truncated"));
+    }
+    let state_line = lines
+        .get(1)
+        .ok_or(format!("job {job}: no final state line"))?;
+    let state =
+        json::field_str(state_line, "state").ok_or(format!("job {job}: malformed state"))?;
+    let mut hits = Vec::new();
+    for l in &lines[2..lines.len() - 1] {
+        hits.push(HitLine {
+            rank: json::field_u64(l, "rank").ok_or(format!("job {job}: malformed hit line"))?,
+            score: json::field_u64(l, "score").ok_or(format!("job {job}: malformed hit line"))?
+                as i64,
+            header: json::field_str(l, "header").ok_or(format!("job {job}: malformed hit line"))?,
+        });
+    }
+    Ok(SubmitOutcome {
+        job,
+        state,
+        resumes: json::field_u64(state_line, "resumes").unwrap_or(0),
+        hits,
+        error: json::field_str(state_line, "error"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_stream_roundtrips() {
+        let lines: Vec<String> = [
+            "{\"ok\":true,\"job\":3,\"state\":\"queued\"}",
+            "{\"job\":3,\"state\":\"done\",\"hits\":2,\"resumes\":1}",
+            "{\"rank\":1,\"score\":99,\"header\":\"sp|A|one\"}",
+            "{\"rank\":2,\"score\":42,\"header\":\"sp|B|two\"}",
+            "{\"end\":true}",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_submit_response(&lines).unwrap();
+        assert_eq!(o.job, 3);
+        assert_eq!(o.state, "done");
+        assert_eq!(o.resumes, 1);
+        assert_eq!(o.hits.len(), 2);
+        assert_eq!(o.hits[0].score, 99);
+        assert_eq!(o.hits[1].header, "sp|B|two");
+
+        // Rejection surfaces the daemon's message.
+        let rej = vec!["{\"ok\":false,\"error\":\"tenant 'x' quota exceeded\"}".to_string()];
+        assert!(parse_submit_response(&rej).unwrap_err().contains("quota"));
+
+        // A missing end marker is a truncated stream.
+        let trunc = lines[..2].to_vec();
+        assert!(parse_submit_response(&trunc)
+            .unwrap_err()
+            .contains("truncated"));
+    }
+
+    #[test]
+    fn request_builders_are_wellformed() {
+        let r = submit_request("acme", ">q\nMKV\n", 5, Some("delay@0:100"));
+        assert_eq!(json::field_str(&r, "op").as_deref(), Some("submit"));
+        assert_eq!(json::field_str(&r, "query").as_deref(), Some(">q\nMKV\n"));
+        assert_eq!(json::field_u64(&r, "top"), Some(5));
+        assert_eq!(json::field_str(&r, "drill").as_deref(), Some("delay@0:100"));
+        assert_eq!(json::field_u64(&status_request(7), "job"), Some(7));
+        assert_eq!(json::field_u64(&cancel_request(9), "job"), Some(9));
+        assert_eq!(
+            json::field_str(&stats_request(), "op").as_deref(),
+            Some("stats")
+        );
+        assert_eq!(
+            json::field_str(&shutdown_request(), "op").as_deref(),
+            Some("shutdown")
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! sw-serve: the always-on Smith-Waterman search service.
+//!
+//! A daemon loads and digest-verifies a database snapshot once, keeps
+//! the prepared batches resident, and serves search jobs over a unix
+//! socket speaking line-delimited JSON. Each job is fully isolated from
+//! its neighbours: per-request [`sw_core::SearchConfig`] and trace
+//! epoch/query-id, a per-job drain signal scoped under the daemon's
+//! shutdown signal, and a fingerprint-derived checkpoint file — no
+//! environment reads, no process globals, no shared mutable state on
+//! the request path. Admission is a concurrency cap plus a per-tenant
+//! in-flight quota; everything submitted lands in the [`Registry`],
+//! which is dumped as JSONL on shutdown.
+//!
+//! Layering: [`client`] and [`server`] share the [`json`] wire helpers;
+//! the CLI's `serve`/`submit` commands and the integration tests are
+//! both thin wrappers over these modules.
+
+pub mod client;
+pub mod json;
+pub mod registry;
+mod server;
+
+pub use registry::{JobRecord, JobState, Registry, StatsSnapshot};
+pub use server::{serve, ServeConfig, ServeError};

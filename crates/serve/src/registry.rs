@@ -1,0 +1,361 @@
+//! The daemon's job registry: every submitted search, its lifecycle
+//! state, and the admission gate that caps concurrent runs.
+//!
+//! One `Mutex` guards the whole table — job turnover is measured in
+//! searches per second, not millions of ops, so contention is not a
+//! concern and a single lock keeps the state machine easy to audit.
+//! The condvar wakes queued jobs when a running one finishes (or a
+//! queued one is cancelled); waits use a timeout so a drain requested
+//! through a *parent* signal (daemon shutdown, process SIGINT) is
+//! noticed too, since parents don't know about our condvar.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use sw_sched::DrainSignal;
+
+/// Lifecycle of one submitted search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for an admission slot.
+    Queued,
+    /// Holding a slot, search in flight.
+    Running,
+    /// Completed; hits were streamed to the submitter.
+    Done,
+    /// The search itself errored.
+    Failed,
+    /// Drained before completion (job cancel or daemon shutdown). If
+    /// the daemon has a checkpoint dir the job's progress is on disk,
+    /// keyed by fingerprint: resubmitting the same query resumes it.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One registry entry, as reported by `status` and the shutdown dump.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Monotone job id; doubles as the trace query id.
+    pub id: u64,
+    /// Tenant the job is accounted against.
+    pub tenant: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Query length in residues.
+    pub query_len: usize,
+    /// Hits reported (0 until done).
+    pub hits: usize,
+    /// How many checkpoint resumes this run stitched together.
+    pub resumes: u64,
+    /// Failure message for [`JobState::Failed`].
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// One flat JSON line (the registry dump format; also the `status`
+    /// response body).
+    pub fn to_json(&self) -> String {
+        let mut line = format!(
+            "{{\"job\":{},\"tenant\":\"{}\",\"state\":\"{}\",\"query_len\":{},\"hits\":{},\"resumes\":{}",
+            self.id,
+            json::escape(&self.tenant),
+            self.state.name(),
+            self.query_len,
+            self.hits,
+            self.resumes
+        );
+        if let Some(e) = &self.error {
+            line.push_str(&format!(",\"error\":\"{}\"", json::escape(e)));
+        }
+        line.push('}');
+        line
+    }
+}
+
+struct Entry {
+    record: JobRecord,
+    drain: Arc<DrainSignal>,
+}
+
+#[derive(Default)]
+struct Inner {
+    next_id: u64,
+    running: usize,
+    rejected: u64,
+    jobs: BTreeMap<u64, Entry>,
+}
+
+/// Counts over the whole registry, for `stats` and the CI smoke gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs ever accepted.
+    pub total: usize,
+    /// Currently waiting for a slot.
+    pub queued: usize,
+    /// Currently holding a slot.
+    pub running: usize,
+    /// Completed with hits.
+    pub done: usize,
+    /// Errored.
+    pub failed: usize,
+    /// Drained before completion.
+    pub cancelled: usize,
+    /// Submissions bounced at the door (tenant over quota).
+    pub rejected: u64,
+}
+
+impl StatsSnapshot {
+    /// One flat JSON line (the `stats` response body).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ok\":true,\"jobs\":{},\"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\"rejected\":{}}}",
+            self.total, self.queued, self.running, self.done, self.failed, self.cancelled,
+            self.rejected
+        )
+    }
+}
+
+/// Thread-safe job table + admission gate. See the module docs for the
+/// locking story.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    admit: Condvar,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry; ids start at 1 (`0` is the solo-run trace id,
+    /// never a job).
+    pub fn new() -> Self {
+        Registry {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                ..Inner::default()
+            }),
+            admit: Condvar::new(),
+        }
+    }
+
+    /// Accept a job, enforcing the per-tenant in-flight quota. Returns
+    /// the job id and its drain signal, or the rejection message.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        query_len: usize,
+        quota: usize,
+        drain: Arc<DrainSignal>,
+    ) -> Result<(u64, Arc<DrainSignal>), String> {
+        let mut g = self.inner.lock().unwrap();
+        let in_flight = g
+            .jobs
+            .values()
+            .filter(|e| {
+                e.record.tenant == tenant
+                    && matches!(e.record.state, JobState::Queued | JobState::Running)
+            })
+            .count();
+        if in_flight >= quota {
+            g.rejected += 1;
+            return Err(format!(
+                "tenant '{tenant}' quota exceeded ({in_flight} jobs in flight, quota {quota})"
+            ));
+        }
+        let id = g.next_id;
+        g.next_id += 1;
+        g.jobs.insert(
+            id,
+            Entry {
+                record: JobRecord {
+                    id,
+                    tenant: tenant.to_string(),
+                    state: JobState::Queued,
+                    query_len,
+                    hits: 0,
+                    resumes: 0,
+                    error: None,
+                },
+                drain: Arc::clone(&drain),
+            },
+        );
+        Ok((id, drain))
+    }
+
+    /// Block until job `id` gets one of `max_concurrent` run slots.
+    /// Returns `false` (marking the job cancelled) if its drain — or a
+    /// parent drain, hence the timed wait — fires first.
+    pub fn admit(&self, id: u64, max_concurrent: usize) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            let drained = g.jobs.get(&id).is_none_or(|e| e.drain.is_requested());
+            if drained {
+                if let Some(e) = g.jobs.get_mut(&id) {
+                    e.record.state = JobState::Cancelled;
+                }
+                return false;
+            }
+            if g.running < max_concurrent {
+                g.running += 1;
+                if let Some(e) = g.jobs.get_mut(&id) {
+                    e.record.state = JobState::Running;
+                }
+                return true;
+            }
+            let (guard, _) = self
+                .admit
+                .wait_timeout(g, Duration::from_millis(100))
+                .unwrap();
+            g = guard;
+        }
+    }
+
+    /// Release job `id`'s run slot and record how it ended.
+    pub fn finish(
+        &self,
+        id: u64,
+        state: JobState,
+        hits: usize,
+        resumes: u64,
+        error: Option<String>,
+    ) {
+        let mut g = self.inner.lock().unwrap();
+        g.running = g.running.saturating_sub(1);
+        if let Some(e) = g.jobs.get_mut(&id) {
+            e.record.state = state;
+            e.record.hits = hits;
+            e.record.resumes = resumes;
+            e.record.error = error;
+        }
+        drop(g);
+        self.admit.notify_all();
+    }
+
+    /// Request job `id`'s drain. Running jobs stop at the next chunk
+    /// boundary (checkpointed if the daemon has a checkpoint dir);
+    /// queued jobs leave the queue. Returns the state observed at
+    /// cancel time.
+    pub fn cancel(&self, id: u64) -> Result<JobState, String> {
+        let g = self.inner.lock().unwrap();
+        let e = g.jobs.get(&id).ok_or(format!("no such job {id}"))?;
+        let state = e.record.state;
+        e.drain.request();
+        drop(g);
+        self.admit.notify_all();
+        Ok(state)
+    }
+
+    /// Snapshot of one record.
+    pub fn status(&self, id: u64) -> Option<JobRecord> {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .get(&id)
+            .map(|e| e.record.clone())
+    }
+
+    /// Counts across all jobs.
+    pub fn stats(&self) -> StatsSnapshot {
+        let g = self.inner.lock().unwrap();
+        let mut s = StatsSnapshot {
+            total: g.jobs.len(),
+            rejected: g.rejected,
+            ..StatsSnapshot::default()
+        };
+        for e in g.jobs.values() {
+            match e.record.state {
+                JobState::Queued => s.queued += 1,
+                JobState::Running => s.running += 1,
+                JobState::Done => s.done += 1,
+                JobState::Failed => s.failed += 1,
+                JobState::Cancelled => s.cancelled += 1,
+            }
+        }
+        s
+    }
+
+    /// The whole table as JSONL, one record per line in id order (the
+    /// shutdown dump artifact).
+    pub fn dump_jsonl(&self) -> String {
+        let g = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for e in g.jobs.values() {
+            out.push_str(&e.record.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain() -> Arc<DrainSignal> {
+        Arc::new(DrainSignal::new())
+    }
+
+    #[test]
+    fn quota_counts_only_in_flight_jobs() {
+        let r = Registry::new();
+        let (a, _) = r.submit("acme", 10, 2, drain()).unwrap();
+        let (_b, _) = r.submit("acme", 10, 2, drain()).unwrap();
+        let err = r.submit("acme", 10, 2, drain()).unwrap_err();
+        assert!(err.contains("quota"), "{err}");
+        assert_eq!(r.stats().rejected, 1);
+        // Another tenant is unaffected.
+        r.submit("other", 10, 2, drain()).unwrap();
+        // Finishing one frees the quota.
+        assert!(r.admit(a, 4));
+        r.finish(a, JobState::Done, 3, 0, None);
+        r.submit("acme", 10, 2, drain()).unwrap();
+    }
+
+    #[test]
+    fn admission_caps_concurrency_and_cancel_unblocks_queued() {
+        let r = Registry::new();
+        let (a, _) = r.submit("t", 1, 8, drain()).unwrap();
+        let (b, db) = r.submit("t", 1, 8, drain()).unwrap();
+        assert!(r.admit(a, 1), "first job takes the slot");
+        // The second job would block; cancel it from another thread.
+        db.request();
+        assert!(!r.admit(b, 1), "cancelled while queued");
+        assert_eq!(r.status(b).unwrap().state, JobState::Cancelled);
+        r.finish(a, JobState::Done, 1, 0, None);
+        assert_eq!(r.stats().done, 1);
+    }
+
+    #[test]
+    fn records_serialize_one_line_each() {
+        let r = Registry::new();
+        let (id, _) = r.submit("acme \"inc\"", 42, 4, drain()).unwrap();
+        assert_eq!(id, 1, "ids start at 1; 0 is the solo trace id");
+        r.cancel(id).unwrap();
+        let dump = r.dump_jsonl();
+        assert_eq!(dump.lines().count(), 1);
+        let line = dump.lines().next().unwrap();
+        assert_eq!(crate::json::field_u64(line, "job"), Some(1));
+        assert_eq!(
+            crate::json::field_str(line, "tenant").as_deref(),
+            Some("acme \"inc\"")
+        );
+        assert!(r.cancel(99).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! The daemon itself: a unix-socket accept loop multiplexing searches
+//! over one resident [`HeteroEngine`] + [`PreparedDb`].
+//!
+//! Every connection carries exactly one request line. Control ops
+//! (`status`/`cancel`/`stats`/`shutdown`) answer with one line and
+//! close; `submit` keeps the connection open and streams — ack, final
+//! state, the top-K hit lines, an `end` marker — so the client needs no
+//! polling loop for the common case.
+//!
+//! Nothing on the request path touches process-global state: each job
+//! gets its own [`DrainSignal`] scoped under the daemon's shutdown
+//! signal, its own trace epoch and query id via
+//! [`TraceConfig::for_query`], and its checkpoint file is derived from
+//! the search fingerprint inside `checkpoint_dir`. The accept loop is
+//! non-blocking and polls the shutdown signal, so both a `shutdown`
+//! request and a process SIGINT (routed through the signal's parent)
+//! stop the daemon the same way: stop accepting, drain in-flight jobs
+//! (checkpointing them), dump the registry, remove the socket.
+
+use crate::json;
+use crate::registry::{JobState, Registry, StatsSnapshot};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use sw_core::{DurableOptions, HeteroEngine, HeteroSearchConfig, PreparedDb, TraceConfig};
+use sw_sched::{DrainSignal, FaultInjector, FaultKind, FaultPlan, FaultSpec, DEVICE_ACCEL};
+use sw_seq::Alphabet;
+
+/// Boxed error for daemon startup/teardown failures (per-connection
+/// errors never propagate here).
+pub type ServeError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Daemon knobs. [`ServeConfig::new`] gives the defaults the CLI
+/// advertises.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket to listen on (created on start, removed on stop).
+    pub socket: PathBuf,
+    /// Searches allowed to run at once; admitted jobs past the cap wait
+    /// in the queue.
+    pub max_concurrent: usize,
+    /// Max queued+running jobs per tenant; a submit over the quota is
+    /// rejected at the door.
+    pub tenant_quota: usize,
+    /// Accelerator-share seed for each job's split plan (the dynamic
+    /// scheduler rebalances from there).
+    pub accel_frac: f64,
+    /// Periodic checkpoint interval in committed chunks.
+    pub interval_chunks: u64,
+    /// Fingerprint-named per-job checkpoints live here; `None` disables
+    /// checkpointing (cancelled jobs then restart from scratch).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Per-job query-tagged JSONL trace exports (`job-<id>.jsonl`)
+    /// live here; `None` disables tracing.
+    pub trace_dir: Option<PathBuf>,
+    /// Dump the job registry as JSONL here on shutdown.
+    pub registry_out: Option<PathBuf>,
+    /// Hits streamed per job when the submit carries no `top`.
+    pub default_top: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: 2 concurrent searches, tenant quota 4, 55 % plan seed,
+    /// checkpoint every 4 chunks, top-10, no artifact outputs.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            max_concurrent: 2,
+            tenant_quota: 4,
+            accel_frac: 0.55,
+            interval_chunks: 4,
+            checkpoint_dir: None,
+            trace_dir: None,
+            registry_out: None,
+            default_top: 10,
+        }
+    }
+}
+
+/// Everything a connection handler needs, by reference. `shutdown` is
+/// `'static` because per-job signals are scoped under it and outlive
+/// the borrow checker's patience otherwise.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    engine: &'a HeteroEngine,
+    prepared: &'a PreparedDb,
+    alphabet: &'a Alphabet,
+    base: &'a HeteroSearchConfig,
+    config: &'a ServeConfig,
+    registry: &'a Registry,
+    shutdown: &'static DrainSignal,
+}
+
+/// Run the daemon until `shutdown` (or a parent of it) is requested.
+/// Blocks the calling thread; spawns one thread per connection inside a
+/// scope, so every job has drained before this returns. Returns the
+/// final registry counts.
+pub fn serve(
+    engine: &HeteroEngine,
+    prepared: &PreparedDb,
+    alphabet: &Alphabet,
+    base: &HeteroSearchConfig,
+    config: &ServeConfig,
+    shutdown: &'static DrainSignal,
+) -> Result<StatsSnapshot, ServeError> {
+    // A stale socket from a crashed daemon would fail the bind; a live
+    // one is indistinguishable, so refuse only if someone answers.
+    if config.socket.exists() {
+        if UnixStream::connect(&config.socket).is_ok() {
+            return Err(format!("{} already has a live daemon", config.socket.display()).into());
+        }
+        std::fs::remove_file(&config.socket)?;
+    }
+    let listener = UnixListener::bind(&config.socket)?;
+    listener.set_nonblocking(true)?;
+    let registry = Registry::new();
+    let ctx = Ctx {
+        engine,
+        prepared,
+        alphabet,
+        base,
+        config,
+        registry: &registry,
+        shutdown,
+    };
+    std::thread::scope(|s| {
+        while !shutdown.is_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    s.spawn(move || {
+                        // Connection errors (peer hung up mid-stream)
+                        // affect that connection only.
+                        let _ = handle_connection(ctx, stream);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        // Scope exit joins every connection thread: in-flight jobs see
+        // the shutdown through their scoped drains and checkpoint out.
+    });
+    if let Some(path) = &config.registry_out {
+        std::fs::write(path, registry.dump_jsonl())?;
+    }
+    let _ = std::fs::remove_file(&config.socket);
+    Ok(registry.stats())
+}
+
+fn handle_connection(ctx: Ctx<'_>, stream: UnixStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let line = line.trim_end().to_string();
+    let mut w = BufWriter::new(stream);
+    match json::field_str(&line, "op").as_deref() {
+        Some("submit") => op_submit(ctx, &line, &mut w)?,
+        Some("status") => {
+            match json::field_u64(&line, "job").and_then(|id| ctx.registry.status(id)) {
+                Some(rec) => writeln!(w, "{}", rec.to_json())?,
+                None => fail(&mut w, "no such job")?,
+            }
+        }
+        Some("cancel") => match json::field_u64(&line, "job") {
+            Some(id) => match ctx.registry.cancel(id) {
+                Ok(state) => writeln!(
+                    w,
+                    "{{\"ok\":true,\"job\":{id},\"was\":\"{}\"}}",
+                    state.name()
+                )?,
+                Err(e) => fail(&mut w, &e)?,
+            },
+            None => fail(&mut w, "cancel needs a job id")?,
+        },
+        Some("stats") => writeln!(w, "{}", ctx.registry.stats().to_json())?,
+        Some("shutdown") => {
+            ctx.shutdown.request();
+            writeln!(w, "{{\"ok\":true,\"state\":\"draining\"}}")?;
+        }
+        _ => fail(&mut w, "unknown op")?,
+    }
+    w.flush()
+}
+
+fn fail<W: Write>(w: &mut W, msg: &str) -> io::Result<()> {
+    writeln!(w, "{{\"ok\":false,\"error\":\"{}\"}}", json::escape(msg))
+}
+
+fn op_submit<W: Write>(ctx: Ctx<'_>, line: &str, w: &mut W) -> io::Result<()> {
+    let Some(fasta) = json::field_str(line, "query") else {
+        return fail(w, "submit needs a query");
+    };
+    let tenant = json::field_str(line, "tenant").unwrap_or_else(|| "anon".to_string());
+    let top = json::field_u64(line, "top").unwrap_or(ctx.config.default_top as u64) as usize;
+    let query = match parse_query(&fasta, ctx.alphabet) {
+        Ok(q) => q,
+        Err(e) => return fail(w, &e),
+    };
+    let injector = match json::field_str(line, "drill")
+        .as_deref()
+        .map(parse_delay_drill)
+    {
+        None => FaultInjector::none(),
+        Some(Ok(spec)) => FaultInjector::new(FaultPlan::single(spec)),
+        Some(Err(e)) => return fail(w, &e),
+    };
+    let drain = Arc::new(DrainSignal::scoped(ctx.shutdown));
+    let (id, drain) = match ctx.registry.submit(
+        &tenant,
+        query.residues.len(),
+        ctx.config.tenant_quota,
+        drain,
+    ) {
+        Ok(v) => v,
+        Err(e) => return fail(w, &e),
+    };
+    // Ack immediately so the submitter learns its job id (and can
+    // cancel) before the queue wait.
+    writeln!(w, "{{\"ok\":true,\"job\":{id},\"state\":\"queued\"}}")?;
+    w.flush()?;
+    if !ctx.registry.admit(id, ctx.config.max_concurrent) {
+        writeln!(
+            w,
+            "{{\"job\":{id},\"state\":\"cancelled\",\"hits\":0,\"resumes\":0}}"
+        )?;
+        return writeln!(w, "{{\"end\":true}}");
+    }
+    // The registry is updated before the stream writes: a submitter
+    // that hung up mid-run must not leave its job in `running`.
+    match run_job(ctx, id, &drain, &query.residues, top, &injector) {
+        Ok(JobOutcome::Done { hits, resumes }) => {
+            ctx.registry
+                .finish(id, JobState::Done, hits.len(), resumes, None);
+            writeln!(
+                w,
+                "{{\"job\":{id},\"state\":\"done\",\"hits\":{},\"resumes\":{resumes}}}",
+                hits.len()
+            )?;
+            for (rank, (score, header)) in hits.iter().enumerate() {
+                writeln!(
+                    w,
+                    "{{\"rank\":{},\"score\":{score},\"header\":\"{}\"}}",
+                    rank + 1,
+                    json::escape(header)
+                )?;
+            }
+        }
+        Ok(JobOutcome::Drained { resumes }) => {
+            ctx.registry
+                .finish(id, JobState::Cancelled, 0, resumes, None);
+            writeln!(
+                w,
+                "{{\"job\":{id},\"state\":\"cancelled\",\"hits\":0,\"resumes\":{resumes}}}"
+            )?;
+        }
+        Err(e) => {
+            ctx.registry
+                .finish(id, JobState::Failed, 0, 0, Some(e.clone()));
+            writeln!(
+                w,
+                "{{\"job\":{id},\"state\":\"failed\",\"error\":\"{}\"}}",
+                json::escape(&e)
+            )?;
+        }
+    }
+    writeln!(w, "{{\"end\":true}}")
+}
+
+enum JobOutcome {
+    Done {
+        hits: Vec<(i64, String)>,
+        resumes: u64,
+    },
+    Drained {
+        resumes: u64,
+    },
+}
+
+fn run_job(
+    ctx: Ctx<'_>,
+    id: u64,
+    drain: &DrainSignal,
+    query: &[u8],
+    top: usize,
+    injector: &FaultInjector,
+) -> Result<JobOutcome, String> {
+    let plan = ctx
+        .engine
+        .plan_split(ctx.prepared, query.len(), ctx.config.accel_frac);
+    let mut cfg = *ctx.base;
+    // Per-request trace state: fresh epoch, the job id as the query
+    // tag. Nothing here is shared with any other in-flight job.
+    cfg.trace = TraceConfig {
+        level: if ctx.config.trace_dir.is_some() {
+            sw_trace::TraceLevel::Full
+        } else {
+            sw_trace::TraceLevel::Off
+        },
+        ..TraceConfig::default()
+    }
+    .for_query(id);
+    let dopts = DurableOptions {
+        checkpoint_path: None,
+        checkpoint_dir: ctx.config.checkpoint_dir.as_deref(),
+        interval_chunks: ctx.config.interval_chunks,
+        drain: Some(drain),
+        resume: true,
+    };
+    let d = ctx
+        .engine
+        .search_dynamic_resumable(query, ctx.prepared, &plan, &cfg, injector, &dopts)
+        .map_err(|e| e.to_string())?;
+    match d.outcome {
+        Some(o) => {
+            if let (Some(dir), Some(tl)) = (&ctx.config.trace_dir, &o.timeline) {
+                // Trace export is best-effort: a full disk must not fail
+                // the search that already completed.
+                let _ = std::fs::create_dir_all(dir);
+                let _ = std::fs::write(
+                    dir.join(format!("job-{id}.jsonl")),
+                    sw_trace::export::jsonl(tl),
+                );
+            }
+            let hits = o
+                .results
+                .top(top)
+                .iter()
+                .map(|h| (h.score, ctx.prepared.sorted.db().header(h.id).to_string()))
+                .collect();
+            Ok(JobOutcome::Done {
+                hits,
+                resumes: d.resumes,
+            })
+        }
+        None => Ok(JobOutcome::Drained { resumes: d.resumes }),
+    }
+}
+
+fn parse_query(fasta: &str, alphabet: &Alphabet) -> Result<sw_seq::EncodedSeq, String> {
+    let seqs = sw_seq::fasta::read_encoded(io::Cursor::new(fasta.as_bytes()), alphabet)
+        .map_err(|e| format!("query FASTA: {e}"))?;
+    seqs.into_iter()
+        .next()
+        .ok_or_else(|| "query FASTA holds no sequences".to_string())
+}
+
+/// The daemon accepts only the benign drill: `delay@CHUNK:MS` stalls
+/// one accelerator chunk (deterministic timing for tests). Kill/wedge
+/// drills stay CLI-only — a shared daemon is no place for them.
+fn parse_delay_drill(s: &str) -> Result<FaultSpec, String> {
+    let bad = || format!("bad drill '{s}': the daemon accepts delay@CHUNK:MS only");
+    let rest = s.strip_prefix("delay@").ok_or_else(bad)?;
+    let (chunk, ms) = rest.split_once(':').ok_or_else(bad)?;
+    Ok(FaultSpec {
+        device: DEVICE_ACCEL,
+        chunk: chunk.parse().map_err(|_| bad())?,
+        kind: FaultKind::Delay(Duration::from_millis(ms.parse().map_err(|_| bad())?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drill_parser_accepts_delay_only() {
+        let spec = parse_delay_drill("delay@3:250").unwrap();
+        assert_eq!(spec.device, DEVICE_ACCEL);
+        assert_eq!(spec.chunk, 3);
+        assert_eq!(spec.kind, FaultKind::Delay(Duration::from_millis(250)));
+        assert!(parse_delay_drill("kill@3").is_err());
+        assert!(parse_delay_drill("delay@3").is_err());
+        assert!(parse_delay_drill("delay@x:9").is_err());
+    }
+
+    #[test]
+    fn query_parser_rejects_garbage() {
+        let a = Alphabet::protein();
+        assert!(parse_query(">q\nMKVL\n", &a).unwrap().residues.len() == 4);
+        assert!(parse_query("", &a).is_err());
+    }
+}

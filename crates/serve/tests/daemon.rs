@@ -1,0 +1,256 @@
+//! End-to-end daemon scenario: one resident snapshot, concurrent
+//! queries from mixed tenants, an over-quota rejection, a mid-flight
+//! cancel that stays resumable, and artifact (trace + registry) checks.
+//!
+//! Every hit list the daemon streams is compared byte-for-byte (score +
+//! header) against a solo static-split search of the same query over
+//! the same prepared database — the acceptance gate for the service:
+//! multiplexing through one engine must not perturb results.
+//!
+//! Sequencing is event-driven, not sleep-driven: the over-quota submit
+//! fires only after both in-flight acks are read, and the cancel fires
+//! only after `status` reports the job running. The only timing
+//! assumption left is that a cancel issued milliseconds into a search
+//! lands before its queue empties, which the delay drill guarantees.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+use sw_core::{HeteroEngine, HeteroSearchConfig, PreparedDb, SearchConfig, SearchEngine};
+use sw_sched::DrainSignal;
+use sw_seq::gen::{generate_database, generate_query, DbSpec};
+use sw_seq::{Alphabet, EncodedSeq};
+use sw_serve::{client, json, ServeConfig};
+
+/// The daemon's shutdown signal for this test binary. Jobs are scoped
+/// under it, so requesting it (the `shutdown` op does) drains them all.
+static SHUTDOWN: DrainSignal = DrainSignal::new();
+
+fn fasta_of(seq: &EncodedSeq, a: &Alphabet) -> String {
+    format!(
+        ">{}\n{}\n",
+        seq.header,
+        String::from_utf8(a.decode(&seq.residues)).expect("ascii residues")
+    )
+}
+
+fn solo_hits(
+    engine: &HeteroEngine,
+    prepared: &PreparedDb,
+    q: &[u8],
+    top: usize,
+) -> Vec<(i64, String)> {
+    let plan = engine.plan_split(prepared, q.len(), 0.55);
+    let res = engine.search(
+        q,
+        prepared,
+        &plan,
+        &SearchConfig::best(1),
+        &SearchConfig::best(1),
+    );
+    res.top(top)
+        .iter()
+        .map(|h| (h.score, prepared.sorted.db().header(h.id).to_string()))
+        .collect()
+}
+
+fn served_hits(outcome: &client::SubmitOutcome) -> Vec<(i64, String)> {
+    outcome
+        .hits
+        .iter()
+        .map(|h| (h.score, h.header.clone()))
+        .collect()
+}
+
+fn wait_for_socket(socket: &Path) {
+    let t0 = Instant::now();
+    while UnixStream::connect(socket).is_err() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "daemon never bound {}",
+            socket.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Send a submit and return the response stream with the ack consumed,
+/// so the caller can sequence on "job accepted" without waiting for the
+/// result.
+fn start_submit(
+    socket: &Path,
+    tenant: &str,
+    fasta: &str,
+    drill: Option<&str>,
+) -> (BufReader<UnixStream>, u64) {
+    let mut s = UnixStream::connect(socket).expect("connect");
+    let req = client::submit_request(tenant, fasta, 10, drill);
+    s.write_all(req.as_bytes()).unwrap();
+    s.write_all(b"\n").unwrap();
+    s.flush().unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut r = BufReader::new(s);
+    let mut ack = String::new();
+    r.read_line(&mut ack).unwrap();
+    assert_eq!(json::field_bool(&ack, "ok"), Some(true), "rejected: {ack}");
+    let id = json::field_u64(&ack, "job").expect("ack job id");
+    (r, id)
+}
+
+/// Drain the rest of a submit stream into a parsed outcome.
+fn finish_submit(r: BufReader<UnixStream>, job: u64) -> client::SubmitOutcome {
+    let mut lines = vec![format!(
+        "{{\"ok\":true,\"job\":{job},\"state\":\"queued\"}}"
+    )];
+    for l in r.lines() {
+        lines.push(l.unwrap());
+    }
+    client::parse_submit_response(&lines).unwrap_or_else(|e| panic!("job {job}: {e}"))
+}
+
+fn wait_for_state(socket: &Path, job: u64, want: &str) {
+    let t0 = Instant::now();
+    loop {
+        let lines = client::request(socket, &client::status_request(job)).expect("status");
+        let state = json::field_str(&lines[0], "state").unwrap_or_default();
+        if state == want {
+            return;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "job {job} stuck in '{state}', want '{want}'"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn daemon_end_to_end() {
+    let a = Alphabet::protein();
+    let prepared = PreparedDb::prepare(generate_database(&DbSpec::tiny(13)), 4, &a);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+
+    let tmp = std::env::temp_dir().join(format!("sw-serve-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).unwrap();
+    let mut config = ServeConfig::new(tmp.join("daemon.sock"));
+    config.max_concurrent = 2;
+    config.tenant_quota = 2;
+    config.checkpoint_dir = Some(tmp.join("ckpt"));
+    config.trace_dir = Some(tmp.join("trace"));
+    config.registry_out = Some(tmp.join("registry.jsonl"));
+
+    let q1 = generate_query(100, 21);
+    let q2 = generate_query(120, 22);
+    // Long enough that a cancel a few milliseconds into the run always
+    // lands while the task queue is still deep.
+    let q4 = generate_query(2000, 23);
+    let (f1, f2, f4) = (fasta_of(&q1, &a), fasta_of(&q2, &a), fasta_of(&q4, &a));
+    let solo1 = solo_hits(&engine, &prepared, &q1.residues, 10);
+    let solo2 = solo_hits(&engine, &prepared, &q2.residues, 10);
+    let solo4 = solo_hits(&engine, &prepared, &q4.residues, 10);
+
+    let (final_stats, done_ids) = std::thread::scope(|s| {
+        let server = {
+            let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
+            s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &SHUTDOWN))
+        };
+        let socket = config.socket.as_path();
+        wait_for_socket(socket);
+
+        // Two concurrent queries from one tenant, held in flight by the
+        // delay drill; a third submit for that tenant bounces off the
+        // quota while they run.
+        let (r1, id1) = start_submit(socket, "acme", &f1, Some("delay@0:500"));
+        let (r2, id2) = start_submit(socket, "acme", &f2, Some("delay@0:500"));
+        let rejected =
+            client::request(socket, &client::submit_request("acme", &f1, 10, None)).unwrap();
+        assert_eq!(
+            json::field_bool(&rejected[0], "ok"),
+            Some(false),
+            "{rejected:?}"
+        );
+        assert!(
+            json::field_str(&rejected[0], "error")
+                .unwrap()
+                .contains("quota"),
+            "{rejected:?}"
+        );
+        let o1 = finish_submit(r1, id1);
+        let o2 = finish_submit(r2, id2);
+        assert_eq!(o1.state, "done");
+        assert_eq!(o2.state, "done");
+        assert_eq!(served_hits(&o1), solo1, "q1 served == q1 solo");
+        assert_eq!(served_hits(&o2), solo2, "q2 served == q2 solo");
+
+        // Cancel mid-flight: wait until the job holds a run slot, then
+        // drain it. It must come back cancelled with its checkpoint on
+        // disk.
+        let (r4, id4) = start_submit(socket, "beta", &f4, Some("delay@0:400"));
+        wait_for_state(socket, id4, "running");
+        let c = client::request(socket, &client::cancel_request(id4)).unwrap();
+        assert_eq!(json::field_bool(&c[0], "ok"), Some(true), "{c:?}");
+        let o4 = finish_submit(r4, id4);
+        assert_eq!(o4.state, "cancelled");
+        let ckpts = std::fs::read_dir(tmp.join("ckpt")).unwrap().count();
+        assert_eq!(ckpts, 1, "cancelled job leaves one fingerprint checkpoint");
+
+        // Resubmitting the same query resumes from that checkpoint and
+        // still matches the solo run exactly.
+        let (r5, id5) = start_submit(socket, "beta", &f4, None);
+        let o5 = finish_submit(r5, id5);
+        assert_eq!(o5.state, "done");
+        assert!(o5.resumes >= 1, "resubmit must resume, not restart");
+        assert_eq!(served_hits(&o5), solo4, "resumed served == solo");
+
+        let st = client::request(socket, &client::stats_request()).unwrap();
+        assert_eq!(json::field_u64(&st[0], "jobs"), Some(4), "{st:?}");
+        assert_eq!(json::field_u64(&st[0], "done"), Some(3), "{st:?}");
+        assert_eq!(json::field_u64(&st[0], "cancelled"), Some(1), "{st:?}");
+        assert_eq!(json::field_u64(&st[0], "rejected"), Some(1), "{st:?}");
+
+        let sh = client::request(socket, &client::shutdown_request()).unwrap();
+        assert_eq!(json::field_bool(&sh[0], "ok"), Some(true), "{sh:?}");
+        let stats = server.join().unwrap().expect("serve");
+        (stats, [id1, id2, id5])
+    });
+
+    assert_eq!(final_stats.done, 3);
+    assert_eq!(final_stats.cancelled, 1);
+    assert_eq!(final_stats.rejected, 1);
+    assert!(!config.socket.exists(), "socket removed on shutdown");
+
+    // Registry dump: one JSONL record per job, states as observed.
+    let registry = std::fs::read_to_string(tmp.join("registry.jsonl")).unwrap();
+    assert_eq!(registry.lines().count(), 4, "{registry}");
+    assert_eq!(
+        registry
+            .lines()
+            .filter(|l| l.contains("\"state\":\"done\""))
+            .count(),
+        3,
+        "{registry}"
+    );
+
+    // Per-job trace exports: each completed job has its own validating
+    // JSONL file in which every event carries that job's query id —
+    // concurrent runs stay separable after export.
+    for id in done_ids {
+        let path = tmp.join("trace").join(format!("job-{id}.jsonl"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let report = sw_trace::validate::validate_jsonl(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(report.queries, 1, "one query id per job export");
+        let tag = format!("\"query\":{id},");
+        assert!(
+            text.lines()
+                .skip(1)
+                .all(|l| l.is_empty() || l.contains(&tag)),
+            "job {id}: every event line must carry its query tag"
+        );
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}

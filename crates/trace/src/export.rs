@@ -22,8 +22,12 @@ pub const DEFAULT_GCUPS_WINDOW_US: u64 = 50_000;
 /// Export the timeline as JSON Lines: a header line carrying the schema
 /// version, then one event object per line in global timestamp order.
 ///
-/// Event lines carry `t_us`, `device`, `worker`, `ph` (Chrome phase
-/// letter), `ev` (stable event name) and the kind's payload fields.
+/// Event lines carry `t_us`, `query` (the id of the search that emitted
+/// the event — `0` for solo runs), `device`, `worker`, `ph` (Chrome
+/// phase letter), `ev` (stable event name) and the kind's payload
+/// fields. The query tag is what keeps a merged export of concurrent
+/// daemon searches separable: filter on it and each per-search stream
+/// reads exactly like a solo run's.
 pub fn jsonl(tl: &Timeline) -> String {
     let mut out = String::with_capacity(64 * (tl.total_events() + 1));
     let _ = writeln!(
@@ -33,11 +37,12 @@ pub fn jsonl(tl: &Timeline) -> String {
         tl.tracks.len(),
         tl.total_dropped()
     );
-    for (device, worker, ev) in tl.events_sorted() {
+    for (query, device, worker, ev) in tl.events_sorted_q() {
         let _ = write!(
             out,
-            "{{\"t_us\":{},\"device\":{},\"worker\":{},\"ph\":\"{}\",\"ev\":\"{}\"",
+            "{{\"t_us\":{},\"query\":{},\"device\":{},\"worker\":{},\"ph\":\"{}\",\"ev\":\"{}\"",
             ev.t_us,
+            query,
             device,
             worker,
             ev.kind.phase().code(),
@@ -61,13 +66,25 @@ fn chrome_args(kind: &EventKind) -> String {
     }
 }
 
+/// Chrome-trace process id for a (query, device) pair.
+///
+/// Solo runs (query 0) keep the historical `pid = device + 1`; each
+/// additional concurrent query gets its own pid block so Perfetto
+/// renders one process group per (search, device pool) and interleaved
+/// runs never share a lane. The block stride bounds devices per query at
+/// 64 — far above the dual-pool reality.
+fn chrome_pid(query: u64, device: usize) -> u64 {
+    query * 64 + device as u64 + 1
+}
+
 /// Export the timeline in Chrome trace-event format (JSON object with a
 /// `traceEvents` array), loadable in Perfetto or `chrome://tracing`.
 ///
-/// Each device pool becomes a process (`pid = device + 1`) so its
-/// worker lanes group together; each worker is a named thread track.
-/// Span kinds map to `B`/`E` pairs, instants to `I`, and the split
-/// estimator's rebalances to a `C` counter track (`accel_share`).
+/// Each (query, device pool) pair becomes a process (see [`chrome_pid`];
+/// solo runs keep `pid = device + 1`) so its worker lanes group
+/// together; each worker is a named thread track. Span kinds map to
+/// `B`/`E` pairs, instants to `I`, and the split estimator's rebalances
+/// to a `C` counter track (`accel_share`).
 pub fn chrome_trace(tl: &Timeline) -> String {
     let mut out = String::with_capacity(96 * (tl.total_events() + 8));
     out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\"");
@@ -81,17 +98,23 @@ pub fn chrome_trace(tl: &Timeline) -> String {
         out.push_str(&line);
     };
 
-    // Metadata: name each device pool (process) and worker (thread).
-    let mut seen_devices: Vec<usize> = Vec::new();
+    // Metadata: name each (query, device pool) process and each worker
+    // thread. Query 0 keeps the bare pool name so solo-run traces look
+    // exactly as before; concurrent queries are prefixed `qN`.
+    let mut seen_pools: Vec<(u64, usize)> = Vec::new();
     for t in &tl.tracks {
-        if !seen_devices.contains(&t.device) {
-            seen_devices.push(t.device);
+        if !seen_pools.contains(&(t.query, t.device)) {
+            seen_pools.push((t.query, t.device));
+            let pool_name = if t.query == 0 {
+                format!("{} pool", device_label(t.device))
+            } else {
+                format!("q{} {} pool", t.query, device_label(t.device))
+            };
             push(
                 &mut out,
                 format!(
-                    "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\"args\":{{\"name\":\"{} pool\"}}}}",
-                    t.device + 1,
-                    device_label(t.device)
+                    "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\"args\":{{\"name\":\"{pool_name}\"}}}}",
+                    chrome_pid(t.query, t.device)
                 ),
             );
         }
@@ -99,7 +122,7 @@ pub fn chrome_trace(tl: &Timeline) -> String {
             &mut out,
             format!(
                 "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{} worker {}\"}}}}",
-                t.device + 1,
+                chrome_pid(t.query, t.device),
                 t.worker,
                 device_label(t.device),
                 t.worker
@@ -107,8 +130,8 @@ pub fn chrome_trace(tl: &Timeline) -> String {
         );
     }
 
-    for (device, worker, ev) in tl.events_sorted() {
-        let pid = device + 1;
+    for (query, device, worker, ev) in tl.events_sorted_q() {
+        let pid = chrome_pid(query, device);
         let line = match ev.kind.phase() {
             Phase::Counter => format!(
                 "{{\"ph\":\"C\",\"pid\":{},\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{}}}",
@@ -601,6 +624,95 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_two_query_export_stays_separable() {
+        // Two concurrent searches, each with its own tracer (own epoch,
+        // own query id), emitting interleaved timestamps.
+        let t1 = Tracer::for_query(crate::TraceLevel::Full, 64, 1);
+        let t2 = Tracer::for_query(crate::TraceLevel::Full, 64, 2);
+        let mut j1 = t1.worker(0, 0);
+        let mut j2 = t2.worker(0, 0);
+        for (i, (a, b)) in [(0u64, 3u64), (10, 12), (20, 21)].iter().enumerate() {
+            let lease = i as u64;
+            j1.emit_at(
+                *a,
+                EventKind::ChunkStart {
+                    lease,
+                    lo: 0,
+                    hi: 1,
+                },
+            );
+            j1.emit_at(
+                a + 5,
+                EventKind::ChunkFinish {
+                    lease,
+                    lo: 0,
+                    hi: 1,
+                    cells: 100,
+                },
+            );
+            j2.emit_at(
+                *b,
+                EventKind::ChunkStart {
+                    lease,
+                    lo: 1,
+                    hi: 2,
+                },
+            );
+            j2.emit_at(
+                b + 4,
+                EventKind::ChunkFinish {
+                    lease,
+                    lo: 1,
+                    hi: 2,
+                    cells: 200,
+                },
+            );
+        }
+        drop(j1);
+        drop(j2);
+        let merged = Timeline::merge([t1.timeline(), t2.timeline()]);
+        assert!(crate::validate::validate_jsonl(&jsonl(&merged)).is_ok());
+
+        // Every event line names its query, and filtering on the tag
+        // reconstructs each solo stream exactly.
+        let text = jsonl(&merged);
+        let q1_lines: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .filter(|l| l.contains("\"query\":1,"))
+            .collect();
+        let q2_lines: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .filter(|l| l.contains("\"query\":2,"))
+            .collect();
+        assert_eq!(q1_lines.len(), 6);
+        assert_eq!(q2_lines.len(), 6);
+        assert_eq!(q1_lines.len() + q2_lines.len(), text.lines().count() - 1);
+        assert!(q1_lines.iter().all(|l| l.contains("\"hi\":1")));
+        assert!(q2_lines.iter().all(|l| l.contains("\"hi\":2")));
+
+        // Chrome export: distinct process groups per query, labelled.
+        let chrome = chrome_trace(&merged);
+        assert!(chrome.contains("q1 cpu pool"));
+        assert!(chrome.contains("q2 cpu pool"));
+        assert!(chrome.contains(&format!("\"pid\":{}", chrome_pid(1, 0))));
+        assert!(chrome.contains(&format!("\"pid\":{}", chrome_pid(2, 0))));
+
+        // Per-query projection matches a solo export of the same run.
+        let solo1 = merged.for_query(1);
+        assert_eq!(solo1.total_events(), 6);
+        assert_eq!(solo1.span_durations_us("chunk").len(), 3);
+    }
+
+    #[test]
+    fn solo_run_chrome_pids_are_unchanged() {
+        assert_eq!(chrome_pid(0, 0), 1);
+        assert_eq!(chrome_pid(0, 1), 2);
+        assert_ne!(chrome_pid(1, 0), chrome_pid(0, 1), "no pid collisions");
+    }
+
+    #[test]
     fn histogram_overflow_bucket() {
         let mut h = Histogram::default();
         h.record(2_000_000); // beyond the last bound → +Inf bucket only
@@ -615,6 +727,7 @@ mod tests {
     fn unbalanced_span_is_ignored_in_durations() {
         let tl = Timeline {
             tracks: vec![WorkerTrack {
+                query: 0,
                 device: 0,
                 worker: 0,
                 events: vec![crate::Event {

@@ -377,6 +377,10 @@ pub struct Event {
 /// emission order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerTrack {
+    /// Query id of the search this track belongs to (`0` for solo runs;
+    /// daemons assign a distinct id per request so merged timelines of
+    /// concurrent searches stay separable).
+    pub query: u64,
     /// Device pool the worker belonged to.
     pub device: usize,
     /// Worker index within the pool.
@@ -390,7 +394,11 @@ pub struct WorkerTrack {
 /// Shared state behind an enabled [`Tracer`].
 #[derive(Debug)]
 struct Shared {
+    /// Per-tracer run epoch: every search gets its own zero point, so a
+    /// daemon's concurrent requests never share clock state.
     epoch: Instant,
+    /// Query id stamped on every track this tracer drains.
+    query: u64,
     level: TraceLevel,
     capacity: usize,
     drained: Mutex<Vec<WorkerTrack>>,
@@ -417,14 +425,23 @@ impl Tracer {
 
     /// A tracer recording at `level` with the given per-worker ring
     /// capacity (clamped to ≥ 16). `TraceLevel::Off` yields a disabled
-    /// tracer.
+    /// tracer. Query id 0 — the solo-run convention.
     pub fn new(level: TraceLevel, ring_capacity: usize) -> Tracer {
+        Tracer::for_query(level, ring_capacity, 0)
+    }
+
+    /// Like [`Tracer::new`] but stamping `query` on every drained track,
+    /// so exports of concurrent searches can be told apart. Each call
+    /// takes a fresh epoch: timestamps are relative to *this* search's
+    /// start, never to another request's.
+    pub fn for_query(level: TraceLevel, ring_capacity: usize, query: u64) -> Tracer {
         if level == TraceLevel::Off {
             return Tracer::disabled();
         }
         Tracer {
             inner: Some(Arc::new(Shared {
                 epoch: Instant::now(),
+                query,
                 level,
                 capacity: ring_capacity.max(16),
                 drained: Mutex::new(Vec::new()),
@@ -435,6 +452,14 @@ impl Tracer {
     /// A full-detail tracer with the default ring capacity.
     pub fn full() -> Tracer {
         Tracer::new(TraceLevel::Full, DEFAULT_RING_CAPACITY)
+    }
+
+    /// The query id stamped on this tracer's tracks (0 when disabled).
+    pub fn query_id(&self) -> u64 {
+        match &self.inner {
+            Some(s) => s.query,
+            None => 0,
+        }
     }
 
     /// True when this tracer records events.
@@ -472,7 +497,7 @@ impl Tracer {
             Some(s) => std::mem::take(&mut *unpoison(s.drained.lock())),
             None => Vec::new(),
         };
-        tracks.sort_by_key(|t| (t.device, t.worker));
+        tracks.sort_by_key(|t| (t.query, t.device, t.worker));
         Timeline { tracks }
     }
 }
@@ -598,6 +623,7 @@ impl WorkerJournal {
             return;
         }
         let track = WorkerTrack {
+            query: s.query,
             device: self.device,
             worker: self.worker,
             events: self.ring.drain(..).collect(),
@@ -627,6 +653,53 @@ pub fn install(journal: WorkerJournal) -> Option<WorkerJournal> {
 /// Remove and return this thread's ambient journal.
 pub fn uninstall() -> Option<WorkerJournal> {
     CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// Install `journal` for a scope, keeping whatever was already installed
+/// and restoring it when the guard is consumed or dropped. This is how a
+/// nested search (one engine calling into another on the same thread,
+/// e.g. a daemon worker) avoids silently flushing the outer search's
+/// journal: [`install`] alone would hand the previous occupant back to a
+/// caller that usually discards it.
+pub fn install_scoped(journal: WorkerJournal) -> AmbientScope {
+    AmbientScope {
+        previous: install(journal),
+        active: true,
+    }
+}
+
+/// RAII guard returned by [`install_scoped`]: restores the previously
+/// installed ambient journal on [`AmbientScope::take`] or drop.
+#[derive(Debug)]
+pub struct AmbientScope {
+    previous: Option<WorkerJournal>,
+    active: bool,
+}
+
+impl AmbientScope {
+    /// Uninstall and return the scoped journal, restoring the previous
+    /// occupant. Returns a disabled journal if something else already
+    /// took the slot.
+    pub fn take(mut self) -> WorkerJournal {
+        let current = uninstall().unwrap_or_default();
+        if let Some(prev) = self.previous.take() {
+            install(prev);
+        }
+        self.active = false;
+        current
+    }
+}
+
+impl Drop for AmbientScope {
+    fn drop(&mut self) {
+        if self.active {
+            // Unwind path: flush the scoped journal, put the outer one back.
+            drop(uninstall());
+            if let Some(prev) = self.previous.take() {
+                install(prev);
+            }
+        }
+    }
 }
 
 /// Emit `kind` on the ambient journal, if one is installed. A single
@@ -693,6 +766,37 @@ pub struct Timeline {
 }
 
 impl Timeline {
+    /// Merge the timelines of several (possibly concurrent) searches
+    /// into one, sorted by (query, device, worker). Each source timeline
+    /// keeps its own epoch-relative timestamps; the query id tagged on
+    /// every track is what keeps the merged export separable.
+    pub fn merge(parts: impl IntoIterator<Item = Timeline>) -> Timeline {
+        let mut tracks: Vec<WorkerTrack> = parts.into_iter().flat_map(|tl| tl.tracks).collect();
+        tracks.sort_by_key(|t| (t.query, t.device, t.worker));
+        Timeline { tracks }
+    }
+
+    /// The distinct query ids present, ascending.
+    pub fn query_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.tracks.iter().map(|t| t.query).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// A timeline containing only the tracks of `query` — how one
+    /// request's trace is pulled back out of a merged daemon export.
+    pub fn for_query(&self, query: u64) -> Timeline {
+        Timeline {
+            tracks: self
+                .tracks
+                .iter()
+                .filter(|t| t.query == query)
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Total events across all tracks.
     pub fn total_events(&self) -> usize {
         self.tracks.iter().map(|t| t.events.len()).sum()
@@ -707,13 +811,23 @@ impl Timeline {
     /// timestamp (ties keep track order, so per-track emission order is
     /// preserved).
     pub fn events_sorted(&self) -> Vec<(usize, usize, Event)> {
-        let mut all: Vec<(usize, usize, Event)> = Vec::with_capacity(self.total_events());
+        self.events_sorted_q()
+            .into_iter()
+            .map(|(_, d, w, ev)| (d, w, ev))
+            .collect()
+    }
+
+    /// Like [`Timeline::events_sorted`] but carrying the query id:
+    /// `(query, device, worker, event)`. The exporters use this so every
+    /// emitted line can name the search it came from.
+    pub fn events_sorted_q(&self) -> Vec<(u64, usize, usize, Event)> {
+        let mut all: Vec<(u64, usize, usize, Event)> = Vec::with_capacity(self.total_events());
         for t in &self.tracks {
             for ev in &t.events {
-                all.push((t.device, t.worker, *ev));
+                all.push((t.query, t.device, t.worker, *ev));
             }
         }
-        all.sort_by_key(|(_, _, ev)| ev.t_us);
+        all.sort_by_key(|(_, _, _, ev)| ev.t_us);
         all
     }
 
@@ -933,6 +1047,64 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r[0], (2, 0.4));
         assert_eq!(r[1], (9, 0.7));
+    }
+
+    #[test]
+    fn query_tagged_timelines_merge_separably() {
+        let t1 = Tracer::for_query(TraceLevel::Full, 64, 1);
+        let t2 = Tracer::for_query(TraceLevel::Full, 64, 2);
+        assert_eq!(t1.query_id(), 1);
+        let mut j1 = t1.worker(0, 0);
+        let mut j2 = t2.worker(0, 0);
+        j1.emit_at(10, EventKind::DrainStarted);
+        j2.emit_at(5, EventKind::SplitRebalance { share: 0.5 });
+        j2.emit_at(7, EventKind::DrainStarted);
+        drop(j1);
+        drop(j2);
+        let merged = Timeline::merge([t1.timeline(), t2.timeline()]);
+        assert_eq!(merged.query_ids(), vec![1, 2]);
+        assert_eq!(merged.tracks[0].query, 1);
+        let only2 = merged.for_query(2);
+        assert_eq!(only2.total_events(), 2);
+        assert_eq!(only2.count("drain_started"), 1);
+        assert_eq!(merged.count("drain_started"), 2);
+        let q = merged.events_sorted_q();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[0].0, 2, "earliest event is query 2's t=5");
+    }
+
+    #[test]
+    fn scoped_install_restores_the_outer_journal() {
+        let outer_tr = Tracer::for_query(TraceLevel::Full, 64, 1);
+        let inner_tr = Tracer::for_query(TraceLevel::Full, 64, 2);
+        assert!(install(outer_tr.worker(0, 0)).is_none());
+        {
+            let scope = install_scoped(inner_tr.worker(0, 0));
+            emit_current(EventKind::DrainStarted);
+            let inner = scope.take();
+            drop(inner);
+        }
+        // The outer journal is back and still collects.
+        emit_current(EventKind::QueueWaitBegin);
+        drop(uninstall().expect("outer journal restored"));
+        assert_eq!(inner_tr.timeline().count("drain_started"), 1);
+        let outer_tl = outer_tr.timeline();
+        assert_eq!(outer_tl.count("queue_wait"), 1);
+        assert_eq!(outer_tl.count("drain_started"), 0, "no cross-query bleed");
+    }
+
+    #[test]
+    fn scoped_install_drop_path_restores_on_unwind() {
+        let outer_tr = Tracer::full();
+        let inner_tr = Tracer::full();
+        assert!(install(outer_tr.worker(0, 0)).is_none());
+        {
+            let _scope = install_scoped(inner_tr.worker(1, 0));
+            emit_current(EventKind::DrainStarted);
+            // Guard dropped without take(): unwind path.
+        }
+        drop(uninstall().expect("outer journal restored after drop"));
+        assert_eq!(inner_tr.timeline().count("drain_started"), 1);
     }
 
     #[test]

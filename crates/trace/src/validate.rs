@@ -14,10 +14,12 @@ use std::collections::HashMap;
 pub struct JsonlReport {
     /// Event lines validated (header excluded).
     pub events: usize,
-    /// Distinct (device, worker) tracks seen.
+    /// Distinct (query, device, worker) tracks seen.
     pub tracks: usize,
     /// Spans successfully matched begin→end.
     pub spans: usize,
+    /// Distinct query ids seen (1 for a solo run).
+    pub queries: usize,
 }
 
 fn shape_ok(line: &str) -> bool {
@@ -64,7 +66,11 @@ pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 /// Validate a JSONL trace export: header line with the right schema,
 /// well-formed event lines carrying `t_us`/`device`/`worker`/`ph`/`ev`,
 /// globally non-decreasing timestamps, and balanced `B`/`E` spans per
-/// (device, worker) track.
+/// (query, device, worker) track. The `query` field is optional and
+/// defaults to 0 (pre-daemon exports), so legacy traces still validate;
+/// when present it keys span balance, which is what lets a merged
+/// export of concurrent searches pass even though their worker indices
+/// collide.
 pub fn validate_jsonl(text: &str) -> Result<JsonlReport, String> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or("empty trace")?;
@@ -80,8 +86,8 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlReport, String> {
     let mut events = 0usize;
     let mut spans = 0usize;
     let mut last_t = 0u64;
-    // Per-track stack of open span names.
-    let mut open: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    // Per-track stack of open span names, keyed (query, device, worker).
+    let mut open: HashMap<(u64, u64, u64), Vec<String>> = HashMap::new();
     for (i, line) in lines {
         let n = i + 1; // 1-based for messages
         if line.is_empty() {
@@ -91,6 +97,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlReport, String> {
             return Err(format!("line {n}: malformed JSON shape"));
         }
         let t = field_u64(line, "t_us").ok_or(format!("line {n}: missing t_us"))?;
+        let query = field_u64(line, "query").unwrap_or(0);
         let device = field_u64(line, "device").ok_or(format!("line {n}: missing device"))?;
         let worker = field_u64(line, "worker").ok_or(format!("line {n}: missing worker"))?;
         let ph = field_str(line, "ph").ok_or(format!("line {n}: missing ph"))?;
@@ -99,7 +106,7 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlReport, String> {
             return Err(format!("line {n}: timestamp {t} < previous {last_t}"));
         }
         last_t = t;
-        let stack = open.entry((device, worker)).or_default();
+        let stack = open.entry((query, device, worker)).or_default();
         match ph {
             "B" => stack.push(ev.to_string()),
             "E" => match stack.pop() {
@@ -114,15 +121,19 @@ pub fn validate_jsonl(text: &str) -> Result<JsonlReport, String> {
         }
         events += 1;
     }
-    for ((d, w), stack) in &open {
+    for ((q, d, w), stack) in &open {
         if let Some(name) = stack.last() {
-            return Err(format!("track {d}/{w}: span {name:?} never ended"));
+            return Err(format!("track q{q} {d}/{w}: span {name:?} never ended"));
         }
     }
+    let mut queries: Vec<u64> = open.keys().map(|&(q, _, _)| q).collect();
+    queries.sort_unstable();
+    queries.dedup();
     Ok(JsonlReport {
         events,
         tracks: open.len(),
         spans,
+        queries: queries.len(),
     })
 }
 
@@ -205,6 +216,51 @@ mod tests {
         let rep = validate_jsonl(&text).expect("valid");
         assert_eq!(rep.events, 4);
         assert_eq!(rep.tracks, 1);
+        assert_eq!(rep.spans, 2);
+    }
+
+    #[test]
+    fn merged_two_query_export_validates_with_colliding_workers() {
+        // Same (device, worker) on both queries: span balance must key on
+        // the query tag or the interleaved spans would cross-close.
+        let t1 = Tracer::for_query(crate::TraceLevel::Full, 64, 1);
+        let t2 = Tracer::for_query(crate::TraceLevel::Full, 64, 2);
+        let mut j1 = t1.worker(0, 0);
+        let mut j2 = t2.worker(0, 0);
+        j1.emit_at(
+            0,
+            EventKind::ChunkStart {
+                lease: 0,
+                lo: 0,
+                hi: 1,
+            },
+        );
+        j2.emit_at(1, EventKind::QueueWaitBegin);
+        j1.emit_at(
+            2,
+            EventKind::ChunkFinish {
+                lease: 0,
+                lo: 0,
+                hi: 1,
+                cells: 8,
+            },
+        );
+        j2.emit_at(3, EventKind::QueueWaitEnd { us: 2 });
+        drop(j1);
+        drop(j2);
+        let merged = crate::Timeline::merge([t1.timeline(), t2.timeline()]);
+        let rep = validate_jsonl(&export::jsonl(&merged)).expect("valid");
+        assert_eq!(rep.events, 4);
+        assert_eq!(rep.tracks, 2);
+        assert_eq!(rep.spans, 2);
+        assert_eq!(rep.queries, 2);
+    }
+
+    #[test]
+    fn legacy_lines_without_query_default_to_query_zero() {
+        let text = traced_jsonl().replace("\"query\":0,", "");
+        let rep = validate_jsonl(&text).expect("legacy trace still valid");
+        assert_eq!(rep.queries, 1);
         assert_eq!(rep.spans, 2);
     }
 

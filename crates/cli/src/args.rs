@@ -25,7 +25,8 @@ USAGE:
                     [--checkpoint <path> | --checkpoint-dir <dir>] [--resume] [options]
   swsearch serve    --db <swdb|fasta> --socket <path> [--threads <n>]
                     [--accel-threads <n>] [--max-concurrent <n>]
-                    [--tenant-quota <n>] [--checkpoint-dir <dir>]
+                    [--tenant-quota <n>] [--batch-window-ms <ms>]
+                    [--checkpoint-dir <dir>]
                     [--trace-dir <dir>] [--registry-out <path>] [--lanes <n>]
   swsearch submit   --socket <path> (--query <fasta> | --status <job> |
                     --cancel <job> | --stats | --shutdown)
@@ -107,10 +108,12 @@ DURABILITY OPTIONS (dynamic mode):
 SERVE OPTIONS:
   --socket <path>     Unix socket the daemon listens on (serve) or the
                       client connects to (submit)
-  --max-concurrent <n> searches running at once; further admitted jobs
-                      queue (default 2)
+  --max-concurrent <n> queries batched into one shared dual-pool region;
+                      further submits wait for the next region (default 2)
   --tenant-quota <n>  max queued+running jobs per tenant; a submit over
                       the quota is rejected immediately (default 4)
+  --batch-window-ms <ms> gather window: concurrent submits arriving
+                      within it share one region (default 3)
   --checkpoint-dir <dir> (serve) per-job fingerprint-named checkpoints:
                       cancelled jobs stay resumable
   --trace-dir <dir>   (serve) write each job's query-tagged JSONL trace
@@ -260,12 +263,15 @@ pub enum Command {
         db: String,
         /// Unix socket path to listen on.
         socket: String,
-        /// Searches allowed to run at once; admitted jobs past the cap
-        /// wait in the queue.
+        /// Queries batched into one shared dual-pool region; submits
+        /// past the cap wait for the next region.
         max_concurrent: usize,
         /// Max queued+running jobs per tenant; a submit over the quota
         /// is rejected immediately.
         tenant_quota: usize,
+        /// Gather window in ms: concurrent submits arriving within it
+        /// coalesce into the same shared region.
+        batch_window_ms: u64,
         /// Accelerator-pool worker threads per search.
         accel_threads: usize,
         /// Fingerprint-named per-job checkpoints live here (cancelled
@@ -702,6 +708,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 socket: a.value_of("--socket")?,
                 max_concurrent,
                 tenant_quota,
+                batch_window_ms: a.parse_num("--batch-window-ms", 3u64)?,
                 accel_threads: a.parse_num("--accel-threads", opts.threads)?,
                 checkpoint_dir: a.opt_value("--checkpoint-dir"),
                 trace_dir: a.opt_value("--trace-dir"),
@@ -1180,6 +1187,7 @@ mod tests {
                 socket,
                 max_concurrent,
                 tenant_quota,
+                batch_window_ms,
                 checkpoint_dir,
                 trace_dir,
                 registry_out,
@@ -1189,6 +1197,7 @@ mod tests {
                 assert_eq!(socket, "/tmp/sw.sock");
                 assert_eq!(max_concurrent, 2);
                 assert_eq!(tenant_quota, 4);
+                assert_eq!(batch_window_ms, 3);
                 assert_eq!(checkpoint_dir, None);
                 assert_eq!(trace_dir, None);
                 assert_eq!(registry_out, None);
@@ -1197,13 +1206,14 @@ mod tests {
         }
         match parse(&argv(
             "serve --db d.swdb --socket s.sock --max-concurrent 3 --tenant-quota 1 \
-             --checkpoint-dir ck --trace-dir tr --registry-out reg.jsonl",
+             --batch-window-ms 50 --checkpoint-dir ck --trace-dir tr --registry-out reg.jsonl",
         ))
         .unwrap()
         {
             Command::Serve {
                 max_concurrent,
                 tenant_quota,
+                batch_window_ms,
                 checkpoint_dir,
                 trace_dir,
                 registry_out,
@@ -1211,6 +1221,7 @@ mod tests {
             } => {
                 assert_eq!(max_concurrent, 3);
                 assert_eq!(tenant_quota, 1);
+                assert_eq!(batch_window_ms, 50);
                 assert_eq!(checkpoint_dir.as_deref(), Some("ck"));
                 assert_eq!(trace_dir.as_deref(), Some("tr"));
                 assert_eq!(registry_out.as_deref(), Some("reg.jsonl"));

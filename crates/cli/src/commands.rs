@@ -211,6 +211,7 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             socket,
             max_concurrent,
             tenant_quota,
+            batch_window_ms,
             accel_threads,
             checkpoint_dir,
             trace_dir,
@@ -222,6 +223,7 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             ServeTuning {
                 max_concurrent,
                 tenant_quota,
+                batch_window_ms,
                 accel_threads,
                 checkpoint_dir,
                 trace_dir,
@@ -960,6 +962,7 @@ fn cmd_bench<W: Write>(
 struct ServeTuning {
     max_concurrent: usize,
     tenant_quota: usize,
+    batch_window_ms: u64,
     accel_threads: usize,
     checkpoint_dir: Option<String>,
     trace_dir: Option<String>,
@@ -1025,6 +1028,7 @@ fn cmd_serve<W: Write>(
     let mut config = sw_serve::ServeConfig::new(socket);
     config.max_concurrent = tuning.max_concurrent;
     config.tenant_quota = tuning.tenant_quota;
+    config.batch_window_ms = tuning.batch_window_ms;
     config.checkpoint_dir = tuning.checkpoint_dir.map(Into::into);
     config.trace_dir = tuning.trace_dir.map(Into::into);
     config.registry_out = tuning.registry_out.map(Into::into);
@@ -1042,8 +1046,8 @@ fn cmd_serve<W: Write>(
     )?;
     writeln!(
         out,
-        "# listening on {socket} (max {} concurrent, tenant quota {})",
-        config.max_concurrent, config.tenant_quota
+        "# listening on {socket} (batches of {}, tenant quota {}, window {} ms)",
+        config.max_concurrent, config.tenant_quota, config.batch_window_ms
     )?;
     let stats = sw_serve::serve(
         &engine,
@@ -1087,7 +1091,7 @@ fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), C
             "done" => {
                 writeln!(
                     out,
-                    "job {} done: {} hits{}",
+                    "job {} done: {} hits{}{}",
                     outcome.job,
                     outcome.hits.len(),
                     if outcome.resumes > 0 {
@@ -1095,6 +1099,11 @@ fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), C
                             " (resumed from checkpoint, segment #{})",
                             outcome.resumes + 1
                         )
+                    } else {
+                        String::new()
+                    },
+                    if outcome.batch > 1 {
+                        format!(" (region shared by {} queries)", outcome.batch)
                     } else {
                         String::new()
                     }

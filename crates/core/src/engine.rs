@@ -147,7 +147,7 @@ impl SearchEngine {
         });
         let elapsed = start.elapsed();
 
-        let mut out: Vec<SearchResults> = Vec::with_capacity(queries.len());
+        let mut merged: Vec<(Vec<Hit>, CellCount, u64)> = Vec::with_capacity(queries.len());
         for (qi, chunk) in per_task.chunks(n_batches.max(1)).enumerate() {
             if qi >= queries.len() {
                 break;
@@ -160,9 +160,25 @@ impl SearchEngine {
                 cells.add(*batch_cells);
                 rescued += batch_rescued;
             }
-            out.push(SearchResults::new(hits, elapsed, cells, rescued));
+            merged.push((hits, cells, rescued));
         }
-        out
+        // The pooled region has ONE wall clock; charging it to every query
+        // would inflate aggregate GCUPS by ~|Q|×. Attribute each query its
+        // padded-cell share of the pooled time (floor division, so the
+        // shares can never sum past the wall clock).
+        let total_padded: u128 = merged.iter().map(|(_, c, _)| c.padded as u128).sum();
+        merged
+            .into_iter()
+            .map(|(hits, cells, rescued)| {
+                let elapsed_q = if total_padded == 0 {
+                    elapsed
+                } else {
+                    let ns = elapsed.as_nanos() * cells.padded as u128 / total_padded;
+                    std::time::Duration::from_nanos(ns as u64)
+                };
+                SearchResults::new(hits, elapsed_q, cells, rescued)
+            })
+            .collect()
     }
 
     /// Search a database volume by volume under a residue budget
@@ -471,6 +487,36 @@ mod tests {
             assert_eq!(pooled_res.hits, single.hits);
             assert_eq!(pooled_res.cells, single.cells);
         }
+    }
+
+    #[test]
+    fn search_many_splits_wall_clock_across_queries() {
+        // One pooled region, one wall clock: the per-query elapsed values
+        // are shares of it, so their sum can never exceed the wall time —
+        // the bug this guards against charged the FULL pooled time to
+        // every query, inflating aggregate GCUPS ~|Q|×.
+        let db = small_db(8);
+        let engine = SearchEngine::paper_default();
+        let queries: Vec<Vec<u8>> = [50u32, 100, 400, 800]
+            .iter()
+            .map(|&l| generate_query(l, l as u64).residues)
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(Vec::as_slice).collect();
+        let start = std::time::Instant::now();
+        let pooled = engine.search_many(&refs, &db, &SearchConfig::best(2));
+        let wall = start.elapsed();
+        let sum: std::time::Duration = pooled.iter().map(|r| r.elapsed).sum();
+        assert!(
+            sum <= wall,
+            "per-query elapsed must partition the pooled wall clock \
+             (sum {sum:?} > wall {wall:?})"
+        );
+        assert!(
+            pooled.iter().all(|r| r.elapsed > std::time::Duration::ZERO),
+            "every query with work gets a nonzero share"
+        );
+        // Longer queries (more padded cells) are charged a larger share.
+        assert!(pooled[3].elapsed >= pooled[0].elapsed);
     }
 
     #[test]

@@ -469,6 +469,7 @@ impl HeteroEngine {
                     0
                 },
                 on_checkpoint: Some(&on_checkpoint),
+                task_cancelled: None,
             },
             |bi| db.batches[bi].padded_cells(m),
             |device, bi| {
@@ -563,6 +564,430 @@ impl HeteroEngine {
             checkpoints_written: writes.load(Ordering::Relaxed),
             checkpoint_write_failures: write_failures.load(Ordering::Relaxed),
             recovery,
+        })
+    }
+}
+
+/// One query of a shared multi-query region
+/// ([`HeteroEngine::search_many_resumable`]).
+pub struct BatchQuery<'a> {
+    /// Encoded query residues (must be non-empty).
+    pub residues: &'a [u8],
+    /// Caller-side identity (the daemon's job id); carried into the
+    /// outcome and never interpreted here.
+    pub id: u64,
+    /// Per-query cancel: when requested, this query's *remaining* tasks
+    /// are dropped from the shared region (no execution, no commit) while
+    /// its batch-mates run on. The query comes back `cancelled` with a
+    /// final checkpoint of whatever did commit.
+    pub cancel: Option<&'a DrainSignal>,
+    /// Per-query tracer: each of this query's tasks lands as a
+    /// [`sw_trace::TaskSpan`] on it — its own epoch, its own query tag —
+    /// so one shared region still exports separable per-query timelines.
+    pub tracer: Option<&'a sw_trace::Tracer>,
+}
+
+/// Per-query result of [`HeteroEngine::search_many_resumable`].
+#[derive(Debug)]
+pub struct BatchQueryOutcome {
+    /// The [`BatchQuery::id`] this outcome belongs to.
+    pub id: u64,
+    /// The completed, merged, sorted results — `None` when the query was
+    /// cancelled (or the region drained) before all its batches committed.
+    pub results: Option<SearchResults>,
+    /// True when the query ended without completing (its own cancel or a
+    /// region drain). A cancel that loses the race — every task already
+    /// committed — reports a completed result instead.
+    pub cancelled: bool,
+    /// How many times this query has been resumed (0 = fresh).
+    pub resumes: u64,
+    /// Batches loaded from this query's checkpoint instead of recomputed.
+    pub resumed_tasks: u64,
+    /// Batches of this query with a committed result.
+    pub tasks_done: u64,
+}
+
+/// What one shared multi-query region produced.
+#[derive(Debug)]
+pub struct BatchSearchOutcome {
+    /// Per-query outcomes, in input order.
+    pub queries: Vec<BatchQueryOutcome>,
+    /// True when the *region* drain (daemon shutdown) stopped the run.
+    pub drained: bool,
+    /// Per-device degraded flags for the shared region.
+    pub degraded: [bool; 2],
+    /// Checkpoints written across all queries (periodic + final).
+    pub checkpoints_written: u64,
+    /// Periodic checkpoint writes that failed (counted, never fatal).
+    pub checkpoint_write_failures: u64,
+}
+
+impl HeteroEngine {
+    /// [`SearchEngine::search_many`]'s pooled product space, run through
+    /// **one** durable dual-pool region — the cross-query batching core
+    /// of the daemon. Task `t` maps to `(query t / |batches|, batch
+    /// t % |batches|)`; both device pools pull from the one shared queue,
+    /// so short queries fill lanes the long queries' tail would leave
+    /// idle.
+    ///
+    /// Per-query semantics carried through the shared region:
+    /// * **results** — each query's hit list is byte-identical to a solo
+    ///   run (batch results are pure functions of `(query, batch)`).
+    /// * **cancel** — a [`BatchQuery::cancel`] removes that query's
+    ///   remaining tasks without perturbing batch-mates; the region-level
+    ///   `opts.drain` still stops everything (daemon shutdown).
+    /// * **checkpoints** — per-query fingerprint-keyed files in
+    ///   `opts.checkpoint_dir` (an explicit `checkpoint_path` is ignored:
+    ///   it cannot name more than one query), written periodically while
+    ///   a query is incomplete, finalised exactly on cancel/drain, and
+    ///   removed on completion; resume prefills that query's committed
+    ///   batches.
+    /// * **trace** — each task additionally lands on its owner's
+    ///   [`BatchQuery::tracer`] as a one-task span, so per-query exports
+    ///   stay separable; `config.trace` still traces the region itself.
+    ///
+    /// Errors are region-wide: a terminal task failure or an unreadable /
+    /// unwritable checkpoint fails the whole call.
+    pub fn search_many_resumable(
+        &self,
+        queries: &[BatchQuery<'_>],
+        db: &PreparedDb,
+        plan: &SplitPlan,
+        config: &HeteroSearchConfig,
+        injector: &FaultInjector,
+        opts: &DurableOptions<'_>,
+    ) -> Result<BatchSearchOutcome, DurableSearchError> {
+        assert!(
+            queries.iter().all(|q| !q.residues.is_empty()),
+            "queries must not be empty"
+        );
+        type BatchOut = (usize, (Vec<Hit>, CellCount, u64));
+        let n_batches = db.batches.len();
+        let empty_results = || {
+            SearchResults::new(
+                Vec::new(),
+                std::time::Duration::ZERO,
+                CellCount::default(),
+                0,
+            )
+        };
+        if n_batches == 0 || queries.is_empty() {
+            return Ok(BatchSearchOutcome {
+                queries: queries
+                    .iter()
+                    .map(|q| BatchQueryOutcome {
+                        id: q.id,
+                        results: Some(empty_results()),
+                        cancelled: false,
+                        resumes: 0,
+                        resumed_tasks: 0,
+                        tasks_done: 0,
+                    })
+                    .collect(),
+                drained: false,
+                degraded: [false, false],
+                checkpoints_written: 0,
+                checkpoint_write_failures: 0,
+            });
+        }
+
+        // Per-query checkpoint identity. Only the fingerprint-keyed
+        // directory form works here — one explicit path cannot name N
+        // queries. With checkpointing off, no fingerprints: the db
+        // digest walks every resident residue, pure overhead a batch of
+        // short queries would pay N times for nothing.
+        let (fingerprints, ckpt_paths): (Vec<SearchFingerprint>, Vec<Option<PathBuf>>) =
+            match opts.checkpoint_dir {
+                None => (Vec::new(), vec![None; queries.len()]),
+                Some(dir) => {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| DurableSearchError::Checkpoint(CheckpointError::Io(e)))?;
+                    let db_digest = sw_swdb::snapshot::content_digest(db.sorted.db());
+                    let fps: Vec<SearchFingerprint> = queries
+                        .iter()
+                        .map(|q| SearchFingerprint::with_db_digest(db_digest, db, q.residues))
+                        .collect();
+                    let paths = fps.iter().map(|fp| Some(dir.join(fp.file_name()))).collect();
+                    (fps, paths)
+                }
+            };
+
+        // Load and verify each query's prior checkpoint, if resuming.
+        let mut prefill: Vec<(usize, BatchOut)> = Vec::new();
+        let mut resumes_v = vec![0u64; queries.len()];
+        let mut resumed_v = vec![0u64; queries.len()];
+        let mut seqs: Vec<AtomicU64> = Vec::with_capacity(queries.len());
+        let mut baselines = vec![[RecoveryTotals::default(); 2]; queries.len()];
+        let mut initial_share = plan.accel_cell_fraction;
+        for (qi, q) in queries.iter().enumerate() {
+            let mut next_seq = 0u64;
+            if opts.resume {
+                if let Some(path) = &ckpt_paths[qi] {
+                    if let Some(ckpt) = Checkpoint::load_if_exists(path)? {
+                        ckpt.verify(&fingerprints[qi])?;
+                        resumes_v[qi] = ckpt.resumes + 1;
+                        next_seq = ckpt.seq + 1;
+                        baselines[qi] = ckpt.recovery;
+                        // Any segment's learned balance beats the static
+                        // seed for the whole shared region.
+                        initial_share = ckpt.accel_share;
+                        resumed_v[qi] = ckpt.done.len() as u64;
+                        if let Some(tr) = q.tracer {
+                            let mut j = tr.worker(DEVICE_CPU, n_batches);
+                            j.emit(sw_trace::EventKind::ResumeLoaded {
+                                tasks_done: resumed_v[qi],
+                            });
+                            j.flush();
+                        }
+                        prefill.extend(ckpt.done.into_iter().map(|b| {
+                            (
+                                qi * n_batches + b.batch,
+                                (b.device, (b.hits, b.cells, b.rescued)),
+                            )
+                        }));
+                    }
+                }
+            }
+            seqs.push(AtomicU64::new(next_seq));
+        }
+
+        let qps: Vec<QueryProfile> = queries
+            .iter()
+            .map(|q| QueryProfile::build(q.residues, &self.engine.params.matrix, &db.alphabet))
+            .collect();
+        let block_rows = [
+            config.cpu.effective_block_rows(db.lanes),
+            config.accel.effective_block_rows(db.lanes),
+        ];
+        let device_config = [&config.cpu, &config.accel];
+        let mut cpu_workers = config.cpu.threads;
+        let accel_workers = config.accel.threads;
+        if cpu_workers + accel_workers == 0 {
+            cpu_workers = 1;
+        }
+        let sink = MetricsSink::new();
+        let tracer = config.trace.tracer();
+
+        let writes = AtomicU64::new(0);
+        let write_failures = AtomicU64::new(0);
+        // Build one query's checkpoint from its slice of the product
+        // space. Recovery totals stay at the query's loaded baseline —
+        // region-level recovery events cannot be attributed to one query.
+        let make_q_checkpoint = |qi: usize, slots_q: &[Option<BatchOut>], share: f64| Checkpoint {
+            fingerprint: fingerprints[qi],
+            seq: seqs[qi].fetch_add(1, Ordering::Relaxed),
+            resumes: resumes_v[qi],
+            accel_share: share,
+            recovery: baselines[qi],
+            done: slots_q
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.as_ref()
+                        .map(|(device, (hits, cells, rescued))| BatchResult {
+                            batch: i,
+                            device: *device,
+                            hits: hits.clone(),
+                            cells: *cells,
+                            rescued: *rescued,
+                        })
+                })
+                .collect(),
+        };
+        // A periodic tick checkpoints every query that is still
+        // incomplete; complete queries keep their last file until the
+        // region ends (it is removed with their results).
+        let on_checkpoint = |view: CheckpointView<'_, BatchOut>| -> u64 {
+            let mut total = 0u64;
+            for qi in 0..queries.len() {
+                let Some(path) = &ckpt_paths[qi] else { continue };
+                let slots_q = &view.slots[qi * n_batches..(qi + 1) * n_batches];
+                if slots_q.iter().all(|s| s.is_some()) {
+                    continue;
+                }
+                match make_q_checkpoint(qi, slots_q, view.accel_share).write_atomic(path) {
+                    Ok(bytes) => {
+                        writes.fetch_add(1, Ordering::Relaxed);
+                        total += bytes;
+                    }
+                    Err(_) => {
+                        write_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            total
+        };
+
+        let start = Instant::now();
+        let out = run_dual_pool_durable(
+            queries.len() * n_batches,
+            DualPoolConfig {
+                cpu_workers,
+                accel_workers,
+                initial_accel_fraction: initial_share,
+                min_chunk: config.min_chunk,
+                accel_timeout_ms: config.recovery.accel_timeout_ms,
+                failure_budget: config.recovery.failure_budget,
+                retry_backoff_ms: config.recovery.retry_backoff_ms,
+                max_chunk_retries: config.recovery.max_chunk_retries,
+            },
+            injector,
+            DurableControl {
+                prefill,
+                drain: opts.drain,
+                checkpoint_every_chunks: if opts.checkpoint_dir.is_some() {
+                    opts.interval_chunks
+                } else {
+                    0
+                },
+                on_checkpoint: Some(&on_checkpoint),
+                task_cancelled: Some(&|t: usize| {
+                    queries[t / n_batches]
+                        .cancel
+                        .is_some_and(|c| c.is_requested())
+                }),
+            },
+            |t| db.batches[t % n_batches].padded_cells(queries[t / n_batches].residues.len()),
+            |device, t| {
+                let (qi, bi) = (t / n_batches, t % n_batches);
+                let q = &queries[qi];
+                // The span opens on the OWNER's tracer (its epoch, its
+                // query tag); the batch index doubles as the track lane
+                // so one query's concurrent tasks never share a track.
+                let span = q.tracer.map(|tr| tr.task_span(device, bi, bi));
+                let cfg = device_config[device];
+                let out = self.engine.run_batch(
+                    q.residues,
+                    &qps[qi],
+                    db,
+                    &db.batches[bi],
+                    cfg,
+                    block_rows[device],
+                );
+                if let Some(span) = span {
+                    span.finish(t as u64, out.1.padded);
+                }
+                (device, out)
+            },
+            &sink,
+            &tracer,
+        );
+        let elapsed = start.elapsed();
+        let degraded = out.degraded;
+
+        // Region-learned share for final checkpoints.
+        let cpu_m = sink.device(DEVICE_CPU);
+        let accel_m = sink.device(DEVICE_ACCEL);
+        let total_exec_cells = cpu_m.cells + accel_m.cells;
+        let final_share = if total_exec_cells == 0 {
+            initial_share
+        } else {
+            accel_m.cells as f64 / total_exec_cells as f64
+        };
+
+        // Pooled wall clock, attributed by padded-cell share (floor
+        // division: shares never sum past the wall clock) — same rule as
+        // `SearchEngine::search_many`.
+        let per_q_padded: Vec<u128> = queries
+            .iter()
+            .map(|q| {
+                db.batches
+                    .iter()
+                    .map(|b| b.padded_cells(q.residues.len()) as u128)
+                    .sum()
+            })
+            .collect();
+        let total_padded: u128 = per_q_padded.iter().sum();
+
+        let mut outcomes = Vec::with_capacity(queries.len());
+        let mut incomplete_uncancelled = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            let slots_q = &out.slots[qi * n_batches..(qi + 1) * n_batches];
+            let tasks_done = slots_q.iter().filter(|s| s.is_some()).count() as u64;
+            let complete = tasks_done == n_batches as u64;
+            if complete {
+                // A cancel that raced completion still yields the exact
+                // result; the checkpoint (if any) is spent.
+                if let Some(path) = &ckpt_paths[qi] {
+                    Checkpoint::remove(path).ok();
+                }
+                let mut hits: Vec<Hit> = Vec::with_capacity(db.n_seqs());
+                let mut cells = CellCount::default();
+                let mut rescued = 0u64;
+                for s in slots_q.iter().flatten() {
+                    let (_device, (batch_hits, batch_cells, batch_rescued)) = s;
+                    hits.extend(batch_hits.iter().copied());
+                    cells.add(*batch_cells);
+                    rescued += batch_rescued;
+                }
+                let elapsed_q = if total_padded == 0 {
+                    elapsed
+                } else {
+                    let ns = elapsed.as_nanos() * per_q_padded[qi] / total_padded;
+                    std::time::Duration::from_nanos(ns as u64)
+                };
+                outcomes.push(BatchQueryOutcome {
+                    id: q.id,
+                    results: Some(
+                        SearchResults::new(hits, elapsed_q, cells, rescued)
+                            .with_degraded(degraded[DEVICE_CPU] || degraded[DEVICE_ACCEL]),
+                    ),
+                    cancelled: false,
+                    resumes: resumes_v[qi],
+                    resumed_tasks: resumed_v[qi],
+                    tasks_done,
+                });
+                continue;
+            }
+            let cancelled =
+                q.cancel.is_some_and(|c| c.is_requested()) || out.drained;
+            if cancelled {
+                // Final exact checkpoint: written after the pools exited,
+                // its failure is a hard error — a cancelled query without
+                // its checkpoint cannot be resumed.
+                if let Some(path) = &ckpt_paths[qi] {
+                    make_q_checkpoint(qi, slots_q, final_share).write_atomic(path)?;
+                    writes.fetch_add(1, Ordering::Relaxed);
+                }
+                outcomes.push(BatchQueryOutcome {
+                    id: q.id,
+                    results: None,
+                    cancelled: true,
+                    resumes: resumes_v[qi],
+                    resumed_tasks: resumed_v[qi],
+                    tasks_done,
+                });
+                continue;
+            }
+            // Incomplete with neither a cancel nor a drain: terminal
+            // execution failure.
+            for (bi, s) in slots_q.iter().enumerate() {
+                if s.is_none() {
+                    let t = qi * n_batches + bi;
+                    incomplete_uncancelled.push((t, t + 1));
+                }
+            }
+            outcomes.push(BatchQueryOutcome {
+                id: q.id,
+                results: None,
+                cancelled: false,
+                resumes: resumes_v[qi],
+                resumed_tasks: resumed_v[qi],
+                tasks_done,
+            });
+        }
+        if !incomplete_uncancelled.is_empty() {
+            return Err(DurableSearchError::Exec(ExecError {
+                failures: out.failures,
+                missing: incomplete_uncancelled,
+            }));
+        }
+        Ok(BatchSearchOutcome {
+            queries: outcomes,
+            drained: out.drained,
+            degraded,
+            checkpoints_written: writes.load(Ordering::Relaxed),
+            checkpoint_write_failures: write_failures.load(Ordering::Relaxed),
         })
     }
 }
@@ -990,6 +1415,202 @@ mod tests {
         let out = hetero.search_dynamic(&q, &db, &plan, &HeteroSearchConfig::best(4, 4));
         assert_eq!(out.results.hits, single.hits);
         assert_eq!(out.cpu.tasks + out.accel.tasks, 1, "one batch, once");
+    }
+
+    #[test]
+    fn batched_queries_equal_solo_runs() {
+        // The cross-query batching core: mixed-length queries through ONE
+        // shared region, each hit list byte-identical to its solo search,
+        // and the pooled wall clock partitioned across queries.
+        let (db, _) = setup();
+        let engine = SearchEngine::paper_default();
+        let hetero = HeteroEngine::new(engine);
+        let queries: Vec<Vec<u8>> = [60u32, 150, 400]
+            .iter()
+            .map(|&l| generate_query(l, l as u64).residues)
+            .collect();
+        let cfg = HeteroSearchConfig::best(2, 1);
+        let plan = hetero.plan_split(&db, queries[0].len(), 0.5);
+        let batch: Vec<BatchQuery<'_>> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| BatchQuery {
+                residues: q,
+                id: i as u64 + 1,
+                cancel: None,
+                tracer: None,
+            })
+            .collect();
+        let start = Instant::now();
+        let out = hetero
+            .search_many_resumable(
+                &batch,
+                &db,
+                &plan,
+                &cfg,
+                &FaultInjector::none(),
+                &DurableOptions::default(),
+            )
+            .expect("batched run");
+        let wall = start.elapsed();
+        assert!(!out.drained);
+        assert_eq!(out.queries.len(), 3);
+        let mut elapsed_sum = std::time::Duration::ZERO;
+        for (q, qo) in queries.iter().zip(&out.queries) {
+            let solo = hetero.engine.search(q, &db, &SearchConfig::best(1));
+            let res = qo.results.as_ref().expect("completed");
+            assert!(!qo.cancelled);
+            assert_eq!(res.hits, solo.hits, "query {} vs solo", qo.id);
+            assert_eq!(res.cells, solo.cells);
+            elapsed_sum += res.elapsed;
+        }
+        assert!(
+            elapsed_sum <= wall,
+            "per-query elapsed must partition the region wall clock"
+        );
+    }
+
+    #[test]
+    fn batched_cancel_spares_batch_mates_and_resumes() {
+        // Query B is cancelled out of the shared region; A must complete
+        // with exact hits, B must leave a resumable fingerprint
+        // checkpoint, and a resumed run of B must match its solo hits.
+        let (db, _) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let qa = generate_query(120, 31).residues;
+        let qb = generate_query(90, 32).residues;
+        let solo_a = hetero.engine.search(&qa, &db, &SearchConfig::best(1));
+        let solo_b = hetero.engine.search(&qb, &db, &SearchConfig::best(1));
+        let tmp = std::env::temp_dir().join(format!("sw-batch-cancel-{}", std::process::id()));
+        std::fs::remove_dir_all(&tmp).ok();
+        let cfg = HeteroSearchConfig::best(2, 1);
+        let plan = hetero.plan_split(&db, qa.len(), 0.5);
+        let cancel_b = DrainSignal::new();
+        cancel_b.request(); // deterministic: B never runs a task
+        let opts = DurableOptions {
+            checkpoint_dir: Some(&tmp),
+            interval_chunks: 1,
+            resume: true,
+            ..DurableOptions::default()
+        };
+        let out = hetero
+            .search_many_resumable(
+                &[
+                    BatchQuery {
+                        residues: &qa,
+                        id: 1,
+                        cancel: None,
+                        tracer: None,
+                    },
+                    BatchQuery {
+                        residues: &qb,
+                        id: 2,
+                        cancel: Some(&cancel_b),
+                        tracer: None,
+                    },
+                ],
+                &db,
+                &plan,
+                &cfg,
+                &FaultInjector::none(),
+                &opts,
+            )
+            .expect("batched run");
+        assert!(!out.drained, "a per-query cancel is not a region drain");
+        let (a, b) = (&out.queries[0], &out.queries[1]);
+        assert!(!a.cancelled);
+        assert_eq!(
+            a.results.as_ref().unwrap().hits,
+            solo_a.hits,
+            "batch-mate unperturbed by the cancel"
+        );
+        assert!(b.cancelled);
+        assert!(b.results.is_none());
+        // Exactly one checkpoint on disk: A's was removed on completion.
+        assert_eq!(std::fs::read_dir(&tmp).unwrap().count(), 1);
+
+        // Resume B (alone or batched — here batched with A again, whose
+        // fresh run coexists with B's resume).
+        let out2 = hetero
+            .search_many_resumable(
+                &[BatchQuery {
+                    residues: &qb,
+                    id: 2,
+                    cancel: None,
+                    tracer: None,
+                }],
+                &db,
+                &plan,
+                &cfg,
+                &FaultInjector::none(),
+                &opts,
+            )
+            .expect("resumed run");
+        let b2 = &out2.queries[0];
+        assert!(!b2.cancelled);
+        assert_eq!(b2.resumes, 1, "second segment of the same query");
+        assert_eq!(b2.results.as_ref().unwrap().hits, solo_b.hits);
+        assert_eq!(
+            std::fs::read_dir(&tmp).unwrap().count(),
+            0,
+            "completion spends the checkpoint"
+        );
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn batched_region_drain_checkpoints_every_incomplete_query() {
+        // The daemon-shutdown path: the REGION drain stops everything;
+        // every incomplete query must come back cancelled with its own
+        // resumable checkpoint on disk.
+        let (db, _) = setup();
+        let hetero = HeteroEngine::new(SearchEngine::paper_default());
+        let q1 = generate_query(100, 41).residues;
+        let q2 = generate_query(110, 42).residues;
+        let tmp = std::env::temp_dir().join(format!("sw-batch-drain-{}", std::process::id()));
+        std::fs::remove_dir_all(&tmp).ok();
+        let drain = DrainSignal::new();
+        drain.request(); // drained before any task commits
+        let cfg = HeteroSearchConfig::best(1, 1);
+        let plan = hetero.plan_split(&db, q1.len(), 0.5);
+        let opts = DurableOptions {
+            checkpoint_dir: Some(&tmp),
+            interval_chunks: 1,
+            drain: Some(&drain),
+            resume: true,
+            ..DurableOptions::default()
+        };
+        let out = hetero
+            .search_many_resumable(
+                &[
+                    BatchQuery {
+                        residues: &q1,
+                        id: 1,
+                        cancel: None,
+                        tracer: None,
+                    },
+                    BatchQuery {
+                        residues: &q2,
+                        id: 2,
+                        cancel: None,
+                        tracer: None,
+                    },
+                ],
+                &db,
+                &plan,
+                &cfg,
+                &FaultInjector::none(),
+                &opts,
+            )
+            .expect("drained run is a successful partial run");
+        assert!(out.drained);
+        assert!(out.queries.iter().all(|q| q.cancelled));
+        assert_eq!(
+            std::fs::read_dir(&tmp).unwrap().count(),
+            2,
+            "one fingerprint checkpoint per incomplete query"
+        );
+        std::fs::remove_dir_all(&tmp).ok();
     }
 
     #[test]

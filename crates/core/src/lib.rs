@@ -46,8 +46,8 @@ pub use checkpoint::{BatchResult, Checkpoint, CheckpointError, RecoveryTotals, S
 pub use config::{HeteroSearchConfig, RecoveryConfig, SearchConfig, TraceConfig};
 pub use engine::SearchEngine;
 pub use hetero::{
-    DurableOptions, DurableSearchError, DurableSearchOutcome, DynamicSearchOutcome, HeteroEngine,
-    SplitPlan,
+    BatchQuery, BatchQueryOutcome, BatchSearchOutcome, DurableOptions, DurableSearchError,
+    DurableSearchOutcome, DynamicSearchOutcome, HeteroEngine, SplitPlan,
 };
 pub use prepare::PreparedDb;
 pub use report::SearchSummary;

@@ -533,6 +533,15 @@ pub struct DurableControl<'a, T> {
     /// checkpoint is still being written is skipped, not queued.
     #[allow(clippy::type_complexity)]
     pub on_checkpoint: Option<&'a (dyn Fn(CheckpointView<'_, T>) -> u64 + Sync)>,
+    /// Per-task cancellation probe, checked immediately before each task
+    /// executes. A `true` answer drops the task — no execution, no commit,
+    /// no cost accounting — leaving its slot `None` while the rest of the
+    /// region runs to completion. This is what lets one query in a shared
+    /// multi-query region be cancelled without draining its batch-mates:
+    /// the region-level [`DurableControl::drain`] stops *everything*, the
+    /// probe removes *one query's* tasks.
+    #[allow(clippy::type_complexity)]
+    pub task_cancelled: Option<&'a (dyn Fn(usize) -> bool + Sync)>,
 }
 
 impl<T> DurableControl<'_, T> {
@@ -543,6 +552,7 @@ impl<T> DurableControl<'_, T> {
             drain: None,
             checkpoint_every_chunks: 0,
             on_checkpoint: None,
+            task_cancelled: None,
         }
     }
 }
@@ -989,6 +999,7 @@ where
     let drain = durable.drain;
     let every = durable.checkpoint_every_chunks;
     let on_checkpoint = durable.on_checkpoint;
+    let task_cancelled = durable.task_cancelled;
     let tasks_done = AtomicU64::new(prefilled);
     let chunks_done = AtomicU64::new(0);
     // Next checkpoint sequence number; doubles as the "one checkpoint at
@@ -1112,6 +1123,9 @@ where
                         for (i, &already_done) in skip.iter().enumerate().take(e).skip(s) {
                             if already_done {
                                 continue; // a checkpoint already holds this task
+                            }
+                            if task_cancelled.is_some_and(|c| c(i)) {
+                                continue; // cancelled out of the shared region
                             }
                             let run = catch_unwind(AssertUnwindSafe(|| {
                                 if kill {
@@ -2016,6 +2030,50 @@ mod tests {
         }
         assert!(out.failures.is_empty());
         assert_eq!(tracer.timeline().count("drain_started"), 1);
+    }
+
+    #[test]
+    fn durable_task_cancel_drops_only_probed_tasks() {
+        // Two interleaved "queries" share one region: even tasks belong
+        // to query A, odd tasks to query B. B is cancelled before the
+        // region starts. A must complete fully, B's slots must stay
+        // empty, and the region must NOT report drained — a per-task
+        // cancel is not a region drain.
+        let executed = AtomicU64::new(0);
+        let sink = MetricsSink::new();
+        let cancelled = |i: usize| i % 2 == 1;
+        let out = run_dual_pool_durable(
+            100,
+            DualPoolConfig {
+                min_chunk: 4,
+                ..DualPoolConfig::new(2, 1)
+            },
+            &FaultInjector::none(),
+            DurableControl {
+                task_cancelled: Some(&cancelled),
+                ..DurableControl::none()
+            },
+            |_| 1,
+            |_d, i| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                i * 7
+            },
+            &sink,
+            &Tracer::disabled(),
+        );
+        assert!(!out.drained, "task cancel must not mark the region drained");
+        assert!(out.failures.is_empty());
+        assert_eq!(out.tasks_done(), 50);
+        for (i, slot) in out.slots.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(slot.as_ref(), Some(&(i * 7)), "batch-mate task {i} intact");
+            } else {
+                assert!(slot.is_none(), "cancelled task {i} must not run");
+            }
+        }
+        assert_eq!(executed.load(Ordering::Relaxed), 50);
+        // Dropped tasks contribute nothing to throughput accounting.
+        assert_eq!(sink.devices().iter().map(|d| d.tasks).sum::<u64>(), 50);
     }
 
     #[test]

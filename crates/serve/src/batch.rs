@@ -1,0 +1,181 @@
+//! The cross-query batching collector: the queue between connection
+//! threads and the one thread that runs shared dual-pool regions.
+//!
+//! Connection handlers park accepted submits here; the collector thread
+//! waits for the first arrival, then sleeps one gather window so
+//! concurrent submits coalesce, then takes up to `max_concurrent`
+//! queries and runs them through a single `search_many_resumable`
+//! region over the resident database. Each pending job carries its own
+//! reply channel — the demux path back to exactly one connection — and
+//! its own scoped drain, so cancelling one query removes only that
+//! query's tasks from the shared region.
+//!
+//! Shutdown closes the queue: `collect` hands back whatever is still
+//! queued (the collector replies `cancelled` to each, since their
+//! drains are scoped under the daemon signal) and then returns `None`,
+//! and any later `enqueue` is refused so no connection can park a job
+//! nobody will ever run.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use sw_sched::{DrainSignal, FaultSpec};
+
+/// One accepted submit, parked until a region picks it up.
+pub(crate) struct PendingJob {
+    /// Registry job id; doubles as the trace query tag.
+    pub id: u64,
+    /// Encoded query residues.
+    pub residues: Vec<u8>,
+    /// Hits to stream back.
+    pub top: usize,
+    /// Optional delay drill; the first one in a region arms its
+    /// injector.
+    pub drill: Option<FaultSpec>,
+    /// Per-job drain, scoped under the daemon shutdown signal.
+    pub drain: Arc<DrainSignal>,
+    /// Demux channel back to the submitting connection.
+    pub reply: mpsc::Sender<JobReply>,
+}
+
+/// What the collector sends back to the connection thread. The registry
+/// record is final before this is sent, so a client that hangs up while
+/// the reply streams cannot wedge the job state.
+pub(crate) enum JobReply {
+    Done {
+        hits: Vec<(i64, String)>,
+        resumes: u64,
+        batch: usize,
+    },
+    Cancelled {
+        resumes: u64,
+        batch: usize,
+    },
+    Failed {
+        error: String,
+    },
+}
+
+struct State {
+    queue: VecDeque<PendingJob>,
+    closed: bool,
+}
+
+/// The queue itself. One mutex + condvar, same audit-friendly shape as
+/// the registry.
+pub(crate) struct Batcher {
+    inner: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Batcher {
+    pub fn new() -> Self {
+        Batcher {
+            inner: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Park a job for the next region. `false` means the queue already
+    /// closed (daemon draining) and the caller must cancel the job
+    /// itself — nobody will reply on its channel.
+    pub fn enqueue(&self, job: PendingJob) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return false;
+        }
+        g.queue.push_back(job);
+        drop(g);
+        self.wake.notify_all();
+        true
+    }
+
+    /// Collector side: block until at least one job is queued (or
+    /// shutdown fires), let the gather window elapse so concurrent
+    /// submits join the same region, then take up to `max` jobs in
+    /// arrival order. Returns `None` once shutdown has fired and the
+    /// queue is empty — the collector's exit condition. On shutdown
+    /// with jobs still queued, returns them (closing the queue first)
+    /// so the caller can cancel-reply each one.
+    pub fn collect(
+        &self,
+        max: usize,
+        window: Duration,
+        shutdown: &DrainSignal,
+    ) -> Option<Vec<PendingJob>> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if shutdown.is_requested() {
+                g.closed = true;
+                let rest: Vec<PendingJob> = g.queue.drain(..).collect();
+                return if rest.is_empty() { None } else { Some(rest) };
+            }
+            if !g.queue.is_empty() {
+                break;
+            }
+            // Timed wait: shutdown may arrive through a parent signal
+            // that knows nothing of our condvar.
+            let (guard, _) = self
+                .wake
+                .wait_timeout(g, Duration::from_millis(20))
+                .unwrap();
+            g = guard;
+        }
+        drop(g);
+        std::thread::sleep(window);
+        let mut g = self.inner.lock().unwrap();
+        let n = g.queue.len().min(max.max(1));
+        Some(g.queue.drain(..n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, reply: mpsc::Sender<JobReply>) -> PendingJob {
+        PendingJob {
+            id,
+            residues: vec![1, 2, 3],
+            top: 5,
+            drill: None,
+            drain: Arc::new(DrainSignal::new()),
+            reply,
+        }
+    }
+
+    #[test]
+    fn gather_window_coalesces_and_cap_splits() {
+        static OFF: DrainSignal = DrainSignal::new();
+        let b = Batcher::new();
+        let (tx, _rx) = mpsc::channel();
+        for id in 1..=5 {
+            assert!(b.enqueue(job(id, tx.clone())));
+        }
+        let first = b.collect(4, Duration::ZERO, &OFF).unwrap();
+        assert_eq!(
+            first.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4],
+            "arrival order, capped at max_concurrent"
+        );
+        let second = b.collect(4, Duration::ZERO, &OFF).unwrap();
+        assert_eq!(second.len(), 1, "overflow lands in the next region");
+    }
+
+    #[test]
+    fn shutdown_drains_queue_then_closes() {
+        static DOWN: DrainSignal = DrainSignal::new();
+        let b = Batcher::new();
+        let (tx, _rx) = mpsc::channel();
+        assert!(b.enqueue(job(1, tx.clone())));
+        DOWN.request();
+        let last = b.collect(4, Duration::ZERO, &DOWN).unwrap();
+        assert_eq!(last.len(), 1, "queued jobs hand back for cancel replies");
+        assert!(b.collect(4, Duration::ZERO, &DOWN).is_none(), "then closed");
+        assert!(!b.enqueue(job(2, tx)), "no parking after close");
+    }
+}

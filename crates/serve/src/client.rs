@@ -78,6 +78,9 @@ pub struct SubmitOutcome {
     pub state: String,
     /// Checkpoint resumes the run stitched together.
     pub resumes: u64,
+    /// Queries that shared this job's dual-pool region (0 when the job
+    /// never reached a region, e.g. cancelled while queued).
+    pub batch: u64,
     /// Streamed hits (`done` only).
     pub hits: Vec<HitLine>,
     /// Failure message (`failed` only).
@@ -113,6 +116,7 @@ pub fn parse_submit_response(lines: &[String]) -> Result<SubmitOutcome, String> 
         job,
         state,
         resumes: json::field_u64(state_line, "resumes").unwrap_or(0),
+        batch: json::field_u64(state_line, "batch").unwrap_or(0),
         hits,
         error: json::field_str(state_line, "error"),
     })
@@ -126,7 +130,7 @@ mod tests {
     fn submit_stream_roundtrips() {
         let lines: Vec<String> = [
             "{\"ok\":true,\"job\":3,\"state\":\"queued\"}",
-            "{\"job\":3,\"state\":\"done\",\"hits\":2,\"resumes\":1}",
+            "{\"job\":3,\"state\":\"done\",\"hits\":2,\"resumes\":1,\"batch\":4}",
             "{\"rank\":1,\"score\":99,\"header\":\"sp|A|one\"}",
             "{\"rank\":2,\"score\":42,\"header\":\"sp|B|two\"}",
             "{\"end\":true}",
@@ -138,6 +142,7 @@ mod tests {
         assert_eq!(o.job, 3);
         assert_eq!(o.state, "done");
         assert_eq!(o.resumes, 1);
+        assert_eq!(o.batch, 4, "region size rides the state line");
         assert_eq!(o.hits.len(), 2);
         assert_eq!(o.hits[0].score, 99);
         assert_eq!(o.hits[1].header, "sp|B|two");

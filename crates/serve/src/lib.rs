@@ -2,19 +2,24 @@
 //!
 //! A daemon loads and digest-verifies a database snapshot once, keeps
 //! the prepared batches resident, and serves search jobs over a unix
-//! socket speaking line-delimited JSON. Each job is fully isolated from
-//! its neighbours: per-request [`sw_core::SearchConfig`] and trace
-//! epoch/query-id, a per-job drain signal scoped under the daemon's
-//! shutdown signal, and a fingerprint-derived checkpoint file — no
-//! environment reads, no process globals, no shared mutable state on
-//! the request path. Admission is a concurrency cap plus a per-tenant
-//! in-flight quota; everything submitted lands in the [`Registry`],
-//! which is dumped as JSONL on shutdown.
+//! socket speaking line-delimited JSON. Concurrently queued submits are
+//! grouped by a batching collector into shared dual-pool regions over
+//! the resident database — cross-query lane batching, the daemon-side
+//! analogue of `search_many` — while each job keeps its own isolation:
+//! a drain signal scoped under the daemon's shutdown signal (cancel
+//! removes one query from the region without touching batch-mates), a
+//! per-query trace epoch/query-id, and a fingerprint-derived checkpoint
+//! file — no environment reads, no process globals, no shared mutable
+//! state on the request path. Admission is a per-region query cap plus
+//! a per-tenant in-flight quota; everything submitted lands in the
+//! [`Registry`], which is dumped as JSONL on shutdown.
 //!
 //! Layering: [`client`] and [`server`] share the [`json`] wire helpers;
-//! the CLI's `serve`/`submit` commands and the integration tests are
-//! both thin wrappers over these modules.
+//! [`server`] demuxes region outcomes through the `batch` collector's
+//! reply channels; the CLI's `serve`/`submit` commands and the
+//! integration tests are both thin wrappers over these modules.
 
+mod batch;
 pub mod client;
 pub mod json;
 pub mod registry;

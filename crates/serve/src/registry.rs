@@ -226,7 +226,31 @@ impl Registry {
         }
     }
 
-    /// Release job `id`'s run slot and record how it ended.
+    /// Move job `id` to `Running` and charge a run slot — unless its
+    /// drain already fired, in which case the job is marked `Cancelled`
+    /// and no slot is taken. The batching collector calls this for every
+    /// member of a shared region just before the region starts; unlike
+    /// [`Registry::admit`] it never blocks, because the collector itself
+    /// is the concurrency gate (one region at a time, `max_concurrent`
+    /// queries per region).
+    pub fn mark_running(&self, id: u64) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        let Some(e) = g.jobs.get_mut(&id) else {
+            return false;
+        };
+        if e.drain.is_requested() {
+            e.record.state = JobState::Cancelled;
+            return false;
+        }
+        e.record.state = JobState::Running;
+        g.running += 1;
+        true
+    }
+
+    /// Record how job `id` ended, releasing its run slot if it held one.
+    /// Safe on jobs that never reached `Running` (ack-write failure,
+    /// cancelled while queued): the slot count only drops when the job
+    /// actually charged it.
     pub fn finish(
         &self,
         id: u64,
@@ -236,12 +260,16 @@ impl Registry {
         error: Option<String>,
     ) {
         let mut g = self.inner.lock().unwrap();
-        g.running = g.running.saturating_sub(1);
+        let mut was_running = false;
         if let Some(e) = g.jobs.get_mut(&id) {
+            was_running = e.record.state == JobState::Running;
             e.record.state = state;
             e.record.hits = hits;
             e.record.resumes = resumes;
             e.record.error = error;
+        }
+        if was_running {
+            g.running = g.running.saturating_sub(1);
         }
         drop(g);
         self.admit.notify_all();
@@ -340,6 +368,31 @@ mod tests {
         assert_eq!(r.status(b).unwrap().state, JobState::Cancelled);
         r.finish(a, JobState::Done, 1, 0, None);
         assert_eq!(r.stats().done, 1);
+    }
+
+    #[test]
+    fn finish_on_never_admitted_job_leaks_no_slot() {
+        let r = Registry::new();
+        let (a, _) = r.submit("t", 5, 4, drain()).unwrap();
+        // Ack write failed before the job ever ran: finishing the
+        // still-Queued job must release quota without touching the run
+        // slot count.
+        r.finish(a, JobState::Failed, 0, 0, Some("client gone".into()));
+        assert_eq!(r.stats().running, 0);
+        assert_eq!(r.stats().failed, 1);
+        // And a pre-drained job never takes a slot either.
+        let (b, db) = r.submit("t", 5, 4, drain()).unwrap();
+        db.request();
+        assert!(!r.mark_running(b));
+        assert_eq!(r.status(b).unwrap().state, JobState::Cancelled);
+        assert_eq!(r.stats().running, 0);
+        // A live job does, and finish gives it back exactly once.
+        let (c, _) = r.submit("t", 5, 4, drain()).unwrap();
+        assert!(r.mark_running(c));
+        assert_eq!(r.stats().running, 1);
+        r.finish(c, JobState::Done, 2, 0, None);
+        assert_eq!(r.stats().running, 0);
+        assert!(!r.mark_running(99), "unknown job never runs");
     }
 
     #[test]

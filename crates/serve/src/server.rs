@@ -7,24 +7,34 @@
 //! state, the top-K hit lines, an `end` marker — so the client needs no
 //! polling loop for the common case.
 //!
-//! Nothing on the request path touches process-global state: each job
-//! gets its own [`DrainSignal`] scoped under the daemon's shutdown
-//! signal, its own trace epoch and query id via
-//! [`TraceConfig::for_query`], and its checkpoint file is derived from
-//! the search fingerprint inside `checkpoint_dir`. The accept loop is
-//! non-blocking and polls the shutdown signal, so both a `shutdown`
-//! request and a process SIGINT (routed through the signal's parent)
-//! stop the daemon the same way: stop accepting, drain in-flight jobs
-//! (checkpointing them), dump the registry, remove the socket.
+//! Searches are *batched across queries*: connection handlers park
+//! accepted submits in the [`Batcher`], and one collector thread groups
+//! everything that arrives within a gather window into a single shared
+//! dual-pool region over the resident database
+//! ([`HeteroEngine::search_many_resumable`]) — up to `max_concurrent`
+//! queries per region, so concurrent short queries share scheduling
+//! overhead and fill lanes a solo run would leave idle. Per-query
+//! isolation survives the sharing: each job keeps its own
+//! [`DrainSignal`] scoped under the daemon's shutdown signal (cancel
+//! removes that query's tasks from the region without touching
+//! batch-mates), its own trace epoch and query id via
+//! [`TraceConfig::for_query`], and its own fingerprint-keyed checkpoint
+//! file inside `checkpoint_dir`. The accept loop is non-blocking and
+//! polls the shutdown signal, so both a `shutdown` request and a
+//! process SIGINT (routed through the signal's parent) stop the daemon
+//! the same way: stop accepting, drain the in-flight region
+//! (checkpointing incomplete queries), cancel-reply queued jobs, dump
+//! the registry, remove the socket.
 
+use crate::batch::{Batcher, JobReply, PendingJob};
 use crate::json;
 use crate::registry::{JobState, Registry, StatsSnapshot};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
-use sw_core::{DurableOptions, HeteroEngine, HeteroSearchConfig, PreparedDb, TraceConfig};
+use sw_core::{BatchQuery, DurableOptions, HeteroEngine, HeteroSearchConfig, PreparedDb, TraceConfig};
 use sw_sched::{DrainSignal, FaultInjector, FaultKind, FaultPlan, FaultSpec, DEVICE_ACCEL};
 use sw_seq::Alphabet;
 
@@ -38,8 +48,8 @@ pub type ServeError = Box<dyn std::error::Error + Send + Sync>;
 pub struct ServeConfig {
     /// Unix socket to listen on (created on start, removed on stop).
     pub socket: PathBuf,
-    /// Searches allowed to run at once; admitted jobs past the cap wait
-    /// in the queue.
+    /// Queries batched into one shared dual-pool region; submits past
+    /// the cap wait for the next region.
     pub max_concurrent: usize,
     /// Max queued+running jobs per tenant; a submit over the quota is
     /// rejected at the door.
@@ -59,11 +69,16 @@ pub struct ServeConfig {
     pub registry_out: Option<PathBuf>,
     /// Hits streamed per job when the submit carries no `top`.
     pub default_top: usize,
+    /// Gather window: after the first submit arrives, the collector
+    /// waits this long so concurrent submits coalesce into the same
+    /// shared region before it takes a batch.
+    pub batch_window_ms: u64,
 }
 
 impl ServeConfig {
-    /// Defaults: 2 concurrent searches, tenant quota 4, 55 % plan seed,
-    /// checkpoint every 4 chunks, top-10, no artifact outputs.
+    /// Defaults: 2 queries per batch, tenant quota 4, 55 % plan seed,
+    /// checkpoint every 4 chunks, top-10, 3 ms gather window, no
+    /// artifact outputs.
     pub fn new(socket: impl Into<PathBuf>) -> Self {
         ServeConfig {
             socket: socket.into(),
@@ -75,6 +90,7 @@ impl ServeConfig {
             trace_dir: None,
             registry_out: None,
             default_top: 10,
+            batch_window_ms: 3,
         }
     }
 }
@@ -90,6 +106,7 @@ struct Ctx<'a> {
     base: &'a HeteroSearchConfig,
     config: &'a ServeConfig,
     registry: &'a Registry,
+    batcher: &'a Batcher,
     shutdown: &'static DrainSignal,
 }
 
@@ -116,6 +133,7 @@ pub fn serve(
     let listener = UnixListener::bind(&config.socket)?;
     listener.set_nonblocking(true)?;
     let registry = Registry::new();
+    let batcher = Batcher::new();
     let ctx = Ctx {
         engine,
         prepared,
@@ -123,9 +141,13 @@ pub fn serve(
         base,
         config,
         registry: &registry,
+        batcher: &batcher,
         shutdown,
     };
     std::thread::scope(|s| {
+        // The one region runner: groups queued submits into shared
+        // batches until shutdown empties the queue.
+        s.spawn(move || collector_loop(ctx));
         while !shutdown.is_requested() {
             match listener.accept() {
                 Ok((stream, _)) => {
@@ -153,9 +175,31 @@ pub fn serve(
 }
 
 fn handle_connection(ctx: Ctx<'_>, stream: UnixStream) -> io::Result<()> {
+    // A silent client must not wedge shutdown: `serve`'s scoped join
+    // waits on this thread, so the request read polls the shutdown
+    // signal on a short timeout instead of blocking forever.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    loop {
+        // A timeout mid-line leaves the partial read in `line`; looping
+        // with the same buffer stitches the rest on.
+        match reader.read_line(&mut line) {
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.shutdown.is_requested() {
+                    return Ok(()); // daemon draining: drop the idle connection
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    stream.set_read_timeout(None)?;
     let line = line.trim_end().to_string();
     let mut w = BufWriter::new(stream);
     match json::field_str(&line, "op").as_deref() {
@@ -201,12 +245,12 @@ fn op_submit<W: Write>(ctx: Ctx<'_>, line: &str, w: &mut W) -> io::Result<()> {
         Ok(q) => q,
         Err(e) => return fail(w, &e),
     };
-    let injector = match json::field_str(line, "drill")
+    let drill = match json::field_str(line, "drill")
         .as_deref()
         .map(parse_delay_drill)
     {
-        None => FaultInjector::none(),
-        Some(Ok(spec)) => FaultInjector::new(FaultPlan::single(spec)),
+        None => None,
+        Some(Ok(spec)) => Some(spec),
         Some(Err(e)) => return fail(w, &e),
     };
     let drain = Arc::new(DrainSignal::scoped(ctx.shutdown));
@@ -220,25 +264,63 @@ fn op_submit<W: Write>(ctx: Ctx<'_>, line: &str, w: &mut W) -> io::Result<()> {
         Err(e) => return fail(w, &e),
     };
     // Ack immediately so the submitter learns its job id (and can
-    // cancel) before the queue wait.
-    writeln!(w, "{{\"ok\":true,\"job\":{id},\"state\":\"queued\"}}")?;
-    w.flush()?;
-    if !ctx.registry.admit(id, ctx.config.max_concurrent) {
+    // cancel) before the queue wait. From here on every error path must
+    // finish the job — an early return would leave it Queued forever,
+    // holding tenant quota for a client that is already gone.
+    let ack = (|| -> io::Result<()> {
+        writeln!(w, "{{\"ok\":true,\"job\":{id},\"state\":\"queued\"}}")?;
+        w.flush()
+    })();
+    if let Err(e) = ack {
+        ctx.registry.finish(
+            id,
+            JobState::Failed,
+            0,
+            0,
+            Some(format!("client gone before ack: {e}")),
+        );
+        return Err(e);
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let parked = ctx.batcher.enqueue(PendingJob {
+        id,
+        residues: query.residues,
+        top,
+        drill,
+        drain,
+        reply: reply_tx,
+    });
+    if !parked {
+        // The collector already closed (daemon draining): nobody will
+        // ever run or reply to this job.
+        ctx.registry.finish(id, JobState::Cancelled, 0, 0, None);
         writeln!(
             w,
-            "{{\"job\":{id},\"state\":\"cancelled\",\"hits\":0,\"resumes\":0}}"
+            "{{\"job\":{id},\"state\":\"cancelled\",\"hits\":0,\"resumes\":0,\"batch\":0}}"
         )?;
         return writeln!(w, "{{\"end\":true}}");
     }
-    // The registry is updated before the stream writes: a submitter
-    // that hung up mid-run must not leave its job in `running`.
-    match run_job(ctx, id, &drain, &query.residues, top, &injector) {
-        Ok(JobOutcome::Done { hits, resumes }) => {
+    // The collector finishes the registry record *before* replying, so
+    // a client that hangs up during streaming cannot wedge the job; and
+    // shutdown cancel-replies the whole queue, so this recv always ends.
+    let reply = match reply_rx.recv() {
+        Ok(r) => r,
+        Err(_) => {
+            let msg = "batch collector died".to_string();
             ctx.registry
-                .finish(id, JobState::Done, hits.len(), resumes, None);
+                .finish(id, JobState::Failed, 0, 0, Some(msg.clone()));
+            JobReply::Failed { error: msg }
+        }
+    };
+    match reply {
+        JobReply::Done {
+            hits,
+            resumes,
+            batch,
+        } => {
             writeln!(
                 w,
-                "{{\"job\":{id},\"state\":\"done\",\"hits\":{},\"resumes\":{resumes}}}",
+                "{{\"job\":{id},\"state\":\"done\",\"hits\":{},\"resumes\":{resumes},\"batch\":{batch}}}",
                 hits.len()
             )?;
             for (rank, (score, header)) in hits.iter().enumerate() {
@@ -250,94 +332,159 @@ fn op_submit<W: Write>(ctx: Ctx<'_>, line: &str, w: &mut W) -> io::Result<()> {
                 )?;
             }
         }
-        Ok(JobOutcome::Drained { resumes }) => {
-            ctx.registry
-                .finish(id, JobState::Cancelled, 0, resumes, None);
+        JobReply::Cancelled { resumes, batch } => {
             writeln!(
                 w,
-                "{{\"job\":{id},\"state\":\"cancelled\",\"hits\":0,\"resumes\":{resumes}}}"
+                "{{\"job\":{id},\"state\":\"cancelled\",\"hits\":0,\"resumes\":{resumes},\"batch\":{batch}}}"
             )?;
         }
-        Err(e) => {
-            ctx.registry
-                .finish(id, JobState::Failed, 0, 0, Some(e.clone()));
+        JobReply::Failed { error } => {
             writeln!(
                 w,
                 "{{\"job\":{id},\"state\":\"failed\",\"error\":\"{}\"}}",
-                json::escape(&e)
+                json::escape(&error)
             )?;
         }
     }
     writeln!(w, "{{\"end\":true}}")
 }
 
-enum JobOutcome {
-    Done {
-        hits: Vec<(i64, String)>,
-        resumes: u64,
-    },
-    Drained {
-        resumes: u64,
-    },
+/// The region runner. Lives on one thread inside `serve`'s scope:
+/// repeatedly collects a batch of parked submits and runs them as one
+/// shared dual-pool region, until shutdown drains the queue.
+fn collector_loop(ctx: Ctx<'_>) {
+    let window = Duration::from_millis(ctx.config.batch_window_ms);
+    while let Some(jobs) = ctx
+        .batcher
+        .collect(ctx.config.max_concurrent, window, ctx.shutdown)
+    {
+        run_batch_jobs(ctx, jobs);
+    }
 }
 
-fn run_job(
-    ctx: Ctx<'_>,
-    id: u64,
-    drain: &DrainSignal,
-    query: &[u8],
-    top: usize,
-    injector: &FaultInjector,
-) -> Result<JobOutcome, String> {
+/// Run one shared region and demux per-query outcomes back to their
+/// connections. Registry transitions happen here (mark_running before
+/// the region, finish before each reply) so connection threads never
+/// own job state after the ack.
+fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
+    // Jobs whose drain fired while parked (client cancel, shutdown)
+    // never enter the region.
+    let mut live: Vec<PendingJob> = Vec::new();
+    for job in jobs {
+        if ctx.registry.mark_running(job.id) {
+            live.push(job);
+        } else {
+            ctx.registry
+                .finish(job.id, JobState::Cancelled, 0, 0, None);
+            let _ = job.reply.send(JobReply::Cancelled {
+                resumes: 0,
+                batch: 0,
+            });
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let batch = live.len();
+    // Per-query tracers: fresh epoch at region start, job id as the
+    // query tag — exports stay separable even though the region is
+    // shared. The region's own trace stays off; the per-query spans
+    // carry the story.
+    let tracers: Vec<sw_core::TraceConfig> = live
+        .iter()
+        .map(|j| {
+            TraceConfig {
+                level: if ctx.config.trace_dir.is_some() {
+                    sw_trace::TraceLevel::Full
+                } else {
+                    sw_trace::TraceLevel::Off
+                },
+                ..TraceConfig::default()
+            }
+            .for_query(j.id)
+        })
+        .collect();
+    let tracers: Vec<sw_trace::Tracer> = tracers.iter().map(|t| t.tracer()).collect();
+    // The plan seeds from the longest member: lane batching means every
+    // query shares the same device split, rebalanced dynamically.
+    let plan_len = live.iter().map(|j| j.residues.len()).max().unwrap_or(1);
     let plan = ctx
         .engine
-        .plan_split(ctx.prepared, query.len(), ctx.config.accel_frac);
-    let mut cfg = *ctx.base;
-    // Per-request trace state: fresh epoch, the job id as the query
-    // tag. Nothing here is shared with any other in-flight job.
-    cfg.trace = TraceConfig {
-        level: if ctx.config.trace_dir.is_some() {
-            sw_trace::TraceLevel::Full
-        } else {
-            sw_trace::TraceLevel::Off
-        },
-        ..TraceConfig::default()
-    }
-    .for_query(id);
+        .plan_split(ctx.prepared, plan_len, ctx.config.accel_frac);
+    let cfg = *ctx.base;
+    // One injector per region: the first parked drill arms it (the
+    // daemon only accepts the benign delay drill).
+    let injector = match live.iter().find_map(|j| j.drill) {
+        Some(spec) => FaultInjector::new(FaultPlan::single(spec)),
+        None => FaultInjector::none(),
+    };
+    let queries: Vec<BatchQuery<'_>> = live
+        .iter()
+        .zip(&tracers)
+        .map(|(j, tr)| BatchQuery {
+            residues: &j.residues,
+            id: j.id,
+            cancel: Some(j.drain.as_ref()),
+            tracer: Some(tr),
+        })
+        .collect();
     let dopts = DurableOptions {
         checkpoint_path: None,
         checkpoint_dir: ctx.config.checkpoint_dir.as_deref(),
         interval_chunks: ctx.config.interval_chunks,
-        drain: Some(drain),
+        drain: Some(ctx.shutdown),
         resume: true,
     };
-    let d = ctx
+    let out = ctx
         .engine
-        .search_dynamic_resumable(query, ctx.prepared, &plan, &cfg, injector, &dopts)
-        .map_err(|e| e.to_string())?;
-    match d.outcome {
-        Some(o) => {
-            if let (Some(dir), Some(tl)) = (&ctx.config.trace_dir, &o.timeline) {
-                // Trace export is best-effort: a full disk must not fail
-                // the search that already completed.
-                let _ = std::fs::create_dir_all(dir);
-                let _ = std::fs::write(
-                    dir.join(format!("job-{id}.jsonl")),
-                    sw_trace::export::jsonl(tl),
-                );
+        .search_many_resumable(&queries, ctx.prepared, &plan, &cfg, &injector, &dopts);
+    match out {
+        Err(e) => {
+            // Region errors are region-wide: every member fails.
+            let msg = e.to_string();
+            for j in live {
+                ctx.registry
+                    .finish(j.id, JobState::Failed, 0, 0, Some(msg.clone()));
+                let _ = j.reply.send(JobReply::Failed { error: msg.clone() });
             }
-            let hits = o
-                .results
-                .top(top)
-                .iter()
-                .map(|h| (h.score, ctx.prepared.sorted.db().header(h.id).to_string()))
-                .collect();
-            Ok(JobOutcome::Done {
-                hits,
-                resumes: d.resumes,
-            })
         }
-        None => Ok(JobOutcome::Drained { resumes: d.resumes }),
+        Ok(out) => {
+            for ((j, q), tracer) in live.into_iter().zip(out.queries).zip(tracers) {
+                match q.results {
+                    Some(results) => {
+                        if let Some(dir) = &ctx.config.trace_dir {
+                            // Trace export is best-effort: a full disk
+                            // must not fail a finished search.
+                            let _ = std::fs::create_dir_all(dir);
+                            let _ = std::fs::write(
+                                dir.join(format!("job-{}.jsonl", j.id)),
+                                sw_trace::export::jsonl(&tracer.timeline()),
+                            );
+                        }
+                        let hits: Vec<(i64, String)> = results
+                            .top(j.top)
+                            .iter()
+                            .map(|h| (h.score, ctx.prepared.sorted.db().header(h.id).to_string()))
+                            .collect();
+                        ctx.registry
+                            .finish(j.id, JobState::Done, hits.len(), q.resumes, None);
+                        let _ = j.reply.send(JobReply::Done {
+                            hits,
+                            resumes: q.resumes,
+                            batch,
+                        });
+                    }
+                    None => {
+                        ctx.registry
+                            .finish(j.id, JobState::Cancelled, 0, q.resumes, None);
+                        let _ = j.reply.send(JobReply::Cancelled {
+                            resumes: q.resumes,
+                            batch,
+                        });
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -366,6 +513,59 @@ fn parse_delay_drill(s: &str) -> Result<FaultSpec, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sw_core::SearchEngine;
+    use sw_seq::gen::{generate_database, DbSpec};
+
+    /// A client that hung up before the ack: every write fails.
+    struct BrokenPipe;
+    impl Write for BrokenPipe {
+        fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+        }
+    }
+
+    #[test]
+    fn failed_ack_write_finishes_job_and_releases_quota() {
+        static ACK_SHUTDOWN: DrainSignal = DrainSignal::new();
+        let alphabet = Alphabet::protein();
+        let db = generate_database(&DbSpec {
+            n_seqs: 4,
+            mean_len: 40.0,
+            max_len: 64,
+            seed: 7,
+        });
+        let prepared = PreparedDb::prepare(db, 4, &alphabet);
+        let engine = HeteroEngine::new(SearchEngine::paper_default());
+        let base = HeteroSearchConfig::best(1, 1);
+        let mut config = ServeConfig::new("/tmp/unused-ack-test.sock");
+        config.tenant_quota = 1;
+        let registry = Registry::new();
+        let batcher = Batcher::new();
+        let ctx = Ctx {
+            engine: &engine,
+            prepared: &prepared,
+            alphabet: &alphabet,
+            base: &base,
+            config: &config,
+            registry: &registry,
+            batcher: &batcher,
+            shutdown: &ACK_SHUTDOWN,
+        };
+        let req = crate::client::submit_request("acme", ">q\nMKVLAT\n", 5, None);
+        let err = op_submit(ctx, &req, &mut BrokenPipe).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // The job must not be stuck Queued: it failed, released its
+        // quota, and charged no run slot.
+        let rec = registry.status(1).expect("job was submitted");
+        assert_eq!(rec.state, JobState::Failed, "finished on the error path");
+        assert_eq!(registry.stats().running, 0);
+        registry
+            .submit("acme", 6, 1, Arc::new(DrainSignal::scoped(&ACK_SHUTDOWN)))
+            .expect("quota released after the failed ack");
+    }
 
     #[test]
     fn drill_parser_accepts_delay_only() {

@@ -25,7 +25,11 @@ use sw_serve::{client, json, ServeConfig};
 
 /// The daemon's shutdown signal for this test binary. Jobs are scoped
 /// under it, so requesting it (the `shutdown` op does) drains them all.
+/// Each test gets its own signal: a `DrainSignal` never resets once
+/// requested, so sharing one would poison later tests.
 static SHUTDOWN: DrainSignal = DrainSignal::new();
+static BATCH_SHUTDOWN: DrainSignal = DrainSignal::new();
+static SILENT_SHUTDOWN: DrainSignal = DrainSignal::new();
 
 fn fasta_of(seq: &EncodedSeq, a: &Alphabet) -> String {
     format!(
@@ -252,5 +256,165 @@ fn daemon_end_to_end() {
             "job {id}: every event line must carry its query tag"
         );
     }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+/// Cross-query batching equivalence: four mixed-length queries that
+/// coalesce into ONE shared dual-pool region must each stream a hit
+/// list byte-identical to its solo run; a cancel mid-batch must spare
+/// its batch-mates; and the cancelled query must resume from its
+/// checkpoint on resubmit.
+#[test]
+fn batched_queries_match_solo_runs() {
+    let a = Alphabet::protein();
+    let prepared = PreparedDb::prepare(
+        generate_database(&DbSpec {
+            n_seqs: 60,
+            mean_len: 100.0,
+            max_len: 300,
+            seed: 31,
+        }),
+        4,
+        &a,
+    );
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+
+    let tmp = std::env::temp_dir().join(format!("sw-serve-batch-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).unwrap();
+    let mut config = ServeConfig::new(tmp.join("daemon.sock"));
+    config.max_concurrent = 4;
+    config.tenant_quota = 8;
+    // Wide gather window: the four submits below must land in the same
+    // shared region so the `batch` field can be asserted.
+    config.batch_window_ms = 250;
+    config.checkpoint_dir = Some(tmp.join("ckpt"));
+
+    let qs: Vec<EncodedSeq> = [(60, 41), (90, 42), (140, 43), (500, 44)]
+        .iter()
+        .map(|&(len, seed)| generate_query(len, seed))
+        .collect();
+    let solos: Vec<Vec<(i64, String)>> = qs
+        .iter()
+        .map(|q| solo_hits(&engine, &prepared, &q.residues, 10))
+        .collect();
+    // The cancel victim: long enough that a cancel a few ms into the
+    // run always leaves undone tasks, held open by the delay drill.
+    let qc = generate_query(1200, 45);
+    let solo_c = solo_hits(&engine, &prepared, &qc.residues, 10);
+    let qd = generate_query(80, 46);
+    let solo_d = solo_hits(&engine, &prepared, &qd.residues, 10);
+
+    std::thread::scope(|s| {
+        let server = {
+            let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
+            s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &BATCH_SHUTDOWN))
+        };
+        let socket = config.socket.as_path();
+        wait_for_socket(socket);
+
+        // Phase 1: four concurrent mixed-length submits → one region.
+        let streams: Vec<_> = qs
+            .iter()
+            .map(|q| start_submit(socket, "fleet", &fasta_of(q, &a), None))
+            .collect();
+        for ((r, id), solo) in streams.into_iter().zip(&solos) {
+            let o = finish_submit(r, id);
+            assert_eq!(o.state, "done", "job {id}");
+            assert_eq!(o.batch, 4, "job {id} must share a 4-query region");
+            assert_eq!(&served_hits(&o), solo, "batched == solo for job {id}");
+        }
+
+        // Phase 2: cancel one query mid-batch; its batch-mate finishes
+        // with byte-identical hits.
+        let (rc, idc) = start_submit(socket, "fleet", &fasta_of(&qc, &a), Some("delay@0:400"));
+        let (rd, idd) = start_submit(socket, "fleet", &fasta_of(&qd, &a), None);
+        wait_for_state(socket, idc, "running");
+        let c = client::request(socket, &client::cancel_request(idc)).unwrap();
+        assert_eq!(json::field_bool(&c[0], "ok"), Some(true), "{c:?}");
+        let oc = finish_submit(rc, idc);
+        let od = finish_submit(rd, idd);
+        assert_eq!(oc.state, "cancelled", "victim drained out of the region");
+        assert_eq!(od.state, "done", "batch-mate survives the cancel");
+        assert_eq!(served_hits(&od), solo_d, "batch-mate hits untouched");
+        assert_eq!(
+            std::fs::read_dir(tmp.join("ckpt")).unwrap().count(),
+            1,
+            "cancelled query leaves exactly its own checkpoint"
+        );
+
+        // Phase 3: resubmit the victim — resumes from the checkpoint,
+        // still byte-identical to solo.
+        let (rr, idr) = start_submit(socket, "fleet", &fasta_of(&qc, &a), None);
+        let or = finish_submit(rr, idr);
+        assert_eq!(or.state, "done");
+        assert!(or.resumes >= 1, "resubmit must resume, not restart");
+        assert_eq!(served_hits(&or), solo_c, "resumed mid-batch == solo");
+        assert_eq!(
+            std::fs::read_dir(tmp.join("ckpt")).unwrap().count(),
+            0,
+            "completion removes the checkpoint"
+        );
+
+        let st = client::request(socket, &client::stats_request()).unwrap();
+        assert_eq!(json::field_u64(&st[0], "jobs"), Some(7), "{st:?}");
+        assert_eq!(json::field_u64(&st[0], "done"), Some(6), "{st:?}");
+        assert_eq!(json::field_u64(&st[0], "cancelled"), Some(1), "{st:?}");
+
+        client::request(socket, &client::shutdown_request()).unwrap();
+        server.join().unwrap().expect("serve");
+    });
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+/// Regression for the shutdown wedge: a client that connects and never
+/// sends a request used to park `handle_connection` in a blocking
+/// `read_line` forever, so the scoped join in `serve` never returned.
+/// With the read timeout + shutdown polling, `serve` must return while
+/// the silent connection is still open.
+#[test]
+fn silent_connection_does_not_block_shutdown() {
+    let a = Alphabet::protein();
+    let prepared = PreparedDb::prepare(
+        generate_database(&DbSpec {
+            n_seqs: 8,
+            mean_len: 60.0,
+            max_len: 120,
+            seed: 51,
+        }),
+        4,
+        &a,
+    );
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-serve-silent-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).unwrap();
+    let config = ServeConfig::new(tmp.join("daemon.sock"));
+
+    std::thread::scope(|s| {
+        let server = {
+            let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
+            s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &SILENT_SHUTDOWN))
+        };
+        let socket = config.socket.as_path();
+        wait_for_socket(socket);
+        // Open a connection and say nothing; keep it open across the
+        // whole shutdown sequence.
+        let silent = UnixStream::connect(socket).expect("silent connect");
+        // Give the accept loop a beat to hand it to a connection thread
+        // (the wedge needs the thread parked in the request read).
+        std::thread::sleep(Duration::from_millis(100));
+        let sh = client::request(socket, &client::shutdown_request()).unwrap();
+        assert_eq!(json::field_bool(&sh[0], "ok"), Some(true), "{sh:?}");
+        let t0 = Instant::now();
+        server.join().unwrap().expect("serve");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "serve() must return promptly despite the open silent connection"
+        );
+        drop(silent);
+    });
     std::fs::remove_dir_all(&tmp).ok();
 }

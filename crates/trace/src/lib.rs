@@ -489,6 +489,25 @@ impl Tracer {
         }
     }
 
+    /// Open a per-task span on this tracer: a one-task chunk attributed
+    /// to `(device, worker-lane = task's db-batch index or similar)`.
+    ///
+    /// This is how a *shared* multi-query region produces *per-query*
+    /// timelines: the region's executor traces into the region tracer as
+    /// usual, while each task closure additionally opens a `task_span`
+    /// on the tracer of the query that owns the task. The span flushes on
+    /// `finish`, so each task lands as its own track and concurrent tasks
+    /// of one query never interleave events within a track.
+    pub fn task_span(&self, device: usize, worker: usize, task: usize) -> TaskSpan {
+        let journal = self.worker(device, worker);
+        let begin = journal.stamp();
+        TaskSpan {
+            journal,
+            begin,
+            task,
+        }
+    }
+
     /// Drain every flushed journal into a [`Timeline`]. Tracks are
     /// ordered by (device, worker); journals still alive are not
     /// included, so drop (or [`WorkerJournal::flush`]) them first.
@@ -636,6 +655,36 @@ impl WorkerJournal {
 impl Drop for WorkerJournal {
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+/// An open per-task span from [`Tracer::task_span`]: one task of a shared
+/// multi-query region, traced onto the owning query's own tracer (and
+/// therefore its own epoch and query tag). Dropping without
+/// [`TaskSpan::finish`] records nothing — an abandoned task leaves no
+/// half-open span behind.
+pub struct TaskSpan {
+    journal: WorkerJournal,
+    begin: Stamp,
+    task: usize,
+}
+
+impl TaskSpan {
+    /// Close the span: emits a balanced `chunk_start`/`chunk_finish` pair
+    /// covering task range `[task, task+1)` and flushes the track.
+    pub fn finish(mut self, lease: u64, cells: u64) {
+        let (lo, hi) = (self.task, self.task + 1);
+        self.journal.span_from(
+            self.begin,
+            EventKind::ChunkStart { lease, lo, hi },
+            EventKind::ChunkFinish {
+                lease,
+                lo,
+                hi,
+                cells,
+            },
+        );
+        self.journal.flush();
     }
 }
 
@@ -882,6 +931,33 @@ impl Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn task_spans_keep_shared_batch_queries_separable() {
+        // Two queries share one device region; each task of the region
+        // opens a task_span on its owner's tracer. Every event must land
+        // on its owner's timeline with its owner's query tag, and each
+        // per-query export must validate (balanced spans) on its own.
+        let tr_a = Tracer::for_query(TraceLevel::Full, 64, 7);
+        let tr_b = Tracer::for_query(TraceLevel::Full, 64, 8);
+        for task in 0..4usize {
+            let owner = if task % 2 == 0 { &tr_a } else { &tr_b };
+            let span = owner.task_span(1, task % 2, task);
+            span.finish(task as u64, 100 + task as u64);
+        }
+        // An abandoned span (query cancelled mid-batch) records nothing.
+        drop(tr_a.task_span(1, 0, 99));
+        for (tr, query) in [(&tr_a, 7u64), (&tr_b, 8)] {
+            let tl = tr.timeline();
+            assert_eq!(tl.query_ids(), vec![query]);
+            assert_eq!(tl.count("chunk"), 4, "2 begin + 2 end events");
+            let text = export::jsonl(&tl);
+            let report = validate::validate_jsonl(&text)
+                .unwrap_or_else(|e| panic!("query {query}: {e}"));
+            assert_eq!(report.queries, 1, "one query id per export");
+            assert_eq!(report.spans, 2);
+        }
+    }
 
     #[test]
     fn disabled_tracer_records_nothing() {

@@ -13,13 +13,13 @@
 //! (default 1).
 
 use std::time::Instant;
+use sw_bench::Table;
 use sw_core::{
     BatchQuery, DurableOptions, HeteroEngine, HeteroSearchConfig, PreparedDb, SearchEngine,
 };
 use sw_sched::FaultInjector;
 use sw_seq::gen::{generate_database, generate_query, DbSpec};
 use sw_seq::{Alphabet, EncodedSeq};
-use sw_bench::Table;
 
 fn main() {
     let scale: f64 = std::env::args()

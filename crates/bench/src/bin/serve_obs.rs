@@ -1,0 +1,174 @@
+//! Observability-plane overhead on the daemon's batched path: aggregate
+//! GCUPS of N concurrent queries through ONE shared dual-pool region,
+//! bare (`search_many_resumable` alone, PR 7's collector hot path) vs
+//! fully instrumented (the same region wrapped in every per-job
+//! bookkeeping call the daemon makes — registry lifecycle stamps, obs
+//! histograms, cells/region counters, plus one Prometheus render per
+//! pass standing in for the periodic `--metrics-file` dump).
+//!
+//! This extends the `trace-overhead` guard (results/trace-overhead.csv,
+//! per-search tracer) to the serve plane: the observability layer must
+//! cost under 2% of batched throughput. Results land in
+//! `results/serve-obs.csv`.
+//!
+//! Usage: `serve_obs [scale]` — scale multiplies the database size
+//! (default 1).
+
+use std::sync::Arc;
+use std::time::Instant;
+use sw_bench::Table;
+use sw_core::{
+    BatchQuery, DurableOptions, HeteroEngine, HeteroSearchConfig, PreparedDb, SearchEngine,
+};
+use sw_sched::{DrainSignal, FaultInjector};
+use sw_seq::gen::{generate_database, generate_query, DbSpec};
+use sw_seq::{Alphabet, EncodedSeq};
+use sw_serve::{JobState, Obs, ObsConfig, Registry};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let alphabet = Alphabet::protein();
+    let spec = DbSpec {
+        n_seqs: ((48.0 * scale) as u32).max(16),
+        mean_len: 120.0,
+        max_len: 600,
+        seed: 42,
+    };
+    let prepared = PreparedDb::prepare(generate_database(&spec), 8, &alphabet);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let config = HeteroSearchConfig::best(8, 8);
+    let injector = FaultInjector::none();
+    let opts = DurableOptions {
+        checkpoint_path: None,
+        checkpoint_dir: None,
+        interval_chunks: u64::MAX,
+        drain: None,
+        resume: false,
+    };
+    let lens = [16u32, 24, 32, 48];
+    let total_residues = prepared.stats.total_residues as f64;
+
+    // One obs plane + registry across the whole run, like a daemon
+    // lifetime; quota is sized so no bench submit is ever rejected.
+    let obs = Arc::new(Obs::new(ObsConfig::default()));
+    let registry = Registry::with_obs(obs.clone());
+    let quota = 1_000_000;
+
+    let mut t = Table::new(
+        "Observability overhead — batched region GCUPS, bare vs instrumented",
+        &[
+            "concurrency",
+            "bare_ms",
+            "obs_ms",
+            "bare_gcups",
+            "obs_gcups",
+            "overhead_pct",
+        ],
+    );
+    let mut worst = 0.0f64;
+    for n in [2usize, 4, 8] {
+        let queries: Vec<EncodedSeq> = (0..n)
+            .map(|i| generate_query(lens[i % lens.len()], 7 + i as u64))
+            .collect();
+        let plan_len = queries.iter().map(|q| q.residues.len()).max().unwrap();
+        let plan = engine.plan_split(&prepared, plan_len, 0.55);
+        let cells: f64 = queries
+            .iter()
+            .map(|q| q.residues.len() as f64 * total_residues)
+            .sum();
+
+        // Best of nine samples of REPS passes each, same protocol as
+        // results/batch.csv — regions are a few ms, too small to time
+        // alone.
+        const REPS: u32 = 5;
+        let mut bare_s = f64::MAX;
+        let mut obs_s = f64::MAX;
+        for _ in 0..9 {
+            let batch: Vec<BatchQuery<'_>> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| BatchQuery {
+                    residues: &q.residues,
+                    id: i as u64,
+                    cancel: None,
+                    tracer: None,
+                })
+                .collect();
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                let out = engine
+                    .search_many_resumable(&batch, &prepared, &plan, &config, &injector, &opts)
+                    .expect("bare region");
+                assert!(out.queries.iter().all(|q| q.results.is_some()));
+            }
+            bare_s = bare_s.min(t0.elapsed().as_secs_f64() / REPS as f64);
+
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                // The daemon's per-job bookkeeping, replicated from
+                // op_submit + run_batch_jobs: submit/admit stamps on
+                // the way in, gather/running at region formation,
+                // cells/first-hit/finish on the way out.
+                let ids: Vec<u64> = queries
+                    .iter()
+                    .map(|q| {
+                        let (id, _) = registry
+                            .submit(
+                                "bench",
+                                q.residues.len(),
+                                quota,
+                                Arc::new(DrainSignal::new()),
+                            )
+                            .expect("quota sized for the bench");
+                        registry.mark_admitted(id);
+                        id
+                    })
+                    .collect();
+                for id in &ids {
+                    registry.mark_gathered(*id, n);
+                    assert!(registry.mark_running(*id));
+                }
+                obs.on_region(n);
+                let out = engine
+                    .search_many_resumable(&batch, &prepared, &plan, &config, &injector, &opts)
+                    .expect("instrumented region");
+                for (id, (q, res)) in ids.iter().zip(queries.iter().zip(&out.queries)) {
+                    obs.on_cells(
+                        q.residues.len() as u64 * total_residues as u64,
+                        obs.now_us(),
+                    );
+                    registry.record_first_hit(*id);
+                    registry.finish(*id, JobState::Done, 10, res.resumes, None);
+                }
+                // Periodic metrics dump stand-in: render one scrape.
+                let scrape = obs.prometheus(&registry.stats(), n);
+                assert!(scrape.contains("sw_serve_done_total"));
+            }
+            obs_s = obs_s.min(t0.elapsed().as_secs_f64() / REPS as f64);
+        }
+        let bare_g = cells / bare_s / 1e9;
+        let obs_g = cells / obs_s / 1e9;
+        let overhead_pct = 100.0 * (1.0 - obs_g / bare_g);
+        worst = worst.max(overhead_pct);
+        t.row(vec![
+            n.to_string(),
+            format!("{:.2}", bare_s * 1e3),
+            format!("{:.2}", obs_s * 1e3),
+            format!("{bare_g:.3}"),
+            format!("{obs_g:.3}"),
+            format!("{overhead_pct:.2}"),
+        ]);
+    }
+    t.emit("serve-obs");
+    println!(
+        "observability plane worst-case overhead on the batched path: {worst:.2}% \
+         (budget 2%)."
+    );
+    assert!(
+        worst < 2.0,
+        "observability plane costs {worst:.2}% of batched throughput (budget 2%)"
+    );
+}

@@ -28,9 +28,12 @@ USAGE:
                     [--tenant-quota <n>] [--batch-window-ms <ms>]
                     [--checkpoint-dir <dir>]
                     [--trace-dir <dir>] [--registry-out <path>] [--lanes <n>]
+                    [--log-level <l>] [--log-file <path>]
+                    [--slow-query-ms <ms>] [--metrics-file <path>]
+                    [--metrics-interval-ms <ms>]
   swsearch submit   --socket <path> (--query <fasta> | --status <job> |
-                    --cancel <job> | --stats | --shutdown)
-                    [--tenant <name>] [--top <k>]
+                    --cancel <job> | --stats | --metrics | --health |
+                    --shutdown) [--tenant <name>] [--top <k>] [--json]
   swsearch trace-check [--trace <jsonl>] [--metrics <prom>]
 
 SEARCH OPTIONS:
@@ -120,6 +123,17 @@ SERVE OPTIONS:
                       to <dir>/job-<id>.jsonl
   --registry-out <path> (serve) dump the job registry as JSONL on
                       shutdown
+  --log-level <l>     (serve) structured ops log threshold: off | error |
+                      warn | info | debug (default info; one JSON line
+                      per lifecycle transition)
+  --log-file <path>   (serve) append ops-log lines here instead of stderr
+  --slow-query-ms <ms> (serve) count + warn-log jobs slower than this
+                      submit→terminal; with --trace-dir their merged
+                      timeline is dumped as slow-job-<id>.jsonl
+  --metrics-file <path> (serve) periodically dump the daemon-lifetime
+                      Prometheus snapshot here (atomic replace)
+  --metrics-interval-ms <ms> (serve) dump cadence for --metrics-file
+                      (default 1000)
   --drill <spec>      (submit) per-job fault drill forwarded to the
                       daemon, e.g. delay@0:1500 (accel chunk 0 sleeps
                       1500 ms) — test hook, hits stay exact
@@ -128,7 +142,13 @@ SERVE OPTIONS:
   --status <job>      (submit) report one job instead of submitting
   --cancel <job>      (submit) drain a running job gracefully
   --stats             (submit) registry summary counts
+  --metrics           (submit) fetch the daemon-lifetime Prometheus
+                      snapshot (raw text on stdout)
+  --health            (submit) readiness/liveness probe; exit code 0
+                      only when the daemon reports ready
   --shutdown          (submit) drain the daemon and exit
+  --json              (submit) print raw wire JSON lines instead of
+                      human-formatted text (submit/status/stats)
 
 TRACE-CHECK OPTIONS:
   --trace <path>      validate a JSONL event log: schema header, per-track
@@ -281,6 +301,16 @@ pub enum Command {
         trace_dir: Option<String>,
         /// Dump the job registry as JSONL here on shutdown.
         registry_out: Option<String>,
+        /// Ops-log threshold.
+        log_level: sw_serve::LogLevel,
+        /// Ops-log destination (stderr when `None`).
+        log_file: Option<String>,
+        /// Slow-query threshold in ms (`None` disables).
+        slow_query_ms: Option<u64>,
+        /// Periodic Prometheus scrape dump path.
+        metrics_file: Option<String>,
+        /// Dump cadence for `metrics_file` in ms.
+        metrics_interval_ms: u64,
         /// Scoring/search knobs shared by every job.
         opts: SearchOpts,
     },
@@ -298,12 +328,18 @@ pub enum Command {
         cancel: Option<u64>,
         /// Print a registry summary.
         stats: bool,
+        /// Fetch the daemon-lifetime Prometheus snapshot.
+        metrics: bool,
+        /// Readiness/liveness probe.
+        health: bool,
         /// Drain in-flight jobs and stop the daemon.
         shutdown: bool,
         /// Fault drill forwarded with the job (e.g. `delay@0:1500`).
         drill: Option<String>,
         /// Hits to return.
         top: usize,
+        /// Print raw wire JSON lines instead of human-formatted text.
+        json: bool,
     },
     /// Validate exported trace artifacts (CI gate for `--trace-out` /
     /// `--metrics-out` files).
@@ -703,6 +739,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if tenant_quota == 0 {
                 return Err(err("--tenant-quota must be at least 1"));
             }
+            let log_level = match a.opt_value("--log-level") {
+                None => sw_serve::LogLevel::Info,
+                Some(v) => sw_serve::LogLevel::parse(&v)
+                    .ok_or_else(|| err(format!("bad value for --log-level: '{v}'")))?,
+            };
+            let slow_query_ms = a
+                .opt_value("--slow-query-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| err(format!("bad value for --slow-query-ms: '{v}'")))
+                })
+                .transpose()?;
             Ok(Command::Serve {
                 db: a.value_of("--db")?,
                 socket: a.value_of("--socket")?,
@@ -713,6 +761,11 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 checkpoint_dir: a.opt_value("--checkpoint-dir"),
                 trace_dir: a.opt_value("--trace-dir"),
                 registry_out: a.opt_value("--registry-out"),
+                log_level,
+                log_file: a.opt_value("--log-file"),
+                slow_query_ms,
+                metrics_file: a.opt_value("--metrics-file"),
+                metrics_interval_ms: a.parse_num("--metrics-interval-ms", 1000u64)?,
                 opts,
             })
         }
@@ -735,14 +788,19 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 .transpose()?;
             let stats = a.has_flag("--stats");
             let shutdown = a.has_flag("--shutdown");
+            let metrics = a.has_flag("--metrics");
+            let health = a.has_flag("--health");
             let ops = usize::from(query.is_some())
                 + usize::from(status.is_some())
                 + usize::from(cancel.is_some())
                 + usize::from(stats)
-                + usize::from(shutdown);
+                + usize::from(shutdown)
+                + usize::from(metrics)
+                + usize::from(health);
             if ops != 1 {
                 return Err(err(
-                    "submit needs exactly one of --query, --status, --cancel, --stats, --shutdown",
+                    "submit needs exactly one of --query, --status, --cancel, --stats, \
+                     --shutdown, --metrics, --health",
                 ));
             }
             Ok(Command::Submit {
@@ -753,8 +811,11 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 cancel,
                 stats,
                 shutdown,
+                metrics,
+                health,
                 drill: a.opt_value("--drill"),
                 top: a.parse_num("--top", 10usize)?,
+                json: a.has_flag("--json"),
             })
         }
         "trace-check" => {
@@ -1191,6 +1252,11 @@ mod tests {
                 checkpoint_dir,
                 trace_dir,
                 registry_out,
+                log_level,
+                log_file,
+                slow_query_ms,
+                metrics_file,
+                metrics_interval_ms,
                 ..
             } => {
                 assert_eq!(db, "d.swdb");
@@ -1201,12 +1267,19 @@ mod tests {
                 assert_eq!(checkpoint_dir, None);
                 assert_eq!(trace_dir, None);
                 assert_eq!(registry_out, None);
+                assert_eq!(log_level, sw_serve::LogLevel::Info);
+                assert_eq!(log_file, None);
+                assert_eq!(slow_query_ms, None);
+                assert_eq!(metrics_file, None);
+                assert_eq!(metrics_interval_ms, 1000);
             }
             other => panic!("{other:?}"),
         }
         match parse(&argv(
             "serve --db d.swdb --socket s.sock --max-concurrent 3 --tenant-quota 1 \
-             --batch-window-ms 50 --checkpoint-dir ck --trace-dir tr --registry-out reg.jsonl",
+             --batch-window-ms 50 --checkpoint-dir ck --trace-dir tr --registry-out reg.jsonl \
+             --log-level debug --log-file ops.jsonl --slow-query-ms 250 \
+             --metrics-file scrape.prom --metrics-interval-ms 200",
         ))
         .unwrap()
         {
@@ -1217,6 +1290,11 @@ mod tests {
                 checkpoint_dir,
                 trace_dir,
                 registry_out,
+                log_level,
+                log_file,
+                slow_query_ms,
+                metrics_file,
+                metrics_interval_ms,
                 ..
             } => {
                 assert_eq!(max_concurrent, 3);
@@ -1225,6 +1303,11 @@ mod tests {
                 assert_eq!(checkpoint_dir.as_deref(), Some("ck"));
                 assert_eq!(trace_dir.as_deref(), Some("tr"));
                 assert_eq!(registry_out.as_deref(), Some("reg.jsonl"));
+                assert_eq!(log_level, sw_serve::LogLevel::Debug);
+                assert_eq!(log_file.as_deref(), Some("ops.jsonl"));
+                assert_eq!(slow_query_ms, Some(250));
+                assert_eq!(metrics_file.as_deref(), Some("scrape.prom"));
+                assert_eq!(metrics_interval_ms, 200);
             }
             other => panic!("{other:?}"),
         }
@@ -1232,6 +1315,8 @@ mod tests {
         assert!(parse(&argv("serve --db d")).is_err(), "needs --socket");
         assert!(parse(&argv("serve --db d --socket s --max-concurrent 0")).is_err());
         assert!(parse(&argv("serve --db d --socket s --tenant-quota 0")).is_err());
+        assert!(parse(&argv("serve --db d --socket s --log-level loud")).is_err());
+        assert!(parse(&argv("serve --db d --socket s --slow-query-ms x")).is_err());
     }
 
     #[test]
@@ -1276,9 +1361,26 @@ mod tests {
             parse(&argv("submit --socket s.sock --shutdown")).unwrap(),
             Command::Submit { shutdown: true, .. }
         ));
+        assert!(matches!(
+            parse(&argv("submit --socket s.sock --metrics")).unwrap(),
+            Command::Submit { metrics: true, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("submit --socket s.sock --health")).unwrap(),
+            Command::Submit { health: true, .. }
+        ));
+        assert!(matches!(
+            parse(&argv("submit --socket s.sock --stats --json")).unwrap(),
+            Command::Submit {
+                stats: true,
+                json: true,
+                ..
+            }
+        ));
         // Zero or two operations are both rejected.
         assert!(parse(&argv("submit --socket s.sock")).is_err());
         assert!(parse(&argv("submit --socket s.sock --query q --stats")).is_err());
+        assert!(parse(&argv("submit --socket s.sock --metrics --health")).is_err());
         assert!(parse(&argv("submit --query q")).is_err(), "needs --socket");
     }
 

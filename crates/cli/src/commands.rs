@@ -216,6 +216,11 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             checkpoint_dir,
             trace_dir,
             registry_out,
+            log_level,
+            log_file,
+            slow_query_ms,
+            metrics_file,
+            metrics_interval_ms,
             opts,
         } => cmd_serve(
             &db,
@@ -228,6 +233,11 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 checkpoint_dir,
                 trace_dir,
                 registry_out,
+                log_level,
+                log_file,
+                slow_query_ms,
+                metrics_file,
+                metrics_interval_ms,
             },
             &opts,
             out,
@@ -240,8 +250,11 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             cancel,
             stats,
             shutdown,
+            metrics,
+            health,
             drill,
             top,
+            json,
         } => cmd_submit(
             &socket,
             SubmitOp {
@@ -251,8 +264,11 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 cancel,
                 stats,
                 shutdown,
+                metrics,
+                health,
                 drill,
                 top,
+                json,
             },
             out,
         ),
@@ -899,9 +915,13 @@ fn cmd_trace_check<W: Write>(
     }
     if let Some(path) = metrics {
         let text = std::fs::read_to_string(path)?;
-        let samples =
-            sw_trace::validate::validate_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
-        writeln!(out, "{path}: OK ({samples} samples)")?;
+        let report = sw_trace::validate::validate_prometheus_strict(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        writeln!(
+            out,
+            "{path}: OK ({} families, {} samples)",
+            report.families, report.samples
+        )?;
     }
     Ok(())
 }
@@ -967,6 +987,11 @@ struct ServeTuning {
     checkpoint_dir: Option<String>,
     trace_dir: Option<String>,
     registry_out: Option<String>,
+    log_level: sw_serve::LogLevel,
+    log_file: Option<String>,
+    slow_query_ms: Option<u64>,
+    metrics_file: Option<String>,
+    metrics_interval_ms: u64,
 }
 
 fn cmd_serve<W: Write>(
@@ -1033,6 +1058,12 @@ fn cmd_serve<W: Write>(
     config.trace_dir = tuning.trace_dir.map(Into::into);
     config.registry_out = tuning.registry_out.map(Into::into);
     config.default_top = opts.top;
+    config.log_level = tuning.log_level;
+    config.log_file = tuning.log_file.map(Into::into);
+    config.slow_query_ms = tuning.slow_query_ms;
+    config.metrics_file = tuning.metrics_file.map(Into::into);
+    config.metrics_interval_ms = tuning.metrics_interval_ms;
+    config.snapshot_digest = digest;
     crate::signals::install_drain_handlers();
     writeln!(
         out,
@@ -1067,7 +1098,8 @@ fn cmd_serve<W: Write>(
 }
 
 /// One client operation carried from the `submit` arg parse to
-/// `cmd_submit` (exactly one of query/status/cancel/stats/shutdown).
+/// `cmd_submit` (exactly one of
+/// query/status/cancel/stats/shutdown/metrics/health).
 struct SubmitOp {
     query: Option<String>,
     tenant: String,
@@ -1075,18 +1107,56 @@ struct SubmitOp {
     cancel: Option<u64>,
     stats: bool,
     shutdown: bool,
+    metrics: bool,
+    health: bool,
     drill: Option<String>,
     top: usize,
+    json: bool,
 }
 
 fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), CmdError> {
     use sw_serve::client;
     let socket = std::path::Path::new(socket);
+    if op.metrics {
+        // Raw Prometheus text: many lines, pass through untouched.
+        for line in client::request(socket, &client::metrics_request())? {
+            writeln!(out, "{line}")?;
+        }
+        return Ok(());
+    }
+    if op.health {
+        // One JSON line; exit status doubles as the readiness probe.
+        let lines = client::request(socket, &client::health_request())?;
+        let line = lines.first().ok_or("empty response")?;
+        writeln!(out, "{line}")?;
+        return if sw_serve::json::field_bool(line, "ready") == Some(true) {
+            Ok(())
+        } else {
+            Err("daemon not ready".into())
+        };
+    }
     if let Some(query_path) = &op.query {
         let fasta = std::fs::read_to_string(query_path)?;
         let req = client::submit_request(&op.tenant, &fasta, op.top, op.drill.as_deref());
         let lines = client::request(socket, &req)?;
         let outcome = client::parse_submit_response(&lines).map_err(|e| format!("submit: {e}"))?;
+        if op.json {
+            // Raw wire lines, one JSON object per line; the outcome is
+            // still parsed above so rejects and failures keep their
+            // non-zero exit status.
+            for line in &lines {
+                writeln!(out, "{line}")?;
+            }
+            return match outcome.state.as_str() {
+                "done" | "cancelled" => Ok(()),
+                other => Err(format!(
+                    "job {} {other}: {}",
+                    outcome.job,
+                    outcome.error.as_deref().unwrap_or("no detail")
+                )
+                .into()),
+            };
+        }
         match outcome.state.as_str() {
             "done" => {
                 writeln!(
@@ -1148,6 +1218,8 @@ fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), C
                 .unwrap_or_else(|| "request failed".to_string())
                 .into());
         }
+        // status/stats/shutdown answers are already one JSON line, so
+        // --json and the default rendering coincide.
         writeln!(out, "{line}")?;
         Ok(())
     }
@@ -1719,6 +1791,85 @@ mod tests {
         let (code, text) = run_str("stats --db /nonexistent/x.fasta");
         assert_eq!(code, 1);
         assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn submit_json_mode_streams_wire_lines() {
+        // An in-process daemon exercises the client-side --json /
+        // --metrics / --health paths end to end: raw line-delimited
+        // JSON on submit and stats, a validator-clean scrape, and the
+        // health probe's exit status.
+        let fasta = tmp("servejson.fasta");
+        let snap = tmp("servejson.swdb");
+        run_str(&format!(
+            "gendb --seqs 30 --out {fasta} --seed 21 --mean-len 80"
+        ));
+        let (code, text) = run_str(&format!("makedb --in {fasta} --out {snap}"));
+        assert_eq!(code, 0, "{text}");
+        let alphabet = Alphabet::protein();
+        let seqs = load_sequences(&fasta, &alphabet).unwrap();
+        let q_path = tmp("servejson-q.fasta");
+        let mut w = FastaWriter::new(std::fs::File::create(&q_path).unwrap());
+        w.write(&seqs[2], &alphabet).unwrap();
+        w.into_inner().unwrap();
+
+        let socket = tmp("servejson.sock");
+        let _ = std::fs::remove_file(&socket);
+        let serve_line = format!("serve --db {snap} --socket {socket} --log-level off");
+        let daemon = std::thread::spawn(move || run_str(&serve_line));
+        let mut ready = false;
+        for _ in 0..400 {
+            if run_str(&format!("submit --socket {socket} --health")).0 == 0 {
+                ready = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(ready, "daemon never became ready");
+
+        // --json on the submit path: every output line is one JSON
+        // object, ack first, end marker last.
+        let (code, text) = run_str(&format!(
+            "submit --socket {socket} --query {q_path} --tenant acme --json"
+        ));
+        assert_eq!(code, 0, "{text}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "ack + state + end at minimum:\n{text}");
+        for l in &lines {
+            assert!(
+                l.starts_with('{') && l.ends_with('}'),
+                "not a JSON line: {l}"
+            );
+        }
+        assert_eq!(sw_serve::json::field_bool(lines[0], "ok"), Some(true));
+        assert_eq!(
+            sw_serve::json::field_str(lines[1], "state").as_deref(),
+            Some("done")
+        );
+        assert_eq!(
+            sw_serve::json::field_bool(lines.last().unwrap(), "end"),
+            Some(true)
+        );
+
+        // --json on stats: one JSON line carrying cumulative counters.
+        let (code, text) = run_str(&format!("submit --socket {socket} --stats --json"));
+        assert_eq!(code, 0, "{text}");
+        let line = text.lines().next().unwrap();
+        assert_eq!(
+            sw_serve::json::field_u64(line, "done_total"),
+            Some(1),
+            "{line}"
+        );
+
+        // --metrics passes the Prometheus scrape through verbatim.
+        let (code, text) = run_str(&format!("submit --socket {socket} --metrics"));
+        assert_eq!(code, 0);
+        sw_trace::validate::validate_prometheus_strict(&text).unwrap();
+
+        let (code, _) = run_str(&format!("submit --socket {socket} --shutdown"));
+        assert_eq!(code, 0);
+        let (code, text) = daemon.join().unwrap();
+        assert_eq!(code, 0, "{text}");
     }
 
     #[test]

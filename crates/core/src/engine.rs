@@ -170,12 +170,10 @@ impl SearchEngine {
         merged
             .into_iter()
             .map(|(hits, cells, rescued)| {
-                let elapsed_q = if total_padded == 0 {
-                    elapsed
-                } else {
-                    let ns = elapsed.as_nanos() * cells.padded as u128 / total_padded;
-                    std::time::Duration::from_nanos(ns as u64)
-                };
+                let elapsed_q = (elapsed.as_nanos() * cells.padded as u128)
+                    .checked_div(total_padded)
+                    .map(|ns| std::time::Duration::from_nanos(ns as u64))
+                    .unwrap_or(elapsed);
                 SearchResults::new(hits, elapsed_q, cells, rescued)
             })
             .collect()

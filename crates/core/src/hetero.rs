@@ -707,7 +707,10 @@ impl HeteroEngine {
                         .iter()
                         .map(|q| SearchFingerprint::with_db_digest(db_digest, db, q.residues))
                         .collect();
-                    let paths = fps.iter().map(|fp| Some(dir.join(fp.file_name()))).collect();
+                    let paths = fps
+                        .iter()
+                        .map(|fp| Some(dir.join(fp.file_name())))
+                        .collect();
                     (fps, paths)
                 }
             };
@@ -799,8 +802,10 @@ impl HeteroEngine {
         // region ends (it is removed with their results).
         let on_checkpoint = |view: CheckpointView<'_, BatchOut>| -> u64 {
             let mut total = 0u64;
-            for qi in 0..queries.len() {
-                let Some(path) = &ckpt_paths[qi] else { continue };
+            for (qi, ckpt_path) in ckpt_paths.iter().enumerate() {
+                let Some(path) = ckpt_path else {
+                    continue;
+                };
                 let slots_q = &view.slots[qi * n_batches..(qi + 1) * n_batches];
                 if slots_q.iter().all(|s| s.is_some()) {
                     continue;
@@ -920,12 +925,10 @@ impl HeteroEngine {
                     cells.add(*batch_cells);
                     rescued += batch_rescued;
                 }
-                let elapsed_q = if total_padded == 0 {
-                    elapsed
-                } else {
-                    let ns = elapsed.as_nanos() * per_q_padded[qi] / total_padded;
-                    std::time::Duration::from_nanos(ns as u64)
-                };
+                let elapsed_q = (elapsed.as_nanos() * per_q_padded[qi])
+                    .checked_div(total_padded)
+                    .map(|ns| std::time::Duration::from_nanos(ns as u64))
+                    .unwrap_or(elapsed);
                 outcomes.push(BatchQueryOutcome {
                     id: q.id,
                     results: Some(
@@ -939,8 +942,7 @@ impl HeteroEngine {
                 });
                 continue;
             }
-            let cancelled =
-                q.cancel.is_some_and(|c| c.is_requested()) || out.drained;
+            let cancelled = q.cancel.is_some_and(|c| c.is_requested()) || out.drained;
             if cancelled {
                 // Final exact checkpoint: written after the pools exited,
                 // its failure is a hard error — a cancelled query without

@@ -94,6 +94,12 @@ impl Batcher {
         true
     }
 
+    /// Jobs currently parked waiting for a region — the queue-depth
+    /// gauge the health probe reports against the region cap.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
     /// Collector side: block until at least one job is queued (or
     /// shutdown fires), let the gather window elapse so concurrent
     /// submits join the same region, then take up to `max` jobs in

@@ -42,6 +42,19 @@ pub fn shutdown_request() -> String {
     "{\"op\":\"shutdown\"}".to_string()
 }
 
+/// Build a `metrics` request line. The daemon answers with a raw
+/// Prometheus text snapshot (many lines, not JSON).
+pub fn metrics_request() -> String {
+    "{\"op\":\"metrics\"}".to_string()
+}
+
+/// Build a `health` request line. The daemon answers with one JSON
+/// line; `ready` carries the readiness verdict, answering at all is
+/// liveness.
+pub fn health_request() -> String {
+    "{\"op\":\"health\"}".to_string()
+}
+
 /// Send one request line and collect every response line until the
 /// daemon closes the connection. For `submit` this blocks until the job
 /// finishes (the daemon streams the result on the same connection).
@@ -174,6 +187,14 @@ mod tests {
         assert_eq!(
             json::field_str(&shutdown_request(), "op").as_deref(),
             Some("shutdown")
+        );
+        assert_eq!(
+            json::field_str(&metrics_request(), "op").as_deref(),
+            Some("metrics")
+        );
+        assert_eq!(
+            json::field_str(&health_request(), "op").as_deref(),
+            Some("health")
         );
     }
 }

@@ -19,11 +19,20 @@
 //! reply channels; the CLI's `serve`/`submit` commands and the
 //! integration tests are both thin wrappers over these modules.
 
+//! Observability: every lifecycle transition is stamped on the job's
+//! [`obs::Phases`] record and folded into the daemon-lifetime
+//! aggregator in [`obs`] — phase-latency histograms, SLO counters and
+//! windowed aggregate GCUPS served as a Prometheus snapshot by
+//! `{"op":"metrics"}`, readiness/liveness by `{"op":"health"}`, and a
+//! leveled structured ops log with a slow-query timeline dump.
+
 mod batch;
 pub mod client;
 pub mod json;
+pub mod obs;
 pub mod registry;
 mod server;
 
-pub use registry::{JobRecord, JobState, Registry, StatsSnapshot};
+pub use obs::{LogLevel, Obs, ObsConfig, Phases};
+pub use registry::{JobRecord, JobState, Registry, StatsSnapshot, TenantTotals};
 pub use server::{serve, ServeConfig, ServeError};

@@ -10,6 +10,7 @@
 //! noticed too, since parents don't know about our condvar.
 
 use crate::json;
+use crate::obs::{LogLevel, Obs, Phases};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -60,29 +61,63 @@ pub struct JobRecord {
     pub hits: usize,
     /// How many checkpoint resumes this run stitched together.
     pub resumes: u64,
+    /// Queries sharing this job's region (0 until gathered).
+    pub batch: usize,
+    /// Lifecycle stamps, µs since the daemon epoch.
+    pub phases: Phases,
     /// Failure message for [`JobState::Failed`].
     pub error: Option<String>,
 }
 
 impl JobRecord {
     /// One flat JSON line (the registry dump format; also the `status`
-    /// response body).
+    /// response body). Lifecycle stamps appear only for phases the job
+    /// actually reached.
     pub fn to_json(&self) -> String {
         let mut line = format!(
-            "{{\"job\":{},\"tenant\":\"{}\",\"state\":\"{}\",\"query_len\":{},\"hits\":{},\"resumes\":{}",
+            "{{\"job\":{},\"tenant\":\"{}\",\"state\":\"{}\",\"query_len\":{},\"hits\":{},\"resumes\":{},\"batch\":{},\"submitted_us\":{}",
             self.id,
             json::escape(&self.tenant),
             self.state.name(),
             self.query_len,
             self.hits,
-            self.resumes
+            self.resumes,
+            self.batch,
+            self.phases.submitted_us
         );
+        for (key, stamp) in [
+            ("admitted_us", self.phases.admitted_us),
+            ("gathered_us", self.phases.gathered_us),
+            ("started_us", self.phases.started_us),
+            ("first_hit_us", self.phases.first_hit_us),
+            ("finished_us", self.phases.finished_us),
+        ] {
+            if let Some(t) = stamp {
+                line.push_str(&format!(",\"{key}\":{t}"));
+            }
+        }
         if let Some(e) = &self.error {
             line.push_str(&format!(",\"error\":\"{}\"", json::escape(e)));
         }
         line.push('}');
         line
     }
+}
+
+/// Cumulative per-tenant outcome totals since daemon start (terminal
+/// states never decrement, unlike the in-flight quota count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantTotals {
+    /// Submits accepted into the registry.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub done: u64,
+    /// Jobs that errored.
+    pub failed: u64,
+    /// Jobs drained before completion.
+    pub cancelled: u64,
+    /// Submits bounced at the door.
+    pub rejected: u64,
 }
 
 struct Entry {
@@ -95,11 +130,18 @@ struct Inner {
     next_id: u64,
     running: usize,
     rejected: u64,
+    done_total: u64,
+    failed_total: u64,
+    cancelled_total: u64,
+    tenants: BTreeMap<String, TenantTotals>,
     jobs: BTreeMap<u64, Entry>,
 }
 
 /// Counts over the whole registry, for `stats` and the CI smoke gate.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// The first block are current-state gauges derived from the live job
+/// table; the `*_total` fields and per-tenant totals are cumulative
+/// since daemon start and never decrease.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Jobs ever accepted.
     pub total: usize,
@@ -115,15 +157,34 @@ pub struct StatsSnapshot {
     pub cancelled: usize,
     /// Submissions bounced at the door (tenant over quota).
     pub rejected: u64,
+    /// Jobs ever finished successfully.
+    pub done_total: u64,
+    /// Jobs ever finished in failure.
+    pub failed_total: u64,
+    /// Jobs ever cancelled.
+    pub cancelled_total: u64,
+    /// Cumulative per-tenant outcome totals, tenant-sorted.
+    pub tenants: Vec<(String, TenantTotals)>,
 }
 
 impl StatsSnapshot {
-    /// One flat JSON line (the `stats` response body).
+    /// One flat JSON line (the `stats` response body). Legacy keys keep
+    /// their position so existing `"done":N` greps stay valid; the
+    /// cumulative counters and tenant count extend the line.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"ok\":true,\"jobs\":{},\"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\"rejected\":{}}}",
-            self.total, self.queued, self.running, self.done, self.failed, self.cancelled,
-            self.rejected
+            "{{\"ok\":true,\"jobs\":{},\"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\"rejected\":{},\"done_total\":{},\"failed_total\":{},\"cancelled_total\":{},\"tenants\":{}}}",
+            self.total,
+            self.queued,
+            self.running,
+            self.done,
+            self.failed,
+            self.cancelled,
+            self.rejected,
+            self.done_total,
+            self.failed_total,
+            self.cancelled_total,
+            self.tenants.len()
         )
     }
 }
@@ -133,6 +194,7 @@ impl StatsSnapshot {
 pub struct Registry {
     inner: Mutex<Inner>,
     admit: Condvar,
+    obs: Arc<Obs>,
 }
 
 impl Default for Registry {
@@ -143,15 +205,38 @@ impl Default for Registry {
 
 impl Registry {
     /// An empty registry; ids start at 1 (`0` is the solo-run trace id,
-    /// never a job).
+    /// never a job). Wired to a silent obs plane — embedders that want
+    /// metrics/logging use [`Registry::with_obs`].
     pub fn new() -> Self {
+        Registry::with_obs(Arc::new(Obs::disabled()))
+    }
+
+    /// An empty registry reporting every lifecycle transition to `obs`
+    /// (phase stamps use its daemon-epoch clock).
+    pub fn with_obs(obs: Arc<Obs>) -> Self {
         Registry {
             inner: Mutex::new(Inner {
                 next_id: 1,
                 ..Inner::default()
             }),
             admit: Condvar::new(),
+            obs,
         }
+    }
+
+    /// The observability plane this registry reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// `true` while any job is queued or running — what the drain-time
+    /// accept loop checks so health/metrics probes keep answering until
+    /// the last in-flight job reaches a terminal state.
+    pub fn has_inflight(&self) -> bool {
+        let g = self.inner.lock().unwrap();
+        g.jobs
+            .values()
+            .any(|e| matches!(e.record.state, JobState::Queued | JobState::Running))
     }
 
     /// Accept a job, enforcing the per-tenant in-flight quota. Returns
@@ -174,12 +259,23 @@ impl Registry {
             .count();
         if in_flight >= quota {
             g.rejected += 1;
+            g.tenants.entry(tenant.to_string()).or_default().rejected += 1;
+            drop(g);
+            self.obs.log(
+                LogLevel::Warn,
+                "job_rejected",
+                &format!(
+                    ",\"tenant\":\"{}\",\"in_flight\":{in_flight},\"quota\":{quota}",
+                    json::escape(tenant)
+                ),
+            );
             return Err(format!(
                 "tenant '{tenant}' quota exceeded ({in_flight} jobs in flight, quota {quota})"
             ));
         }
         let id = g.next_id;
         g.next_id += 1;
+        g.tenants.entry(tenant.to_string()).or_default().submitted += 1;
         g.jobs.insert(
             id,
             Entry {
@@ -190,12 +286,67 @@ impl Registry {
                     query_len,
                     hits: 0,
                     resumes: 0,
+                    batch: 0,
+                    phases: Phases {
+                        submitted_us: self.obs.now_us(),
+                        ..Phases::default()
+                    },
                     error: None,
                 },
                 drain: Arc::clone(&drain),
             },
         );
+        drop(g);
+        self.obs.log(
+            LogLevel::Info,
+            "job_submitted",
+            &format!(
+                ",\"job\":{id},\"tenant\":\"{}\",\"query_len\":{query_len}",
+                json::escape(tenant)
+            ),
+        );
         Ok((id, drain))
+    }
+
+    /// Stamp the admission phase: the ack line reached the client.
+    pub fn mark_admitted(&self, id: u64) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(e) = g.jobs.get_mut(&id) {
+            e.record.phases.admitted_us = Some(self.obs.now_us());
+        }
+        drop(g);
+        self.obs
+            .log(LogLevel::Debug, "job_admitted", &format!(",\"job\":{id}"));
+    }
+
+    /// Stamp the gather phase: the collector pulled the job out of the
+    /// gather window into a region of `batch` queries.
+    pub fn mark_gathered(&self, id: u64, batch: usize) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(e) = g.jobs.get_mut(&id) {
+            e.record.phases.gathered_us = Some(self.obs.now_us());
+            e.record.batch = batch;
+        }
+        drop(g);
+        self.obs.log(
+            LogLevel::Debug,
+            "job_gathered",
+            &format!(",\"job\":{id},\"batch\":{batch}"),
+        );
+    }
+
+    /// Stamp the first hit line streamed back to the submitter (first
+    /// call wins; later hits don't move the stamp).
+    pub fn record_first_hit(&self, id: u64) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(e) = g.jobs.get_mut(&id) {
+            if e.record.phases.first_hit_us.is_none() {
+                let now = self.obs.now_us();
+                e.record.phases.first_hit_us = Some(now);
+                self.obs
+                    .on_first_hit(now.saturating_sub(e.record.phases.submitted_us));
+            }
+        }
     }
 
     /// Block until job `id` gets one of `max_concurrent` run slots.
@@ -215,6 +366,7 @@ impl Registry {
                 g.running += 1;
                 if let Some(e) = g.jobs.get_mut(&id) {
                     e.record.state = JobState::Running;
+                    e.record.phases.started_us = Some(self.obs.now_us());
                 }
                 return true;
             }
@@ -243,7 +395,16 @@ impl Registry {
             return false;
         }
         e.record.state = JobState::Running;
+        e.record.phases.started_us = Some(self.obs.now_us());
+        let tenant = json::escape(&e.record.tenant);
+        let batch = e.record.batch;
         g.running += 1;
+        drop(g);
+        self.obs.log(
+            LogLevel::Info,
+            "job_running",
+            &format!(",\"job\":{id},\"tenant\":\"{tenant}\",\"batch\":{batch}"),
+        );
         true
     }
 
@@ -251,6 +412,12 @@ impl Registry {
     /// Safe on jobs that never reached `Running` (ack-write failure,
     /// cancelled while queued): the slot count only drops when the job
     /// actually charged it.
+    ///
+    /// Stamps the terminal phase, bumps the cumulative daemon-lifetime
+    /// and per-tenant counters, and folds the job's phase latencies into
+    /// the obs histograms. Returns the updated record plus whether the
+    /// job crossed the slow-query threshold (the caller then dumps its
+    /// merged timeline).
     pub fn finish(
         &self,
         id: u64,
@@ -258,21 +425,67 @@ impl Registry {
         hits: usize,
         resumes: u64,
         error: Option<String>,
-    ) {
+    ) -> Option<(JobRecord, bool)> {
         let mut g = self.inner.lock().unwrap();
         let mut was_running = false;
+        let mut finished: Option<JobRecord> = None;
         if let Some(e) = g.jobs.get_mut(&id) {
             was_running = e.record.state == JobState::Running;
             e.record.state = state;
             e.record.hits = hits;
             e.record.resumes = resumes;
             e.record.error = error;
+            e.record.phases.finished_us = Some(self.obs.now_us());
+            finished = Some(e.record.clone());
         }
         if was_running {
             g.running = g.running.saturating_sub(1);
         }
+        if let Some(rec) = &finished {
+            let totals = g.tenants.entry(rec.tenant.clone()).or_default();
+            match state {
+                JobState::Done => totals.done += 1,
+                JobState::Failed => totals.failed += 1,
+                JobState::Cancelled => totals.cancelled += 1,
+                JobState::Queued | JobState::Running => {}
+            }
+            match state {
+                JobState::Done => g.done_total += 1,
+                JobState::Failed => g.failed_total += 1,
+                JobState::Cancelled => g.cancelled_total += 1,
+                JobState::Queued | JobState::Running => {}
+            }
+        }
         drop(g);
         self.admit.notify_all();
+        finished.map(|rec| {
+            let slow = self.obs.record_finish(&rec.phases, rec.resumes);
+            let level = match (state, slow) {
+                (JobState::Failed, _) => LogLevel::Error,
+                (_, true) => LogLevel::Warn,
+                _ => LogLevel::Info,
+            };
+            let mut kv = format!(
+                ",\"job\":{id},\"tenant\":\"{}\",\"state\":\"{}\",\"hits\":{hits},\"resumes\":{resumes},\"batch\":{}",
+                json::escape(&rec.tenant),
+                state.name(),
+                rec.batch
+            );
+            if let Some(f) = rec.phases.finished_us {
+                kv.push_str(&format!(
+                    ",\"total_us\":{}",
+                    f.saturating_sub(rec.phases.submitted_us)
+                ));
+            }
+            if slow {
+                kv.push_str(",\"slow\":true");
+            }
+            if let Some(e) = &rec.error {
+                kv.push_str(&format!(",\"error\":\"{}\"", json::escape(e)));
+            }
+            self.obs.log(level, "job_finished", &kv);
+            (rec, slow)
+        })
     }
 
     /// Request job `id`'s drain. Running jobs stop at the next chunk
@@ -305,6 +518,10 @@ impl Registry {
         let mut s = StatsSnapshot {
             total: g.jobs.len(),
             rejected: g.rejected,
+            done_total: g.done_total,
+            failed_total: g.failed_total,
+            cancelled_total: g.cancelled_total,
+            tenants: g.tenants.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             ..StatsSnapshot::default()
         };
         for e in g.jobs.values() {
@@ -393,6 +610,104 @@ mod tests {
         r.finish(c, JobState::Done, 2, 0, None);
         assert_eq!(r.stats().running, 0);
         assert!(!r.mark_running(99), "unknown job never runs");
+    }
+
+    #[test]
+    fn cumulative_counters_and_tenant_totals_survive_all_transitions() {
+        // Sequence every lifecycle transition and audit the cumulative
+        // counters after each: done, failed, cancelled, rejected, plus
+        // per-tenant running totals that never decrement.
+        let r = Registry::new();
+
+        // acme #1: full happy path with all phase stamps.
+        let (a, _) = r.submit("acme", 10, 2, drain()).unwrap();
+        r.mark_admitted(a);
+        r.mark_gathered(a, 3);
+        assert!(r.mark_running(a));
+        r.record_first_hit(a);
+        let (rec, slow) = r.finish(a, JobState::Done, 5, 2, None).unwrap();
+        assert!(!slow, "no slow-query threshold configured");
+        assert_eq!(rec.batch, 3);
+        assert!(rec.phases.admitted_us.is_some());
+        assert!(rec.phases.gathered_us.is_some());
+        assert!(rec.phases.started_us.is_some());
+        assert!(rec.phases.first_hit_us.is_some());
+        assert!(rec.phases.finished_us.is_some());
+
+        // acme #2: fails mid-run.
+        let (b, _) = r.submit("acme", 10, 2, drain()).unwrap();
+        assert!(r.mark_running(b));
+        r.finish(b, JobState::Failed, 0, 0, Some("boom".into()));
+
+        // acme #3 + #4 fill the quota; #5 is rejected.
+        let (c, _) = r.submit("acme", 10, 2, drain()).unwrap();
+        let (d, _) = r.submit("acme", 10, 2, drain()).unwrap();
+        assert!(r.submit("acme", 10, 2, drain()).is_err());
+
+        // #3 is cancelled while queued (never charged a slot).
+        r.cancel(c).unwrap();
+        r.finish(c, JobState::Cancelled, 0, 0, None);
+        // #4 runs to completion.
+        assert!(r.mark_running(d));
+        r.finish(d, JobState::Done, 1, 0, None);
+
+        // beta: one clean run, its totals independent of acme's.
+        let (e, _) = r.submit("beta", 7, 2, drain()).unwrap();
+        assert!(r.mark_running(e));
+        r.finish(e, JobState::Done, 2, 1, None);
+
+        let s = r.stats();
+        assert_eq!((s.done, s.failed, s.cancelled), (3, 1, 1));
+        assert_eq!(
+            (s.done_total, s.failed_total, s.cancelled_total, s.rejected),
+            (3, 1, 1, 1)
+        );
+        assert_eq!(s.tenants.len(), 2);
+        let acme = &s.tenants[0];
+        assert_eq!(acme.0, "acme");
+        assert_eq!(
+            acme.1,
+            TenantTotals {
+                submitted: 4,
+                done: 2,
+                failed: 1,
+                cancelled: 1,
+                rejected: 1,
+            }
+        );
+        let beta = &s.tenants[1];
+        assert_eq!(beta.0, "beta");
+        assert_eq!(
+            beta.1,
+            TenantTotals {
+                submitted: 1,
+                done: 1,
+                failed: 0,
+                cancelled: 0,
+                rejected: 0,
+            }
+        );
+
+        // The stats line keeps legacy keys and gains cumulative ones.
+        let line = s.to_json();
+        assert_eq!(crate::json::field_u64(&line, "done"), Some(3));
+        assert_eq!(crate::json::field_u64(&line, "done_total"), Some(3));
+        assert_eq!(crate::json::field_u64(&line, "cancelled_total"), Some(1));
+        assert_eq!(crate::json::field_u64(&line, "tenants"), Some(2));
+
+        // Phase stamps serialize only when reached: the cancelled job
+        // never started.
+        let dump = r.dump_jsonl();
+        let cancelled_line = dump
+            .lines()
+            .find(|l| crate::json::field_u64(l, "job") == Some(c))
+            .unwrap();
+        assert!(crate::json::field_u64(cancelled_line, "submitted_us").is_some());
+        assert!(!cancelled_line.contains("started_us"), "{cancelled_line}");
+        assert!(cancelled_line.contains("finished_us"), "{cancelled_line}");
+
+        // No in-flight jobs remain.
+        assert!(!r.has_inflight());
     }
 
     #[test]

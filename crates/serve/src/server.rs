@@ -28,13 +28,16 @@
 
 use crate::batch::{Batcher, JobReply, PendingJob};
 use crate::json;
+use crate::obs::{LogLevel, Obs, ObsConfig};
 use crate::registry::{JobState, Registry, StatsSnapshot};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
-use sw_core::{BatchQuery, DurableOptions, HeteroEngine, HeteroSearchConfig, PreparedDb, TraceConfig};
+use sw_core::{
+    BatchQuery, DurableOptions, HeteroEngine, HeteroSearchConfig, PreparedDb, TraceConfig,
+};
 use sw_sched::{DrainSignal, FaultInjector, FaultKind, FaultPlan, FaultSpec, DEVICE_ACCEL};
 use sw_seq::Alphabet;
 
@@ -73,6 +76,23 @@ pub struct ServeConfig {
     /// waits this long so concurrent submits coalesce into the same
     /// shared region before it takes a batch.
     pub batch_window_ms: u64,
+    /// Ops-log threshold (structured JSON lines, one per lifecycle
+    /// transition).
+    pub log_level: LogLevel,
+    /// Ops-log destination; stderr when `None`.
+    pub log_file: Option<PathBuf>,
+    /// Jobs slower than this (submit→terminal) are counted, warn-logged
+    /// and — when `trace_dir` is set — get their merged timeline dumped
+    /// as `slow-job-<id>.jsonl`. `None` disables the slow-query log.
+    pub slow_query_ms: Option<u64>,
+    /// Periodically dump the daemon-lifetime Prometheus snapshot here
+    /// (atomic tmp+rename), plus once at shutdown.
+    pub metrics_file: Option<PathBuf>,
+    /// Interval between `metrics_file` dumps.
+    pub metrics_interval_ms: u64,
+    /// Content digest of the resident snapshot when it was verified at
+    /// load; surfaces through the health probe.
+    pub snapshot_digest: Option<u64>,
 }
 
 impl ServeConfig {
@@ -91,6 +111,12 @@ impl ServeConfig {
             registry_out: None,
             default_top: 10,
             batch_window_ms: 3,
+            log_level: LogLevel::Off,
+            log_file: None,
+            slow_query_ms: None,
+            metrics_file: None,
+            metrics_interval_ms: 1_000,
+            snapshot_digest: None,
         }
     }
 }
@@ -107,6 +133,7 @@ struct Ctx<'a> {
     config: &'a ServeConfig,
     registry: &'a Registry,
     batcher: &'a Batcher,
+    obs: &'a Obs,
     shutdown: &'static DrainSignal,
 }
 
@@ -132,7 +159,13 @@ pub fn serve(
     }
     let listener = UnixListener::bind(&config.socket)?;
     listener.set_nonblocking(true)?;
-    let registry = Registry::new();
+    let obs = Arc::new(Obs::new(ObsConfig {
+        log_level: config.log_level,
+        log_file: config.log_file.clone(),
+        slow_query_ms: config.slow_query_ms,
+        snapshot_digest: config.snapshot_digest,
+    }));
+    let registry = Registry::with_obs(Arc::clone(&obs));
     let batcher = Batcher::new();
     let ctx = Ctx {
         engine,
@@ -142,13 +175,44 @@ pub fn serve(
         config,
         registry: &registry,
         batcher: &batcher,
+        obs: obs.as_ref(),
         shutdown,
     };
     std::thread::scope(|s| {
         // The one region runner: groups queued submits into shared
         // batches until shutdown empties the queue.
-        s.spawn(move || collector_loop(ctx));
-        while !shutdown.is_requested() {
+        obs.set_collector_alive(true);
+        s.spawn(move || {
+            collector_loop(ctx);
+            ctx.obs.set_collector_alive(false);
+        });
+        if ctx.config.metrics_file.is_some() {
+            s.spawn(move || metrics_file_loop(ctx));
+        }
+        // The engine and snapshot are resident and the collector is up:
+        // the readiness probe flips true here and nowhere earlier.
+        obs.set_ready(true);
+        obs.log(
+            LogLevel::Info,
+            "daemon_ready",
+            &format!(
+                ",\"socket\":\"{}\",\"snapshot_verified\":{}",
+                json::escape(&config.socket.display().to_string()),
+                config.snapshot_digest.is_some()
+            ),
+        );
+        // Keep accepting while draining so health/metrics probes can
+        // watch the drain itself; stop once nothing is in flight.
+        loop {
+            if shutdown.is_requested() {
+                if !obs.is_draining() {
+                    obs.set_draining(true);
+                    obs.log(LogLevel::Warn, "daemon_draining", "");
+                }
+                if !registry.has_inflight() {
+                    break;
+                }
+            }
             match listener.accept() {
                 Ok((stream, _)) => {
                     let _ = stream.set_nonblocking(false);
@@ -167,11 +231,49 @@ pub fn serve(
         // Scope exit joins every connection thread: in-flight jobs see
         // the shutdown through their scoped drains and checkpoint out.
     });
+    obs.set_ready(false);
+    let stats = registry.stats();
+    obs.log(
+        LogLevel::Info,
+        "daemon_stopped",
+        &format!(
+            ",\"done_total\":{},\"failed_total\":{},\"cancelled_total\":{},\"rejected\":{}",
+            stats.done_total, stats.failed_total, stats.cancelled_total, stats.rejected
+        ),
+    );
     if let Some(path) = &config.registry_out {
         std::fs::write(path, registry.dump_jsonl())?;
     }
     let _ = std::fs::remove_file(&config.socket);
-    Ok(registry.stats())
+    Ok(stats)
+}
+
+/// Periodically dump the daemon-lifetime scrape to `metrics_file`
+/// (atomic tmp+rename so a scraper never reads a torn file), plus one
+/// final dump after the collector exits so the artifact reflects the
+/// completed session.
+fn metrics_file_loop(ctx: Ctx<'_>) {
+    let Some(path) = &ctx.config.metrics_file else {
+        return;
+    };
+    let interval = Duration::from_millis(ctx.config.metrics_interval_ms.max(50));
+    let mut last = std::time::Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let done = ctx.shutdown.is_requested() && !ctx.obs.is_collector_alive();
+        if done || last.elapsed() >= interval {
+            let stats = ctx.registry.stats();
+            let text = ctx.obs.prometheus(&stats, ctx.config.max_concurrent);
+            let tmp = path.with_extension("prom.tmp");
+            if std::fs::write(&tmp, text).is_ok() {
+                let _ = std::fs::rename(&tmp, path);
+            }
+            last = std::time::Instant::now();
+        }
+        if done {
+            return;
+        }
+    }
 }
 
 fn handle_connection(ctx: Ctx<'_>, stream: UnixStream) -> io::Result<()> {
@@ -203,7 +305,36 @@ fn handle_connection(ctx: Ctx<'_>, stream: UnixStream) -> io::Result<()> {
     let line = line.trim_end().to_string();
     let mut w = BufWriter::new(stream);
     match json::field_str(&line, "op").as_deref() {
-        Some("submit") => op_submit(ctx, &line, &mut w)?,
+        Some("submit") => {
+            if let Err(e) = op_submit(ctx, &line, &mut w) {
+                // The reply stream died mid-write: count it — job state
+                // was already finalised by the collector/ack path.
+                ctx.obs.on_broken_pipe();
+                ctx.obs.log(
+                    LogLevel::Warn,
+                    "broken_pipe",
+                    &format!(",\"error\":\"{}\"", json::escape(&e.to_string())),
+                );
+                return Err(e);
+            }
+        }
+        Some("metrics") => {
+            let stats = ctx.registry.stats();
+            w.write_all(
+                ctx.obs
+                    .prometheus(&stats, ctx.config.max_concurrent)
+                    .as_bytes(),
+            )?;
+        }
+        Some("health") => {
+            let stats = ctx.registry.stats();
+            writeln!(
+                w,
+                "{}",
+                ctx.obs
+                    .health_json(&stats, ctx.config.max_concurrent, ctx.batcher.depth())
+            )?;
+        }
         Some("status") => {
             match json::field_u64(&line, "job").and_then(|id| ctx.registry.status(id)) {
                 Some(rec) => writeln!(w, "{}", rec.to_json())?,
@@ -281,6 +412,7 @@ fn op_submit<W: Write>(ctx: Ctx<'_>, line: &str, w: &mut W) -> io::Result<()> {
         );
         return Err(e);
     }
+    ctx.registry.mark_admitted(id);
     let (reply_tx, reply_rx) = mpsc::channel();
     let parked = ctx.batcher.enqueue(PendingJob {
         id,
@@ -323,6 +455,9 @@ fn op_submit<W: Write>(ctx: Ctx<'_>, line: &str, w: &mut W) -> io::Result<()> {
                 "{{\"job\":{id},\"state\":\"done\",\"hits\":{},\"resumes\":{resumes},\"batch\":{batch}}}",
                 hits.len()
             )?;
+            if !hits.is_empty() {
+                ctx.registry.record_first_hit(id);
+            }
             for (rank, (score, header)) in hits.iter().enumerate() {
                 writeln!(
                     w,
@@ -367,6 +502,13 @@ fn collector_loop(ctx: Ctx<'_>) {
 /// the region, finish before each reply) so connection threads never
 /// own job state after the ack.
 fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
+    // Every collected job left the gather window together — stamp the
+    // phase (and the region size) before the cancel filter so even a
+    // cancelled-while-parked job's record shows how long it waited.
+    let gathered = jobs.len();
+    for job in &jobs {
+        ctx.registry.mark_gathered(job.id, gathered);
+    }
     // Jobs whose drain fired while parked (client cancel, shutdown)
     // never enter the region.
     let mut live: Vec<PendingJob> = Vec::new();
@@ -374,8 +516,7 @@ fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
         if ctx.registry.mark_running(job.id) {
             live.push(job);
         } else {
-            ctx.registry
-                .finish(job.id, JobState::Cancelled, 0, 0, None);
+            ctx.registry.finish(job.id, JobState::Cancelled, 0, 0, None);
             let _ = job.reply.send(JobReply::Cancelled {
                 resumes: 0,
                 batch: 0,
@@ -386,6 +527,12 @@ fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
         return;
     }
     let batch = live.len();
+    ctx.obs.on_region(batch);
+    ctx.obs.log(
+        LogLevel::Debug,
+        "region_started",
+        &format!(",\"batch\":{batch}"),
+    );
     // Per-query tracers: fresh epoch at region start, job id as the
     // query tag — exports stay separable even though the region is
     // shared. The region's own trace stays off; the per-query spans
@@ -435,9 +582,9 @@ fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
         drain: Some(ctx.shutdown),
         resume: true,
     };
-    let out = ctx
-        .engine
-        .search_many_resumable(&queries, ctx.prepared, &plan, &cfg, &injector, &dopts);
+    let out =
+        ctx.engine
+            .search_many_resumable(&queries, ctx.prepared, &plan, &cfg, &injector, &dopts);
     match out {
         Err(e) => {
             // Region errors are region-wide: every member fails.
@@ -449,25 +596,38 @@ fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
             }
         }
         Ok(out) => {
+            ctx.obs.on_checkpoint_writes(out.checkpoints_written);
             for ((j, q), tracer) in live.into_iter().zip(out.queries).zip(tracers) {
                 match q.results {
                     Some(results) => {
+                        let timeline = tracer.timeline();
                         if let Some(dir) = &ctx.config.trace_dir {
                             // Trace export is best-effort: a full disk
                             // must not fail a finished search.
                             let _ = std::fs::create_dir_all(dir);
                             let _ = std::fs::write(
                                 dir.join(format!("job-{}.jsonl", j.id)),
-                                sw_trace::export::jsonl(&tracer.timeline()),
+                                sw_trace::export::jsonl(&timeline),
                             );
+                        }
+                        // Cells = query residues × db residues, the same
+                        // product the GCUPS bench reports.
+                        let cells = j.residues.len() as u64 * ctx.prepared.stats.total_residues;
+                        ctx.obs.on_cells(cells, ctx.obs.now_us());
+                        if results.degraded {
+                            ctx.obs.on_degraded();
                         }
                         let hits: Vec<(i64, String)> = results
                             .top(j.top)
                             .iter()
                             .map(|h| (h.score, ctx.prepared.sorted.db().header(h.id).to_string()))
                             .collect();
-                        ctx.registry
-                            .finish(j.id, JobState::Done, hits.len(), q.resumes, None);
+                        let finished =
+                            ctx.registry
+                                .finish(j.id, JobState::Done, hits.len(), q.resumes, None);
+                        if let Some((rec, true)) = finished {
+                            slow_query_dump(ctx, &rec, timeline);
+                        }
                         let _ = j.reply.send(JobReply::Done {
                             hits,
                             resumes: q.resumes,
@@ -484,8 +644,39 @@ fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
                     }
                 }
             }
+            ctx.obs.log(
+                LogLevel::Debug,
+                "region_finished",
+                &format!(",\"batch\":{batch}"),
+            );
         }
     }
+}
+
+/// The slow-query log: a job crossed `--slow-query-ms`, so dump its
+/// per-query timeline rebased onto the daemon clock (epoch-relative
+/// stamps shifted by the job's region-start stamp) as
+/// `slow-job-<id>.jsonl`, next to the regular per-job traces. Without a
+/// `--trace-dir` the event is still counted and warn-logged — there is
+/// just nowhere to put the timeline.
+fn slow_query_dump(ctx: Ctx<'_>, rec: &crate::registry::JobRecord, timeline: sw_trace::Timeline) {
+    let Some(dir) = &ctx.config.trace_dir else {
+        return;
+    };
+    let offset = rec.phases.started_us.unwrap_or(0);
+    let merged = sw_trace::Timeline::merge_with_offsets([(timeline, offset)]);
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("slow-job-{}.jsonl", rec.id));
+    let _ = std::fs::write(&path, sw_trace::export::jsonl(&merged));
+    ctx.obs.log(
+        LogLevel::Warn,
+        "slow_query_dumped",
+        &format!(
+            ",\"job\":{},\"path\":\"{}\"",
+            rec.id,
+            json::escape(&path.display().to_string())
+        ),
+    );
 }
 
 fn parse_query(fasta: &str, alphabet: &Alphabet) -> Result<sw_seq::EncodedSeq, String> {
@@ -552,6 +743,7 @@ mod tests {
             config: &config,
             registry: &registry,
             batcher: &batcher,
+            obs: registry.obs().as_ref(),
             shutdown: &ACK_SHUTDOWN,
         };
         let req = crate::client::submit_request("acme", ">q\nMKVLAT\n", 5, None);

@@ -30,6 +30,7 @@ use sw_serve::{client, json, ServeConfig};
 static SHUTDOWN: DrainSignal = DrainSignal::new();
 static BATCH_SHUTDOWN: DrainSignal = DrainSignal::new();
 static SILENT_SHUTDOWN: DrainSignal = DrainSignal::new();
+static DRAIN_HEALTH_SHUTDOWN: DrainSignal = DrainSignal::new();
 
 fn fasta_of(seq: &EncodedSeq, a: &Alphabet) -> String {
     format!(
@@ -113,6 +114,18 @@ fn finish_submit(r: BufReader<UnixStream>, job: u64) -> client::SubmitOutcome {
     client::parse_submit_response(&lines).unwrap_or_else(|e| panic!("job {job}: {e}"))
 }
 
+/// Value of one exporter sample line: `sample v` where `sample` is the
+/// bare metric name or `name{labels}`.
+fn metric(scrape: &str, sample: &str) -> u64 {
+    scrape
+        .lines()
+        .find_map(|l| l.strip_prefix(sample).and_then(|r| r.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("sample '{sample}' missing from scrape:\n{scrape}"))
+        .trim()
+        .parse::<u64>()
+        .unwrap_or_else(|e| panic!("sample '{sample}': {e}"))
+}
+
 fn wait_for_state(socket: &Path, job: u64, want: &str) {
     let t0 = Instant::now();
     loop {
@@ -145,6 +158,8 @@ fn daemon_end_to_end() {
     config.checkpoint_dir = Some(tmp.join("ckpt"));
     config.trace_dir = Some(tmp.join("trace"));
     config.registry_out = Some(tmp.join("registry.jsonl"));
+    // As if the snapshot load digest-verified: health must surface it.
+    config.snapshot_digest = Some(0x5eed);
 
     let q1 = generate_query(100, 21);
     let q2 = generate_query(120, 22);
@@ -214,6 +229,72 @@ fn daemon_end_to_end() {
         assert_eq!(json::field_u64(&st[0], "done"), Some(3), "{st:?}");
         assert_eq!(json::field_u64(&st[0], "cancelled"), Some(1), "{st:?}");
         assert_eq!(json::field_u64(&st[0], "rejected"), Some(1), "{st:?}");
+        // Cumulative terminal-state counters ride the same line.
+        assert_eq!(json::field_u64(&st[0], "done_total"), Some(3), "{st:?}");
+        assert_eq!(
+            json::field_u64(&st[0], "cancelled_total"),
+            Some(1),
+            "{st:?}"
+        );
+        assert_eq!(json::field_u64(&st[0], "failed_total"), Some(0), "{st:?}");
+
+        // Health mid-session: live, ready, digest-verified snapshot.
+        let h = client::request(socket, &client::health_request()).unwrap();
+        assert_eq!(json::field_bool(&h[0], "ok"), Some(true), "{h:?}");
+        assert_eq!(json::field_bool(&h[0], "ready"), Some(true), "{h:?}");
+        assert_eq!(json::field_bool(&h[0], "live"), Some(true), "{h:?}");
+        assert_eq!(json::field_bool(&h[0], "draining"), Some(false), "{h:?}");
+        assert_eq!(
+            json::field_bool(&h[0], "snapshot_verified"),
+            Some(true),
+            "{h:?}"
+        );
+
+        // Metrics: the scrape must be strict-validator clean and its
+        // lifecycle counters must match this scripted session exactly
+        // (4 submits, 3 done, 1 cancel, 1 quota rejection, 1 resume).
+        let scrape = client::request(socket, &client::metrics_request())
+            .unwrap()
+            .join("\n");
+        sw_trace::validate::validate_prometheus_strict(&scrape)
+            .unwrap_or_else(|e| panic!("{e}\n{scrape}"));
+        assert_eq!(metric(&scrape, "sw_serve_submitted_total"), 4);
+        assert_eq!(metric(&scrape, "sw_serve_done_total"), 3);
+        assert_eq!(metric(&scrape, "sw_serve_cancelled_total"), 1);
+        assert_eq!(metric(&scrape, "sw_serve_failed_total"), 0);
+        assert_eq!(metric(&scrape, "sw_serve_rejected_total"), 1);
+        assert_eq!(metric(&scrape, "sw_serve_resumes_total"), o5.resumes);
+        assert!(metric(&scrape, "sw_serve_checkpoint_writes_total") >= 1);
+        // Every terminal job owns one total-latency observation; the
+        // cancelled job was running so it has a run phase too; only the
+        // 3 done jobs streamed a first hit; all 4 accepted jobs were
+        // admitted and gathered into regions.
+        assert_eq!(metric(&scrape, "sw_serve_total_us_count"), 4);
+        assert_eq!(metric(&scrape, "sw_serve_run_us_count"), 4);
+        assert_eq!(metric(&scrape, "sw_serve_first_hit_us_count"), 3);
+        assert_eq!(metric(&scrape, "sw_serve_admit_us_count"), 4);
+        assert_eq!(metric(&scrape, "sw_serve_gather_us_count"), 4);
+        // Per-tenant outcome counters.
+        for (sample, want) in [
+            (
+                "sw_serve_tenant_jobs_total{tenant=\"acme\",outcome=\"done\"}",
+                2,
+            ),
+            (
+                "sw_serve_tenant_jobs_total{tenant=\"acme\",outcome=\"rejected\"}",
+                1,
+            ),
+            (
+                "sw_serve_tenant_jobs_total{tenant=\"beta\",outcome=\"done\"}",
+                1,
+            ),
+            (
+                "sw_serve_tenant_jobs_total{tenant=\"beta\",outcome=\"cancelled\"}",
+                1,
+            ),
+        ] {
+            assert_eq!(metric(&scrape, sample), want, "{sample}");
+        }
 
         let sh = client::request(socket, &client::shutdown_request()).unwrap();
         assert_eq!(json::field_bool(&sh[0], "ok"), Some(true), "{sh:?}");
@@ -365,6 +446,65 @@ fn batched_queries_match_solo_runs() {
         client::request(socket, &client::shutdown_request()).unwrap();
         server.join().unwrap().expect("serve");
     });
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+/// Readiness must flip off the moment a drain starts while liveness
+/// stays up: an orchestrator pulls the daemon out of rotation without
+/// killing it while the in-flight job finishes checkpointing.
+#[test]
+fn health_flips_during_drain() {
+    let a = Alphabet::protein();
+    let prepared = PreparedDb::prepare(
+        generate_database(&DbSpec {
+            n_seqs: 12,
+            mean_len: 80.0,
+            max_len: 200,
+            seed: 61,
+        }),
+        4,
+        &a,
+    );
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-serve-drainhealth-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).unwrap();
+    let config = ServeConfig::new(tmp.join("daemon.sock"));
+
+    std::thread::scope(|s| {
+        let server = {
+            let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
+            s.spawn(move || {
+                sw_serve::serve(engine, prepared, a, base, config, &DRAIN_HEALTH_SHUTDOWN)
+            })
+        };
+        let socket = config.socket.as_path();
+        wait_for_socket(socket);
+
+        // A delay-drill job holds the daemon in flight across the
+        // whole probe sequence below.
+        let q = generate_query(400, 62);
+        let (r, id) = start_submit(socket, "ops", &fasta_of(&q, &a), Some("delay@0:800"));
+        wait_for_state(socket, id, "running");
+        let h = client::request(socket, &client::health_request()).unwrap();
+        assert_eq!(json::field_bool(&h[0], "ready"), Some(true), "{h:?}");
+        assert_eq!(json::field_bool(&h[0], "draining"), Some(false), "{h:?}");
+
+        // Shutdown: the daemon keeps answering probes while the job
+        // drains, but reports itself not ready.
+        let sh = client::request(socket, &client::shutdown_request()).unwrap();
+        assert_eq!(json::field_bool(&sh[0], "ok"), Some(true), "{sh:?}");
+        let h = client::request(socket, &client::health_request()).unwrap();
+        assert_eq!(json::field_bool(&h[0], "ready"), Some(false), "{h:?}");
+        assert_eq!(json::field_bool(&h[0], "draining"), Some(true), "{h:?}");
+        assert_eq!(json::field_bool(&h[0], "live"), Some(true), "{h:?}");
+
+        let o = finish_submit(r, id);
+        assert_eq!(o.state, "cancelled", "shutdown drains the in-flight job");
+        server.join().unwrap().expect("serve");
+    });
+    assert!(!config.socket.exists(), "socket removed after the drain");
     std::fs::remove_dir_all(&tmp).ok();
 }
 

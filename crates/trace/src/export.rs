@@ -165,41 +165,103 @@ pub fn chrome_trace(tl: &Timeline) -> String {
     out
 }
 
-#[derive(Debug, Default, Clone)]
-struct Histogram {
-    counts: [u64; HIST_BUCKETS_US.len() + 1],
-    sum_us: u64,
+/// A fixed-bucket histogram over `u64` observations — the primitive
+/// behind every Prometheus histogram this workspace emits: the
+/// per-search chunk-latency/queue-wait families here, and the
+/// daemon-lifetime request-phase families in `sw-serve`'s obs plane.
+/// Bucket upper bounds are borrowed `'static` tables (one shared table
+/// serves every instance); [`Histogram::write_prom`] renders the
+/// cumulative `_bucket`/`_sum`/`_count` triplet with the `+Inf`
+/// terminal bucket the exposition format requires.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    sum: u64,
     n: u64,
 }
 
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(&HIST_BUCKETS_US)
+    }
+}
+
 impl Histogram {
-    fn record(&mut self, us: u64) {
-        let idx = HIST_BUCKETS_US
+    /// Empty histogram over `bounds` (ascending upper bounds; the
+    /// overflow `+Inf` bucket is implicit).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            n: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        let idx = self
+            .bounds
             .iter()
-            .position(|&b| us <= b)
-            .unwrap_or(HIST_BUCKETS_US.len());
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
-        self.sum_us += us;
+        self.sum += v;
         self.n += 1;
     }
 
-    fn write(&self, out: &mut String, metric: &str, device: usize) {
-        let label = device_label(device);
-        let mut cum = 0u64;
-        for (i, &b) in HIST_BUCKETS_US.iter().enumerate() {
-            cum += self.counts[i];
-            let _ = writeln!(
-                out,
-                "{metric}_bucket{{device=\"{label}\",le=\"{b}\"}} {cum}"
-            );
-        }
-        cum += self.counts[HIST_BUCKETS_US.len()];
-        let _ = writeln!(
-            out,
-            "{metric}_bucket{{device=\"{label}\",le=\"+Inf\"}} {cum}"
+    /// Fold another histogram in (same bucket table — merging across
+    /// epochs/workers only makes sense over identical bounds).
+    ///
+    /// # Panics
+    /// Panics when the bucket tables differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge needs identical bucket bounds"
         );
-        let _ = writeln!(out, "{metric}_sum{{device=\"{label}\"}} {}", self.sum_us);
-        let _ = writeln!(out, "{metric}_count{{device=\"{label}\"}} {}", self.n);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.n += other.n;
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Append the Prometheus exposition triplet: cumulative `_bucket`
+    /// series ending in `+Inf`, then `_sum` and `_count`. `labels` is a
+    /// pre-rendered label body (`device="cpu"` — no braces) shared by
+    /// every sample, or `""` for a label-free family.
+    pub fn write_prom(&self, out: &mut String, metric: &str, labels: &str) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cum = 0u64;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            cum += self.counts[i];
+            let _ = writeln!(out, "{metric}_bucket{{{labels}{sep}le=\"{b}\"}} {cum}");
+        }
+        cum += self.counts[self.bounds.len()];
+        let _ = writeln!(out, "{metric}_bucket{{{labels}{sep}le=\"+Inf\"}} {cum}");
+        if labels.is_empty() {
+            let _ = writeln!(out, "{metric}_sum {}", self.sum);
+            let _ = writeln!(out, "{metric}_count {}", self.n);
+        } else {
+            let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", self.sum);
+            let _ = writeln!(out, "{metric}_count{{{labels}}} {}", self.n);
+        }
+    }
+
+    fn write(&self, out: &mut String, metric: &str, device: usize) {
+        self.write_prom(out, metric, &format!("device=\"{}\"", device_label(device)));
     }
 }
 

@@ -825,6 +825,23 @@ impl Timeline {
         Timeline { tracks }
     }
 
+    /// Merge per-search timelines whose epochs started at different
+    /// daemon times onto one shared clock: each part's events are
+    /// shifted forward by its `offset_us` (the daemon-relative instant
+    /// its epoch began) before merging. This is how the serve layer's
+    /// slow-query dump aligns a job's epoch-relative trace with the
+    /// daemon-lifetime timestamps in the ops log.
+    pub fn merge_with_offsets(parts: impl IntoIterator<Item = (Timeline, u64)>) -> Timeline {
+        Timeline::merge(parts.into_iter().map(|(mut tl, offset_us)| {
+            for track in &mut tl.tracks {
+                for ev in &mut track.events {
+                    ev.t_us = ev.t_us.saturating_add(offset_us);
+                }
+            }
+            tl
+        }))
+    }
+
     /// The distinct query ids present, ascending.
     pub fn query_ids(&self) -> Vec<u64> {
         let mut ids: Vec<u64> = self.tracks.iter().map(|t| t.query).collect();
@@ -933,6 +950,38 @@ mod tests {
     use super::*;
 
     #[test]
+    fn merge_with_offsets_rebases_epochs_onto_one_clock() {
+        let part = |query: u64, stamps: &[u64]| Timeline {
+            tracks: vec![WorkerTrack {
+                query,
+                device: 0,
+                worker: 0,
+                events: stamps
+                    .iter()
+                    .map(|&t_us| Event {
+                        t_us,
+                        kind: EventKind::QueueWaitBegin,
+                    })
+                    .collect(),
+                dropped: 0,
+            }],
+        };
+        // Two jobs, each with epoch-relative stamps [10, 20], admitted
+        // 1000us apart on the daemon clock.
+        let merged =
+            Timeline::merge_with_offsets([(part(1, &[10, 20]), 500), (part(2, &[10, 20]), 1500)]);
+        let stamps: Vec<(u64, u64)> = merged
+            .tracks
+            .iter()
+            .flat_map(|t| t.events.iter().map(move |ev| (t.query, ev.t_us)))
+            .collect();
+        assert_eq!(stamps, vec![(1, 510), (1, 520), (2, 1510), (2, 1520)]);
+        // Overflow-proof: a huge offset saturates rather than wrapping.
+        let huge = Timeline::merge_with_offsets([(part(3, &[u64::MAX - 5]), 100)]);
+        assert_eq!(huge.tracks[0].events[0].t_us, u64::MAX);
+    }
+
+    #[test]
     fn task_spans_keep_shared_batch_queries_separable() {
         // Two queries share one device region; each task of the region
         // opens a task_span on its owner's tracer. Every event must land
@@ -952,8 +1001,8 @@ mod tests {
             assert_eq!(tl.query_ids(), vec![query]);
             assert_eq!(tl.count("chunk"), 4, "2 begin + 2 end events");
             let text = export::jsonl(&tl);
-            let report = validate::validate_jsonl(&text)
-                .unwrap_or_else(|e| panic!("query {query}: {e}"));
+            let report =
+                validate::validate_jsonl(&text).unwrap_or_else(|e| panic!("query {query}: {e}"));
             assert_eq!(report.queries, 1, "one query id per export");
             assert_eq!(report.spans, 2);
         }

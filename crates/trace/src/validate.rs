@@ -178,6 +178,278 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     Ok(samples)
 }
 
+/// Summary of a successfully validated Prometheus snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromReport {
+    /// Metric families declared (`# HELP` + `# TYPE` pairs).
+    pub families: usize,
+    /// Samples validated.
+    pub samples: usize,
+}
+
+fn metric_name_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().enumerate().all(|(i, c)| {
+            c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parse a label body (`k="v",k2="v2"` — the text between `{` and `}`)
+/// into pairs, enforcing exposition-format escaping: only `\\`, `\"`
+/// and `\n` are legal in label values.
+fn parse_labels(n: usize, body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find("=\"")
+            .ok_or(format!("line {n}: label without =\" in {body:?}"))?;
+        let name = &rest[..eq];
+        if !metric_name_ok(name) || name.contains(':') {
+            return Err(format!("line {n}: bad label name {name:?}"));
+        }
+        let mut val = String::new();
+        let mut end = None;
+        let mut chars = rest[eq + 2..].char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, e @ ('\\' | '"' | 'n'))) => {
+                        val.push('\\');
+                        val.push(e);
+                    }
+                    other => {
+                        return Err(format!(
+                            "line {n}: illegal escape {:?} in label value",
+                            other.map(|(_, c)| c)
+                        ));
+                    }
+                },
+                '"' => {
+                    end = Some(eq + 2 + i);
+                    break;
+                }
+                _ => val.push(c),
+            }
+        }
+        let end = end.ok_or(format!("line {n}: unterminated label value"))?;
+        out.push((name.to_string(), val));
+        rest = &rest[end + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) if !r.is_empty() => rest = r,
+            Some(_) => return Err(format!("line {n}: trailing comma in label set")),
+            None if rest.is_empty() => {}
+            None => return Err(format!("line {n}: junk after label value: {rest:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_sample_value(n: usize, s: &str) -> Result<f64, String> {
+    let v = match s {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        _ => s
+            .parse::<f64>()
+            .map_err(|_| format!("line {n}: unparseable value {s:?}"))?,
+    };
+    if v.is_nan() {
+        return Err(format!("line {n}: NaN sample value"));
+    }
+    Ok(v)
+}
+
+/// Strict Prometheus text-exposition validator — what the exporter
+/// tests and CI run against both the per-search snapshot
+/// ([`crate::export::prometheus`]) and the daemon-lifetime snapshot
+/// (`sw-serve`'s obs plane). Beyond the line-shape check of
+/// [`validate_prometheus`], it enforces:
+///
+/// - every family is declared with `# HELP` *then* `# TYPE`, and every
+///   `# HELP` has a matching `# TYPE`;
+/// - declared types are `counter` / `gauge` / `histogram` only;
+/// - every sample belongs to a declared family (histogram samples are
+///   attributed by stripping `_bucket` / `_sum` / `_count`);
+/// - label sets parse with legal names and legal value escapes
+///   (`\\`, `\"`, `\n`);
+/// - counter families end in `_total` and carry non-negative finite
+///   values (counter monotonicity within one snapshot: cumulative
+///   histogram buckets never decrease, counters never go negative);
+/// - per histogram series (family + labels minus `le`): `le` bounds
+///   strictly increase and terminate at `+Inf`, cumulative bucket
+///   counts are non-decreasing, `_count` equals the `+Inf` bucket, and
+///   `_sum` is present;
+/// - no sample anywhere is NaN.
+pub fn validate_prometheus_strict(text: &str) -> Result<PromReport, String> {
+    use std::collections::BTreeMap;
+
+    let mut help: HashMap<String, usize> = HashMap::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples = 0usize;
+    #[derive(Default)]
+    struct HistSeries {
+        buckets: Vec<(f64, f64)>, // (le, cumulative count) in file order
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hists: BTreeMap<(String, String), HistSeries> = BTreeMap::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, doc) = rest
+                .split_once(' ')
+                .ok_or(format!("line {n}: HELP without text"))?;
+            if !metric_name_ok(name) || doc.is_empty() {
+                return Err(format!("line {n}: malformed HELP for {name:?}"));
+            }
+            if help.insert(name.to_string(), n).is_some() {
+                return Err(format!("line {n}: duplicate HELP for {name}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest
+                .split_once(' ')
+                .ok_or(format!("line {n}: TYPE without kind"))?;
+            if !matches!(ty, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown type {ty:?} for {name}"));
+            }
+            if !help.contains_key(name) {
+                return Err(format!("line {n}: TYPE {name} precedes its HELP"));
+            }
+            if types.insert(name.to_string(), ty.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        let (name_part, value_str) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {n}: no value separator"))?;
+        let (name, labels) = match name_part.split_once('{') {
+            Some((m, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or(format!("line {n}: unclosed label set"))?;
+                (m, parse_labels(n, body)?)
+            }
+            None => (name_part, Vec::new()),
+        };
+        if !metric_name_ok(name) {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        let value = parse_sample_value(n, value_str)?;
+        samples += 1;
+
+        // Attribute the sample to its declared family.
+        let hist_base = |suffix: &str| {
+            name.strip_suffix(suffix)
+                .filter(|b| types.get(*b).map(String::as_str) == Some("histogram"))
+        };
+        let series_key = |labels: &[(String, String)], drop_le: bool| {
+            let mut kv: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| !(drop_le && k == "le"))
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            kv.sort();
+            kv.join(",")
+        };
+        if let Some(base) = hist_base("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or(format!("line {n}: histogram bucket without le label"))?;
+            let bound = parse_sample_value(n, &le.1)?;
+            hists
+                .entry((base.to_string(), series_key(&labels, true)))
+                .or_default()
+                .buckets
+                .push((bound, value));
+        } else if let Some(base) = hist_base("_sum") {
+            hists
+                .entry((base.to_string(), series_key(&labels, false)))
+                .or_default()
+                .sum = Some(value);
+        } else if let Some(base) = hist_base("_count") {
+            hists
+                .entry((base.to_string(), series_key(&labels, false)))
+                .or_default()
+                .count = Some(value);
+        } else {
+            match types.get(name).map(String::as_str) {
+                Some("counter") => {
+                    if !name.ends_with("_total") {
+                        return Err(format!("line {n}: counter {name} does not end in _total"));
+                    }
+                    if !(value.is_finite() && value >= 0.0) {
+                        return Err(format!("line {n}: counter {name} value {value} not a non-negative finite number"));
+                    }
+                }
+                Some("gauge") => {}
+                Some("histogram") => {
+                    return Err(format!(
+                        "line {n}: bare sample {name} for a histogram family"
+                    ));
+                }
+                Some(_) | None => {
+                    return Err(format!("line {n}: sample {name} has no declared TYPE"));
+                }
+            }
+        }
+    }
+
+    for name in help.keys() {
+        if !types.contains_key(name) {
+            return Err(format!("HELP {name} has no TYPE"));
+        }
+    }
+    for ((family, series), h) in &hists {
+        let at = format!("histogram {family}{{{series}}}");
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = -1.0;
+        for &(le, cum) in &h.buckets {
+            if le <= prev_le {
+                return Err(format!("{at}: le bounds not strictly increasing"));
+            }
+            if cum < prev_cum {
+                return Err(format!("{at}: cumulative bucket counts decrease"));
+            }
+            if !(cum.is_finite() && cum >= 0.0) {
+                return Err(format!("{at}: bucket count {cum} invalid"));
+            }
+            prev_le = le;
+            prev_cum = cum;
+        }
+        match h.buckets.last() {
+            Some(&(le, cum)) if le.is_infinite() => {
+                if h.count != Some(cum) {
+                    return Err(format!("{at}: _count does not equal the +Inf bucket"));
+                }
+            }
+            _ => return Err(format!("{at}: missing terminal +Inf bucket")),
+        }
+        if h.sum.is_none() {
+            return Err(format!("{at}: missing _sum"));
+        }
+    }
+    if samples == 0 {
+        return Err("no samples".to_string());
+    }
+    Ok(PromReport {
+        families: types.len(),
+        samples,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +588,142 @@ mod tests {
         );
         let n = validate_prometheus(&text).expect("valid");
         assert!(n > 5);
+    }
+
+    fn traced_prometheus() -> String {
+        let tr = Tracer::full();
+        let mut j = tr.worker(0, 0);
+        j.emit_at(0, EventKind::QueueWaitBegin);
+        j.emit_at(4, EventKind::QueueWaitEnd { us: 4 });
+        j.emit_at(
+            5,
+            EventKind::ChunkStart {
+                lease: 0,
+                lo: 0,
+                hi: 2,
+            },
+        );
+        j.emit_at(
+            9,
+            EventKind::ChunkFinish {
+                lease: 0,
+                lo: 0,
+                hi: 2,
+                cells: 64,
+            },
+        );
+        j.emit_at(
+            10,
+            EventKind::CheckpointWritten {
+                seq: 1,
+                tasks_done: 2,
+                bytes: 128,
+            },
+        );
+        drop(j);
+        export::prometheus_with_isa(
+            &tr.timeline(),
+            &[crate::DeviceCounters {
+                device: 0,
+                cells: 64,
+                chunks: 1,
+                busy_secs: 0.001,
+                ..Default::default()
+            }],
+            0,
+            "avx2",
+        )
+    }
+
+    #[test]
+    fn strict_validator_passes_real_per_search_snapshot() {
+        let text = traced_prometheus();
+        let rep = validate_prometheus_strict(&text).expect("valid");
+        assert!(rep.families >= 15, "families = {}", rep.families);
+        assert!(rep.samples >= 30, "samples = {}", rep.samples);
+        // The weak validator must also still accept it (back-compat).
+        validate_prometheus(&text).expect("weak validator agrees");
+    }
+
+    #[test]
+    fn strict_validator_rejects_structural_defects() {
+        let ok = "# HELP m_total things\n# TYPE m_total counter\nm_total 3\n";
+        validate_prometheus_strict(ok).expect("minimal counter family");
+
+        // TYPE before HELP.
+        let t = "# TYPE m_total counter\n# HELP m_total things\nm_total 3\n";
+        assert!(validate_prometheus_strict(t)
+            .unwrap_err()
+            .contains("precedes"));
+        // Sample without any declaration.
+        assert!(validate_prometheus_strict("orphan 1\n")
+            .unwrap_err()
+            .contains("no declared TYPE"));
+        // HELP with no TYPE.
+        let t = "# HELP a_total x\n# TYPE a_total counter\na_total 1\n# HELP lonely y\n";
+        assert!(validate_prometheus_strict(t)
+            .unwrap_err()
+            .contains("no TYPE"));
+        // Counter family not ending in _total.
+        let t = "# HELP m things\n# TYPE m counter\nm 3\n";
+        assert!(validate_prometheus_strict(t)
+            .unwrap_err()
+            .contains("_total"));
+        // Negative counter.
+        let t = "# HELP m_total things\n# TYPE m_total counter\nm_total -1\n";
+        assert!(validate_prometheus_strict(t)
+            .unwrap_err()
+            .contains("non-negative"));
+        // NaN sample.
+        let t = "# HELP g stuff\n# TYPE g gauge\ng NaN\n";
+        assert!(validate_prometheus_strict(t).unwrap_err().contains("NaN"));
+        // Unknown type.
+        let t = "# HELP m stuff\n# TYPE m summary\nm 1\n";
+        assert!(validate_prometheus_strict(t)
+            .unwrap_err()
+            .contains("unknown type"));
+        // Illegal label escape.
+        let t = "# HELP g stuff\n# TYPE g gauge\ng{tenant=\"a\\tb\"} 1\n";
+        assert!(validate_prometheus_strict(t)
+            .unwrap_err()
+            .contains("escape"));
+    }
+
+    #[test]
+    fn strict_validator_rejects_histogram_defects() {
+        let decl = "# HELP h_us lat\n# TYPE h_us histogram\n";
+        let good = format!(
+            "{decl}h_us_bucket{{le=\"10\"}} 1\nh_us_bucket{{le=\"+Inf\"}} 2\nh_us_sum 12\nh_us_count 2\n"
+        );
+        validate_prometheus_strict(&good).expect("well-formed histogram");
+
+        // Missing +Inf terminal bucket.
+        let t = format!("{decl}h_us_bucket{{le=\"10\"}} 1\nh_us_sum 12\nh_us_count 1\n");
+        assert!(validate_prometheus_strict(&t).unwrap_err().contains("+Inf"));
+        // le bounds out of order.
+        let t = format!(
+            "{decl}h_us_bucket{{le=\"10\"}} 1\nh_us_bucket{{le=\"5\"}} 1\nh_us_bucket{{le=\"+Inf\"}} 2\nh_us_sum 1\nh_us_count 2\n"
+        );
+        assert!(validate_prometheus_strict(&t)
+            .unwrap_err()
+            .contains("strictly increasing"));
+        // Cumulative counts decreasing.
+        let t = format!(
+            "{decl}h_us_bucket{{le=\"10\"}} 3\nh_us_bucket{{le=\"+Inf\"}} 2\nh_us_sum 1\nh_us_count 2\n"
+        );
+        assert!(validate_prometheus_strict(&t)
+            .unwrap_err()
+            .contains("decrease"));
+        // _count disagrees with the +Inf bucket.
+        let t = format!(
+            "{decl}h_us_bucket{{le=\"10\"}} 1\nh_us_bucket{{le=\"+Inf\"}} 2\nh_us_sum 1\nh_us_count 7\n"
+        );
+        assert!(validate_prometheus_strict(&t)
+            .unwrap_err()
+            .contains("_count"));
+        // _sum missing.
+        let t = format!("{decl}h_us_bucket{{le=\"+Inf\"}} 0\nh_us_count 0\n");
+        assert!(validate_prometheus_strict(&t).unwrap_err().contains("_sum"));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Shard scaling: one query fanned over N contiguous shards of a
+//! length-sorted database, each shard searched by its own single-thread
+//! engine in parallel — the in-process model of `search --shards` with
+//! N worker daemons. Reports aggregate GCUPS at 1/2/4 shards and
+//! asserts the k-way merge reproduces the unsharded top-K exactly
+//! (score desc, then global db index asc) before any row is emitted.
+//!
+//! Speedup is bounded by available cores: on a single-core box every
+//! row sits near 1.0 and the table is a merge-correctness record, not
+//! a scaling claim.
+//!
+//! Results land in `results/shard.csv`.
+//!
+//! Usage: `shard [scale]` — scale multiplies the database size
+//! (default 1).
+
+use std::time::Instant;
+use sw_bench::Table;
+use sw_core::{merge_top_k, HeteroEngine, Hit, PreparedDb, SearchConfig, SearchEngine};
+use sw_seq::gen::{generate_database, generate_query, DbSpec};
+use sw_seq::{Alphabet, SeqId};
+use sw_swdb::{shard, SequenceDatabase};
+
+const TOP: usize = 32;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let alphabet = Alphabet::protein();
+    let spec = DbSpec {
+        n_seqs: ((800.0 * scale) as u32).max(32),
+        mean_len: 200.0,
+        max_len: 1200,
+        seed: 1402,
+    };
+    // The coordinator's world: shards are contiguous cuts of the
+    // length-sorted parent, so a shard-local hit id plus the shard base
+    // is the global index the merge tie-break runs on.
+    let sorted = shard::length_sorted(&SequenceDatabase::from_sequences(generate_database(&spec)));
+    let query = generate_query(600, 77);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+
+    let prepare_range = |range: (usize, usize)| -> PreparedDb {
+        let seqs = (range.0..range.1)
+            .map(|i| sw_seq::EncodedSeq {
+                header: sorted.header(SeqId(i as u32)).into(),
+                residues: sorted.seq(SeqId(i as u32)).residues.to_vec(),
+            })
+            .collect();
+        PreparedDb::prepare(seqs, 8, &alphabet)
+    };
+    let search_shard = |prepared: &PreparedDb, base: usize| -> Vec<Hit> {
+        let plan = engine.plan_split(prepared, query.residues.len(), 0.55);
+        let res = engine.search(
+            &query.residues,
+            prepared,
+            &plan,
+            &SearchConfig::best(1),
+            &SearchConfig::best(1),
+        );
+        res.top(TOP)
+            .iter()
+            .map(|h| Hit {
+                id: SeqId(base as u32 + h.id.0),
+                score: h.score,
+            })
+            .collect()
+    };
+
+    let cells = query.residues.len() as f64 * sorted.total_residues() as f64;
+    let mut baseline: Option<(Vec<Hit>, f64)> = None;
+    let mut t = Table::new(
+        "Shard scaling — one query over N parallel single-thread shards, merged top-K",
+        &["shards", "wall_ms", "agg_gcups", "speedup", "merge"],
+    );
+    for n in [1usize, 2, 4] {
+        let plan = shard::plan_shards(&sorted, n);
+        let prepared: Vec<PreparedDb> = plan.iter().map(|r| prepare_range(*r)).collect();
+        // Best of five: shard walls are ms-scale, pool spawn noise is
+        // a real fraction of one sample.
+        let mut wall = f64::MAX;
+        let mut merged = Vec::new();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let per_shard: Vec<Vec<Hit>> = std::thread::scope(|s| {
+                let handles: Vec<_> = prepared
+                    .iter()
+                    .zip(&plan)
+                    .map(|(p, r)| s.spawn(|| search_shard(p, r.0)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < wall {
+                wall = dt;
+            }
+            merged = merge_top_k(per_shard, TOP);
+        }
+        let (ref_hits, ref_wall) = baseline.get_or_insert_with(|| (merged.clone(), wall));
+        assert_eq!(
+            &merged, ref_hits,
+            "n={n}: merged top-K must reproduce the unsharded order exactly"
+        );
+        t.row(vec![
+            n.to_string(),
+            format!("{:.2}", wall * 1e3),
+            format!("{:.3}", cells / wall / 1e9),
+            format!("{:.2}", *ref_wall / wall),
+            "exact".into(),
+        ]);
+    }
+    t.emit("shard");
+}

@@ -12,7 +12,9 @@ swsearch — Smith-Waterman protein database search (Rucci et al., CLUSTER 2014 
 
 USAGE:
   swsearch search   --query <fasta> --db <fasta|swdb> [options]
+  swsearch search   --query <fasta> --shards <manifest> [--top <k>] [options]
   swsearch makedb   --in <fasta> --out <swdb>
+  swsearch shard-prepare --db <fasta|swdb> --out <dir> --shards <n>
   swsearch gendb    --seqs <n> --out <fasta|swdb> [--seed <u64>] [--mean-len <f>]
   swsearch stats    --db <fasta|swdb>
   swsearch selftest [--lanes <4|8|16|32>] [--scale <n>]
@@ -30,7 +32,8 @@ USAGE:
                     [--trace-dir <dir>] [--registry-out <path>] [--lanes <n>]
                     [--log-level <l>] [--log-file <path>]
                     [--slow-query-ms <ms>] [--metrics-file <path>]
-                    [--metrics-interval-ms <ms>]
+                    [--metrics-interval-ms <ms>] [--request-timeout-ms <ms>]
+                    [--shard-worker]
   swsearch submit   --socket <path> (--query <fasta> | --status <job> |
                     --cancel <job> | --stats | --metrics | --health |
                     --shutdown) [--tenant <name>] [--top <k>] [--json]
@@ -134,6 +137,14 @@ SERVE OPTIONS:
                       Prometheus snapshot here (atomic replace)
   --metrics-interval-ms <ms> (serve) dump cadence for --metrics-file
                       (default 1000)
+  --request-timeout-ms <ms> (serve) evict a connection that has not
+                      completed its request line within this deadline —
+                      a stalled half-line client must not pin a thread
+                      and fd (default 10000)
+  --shard-worker      (serve) --db names a .swshard file: serve that
+                      shard, reporting hit ids globally (shard base +
+                      in-shard index) and labelling metrics with the
+                      shard index
   --drill <spec>      (submit) per-job fault drill forwarded to the
                       daemon, e.g. delay@0:1500 (accel chunk 0 sleeps
                       1500 ms) — test hook, hits stay exact
@@ -149,6 +160,23 @@ SERVE OPTIONS:
   --shutdown          (submit) drain the daemon and exit
   --json              (submit) print raw wire JSON lines instead of
                       human-formatted text (submit/status/stats)
+
+SHARD OPTIONS:
+  --shards <n>        (shard-prepare) split the length-sorted database
+                      into n digest-identified .swshard files plus a
+                      sorted parent snapshot and a shards.manifest
+  --shards <manifest> (search) sharded search: spawn one shard worker
+                      per manifest entry (reusing any already listening
+                      on the shard sockets), fan the query out, and
+                      k-way-merge the per-shard top-K byte-identically
+                      to the unsharded run over the sorted parent. A
+                      dead or wedged worker's shard is requeued to a
+                      respawned process and resumes from its checkpoint.
+  --shard-dir <dir>   (search --shards) sockets, worker logs and the
+                      shared checkpoint dir live here (default: the
+                      manifest's directory)
+  --drill <spec>      (search --shards) fault drill forwarded to every
+                      shard worker, e.g. delay@0:1500
 
 TRACE-CHECK OPTIONS:
   --trace <path>      validate a JSONL event log: schema header, per-track
@@ -167,6 +195,34 @@ pub enum Command {
         db: String,
         /// Scoring/search knobs.
         opts: SearchOpts,
+    },
+    /// Sharded search: spawn/reuse one worker daemon per shard, fan the
+    /// query out, merge byte-identically to the unsharded run.
+    SearchShards {
+        /// Query FASTA path.
+        query: String,
+        /// `shards.manifest` written by `shard-prepare`.
+        manifest: String,
+        /// Sockets, worker logs and checkpoints live here (defaults to
+        /// the manifest's directory).
+        shard_dir: Option<String>,
+        /// Hits to keep after the merge.
+        top: usize,
+        /// Fault drill forwarded to every shard worker.
+        drill: Option<String>,
+        /// Print raw wire JSON hit lines instead of the report.
+        json: bool,
+        /// Worker knobs (threads, lanes …) for spawned shard daemons.
+        opts: SearchOpts,
+    },
+    /// Split a database into digest-identified snapshot shards.
+    ShardPrepare {
+        /// Input database (FASTA or `.swdb` snapshot).
+        db: String,
+        /// Output directory for shards, sorted parent and manifest.
+        out: String,
+        /// Number of shards.
+        shards: usize,
     },
     /// Preprocess a FASTA database into a binary snapshot.
     MakeDb {
@@ -311,6 +367,10 @@ pub enum Command {
         metrics_file: Option<String>,
         /// Dump cadence for `metrics_file` in ms.
         metrics_interval_ms: u64,
+        /// Per-connection request deadline in ms.
+        request_timeout_ms: u64,
+        /// Treat `db` as a `.swshard` file and serve that shard.
+        shard_worker: bool,
         /// Scoring/search knobs shared by every job.
         opts: SearchOpts,
     },
@@ -585,11 +645,37 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     };
     match sub.as_str() {
         "-h" | "--help" | "help" => Ok(Command::Help),
-        "search" => Ok(Command::Search {
-            query: a.value_of("--query")?,
-            db: a.value_of("--db")?,
-            opts: parse_search_opts(&mut a)?,
-        }),
+        "search" => {
+            if a.has_flag("--shards") {
+                let top: usize = a.parse_num("--top", 10usize)?;
+                Ok(Command::SearchShards {
+                    query: a.value_of("--query")?,
+                    manifest: a.value_of("--shards")?,
+                    shard_dir: a.opt_value("--shard-dir"),
+                    top,
+                    drill: a.opt_value("--drill"),
+                    json: a.has_flag("--json"),
+                    opts: parse_search_opts(&mut a)?,
+                })
+            } else {
+                Ok(Command::Search {
+                    query: a.value_of("--query")?,
+                    db: a.value_of("--db")?,
+                    opts: parse_search_opts(&mut a)?,
+                })
+            }
+        }
+        "shard-prepare" => {
+            let shards: usize = a.parse_num("--shards", 0usize)?;
+            if shards == 0 {
+                return Err(err("--shards is required and must be positive"));
+            }
+            Ok(Command::ShardPrepare {
+                db: a.value_of("--db")?,
+                out: a.value_of("--out")?,
+                shards,
+            })
+        }
         "makedb" => Ok(Command::MakeDb {
             input: a.value_of("--in")?,
             output: a.value_of("--out")?,
@@ -766,6 +852,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 slow_query_ms,
                 metrics_file: a.opt_value("--metrics-file"),
                 metrics_interval_ms: a.parse_num("--metrics-interval-ms", 1000u64)?,
+                request_timeout_ms: a.parse_num("--request-timeout-ms", 10_000u64)?,
+                shard_worker: a.has_flag("--shard-worker"),
                 opts,
             })
         }
@@ -1317,6 +1405,82 @@ mod tests {
         assert!(parse(&argv("serve --db d --socket s --tenant-quota 0")).is_err());
         assert!(parse(&argv("serve --db d --socket s --log-level loud")).is_err());
         assert!(parse(&argv("serve --db d --socket s --slow-query-ms x")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_shard_worker_and_request_timeout() {
+        match parse(&argv(
+            "serve --db shard-0.swshard --socket s.sock --shard-worker --request-timeout-ms 500",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                db,
+                shard_worker,
+                request_timeout_ms,
+                ..
+            } => {
+                assert_eq!(db, "shard-0.swshard");
+                assert!(shard_worker);
+                assert_eq!(request_timeout_ms, 500);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("serve --db d.swdb --socket s.sock")).unwrap() {
+            Command::Serve {
+                shard_worker,
+                request_timeout_ms,
+                ..
+            } => {
+                assert!(!shard_worker);
+                assert_eq!(request_timeout_ms, 10_000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_prepare_and_sharded_search_parse() {
+        match parse(&argv("shard-prepare --db d.fasta --out shards/ --shards 4")).unwrap() {
+            Command::ShardPrepare { db, out, shards } => {
+                assert_eq!(db, "d.fasta");
+                assert_eq!(out, "shards/");
+                assert_eq!(shards, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(&argv("shard-prepare --db d --out o")).is_err(),
+            "needs --shards"
+        );
+        assert!(parse(&argv("shard-prepare --db d --out o --shards 0")).is_err());
+
+        match parse(&argv(
+            "search --query q.fa --shards shards/shards.manifest --top 7 --threads 2 --json",
+        ))
+        .unwrap()
+        {
+            Command::SearchShards {
+                query,
+                manifest,
+                shard_dir,
+                top,
+                drill,
+                json,
+                opts,
+            } => {
+                assert_eq!(query, "q.fa");
+                assert_eq!(manifest, "shards/shards.manifest");
+                assert_eq!(shard_dir, None);
+                assert_eq!(top, 7);
+                assert_eq!(drill, None);
+                assert!(json);
+                assert_eq!(opts.threads, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Without --shards the search arm still demands --db.
+        assert!(parse(&argv("search --query q.fa")).is_err());
     }
 
     #[test]

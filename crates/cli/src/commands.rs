@@ -125,6 +125,29 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             Ok(())
         }
         Command::Search { query, db, opts } => cmd_search(&query, &db, &opts, out),
+        Command::SearchShards {
+            query,
+            manifest,
+            shard_dir,
+            top,
+            drill,
+            json,
+            opts,
+        } => cmd_search_shards(
+            &query,
+            &manifest,
+            shard_dir.as_deref(),
+            top,
+            drill.as_deref(),
+            json,
+            &opts,
+            out,
+        ),
+        Command::ShardPrepare {
+            db,
+            out: dir,
+            shards,
+        } => cmd_shard_prepare(&db, &dir, shards, out),
         Command::MakeDb {
             input,
             output,
@@ -221,6 +244,8 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             slow_query_ms,
             metrics_file,
             metrics_interval_ms,
+            request_timeout_ms,
+            shard_worker,
             opts,
         } => cmd_serve(
             &db,
@@ -238,6 +263,8 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 slow_query_ms,
                 metrics_file,
                 metrics_interval_ms,
+                request_timeout_ms,
+                shard_worker,
             },
             &opts,
             out,
@@ -412,6 +439,213 @@ fn cmd_makedb<W: Write>(
         db.total_residues(),
         bytes.len()
     )?;
+    Ok(())
+}
+
+fn cmd_shard_prepare<W: Write>(
+    db_path: &str,
+    out_dir: &str,
+    n_shards: usize,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    use sw_swdb::shard;
+    let alphabet = Alphabet::protein();
+    let seqs = load_sequences(db_path, &alphabet)?;
+    if seqs.is_empty() {
+        return Err("database holds no sequences".into());
+    }
+    let db = sw_swdb::SequenceDatabase::from_sequences(seqs);
+    // Shards are cut from the length-sorted order — the order the
+    // search engine actually walks — so `shard base + in-shard id` is
+    // a stable global index, and the sorted parent snapshot written
+    // alongside is the byte-identical reference for an unsharded run.
+    let sorted = shard::length_sorted(&db);
+    let parent_digest = sw_swdb::snapshot::content_digest(&sorted);
+    let dir = std::path::Path::new(out_dir);
+    std::fs::create_dir_all(dir)?;
+    File::create(dir.join("parent.swdb"))?.write_all(&sw_swdb::snapshot::write(&sorted))?;
+    let ranges = shard::plan_shards(&sorted, n_shards);
+    let count = ranges.len() as u64;
+    let mut entries = Vec::new();
+    for (i, range) in ranges.iter().enumerate() {
+        let piece = shard::slice(&sorted, *range);
+        let meta = sw_swdb::ShardMeta {
+            index: i as u64,
+            count,
+            base: range.0 as u64,
+            parent_digest,
+        };
+        let file = shard::shard_file_name(i as u64);
+        File::create(dir.join(&file))?.write_all(&shard::write_shard(&meta, &piece))?;
+        let digest = sw_swdb::snapshot::content_digest(&piece);
+        writeln!(
+            out,
+            "# shard {i}: {} seqs, base {}, digest {digest:016x} -> {file}",
+            piece.len(),
+            range.0
+        )?;
+        entries.push(shard::ShardEntry {
+            index: i as u64,
+            file,
+            base: range.0 as u64,
+            n_seqs: piece.len() as u64,
+            digest,
+        });
+    }
+    let manifest = sw_swdb::ShardManifest {
+        parent_digest,
+        shards: entries,
+    };
+    std::fs::write(dir.join("shards.manifest"), manifest.render())?;
+    writeln!(
+        out,
+        "# wrote {count} shards + sorted parent ({} seqs, digest {parent_digest:016x}) \
+         + shards.manifest to {out_dir}",
+        sorted.len()
+    )?;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cmd_search_shards<W: Write>(
+    query_path: &str,
+    manifest_path: &str,
+    shard_dir: Option<&str>,
+    top: usize,
+    drill: Option<&str>,
+    json: bool,
+    opts: &SearchOpts,
+    out: &mut W,
+) -> Result<(), CmdError> {
+    use std::collections::BTreeSet;
+    use std::process::{Child, Command as Proc, Stdio};
+    use std::sync::Mutex;
+    use sw_serve::{coord, CoordConfig, ShardSpec};
+    let manifest_text = std::fs::read_to_string(manifest_path)?;
+    let manifest = sw_swdb::ShardManifest::parse(&manifest_text)
+        .map_err(|e| format!("{manifest_path}: {e}"))?;
+    let manifest_dir = std::path::Path::new(manifest_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let run_dir = shard_dir
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| manifest_dir.clone());
+    std::fs::create_dir_all(&run_dir)?;
+    let ckpt_dir = run_dir.join("ckpt");
+    std::fs::create_dir_all(&ckpt_dir)?;
+    let query_fasta = std::fs::read_to_string(query_path)?;
+    let specs: Vec<ShardSpec> = manifest
+        .shards
+        .iter()
+        .map(|e| ShardSpec {
+            index: e.index,
+            socket: run_dir.join(format!("shard-{}.sock", e.index)),
+            expect_digest: Some(e.digest),
+        })
+        .collect();
+    // Worker daemons are this same binary re-invoked as
+    // `serve --shard-worker`; stdout/stderr land in the run dir so a
+    // wedged or killed worker leaves a trail.
+    let exe = std::env::current_exe()?;
+    let threads = opts.threads.max(1);
+    let children: Mutex<Vec<Child>> = Mutex::new(Vec::new());
+    let spawned: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    let spawn = |spec: &ShardSpec| -> Result<(), String> {
+        let entry = manifest
+            .shards
+            .iter()
+            .find(|e| e.index == spec.index)
+            .ok_or("shard missing from manifest")?;
+        let log = File::create(run_dir.join(format!("worker-{}.log", spec.index)))
+            .map_err(|e| e.to_string())?;
+        // A crashed worker leaves its socket file behind; the new one
+        // must be able to bind.
+        let _ = std::fs::remove_file(&spec.socket);
+        let child = Proc::new(&exe)
+            .arg("serve")
+            .arg("--shard-worker")
+            .arg("--db")
+            .arg(manifest_dir.join(&entry.file))
+            .arg("--socket")
+            .arg(&spec.socket)
+            .arg("--checkpoint-dir")
+            .arg(&ckpt_dir)
+            .arg("--threads")
+            .arg(threads.to_string())
+            .stdout(Stdio::from(log.try_clone().map_err(|e| e.to_string())?))
+            .stderr(Stdio::from(log))
+            .spawn()
+            .map_err(|e| format!("spawn worker {}: {e}", spec.index))?;
+        children.lock().unwrap().push(child);
+        spawned.lock().unwrap().insert(spec.index);
+        Ok(())
+    };
+    // Boot workers whose sockets are not already serving; daemons a
+    // previous coordinator (or an operator) left running are reused
+    // and NOT shut down afterwards.
+    let mut booted = 0u64;
+    for spec in &specs {
+        if std::os::unix::net::UnixStream::connect(&spec.socket).is_err() {
+            spawn(spec)?;
+            booted += 1;
+        }
+    }
+    if !json {
+        writeln!(
+            out,
+            "# sharded search: {} shards ({booted} booted), parent digest {:016x}",
+            specs.len(),
+            manifest.parent_digest
+        )?;
+    }
+    let mut cfg = CoordConfig::new(top);
+    cfg.drill = drill.map(str::to_string);
+    let result = coord::search_sharded(&specs, &query_fasta, &cfg, &spawn);
+    // Tear down only what this process started — including respawns.
+    let ours = spawned.into_inner().unwrap();
+    for spec in specs.iter().filter(|s| ours.contains(&s.index)) {
+        let _ = coord::shutdown_worker(&spec.socket);
+    }
+    for mut child in children.into_inner().unwrap() {
+        let _ = child.wait();
+    }
+    let outcome = result.map_err(|e| format!("sharded search: {e}"))?;
+    if json {
+        // Re-rendered wire hit lines, byte-identical to what an
+        // unsharded `submit --json` run over the sorted parent prints
+        // for the same query — the CI merge check diffs exactly this.
+        for h in &outcome.hits {
+            writeln!(
+                out,
+                "{{\"rank\":{},\"score\":{},\"id\":{},\"header\":\"{}\"}}",
+                h.rank,
+                h.score,
+                h.id,
+                sw_serve::json::escape(&h.header)
+            )?;
+        }
+        return Ok(());
+    }
+    for (i, r) in outcome.reports.iter().enumerate() {
+        writeln!(
+            out,
+            "# shard {i}: {} attempt{}, {} resume{}, {} hits",
+            r.attempts,
+            if r.attempts == 1 { "" } else { "s" },
+            r.resumes,
+            if r.resumes == 1 { "" } else { "s" },
+            r.hits
+        )?;
+    }
+    if outcome.requeues > 0 {
+        writeln!(out, "# {} shard execution(s) requeued", outcome.requeues)?;
+    }
+    writeln!(out, "merged top {}: {} hits", top, outcome.hits.len())?;
+    for h in &outcome.hits {
+        writeln!(out, "{:>6}  {:>8}  {}", h.rank, h.score, h.header)?;
+    }
     Ok(())
 }
 
@@ -992,6 +1226,8 @@ struct ServeTuning {
     slow_query_ms: Option<u64>,
     metrics_file: Option<String>,
     metrics_interval_ms: u64,
+    request_timeout_ms: u64,
+    shard_worker: bool,
 }
 
 fn cmd_serve<W: Write>(
@@ -1006,7 +1242,29 @@ fn cmd_serve<W: Write>(
     // Load once, stay resident. Snapshots get an explicit content
     // digest in the banner — the integrity anchor every job's
     // checkpoint fingerprint chains back to.
-    let (db_seqs, digest) = if db_path.ends_with(".swdb") {
+    let (db_seqs, digest, shard_role) = if tuning.shard_worker {
+        // Shard worker: the db is one SWSHRD1 shard. The digest is the
+        // shard's own snapshot digest (checkpoint fingerprints stay
+        // per-shard), the role carries the global offset so every hit
+        // id the daemon reports is already global.
+        let mut bytes = Vec::new();
+        File::open(db_path)?.read_to_end(&mut bytes)?;
+        let (meta, db) = sw_swdb::shard::read_shard(&bytes)?;
+        let digest = sw_swdb::snapshot::content_digest(&db);
+        let seqs = db
+            .iter()
+            .map(|(id, v)| EncodedSeq {
+                header: db.header(id).into(),
+                residues: v.residues.to_vec(),
+            })
+            .collect();
+        let role = sw_serve::ShardRole {
+            index: meta.index,
+            count: meta.count,
+            base: meta.base,
+        };
+        (seqs, Some(digest), Some(role))
+    } else if db_path.ends_with(".swdb") {
         let mut bytes = Vec::new();
         File::open(db_path)?.read_to_end(&mut bytes)?;
         let db = sw_swdb::snapshot::read(&bytes)?;
@@ -1018,10 +1276,11 @@ fn cmd_serve<W: Write>(
                 residues: v.residues.to_vec(),
             })
             .collect();
-        (seqs, Some(digest))
+        (seqs, Some(digest), None)
     } else {
         (
             load_sequences_quarantined(db_path, &alphabet, opts.quarantine, out)?,
+            None,
             None,
         )
     };
@@ -1064,14 +1323,20 @@ fn cmd_serve<W: Write>(
     config.metrics_file = tuning.metrics_file.map(Into::into);
     config.metrics_interval_ms = tuning.metrics_interval_ms;
     config.snapshot_digest = digest;
+    config.request_timeout_ms = tuning.request_timeout_ms;
+    config.shard = shard_role;
     crate::signals::install_drain_handlers();
     writeln!(
         out,
-        "# sw-serve: {} sequences ({} residues) resident{}, isa {isa}",
+        "# sw-serve: {} sequences ({} residues) resident{}{}, isa {isa}",
         prepared.stats.n_seqs,
         prepared.stats.total_residues,
         match digest {
             Some(d) => format!(", snapshot digest {d:016x}"),
+            None => String::new(),
+        },
+        match shard_role {
+            Some(r) => format!(", shard {}/{} (base {})", r.index, r.count, r.base),
             None => String::new(),
         }
     )?;

@@ -44,7 +44,10 @@ pub(crate) struct PendingJob {
 /// the reply streams cannot wedge the job state.
 pub(crate) enum JobReply {
     Done {
-        hits: Vec<(i64, String)>,
+        /// `(score, global db index, header)` per hit. The index is
+        /// global: shard workers add their shard base so a coordinator
+        /// can merge per-shard streams with the unsharded tie-break.
+        hits: Vec<(i64, u64, String)>,
         resumes: u64,
         batch: usize,
     },
@@ -134,6 +137,15 @@ impl Batcher {
         drop(g);
         std::thread::sleep(window);
         let mut g = self.inner.lock().unwrap();
+        // Shutdown may have fired during the gather window. Launching a
+        // region now would race the drain, and leaving the queue open
+        // lets a late submit park where no collector will ever look —
+        // so close first and hand everything back for cancel replies.
+        if shutdown.is_requested() {
+            g.closed = true;
+            let rest: Vec<PendingJob> = g.queue.drain(..).collect();
+            return if rest.is_empty() { None } else { Some(rest) };
+        }
         let n = g.queue.len().min(max.max(1));
         Some(g.queue.drain(..n).collect())
     }
@@ -170,6 +182,30 @@ mod tests {
         );
         let second = b.collect(4, Duration::ZERO, &OFF).unwrap();
         assert_eq!(second.len(), 1, "overflow lands in the next region");
+    }
+
+    #[test]
+    fn shutdown_mid_window_closes_queue() {
+        // Shutdown landing INSIDE the gather window (after the pre-sleep
+        // check) must still close the queue: otherwise the drained jobs
+        // launch a region racing the drain, and a submit arriving after
+        // this collect parks forever in a queue nobody reads again.
+        static MID: DrainSignal = DrainSignal::new();
+        let b = Batcher::new();
+        let (tx, _rx) = mpsc::channel();
+        assert!(b.enqueue(job(1, tx.clone())));
+        std::thread::scope(|s| {
+            let t = s.spawn(|| b.collect(4, Duration::from_millis(200), &MID));
+            std::thread::sleep(Duration::from_millis(50));
+            MID.request();
+            let drained = t.join().unwrap().expect("parked job hands back");
+            assert_eq!(drained.len(), 1);
+        });
+        assert!(
+            !b.enqueue(job(2, tx)),
+            "queue must close when shutdown lands inside the gather window"
+        );
+        assert!(b.collect(4, Duration::ZERO, &MID).is_none(), "then closed");
     }
 
     #[test]

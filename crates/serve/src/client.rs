@@ -78,6 +78,10 @@ pub struct HitLine {
     pub rank: u64,
     /// Exact Smith-Waterman score.
     pub score: i64,
+    /// Global database index of the hit sequence. Shard workers report
+    /// `shard base + in-shard id`, so the coordinator's merge tie-break
+    /// (score, then this index) matches the unsharded run's.
+    pub id: u64,
     /// Database header.
     pub header: String,
 }
@@ -122,6 +126,7 @@ pub fn parse_submit_response(lines: &[String]) -> Result<SubmitOutcome, String> 
             rank: json::field_u64(l, "rank").ok_or(format!("job {job}: malformed hit line"))?,
             score: json::field_u64(l, "score").ok_or(format!("job {job}: malformed hit line"))?
                 as i64,
+            id: json::field_u64(l, "id").unwrap_or(0),
             header: json::field_str(l, "header").ok_or(format!("job {job}: malformed hit line"))?,
         });
     }
@@ -144,8 +149,8 @@ mod tests {
         let lines: Vec<String> = [
             "{\"ok\":true,\"job\":3,\"state\":\"queued\"}",
             "{\"job\":3,\"state\":\"done\",\"hits\":2,\"resumes\":1,\"batch\":4}",
-            "{\"rank\":1,\"score\":99,\"header\":\"sp|A|one\"}",
-            "{\"rank\":2,\"score\":42,\"header\":\"sp|B|two\"}",
+            "{\"rank\":1,\"score\":99,\"id\":17,\"header\":\"sp|A|one\"}",
+            "{\"rank\":2,\"score\":42,\"id\":4,\"header\":\"sp|B|two\"}",
             "{\"end\":true}",
         ]
         .iter()
@@ -158,6 +163,7 @@ mod tests {
         assert_eq!(o.batch, 4, "region size rides the state line");
         assert_eq!(o.hits.len(), 2);
         assert_eq!(o.hits[0].score, 99);
+        assert_eq!(o.hits[0].id, 17);
         assert_eq!(o.hits[1].header, "sp|B|two");
 
         // Rejection surfaces the daemon's message.

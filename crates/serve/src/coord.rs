@@ -1,0 +1,496 @@
+//! The shard coordinator: fan one query out over shard-worker daemons,
+//! recover dead or wedged shards, and merge per-shard top-K streams
+//! into the unsharded run's exact hit list.
+//!
+//! ## Lease at shard granularity
+//!
+//! The unit of work here is one *shard*, not one chunk — but the
+//! recovery algorithm is the same one the dual-pool executor runs over
+//! chunk ranges, reusing [`sw_sched::RequeueQueue`] directly: a shard
+//! whose worker cannot be reached, stalls past the lease deadline, or
+//! returns a broken stream is pushed back with an incremented attempt
+//! count and picked up (LIFO) by any coordinator thread. Before a
+//! retry the caller-supplied `respawn` launcher is invoked so a
+//! SIGKILL'd worker comes back as a fresh process; the worker then
+//! resumes from its own SWCKPT1 checkpoint, whose fingerprint embeds
+//! the per-shard db digest — shard checkpoints cannot collide even in
+//! a shared checkpoint directory. A per-shard attempt cap and a global
+//! failure budget bound the retry storm, mirroring `RecoveryConfig`
+//! semantics.
+//!
+//! ## Byte-identical merge
+//!
+//! Workers report hit ids *globally* (shard base + in-shard index), and
+//! shards partition the id space, so sorting the union by the engine's
+//! own tie-break — score descending, global id ascending
+//! ([`sw_core::merge_top_k`]) — reproduces the unsharded hit list
+//! byte-for-byte, equal-score ties included.
+
+use crate::client::{
+    self, health_request, parse_submit_response, shutdown_request, submit_request, HitLine,
+};
+use crate::json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use sw_sched::RequeueQueue;
+
+/// One shard worker the coordinator talks to.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Shard index (also the task id in the requeue queue).
+    pub index: u64,
+    /// The worker's unix socket.
+    pub socket: PathBuf,
+    /// When set, the worker's health probe must report exactly this
+    /// snapshot digest before a submit goes out — a worker serving the
+    /// wrong shard is a fatal wiring error, not a retry.
+    pub expect_digest: Option<u64>,
+}
+
+/// Coordinator knobs. Defaults mirror the executor's recovery
+/// temperament: a few attempts per shard, a small global budget.
+#[derive(Debug, Clone)]
+pub struct CoordConfig {
+    /// Hits to request from each shard and to keep after the merge.
+    pub top: usize,
+    /// Tenant name stamped on every per-shard submit.
+    pub tenant: String,
+    /// Optional fault drill forwarded to every shard worker.
+    pub drill: Option<String>,
+    /// Max executions of one shard before the search fails.
+    pub max_attempts: u32,
+    /// Total shard failures tolerated across the whole search.
+    pub failure_budget: u32,
+    /// How long to wait for a (re)spawned worker's socket to answer.
+    pub connect_wait_ms: u64,
+    /// Lease deadline for one shard submit: a worker that accepts the
+    /// query but never finishes streaming within this window is treated
+    /// as wedged and its shard is requeued.
+    pub lease_timeout_ms: u64,
+    /// Backoff before a retry attempt (scaled by the attempt count).
+    pub backoff_ms: u64,
+}
+
+impl CoordConfig {
+    /// Defaults for `top` hits under tenant `coord`.
+    pub fn new(top: usize) -> Self {
+        CoordConfig {
+            top,
+            tenant: "coord".into(),
+            drill: None,
+            max_attempts: 3,
+            failure_budget: 4,
+            connect_wait_ms: 5_000,
+            lease_timeout_ms: 120_000,
+            backoff_ms: 50,
+        }
+    }
+}
+
+/// Why a sharded search gave up.
+#[derive(Debug)]
+pub enum CoordError {
+    /// One shard exhausted its per-shard attempt cap.
+    ShardFailed {
+        /// The shard that kept failing.
+        index: u64,
+        /// Executions attempted.
+        attempts: u32,
+        /// Last failure observed.
+        last: String,
+    },
+    /// The global failure budget ran out before every shard finished.
+    BudgetExhausted {
+        /// Failures counted across all shards.
+        failures: u32,
+    },
+    /// A worker answered with the wrong identity (shard index or db
+    /// digest mismatch) — wiring error, never retried.
+    WrongShard {
+        /// The shard the coordinator wanted.
+        index: u64,
+        /// What the worker's health probe reported.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::ShardFailed {
+                index,
+                attempts,
+                last,
+            } => write!(f, "shard {index} failed after {attempts} attempts: {last}"),
+            CoordError::BudgetExhausted { failures } => {
+                write!(
+                    f,
+                    "failure budget exhausted after {failures} shard failures"
+                )
+            }
+            CoordError::WrongShard { index, detail } => {
+                write!(f, "worker for shard {index} has wrong identity: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// Per-shard outcome accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Executions this shard needed (1 = clean first pass).
+    pub attempts: u32,
+    /// Checkpoint resumes the final successful run stitched together.
+    pub resumes: u64,
+    /// Hits this shard contributed before the merge.
+    pub hits: usize,
+}
+
+/// The merged result of a sharded search.
+#[derive(Debug, Clone)]
+pub struct CoordOutcome {
+    /// Global top-K, merged with the unsharded tie-break.
+    pub hits: Vec<HitLine>,
+    /// Per-shard accounting, indexed by shard.
+    pub reports: Vec<ShardReport>,
+    /// Shard executions requeued after a failure.
+    pub requeues: u64,
+}
+
+enum AttemptError {
+    /// Transient: respawn + requeue (connect refused, wedged lease,
+    /// broken stream, failed job).
+    Retry(String),
+    /// Permanent: wrong worker identity.
+    Fatal(CoordError),
+}
+
+struct CoordState {
+    queue: RequeueQueue,
+    inflight: usize,
+    done: usize,
+    failures: u32,
+    requeues: u64,
+    fatal: Option<CoordError>,
+    results: Vec<Option<(Vec<HitLine>, ShardReport)>>,
+}
+
+/// Run one query over every shard and merge. `respawn` is invoked
+/// before each retry of a shard (the worker may be gone entirely); it
+/// should (re)launch the worker process for that shard and return once
+/// the launch is underway — the coordinator itself waits for the
+/// socket. Blocks until every shard reports or the search fails.
+pub fn search_sharded(
+    shards: &[ShardSpec],
+    query_fasta: &str,
+    cfg: &CoordConfig,
+    respawn: &(dyn Fn(&ShardSpec) -> Result<(), String> + Sync),
+) -> Result<CoordOutcome, CoordError> {
+    assert!(!shards.is_empty(), "no shards to search");
+    let mut queue = RequeueQueue::new();
+    // Seed in reverse so LIFO pops shard 0 first — cosmetic, but makes
+    // single-threaded traces read naturally.
+    for spec in shards.iter().rev() {
+        queue.push_task(spec.index as usize, 0);
+    }
+    let state = Mutex::new(CoordState {
+        queue,
+        inflight: 0,
+        done: 0,
+        failures: 0,
+        requeues: 0,
+        fatal: None,
+        results: vec![None; shards.len()],
+    });
+    let wake = Condvar::new();
+    let n = shards.len();
+
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| loop {
+                let (task, attempts) = {
+                    let mut g = state.lock().unwrap();
+                    loop {
+                        if g.fatal.is_some() || g.done == n {
+                            return;
+                        }
+                        if let Some(popped) = g.queue.pop_task() {
+                            g.inflight += 1;
+                            break popped;
+                        }
+                        if g.inflight == 0 {
+                            return; // nothing queued, nothing running
+                        }
+                        let (guard, _) = wake.wait_timeout(g, Duration::from_millis(20)).unwrap();
+                        g = guard;
+                    }
+                };
+                let spec = &shards[task];
+                let outcome = run_shard_attempt(spec, query_fasta, cfg, attempts, respawn);
+                let mut g = state.lock().unwrap();
+                g.inflight -= 1;
+                match outcome {
+                    Ok((hits, mut report)) => {
+                        report.attempts = attempts + 1;
+                        g.results[task] = Some((hits, report));
+                        g.done += 1;
+                    }
+                    Err(AttemptError::Fatal(e)) => {
+                        g.fatal.get_or_insert(e);
+                    }
+                    Err(AttemptError::Retry(e)) => {
+                        g.failures += 1;
+                        let failures = g.failures;
+                        if failures > cfg.failure_budget {
+                            g.fatal
+                                .get_or_insert(CoordError::BudgetExhausted { failures });
+                        } else if attempts + 1 >= cfg.max_attempts {
+                            g.fatal.get_or_insert(CoordError::ShardFailed {
+                                index: spec.index,
+                                attempts: attempts + 1,
+                                last: e,
+                            });
+                        } else {
+                            g.queue.push_task(task, attempts + 1);
+                            g.requeues += 1;
+                        }
+                    }
+                }
+                drop(g);
+                wake.notify_all();
+            });
+        }
+    });
+
+    let mut g = state.into_inner().unwrap();
+    if let Some(e) = g.fatal.take() {
+        return Err(e);
+    }
+    let mut reports = Vec::with_capacity(n);
+    let mut per_shard = Vec::with_capacity(n);
+    for slot in g.results.drain(..) {
+        let (hits, report) = slot.expect("no fatal error means every shard reported");
+        per_shard.push(hits);
+        reports.push(report);
+    }
+    Ok(CoordOutcome {
+        hits: merge_hits(per_shard, cfg.top),
+        reports,
+        requeues: g.requeues,
+    })
+}
+
+/// Merge per-shard ranked hit streams into the global top `k` with the
+/// single-process tie-break (score descending, global id ascending) —
+/// see [`sw_core::merge_top_k`] for the contract over `Hit` values;
+/// this is the same order over wire hits, re-ranked 1-based.
+pub fn merge_hits(per_shard: Vec<Vec<HitLine>>, k: usize) -> Vec<HitLine> {
+    let mut all: Vec<HitLine> = per_shard.into_iter().flatten().collect();
+    all.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    for (i, h) in all.iter_mut().enumerate() {
+        h.rank = i as u64 + 1;
+    }
+    all
+}
+
+fn run_shard_attempt(
+    spec: &ShardSpec,
+    query_fasta: &str,
+    cfg: &CoordConfig,
+    attempts: u32,
+    respawn: &(dyn Fn(&ShardSpec) -> Result<(), String> + Sync),
+) -> Result<(Vec<HitLine>, ShardReport), AttemptError> {
+    if attempts > 0 {
+        // The worker may be dead (that is usually why we are here):
+        // bring it back before the backoff, resume does the rest.
+        std::thread::sleep(Duration::from_millis(cfg.backoff_ms * attempts as u64));
+        respawn(spec).map_err(AttemptError::Retry)?;
+    }
+    wait_for_socket(&spec.socket, cfg.connect_wait_ms).map_err(AttemptError::Retry)?;
+
+    // Identity check: never submit to a worker serving the wrong shard.
+    let deadline = Instant::now() + Duration::from_millis(cfg.lease_timeout_ms);
+    let health = request_with_deadline(&spec.socket, &health_request(), deadline)
+        .map_err(|e| AttemptError::Retry(format!("health probe failed: {e}")))?;
+    let health = health
+        .first()
+        .cloned()
+        .ok_or_else(|| AttemptError::Retry("empty health reply".into()))?;
+    match json::field_u64(&health, "shard") {
+        Some(i) if i == spec.index => {}
+        other => {
+            return Err(AttemptError::Fatal(CoordError::WrongShard {
+                index: spec.index,
+                detail: format!("health reports shard {other:?}"),
+            }))
+        }
+    }
+    if let Some(want) = spec.expect_digest {
+        let got = json::field_str(&health, "snapshot_digest");
+        if got.as_deref() != Some(format!("{want:016x}").as_str()) {
+            return Err(AttemptError::Fatal(CoordError::WrongShard {
+                index: spec.index,
+                detail: format!("db digest {got:?}, want {want:016x}"),
+            }));
+        }
+    }
+
+    let req = submit_request(&cfg.tenant, query_fasta, cfg.top, cfg.drill.as_deref());
+    let lines = request_with_deadline(&spec.socket, &req, deadline)
+        .map_err(|e| AttemptError::Retry(format!("submit failed: {e}")))?;
+    let outcome = parse_submit_response(&lines).map_err(AttemptError::Retry)?;
+    if outcome.state != "done" {
+        return Err(AttemptError::Retry(format!(
+            "job {} ended {}: {}",
+            outcome.job,
+            outcome.state,
+            outcome.error.unwrap_or_default()
+        )));
+    }
+    let report = ShardReport {
+        attempts: 0, // stamped by the caller
+        resumes: outcome.resumes,
+        hits: outcome.hits.len(),
+    };
+    Ok((outcome.hits, report))
+}
+
+/// Wait until the worker's socket accepts a connection.
+fn wait_for_socket(socket: &Path, wait_ms: u64) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_millis(wait_ms);
+    loop {
+        match UnixStream::connect(socket) {
+            Ok(_) => return Ok(()),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!(
+                    "worker socket {} not answering after {wait_ms} ms: {e}",
+                    socket.display()
+                ))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Like [`client::request`] but with an overall deadline — the
+/// coordinator's lease. A worker that stalls mid-stream times out here
+/// and its shard is requeued, exactly like a wedged executor worker.
+fn request_with_deadline(socket: &Path, line: &str, deadline: Instant) -> io::Result<Vec<String>> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(lines),
+            Ok(_) => lines.push(buf.trim_end().to_string()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "shard lease expired mid-stream",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Politely shut a worker down (used by launchers that own the worker
+/// processes they spawned). Errors are reported, not fatal — the
+/// caller usually also holds the child handle and can wait/kill.
+pub fn shutdown_worker(socket: &Path) -> io::Result<()> {
+    client::request(socket, &shutdown_request()).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(score: i64, id: u64) -> HitLine {
+        HitLine {
+            rank: 0,
+            score,
+            id,
+            header: format!("sp|{id}|h"),
+        }
+    }
+
+    #[test]
+    fn merge_reproduces_single_process_tie_break() {
+        // Equal scores straddling the shard boundary: global id breaks
+        // the tie, regardless of which shard contributed which hit.
+        let shard0 = vec![hit(50, 2), hit(40, 0), hit(40, 1)];
+        let shard1 = vec![hit(60, 7), hit(40, 3), hit(12, 9)];
+        let merged = merge_hits(vec![shard0, shard1], 5);
+        let key: Vec<(i64, u64, u64)> = merged.iter().map(|h| (h.score, h.id, h.rank)).collect();
+        assert_eq!(
+            key,
+            vec![(60, 7, 1), (50, 2, 2), (40, 0, 3), (40, 1, 4), (40, 3, 5)]
+        );
+    }
+
+    #[test]
+    fn merge_truncates_and_reranks() {
+        let merged = merge_hits(vec![vec![hit(1, 0)], vec![hit(3, 5), hit(2, 4)]], 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].rank, 1);
+        assert_eq!(merged[0].id, 5);
+        assert_eq!(merged[1].rank, 2);
+        assert_eq!(merged[1].id, 4);
+    }
+
+    #[test]
+    fn budget_and_attempt_caps_stop_a_dead_shard() {
+        // No worker listening anywhere: every attempt fails to connect.
+        let dir = std::env::temp_dir().join(format!("sw-coord-dead-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let shards = vec![ShardSpec {
+            index: 0,
+            socket: dir.join("nobody.sock"),
+            expect_digest: None,
+        }];
+        let mut cfg = CoordConfig::new(5);
+        cfg.connect_wait_ms = 30;
+        cfg.backoff_ms = 1;
+        cfg.max_attempts = 2;
+        let respawns = std::sync::atomic::AtomicU32::new(0);
+        let err = search_sharded(&shards, ">q\nARN\n", &cfg, &|_| {
+            respawns.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(())
+        })
+        .expect_err("nothing to talk to");
+        match err {
+            CoordError::ShardFailed {
+                index, attempts, ..
+            } => {
+                assert_eq!(index, 0);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(
+            respawns.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "one respawn before the second (and last) attempt"
+        );
+    }
+}

@@ -28,11 +28,13 @@
 
 mod batch;
 pub mod client;
+pub mod coord;
 pub mod json;
 pub mod obs;
 pub mod registry;
 mod server;
 
-pub use obs::{LogLevel, Obs, ObsConfig, Phases};
+pub use coord::{CoordConfig, CoordError, CoordOutcome, ShardSpec};
+pub use obs::{LogLevel, Obs, ObsConfig, Phases, ShardRole};
 pub use registry::{JobRecord, JobState, Registry, StatsSnapshot, TenantTotals};
 pub use server::{serve, ServeConfig, ServeError};

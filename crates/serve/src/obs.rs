@@ -118,6 +118,22 @@ pub struct ObsConfig {
     /// digest-verified at load (surfaces in health as
     /// `snapshot_verified` / `snapshot_digest`).
     pub snapshot_digest: Option<u64>,
+    /// Set when this daemon is a shard worker: every Prometheus series
+    /// gains a `shard="<index>"` label and health reports the shard
+    /// placement, so a coordinator (or an aggregating scrape) can tell
+    /// workers apart.
+    pub shard: Option<ShardRole>,
+}
+
+/// The shard a worker daemon serves, as the obs plane reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRole {
+    /// Shard index, `0..count`.
+    pub index: u64,
+    /// Total shards in the split.
+    pub count: u64,
+    /// Global id of this shard's first sequence.
+    pub base: u64,
 }
 
 /// Monotonic lifecycle stamps for one job, µs since the daemon epoch.
@@ -154,6 +170,7 @@ struct Agg {
     checkpoint_writes: u64,
     broken_pipes: u64,
     slow_queries: u64,
+    connection_evictions: u64,
     regions: u64,
     region_queries: u64,
     cells_total: u64,
@@ -176,6 +193,7 @@ impl Default for Agg {
             checkpoint_writes: 0,
             broken_pipes: 0,
             slow_queries: 0,
+            connection_evictions: 0,
             regions: 0,
             region_queries: 0,
             cells_total: 0,
@@ -342,6 +360,12 @@ impl Obs {
         self.agg.lock().expect("obs agg").broken_pipes += 1;
     }
 
+    /// Count a connection evicted for not completing its request line
+    /// within the per-connection deadline (half-line stalled client).
+    pub fn on_connection_evicted(&self) {
+        self.agg.lock().expect("obs agg").connection_evictions += 1;
+    }
+
     /// Record one submit-to-first-hit latency. Recorded at streaming
     /// time, not folded from the phase stamps in [`Obs::record_finish`]:
     /// the collector finishes the registry record *before* the reply
@@ -407,6 +431,12 @@ impl Obs {
         if let Some(d) = self.config.snapshot_digest {
             out.push_str(&format!(",\"snapshot_digest\":\"{d:016x}\""));
         }
+        if let Some(s) = self.config.shard {
+            out.push_str(&format!(
+                ",\"shard\":{},\"shard_count\":{},\"shard_base\":{}",
+                s.index, s.count, s.base
+            ));
+        }
         out.push('}');
         out
     }
@@ -419,10 +449,28 @@ impl Obs {
         let mut out = String::with_capacity(8192);
         let agg = self.agg.lock().expect("obs agg").clone();
 
+        // Shard workers label every series so an aggregating scrape
+        // (or the coordinator's debugging eye) can tell workers apart;
+        // an unsharded daemon emits the label-free families unchanged.
+        let shard_label: Option<String> =
+            self.config.shard.map(|s| format!("shard=\"{}\"", s.index));
+        // Label body prefix for families that already carry labels.
+        let shard_prefix: String = shard_label
+            .as_ref()
+            .map(|l| format!("{l},"))
+            .unwrap_or_default();
+
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
+            match &shard_label {
+                Some(l) => {
+                    let _ = writeln!(out, "{name}{{{l}}} {v}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+            }
         };
         counter(
             &mut out,
@@ -486,6 +534,12 @@ impl Obs {
         );
         counter(
             &mut out,
+            "sw_serve_connection_evictions_total",
+            "connections evicted for stalling before a full request line",
+            agg.connection_evictions,
+        );
+        counter(
+            &mut out,
             "sw_serve_regions_total",
             "dual-pool regions executed",
             agg.regions,
@@ -519,7 +573,7 @@ impl Obs {
             ] {
                 let _ = writeln!(
                     out,
-                    "sw_serve_tenant_jobs_total{{tenant=\"{esc}\",outcome=\"{outcome}\"}} {v}"
+                    "sw_serve_tenant_jobs_total{{{shard_prefix}tenant=\"{esc}\",outcome=\"{outcome}\"}} {v}"
                 );
             }
         }
@@ -527,7 +581,14 @@ impl Obs {
         let gauge = |out: &mut String, name: &str, help: &str, v: String| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {v}");
+            match &shard_label {
+                Some(l) => {
+                    let _ = writeln!(out, "{name}{{{l}}} {v}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+            }
         };
         let ready = self.ready.load(Ordering::SeqCst)
             && self.collector_alive.load(Ordering::SeqCst)
@@ -572,7 +633,7 @@ impl Obs {
         let hist = |out: &mut String, name: &str, help: &str, h: &Histogram| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} histogram");
-            h.write_prom(out, name, "");
+            h.write_prom(out, name, shard_label.as_deref().unwrap_or(""));
         };
         hist(
             &mut out,
@@ -620,7 +681,7 @@ impl Obs {
         for (idx, cells) in &agg.windows {
             let _ = writeln!(
                 out,
-                "sw_serve_gcups_window{{start_us=\"{}\"}} {:.6}",
+                "sw_serve_gcups_window{{{shard_prefix}start_us=\"{}\"}} {:.6}",
                 idx * GCUPS_WINDOW_US,
                 *cells as f64 / window_secs / 1e9
             );
@@ -749,6 +810,54 @@ mod tests {
         assert!(text.contains("sw_serve_first_hit_us_count 1"), "{text}");
         // Two distinct GCUPS windows were credited.
         assert_eq!(text.matches("sw_serve_gcups_window{").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn shard_role_labels_every_series_and_stays_strict_clean() {
+        let obs = Obs::new(ObsConfig {
+            shard: Some(ShardRole {
+                index: 1,
+                count: 2,
+                base: 12,
+            }),
+            ..Default::default()
+        });
+        obs.set_ready(true);
+        obs.set_collector_alive(true);
+        obs.on_region(1);
+        obs.on_cells(1_000_000, 500);
+        obs.on_connection_evicted();
+        let phases = Phases {
+            submitted_us: 0,
+            admitted_us: Some(10),
+            finished_us: Some(50),
+            ..Default::default()
+        };
+        obs.record_finish(&phases, 0);
+
+        let text = obs.prometheus(&stats_with_tenant(), 4);
+        validate_prometheus_strict(&text).expect("shard-labelled scrape is strict-clean");
+        // Every sample line (non-comment) must carry the shard label.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains("shard=\"1\""), "unlabelled sample: {line}");
+        }
+        assert!(
+            text.contains("sw_serve_connection_evictions_total{shard=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sw_serve_tenant_jobs_total{shard=\"1\",tenant="),
+            "{text}"
+        );
+        assert!(
+            text.contains("sw_serve_total_us_bucket{shard=\"1\",le="),
+            "{text}"
+        );
+
+        let h = obs.health_json(&StatsSnapshot::default(), 4, 0);
+        assert!(h.contains("\"shard\":1"), "{h}");
+        assert!(h.contains("\"shard_count\":2"), "{h}");
+        assert!(h.contains("\"shard_base\":12"), "{h}");
     }
 
     #[test]

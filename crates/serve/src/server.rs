@@ -28,7 +28,7 @@
 
 use crate::batch::{Batcher, JobReply, PendingJob};
 use crate::json;
-use crate::obs::{LogLevel, Obs, ObsConfig};
+use crate::obs::{LogLevel, Obs, ObsConfig, ShardRole};
 use crate::registry::{JobState, Registry, StatsSnapshot};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -93,6 +93,14 @@ pub struct ServeConfig {
     /// Content digest of the resident snapshot when it was verified at
     /// load; surfaces through the health probe.
     pub snapshot_digest: Option<u64>,
+    /// A connection that has not completed its request line within this
+    /// deadline is evicted (counted in the SLO counters) — a half-line
+    /// stalled client must not pin a thread and fd until shutdown.
+    pub request_timeout_ms: u64,
+    /// Set when this daemon serves one shard of a sharded database:
+    /// hit ids on the wire become global (`base +` in-shard id) and the
+    /// obs plane labels every metric with the shard index.
+    pub shard: Option<ShardRole>,
 }
 
 impl ServeConfig {
@@ -117,6 +125,8 @@ impl ServeConfig {
             metrics_file: None,
             metrics_interval_ms: 1_000,
             snapshot_digest: None,
+            request_timeout_ms: 10_000,
+            shard: None,
         }
     }
 }
@@ -164,6 +174,7 @@ pub fn serve(
         log_file: config.log_file.clone(),
         slow_query_ms: config.slow_query_ms,
         snapshot_digest: config.snapshot_digest,
+        shard: config.shard,
     }));
     let registry = Registry::with_obs(Arc::clone(&obs));
     let batcher = Batcher::new();
@@ -283,6 +294,12 @@ fn handle_connection(ctx: Ctx<'_>, stream: UnixStream) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
+    // Overall request deadline: a client that sends half a line and
+    // stalls would otherwise pin this thread and its fd until daemon
+    // shutdown. Crossing it evicts the connection (an SLO counter, not
+    // an error — the daemon is healthy, the client is not).
+    let deadline =
+        std::time::Instant::now() + Duration::from_millis(ctx.config.request_timeout_ms.max(1));
     loop {
         // A timeout mid-line leaves the partial read in `line`; looping
         // with the same buffer stitches the rest on.
@@ -296,6 +313,19 @@ fn handle_connection(ctx: Ctx<'_>, stream: UnixStream) -> io::Result<()> {
             {
                 if ctx.shutdown.is_requested() {
                     return Ok(()); // daemon draining: drop the idle connection
+                }
+                if std::time::Instant::now() >= deadline {
+                    ctx.obs.on_connection_evicted();
+                    ctx.obs.log(
+                        LogLevel::Warn,
+                        "connection_evicted",
+                        &format!(
+                            ",\"deadline_ms\":{},\"partial_bytes\":{}",
+                            ctx.config.request_timeout_ms,
+                            line.len()
+                        ),
+                    );
+                    return Ok(());
                 }
             }
             Err(e) => return Err(e),
@@ -458,10 +488,10 @@ fn op_submit<W: Write>(ctx: Ctx<'_>, line: &str, w: &mut W) -> io::Result<()> {
             if !hits.is_empty() {
                 ctx.registry.record_first_hit(id);
             }
-            for (rank, (score, header)) in hits.iter().enumerate() {
+            for (rank, (score, db_id, header)) in hits.iter().enumerate() {
                 writeln!(
                     w,
-                    "{{\"rank\":{},\"score\":{score},\"header\":\"{}\"}}",
+                    "{{\"rank\":{},\"score\":{score},\"id\":{db_id},\"header\":\"{}\"}}",
                     rank + 1,
                     json::escape(header)
                 )?;
@@ -617,10 +647,21 @@ fn run_batch_jobs(ctx: Ctx<'_>, jobs: Vec<PendingJob>) {
                         if results.degraded {
                             ctx.obs.on_degraded();
                         }
-                        let hits: Vec<(i64, String)> = results
+                        // Report ids globally: a shard worker's local id
+                        // plus its base IS the parent database index, so
+                        // the coordinator's merge tie-break matches the
+                        // unsharded run.
+                        let base = ctx.config.shard.map_or(0, |s| s.base);
+                        let hits: Vec<(i64, u64, String)> = results
                             .top(j.top)
                             .iter()
-                            .map(|h| (h.score, ctx.prepared.sorted.db().header(h.id).to_string()))
+                            .map(|h| {
+                                (
+                                    h.score,
+                                    base + h.id.0 as u64,
+                                    ctx.prepared.sorted.db().header(h.id).to_string(),
+                                )
+                            })
                             .collect();
                         let finished =
                             ctx.registry

@@ -30,6 +30,7 @@ use sw_serve::{client, json, ServeConfig};
 static SHUTDOWN: DrainSignal = DrainSignal::new();
 static BATCH_SHUTDOWN: DrainSignal = DrainSignal::new();
 static SILENT_SHUTDOWN: DrainSignal = DrainSignal::new();
+static EVICT_SHUTDOWN: DrainSignal = DrainSignal::new();
 static DRAIN_HEALTH_SHUTDOWN: DrainSignal = DrainSignal::new();
 
 fn fasta_of(seq: &EncodedSeq, a: &Alphabet) -> String {
@@ -513,6 +514,72 @@ fn health_flips_during_drain() {
 /// `read_line` forever, so the scoped join in `serve` never returned.
 /// With the read timeout + shutdown polling, `serve` must return while
 /// the silent connection is still open.
+#[test]
+fn stalled_half_line_client_is_evicted() {
+    // A client that sends half a request line and stalls must not pin
+    // a connection thread and fd until daemon shutdown: the request
+    // deadline evicts it (closing the socket), the eviction lands in
+    // the SLO counters, and the daemon stays fully serviceable.
+    let a = Alphabet::protein();
+    let prepared = PreparedDb::prepare(
+        generate_database(&DbSpec {
+            n_seqs: 8,
+            mean_len: 60.0,
+            max_len: 120,
+            seed: 53,
+        }),
+        4,
+        &a,
+    );
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-serve-evict-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(&tmp).unwrap();
+    let mut config = ServeConfig::new(tmp.join("daemon.sock"));
+    config.request_timeout_ms = 300;
+
+    std::thread::scope(|s| {
+        let server = {
+            let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
+            s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &EVICT_SHUTDOWN))
+        };
+        let socket = config.socket.as_path();
+        wait_for_socket(socket);
+        // Half a request line, never finished.
+        let mut stalled = UnixStream::connect(socket).expect("connect");
+        stalled.write_all(b"{\"op\":\"hea").unwrap();
+        stalled.flush().unwrap();
+        // The daemon must hang up on us within the deadline (plus
+        // generous slack), NOT hold the fd until shutdown.
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        use std::io::Read as _;
+        let n = stalled
+            .read(&mut buf)
+            .expect("daemon must close the stalled connection before the client read times out");
+        assert_eq!(n, 0, "eviction is a hangup, not a reply");
+
+        // The eviction is counted, and the daemon is still healthy and
+        // serving: a real query on a fresh connection completes.
+        let scrape = client::request(socket, &client::metrics_request())
+            .unwrap()
+            .join("\n");
+        assert_eq!(metric(&scrape, "sw_serve_connection_evictions_total"), 1);
+        let q = generate_query(40, 7);
+        let (r, job) = start_submit(socket, "late", &fasta_of(&q, &a), None);
+        let outcome = finish_submit(r, job);
+        assert_eq!(outcome.state, "done");
+
+        let sh = client::request(socket, &client::shutdown_request()).unwrap();
+        assert_eq!(json::field_bool(&sh[0], "ok"), Some(true), "{sh:?}");
+        server.join().unwrap().expect("serve");
+    });
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
 #[test]
 fn silent_connection_does_not_block_shutdown() {
     let a = Alphabet::protein();

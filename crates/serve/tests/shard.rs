@@ -1,0 +1,377 @@
+//! Sharded-search acceptance: the coordinator's merged top-K must be
+//! byte-identical to the unsharded engine's, at 1, 2 and 4 shards, with
+//! equal-score ties deliberately straddling every shard boundary — and
+//! a dead shard worker must be requeued, respawned and resumed from its
+//! SWCKPT1 checkpoint without perturbing a single output byte.
+//!
+//! Workers here are in-process `serve` daemons (one scoped thread per
+//! shard, each with its own leaked `'static` drain signal); the CI
+//! shard-smoke job runs the same drill against real processes with a
+//! real SIGKILL.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use sw_core::{HeteroEngine, HeteroSearchConfig, PreparedDb, SearchConfig, SearchEngine};
+use sw_sched::DrainSignal;
+use sw_seq::gen::generate_query;
+use sw_seq::{Alphabet, EncodedSeq};
+use sw_serve::{client, coord, json, CoordConfig, ServeConfig, ShardRole, ShardSpec};
+
+const LANES: usize = 4;
+const TOP: usize = 12;
+
+/// Each in-process daemon needs its own `'static` signal (a
+/// `DrainSignal` never resets), and respawns need fresh ones at
+/// runtime — so they are minted, not declared.
+fn leak_signal() -> &'static DrainSignal {
+    Box::leak(Box::new(DrainSignal::new()))
+}
+
+/// 24 equal-length sequences with 8 byte-identical duplicates parked at
+/// positions 10..18: every boundary a 2- or 4-way split of 24 draws
+/// (12; 6, 12, 18) lands inside or adjacent to the duplicate run, so
+/// the merged top-K only matches the unsharded run if the coordinator
+/// applies the exact (score desc, global id asc) tie-break across
+/// shards. Equal lengths make the length-sort the identity permutation:
+/// global id == input position, on workers and reference alike.
+fn tie_heavy_db() -> Vec<EncodedSeq> {
+    let mut seqs: Vec<EncodedSeq> = (0..24)
+        .map(|i| {
+            let mut s = generate_query(60, 1000 + i as u64);
+            s.header = format!("seq-{i:02}").into();
+            s
+        })
+        .collect();
+    let dup = generate_query(60, 777).residues;
+    for (i, s) in seqs.iter_mut().enumerate().take(18).skip(10) {
+        s.residues = dup.clone();
+        s.header = format!("dup-{i:02}").into();
+    }
+    seqs
+}
+
+fn fasta_of(seq: &EncodedSeq, a: &Alphabet) -> String {
+    format!(
+        ">{}\n{}\n",
+        seq.header,
+        String::from_utf8(a.decode(&seq.residues)).expect("ascii residues")
+    )
+}
+
+/// Contiguous shard ranges, residue-balanced enough for a test: same
+/// plan the real `shard-prepare` computes, via the library.
+fn ranges(seqs: &[EncodedSeq], n: usize) -> Vec<(usize, usize)> {
+    let db = sw_swdb::SequenceDatabase::from_sequences(seqs.to_vec());
+    sw_swdb::shard::plan_shards(&db, n)
+}
+
+fn shard_digest(seqs: &[EncodedSeq]) -> u64 {
+    sw_swdb::snapshot::content_digest(&sw_swdb::SequenceDatabase::from_sequences(seqs.to_vec()))
+}
+
+/// The exact wire rendering both the daemon and the coordinator's
+/// `--json` mode emit — the unit of byte-identity in this file.
+fn wire(rank: usize, score: i64, id: u64, header: &str) -> String {
+    format!(
+        "{{\"rank\":{rank},\"score\":{score},\"id\":{id},\"header\":\"{}\"}}",
+        json::escape(header)
+    )
+}
+
+fn wire_hits(hits: &[client::HitLine]) -> Vec<String> {
+    hits.iter()
+        .map(|h| wire(h.rank as usize, h.score, h.id, &h.header))
+        .collect()
+}
+
+/// Unsharded reference: one engine, whole database, `SearchResults`
+/// tie-break. What every sharded configuration must reproduce.
+fn reference_hits(seqs: &[EncodedSeq], query: &EncodedSeq, a: &Alphabet) -> Vec<String> {
+    let prepared = PreparedDb::prepare(seqs.to_vec(), LANES, a);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let plan = engine.plan_split(&prepared, query.residues.len(), 0.55);
+    let res = engine.search(
+        &query.residues,
+        &prepared,
+        &plan,
+        &SearchConfig::best(1),
+        &SearchConfig::best(1),
+    );
+    res.top(TOP)
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            wire(
+                i + 1,
+                h.score,
+                h.id.0 as u64,
+                prepared.sorted.db().header(h.id),
+            )
+        })
+        .collect()
+}
+
+fn wait_for_socket(socket: &Path) {
+    let t0 = Instant::now();
+    while UnixStream::connect(socket).is_err() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "worker never bound {}",
+            socket.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One shard worker's resident state, owned outside the thread scope so
+/// respawn closures can re-serve the same shard.
+struct WorkerSeed {
+    prepared: PreparedDb,
+    config: ServeConfig,
+}
+
+fn worker_seed(
+    seqs: &[EncodedSeq],
+    range: (usize, usize),
+    index: u64,
+    count: u64,
+    a: &Alphabet,
+    socket: PathBuf,
+    ckpt: &Path,
+) -> WorkerSeed {
+    let shard_seqs = seqs[range.0..range.1].to_vec();
+    let mut config = ServeConfig::new(socket);
+    config.checkpoint_dir = Some(ckpt.to_path_buf());
+    config.snapshot_digest = Some(shard_digest(&shard_seqs));
+    config.shard = Some(ShardRole {
+        index,
+        count,
+        base: range.0 as u64,
+    });
+    WorkerSeed {
+        prepared: PreparedDb::prepare(shard_seqs, LANES, a),
+        config,
+    }
+}
+
+fn serve_seed(
+    seed: &WorkerSeed,
+    engine: &HeteroEngine,
+    a: &Alphabet,
+    base: &HeteroSearchConfig,
+    signal: &'static DrainSignal,
+) {
+    // A respawn reuses the socket path of the corpse it replaces.
+    let _ = std::fs::remove_file(&seed.config.socket);
+    sw_serve::serve(engine, &seed.prepared, a, base, &seed.config, signal).expect("worker serve");
+}
+
+#[test]
+fn sharded_merge_is_byte_identical_at_1_2_4_shards() {
+    let a = Alphabet::protein();
+    let seqs = tie_heavy_db();
+    let query = generate_query(90, 4242);
+    let fasta = fasta_of(&query, &a);
+    let expect = reference_hits(&seqs, &query, &a);
+    assert!(
+        expect.len() >= 8,
+        "reference must be deep enough to cross boundaries: {expect:?}"
+    );
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-shard-matrix-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(tmp.join("ckpt")).unwrap();
+
+    for n in [1usize, 2, 4] {
+        let plan = ranges(&seqs, n);
+        assert_eq!(plan.len(), n);
+        let seeds: Vec<WorkerSeed> = plan
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                worker_seed(
+                    &seqs,
+                    *r,
+                    i as u64,
+                    n as u64,
+                    &a,
+                    tmp.join(format!("n{n}-shard-{i}.sock")),
+                    &tmp.join("ckpt"),
+                )
+            })
+            .collect();
+        let specs: Vec<ShardSpec> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardSpec {
+                index: i as u64,
+                socket: s.config.socket.clone(),
+                expect_digest: s.config.snapshot_digest,
+            })
+            .collect();
+        let outcome = std::thread::scope(|s| {
+            for seed in &seeds {
+                let (engine, a, base) = (&engine, &a, &base);
+                let sig = leak_signal();
+                s.spawn(move || serve_seed(seed, engine, a, base, sig));
+            }
+            for spec in &specs {
+                wait_for_socket(&spec.socket);
+            }
+            let cfg = CoordConfig::new(TOP);
+            let no_respawn = |spec: &ShardSpec| -> Result<(), String> {
+                Err(format!("unexpected respawn of shard {}", spec.index))
+            };
+            let outcome = coord::search_sharded(&specs, &fasta, &cfg, &no_respawn)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            for spec in &specs {
+                coord::shutdown_worker(&spec.socket).expect("shutdown");
+            }
+            outcome
+        });
+        assert_eq!(
+            wire_hits(&outcome.hits),
+            expect,
+            "n={n}: merged top-K must be byte-identical to the unsharded run"
+        );
+        assert_eq!(outcome.requeues, 0, "n={n}: healthy workers never requeue");
+        assert!(
+            outcome.reports.iter().map(|r| r.hits).sum::<usize>() >= expect.len(),
+            "n={n}: shards must contribute at least the merged depth"
+        );
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn dead_worker_is_requeued_respawned_and_resumes_from_checkpoint() {
+    let a = Alphabet::protein();
+    let seqs = tie_heavy_db();
+    let query = generate_query(300, 9999);
+    let fasta = fasta_of(&query, &a);
+    let expect = reference_hits(&seqs, &query, &a);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-shard-drill-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(tmp.join("ckpt")).unwrap();
+
+    let plan = ranges(&seqs, 2);
+    let seeds: Vec<WorkerSeed> = plan
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            worker_seed(
+                &seqs,
+                *r,
+                i as u64,
+                2,
+                &a,
+                tmp.join(format!("shard-{i}.sock")),
+                &tmp.join("ckpt"),
+            )
+        })
+        .collect();
+    let specs: Vec<ShardSpec> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ShardSpec {
+            index: i as u64,
+            socket: s.config.socket.clone(),
+            expect_digest: s.config.snapshot_digest,
+        })
+        .collect();
+
+    let outcome = std::thread::scope(|s| {
+        // Phase A: worker 0 lives briefly — long enough to accept the
+        // query, get cancelled mid-delay-drill, and checkpoint — then
+        // shuts down. This is the in-process stand-in for "SIGKILLed
+        // after its interval checkpoint": a dead socket with a valid
+        // SWCKPT1 file behind it.
+        {
+            let (engine, a, base) = (&engine, &a, &base);
+            let seed0 = &seeds[0];
+            let sig = leak_signal();
+            let t = s.spawn(move || serve_seed(seed0, engine, a, base, sig));
+            wait_for_socket(&specs[0].socket);
+            let mut conn = UnixStream::connect(&specs[0].socket).unwrap();
+            let req = client::submit_request("coord", &fasta, TOP, Some("delay@0:400"));
+            conn.write_all(req.as_bytes()).unwrap();
+            conn.write_all(b"\n").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut r = BufReader::new(conn);
+            let mut ack = String::new();
+            r.read_line(&mut ack).unwrap();
+            let job = json::field_u64(&ack, "job").expect("ack");
+            // Cancel once it holds a run slot, so the checkpoint is of
+            // a genuinely in-flight search.
+            let t0 = Instant::now();
+            loop {
+                let st = client::request(&specs[0].socket, &client::status_request(job)).unwrap();
+                if json::field_str(&st[0], "state").as_deref() == Some("running") {
+                    break;
+                }
+                assert!(t0.elapsed() < Duration::from_secs(10), "job never ran");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            client::request(&specs[0].socket, &client::cancel_request(job)).unwrap();
+            for _ in r.lines() {} // drain the cancelled reply
+            coord::shutdown_worker(&specs[0].socket).unwrap();
+            t.join().unwrap();
+            let ckpts = std::fs::read_dir(tmp.join("ckpt")).unwrap().count();
+            assert_eq!(ckpts, 1, "dead worker must leave its checkpoint behind");
+        }
+
+        // Phase B: worker 1 is healthy; worker 0's socket is a corpse.
+        // The coordinator's first attempt on shard 0 must fail to
+        // connect, requeue the shard, respawn it, and the respawned
+        // worker must resume from phase A's checkpoint.
+        {
+            let (engine, a, base) = (&engine, &a, &base);
+            let sig1 = leak_signal();
+            let seed1 = &seeds[1];
+            s.spawn(move || serve_seed(seed1, engine, a, base, sig1));
+            wait_for_socket(&specs[1].socket);
+        }
+        let mut cfg = CoordConfig::new(TOP);
+        cfg.connect_wait_ms = 300; // fail fast on the corpse
+        let respawn = |spec: &ShardSpec| -> Result<(), String> {
+            assert_eq!(spec.index, 0, "only the dead shard may respawn");
+            let (engine, a, base) = (&engine, &a, &base);
+            let seed0 = &seeds[0];
+            let sig = leak_signal();
+            s.spawn(move || serve_seed(seed0, engine, a, base, sig));
+            Ok(())
+        };
+        let outcome = coord::search_sharded(&specs, &fasta, &cfg, &respawn).expect("recovered");
+        for spec in &specs {
+            coord::shutdown_worker(&spec.socket).expect("shutdown");
+        }
+        outcome
+    });
+
+    assert!(
+        outcome.requeues >= 1,
+        "dead shard must requeue: {outcome:?}"
+    );
+    assert!(
+        outcome.reports[0].attempts >= 2,
+        "shard 0 needs a second attempt: {:?}",
+        outcome.reports
+    );
+    assert!(
+        outcome.reports[0].resumes >= 1,
+        "respawned shard 0 must resume from the checkpoint, not restart: {:?}",
+        outcome.reports
+    );
+    assert_eq!(outcome.reports[1].attempts, 1, "shard 1 was healthy");
+    assert_eq!(
+        wire_hits(&outcome.hits),
+        expect,
+        "post-recovery merge must still be byte-identical to the unsharded run"
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+}

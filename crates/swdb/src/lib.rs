@@ -35,6 +35,7 @@ pub mod db;
 pub mod integrity;
 pub mod preprocess;
 pub mod profile;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod volumes;
@@ -44,5 +45,6 @@ pub use chunk::{split_batches, split_by_cells, BatchRange};
 pub use db::SequenceDatabase;
 pub use preprocess::SortedDb;
 pub use profile::{QueryProfile, QueryProfileI8, SequenceProfile, SequenceProfileI8};
+pub use shard::{ShardManifest, ShardMeta};
 pub use stats::DbStats;
 pub use volumes::VolumePlan;

@@ -1,0 +1,439 @@
+//! Database sharding for multi-process search — the scale-out format.
+//!
+//! A shard file (`SWSHRD1`, extension `.swshard`) wraps one complete
+//! [`snapshot`](crate::snapshot) (SWDBSNP2) in a small header that
+//! records *where in the parent database* the shard's sequences live:
+//! the shard index, the shard count, the global base offset, and the
+//! content digest of the length-sorted parent. Sequence `i` of shard
+//! `s` is sequence `base(s) + i` of the parent — so hit ids reported by
+//! a shard worker become global by adding the base, and a coordinator
+//! can merge per-shard top-K streams with exactly the unsharded
+//! tie-break (score descending, then global id ascending).
+//!
+//! Sharding is only meaningful over a *canonical* parent order:
+//! `shard-prepare` first length-sorts the parent (stably, ascending —
+//! the same order [`SortedDb`] produces), then slices N contiguous
+//! ranges balanced by residue count. Each shard is therefore already
+//! sorted, so a worker's own `SortedDb` pass is the identity
+//! permutation and in-shard positions equal parent positions minus the
+//! base. The byte-identical reference for a sharded run is the
+//! unsharded run over the emitted sorted parent snapshot.
+
+use crate::db::SequenceDatabase;
+use crate::integrity::crc32;
+use crate::preprocess::SortedDb;
+use crate::snapshot;
+use std::sync::Arc;
+use sw_seq::SeqError;
+
+/// Shard container magic / version tag.
+pub const SHARD_MAGIC: &[u8; 8] = b"SWSHRD1\0";
+
+/// Canonical file name of shard `index` inside a shard directory.
+pub fn shard_file_name(index: u64) -> String {
+    format!("shard-{index}.swshard")
+}
+
+/// Placement of one shard within its length-sorted parent database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Which shard this is, `0..count`.
+    pub index: u64,
+    /// Total shards the parent was split into.
+    pub count: u64,
+    /// Parent position of this shard's first sequence: in-shard id `i`
+    /// is global id `base + i`.
+    pub base: u64,
+    /// [`snapshot::content_digest`] of the full length-sorted parent —
+    /// shards from different parents (or different splits of the same
+    /// FASTA) cannot be mixed silently.
+    pub parent_digest: u64,
+}
+
+fn corrupt(detail: String) -> SeqError {
+    SeqError::Corrupt {
+        section: "shard".into(),
+        detail,
+    }
+}
+
+/// Serialize a shard: SWSHRD1 header (+CRC) followed by a complete,
+/// self-validating SWDBSNP2 snapshot of the shard's sequences.
+pub fn write_shard(meta: &ShardMeta, db: &SequenceDatabase) -> Vec<u8> {
+    let mut head = Vec::with_capacity(40);
+    head.extend_from_slice(SHARD_MAGIC);
+    head.extend_from_slice(&meta.index.to_le_bytes());
+    head.extend_from_slice(&meta.count.to_le_bytes());
+    head.extend_from_slice(&meta.base.to_le_bytes());
+    head.extend_from_slice(&meta.parent_digest.to_le_bytes());
+    let mut out = Vec::new();
+    out.extend_from_slice(&head);
+    out.extend_from_slice(&crc32(&head).to_le_bytes());
+    out.extend_from_slice(&snapshot::write(db));
+    out
+}
+
+/// Parse a shard file: header CRC, magic, meta sanity, then the wrapped
+/// snapshot's own integrity checks.
+pub fn read_shard(buf: &[u8]) -> Result<(ShardMeta, SequenceDatabase), SeqError> {
+    if buf.len() < 44 {
+        return Err(corrupt(format!(
+            "file too short for a shard header: {} bytes",
+            buf.len()
+        )));
+    }
+    let (head, rest) = buf.split_at(40);
+    if &head[..8] != SHARD_MAGIC {
+        return Err(corrupt("bad magic (not a SWSHRD1 shard file)".into()));
+    }
+    let stored_crc = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+    let got_crc = crc32(head);
+    if stored_crc != got_crc {
+        return Err(corrupt(format!(
+            "header CRC mismatch: stored {stored_crc:08x}, computed {got_crc:08x}"
+        )));
+    }
+    let word = |i: usize| u64::from_le_bytes(head[8 + i * 8..16 + i * 8].try_into().expect("8"));
+    let meta = ShardMeta {
+        index: word(0),
+        count: word(1),
+        base: word(2),
+        parent_digest: word(3),
+    };
+    if meta.count == 0 || meta.index >= meta.count {
+        return Err(corrupt(format!(
+            "implausible shard placement: index {} of {}",
+            meta.index, meta.count
+        )));
+    }
+    let db = snapshot::read(&rest[4..])?;
+    Ok((meta, db))
+}
+
+/// Rebuild `db` in canonical shard order: stable ascending length sort,
+/// the exact permutation [`SortedDb`] computes — so a worker sorting a
+/// shard sliced from this order gets the identity permutation back.
+pub fn length_sorted(db: &SequenceDatabase) -> SequenceDatabase {
+    let sorted = SortedDb::new(db.clone());
+    let order: Vec<usize> = sorted.order().iter().map(|id| id.0 as usize).collect();
+    reorder(sorted.db(), &order)
+}
+
+fn reorder(db: &SequenceDatabase, order: &[usize]) -> SequenceDatabase {
+    let offsets_in = db.raw_offsets();
+    let mut residues = Vec::with_capacity(db.raw_residues().len());
+    let mut offsets = Vec::with_capacity(order.len() + 1);
+    let mut headers: Vec<Arc<str>> = Vec::with_capacity(order.len());
+    offsets.push(0u64);
+    for &i in order {
+        let (s, e) = (offsets_in[i] as usize, offsets_in[i + 1] as usize);
+        residues.extend_from_slice(&db.raw_residues()[s..e]);
+        offsets.push(residues.len() as u64);
+        headers.push(db.raw_headers()[i].clone());
+    }
+    SequenceDatabase::from_raw_parts(residues, offsets, headers)
+}
+
+/// Split a (length-sorted) parent into `n` contiguous ranges balanced
+/// by residue count — the quantity search cost actually tracks. Every
+/// range is non-empty; `n` is clamped to the sequence count.
+///
+/// # Panics
+/// Panics when the database is empty.
+pub fn plan_shards(db: &SequenceDatabase, n: usize) -> Vec<(usize, usize)> {
+    assert!(!db.is_empty(), "cannot shard an empty database");
+    let n = n.clamp(1, db.len());
+    let total = db.total_residues() as f64;
+    let offsets = db.raw_offsets();
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for s in 0..n {
+        let target = total * (s as f64 + 1.0) / n as f64;
+        let mut end = start + 1; // never leave a shard empty
+        while end < db.len() && (offsets[end] as f64) < target {
+            end += 1;
+        }
+        // Leave at least one sequence for each remaining shard.
+        let max_end = db.len() - (n - 1 - s);
+        let end = if s == n - 1 {
+            db.len()
+        } else {
+            end.min(max_end)
+        };
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Extract the contiguous slice `range` of `db` as its own database.
+pub fn slice(db: &SequenceDatabase, range: (usize, usize)) -> SequenceDatabase {
+    let order: Vec<usize> = (range.0..range.1).collect();
+    reorder(db, &order)
+}
+
+/// One shard's line in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Shard index, `0..shards.len()`.
+    pub index: u64,
+    /// File name relative to the manifest's directory.
+    pub file: String,
+    /// Global base offset (parent position of the first sequence).
+    pub base: u64,
+    /// Sequences in this shard.
+    pub n_seqs: u64,
+    /// [`snapshot::content_digest`] of the shard's own sequences — the
+    /// digest a worker's health probe reports, so a coordinator can
+    /// verify it is talking to the right shard before submitting.
+    pub digest: u64,
+}
+
+/// The `shards.manifest` a `shard-prepare` run writes next to its shard
+/// files: enough for a coordinator to boot workers and verify identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Digest of the length-sorted parent all shards were cut from.
+    pub parent_digest: u64,
+    /// Per-shard placement, in index order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Render the text form.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# swshard manifest\nversion 1\n");
+        out.push_str(&format!("parent_digest {:016x}\n", self.parent_digest));
+        out.push_str(&format!("shards {}\n", self.shards.len()));
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {} {} {} {} {:016x}\n",
+                s.index, s.file, s.base, s.n_seqs, s.digest
+            ));
+        }
+        out
+    }
+
+    /// Parse the text form, validating index order and completeness.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut parent_digest = None;
+        let mut declared = None;
+        let mut shards: Vec<ShardEntry> = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let key = it.next().expect("non-empty line has a first token");
+            let fields: Vec<&str> = it.collect();
+            let bad = |what: &str| format!("manifest line {}: {what}", ln + 1);
+            match key {
+                "version" => {
+                    if fields != ["1"] {
+                        return Err(bad(&format!("unsupported version {fields:?}")));
+                    }
+                }
+                "parent_digest" => {
+                    let d = fields
+                        .first()
+                        .and_then(|f| u64::from_str_radix(f, 16).ok())
+                        .ok_or_else(|| bad("unparseable parent_digest"))?;
+                    parent_digest = Some(d);
+                }
+                "shards" => {
+                    let n: usize = fields
+                        .first()
+                        .and_then(|f| f.parse().ok())
+                        .ok_or_else(|| bad("unparseable shard count"))?;
+                    declared = Some(n);
+                }
+                "shard" => {
+                    if fields.len() != 5 {
+                        return Err(bad("shard line needs: index file base n_seqs digest"));
+                    }
+                    let num = |i: usize, what: &str| {
+                        fields[i]
+                            .parse::<u64>()
+                            .map_err(|_| bad(&format!("unparseable {what}")))
+                    };
+                    shards.push(ShardEntry {
+                        index: num(0, "index")?,
+                        file: fields[1].to_string(),
+                        base: num(2, "base")?,
+                        n_seqs: num(3, "n_seqs")?,
+                        digest: u64::from_str_radix(fields[4], 16)
+                            .map_err(|_| bad("unparseable digest"))?,
+                    });
+                }
+                other => return Err(bad(&format!("unknown key {other:?}"))),
+            }
+        }
+        let parent_digest = parent_digest.ok_or("manifest missing parent_digest")?;
+        let declared = declared.ok_or("manifest missing shard count")?;
+        if shards.len() != declared {
+            return Err(format!(
+                "manifest declares {declared} shards but lists {}",
+                shards.len()
+            ));
+        }
+        if shards.is_empty() {
+            return Err("manifest lists no shards".into());
+        }
+        for (i, s) in shards.iter().enumerate() {
+            if s.index != i as u64 {
+                return Err(format!(
+                    "shard lines out of order: position {i} has index {}",
+                    s.index
+                ));
+            }
+        }
+        Ok(ShardManifest {
+            parent_digest,
+            shards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_seq::gen::{generate_database, DbSpec};
+    use sw_seq::SeqId;
+
+    fn demo_db(n: u32, seed: u64) -> SequenceDatabase {
+        let spec = DbSpec {
+            n_seqs: n,
+            mean_len: 80.0,
+            max_len: 300,
+            seed,
+        };
+        SequenceDatabase::from_sequences(generate_database(&spec))
+    }
+
+    #[test]
+    fn shard_roundtrip_preserves_meta_and_sequences() {
+        let parent = length_sorted(&demo_db(20, 7));
+        let parent_digest = snapshot::content_digest(&parent);
+        let ranges = plan_shards(&parent, 3);
+        for (i, &range) in ranges.iter().enumerate() {
+            let part = slice(&parent, range);
+            let meta = ShardMeta {
+                index: i as u64,
+                count: 3,
+                base: range.0 as u64,
+                parent_digest,
+            };
+            let bytes = write_shard(&meta, &part);
+            let (back, db) = read_shard(&bytes).expect("roundtrip");
+            assert_eq!(back, meta);
+            assert_eq!(db, part);
+            // Global identity: shard sequence i is parent sequence base+i.
+            for j in 0..db.len() {
+                let global = SeqId((range.0 + j) as u32);
+                assert_eq!(db.header(SeqId(j as u32)), parent.header(global));
+                assert_eq!(
+                    db.seq(SeqId(j as u32)).residues,
+                    parent.seq(global).residues
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_already_length_sorted() {
+        // The property the worker relies on: a shard cut from the sorted
+        // parent re-sorts as the identity, so in-shard ids ARE parent
+        // positions minus the base.
+        let parent = length_sorted(&demo_db(24, 11));
+        for &range in &plan_shards(&parent, 4) {
+            let part = slice(&parent, range);
+            let sorted = SortedDb::new(part.clone());
+            for rank in 0..part.len() {
+                assert_eq!(sorted.id_at(rank).0 as usize, rank);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_covers_everything_balanced() {
+        let parent = length_sorted(&demo_db(33, 3));
+        for n in [1, 2, 4, 7] {
+            let ranges = plan_shards(&parent, n);
+            assert_eq!(ranges.len(), n);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, parent.len());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            for &(s, e) in &ranges {
+                assert!(s < e, "non-empty");
+            }
+        }
+        // More shards than sequences clamps instead of emitting empties.
+        let tiny = length_sorted(&demo_db(16, 9));
+        let n = tiny.len();
+        assert_eq!(plan_shards(&tiny, n + 5).len(), n);
+    }
+
+    #[test]
+    fn corrupted_header_is_rejected() {
+        let parent = length_sorted(&demo_db(8, 2));
+        let meta = ShardMeta {
+            index: 0,
+            count: 1,
+            base: 0,
+            parent_digest: snapshot::content_digest(&parent),
+        };
+        let good = write_shard(&meta, &parent);
+        assert!(read_shard(&good).is_ok());
+        let mut bad = good.clone();
+        bad[9] ^= 0x40; // flip a bit inside the index field
+        assert!(read_shard(&bad).is_err(), "header CRC must catch the flip");
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] = b'X';
+        assert!(read_shard(&wrong_magic).is_err());
+        assert!(read_shard(&good[..20]).is_err(), "truncated");
+        let mut bad_payload = good;
+        let last = bad_payload.len() - 1;
+        bad_payload[last] ^= 1;
+        assert!(
+            read_shard(&bad_payload).is_err(),
+            "wrapped snapshot CRCs must still run"
+        );
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_validation() {
+        let m = ShardManifest {
+            parent_digest: 0xdead_beef_0123_4567,
+            shards: vec![
+                ShardEntry {
+                    index: 0,
+                    file: "shard-0.swshard".into(),
+                    base: 0,
+                    n_seqs: 10,
+                    digest: 1,
+                },
+                ShardEntry {
+                    index: 1,
+                    file: "shard-1.swshard".into(),
+                    base: 10,
+                    n_seqs: 6,
+                    digest: 2,
+                },
+            ],
+        };
+        let text = m.render();
+        assert_eq!(ShardManifest::parse(&text).expect("roundtrip"), m);
+        assert!(ShardManifest::parse("version 1\n").is_err());
+        assert!(
+            ShardManifest::parse(&text.replace("shards 2", "shards 3")).is_err(),
+            "count mismatch"
+        );
+        assert!(
+            ShardManifest::parse(&text.replace("shard 1 ", "shard 9 ")).is_err(),
+            "index order"
+        );
+    }
+}

@@ -44,4 +44,37 @@ fn main() {
                 .sum::<u64>()
         });
     }
+
+    // The coordinator-side fabric costs: seeded fault-plan generation
+    // (every drilled search pays it once) and the k-way merge with a
+    // replica-substituted shard column — the exact path the failover
+    // drills exercise, so a regression here slows every net-fault CI
+    // job.
+    sw_bench::micro::section("shard fabric (plans/s, merges/s)");
+    sw_bench::micro::run("net_fault_plan/seeded-16", 1, || {
+        sw_sched::NetFaultPlan::seeded(42, 16, 16).specs.len()
+    });
+    let shard_col = |shard: u64, salt: u64| -> Vec<sw_serve::client::HitLine> {
+        (0..64u64)
+            .map(|i| sw_serve::client::HitLine {
+                rank: i + 1,
+                // Duplicated scores force the (score, id) tie-break,
+                // the merge's worst case.
+                score: 500 - (i as i64 / 4),
+                id: shard * 1_000 + (i * 7919 + salt) % 997,
+                header: format!("sp|B{shard}x{i}|bench"),
+            })
+            .collect()
+    };
+    for n_shards in [2u64, 8] {
+        sw_bench::micro::run(&format!("merge_top_k/{n_shards}-shards"), n_shards, || {
+            // Shard 0's column comes from "the replica" (salt differs):
+            // same shape, different ids — the merge must stay cheap
+            // whichever replica answered.
+            let cols: Vec<Vec<sw_serve::client::HitLine>> = (0..n_shards)
+                .map(|s| shard_col(s, if s == 0 { 13 } else { 0 }))
+                .collect();
+            sw_serve::coord::merge_hits(cols, 32).len()
+        });
+    }
 }

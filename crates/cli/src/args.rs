@@ -15,6 +15,7 @@ USAGE:
   swsearch search   --query <fasta> --shards <manifest> [--top <k>] [options]
   swsearch makedb   --in <fasta> --out <swdb>
   swsearch shard-prepare --db <fasta|swdb> --out <dir> --shards <n>
+                    [--replicas <r>] [--endpoints <ep,ep,...>]
   swsearch gendb    --seqs <n> --out <fasta|swdb> [--seed <u64>] [--mean-len <f>]
   swsearch stats    --db <fasta|swdb>
   swsearch selftest [--lanes <4|8|16|32>] [--scale <n>]
@@ -25,7 +26,8 @@ USAGE:
   swsearch hetero   --query <fasta> --db <fasta|swdb> [--frac <0..1>]
                     [--dynamic] [--accel-threads <n>] [--min-chunk <n>]
                     [--checkpoint <path> | --checkpoint-dir <dir>] [--resume] [options]
-  swsearch serve    --db <swdb|fasta> --socket <path> [--threads <n>]
+  swsearch serve    --db <swdb|fasta> (--socket <path> | --listen <endpoint>)
+                    [--threads <n>]
                     [--accel-threads <n>] [--max-concurrent <n>]
                     [--tenant-quota <n>] [--batch-window-ms <ms>]
                     [--checkpoint-dir <dir>]
@@ -34,9 +36,10 @@ USAGE:
                     [--slow-query-ms <ms>] [--metrics-file <path>]
                     [--metrics-interval-ms <ms>] [--request-timeout-ms <ms>]
                     [--shard-worker]
-  swsearch submit   --socket <path> (--query <fasta> | --status <job> |
+  swsearch submit   --socket <endpoint> (--query <fasta> | --status <job> |
                     --cancel <job> | --stats | --metrics | --health |
                     --shutdown) [--tenant <name>] [--top <k>] [--json]
+                    [--connect-retries <n>] [--connect-backoff-ms <ms>]
   swsearch trace-check [--trace <jsonl>] [--metrics <prom>]
 
 SEARCH OPTIONS:
@@ -113,7 +116,12 @@ DURABILITY OPTIONS (dynamic mode):
 
 SERVE OPTIONS:
   --socket <path>     Unix socket the daemon listens on (serve) or the
-                      client connects to (submit)
+                      endpoint the client connects to (submit; a bare
+                      path, unix://<path> or tcp://host:port)
+  --listen <endpoint> (serve) listen on an explicit endpoint instead:
+                      tcp://host:port binds a TCP listener (multi-node
+                      shard workers), unix://<path> or a bare path a
+                      Unix socket. Mutually exclusive with --socket
   --max-concurrent <n> queries batched into one shared dual-pool region;
                       further submits wait for the next region (default 2)
   --tenant-quota <n>  max queued+running jobs per tenant; a submit over
@@ -160,6 +168,11 @@ SERVE OPTIONS:
   --shutdown          (submit) drain the daemon and exit
   --json              (submit) print raw wire JSON lines instead of
                       human-formatted text (submit/status/stats)
+  --connect-retries <n> (submit) extra connect attempts under jittered
+                      exponential backoff before giving up — absorbs a
+                      daemon mid-restart (default 0: fail fast)
+  --connect-backoff-ms <ms> (submit) base backoff for --connect-retries;
+                      retry k sleeps ~ms*2^k, jittered (default 25)
 
 SHARD OPTIONS:
   --shards <n>        (shard-prepare) split the length-sorted database
@@ -172,11 +185,37 @@ SHARD OPTIONS:
                       to the unsharded run over the sorted parent. A
                       dead or wedged worker's shard is requeued to a
                       respawned process and resumes from its checkpoint.
+  --replicas <r>      (shard-prepare) also write placement.plan mapping
+                      every shard to r endpoints (round-robin over
+                      --endpoints, or per-replica socket names)
+  --endpoints <list>  (shard-prepare) comma-separated endpoint pool the
+                      placement plan spreads replicas over, e.g.
+                      tcp://10.0.0.1:7001,tcp://10.0.0.2:7001
   --shard-dir <dir>   (search --shards) sockets, worker logs and the
                       shared checkpoint dir live here (default: the
                       manifest's directory)
+  --placement <path>  (search --shards) placement plan mapping shards to
+                      replica endpoints; the coordinator walks a shard's
+                      replica ring on retry (default: placement.plan
+                      next to the manifest, when present)
   --drill <spec>      (search --shards) fault drill forwarded to every
                       shard worker, e.g. delay@0:1500
+  --net-fault <spec>  (search --shards) coordinator-side network fault
+                      drill: refuse@S | drop@S:N | blackhole@S |
+                      slowdrip@S:MS, comma-separated, optional #ATTEMPT
+                      suffix. Hits stay byte-identical
+  --net-fault-seed <u64> (search --shards) seeded random network fault
+                      plan (one fault per shard, first attempts)
+  --coord-journal <path> (search --shards) coordinator journal location
+                      (default <shard-dir>/coord.journal); written
+                      atomically on every commit/requeue, removed on a
+                      clean finish
+  --resume-coord      (search --shards) load the journal and skip shards
+                      whose results it already committed — rerun after a
+                      coordinator crash converges on identical bytes
+  --metrics-out <path> (search --shards) write a Prometheus text snapshot
+                      of the coordinator's counters (requeues, failovers,
+                      net retries, journal skips) after the merge
 
 TRACE-CHECK OPTIONS:
   --trace <path>      validate a JSONL event log: schema header, per-track
@@ -210,6 +249,18 @@ pub enum Command {
         top: usize,
         /// Fault drill forwarded to every shard worker.
         drill: Option<String>,
+        /// Coordinator-side network fault drill (`refuse@S`, …).
+        net_fault: Option<String>,
+        /// Seeded random network fault plan.
+        net_fault_seed: Option<u64>,
+        /// Placement plan path (shard → replica endpoints).
+        placement: Option<String>,
+        /// Coordinator journal path override.
+        coord_journal: Option<String>,
+        /// Resume from the journal, skipping committed shards.
+        resume_coord: bool,
+        /// Write the coordinator's Prometheus counters here.
+        metrics_out: Option<String>,
         /// Print raw wire JSON hit lines instead of the report.
         json: bool,
         /// Worker knobs (threads, lanes …) for spawned shard daemons.
@@ -223,6 +274,11 @@ pub enum Command {
         out: String,
         /// Number of shards.
         shards: usize,
+        /// Replicas per shard; > 1 (or an endpoint pool) also writes a
+        /// `placement.plan`.
+        replicas: usize,
+        /// Comma-separated endpoint pool for the placement plan.
+        endpoints: Option<String>,
     },
     /// Preprocess a FASTA database into a binary snapshot.
     MakeDb {
@@ -337,7 +393,8 @@ pub enum Command {
     Serve {
         /// Database path (`.swdb` snapshot or FASTA).
         db: String,
-        /// Unix socket path to listen on.
+        /// Endpoint to listen on: a bare Unix socket path (`--socket`)
+        /// or a `tcp://host:port` / `unix://path` URL (`--listen`).
         socket: String,
         /// Queries batched into one shared dual-pool region; submits
         /// past the cap wait for the next region.
@@ -400,6 +457,10 @@ pub enum Command {
         top: usize,
         /// Print raw wire JSON lines instead of human-formatted text.
         json: bool,
+        /// Extra connect attempts under jittered exponential backoff.
+        connect_retries: u32,
+        /// Base backoff for connect retries in ms.
+        connect_backoff_ms: u64,
     },
     /// Validate exported trace artifacts (CI gate for `--trace-out` /
     /// `--metrics-out` files).
@@ -648,12 +709,33 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "search" => {
             if a.has_flag("--shards") {
                 let top: usize = a.parse_num("--top", 10usize)?;
+                let net_fault = a.opt_value("--net-fault");
+                if let Some(spec) = &net_fault {
+                    // Validate up front: a typo must not boot a fleet.
+                    sw_sched::NetFaultPlan::parse(spec).map_err(err)?;
+                }
+                let net_fault_seed = a
+                    .opt_value("--net-fault-seed")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| err(format!("bad value for --net-fault-seed: '{v}'")))
+                    })
+                    .transpose()?;
+                if net_fault.is_some() && net_fault_seed.is_some() {
+                    return Err(err("pass --net-fault or --net-fault-seed, not both"));
+                }
                 Ok(Command::SearchShards {
                     query: a.value_of("--query")?,
                     manifest: a.value_of("--shards")?,
                     shard_dir: a.opt_value("--shard-dir"),
                     top,
                     drill: a.opt_value("--drill"),
+                    net_fault,
+                    net_fault_seed,
+                    placement: a.opt_value("--placement"),
+                    coord_journal: a.opt_value("--coord-journal"),
+                    resume_coord: a.has_flag("--resume-coord"),
+                    metrics_out: a.opt_value("--metrics-out"),
                     json: a.has_flag("--json"),
                     opts: parse_search_opts(&mut a)?,
                 })
@@ -670,10 +752,16 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if shards == 0 {
                 return Err(err("--shards is required and must be positive"));
             }
+            let replicas: usize = a.parse_num("--replicas", 1usize)?;
+            if replicas == 0 {
+                return Err(err("--replicas must be at least 1"));
+            }
             Ok(Command::ShardPrepare {
                 db: a.value_of("--db")?,
                 out: a.value_of("--out")?,
                 shards,
+                replicas,
+                endpoints: a.opt_value("--endpoints"),
             })
         }
         "makedb" => Ok(Command::MakeDb {
@@ -837,9 +925,19 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                         .map_err(|_| err(format!("bad value for --slow-query-ms: '{v}'")))
                 })
                 .transpose()?;
+            let socket = match (a.opt_value("--socket"), a.opt_value("--listen")) {
+                (Some(_), Some(_)) => {
+                    return Err(err("pass --socket or --listen, not both"));
+                }
+                (Some(s), None) => s,
+                (None, Some(l)) => l,
+                (None, None) => {
+                    return Err(err("serve needs --socket <path> or --listen <endpoint>"));
+                }
+            };
             Ok(Command::Serve {
                 db: a.value_of("--db")?,
-                socket: a.value_of("--socket")?,
+                socket,
                 max_concurrent,
                 tenant_quota,
                 batch_window_ms: a.parse_num("--batch-window-ms", 3u64)?,
@@ -904,6 +1002,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 drill: a.opt_value("--drill"),
                 top: a.parse_num("--top", 10usize)?,
                 json: a.has_flag("--json"),
+                connect_retries: a.parse_num("--connect-retries", 0u32)?,
+                connect_backoff_ms: a.parse_num("--connect-backoff-ms", 25u64)?,
             })
         }
         "trace-check" => {
@@ -1442,10 +1542,34 @@ mod tests {
     #[test]
     fn shard_prepare_and_sharded_search_parse() {
         match parse(&argv("shard-prepare --db d.fasta --out shards/ --shards 4")).unwrap() {
-            Command::ShardPrepare { db, out, shards } => {
+            Command::ShardPrepare {
+                db,
+                out,
+                shards,
+                replicas,
+                endpoints,
+            } => {
                 assert_eq!(db, "d.fasta");
                 assert_eq!(out, "shards/");
                 assert_eq!(shards, 4);
+                assert_eq!(replicas, 1);
+                assert_eq!(endpoints, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "shard-prepare --db d --out o --shards 2 --replicas 2 \
+             --endpoints tcp://a:1,tcp://b:1",
+        ))
+        .unwrap()
+        {
+            Command::ShardPrepare {
+                replicas,
+                endpoints,
+                ..
+            } => {
+                assert_eq!(replicas, 2);
+                assert_eq!(endpoints.as_deref(), Some("tcp://a:1,tcp://b:1"));
             }
             other => panic!("{other:?}"),
         }
@@ -1454,6 +1578,10 @@ mod tests {
             "needs --shards"
         );
         assert!(parse(&argv("shard-prepare --db d --out o --shards 0")).is_err());
+        assert!(parse(&argv(
+            "shard-prepare --db d --out o --shards 2 --replicas 0"
+        ))
+        .is_err());
 
         match parse(&argv(
             "search --query q.fa --shards shards/shards.manifest --top 7 --threads 2 --json",
@@ -1466,6 +1594,12 @@ mod tests {
                 shard_dir,
                 top,
                 drill,
+                net_fault,
+                net_fault_seed,
+                placement,
+                coord_journal,
+                resume_coord,
+                metrics_out,
                 json,
                 opts,
             } => {
@@ -1474,6 +1608,12 @@ mod tests {
                 assert_eq!(shard_dir, None);
                 assert_eq!(top, 7);
                 assert_eq!(drill, None);
+                assert_eq!(net_fault, None);
+                assert_eq!(net_fault_seed, None);
+                assert_eq!(placement, None);
+                assert_eq!(coord_journal, None);
+                assert!(!resume_coord);
+                assert_eq!(metrics_out, None);
                 assert!(json);
                 assert_eq!(opts.threads, 2);
             }
@@ -1481,6 +1621,86 @@ mod tests {
         }
         // Without --shards the search arm still demands --db.
         assert!(parse(&argv("search --query q.fa")).is_err());
+    }
+
+    #[test]
+    fn sharded_search_fabric_flags_parse() {
+        match parse(&argv(
+            "search --query q.fa --shards m --net-fault refuse@0,drop@1:2 \
+             --placement p.plan --coord-journal j.bin --resume-coord \
+             --metrics-out coord.prom",
+        ))
+        .unwrap()
+        {
+            Command::SearchShards {
+                net_fault,
+                placement,
+                coord_journal,
+                resume_coord,
+                metrics_out,
+                ..
+            } => {
+                assert_eq!(net_fault.as_deref(), Some("refuse@0,drop@1:2"));
+                assert_eq!(placement.as_deref(), Some("p.plan"));
+                assert_eq!(coord_journal.as_deref(), Some("j.bin"));
+                assert!(resume_coord);
+                assert_eq!(metrics_out.as_deref(), Some("coord.prom"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("search --query q.fa --shards m --net-fault-seed 9")).unwrap() {
+            Command::SearchShards { net_fault_seed, .. } => {
+                assert_eq!(net_fault_seed, Some(9));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A malformed drill dies in the parser, before any worker boots.
+        assert!(parse(&argv("search --query q --shards m --net-fault explode@0")).is_err());
+        assert!(parse(&argv(
+            "search --query q --shards m --net-fault refuse@0 --net-fault-seed 1"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_listen_and_submit_retries_parse() {
+        match parse(&argv("serve --db d.swdb --listen tcp://127.0.0.1:7701")).unwrap() {
+            Command::Serve { socket, .. } => assert_eq!(socket, "tcp://127.0.0.1:7701"),
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(&argv("serve --db d --socket s.sock --listen tcp://h:1")).is_err(),
+            "--socket and --listen are mutually exclusive"
+        );
+        match parse(&argv(
+            "submit --socket tcp://127.0.0.1:7701 --stats --connect-retries 4 \
+             --connect-backoff-ms 10",
+        ))
+        .unwrap()
+        {
+            Command::Submit {
+                socket,
+                connect_retries,
+                connect_backoff_ms,
+                ..
+            } => {
+                assert_eq!(socket, "tcp://127.0.0.1:7701");
+                assert_eq!(connect_retries, 4);
+                assert_eq!(connect_backoff_ms, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("submit --socket s.sock --stats")).unwrap() {
+            Command::Submit {
+                connect_retries,
+                connect_backoff_ms,
+                ..
+            } => {
+                assert_eq!(connect_retries, 0, "fail fast by default");
+                assert_eq!(connect_backoff_ms, 25);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -131,6 +131,12 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             shard_dir,
             top,
             drill,
+            net_fault,
+            net_fault_seed,
+            placement,
+            coord_journal,
+            resume_coord,
+            metrics_out,
             json,
             opts,
         } => cmd_search_shards(
@@ -138,7 +144,15 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             &manifest,
             shard_dir.as_deref(),
             top,
-            drill.as_deref(),
+            FabricOpts {
+                drill,
+                net_fault,
+                net_fault_seed,
+                placement,
+                coord_journal,
+                resume_coord,
+                metrics_out,
+            },
             json,
             &opts,
             out,
@@ -147,7 +161,9 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             db,
             out: dir,
             shards,
-        } => cmd_shard_prepare(&db, &dir, shards, out),
+            replicas,
+            endpoints,
+        } => cmd_shard_prepare(&db, &dir, shards, replicas, endpoints.as_deref(), out),
         Command::MakeDb {
             input,
             output,
@@ -282,6 +298,8 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             drill,
             top,
             json,
+            connect_retries,
+            connect_backoff_ms,
         } => cmd_submit(
             &socket,
             SubmitOp {
@@ -296,6 +314,8 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 drill,
                 top,
                 json,
+                connect_retries,
+                connect_backoff_ms,
             },
             out,
         ),
@@ -446,6 +466,8 @@ fn cmd_shard_prepare<W: Write>(
     db_path: &str,
     out_dir: &str,
     n_shards: usize,
+    replicas: usize,
+    endpoint_pool: Option<&str>,
     out: &mut W,
 ) -> Result<(), CmdError> {
     use sw_swdb::shard;
@@ -497,6 +519,29 @@ fn cmd_shard_prepare<W: Write>(
         shards: entries,
     };
     std::fs::write(dir.join("shards.manifest"), manifest.render())?;
+    // Replication asked for (or an explicit endpoint pool): emit the
+    // placement plan the coordinator walks on failover. Endpoints may
+    // mix tcp:// and unix socket names; they are validated here so a
+    // typo dies at prepare time, not mid-search.
+    if replicas > 1 || endpoint_pool.is_some() {
+        let pool: Vec<String> = endpoint_pool
+            .map(|p| p.split(',').map(str::to_string).collect())
+            .unwrap_or_default();
+        for ep in &pool {
+            sw_serve::Endpoint::parse(ep).map_err(|e| format!("--endpoints: {e}"))?;
+        }
+        let plan = sw_swdb::PlacementPlan::assign(parent_digest, count, replicas as u64, &pool);
+        std::fs::write(dir.join("placement.plan"), plan.render())?;
+        writeln!(
+            out,
+            "# wrote placement.plan: {replicas} replica(s) per shard over {}",
+            if pool.is_empty() {
+                "per-replica sockets".to_string()
+            } else {
+                format!("{} pooled endpoint(s)", pool.len())
+            }
+        )?;
+    }
     writeln!(
         out,
         "# wrote {count} shards + sorted parent ({} seqs, digest {parent_digest:016x}) \
@@ -506,21 +551,33 @@ fn cmd_shard_prepare<W: Write>(
     Ok(())
 }
 
+/// Fabric knobs carried from the `search --shards` arg parse: drills,
+/// placement, coordinator durability and observability.
+struct FabricOpts {
+    drill: Option<String>,
+    net_fault: Option<String>,
+    net_fault_seed: Option<u64>,
+    placement: Option<String>,
+    coord_journal: Option<String>,
+    resume_coord: bool,
+    metrics_out: Option<String>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cmd_search_shards<W: Write>(
     query_path: &str,
     manifest_path: &str,
     shard_dir: Option<&str>,
     top: usize,
-    drill: Option<&str>,
+    fabric: FabricOpts,
     json: bool,
     opts: &SearchOpts,
     out: &mut W,
 ) -> Result<(), CmdError> {
-    use std::collections::BTreeSet;
-    use std::process::{Child, Command as Proc, Stdio};
-    use std::sync::Mutex;
-    use sw_serve::{coord, CoordConfig, ShardSpec};
+    use std::process::{Command as Proc, Stdio};
+    use std::time::Duration;
+    use sw_sched::{NetFaultInjector, NetFaultPlan};
+    use sw_serve::{coord, CoordConfig, CoordDrill, Endpoint, NetTransport, ShardSpec};
     let manifest_text = std::fs::read_to_string(manifest_path)?;
     let manifest = sw_swdb::ShardManifest::parse(&manifest_text)
         .map_err(|e| format!("{manifest_path}: {e}"))?;
@@ -536,40 +593,111 @@ fn cmd_search_shards<W: Write>(
     let ckpt_dir = run_dir.join("ckpt");
     std::fs::create_dir_all(&ckpt_dir)?;
     let query_fasta = std::fs::read_to_string(query_path)?;
+
+    // Placement: an explicit --placement file, or placement.plan next
+    // to the manifest when shard-prepare wrote one. Relative unix
+    // socket names resolve against the run dir (where this
+    // coordinator's sockets live); tcp:// endpoints pass through.
+    let placement_path = fabric
+        .placement
+        .clone()
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            let p = manifest_dir.join("placement.plan");
+            p.exists().then_some(p)
+        });
+    let plan = placement_path
+        .map(|p| -> Result<sw_swdb::PlacementPlan, CmdError> {
+            let plan = sw_swdb::PlacementPlan::parse(&std::fs::read_to_string(&p)?)
+                .map_err(|e| format!("{}: {e}", p.display()))?;
+            if plan.parent_digest != manifest.parent_digest {
+                return Err(format!(
+                    "{}: placement parent digest {:016x} does not match manifest {:016x}",
+                    p.display(),
+                    plan.parent_digest,
+                    manifest.parent_digest
+                )
+                .into());
+            }
+            if plan.entries.len() != manifest.shards.len() {
+                return Err(format!(
+                    "{}: placement covers {} shards, manifest has {}",
+                    p.display(),
+                    plan.entries.len(),
+                    manifest.shards.len()
+                )
+                .into());
+            }
+            Ok(plan)
+        })
+        .transpose()?;
+    let resolve = |ep: &str| -> Result<Endpoint, CmdError> {
+        match Endpoint::parse(ep).map_err(|e| format!("placement endpoint: {e}"))? {
+            Endpoint::Unix(p) if p.is_relative() => Ok(Endpoint::Unix(run_dir.join(p))),
+            other => Ok(other),
+        }
+    };
     let specs: Vec<ShardSpec> = manifest
         .shards
         .iter()
-        .map(|e| ShardSpec {
-            index: e.index,
-            socket: run_dir.join(format!("shard-{}.sock", e.index)),
-            expect_digest: Some(e.digest),
+        .map(|e| -> Result<ShardSpec, CmdError> {
+            let endpoints = match &plan {
+                Some(plan) => plan.entries[e.index as usize]
+                    .endpoints
+                    .iter()
+                    .map(|ep| resolve(ep))
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => vec![Endpoint::Unix(
+                    run_dir.join(format!("shard-{}.sock", e.index)),
+                )],
+            };
+            Ok(ShardSpec {
+                index: e.index,
+                endpoints,
+                expect_digest: Some(e.digest),
+            })
         })
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
+
     // Worker daemons are this same binary re-invoked as
     // `serve --shard-worker`; stdout/stderr land in the run dir so a
-    // wedged or killed worker leaves a trail.
+    // wedged or killed worker leaves a trail. The fleet guard owns
+    // every process spawned here — its Drop tears them down on every
+    // exit path, including typed-fatal coordinator errors that used to
+    // leak the whole fleet.
     let exe = std::env::current_exe()?;
     let threads = opts.threads.max(1);
-    let children: Mutex<Vec<Child>> = Mutex::new(Vec::new());
-    let spawned: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
-    let spawn = |spec: &ShardSpec| -> Result<(), String> {
+    let fleet = crate::fleet::WorkerFleet::new();
+    let spawn_at = |spec: &ShardSpec, endpoint: &Endpoint| -> Result<(), String> {
         let entry = manifest
             .shards
             .iter()
             .find(|e| e.index == spec.index)
             .ok_or("shard missing from manifest")?;
-        let log = File::create(run_dir.join(format!("worker-{}.log", spec.index)))
+        let replica = spec
+            .endpoints
+            .iter()
+            .position(|e| e == endpoint)
+            .unwrap_or(0);
+        let log = File::create(run_dir.join(format!("worker-{}-r{replica}.log", spec.index)))
             .map_err(|e| e.to_string())?;
-        // A crashed worker leaves its socket file behind; the new one
-        // must be able to bind.
-        let _ = std::fs::remove_file(&spec.socket);
-        let child = Proc::new(&exe)
-            .arg("serve")
+        let mut proc = Proc::new(&exe);
+        proc.arg("serve")
             .arg("--shard-worker")
             .arg("--db")
-            .arg(manifest_dir.join(&entry.file))
-            .arg("--socket")
-            .arg(&spec.socket)
+            .arg(manifest_dir.join(&entry.file));
+        match endpoint {
+            Endpoint::Unix(path) => {
+                // A crashed worker leaves its socket file behind; the
+                // new one must be able to bind.
+                let _ = std::fs::remove_file(path);
+                proc.arg("--socket").arg(path);
+            }
+            tcp => {
+                proc.arg("--listen").arg(tcp.to_string());
+            }
+        }
+        let child = proc
             .arg("--checkpoint-dir")
             .arg(&ckpt_dir)
             .arg("--threads")
@@ -577,19 +705,28 @@ fn cmd_search_shards<W: Write>(
             .stdout(Stdio::from(log.try_clone().map_err(|e| e.to_string())?))
             .stderr(Stdio::from(log))
             .spawn()
-            .map_err(|e| format!("spawn worker {}: {e}", spec.index))?;
-        children.lock().unwrap().push(child);
-        spawned.lock().unwrap().insert(spec.index);
+            .map_err(|e| format!("spawn worker {} at {endpoint}: {e}", spec.index))?;
+        fleet.adopt(spec.index, endpoint, child);
         Ok(())
     };
-    // Boot workers whose sockets are not already serving; daemons a
-    // previous coordinator (or an operator) left running are reused
+    let listening = |ep: &Endpoint| ep.connect(Duration::from_millis(250)).is_ok();
+    let respawn = |spec: &ShardSpec, attempt: u32| -> Result<(), String> {
+        let endpoint = spec.endpoint_for(attempt);
+        if listening(endpoint) {
+            return Ok(());
+        }
+        spawn_at(spec, endpoint)
+    };
+    // Boot every replica whose endpoint is not already serving; daemons
+    // a previous coordinator (or an operator) left running are reused
     // and NOT shut down afterwards.
     let mut booted = 0u64;
     for spec in &specs {
-        if std::os::unix::net::UnixStream::connect(&spec.socket).is_err() {
-            spawn(spec)?;
-            booted += 1;
+        for endpoint in &spec.endpoints {
+            if !listening(endpoint) {
+                spawn_at(spec, endpoint)?;
+                booted += 1;
+            }
         }
     }
     if !json {
@@ -600,18 +737,50 @@ fn cmd_search_shards<W: Write>(
             manifest.parent_digest
         )?;
     }
+
+    let faults = match (&fabric.net_fault, fabric.net_fault_seed) {
+        (Some(spec), _) => Some(NetFaultInjector::new(NetFaultPlan::parse(spec)?)),
+        (None, Some(seed)) => Some(NetFaultInjector::new(NetFaultPlan::seeded(
+            seed,
+            specs.len(),
+            specs.len() as u64,
+        ))),
+        (None, None) => None,
+    };
+    let journal_path = fabric
+        .coord_journal
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| run_dir.join("coord.journal"));
+    let coord_drill = CoordDrill {
+        faults: faults.as_ref(),
+        journal: Some(journal_path),
+        resume: fabric.resume_coord,
+    };
     let mut cfg = CoordConfig::new(top);
-    cfg.drill = drill.map(str::to_string);
-    let result = coord::search_sharded(&specs, &query_fasta, &cfg, &spawn);
-    // Tear down only what this process started — including respawns.
-    let ours = spawned.into_inner().unwrap();
-    for spec in specs.iter().filter(|s| ours.contains(&s.index)) {
-        let _ = coord::shutdown_worker(&spec.socket);
-    }
-    for mut child in children.into_inner().unwrap() {
-        let _ = child.wait();
-    }
+    cfg.drill = fabric.drill.clone();
+    cfg.parent_digest = manifest.parent_digest;
+    let result = coord::search_sharded_durable(
+        &specs,
+        &query_fasta,
+        &cfg,
+        &respawn,
+        &NetTransport,
+        &coord_drill,
+    );
     let outcome = result.map_err(|e| format!("sharded search: {e}"))?;
+    if let Some(path) = &fabric.metrics_out {
+        std::fs::write(
+            path,
+            sw_serve::coord_prometheus(
+                specs.len() as u64,
+                outcome.requeues,
+                outcome.failovers,
+                outcome.net_retries,
+                outcome.journal_skipped,
+            ),
+        )?;
+    }
     if json {
         // Re-rendered wire hit lines, byte-identical to what an
         // unsharded `submit --json` run over the sorted parent prints
@@ -640,7 +809,25 @@ fn cmd_search_shards<W: Write>(
         )?;
     }
     if outcome.requeues > 0 {
-        writeln!(out, "# {} shard execution(s) requeued", outcome.requeues)?;
+        writeln!(
+            out,
+            "# {} shard execution(s) requeued ({} replica failover(s))",
+            outcome.requeues, outcome.failovers
+        )?;
+    }
+    if outcome.net_retries > 0 {
+        writeln!(
+            out,
+            "# {} connect retr(y/ies) absorbed",
+            outcome.net_retries
+        )?;
+    }
+    if outcome.journal_skipped > 0 {
+        writeln!(
+            out,
+            "# {} shard(s) resumed from the coordinator journal",
+            outcome.journal_skipped
+        )?;
     }
     writeln!(out, "merged top {}: {} hits", top, outcome.hits.len())?;
     for h in &outcome.hits {
@@ -1309,7 +1496,8 @@ fn cmd_serve<W: Write>(
         trace: TraceConfig::default(),
     };
     let engine = HeteroEngine::new(SearchEngine::new(params));
-    let mut config = sw_serve::ServeConfig::new(socket);
+    let listen = sw_serve::Endpoint::parse(socket).map_err(|e| format!("--listen: {e}"))?;
+    let mut config = sw_serve::ServeConfig::at(listen);
     config.max_concurrent = tuning.max_concurrent;
     config.tenant_quota = tuning.tenant_quota;
     config.batch_window_ms = tuning.batch_window_ms;
@@ -1377,21 +1565,32 @@ struct SubmitOp {
     drill: Option<String>,
     top: usize,
     json: bool,
+    connect_retries: u32,
+    connect_backoff_ms: u64,
 }
 
 fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), CmdError> {
-    use sw_serve::client;
-    let socket = std::path::Path::new(socket);
+    use sw_serve::{client, Endpoint, RetryPolicy};
+    let endpoint = Endpoint::parse(socket).map_err(|e| format!("--socket: {e}"))?;
+    let policy = RetryPolicy {
+        retries: op.connect_retries,
+        backoff_ms: op.connect_backoff_ms.max(1),
+        seed: std::process::id() as u64,
+    };
+    let request = |line: &str| -> Result<Vec<String>, CmdError> {
+        let (lines, _) = client::request_endpoint_retry(&endpoint, line, &policy)?;
+        Ok(lines)
+    };
     if op.metrics {
         // Raw Prometheus text: many lines, pass through untouched.
-        for line in client::request(socket, &client::metrics_request())? {
+        for line in request(&client::metrics_request())? {
             writeln!(out, "{line}")?;
         }
         return Ok(());
     }
     if op.health {
         // One JSON line; exit status doubles as the readiness probe.
-        let lines = client::request(socket, &client::health_request())?;
+        let lines = request(&client::health_request())?;
         let line = lines.first().ok_or("empty response")?;
         writeln!(out, "{line}")?;
         return if sw_serve::json::field_bool(line, "ready") == Some(true) {
@@ -1403,7 +1602,7 @@ fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), C
     if let Some(query_path) = &op.query {
         let fasta = std::fs::read_to_string(query_path)?;
         let req = client::submit_request(&op.tenant, &fasta, op.top, op.drill.as_deref());
-        let lines = client::request(socket, &req)?;
+        let lines = request(&req)?;
         let outcome = client::parse_submit_response(&lines).map_err(|e| format!("submit: {e}"))?;
         if op.json {
             // Raw wire lines, one JSON object per line; the outcome is
@@ -1476,7 +1675,7 @@ fn cmd_submit<W: Write>(socket: &str, op: SubmitOp, out: &mut W) -> Result<(), C
             debug_assert!(op.shutdown);
             client::shutdown_request()
         };
-        let lines = client::request(socket, &req)?;
+        let lines = request(&req)?;
         let line = lines.first().ok_or("empty response")?;
         if sw_serve::json::field_bool(line, "ok") == Some(false) {
             return Err(sw_serve::json::field_str(line, "error")

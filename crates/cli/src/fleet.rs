@@ -1,0 +1,146 @@
+//! RAII ownership of spawned shard-worker processes.
+//!
+//! `search --shards` boots worker daemons it may later need to tear
+//! down. The original implementation tore them down inline after the
+//! search — which leaked every spawned process on any early-return
+//! path (a spawn error halfway through boot, a write error on the
+//! banner, a typed-fatal coordinator exit like `WrongShard`). Owning
+//! the children in a guard whose `Drop` does the teardown makes every
+//! exit path — `?`, panic, success — equivalent.
+
+use std::collections::BTreeSet;
+use std::process::Child;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use sw_serve::{coord, Endpoint};
+
+/// How long `Drop` waits for politely-shut-down workers to exit before
+/// escalating to SIGKILL.
+const DRAIN_WAIT: Duration = Duration::from_secs(5);
+
+/// Every worker process this coordinator spawned, plus the endpoints to
+/// ask nicely on before killing. Workers that were already listening
+/// when the coordinator started are never adopted and never touched.
+#[derive(Default)]
+pub struct WorkerFleet {
+    inner: Mutex<FleetInner>,
+}
+
+#[derive(Default)]
+struct FleetInner {
+    children: Vec<Child>,
+    endpoints: Vec<Endpoint>,
+    owned_shards: BTreeSet<u64>,
+}
+
+impl WorkerFleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        WorkerFleet::default()
+    }
+
+    /// Take ownership of a just-spawned worker: `Drop` will shut it
+    /// down. Endpoints are deduplicated — a respawn of the same worker
+    /// gets one shutdown request, not two.
+    pub fn adopt(&self, shard: u64, endpoint: &Endpoint, child: Child) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.children.push(child);
+        if !inner.endpoints.contains(endpoint) {
+            inner.endpoints.push(endpoint.clone());
+        }
+        inner.owned_shards.insert(shard);
+    }
+
+    /// True when this fleet spawned at least one worker for `shard`.
+    pub fn owns(&self, shard: u64) -> bool {
+        self.inner.lock().unwrap().owned_shards.contains(&shard)
+    }
+
+    /// Number of processes spawned so far (respawns count).
+    pub fn spawned(&self) -> usize {
+        self.inner.lock().unwrap().children.len()
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        let inner = self.inner.get_mut().unwrap();
+        // Ask every owned endpoint to drain; a worker that already died
+        // (or never finished booting) just fails the connect.
+        for ep in &inner.endpoints {
+            let _ = coord::shutdown_worker(ep);
+        }
+        let deadline = Instant::now() + DRAIN_WAIT;
+        for child in &mut inner.children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    // Drain window exhausted (or wait failed): a leaked
+                    // daemon outlives the CLI forever, a killed one
+                    // loses nothing — checkpoints survive on disk.
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::{Command, Stdio};
+
+    /// Regression for the spawned-worker leak: a fleet dropped on an
+    /// early-return path (here: no daemon ever listened, the polite
+    /// shutdown cannot succeed) must still reap every child it spawned.
+    #[test]
+    fn dropped_fleet_kills_unresponsive_children() {
+        let fleet = WorkerFleet::new();
+        let mut pids = Vec::new();
+        for shard in 0..2u64 {
+            let child = Command::new("sleep")
+                .arg("600")
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn sleep");
+            pids.push(child.id());
+            let ep = Endpoint::Unix(format!("/nonexistent/shard-{shard}.sock").into());
+            fleet.adopt(shard, &ep, child);
+        }
+        assert!(fleet.owns(0) && fleet.owns(1) && !fleet.owns(2));
+        assert_eq!(fleet.spawned(), 2);
+        let start = Instant::now();
+        drop(fleet);
+        // Children are reaped by wait(), so a lingering /proc entry
+        // means a genuinely live (leaked) process.
+        for pid in pids {
+            assert!(
+                !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+                "worker {pid} leaked past fleet drop"
+            );
+        }
+        assert!(
+            start.elapsed() < DRAIN_WAIT + Duration::from_secs(10),
+            "teardown must be bounded"
+        );
+    }
+
+    #[test]
+    fn adopting_same_endpoint_twice_keeps_one_shutdown_target() {
+        let fleet = WorkerFleet::new();
+        let ep = Endpoint::Unix("/tmp/x.sock".into());
+        for _ in 0..2 {
+            let child = Command::new("true").spawn().expect("spawn");
+            fleet.adopt(0, &ep, child);
+        }
+        assert_eq!(fleet.spawned(), 2);
+        assert_eq!(fleet.inner.lock().unwrap().endpoints.len(), 1);
+    }
+}

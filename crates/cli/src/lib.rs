@@ -8,6 +8,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod fleet;
 pub mod signals;
 
 pub use args::{Command, ParseError};

@@ -208,6 +208,197 @@ impl FaultInjector {
     }
 }
 
+/// What an injected *network* fault does to one coordinator→worker
+/// exchange. Where [`FaultKind`] models a device worker dying inside a
+/// parallel region, this models the wire to a remote shard worker
+/// misbehaving — the failure domain the multi-node fabric must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The connect is refused (worker not listening / port closed).
+    Refuse,
+    /// The reply stream dies after this many lines (mid-stream cut).
+    Drop(u64),
+    /// The connection opens but no bytes ever arrive — the classic
+    /// black-holed peer, detected only by heartbeat or lease timeout.
+    BlackHole,
+    /// Every reply line is delayed by this long (a drip-feeding peer;
+    /// long enough drips trip the lease).
+    SlowDrip(Duration),
+}
+
+impl NetFaultKind {
+    /// True when this fault kills the attempt it fires on, forcing a
+    /// requeue. A slow drip merely shapes the stream — the attempt
+    /// still succeeds unless the drip outlasts the lease.
+    pub fn forces_retry(&self) -> bool {
+        !matches!(self, NetFaultKind::SlowDrip(_))
+    }
+}
+
+/// One scheduled network fault: `kind` fires against `shard` on its
+/// `attempt`-th execution (0-based), at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetFaultSpec {
+    /// Shard index the fault targets.
+    pub shard: u64,
+    /// 0-based attempt of that shard that trips the fault.
+    pub attempt: u32,
+    /// What the wire does.
+    pub kind: NetFaultKind,
+}
+
+/// A deterministic set of network faults for one sharded search.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    /// The scheduled faults.
+    pub specs: Vec<NetFaultSpec>,
+}
+
+impl NetFaultPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// A plan with a single fault.
+    pub fn single(spec: NetFaultSpec) -> Self {
+        NetFaultPlan { specs: vec![spec] }
+    }
+
+    /// Parse a comma-separated CLI drill string. Forms:
+    /// `refuse@SHARD`, `drop@SHARD:LINES`, `blackhole@SHARD`,
+    /// `slowdrip@SHARD:MS`; an optional `#ATTEMPT` suffix targets a
+    /// later attempt (`refuse@1#1` refuses shard 1's first *retry*).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut specs = Vec::new();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let bad = || {
+                format!(
+                    "bad net-fault '{part}': want refuse@S | drop@S:N | \
+                     blackhole@S | slowdrip@S:MS (optionally #ATTEMPT)"
+                )
+            };
+            let (kind_name, rest) = part.split_once('@').ok_or_else(bad)?;
+            let (target, attempt) = match rest.split_once('#') {
+                Some((t, a)) => (t, a.parse::<u32>().map_err(|_| bad())?),
+                None => (rest, 0),
+            };
+            let (shard_s, arg) = match target.split_once(':') {
+                Some((s, a)) => (s, Some(a)),
+                None => (target, None),
+            };
+            let shard: u64 = shard_s.parse().map_err(|_| bad())?;
+            let kind = match (kind_name, arg) {
+                ("refuse", None) => NetFaultKind::Refuse,
+                ("drop", Some(n)) => NetFaultKind::Drop(n.parse().map_err(|_| bad())?),
+                ("blackhole", None) => NetFaultKind::BlackHole,
+                ("slowdrip", Some(ms)) => {
+                    NetFaultKind::SlowDrip(Duration::from_millis(ms.parse().map_err(|_| bad())?))
+                }
+                _ => return Err(bad()),
+            };
+            specs.push(NetFaultSpec {
+                shard,
+                attempt,
+                kind,
+            });
+        }
+        if specs.is_empty() {
+            return Err("empty net-fault spec".into());
+        }
+        Ok(NetFaultPlan { specs })
+    }
+
+    /// A seeded random plan: `n_faults` network faults spread over
+    /// `n_shards` shards, all on the first attempt (the retry then runs
+    /// clean — every seeded drill terminates). Deterministic per seed.
+    pub fn seeded(seed: u64, n_faults: usize, n_shards: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let specs = (0..n_faults)
+            .map(|_| {
+                let shard = rng.gen_range(0..n_shards.max(1));
+                let kind = match rng.gen_range(0..4u64) {
+                    0 => NetFaultKind::Refuse,
+                    1 => NetFaultKind::Drop(rng.gen_range(0..3u64)),
+                    2 => NetFaultKind::BlackHole,
+                    _ => NetFaultKind::SlowDrip(Duration::from_millis(rng.gen_range(5..40u64))),
+                };
+                NetFaultSpec {
+                    shard,
+                    attempt: 0,
+                    kind,
+                }
+            })
+            .collect();
+        NetFaultPlan { specs }
+    }
+}
+
+/// Armed runtime form of a [`NetFaultPlan`]: shared by every
+/// coordinator thread, each spec fires at most once.
+#[derive(Debug)]
+pub struct NetFaultInjector {
+    specs: Vec<NetFaultSpec>,
+    fired: Vec<AtomicBool>,
+}
+
+impl NetFaultInjector {
+    /// Arm a plan.
+    pub fn new(plan: NetFaultPlan) -> Self {
+        let fired = plan.specs.iter().map(|_| AtomicBool::new(false)).collect();
+        NetFaultInjector {
+            specs: plan.specs,
+            fired,
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn none() -> Self {
+        NetFaultInjector::new(NetFaultPlan::none())
+    }
+
+    /// True when the plan holds no faults.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Called as the coordinator starts `attempt` of `shard`; returns
+    /// the fault to apply to this exchange, if any.
+    pub fn on_shard_attempt(&self, shard: u64, attempt: u32) -> Option<NetFaultKind> {
+        for (spec, fired) in self.specs.iter().zip(&self.fired) {
+            if spec.shard == shard
+                && spec.attempt == attempt
+                && fired
+                    .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Some(spec.kind);
+            }
+        }
+        None
+    }
+
+    /// Number of faults that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.fired
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// The specs that have fired so far, in plan order. Drills use this
+    /// to predict the exact retry cost of a run (a spec scheduled for an
+    /// attempt that never happens stays unfired).
+    pub fn fired_specs(&self) -> Vec<NetFaultSpec> {
+        self.specs
+            .iter()
+            .zip(&self.fired)
+            .filter(|(_, f)| f.load(Ordering::Relaxed))
+            .map(|(s, _)| *s)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +464,80 @@ mod tests {
             assert_eq!(inj.on_chunk_start(1), None);
         }
         assert!(!inj.pool_dead(0) && !inj.pool_dead(1));
+    }
+
+    #[test]
+    fn net_fault_parse_accepts_all_forms() {
+        let plan = NetFaultPlan::parse("refuse@0,drop@1:2,blackhole@2,slowdrip@3:15,refuse@1#1")
+            .expect("parse");
+        assert_eq!(
+            plan.specs,
+            vec![
+                NetFaultSpec {
+                    shard: 0,
+                    attempt: 0,
+                    kind: NetFaultKind::Refuse
+                },
+                NetFaultSpec {
+                    shard: 1,
+                    attempt: 0,
+                    kind: NetFaultKind::Drop(2)
+                },
+                NetFaultSpec {
+                    shard: 2,
+                    attempt: 0,
+                    kind: NetFaultKind::BlackHole
+                },
+                NetFaultSpec {
+                    shard: 3,
+                    attempt: 0,
+                    kind: NetFaultKind::SlowDrip(Duration::from_millis(15))
+                },
+                NetFaultSpec {
+                    shard: 1,
+                    attempt: 1,
+                    kind: NetFaultKind::Refuse
+                },
+            ]
+        );
+        for bad in [
+            "",
+            "refuse",
+            "refuse@x",
+            "drop@1",
+            "slowdrip@1",
+            "wedge@0",
+            "refuse@0#x",
+        ] {
+            assert!(
+                NetFaultPlan::parse(bad).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn net_seeded_plans_are_deterministic_and_first_attempt_only() {
+        let a = NetFaultPlan::seeded(99, 6, 4);
+        let b = NetFaultPlan::seeded(99, 6, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.specs.len(), 6);
+        for spec in &a.specs {
+            assert!(spec.shard < 4);
+            assert_eq!(spec.attempt, 0, "seeded faults hit the first attempt");
+        }
+        assert_ne!(a, NetFaultPlan::seeded(100, 6, 4), "seed must matter");
+    }
+
+    #[test]
+    fn net_injector_fires_each_spec_once() {
+        let inj = NetFaultInjector::new(NetFaultPlan::parse("refuse@1,drop@1:0#1").unwrap());
+        assert!(!inj.is_empty());
+        assert_eq!(inj.on_shard_attempt(0, 0), None);
+        assert_eq!(inj.on_shard_attempt(1, 0), Some(NetFaultKind::Refuse));
+        assert_eq!(inj.on_shard_attempt(1, 0), None, "fires at most once");
+        assert_eq!(inj.on_shard_attempt(1, 1), Some(NetFaultKind::Drop(0)));
+        assert_eq!(inj.fired_count(), 2);
+        assert!(NetFaultInjector::none().is_empty());
     }
 }

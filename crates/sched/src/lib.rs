@@ -57,7 +57,10 @@ pub use executor::{
     run_parallel, try_run_parallel, CheckpointView, DualPoolConfig, DualPoolOutcome,
     DurableControl, DurableOutcome, ExecError, ExecutorConfig, TaskError,
 };
-pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+pub use fault::{
+    FaultInjector, FaultKind, FaultPlan, FaultSpec, NetFaultInjector, NetFaultKind, NetFaultPlan,
+    NetFaultSpec,
+};
 pub use metrics::{imbalance, DeviceMetrics, Imbalance, MetricsSink, RecoveryEvent, WorkerSample};
 pub use policy::{
     adaptive_chunk, DualQueue, Policy, RequeueQueue, SplitEstimator, DEVICE_ACCEL, DEVICE_CPU,

@@ -4,9 +4,11 @@
 //! this code, so the wire format has one reader and one writer.
 
 use crate::json;
+use crate::transport::{Endpoint, RetryPolicy, Stream};
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// Build a `submit` request line.
 pub fn submit_request(tenant: &str, query_fasta: &str, top: usize, drill: Option<&str>) -> String {
@@ -69,6 +71,46 @@ pub fn request(socket: &Path, line: &str) -> io::Result<Vec<String>> {
         lines.push(l?);
     }
     Ok(lines)
+}
+
+/// [`request`] over any [`Endpoint`] (unix socket or `tcp://host:port`)
+/// — one connect attempt, fail fast.
+pub fn request_endpoint(endpoint: &Endpoint, line: &str) -> io::Result<Vec<String>> {
+    request_endpoint_retry(endpoint, line, &RetryPolicy::default()).map(|(lines, _)| lines)
+}
+
+/// [`request_endpoint`] with bounded connect retries under jittered
+/// exponential backoff, so a daemon mid-restart does not fail the whole
+/// query. Only the *connect* is retried — once a connection is up, a
+/// broken stream is the caller's decision to repeat (a submit may have
+/// side effects). Returns the reply lines and how many retries were
+/// spent.
+pub fn request_endpoint_retry(
+    endpoint: &Endpoint,
+    line: &str,
+    policy: &RetryPolicy,
+) -> io::Result<(Vec<String>, u32)> {
+    let connect_timeout = Duration::from_millis(1_000);
+    let mut used = 0u32;
+    let mut stream: Stream = loop {
+        match endpoint.connect(connect_timeout) {
+            Ok(s) => break s,
+            Err(e) if used >= policy.retries => return Err(e),
+            Err(_) => {
+                std::thread::sleep(policy.backoff(used));
+                used += 1;
+            }
+        }
+    };
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    stream.shutdown_write()?;
+    let mut lines = Vec::new();
+    for l in BufReader::new(stream).lines() {
+        lines.push(l?);
+    }
+    Ok((lines, used))
 }
 
 /// One streamed hit.

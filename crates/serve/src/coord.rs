@@ -1,6 +1,6 @@
 //! The shard coordinator: fan one query out over shard-worker daemons,
-//! recover dead or wedged shards, and merge per-shard top-K streams
-//! into the unsharded run's exact hit list.
+//! recover dead or wedged shards, fail over to replicas, and merge
+//! per-shard top-K streams into the unsharded run's exact hit list.
 //!
 //! ## Lease at shard granularity
 //!
@@ -18,6 +18,28 @@
 //! failure budget bound the retry storm, mirroring `RecoveryConfig`
 //! semantics.
 //!
+//! ## Replica failover
+//!
+//! A [`ShardSpec`] now carries a *list* of endpoints (primary first,
+//! replicas after, from the placement plan). Attempt `a` of a shard
+//! runs against `endpoints[a % len]`, so the first retry of a dead
+//! primary automatically lands on its replica — a fresh lease on a
+//! different worker. Where the replica shares the checkpoint directory
+//! it resumes the primary's partial work; where it doesn't, it re-runs
+//! the shard from scratch. Either way the merge contract is untouched:
+//! every replica serves the same SWSHRD1 shard (digest-checked before
+//! any submit), so per-shard top-K lists are identical no matter which
+//! endpoint produced them.
+//!
+//! ## Crash-survivable coordination
+//!
+//! With a journal path configured ([`CoordDrill`]), every accepted
+//! per-shard result and every requeue is recorded in an SWCRDJ1 file
+//! (CRC-guarded, atomic rename — see [`crate::journal`]). A coordinator
+//! that is SIGKILLed mid-search restarts with `resume`, skips committed
+//! shards entirely, re-runs only the rest, and merges to bytes
+//! identical to an uninterrupted run.
+//!
 //! ## Byte-identical merge
 //!
 //! Workers report hit ids *globally* (shard base + in-shard index), and
@@ -29,25 +51,48 @@
 use crate::client::{
     self, health_request, parse_submit_response, shutdown_request, submit_request, HitLine,
 };
+use crate::journal::{fnv1a, CommittedShard, CoordJournal};
 use crate::json;
+use crate::transport::{Endpoint, NetTransport, RetryPolicy, ShardTransport};
 use std::io::{self, BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
-use sw_sched::RequeueQueue;
+use sw_sched::{NetFaultInjector, NetFaultKind, RequeueQueue};
+
+/// Consecutive missed heartbeats before a silent stream is declared
+/// black-holed and its shard lease is requeued.
+const HEARTBEAT_MISSES: u32 = 3;
 
 /// One shard worker the coordinator talks to.
 #[derive(Debug, Clone)]
 pub struct ShardSpec {
     /// Shard index (also the task id in the requeue queue).
     pub index: u64,
-    /// The worker's unix socket.
-    pub socket: PathBuf,
+    /// Candidate endpoints: primary first, replicas after. Attempt `a`
+    /// targets `endpoints[a % len]`, so retries walk the replica ring.
+    pub endpoints: Vec<Endpoint>,
     /// When set, the worker's health probe must report exactly this
     /// snapshot digest before a submit goes out — a worker serving the
     /// wrong shard is a fatal wiring error, not a retry.
     pub expect_digest: Option<u64>,
+}
+
+impl ShardSpec {
+    /// A single-endpoint unix-socket spec (the pre-replication shape).
+    pub fn unix(index: u64, socket: impl Into<PathBuf>, expect_digest: Option<u64>) -> Self {
+        ShardSpec {
+            index,
+            endpoints: vec![Endpoint::Unix(socket.into())],
+            expect_digest,
+        }
+    }
+
+    /// The endpoint attempt `attempt` runs against.
+    pub fn endpoint_for(&self, attempt: u32) -> &Endpoint {
+        &self.endpoints[attempt as usize % self.endpoints.len()]
+    }
 }
 
 /// Coordinator knobs. Defaults mirror the executor's recovery
@@ -72,6 +117,21 @@ pub struct CoordConfig {
     pub lease_timeout_ms: u64,
     /// Backoff before a retry attempt (scaled by the attempt count).
     pub backoff_ms: u64,
+    /// Extra connect attempts per exchange (jittered exponential
+    /// backoff) — absorbs a worker mid-restart without spending a
+    /// shard attempt.
+    pub connect_retries: u32,
+    /// Base backoff for connect retries.
+    pub connect_backoff_ms: u64,
+    /// When a submit stream has been silent this long, probe the worker
+    /// with a side-channel health heartbeat; [`HEARTBEAT_MISSES`]
+    /// consecutive failed probes requeue the shard. 0 disables.
+    pub heartbeat_ms: u64,
+    /// Seed for connect-retry jitter (same seed → same schedule).
+    pub seed: u64,
+    /// Parent snapshot digest, when known — pinned in the journal so a
+    /// resume against a different database is rejected. 0 = unknown.
+    pub parent_digest: u64,
 }
 
 impl CoordConfig {
@@ -86,8 +146,26 @@ impl CoordConfig {
             connect_wait_ms: 5_000,
             lease_timeout_ms: 120_000,
             backoff_ms: 50,
+            connect_retries: 2,
+            connect_backoff_ms: 25,
+            heartbeat_ms: 500,
+            seed: 0,
+            parent_digest: 0,
         }
     }
+}
+
+/// Durability and drill hooks for one sharded search: an optional
+/// armed network-fault injector, and an optional SWCRDJ1 journal path
+/// plus the resume flag.
+#[derive(Default)]
+pub struct CoordDrill<'a> {
+    /// Seeded network faults to apply (None = clean wire).
+    pub faults: Option<&'a NetFaultInjector>,
+    /// Where to persist the coordinator journal (None = no journal).
+    pub journal: Option<PathBuf>,
+    /// Load the journal first and skip shards it has committed.
+    pub resume: bool,
 }
 
 /// Why a sharded search gave up.
@@ -115,6 +193,12 @@ pub enum CoordError {
         /// What the worker's health probe reported.
         detail: String,
     },
+    /// The coordinator journal could not be loaded, validated or
+    /// written — durability was requested and cannot be honoured.
+    Journal {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CoordError {
@@ -134,6 +218,7 @@ impl std::fmt::Display for CoordError {
             CoordError::WrongShard { index, detail } => {
                 write!(f, "worker for shard {index} has wrong identity: {detail}")
             }
+            CoordError::Journal { detail } => write!(f, "{detail}"),
         }
     }
 }
@@ -160,13 +245,22 @@ pub struct CoordOutcome {
     pub reports: Vec<ShardReport>,
     /// Shard executions requeued after a failure.
     pub requeues: u64,
+    /// Requeues that moved the shard to a different endpoint (replica
+    /// failover, as opposed to a same-worker respawn).
+    pub failovers: u64,
+    /// Connect retries spent across all exchanges (the wire-level
+    /// recoveries that did *not* cost a shard attempt).
+    pub net_retries: u64,
+    /// Shards skipped on resume because the journal had already
+    /// committed their results.
+    pub journal_skipped: u64,
 }
 
 enum AttemptError {
     /// Transient: respawn + requeue (connect refused, wedged lease,
     /// broken stream, failed job).
     Retry(String),
-    /// Permanent: wrong worker identity.
+    /// Permanent: wrong worker identity, broken journal.
     Fatal(CoordError),
 }
 
@@ -176,39 +270,105 @@ struct CoordState {
     done: usize,
     failures: u32,
     requeues: u64,
+    failovers: u64,
     fatal: Option<CoordError>,
     results: Vec<Option<(Vec<HitLine>, ShardReport)>>,
+    journal: CoordJournal,
 }
 
-/// Run one query over every shard and merge. `respawn` is invoked
-/// before each retry of a shard (the worker may be gone entirely); it
-/// should (re)launch the worker process for that shard and return once
+/// Run one query over every shard and merge, with the default
+/// transport, no network faults and no journal. `respawn` is invoked
+/// before each retry of a shard (the worker may be gone entirely) with
+/// the spec and the attempt number about to run — `endpoint_for`
+/// tells the launcher which replica to bring up; it should return once
 /// the launch is underway — the coordinator itself waits for the
 /// socket. Blocks until every shard reports or the search fails.
 pub fn search_sharded(
     shards: &[ShardSpec],
     query_fasta: &str,
     cfg: &CoordConfig,
-    respawn: &(dyn Fn(&ShardSpec) -> Result<(), String> + Sync),
+    respawn: &(dyn Fn(&ShardSpec, u32) -> Result<(), String> + Sync),
+) -> Result<CoordOutcome, CoordError> {
+    search_sharded_durable(
+        shards,
+        query_fasta,
+        cfg,
+        respawn,
+        &NetTransport,
+        &CoordDrill::default(),
+    )
+}
+
+/// [`search_sharded`] with an explicit transport and the durability /
+/// fault-drill hooks: replica failover, seeded network faults, and the
+/// SWCRDJ1 journal with crash-resume.
+pub fn search_sharded_durable(
+    shards: &[ShardSpec],
+    query_fasta: &str,
+    cfg: &CoordConfig,
+    respawn: &(dyn Fn(&ShardSpec, u32) -> Result<(), String> + Sync),
+    transport: &dyn ShardTransport,
+    drill: &CoordDrill<'_>,
 ) -> Result<CoordOutcome, CoordError> {
     assert!(!shards.is_empty(), "no shards to search");
+    let n = shards.len();
+    let query_digest = fnv1a(query_fasta.as_bytes());
+
+    // Load-or-create the journal. A resumed journal must describe this
+    // exact search; a mismatch is an operator error, never silent.
+    let journal = if drill.resume {
+        let path = drill.journal.as_deref().ok_or(CoordError::Journal {
+            detail: "resume requested but no journal path configured".into(),
+        })?;
+        let j = CoordJournal::load(path).map_err(|detail| CoordError::Journal { detail })?;
+        j.validate(query_digest, cfg.parent_digest, cfg.top as u64, n as u64)
+            .map_err(|detail| CoordError::Journal { detail })?;
+        j
+    } else {
+        CoordJournal::new(query_digest, cfg.parent_digest, cfg.top as u64, n as u64)
+    };
+
+    // Seed the queue with uncommitted shards (carrying their surviving
+    // attempt counts) and prefill results for committed ones.
     let mut queue = RequeueQueue::new();
+    let mut results: Vec<Option<(Vec<HitLine>, ShardReport)>> = vec![None; n];
+    let mut done = 0;
+    let mut journal_skipped = 0u64;
     // Seed in reverse so LIFO pops shard 0 first — cosmetic, but makes
     // single-threaded traces read naturally.
     for spec in shards.iter().rev() {
-        queue.push_task(spec.index as usize, 0);
+        let slot = &journal.shards[spec.index as usize];
+        match &slot.committed {
+            Some(c) => {
+                results[spec.index as usize] = Some((
+                    c.hits.clone(),
+                    ShardReport {
+                        attempts: slot.attempts,
+                        resumes: c.resumes,
+                        hits: c.hits.len(),
+                    },
+                ));
+                done += 1;
+                journal_skipped += 1;
+            }
+            None => queue.push_task(spec.index as usize, slot.attempts),
+        }
     }
+
     let state = Mutex::new(CoordState {
         queue,
         inflight: 0,
-        done: 0,
+        done,
         failures: 0,
         requeues: 0,
+        failovers: 0,
         fatal: None,
-        results: vec![None; shards.len()],
+        results,
+        journal,
     });
     let wake = Condvar::new();
-    let n = shards.len();
+    let net_retries = AtomicU64::new(0);
+    let journal_path = drill.journal.as_deref();
 
     std::thread::scope(|s| {
         for _ in 0..n {
@@ -231,14 +391,29 @@ pub fn search_sharded(
                     }
                 };
                 let spec = &shards[task];
-                let outcome = run_shard_attempt(spec, query_fasta, cfg, attempts, respawn);
+                let outcome = run_shard_attempt(
+                    spec,
+                    query_fasta,
+                    cfg,
+                    attempts,
+                    respawn,
+                    transport,
+                    drill.faults,
+                    &net_retries,
+                );
                 let mut g = state.lock().unwrap();
                 g.inflight -= 1;
                 match outcome {
                     Ok((hits, mut report)) => {
                         report.attempts = attempts + 1;
+                        g.journal.shards[task].attempts = attempts + 1;
+                        g.journal.shards[task].committed = Some(CommittedShard {
+                            resumes: report.resumes,
+                            hits: hits.clone(),
+                        });
                         g.results[task] = Some((hits, report));
                         g.done += 1;
+                        persist_journal(&mut g, journal_path);
                     }
                     Err(AttemptError::Fatal(e)) => {
                         g.fatal.get_or_insert(e);
@@ -256,8 +431,13 @@ pub fn search_sharded(
                                 last: e,
                             });
                         } else {
+                            if spec.endpoint_for(attempts + 1) != spec.endpoint_for(attempts) {
+                                g.failovers += 1;
+                            }
                             g.queue.push_task(task, attempts + 1);
                             g.requeues += 1;
+                            g.journal.shards[task].attempts = attempts + 1;
+                            persist_journal(&mut g, journal_path);
                         }
                     }
                 }
@@ -271,6 +451,11 @@ pub fn search_sharded(
     if let Some(e) = g.fatal.take() {
         return Err(e);
     }
+    // Clean finish: the journal has served its purpose.
+    if let Some(path) = journal_path {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
+    }
     let mut reports = Vec::with_capacity(n);
     let mut per_shard = Vec::with_capacity(n);
     for slot in g.results.drain(..) {
@@ -282,7 +467,23 @@ pub fn search_sharded(
         hits: merge_hits(per_shard, cfg.top),
         reports,
         requeues: g.requeues,
+        failovers: g.failovers,
+        net_retries: net_retries.load(Ordering::Relaxed),
+        journal_skipped,
     })
+}
+
+/// Rewrite the journal under the state lock. A failed write poisons the
+/// search with a fatal error — durability was requested, so a journal
+/// the operator cannot trust is worse than no result.
+fn persist_journal(g: &mut CoordState, path: Option<&Path>) {
+    if let Some(path) = path {
+        if let Err(e) = g.journal.save(path) {
+            g.fatal.get_or_insert(CoordError::Journal {
+                detail: format!("coord journal write {}: {e}", path.display()),
+            });
+        }
+    }
 }
 
 /// Merge per-shard ranked hit streams into the global top `k` with the
@@ -299,24 +500,72 @@ pub fn merge_hits(per_shard: Vec<Vec<HitLine>>, k: usize) -> Vec<HitLine> {
     all
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_shard_attempt(
     spec: &ShardSpec,
     query_fasta: &str,
     cfg: &CoordConfig,
     attempts: u32,
-    respawn: &(dyn Fn(&ShardSpec) -> Result<(), String> + Sync),
+    respawn: &(dyn Fn(&ShardSpec, u32) -> Result<(), String> + Sync),
+    transport: &dyn ShardTransport,
+    faults: Option<&NetFaultInjector>,
+    net_retries: &AtomicU64,
 ) -> Result<(Vec<HitLine>, ShardReport), AttemptError> {
+    let endpoint = spec.endpoint_for(attempts);
     if attempts > 0 {
         // The worker may be dead (that is usually why we are here):
         // bring it back before the backoff, resume does the rest.
         std::thread::sleep(Duration::from_millis(cfg.backoff_ms * attempts as u64));
-        respawn(spec).map_err(AttemptError::Retry)?;
+        respawn(spec, attempts).map_err(AttemptError::Retry)?;
     }
-    wait_for_socket(&spec.socket, cfg.connect_wait_ms).map_err(AttemptError::Retry)?;
+
+    // Injected network fault for this (shard, attempt), if the drill
+    // scheduled one. Refuse and black-hole preempt the exchange; drop
+    // and slow-drip shape the submit stream below.
+    let fault = faults.and_then(|f| f.on_shard_attempt(spec.index, attempts));
+    match fault {
+        Some(NetFaultKind::Refuse) => {
+            return Err(AttemptError::Retry(format!(
+                "injected fault: connection refused by {endpoint}"
+            )));
+        }
+        Some(NetFaultKind::BlackHole) => {
+            // The wire eats everything, heartbeats included: after
+            // HEARTBEAT_MISSES silent beats the lease is declared lost.
+            let grace = cfg
+                .heartbeat_ms
+                .max(1)
+                .saturating_mul(HEARTBEAT_MISSES as u64)
+                .min(cfg.lease_timeout_ms);
+            std::thread::sleep(Duration::from_millis(grace));
+            return Err(AttemptError::Retry(format!(
+                "injected fault: {endpoint} black-holed, \
+                 {HEARTBEAT_MISSES} heartbeats missed"
+            )));
+        }
+        _ => {}
+    }
+
+    transport
+        .wait_ready(endpoint, cfg.connect_wait_ms)
+        .map_err(AttemptError::Retry)?;
+    let retry = RetryPolicy {
+        retries: cfg.connect_retries,
+        backoff_ms: cfg.connect_backoff_ms,
+        seed: cfg.seed ^ spec.index ^ ((attempts as u64) << 32),
+    };
 
     // Identity check: never submit to a worker serving the wrong shard.
     let deadline = Instant::now() + Duration::from_millis(cfg.lease_timeout_ms);
-    let health = request_with_deadline(&spec.socket, &health_request(), deadline)
+    let wire = Wire {
+        transport,
+        endpoint,
+        retry: &retry,
+        heartbeat_ms: cfg.heartbeat_ms,
+        net_retries,
+    };
+    let health = wire
+        .request(&health_request(), deadline, None, None)
         .map_err(|e| AttemptError::Retry(format!("health probe failed: {e}")))?;
     let health = health
         .first()
@@ -341,8 +590,14 @@ fn run_shard_attempt(
         }
     }
 
+    let (drop_after, drip) = match fault {
+        Some(NetFaultKind::Drop(n)) => (Some(n), None),
+        Some(NetFaultKind::SlowDrip(d)) => (None, Some(d)),
+        _ => (None, None),
+    };
     let req = submit_request(&cfg.tenant, query_fasta, cfg.top, cfg.drill.as_deref());
-    let lines = request_with_deadline(&spec.socket, &req, deadline)
+    let lines = wire
+        .request(&req, deadline, drop_after, drip)
         .map_err(|e| AttemptError::Retry(format!("submit failed: {e}")))?;
     let outcome = parse_submit_response(&lines).map_err(AttemptError::Retry)?;
     if outcome.state != "done" {
@@ -361,55 +616,120 @@ fn run_shard_attempt(
     Ok((outcome.hits, report))
 }
 
-/// Wait until the worker's socket accepts a connection.
-fn wait_for_socket(socket: &Path, wait_ms: u64) -> Result<(), String> {
-    let deadline = Instant::now() + Duration::from_millis(wait_ms);
-    loop {
-        match UnixStream::connect(socket) {
-            Ok(_) => return Ok(()),
-            Err(e) if Instant::now() >= deadline => {
-                return Err(format!(
-                    "worker socket {} not answering after {wait_ms} ms: {e}",
-                    socket.display()
-                ))
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
-        }
-    }
+/// One coordinator→worker exchange context: transport, target, connect
+/// retry policy and heartbeat cadence.
+struct Wire<'a> {
+    transport: &'a dyn ShardTransport,
+    endpoint: &'a Endpoint,
+    retry: &'a RetryPolicy,
+    heartbeat_ms: u64,
+    net_retries: &'a AtomicU64,
 }
 
-/// Like [`client::request`] but with an overall deadline — the
-/// coordinator's lease. A worker that stalls mid-stream times out here
-/// and its shard is requeued, exactly like a wedged executor worker.
-fn request_with_deadline(socket: &Path, line: &str, deadline: Instant) -> io::Result<Vec<String>> {
-    let mut stream = UnixStream::connect(socket)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")?;
-    stream.flush()?;
-    stream.shutdown(std::net::Shutdown::Write)?;
-    let mut reader = BufReader::new(stream);
-    let mut lines = Vec::new();
-    let mut buf = String::new();
-    loop {
-        buf.clear();
-        match reader.read_line(&mut buf) {
-            Ok(0) => return Ok(lines),
-            Ok(_) => lines.push(buf.trim_end().to_string()),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if Instant::now() >= deadline {
+impl Wire<'_> {
+    /// Send one request line and collect the reply stream under the
+    /// lease `deadline`. While the stream is silent longer than the
+    /// heartbeat interval, a side-channel health probe checks the
+    /// worker is still alive; [`HEARTBEAT_MISSES`] consecutive failed
+    /// probes end the lease early instead of waiting out the full
+    /// deadline. `drop_after` / `drip` are the injected-fault shaping
+    /// hooks (cut the stream after N lines; delay every line).
+    fn request(
+        &self,
+        line: &str,
+        deadline: Instant,
+        drop_after: Option<u64>,
+        drip: Option<Duration>,
+    ) -> io::Result<Vec<String>> {
+        let connect_timeout = Duration::from_millis(250);
+        let (mut stream, used) =
+            self.transport
+                .connect_retry(self.endpoint, connect_timeout, self.retry)?;
+        self.net_retries.fetch_add(used as u64, Ordering::Relaxed);
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        stream.shutdown_write()?;
+        let mut reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        let mut buf = String::new();
+        let mut last_activity = Instant::now();
+        let mut misses = 0u32;
+        loop {
+            if let Some(n) = drop_after {
+                if lines.len() as u64 >= n {
                     return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "shard lease expired mid-stream",
+                        io::ErrorKind::ConnectionAborted,
+                        format!("injected fault: stream dropped after {n} lines"),
                     ));
                 }
             }
-            Err(e) => return Err(e),
+            buf.clear();
+            match reader.read_line(&mut buf) {
+                Ok(0) => return Ok(lines),
+                Ok(_) => {
+                    if let Some(d) = drip {
+                        std::thread::sleep(d);
+                    }
+                    lines.push(buf.trim_end().to_string());
+                    last_activity = Instant::now();
+                    misses = 0;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "shard lease expired mid-stream",
+                        ));
+                    }
+                    if self.heartbeat_ms > 0
+                        && last_activity.elapsed() >= Duration::from_millis(self.heartbeat_ms)
+                    {
+                        match self.heartbeat() {
+                            Ok(()) => misses = 0,
+                            Err(_) => misses += 1,
+                        }
+                        last_activity = Instant::now();
+                        if misses >= HEARTBEAT_MISSES {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!(
+                                    "worker heartbeat lost ({HEARTBEAT_MISSES} consecutive misses)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One health heartbeat on a fresh connection (the submit stream
+    /// itself may legitimately be silent for a long time mid-search).
+    fn heartbeat(&self) -> io::Result<()> {
+        let timeout = Duration::from_millis(250);
+        let mut stream = self.transport.connect(self.endpoint, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.write_all(health_request().as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        stream.shutdown_write()?;
+        let mut reader = BufReader::new(stream);
+        let mut buf = String::new();
+        match reader.read_line(&mut buf) {
+            Ok(n) if n > 0 => Ok(()),
+            Ok(_) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "empty heartbeat reply",
+            )),
+            Err(e) => Err(e),
         }
     }
 }
@@ -417,8 +737,8 @@ fn request_with_deadline(socket: &Path, line: &str, deadline: Instant) -> io::Re
 /// Politely shut a worker down (used by launchers that own the worker
 /// processes they spawned). Errors are reported, not fatal — the
 /// caller usually also holds the child handle and can wait/kill.
-pub fn shutdown_worker(socket: &Path) -> io::Result<()> {
-    client::request(socket, &shutdown_request()).map(|_| ())
+pub fn shutdown_worker(endpoint: &Endpoint) -> io::Result<()> {
+    client::request_endpoint(endpoint, &shutdown_request()).map(|_| ())
 }
 
 #[cfg(test)]
@@ -459,21 +779,57 @@ mod tests {
     }
 
     #[test]
+    fn merge_tie_break_exactly_at_k_boundary_with_replica_results() {
+        // Five hits share one score and straddle the K=4 boundary; the
+        // two halves come from different shards, and shard 1's list is
+        // the replica-substituted copy of what its dead primary would
+        // have sent (identical bytes — both replicas serve the same
+        // SWSHRD1 shard). The merge must keep ids 2,3,5,8 and cut id 9
+        // no matter which side contributed which hit.
+        let shard0_primary = vec![hit(70, 3), hit(70, 8), hit(70, 9)];
+        let shard1_replica = vec![hit(70, 2), hit(70, 5), hit(60, 4)];
+        let merged = merge_hits(vec![shard0_primary.clone(), shard1_replica.clone()], 4);
+        let key: Vec<(i64, u64, u64)> = merged.iter().map(|h| (h.score, h.id, h.rank)).collect();
+        assert_eq!(
+            key,
+            vec![(70, 2, 1), (70, 3, 2), (70, 5, 3), (70, 8, 4)],
+            "equal scores at the K boundary truncate by ascending global id"
+        );
+        // Order of shard lists (who failed over, who didn't) is
+        // irrelevant: the merge is a pure function of the union.
+        let swapped = merge_hits(vec![shard1_replica, shard0_primary], 4);
+        assert_eq!(merged, swapped);
+    }
+
+    #[test]
+    fn endpoint_ring_walks_replicas_per_attempt() {
+        let spec = ShardSpec {
+            index: 0,
+            endpoints: vec![
+                Endpoint::parse("/run/p.sock").unwrap(),
+                Endpoint::parse("tcp://127.0.0.1:9001").unwrap(),
+            ],
+            expect_digest: None,
+        };
+        assert_eq!(spec.endpoint_for(0).to_string(), "/run/p.sock");
+        assert_eq!(spec.endpoint_for(1).to_string(), "tcp://127.0.0.1:9001");
+        assert_eq!(spec.endpoint_for(2).to_string(), "/run/p.sock");
+        let single = ShardSpec::unix(1, "/run/only.sock", Some(7));
+        assert_eq!(single.endpoint_for(5).to_string(), "/run/only.sock");
+    }
+
+    #[test]
     fn budget_and_attempt_caps_stop_a_dead_shard() {
         // No worker listening anywhere: every attempt fails to connect.
         let dir = std::env::temp_dir().join(format!("sw-coord-dead-{}", std::process::id()));
         let _ = std::fs::create_dir_all(&dir);
-        let shards = vec![ShardSpec {
-            index: 0,
-            socket: dir.join("nobody.sock"),
-            expect_digest: None,
-        }];
+        let shards = vec![ShardSpec::unix(0, dir.join("nobody.sock"), None)];
         let mut cfg = CoordConfig::new(5);
         cfg.connect_wait_ms = 30;
         cfg.backoff_ms = 1;
         cfg.max_attempts = 2;
         let respawns = std::sync::atomic::AtomicU32::new(0);
-        let err = search_sharded(&shards, ">q\nARN\n", &cfg, &|_| {
+        let err = search_sharded(&shards, ">q\nARN\n", &cfg, &|_, _| {
             respawns.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             Ok(())
         })
@@ -492,5 +848,25 @@ mod tests {
             1,
             "one respawn before the second (and last) attempt"
         );
+    }
+
+    #[test]
+    fn resume_requires_a_journal_path() {
+        let shards = vec![ShardSpec::unix(0, "/nonexistent.sock", None)];
+        let drill = CoordDrill {
+            faults: None,
+            journal: None,
+            resume: true,
+        };
+        let err = search_sharded_durable(
+            &shards,
+            ">q\nARN\n",
+            &CoordConfig::new(5),
+            &|_, _| Ok(()),
+            &NetTransport,
+            &drill,
+        )
+        .expect_err("resume without a journal is an operator error");
+        assert!(matches!(err, CoordError::Journal { .. }), "{err}");
     }
 }

@@ -1,0 +1,394 @@
+//! SWCRDJ1 — the coordinator's crash-survivable attempt journal.
+//!
+//! A sharded search coordinates N worker leases; if the coordinator
+//! itself is SIGKILLed mid-search, every completed shard's work would be
+//! lost and a rerun would start from zero. The journal fixes that: after
+//! each shard's top-K is accepted, the coordinator rewrites a small
+//! CRC-guarded binary file (atomic tmp + rename, the same durability
+//! idiom as SWCKPT1 checkpoints) recording per-shard attempt counts and
+//! the committed hit lists plus their digests. A restart with
+//! `--resume-coord` loads the journal, validates it against the query,
+//! the parent snapshot and K, seeds the scheduler with the surviving
+//! attempt counts, skips committed shards entirely, and — because the
+//! merge is a pure function of the per-shard lists — produces merged
+//! bytes identical to an uninterrupted run.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8  b"SWCRDJ1\0"
+//! crc      4  CRC32 of everything after this field
+//! payload:
+//!   query_digest   u64   FNV-1a of the query FASTA bytes
+//!   parent_digest  u64   parent snapshot digest (0 = unknown)
+//!   top            u64   merge K
+//!   n_shards       u64
+//!   per shard:
+//!     index        u64
+//!     attempts     u32
+//!     committed    u8    0 | 1
+//!     (committed only)
+//!     resumes      u64
+//!     hits_digest  u64   FNV-1a over the serialized hit list
+//!     n_hits       u64
+//!     per hit: score i64, id u64, header_len u64, header bytes
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::client::HitLine;
+use sw_swdb::integrity::crc32;
+
+/// Magic prefix of a coordinator journal file.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"SWCRDJ1\0";
+
+/// FNV-1a digest used for the query and per-shard hit lists. Matches
+/// the snapshot digest primitive: cheap, stable, order-sensitive.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Digest of a committed per-shard hit list (order-sensitive over rank,
+/// score, id and header of every hit).
+pub fn hits_digest(hits: &[HitLine]) -> u64 {
+    let mut buf = Vec::new();
+    for h in hits {
+        buf.extend_from_slice(&h.rank.to_le_bytes());
+        buf.extend_from_slice(&h.score.to_le_bytes());
+        buf.extend_from_slice(&h.id.to_le_bytes());
+        buf.extend_from_slice(&(h.header.len() as u64).to_le_bytes());
+        buf.extend_from_slice(h.header.as_bytes());
+    }
+    fnv1a(&buf)
+}
+
+/// A committed shard result held by the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedShard {
+    /// Checkpoint resumes the winning attempt stitched together.
+    pub resumes: u64,
+    /// The shard's accepted top-K (global ids, worker rank order).
+    pub hits: Vec<HitLine>,
+}
+
+/// Per-shard journal slot: attempt count plus the committed result once
+/// the shard has one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSlot {
+    /// Shard index (equals position, kept explicit for validation).
+    pub index: u64,
+    /// Attempts consumed so far (committed or not).
+    pub attempts: u32,
+    /// The accepted result, once the shard completed.
+    pub committed: Option<CommittedShard>,
+}
+
+/// The coordinator journal: identity of the search plus one slot per
+/// shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordJournal {
+    /// FNV-1a of the query FASTA bytes — a resumed run must be the same
+    /// search.
+    pub query_digest: u64,
+    /// Parent snapshot digest (0 when the caller has none).
+    pub parent_digest: u64,
+    /// Merge K.
+    pub top: u64,
+    /// One slot per shard, in shard order.
+    pub shards: Vec<ShardSlot>,
+}
+
+impl CoordJournal {
+    /// A fresh journal with `n_shards` empty slots.
+    pub fn new(query_digest: u64, parent_digest: u64, top: u64, n_shards: u64) -> Self {
+        CoordJournal {
+            query_digest,
+            parent_digest,
+            top,
+            shards: (0..n_shards)
+                .map(|index| ShardSlot {
+                    index,
+                    attempts: 0,
+                    committed: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards with a committed result.
+    pub fn committed_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.committed.is_some()).count()
+    }
+
+    /// Serialize to the SWCRDJ1 byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.query_digest.to_le_bytes());
+        payload.extend_from_slice(&self.parent_digest.to_le_bytes());
+        payload.extend_from_slice(&self.top.to_le_bytes());
+        payload.extend_from_slice(&(self.shards.len() as u64).to_le_bytes());
+        for slot in &self.shards {
+            payload.extend_from_slice(&slot.index.to_le_bytes());
+            payload.extend_from_slice(&slot.attempts.to_le_bytes());
+            match &slot.committed {
+                None => payload.push(0),
+                Some(c) => {
+                    payload.push(1);
+                    payload.extend_from_slice(&c.resumes.to_le_bytes());
+                    payload.extend_from_slice(&hits_digest(&c.hits).to_le_bytes());
+                    payload.extend_from_slice(&(c.hits.len() as u64).to_le_bytes());
+                    for h in &c.hits {
+                        payload.extend_from_slice(&h.score.to_le_bytes());
+                        payload.extend_from_slice(&h.id.to_le_bytes());
+                        payload.extend_from_slice(&(h.header.len() as u64).to_le_bytes());
+                        payload.extend_from_slice(h.header.as_bytes());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(12 + payload.len());
+        out.extend_from_slice(JOURNAL_MAGIC);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode and CRC-check an SWCRDJ1 byte image.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut c = Cursor { bytes, at: 0 };
+        if c.take(8)? != JOURNAL_MAGIC.as_slice() {
+            return Err("coord journal: bad magic (not SWCRDJ1)".into());
+        }
+        let crc = u32::from_le_bytes(c.take(4)?.try_into().unwrap());
+        let payload = &bytes[c.at..];
+        if crc32(payload) != crc {
+            return Err("coord journal: CRC mismatch (truncated or corrupt)".into());
+        }
+        let query_digest = c.u64()?;
+        let parent_digest = c.u64()?;
+        let top = c.u64()?;
+        let n_shards = c.u64()?;
+        if n_shards > 1 << 20 {
+            return Err("coord journal: implausible shard count".into());
+        }
+        let mut shards = Vec::with_capacity(n_shards as usize);
+        for want in 0..n_shards {
+            let index = c.u64()?;
+            if index != want {
+                return Err(format!(
+                    "coord journal: shard slot out of order (want {want}, got {index})"
+                ));
+            }
+            let attempts = u32::from_le_bytes(c.take(4)?.try_into().unwrap());
+            let committed = match c.take(1)?[0] {
+                0 => None,
+                1 => {
+                    let resumes = c.u64()?;
+                    let digest = c.u64()?;
+                    let n_hits = c.u64()?;
+                    if n_hits > 1 << 24 {
+                        return Err("coord journal: implausible hit count".into());
+                    }
+                    let mut hits = Vec::with_capacity(n_hits as usize);
+                    for rank in 0..n_hits {
+                        let score = i64::from_le_bytes(c.take(8)?.try_into().unwrap());
+                        let id = c.u64()?;
+                        let len = c.u64()? as usize;
+                        let header = String::from_utf8(c.take(len)?.to_vec())
+                            .map_err(|_| "coord journal: non-utf8 header".to_string())?;
+                        hits.push(HitLine {
+                            rank: rank + 1,
+                            score,
+                            id,
+                            header,
+                        });
+                    }
+                    if hits_digest(&hits) != digest {
+                        return Err(format!("coord journal: shard {index} hit digest mismatch"));
+                    }
+                    Some(CommittedShard { resumes, hits })
+                }
+                b => return Err(format!("coord journal: bad committed flag {b}")),
+            };
+            shards.push(ShardSlot {
+                index,
+                attempts,
+                committed,
+            });
+        }
+        if c.at != bytes.len() {
+            return Err("coord journal: trailing bytes".into());
+        }
+        Ok(CoordJournal {
+            query_digest,
+            parent_digest,
+            top,
+            shards,
+        })
+    }
+
+    /// Atomically persist the journal (`tmp` + rename, fsync'd), so a
+    /// crash mid-write leaves either the old image or the new one —
+    /// never a torn file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.encode())?;
+        let f = fs::File::open(&tmp)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    }
+
+    /// Load and decode a journal file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let bytes = fs::read(path).map_err(|e| format!("coord journal {}: {e}", path.display()))?;
+        CoordJournal::decode(&bytes).map_err(|e| format!("coord journal {}: {e}", path.display()))
+    }
+
+    /// Validate that a loaded journal belongs to *this* search: same
+    /// query, same parent snapshot (when both sides know it), same K,
+    /// same shard count.
+    pub fn validate(
+        &self,
+        query_digest: u64,
+        parent_digest: u64,
+        top: u64,
+        n_shards: u64,
+    ) -> Result<(), String> {
+        if self.query_digest != query_digest {
+            return Err("coord journal: query changed since the journal was written".into());
+        }
+        if self.parent_digest != 0 && parent_digest != 0 && self.parent_digest != parent_digest {
+            return Err("coord journal: parent snapshot digest mismatch".into());
+        }
+        if self.top != top {
+            return Err(format!(
+                "coord journal: top-K changed ({} vs {top})",
+                self.top
+            ));
+        }
+        if self.shards.len() as u64 != n_shards {
+            return Err(format!(
+                "coord journal: shard count changed ({} vs {n_shards})",
+                self.shards.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.bytes.len() {
+            return Err("coord journal: truncated".into());
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoordJournal {
+        let mut j = CoordJournal::new(fnv1a(b">q\nACDE\n"), 0xfeed, 5, 3);
+        j.shards[1].attempts = 2;
+        j.shards[1].committed = Some(CommittedShard {
+            resumes: 1,
+            hits: vec![
+                HitLine {
+                    rank: 1,
+                    score: 42,
+                    id: 7,
+                    header: "seq7 tie".into(),
+                },
+                HitLine {
+                    rank: 2,
+                    score: 40,
+                    id: 3,
+                    header: "seq3".into(),
+                },
+            ],
+        });
+        j.shards[2].attempts = 1;
+        j
+    }
+
+    #[test]
+    fn journal_roundtrips_byte_exact() {
+        let j = sample();
+        let bytes = j.encode();
+        let back = CoordJournal::decode(&bytes).expect("decode");
+        assert_eq!(back, j);
+        assert_eq!(back.encode(), bytes, "re-encode is byte-stable");
+        assert_eq!(back.committed_count(), 1);
+    }
+
+    #[test]
+    fn journal_rejects_corruption() {
+        let j = sample();
+        let good = j.encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(CoordJournal::decode(&bad_magic)
+            .unwrap_err()
+            .contains("magic"));
+
+        // Flip one payload byte: CRC must catch it.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(CoordJournal::decode(&flipped).unwrap_err().contains("CRC"));
+
+        // Truncation is caught before any field parse goes wild.
+        assert!(CoordJournal::decode(&good[..good.len() - 3]).is_err());
+        assert!(CoordJournal::decode(&good[..6]).is_err());
+    }
+
+    #[test]
+    fn journal_save_load_is_atomic_shaped() {
+        let dir = std::env::temp_dir().join(format!("swcrdj-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("coord.journal");
+        let j = sample();
+        j.save(&path).expect("save");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        let back = CoordJournal::load(&path).expect("load");
+        assert_eq!(back, j);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_validation_pins_search_identity() {
+        let j = sample();
+        let q = j.query_digest;
+        assert!(j.validate(q, 0xfeed, 5, 3).is_ok());
+        assert!(j.validate(q, 0, 5, 3).is_ok(), "unknown parent is allowed");
+        assert!(j.validate(q ^ 1, 0xfeed, 5, 3).is_err());
+        assert!(j.validate(q, 0xdead, 5, 3).is_err());
+        assert!(j.validate(q, 0xfeed, 6, 3).is_err());
+        assert!(j.validate(q, 0xfeed, 5, 4).is_err());
+    }
+}

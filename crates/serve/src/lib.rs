@@ -29,12 +29,16 @@
 mod batch;
 pub mod client;
 pub mod coord;
+pub mod journal;
 pub mod json;
 pub mod obs;
 pub mod registry;
 mod server;
+pub mod transport;
 
-pub use coord::{CoordConfig, CoordError, CoordOutcome, ShardSpec};
-pub use obs::{LogLevel, Obs, ObsConfig, Phases, ShardRole};
+pub use coord::{CoordConfig, CoordDrill, CoordError, CoordOutcome, ShardSpec};
+pub use journal::{CommittedShard, CoordJournal, ShardSlot};
+pub use obs::{coord_prometheus, LogLevel, Obs, ObsConfig, Phases, ShardRole};
 pub use registry::{JobRecord, JobState, Registry, StatsSnapshot, TenantTotals};
 pub use server::{serve, ServeConfig, ServeError};
+pub use transport::{Endpoint, Listener, NetTransport, RetryPolicy, ShardTransport, Stream};

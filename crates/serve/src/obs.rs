@@ -692,6 +692,58 @@ impl Obs {
 
 /// Escape a label value for the Prometheus exposition format (`\\`,
 /// `\"`, `\n` — the only escapes the format defines).
+/// Render the *coordinator's* own Prometheus snapshot after a sharded
+/// search: transport and failover counters no single worker can see
+/// (`search --shards --metrics-out` writes this file; the CI net-smoke
+/// job strict-validates it). Kept in the `sw_serve_` namespace so one
+/// scrape config covers daemons and coordinators alike.
+pub fn coord_prometheus(
+    shards: u64,
+    requeues: u64,
+    failovers: u64,
+    net_retries: u64,
+    journal_skipped: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(1024);
+    let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    counter(
+        &mut out,
+        "sw_serve_shard_requeues_total",
+        "Shard executions requeued after a failed attempt",
+        requeues,
+    );
+    counter(
+        &mut out,
+        "sw_serve_shard_failovers_total",
+        "Requeues that moved a shard to a replica endpoint",
+        failovers,
+    );
+    counter(
+        &mut out,
+        "sw_serve_net_retries_total",
+        "Connect retries absorbed by the transport backoff",
+        net_retries,
+    );
+    counter(
+        &mut out,
+        "sw_serve_coord_journal_skipped_total",
+        "Shards skipped on --resume-coord because the journal had committed them",
+        journal_skipped,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP sw_serve_coord_shards Shards coordinated by this search"
+    );
+    let _ = writeln!(out, "# TYPE sw_serve_coord_shards gauge");
+    let _ = writeln!(out, "sw_serve_coord_shards {shards}");
+    out
+}
+
 fn prom_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -931,5 +983,19 @@ mod tests {
         }
         assert_eq!(LogLevel::parse("verbose"), None);
         assert!(LogLevel::Error < LogLevel::Debug);
+    }
+
+    #[test]
+    fn coord_scrape_is_strict_clean_with_failover_counters() {
+        let text = coord_prometheus(4, 3, 2, 5, 1);
+        validate_prometheus_strict(&text).expect("coordinator scrape is strict-clean");
+        assert!(text.contains("sw_serve_shard_failovers_total 2"), "{text}");
+        assert!(text.contains("sw_serve_net_retries_total 5"), "{text}");
+        assert!(text.contains("sw_serve_shard_requeues_total 3"), "{text}");
+        assert!(
+            text.contains("sw_serve_coord_journal_skipped_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("sw_serve_coord_shards 4"), "{text}");
     }
 }

@@ -30,9 +30,9 @@ use crate::batch::{Batcher, JobReply, PendingJob};
 use crate::json;
 use crate::obs::{LogLevel, Obs, ObsConfig, ShardRole};
 use crate::registry::{JobState, Registry, StatsSnapshot};
+use crate::transport::{Endpoint, Listener, Stream};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 use sw_core::{
@@ -49,8 +49,9 @@ pub type ServeError = Box<dyn std::error::Error + Send + Sync>;
 /// advertises.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Unix socket to listen on (created on start, removed on stop).
-    pub socket: PathBuf,
+    /// Where to listen: a unix socket (created on start, removed on
+    /// stop) or a `tcp://host:port` bind for remote shard workers.
+    pub listen: Endpoint,
     /// Queries batched into one shared dual-pool region; submits past
     /// the cap wait for the next region.
     pub max_concurrent: usize,
@@ -108,8 +109,13 @@ impl ServeConfig {
     /// checkpoint every 4 chunks, top-10, 3 ms gather window, no
     /// artifact outputs.
     pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig::at(Endpoint::Unix(socket.into()))
+    }
+
+    /// Defaults with an explicit listen endpoint (unix or TCP).
+    pub fn at(listen: Endpoint) -> Self {
         ServeConfig {
-            socket: socket.into(),
+            listen,
             max_concurrent: 2,
             tenant_quota: 4,
             accel_frac: 0.55,
@@ -127,6 +133,15 @@ impl ServeConfig {
             snapshot_digest: None,
             request_timeout_ms: 10_000,
             shard: None,
+        }
+    }
+
+    /// The unix socket path, when listening on one (tests and local
+    /// tooling reach for the path; TCP binds have none).
+    pub fn unix_socket(&self) -> Option<&Path> {
+        match &self.listen {
+            Endpoint::Unix(p) => Some(p),
+            Endpoint::Tcp(_) => None,
         }
     }
 }
@@ -159,15 +174,9 @@ pub fn serve(
     config: &ServeConfig,
     shutdown: &'static DrainSignal,
 ) -> Result<StatsSnapshot, ServeError> {
-    // A stale socket from a crashed daemon would fail the bind; a live
-    // one is indistinguishable, so refuse only if someone answers.
-    if config.socket.exists() {
-        if UnixStream::connect(&config.socket).is_ok() {
-            return Err(format!("{} already has a live daemon", config.socket.display()).into());
-        }
-        std::fs::remove_file(&config.socket)?;
-    }
-    let listener = UnixListener::bind(&config.socket)?;
+    // `Listener::bind` removes a stale unix socket from a crashed
+    // daemon but refuses to evict a live one (someone answers on it).
+    let listener = Listener::bind(&config.listen)?;
     listener.set_nonblocking(true)?;
     let obs = Arc::new(Obs::new(ObsConfig {
         log_level: config.log_level,
@@ -208,7 +217,7 @@ pub fn serve(
             "daemon_ready",
             &format!(
                 ",\"socket\":\"{}\",\"snapshot_verified\":{}",
-                json::escape(&config.socket.display().to_string()),
+                json::escape(&config.listen.to_string()),
                 config.snapshot_digest.is_some()
             ),
         );
@@ -225,7 +234,7 @@ pub fn serve(
                 }
             }
             match listener.accept() {
-                Ok((stream, _)) => {
+                Ok(stream) => {
                     let _ = stream.set_nonblocking(false);
                     s.spawn(move || {
                         // Connection errors (peer hung up mid-stream)
@@ -255,7 +264,9 @@ pub fn serve(
     if let Some(path) = &config.registry_out {
         std::fs::write(path, registry.dump_jsonl())?;
     }
-    let _ = std::fs::remove_file(&config.socket);
+    if let Some(path) = config.unix_socket() {
+        let _ = std::fs::remove_file(path);
+    }
     Ok(stats)
 }
 
@@ -287,7 +298,7 @@ fn metrics_file_loop(ctx: Ctx<'_>) {
     }
 }
 
-fn handle_connection(ctx: Ctx<'_>, stream: UnixStream) -> io::Result<()> {
+fn handle_connection(ctx: Ctx<'_>, stream: Stream) -> io::Result<()> {
     // A silent client must not wedge shutdown: `serve`'s scoped join
     // waits on this thread, so the request read polls the shutdown
     // signal on a short timeout instead of blocking forever.

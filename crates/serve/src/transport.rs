@@ -1,0 +1,446 @@
+//! Shard transport: one connection abstraction over unix sockets and
+//! TCP, so the coordinator, the client and the daemon's accept loop all
+//! speak the same code whether a worker is a local process or a remote
+//! host.
+//!
+//! An [`Endpoint`] is the parsed form of what operators write on the
+//! command line — `unix:///run/w0.sock` (or a bare path) and
+//! `tcp://host:port` — and renders back to exactly that string, so
+//! manifests and placement plans can mix both freely. [`Stream`] and
+//! [`Listener`] are enum wrappers (no dyn dispatch on the request hot
+//! path) that carry the few capabilities the daemon needs: deadline
+//! connects, read timeouts, half-close, `try_clone`.
+//!
+//! [`ShardTransport`] is the coordinator-facing trait: connect with a
+//! deadline, reconnect with jittered exponential backoff, and answer
+//! periodic health heartbeats. [`NetTransport`] is the production
+//! implementation; tests substitute fault-wrapped transports through
+//! the same trait.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Where a shard worker (or daemon) can be reached.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// A unix-domain socket path (`unix://<path>` or a bare path).
+    Unix(PathBuf),
+    /// A TCP `host:port` pair (`tcp://host:port`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse an endpoint string. `tcp://host:port` and `unix://<path>`
+    /// are explicit; anything else is a bare unix socket path, so every
+    /// pre-existing `--socket` value keeps working unchanged.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            let (host, port) = addr
+                .rsplit_once(':')
+                .ok_or_else(|| format!("tcp endpoint '{s}' needs host:port"))?;
+            if host.is_empty() || port.parse::<u16>().is_err() {
+                return Err(format!("tcp endpoint '{s}' needs host:port"));
+            }
+            return Ok(Endpoint::Tcp(addr.to_string()));
+        }
+        if let Some(path) = s.strip_prefix("unix://") {
+            if path.is_empty() {
+                return Err(format!("unix endpoint '{s}' needs a path"));
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        if s.is_empty() {
+            return Err("empty endpoint".into());
+        }
+        Ok(Endpoint::Unix(PathBuf::from(s)))
+    }
+
+    /// True for TCP endpoints (useful for capability gating — stale
+    /// socket-file cleanup only makes sense for unix endpoints).
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, Endpoint::Tcp(_))
+    }
+
+    /// One blocking connect attempt bounded by `timeout`. Unix connects
+    /// are effectively instant (the kernel accepts or refuses); TCP
+    /// resolves the address and uses `connect_timeout` so an
+    /// unreachable host cannot hold the coordinator past its deadline.
+    pub fn connect(&self, timeout: Duration) -> io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => {
+                let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::AddrNotAvailable,
+                        format!("tcp://{addr}: no addresses"),
+                    )
+                })?;
+                TcpStream::connect_timeout(&resolved, timeout.max(Duration::from_millis(1)))
+                    .map(Stream::Tcp)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "{}", p.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+        }
+    }
+}
+
+/// A connected stream over either transport. Implements [`Read`] and
+/// [`Write`] so `BufReader`/`BufWriter` code is transport-blind.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain connection.
+    Unix(UnixStream),
+    /// TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Set (or clear) the read timeout.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Switch blocking mode.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nb),
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// Half-close the write side (signals end-of-request to the peer).
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Clone the underlying descriptor (reader/writer split).
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener over either transport.
+pub enum Listener {
+    /// Unix-domain listener.
+    Unix(UnixListener),
+    /// TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Bind `endpoint`. For unix endpoints a stale socket file left by
+    /// a crashed daemon is removed first — but only if nobody answers
+    /// on it (a live daemon is an error, not a victim).
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("{} already has a live daemon", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                UnixListener::bind(path).map(Listener::Unix)
+            }
+            Endpoint::Tcp(addr) => TcpListener::bind(addr).map(Listener::Tcp),
+        }
+    }
+
+    /// Switch the accept loop to non-blocking polling.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accept one connection.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// Reconnect policy: bounded retries with jittered exponential backoff.
+/// The jitter stream is seeded, so a drill replays the same sleep
+/// schedule on every run — determinism survives the retry path.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Extra connect attempts after the first failure (0 = fail fast).
+    pub retries: u32,
+    /// Base backoff before retry k sleeps `base * 2^k`, jittered.
+    pub backoff_ms: u64,
+    /// Jitter seed (same seed → same schedule).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff_ms: 25,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (0-based): exponential in the
+    /// attempt count, multiplied by a seeded jitter factor in
+    /// `[0.5, 1.0)` so a fleet of clients hammering one restarting
+    /// worker desynchronises instead of thundering.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let base = self
+            .backoff_ms
+            .saturating_mul(1u64 << attempt.min(10))
+            .max(1);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ (attempt as u64).wrapping_mul(0x9e37));
+        let jitter = 0.5 + 0.5 * rng.gen_range(0..1000) as f64 / 1000.0;
+        Duration::from_millis((base as f64 * jitter) as u64)
+    }
+}
+
+/// Connect to `endpoint` under `policy`, sleeping the jittered backoff
+/// between attempts. Returns the stream and how many *re*tries were
+/// spent (0 = first attempt succeeded) so callers can feed the
+/// `sw_serve_net_retries_total` counter.
+pub fn connect_with_retry(
+    endpoint: &Endpoint,
+    connect_timeout: Duration,
+    policy: &RetryPolicy,
+) -> io::Result<(Stream, u32)> {
+    let mut used = 0u32;
+    loop {
+        match endpoint.connect(connect_timeout) {
+            Ok(s) => return Ok((s, used)),
+            Err(e) if used >= policy.retries => return Err(e),
+            Err(_) => {
+                std::thread::sleep(policy.backoff(used));
+                used += 1;
+            }
+        }
+    }
+}
+
+/// The coordinator's view of a shard worker's wire: connect with a
+/// deadline, reconnect with backoff, heartbeat. One implementation per
+/// transport *behavior* (the production [`NetTransport`], fault
+/// deciders in drills), not per socket family — family dispatch lives
+/// in [`Endpoint`].
+pub trait ShardTransport: Sync {
+    /// One deadline-bounded connect attempt to `endpoint`.
+    fn connect(&self, endpoint: &Endpoint, timeout: Duration) -> io::Result<Stream>;
+
+    /// Connect with the reconnect policy; returns retries spent.
+    fn connect_retry(
+        &self,
+        endpoint: &Endpoint,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> io::Result<(Stream, u32)> {
+        let mut used = 0u32;
+        loop {
+            match self.connect(endpoint, timeout) {
+                Ok(s) => return Ok((s, used)),
+                Err(e) if used >= policy.retries => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(policy.backoff(used));
+                    used += 1;
+                }
+            }
+        }
+    }
+
+    /// Wait until `endpoint` accepts connections, polling under
+    /// `wait_ms`. The coordinator calls this after (re)spawning a
+    /// worker — the spawn returns once the launch is underway, the
+    /// transport waits for the socket.
+    fn wait_ready(&self, endpoint: &Endpoint, wait_ms: u64) -> Result<(), String> {
+        let deadline = Instant::now() + Duration::from_millis(wait_ms);
+        loop {
+            match self.connect(endpoint, Duration::from_millis(250)) {
+                Ok(_) => return Ok(()),
+                Err(e) if Instant::now() >= deadline => {
+                    return Err(format!(
+                        "worker {endpoint} not answering after {wait_ms} ms: {e}"
+                    ))
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// The production transport: real sockets, no interference.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetTransport;
+
+impl ShardTransport for NetTransport {
+    fn connect(&self, endpoint: &Endpoint, timeout: Duration) -> io::Result<Stream> {
+        endpoint.connect(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_display_roundtrip() {
+        let cases = [
+            ("tcp://127.0.0.1:7777", true),
+            ("tcp://localhost:9100", true),
+            ("unix:///run/sw/w0.sock", false),
+            ("/tmp/w0.sock", false),
+            ("relative/w1.sock", false),
+        ];
+        for (s, tcp) in cases {
+            let ep = Endpoint::parse(s).expect(s);
+            assert_eq!(ep.is_tcp(), tcp, "{s}");
+            let rendered = ep.to_string();
+            // `unix://` prefix normalises to the bare path; all other
+            // forms render back verbatim.
+            let expect = s.strip_prefix("unix://").unwrap_or(s);
+            assert_eq!(rendered, expect);
+            assert_eq!(Endpoint::parse(&rendered).unwrap(), ep, "stable reparse");
+        }
+        assert!(Endpoint::parse("tcp://nohost").is_err());
+        assert!(Endpoint::parse("tcp://:80").is_err());
+        assert!(Endpoint::parse("tcp://h:notaport").is_err());
+        assert!(Endpoint::parse("unix://").is_err());
+        assert!(Endpoint::parse("").is_err());
+    }
+
+    #[test]
+    fn tcp_listener_accepts_and_streams() {
+        let listener = Listener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr().unwrap(),
+            Listener::Unix(_) => unreachable!(),
+        };
+        let ep = Endpoint::Tcp(addr.to_string());
+        let t = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut buf = [0u8; 4];
+            conn.read_exact(&mut buf).unwrap();
+            conn.write_all(b"pong").unwrap();
+        });
+        let mut s = ep.connect(Duration::from_secs(5)).unwrap();
+        s.write_all(b"ping").unwrap();
+        s.shutdown_write().unwrap();
+        let mut reply = Vec::new();
+        s.read_to_end(&mut reply).unwrap();
+        assert_eq!(reply, b"pong");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_is_jittered_exponential_and_seed_stable() {
+        let p = RetryPolicy {
+            retries: 5,
+            backoff_ms: 40,
+            seed: 9,
+        };
+        let q = RetryPolicy {
+            seed: 10,
+            ..p.clone()
+        };
+        for k in 0..5u32 {
+            let base = 40u64 << k;
+            let d = p.backoff(k).as_millis() as u64;
+            assert!(d >= base / 2 && d < base, "attempt {k}: {d} vs base {base}");
+            assert_eq!(p.backoff(k), p.backoff(k), "deterministic per seed");
+        }
+        assert_ne!(p.backoff(2), q.backoff(2), "different seeds differ");
+    }
+
+    #[test]
+    fn connect_with_retry_survives_late_bind() {
+        let dir = std::env::temp_dir().join(format!("sw-transport-retry-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("late.sock");
+        let _ = std::fs::remove_file(&path);
+        let ep = Endpoint::Unix(path.clone());
+        let binder = {
+            let ep = ep.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(120));
+                let l = Listener::bind(&ep).unwrap();
+                let _ = l.accept();
+            })
+        };
+        let policy = RetryPolicy {
+            retries: 8,
+            backoff_ms: 30,
+            seed: 4,
+        };
+        let (_s, used) =
+            connect_with_retry(&ep, Duration::from_millis(200), &policy).expect("late bind");
+        assert!(used >= 1, "the first attempt raced a not-yet-bound socket");
+        binder.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retry_gives_up_after_budget() {
+        let ep = Endpoint::Unix(PathBuf::from("/nonexistent/never.sock"));
+        let policy = RetryPolicy {
+            retries: 2,
+            backoff_ms: 1,
+            seed: 0,
+        };
+        let t0 = Instant::now();
+        assert!(connect_with_retry(&ep, Duration::from_millis(50), &policy).is_err());
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -177,7 +177,7 @@ fn daemon_end_to_end() {
             let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
             s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &SHUTDOWN))
         };
-        let socket = config.socket.as_path();
+        let socket = config.unix_socket().expect("unix listener");
         wait_for_socket(socket);
 
         // Two concurrent queries from one tenant, held in flight by the
@@ -306,7 +306,10 @@ fn daemon_end_to_end() {
     assert_eq!(final_stats.done, 3);
     assert_eq!(final_stats.cancelled, 1);
     assert_eq!(final_stats.rejected, 1);
-    assert!(!config.socket.exists(), "socket removed on shutdown");
+    assert!(
+        !config.unix_socket().expect("unix listener").exists(),
+        "socket removed on shutdown"
+    );
 
     // Registry dump: one JSONL record per job, states as observed.
     let registry = std::fs::read_to_string(tmp.join("registry.jsonl")).unwrap();
@@ -393,7 +396,7 @@ fn batched_queries_match_solo_runs() {
             let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
             s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &BATCH_SHUTDOWN))
         };
-        let socket = config.socket.as_path();
+        let socket = config.unix_socket().expect("unix listener");
         wait_for_socket(socket);
 
         // Phase 1: four concurrent mixed-length submits → one region.
@@ -480,7 +483,7 @@ fn health_flips_during_drain() {
                 sw_serve::serve(engine, prepared, a, base, config, &DRAIN_HEALTH_SHUTDOWN)
             })
         };
-        let socket = config.socket.as_path();
+        let socket = config.unix_socket().expect("unix listener");
         wait_for_socket(socket);
 
         // A delay-drill job holds the daemon in flight across the
@@ -505,7 +508,10 @@ fn health_flips_during_drain() {
         assert_eq!(o.state, "cancelled", "shutdown drains the in-flight job");
         server.join().unwrap().expect("serve");
     });
-    assert!(!config.socket.exists(), "socket removed after the drain");
+    assert!(
+        !config.unix_socket().expect("unix listener").exists(),
+        "socket removed after the drain"
+    );
     std::fs::remove_dir_all(&tmp).ok();
 }
 
@@ -544,7 +550,7 @@ fn stalled_half_line_client_is_evicted() {
             let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
             s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &EVICT_SHUTDOWN))
         };
-        let socket = config.socket.as_path();
+        let socket = config.unix_socket().expect("unix listener");
         wait_for_socket(socket);
         // Half a request line, never finished.
         let mut stalled = UnixStream::connect(socket).expect("connect");
@@ -605,7 +611,7 @@ fn silent_connection_does_not_block_shutdown() {
             let (engine, prepared, a, base, config) = (&engine, &prepared, &a, &base, &config);
             s.spawn(move || sw_serve::serve(engine, prepared, a, base, config, &SILENT_SHUTDOWN))
         };
-        let socket = config.socket.as_path();
+        let socket = config.unix_socket().expect("unix listener");
         wait_for_socket(socket);
         // Open a connection and say nothing; keep it open across the
         // whole shutdown sequence.

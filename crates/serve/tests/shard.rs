@@ -14,10 +14,14 @@ use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use sw_core::{HeteroEngine, HeteroSearchConfig, PreparedDb, SearchConfig, SearchEngine};
-use sw_sched::DrainSignal;
+use sw_sched::{DrainSignal, NetFaultInjector, NetFaultPlan};
 use sw_seq::gen::generate_query;
 use sw_seq::{Alphabet, EncodedSeq};
-use sw_serve::{client, coord, json, CoordConfig, ServeConfig, ShardRole, ShardSpec};
+use sw_serve::journal::fnv1a;
+use sw_serve::{
+    client, coord, json, CommittedShard, CoordConfig, CoordDrill, CoordJournal, Endpoint,
+    NetTransport, ServeConfig, ShardRole, ShardSpec,
+};
 
 const LANES: usize = 4;
 const TOP: usize = 12;
@@ -164,8 +168,18 @@ fn serve_seed(
     signal: &'static DrainSignal,
 ) {
     // A respawn reuses the socket path of the corpse it replaces.
-    let _ = std::fs::remove_file(&seed.config.socket);
+    if let Some(path) = seed.config.unix_socket() {
+        let _ = std::fs::remove_file(path);
+    }
     sw_serve::serve(engine, &seed.prepared, a, base, &seed.config, signal).expect("worker serve");
+}
+
+/// The worker's unix socket path (every in-process worker here is one).
+fn seed_socket(seed: &WorkerSeed) -> PathBuf {
+    seed.config
+        .unix_socket()
+        .expect("unix worker")
+        .to_path_buf()
 }
 
 #[test]
@@ -206,11 +220,7 @@ fn sharded_merge_is_byte_identical_at_1_2_4_shards() {
         let specs: Vec<ShardSpec> = seeds
             .iter()
             .enumerate()
-            .map(|(i, s)| ShardSpec {
-                index: i as u64,
-                socket: s.config.socket.clone(),
-                expect_digest: s.config.snapshot_digest,
-            })
+            .map(|(i, s)| ShardSpec::unix(i as u64, seed_socket(s), s.config.snapshot_digest))
             .collect();
         let outcome = std::thread::scope(|s| {
             for seed in &seeds {
@@ -218,17 +228,17 @@ fn sharded_merge_is_byte_identical_at_1_2_4_shards() {
                 let sig = leak_signal();
                 s.spawn(move || serve_seed(seed, engine, a, base, sig));
             }
-            for spec in &specs {
-                wait_for_socket(&spec.socket);
+            for seed in &seeds {
+                wait_for_socket(&seed_socket(seed));
             }
             let cfg = CoordConfig::new(TOP);
-            let no_respawn = |spec: &ShardSpec| -> Result<(), String> {
+            let no_respawn = |spec: &ShardSpec, _attempt: u32| -> Result<(), String> {
                 Err(format!("unexpected respawn of shard {}", spec.index))
             };
             let outcome = coord::search_sharded(&specs, &fasta, &cfg, &no_respawn)
                 .unwrap_or_else(|e| panic!("n={n}: {e}"));
             for spec in &specs {
-                coord::shutdown_worker(&spec.socket).expect("shutdown");
+                coord::shutdown_worker(spec.endpoint_for(0)).expect("shutdown");
             }
             outcome
         });
@@ -238,6 +248,8 @@ fn sharded_merge_is_byte_identical_at_1_2_4_shards() {
             "n={n}: merged top-K must be byte-identical to the unsharded run"
         );
         assert_eq!(outcome.requeues, 0, "n={n}: healthy workers never requeue");
+        assert_eq!(outcome.failovers, 0, "n={n}: no replica failovers");
+        assert_eq!(outcome.journal_skipped, 0, "n={n}: no journal, no skips");
         assert!(
             outcome.reports.iter().map(|r| r.hits).sum::<usize>() >= expect.len(),
             "n={n}: shards must contribute at least the merged depth"
@@ -278,12 +290,9 @@ fn dead_worker_is_requeued_respawned_and_resumes_from_checkpoint() {
     let specs: Vec<ShardSpec> = seeds
         .iter()
         .enumerate()
-        .map(|(i, s)| ShardSpec {
-            index: i as u64,
-            socket: s.config.socket.clone(),
-            expect_digest: s.config.snapshot_digest,
-        })
+        .map(|(i, s)| ShardSpec::unix(i as u64, seed_socket(s), s.config.snapshot_digest))
         .collect();
+    let sockets: Vec<PathBuf> = seeds.iter().map(seed_socket).collect();
 
     let outcome = std::thread::scope(|s| {
         // Phase A: worker 0 lives briefly — long enough to accept the
@@ -296,8 +305,8 @@ fn dead_worker_is_requeued_respawned_and_resumes_from_checkpoint() {
             let seed0 = &seeds[0];
             let sig = leak_signal();
             let t = s.spawn(move || serve_seed(seed0, engine, a, base, sig));
-            wait_for_socket(&specs[0].socket);
-            let mut conn = UnixStream::connect(&specs[0].socket).unwrap();
+            wait_for_socket(&sockets[0]);
+            let mut conn = UnixStream::connect(&sockets[0]).unwrap();
             let req = client::submit_request("coord", &fasta, TOP, Some("delay@0:400"));
             conn.write_all(req.as_bytes()).unwrap();
             conn.write_all(b"\n").unwrap();
@@ -310,16 +319,16 @@ fn dead_worker_is_requeued_respawned_and_resumes_from_checkpoint() {
             // a genuinely in-flight search.
             let t0 = Instant::now();
             loop {
-                let st = client::request(&specs[0].socket, &client::status_request(job)).unwrap();
+                let st = client::request(&sockets[0], &client::status_request(job)).unwrap();
                 if json::field_str(&st[0], "state").as_deref() == Some("running") {
                     break;
                 }
                 assert!(t0.elapsed() < Duration::from_secs(10), "job never ran");
                 std::thread::sleep(Duration::from_millis(5));
             }
-            client::request(&specs[0].socket, &client::cancel_request(job)).unwrap();
+            client::request(&sockets[0], &client::cancel_request(job)).unwrap();
             for _ in r.lines() {} // drain the cancelled reply
-            coord::shutdown_worker(&specs[0].socket).unwrap();
+            coord::shutdown_worker(specs[0].endpoint_for(0)).unwrap();
             t.join().unwrap();
             let ckpts = std::fs::read_dir(tmp.join("ckpt")).unwrap().count();
             assert_eq!(ckpts, 1, "dead worker must leave its checkpoint behind");
@@ -334,11 +343,11 @@ fn dead_worker_is_requeued_respawned_and_resumes_from_checkpoint() {
             let sig1 = leak_signal();
             let seed1 = &seeds[1];
             s.spawn(move || serve_seed(seed1, engine, a, base, sig1));
-            wait_for_socket(&specs[1].socket);
+            wait_for_socket(&sockets[1]);
         }
         let mut cfg = CoordConfig::new(TOP);
         cfg.connect_wait_ms = 300; // fail fast on the corpse
-        let respawn = |spec: &ShardSpec| -> Result<(), String> {
+        let respawn = |spec: &ShardSpec, _attempt: u32| -> Result<(), String> {
             assert_eq!(spec.index, 0, "only the dead shard may respawn");
             let (engine, a, base) = (&engine, &a, &base);
             let seed0 = &seeds[0];
@@ -348,7 +357,7 @@ fn dead_worker_is_requeued_respawned_and_resumes_from_checkpoint() {
         };
         let outcome = coord::search_sharded(&specs, &fasta, &cfg, &respawn).expect("recovered");
         for spec in &specs {
-            coord::shutdown_worker(&spec.socket).expect("shutdown");
+            coord::shutdown_worker(spec.endpoint_for(0)).expect("shutdown");
         }
         outcome
     });
@@ -373,5 +382,302 @@ fn dead_worker_is_requeued_respawned_and_resumes_from_checkpoint() {
         expect,
         "post-recovery merge must still be byte-identical to the unsharded run"
     );
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn replica_failover_preserves_merged_bytes() {
+    // Shard 0's primary endpoint is a corpse that never comes back; its
+    // replica (same SWSHRD1 shard, different socket) is alive. The
+    // first attempt fails to connect, the requeue walks the endpoint
+    // ring onto the replica, and the merge must not move a byte.
+    let a = Alphabet::protein();
+    let seqs = tie_heavy_db();
+    let query = generate_query(90, 1717);
+    let fasta = fasta_of(&query, &a);
+    let expect = reference_hits(&seqs, &query, &a);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-shard-replica-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(tmp.join("ckpt")).unwrap();
+
+    let plan = ranges(&seqs, 2);
+    let replica0 = worker_seed(
+        &seqs,
+        plan[0],
+        0,
+        2,
+        &a,
+        tmp.join("shard-0-r1.sock"),
+        &tmp.join("ckpt"),
+    );
+    let worker1 = worker_seed(
+        &seqs,
+        plan[1],
+        1,
+        2,
+        &a,
+        tmp.join("shard-1-r0.sock"),
+        &tmp.join("ckpt"),
+    );
+    let specs = vec![
+        ShardSpec {
+            index: 0,
+            endpoints: vec![
+                Endpoint::Unix(tmp.join("shard-0-r0.sock")), // never bound
+                Endpoint::Unix(seed_socket(&replica0)),
+            ],
+            expect_digest: replica0.config.snapshot_digest,
+        },
+        ShardSpec::unix(1, seed_socket(&worker1), worker1.config.snapshot_digest),
+    ];
+
+    let outcome = std::thread::scope(|s| {
+        for seed in [&replica0, &worker1] {
+            let (engine, a, base) = (&engine, &a, &base);
+            let sig = leak_signal();
+            s.spawn(move || serve_seed(seed, engine, a, base, sig));
+            wait_for_socket(&seed_socket(seed));
+        }
+        let mut cfg = CoordConfig::new(TOP);
+        cfg.connect_wait_ms = 200; // fail fast on the dead primary
+                                   // Failover needs no launcher: the replica is already up.
+        let respawn = |spec: &ShardSpec, attempt: u32| -> Result<(), String> {
+            assert_eq!((spec.index, attempt), (0, 1), "only shard 0 fails over");
+            Ok(())
+        };
+        let outcome = coord::search_sharded(&specs, &fasta, &cfg, &respawn).expect("failover");
+        for seed in [&replica0, &worker1] {
+            coord::shutdown_worker(&Endpoint::Unix(seed_socket(seed))).expect("shutdown");
+        }
+        outcome
+    });
+
+    assert!(outcome.failovers >= 1, "replica failover: {outcome:?}");
+    assert_eq!(outcome.reports[0].attempts, 2, "{:?}", outcome.reports);
+    assert_eq!(outcome.reports[1].attempts, 1, "{:?}", outcome.reports);
+    assert_eq!(
+        wire_hits(&outcome.hits),
+        expect,
+        "replica failover must not change merged bytes"
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn resumed_coordinator_skips_committed_shards_and_merges_identically() {
+    // A coordinator "crashes" after committing shard 0 to its SWCRDJ1
+    // journal. The restarted coordinator must not touch shard 0's
+    // (now dead) worker at all: it replays the committed hits from the
+    // journal, runs only shard 1, and merges to the same bytes.
+    let a = Alphabet::protein();
+    let seqs = tie_heavy_db();
+    let query = generate_query(90, 3131);
+    let fasta = fasta_of(&query, &a);
+    let expect = reference_hits(&seqs, &query, &a);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-shard-journal-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(tmp.join("ckpt")).unwrap();
+
+    let plan = ranges(&seqs, 2);
+    let seeds: Vec<WorkerSeed> = plan
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            worker_seed(
+                &seqs,
+                *r,
+                i as u64,
+                2,
+                &a,
+                tmp.join(format!("shard-{i}.sock")),
+                &tmp.join("ckpt"),
+            )
+        })
+        .collect();
+
+    // Phase A: run shard 0's worker alone, submit directly, and record
+    // its hits the way the pre-crash coordinator would have.
+    let shard0_hits = std::thread::scope(|s| {
+        let (engine_r, a_r, base_r) = (&engine, &a, &base);
+        let seed0 = &seeds[0];
+        let sig = leak_signal();
+        s.spawn(move || serve_seed(seed0, engine_r, a_r, base_r, sig));
+        let socket = seed_socket(&seeds[0]);
+        wait_for_socket(&socket);
+        let lines = client::request(&socket, &client::submit_request("coord", &fasta, TOP, None))
+            .expect("submit");
+        let outcome = client::parse_submit_response(&lines).expect("parse");
+        coord::shutdown_worker(&Endpoint::Unix(socket)).expect("shutdown");
+        outcome.hits
+    });
+    assert!(!shard0_hits.is_empty(), "shard 0 contributes hits");
+
+    // The journal a SIGKILLed coordinator would have left behind.
+    let journal_path = tmp.join("coord.journal");
+    let mut journal = CoordJournal::new(fnv1a(fasta.as_bytes()), 0, TOP as u64, 2);
+    journal.shards[0].attempts = 1;
+    journal.shards[0].committed = Some(CommittedShard {
+        resumes: 0,
+        hits: shard0_hits,
+    });
+    journal.save(&journal_path).expect("journal save");
+
+    // Phase B: only shard 1's worker exists. Shard 0's socket is a
+    // corpse — any attempt to contact it would fail the search.
+    let outcome = std::thread::scope(|s| {
+        let (engine_r, a_r, base_r) = (&engine, &a, &base);
+        let seed1 = &seeds[1];
+        let sig = leak_signal();
+        s.spawn(move || serve_seed(seed1, engine_r, a_r, base_r, sig));
+        wait_for_socket(&seed_socket(&seeds[1]));
+        let specs: Vec<ShardSpec> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, sd)| ShardSpec::unix(i as u64, seed_socket(sd), sd.config.snapshot_digest))
+            .collect();
+        let mut cfg = CoordConfig::new(TOP);
+        cfg.connect_wait_ms = 200;
+        let drill = CoordDrill {
+            faults: None,
+            journal: Some(journal_path.clone()),
+            resume: true,
+        };
+        let no_respawn = |spec: &ShardSpec, _attempt: u32| -> Result<(), String> {
+            Err(format!("unexpected respawn of shard {}", spec.index))
+        };
+        let outcome =
+            coord::search_sharded_durable(&specs, &fasta, &cfg, &no_respawn, &NetTransport, &drill)
+                .expect("resumed search");
+        coord::shutdown_worker(specs[1].endpoint_for(0)).expect("shutdown");
+        outcome
+    });
+
+    assert_eq!(outcome.journal_skipped, 1, "{outcome:?}");
+    assert_eq!(
+        outcome.reports[0].attempts, 1,
+        "shard 0's report comes from the journal: {:?}",
+        outcome.reports
+    );
+    assert_eq!(
+        wire_hits(&outcome.hits),
+        expect,
+        "resume-coord merge must be byte-identical to an uninterrupted run"
+    );
+    assert!(
+        !journal_path.exists(),
+        "journal is removed after a clean finish"
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn seeded_net_faults_with_replicas_never_change_merged_bytes() {
+    // Property-style drill: for several seeds, a seeded network fault
+    // plan (refuse / mid-stream drop / black-hole / slow-drip) hits the
+    // first attempts of a 2-shard search where every shard has a live
+    // replica. Whatever fires, failover + retry must converge on the
+    // byte-identical merged top-K.
+    let a = Alphabet::protein();
+    let seqs = tie_heavy_db();
+    let query = generate_query(90, 5151);
+    let fasta = fasta_of(&query, &a);
+    let expect = reference_hits(&seqs, &query, &a);
+    let engine = HeteroEngine::new(SearchEngine::paper_default());
+    let base = HeteroSearchConfig::best(1, 1);
+    let tmp = std::env::temp_dir().join(format!("sw-shard-netfault-{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    std::fs::create_dir_all(tmp.join("ckpt")).unwrap();
+
+    let plan = ranges(&seqs, 2);
+    // Two live workers per shard: primary r0 and replica r1.
+    let seeds: Vec<WorkerSeed> = (0..2u64)
+        .flat_map(|shard| (0..2u64).map(move |r| (shard, r)).collect::<Vec<_>>())
+        .map(|(shard, r)| {
+            worker_seed(
+                &seqs,
+                plan[shard as usize],
+                shard,
+                2,
+                &a,
+                tmp.join(format!("shard-{shard}-r{r}.sock")),
+                &tmp.join("ckpt"),
+            )
+        })
+        .collect();
+    let specs: Vec<ShardSpec> = (0..2usize)
+        .map(|shard| ShardSpec {
+            index: shard as u64,
+            endpoints: vec![
+                Endpoint::Unix(seed_socket(&seeds[shard * 2])),
+                Endpoint::Unix(seed_socket(&seeds[shard * 2 + 1])),
+            ],
+            expect_digest: seeds[shard * 2].config.snapshot_digest,
+        })
+        .collect();
+
+    // Collect inside the scope, assert outside: a panic while the
+    // daemon threads are alive would skip their shutdown and deadlock
+    // the scope's implicit join.
+    let runs = std::thread::scope(|s| {
+        for seed in &seeds {
+            let (engine, a, base) = (&engine, &a, &base);
+            let sig = leak_signal();
+            s.spawn(move || serve_seed(seed, engine, a, base, sig));
+            wait_for_socket(&seed_socket(seed));
+        }
+        let mut runs = Vec::new();
+        for seed in 1..=4u64 {
+            let injector = NetFaultInjector::new(NetFaultPlan::seeded(seed, 2, 2));
+            let mut cfg = CoordConfig::new(TOP);
+            cfg.connect_wait_ms = 300;
+            cfg.heartbeat_ms = 40; // fast black-hole detection
+            cfg.max_attempts = 4;
+            cfg.failure_budget = 8;
+            cfg.seed = seed;
+            let drill = CoordDrill {
+                faults: Some(&injector),
+                journal: None,
+                resume: false,
+            };
+            // Workers never actually die here (faults are injected on
+            // the coordinator's wire), so failover needs no launcher.
+            let respawn = |_: &ShardSpec, _: u32| -> Result<(), String> { Ok(()) };
+            let outcome = coord::search_sharded_durable(
+                &specs,
+                &fasta,
+                &cfg,
+                &respawn,
+                &NetTransport,
+                &drill,
+            );
+            runs.push((seed, outcome, injector.fired_specs()));
+        }
+        for seed in &seeds {
+            coord::shutdown_worker(&Endpoint::Unix(seed_socket(seed))).expect("shutdown");
+        }
+        runs
+    });
+    for (seed, outcome, fired) in runs {
+        let outcome = outcome.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            wire_hits(&outcome.hits),
+            expect,
+            "seed {seed}: injected net faults must never change merged bytes"
+        );
+        assert!(
+            !fired.is_empty(),
+            "seed {seed}: the plan must actually fire"
+        );
+        let lethal = fired.iter().filter(|f| f.kind.forces_retry()).count();
+        assert_eq!(
+            outcome.requeues as usize, lethal,
+            "seed {seed}: every retry-forcing fault costs exactly one \
+             requeue (fired: {fired:?})"
+        );
+    }
     std::fs::remove_dir_all(&tmp).ok();
 }

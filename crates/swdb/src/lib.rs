@@ -45,6 +45,6 @@ pub use chunk::{split_batches, split_by_cells, BatchRange};
 pub use db::SequenceDatabase;
 pub use preprocess::SortedDb;
 pub use profile::{QueryProfile, QueryProfileI8, SequenceProfile, SequenceProfileI8};
-pub use shard::{ShardManifest, ShardMeta};
+pub use shard::{PlacementEntry, PlacementPlan, ShardManifest, ShardMeta};
 pub use stats::DbStats;
 pub use volumes::VolumePlan;

@@ -295,6 +295,175 @@ impl ShardManifest {
     }
 }
 
+/// One placement line: the endpoints (primary first, then replicas)
+/// that may serve a shard. Endpoint strings are opaque here — the serve
+/// layer parses them as `tcp://host:port`, `unix://path` or bare unix
+/// socket paths (relative paths resolve against the plan's directory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementEntry {
+    /// Shard index.
+    pub shard: u64,
+    /// Candidate endpoints, primary first. Length == replication factor.
+    pub endpoints: Vec<String>,
+}
+
+/// A replication placement plan: for each SWSHRD1 shard, the R
+/// endpoints a coordinator may run it on. Written by
+/// `shard-prepare --replicas R` next to `shards.manifest`, read by
+/// `search --shards --placement`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Digest of the parent snapshot the shards were cut from.
+    pub parent_digest: u64,
+    /// Replication factor (endpoints per shard).
+    pub replicas: u64,
+    /// One entry per shard, in shard order.
+    pub entries: Vec<PlacementEntry>,
+}
+
+impl PlacementPlan {
+    /// Build a plan assigning each shard `replicas` endpoints from a
+    /// pool. Slots are strided (`shard * replicas + r`), so a pool with
+    /// at least `n_shards * replicas` endpoints yields a conflict-free
+    /// plan — no endpoint serves two shards, which matters because a
+    /// shard worker holds exactly one shard and answers `WrongShard`
+    /// for any other. Smaller pools wrap and share endpoints; replicas
+    /// of one shard still land on different slots whenever the pool has
+    /// at least two. With an empty pool, defaults to per-replica unix
+    /// socket names (`shard-<i>-r<j>.sock`) so a localhost drill needs
+    /// no manifest of hosts.
+    pub fn assign(parent_digest: u64, n_shards: u64, replicas: u64, pool: &[String]) -> Self {
+        let replicas = replicas.max(1);
+        let entries = (0..n_shards)
+            .map(|shard| {
+                let endpoints = (0..replicas)
+                    .map(|r| {
+                        if pool.is_empty() {
+                            format!("shard-{shard}-r{r}.sock")
+                        } else {
+                            let slot = shard * replicas + r;
+                            pool[(slot % pool.len() as u64) as usize].clone()
+                        }
+                    })
+                    .collect();
+                PlacementEntry { shard, endpoints }
+            })
+            .collect();
+        PlacementPlan {
+            parent_digest,
+            replicas,
+            entries,
+        }
+    }
+
+    /// Render the text form.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# swshard placement\nversion 1\n");
+        out.push_str(&format!("parent_digest {:016x}\n", self.parent_digest));
+        out.push_str(&format!("replicas {}\n", self.replicas));
+        out.push_str(&format!("shards {}\n", self.entries.len()));
+        for e in &self.entries {
+            out.push_str(&format!("place {} {}\n", e.shard, e.endpoints.join(" ")));
+        }
+        out
+    }
+
+    /// Parse the text form, validating order, completeness and that
+    /// every shard carries exactly `replicas` endpoints.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut parent_digest = None;
+        let mut replicas = None;
+        let mut declared = None;
+        let mut entries: Vec<PlacementEntry> = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let key = it.next().expect("non-empty line has a first token");
+            let fields: Vec<&str> = it.collect();
+            let bad = |what: &str| format!("placement line {}: {what}", ln + 1);
+            match key {
+                "version" => {
+                    if fields != ["1"] {
+                        return Err(bad(&format!("unsupported version {fields:?}")));
+                    }
+                }
+                "parent_digest" => {
+                    parent_digest = Some(
+                        fields
+                            .first()
+                            .and_then(|f| u64::from_str_radix(f, 16).ok())
+                            .ok_or_else(|| bad("unparseable parent_digest"))?,
+                    );
+                }
+                "replicas" => {
+                    replicas = Some(
+                        fields
+                            .first()
+                            .and_then(|f| f.parse::<u64>().ok())
+                            .filter(|&r| r >= 1)
+                            .ok_or_else(|| bad("unparseable replicas"))?,
+                    );
+                }
+                "shards" => {
+                    declared = Some(
+                        fields
+                            .first()
+                            .and_then(|f| f.parse::<usize>().ok())
+                            .ok_or_else(|| bad("unparseable shard count"))?,
+                    );
+                }
+                "place" => {
+                    if fields.len() < 2 {
+                        return Err(bad("place line needs: shard endpoint..."));
+                    }
+                    entries.push(PlacementEntry {
+                        shard: fields[0]
+                            .parse()
+                            .map_err(|_| bad("unparseable shard index"))?,
+                        endpoints: fields[1..].iter().map(|s| s.to_string()).collect(),
+                    });
+                }
+                other => return Err(bad(&format!("unknown key {other:?}"))),
+            }
+        }
+        let parent_digest = parent_digest.ok_or("placement missing parent_digest")?;
+        let replicas = replicas.ok_or("placement missing replicas")?;
+        let declared = declared.ok_or("placement missing shard count")?;
+        if entries.len() != declared {
+            return Err(format!(
+                "placement declares {declared} shards but lists {}",
+                entries.len()
+            ));
+        }
+        if entries.is_empty() {
+            return Err("placement lists no shards".into());
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if e.shard != i as u64 {
+                return Err(format!(
+                    "place lines out of order: position {i} has shard {}",
+                    e.shard
+                ));
+            }
+            if e.endpoints.len() as u64 != replicas {
+                return Err(format!(
+                    "shard {} lists {} endpoints, want {replicas}",
+                    e.shard,
+                    e.endpoints.len()
+                ));
+            }
+        }
+        Ok(PlacementPlan {
+            parent_digest,
+            replicas,
+            entries,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,5 +604,67 @@ mod tests {
             ShardManifest::parse(&text.replace("shard 1 ", "shard 9 ")).is_err(),
             "index order"
         );
+    }
+
+    #[test]
+    fn placement_roundtrip_and_validation() {
+        let plan = PlacementPlan::assign(0xabc, 3, 2, &[]);
+        assert_eq!(plan.entries.len(), 3);
+        assert_eq!(
+            plan.entries[1].endpoints,
+            vec!["shard-1-r0.sock", "shard-1-r1.sock"],
+            "default pool is per-replica unix sockets"
+        );
+        let text = plan.render();
+        assert_eq!(PlacementPlan::parse(&text).expect("roundtrip"), plan);
+
+        assert!(PlacementPlan::parse("version 1\n").is_err());
+        assert!(
+            PlacementPlan::parse(&text.replace("shards 3", "shards 4")).is_err(),
+            "count mismatch"
+        );
+        assert!(
+            PlacementPlan::parse(&text.replace("place 1 ", "place 7 ")).is_err(),
+            "order"
+        );
+        assert!(
+            PlacementPlan::parse(&text.replace("replicas 2", "replicas 3")).is_err(),
+            "entries must match the replication factor"
+        );
+    }
+
+    #[test]
+    fn placement_pool_stride_spreads_replicas() {
+        let pool: Vec<String> = ["tcp://a:1", "tcp://b:1", "tcp://c:1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let plan = PlacementPlan::assign(1, 3, 2, &pool);
+        for e in &plan.entries {
+            assert_ne!(
+                e.endpoints[0], e.endpoints[1],
+                "replicas of one shard land on different pool slots"
+            );
+        }
+        // Strided assignment: shard i starts at slot i * replicas.
+        assert_eq!(plan.entries[0].endpoints, ["tcp://a:1", "tcp://b:1"]);
+        assert_eq!(plan.entries[1].endpoints, ["tcp://c:1", "tcp://a:1"]);
+        assert_eq!(plan.entries[2].endpoints, ["tcp://b:1", "tcp://c:1"]);
+    }
+
+    /// A pool exactly covering `n_shards * replicas` must be
+    /// conflict-free: single-shard workers answer WrongShard for any
+    /// other shard, so sharing an endpoint across shards breaks
+    /// failover.
+    #[test]
+    fn placement_full_pool_is_conflict_free() {
+        let pool: Vec<String> = (0..6).map(|i| format!("tcp://h:{i}")).collect();
+        let plan = PlacementPlan::assign(1, 3, 2, &pool);
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &plan.entries {
+            for ep in &e.endpoints {
+                assert!(seen.insert(ep.clone()), "endpoint {ep} serves two shards");
+            }
+        }
     }
 }
